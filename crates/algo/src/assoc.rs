@@ -1,0 +1,218 @@
+//! Apriori frequent-itemset mining.
+//!
+//! Dynamic compound critiquing (survey Section 5.2, after McCarthy et al.
+//! and Reilly et al.'s *Dynamic Critiquing*) mines frequently co-occurring
+//! attribute differences between the current recommendation and the
+//! remaining candidates — "Less Memory AND Lower Resolution AND Cheaper".
+//! The miner here is the generic substrate: transactions are sets of
+//! symbol ids; output is every itemset meeting a support threshold.
+
+use std::collections::HashMap;
+
+/// A frequent itemset: sorted symbols plus support in `[0, 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrequentSet {
+    /// The sorted symbol ids forming the set.
+    pub items: Vec<u32>,
+    /// Fraction of transactions containing the set.
+    pub support: f64,
+}
+
+/// Mines all itemsets with `support >= min_support` and size up to
+/// `max_len`, using the Apriori level-wise algorithm.
+///
+/// Transactions are deduplicated-and-sorted internally; empty input yields
+/// no sets. Results are ordered by (size, symbols) so output is
+/// deterministic.
+///
+/// ```
+/// use exrec_algo::assoc::apriori;
+///
+/// let transactions = vec![vec![1, 2], vec![1, 2, 3], vec![1, 3]];
+/// let sets = apriori(&transactions, 0.6, 2);
+/// let pair = sets.iter().find(|s| s.items == [1, 2]).unwrap();
+/// assert!((pair.support - 2.0 / 3.0).abs() < 1e-9);
+/// ```
+pub fn apriori(transactions: &[Vec<u32>], min_support: f64, max_len: usize) -> Vec<FrequentSet> {
+    let n = transactions.len();
+    if n == 0 || max_len == 0 {
+        return Vec::new();
+    }
+    let min_count = (min_support * n as f64).ceil().max(1.0) as usize;
+
+    // Normalize transactions: sorted, deduped.
+    let txs: Vec<Vec<u32>> = transactions
+        .iter()
+        .map(|t| {
+            let mut t = t.clone();
+            t.sort_unstable();
+            t.dedup();
+            t
+        })
+        .collect();
+
+    // Level 1.
+    let mut counts: HashMap<Vec<u32>, usize> = HashMap::new();
+    for t in &txs {
+        for &s in t {
+            *counts.entry(vec![s]).or_insert(0) += 1;
+        }
+    }
+    let mut frequent: Vec<(Vec<u32>, usize)> = counts
+        .into_iter()
+        .filter(|&(_, c)| c >= min_count)
+        .collect();
+    frequent.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let mut all: Vec<FrequentSet> = frequent
+        .iter()
+        .map(|(items, c)| FrequentSet {
+            items: items.clone(),
+            support: *c as f64 / n as f64,
+        })
+        .collect();
+
+    let mut level = frequent;
+    let mut size = 1;
+    while size < max_len && level.len() > 1 {
+        // Candidate generation: join sets sharing a (size-1)-prefix.
+        let mut candidates: Vec<Vec<u32>> = Vec::new();
+        for i in 0..level.len() {
+            for j in (i + 1)..level.len() {
+                let (a, b) = (&level[i].0, &level[j].0);
+                if a[..size - 1] == b[..size - 1] {
+                    let mut c = a.clone();
+                    c.push(b[size - 1]);
+                    candidates.push(c);
+                } else {
+                    break; // sorted level ⇒ no later j shares the prefix
+                }
+            }
+        }
+        // Count support.
+        let mut next: Vec<(Vec<u32>, usize)> = Vec::new();
+        for cand in candidates {
+            let count = txs
+                .iter()
+                .filter(|t| is_subset(&cand, t))
+                .count();
+            if count >= min_count {
+                next.push((cand, count));
+            }
+        }
+        next.sort_by(|a, b| a.0.cmp(&b.0));
+        for (items, c) in &next {
+            all.push(FrequentSet {
+                items: items.clone(),
+                support: *c as f64 / n as f64,
+            });
+        }
+        level = next;
+        size += 1;
+    }
+
+    all.sort_by(|a, b| a.items.len().cmp(&b.items.len()).then(a.items.cmp(&b.items)));
+    all
+}
+
+/// Whether sorted `needle` is a subset of sorted `haystack`.
+fn is_subset(needle: &[u32], haystack: &[u32]) -> bool {
+    let mut h = 0;
+    'outer: for &x in needle {
+        while h < haystack.len() {
+            match haystack[h].cmp(&x) {
+                std::cmp::Ordering::Less => h += 1,
+                std::cmp::Ordering::Equal => {
+                    h += 1;
+                    continue 'outer;
+                }
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn txs() -> Vec<Vec<u32>> {
+        vec![
+            vec![1, 2, 3],
+            vec![1, 2],
+            vec![1, 3],
+            vec![2, 3],
+            vec![1, 2, 3],
+        ]
+    }
+
+    fn support_of(sets: &[FrequentSet], items: &[u32]) -> Option<f64> {
+        sets.iter().find(|s| s.items == items).map(|s| s.support)
+    }
+
+    #[test]
+    fn singletons_counted() {
+        let sets = apriori(&txs(), 0.5, 1);
+        assert_eq!(support_of(&sets, &[1]), Some(0.8));
+        assert_eq!(support_of(&sets, &[2]), Some(0.8));
+        assert_eq!(support_of(&sets, &[3]), Some(0.8));
+        assert!(sets.iter().all(|s| s.items.len() == 1));
+    }
+
+    #[test]
+    fn pairs_and_triples() {
+        let sets = apriori(&txs(), 0.4, 3);
+        assert_eq!(support_of(&sets, &[1, 2]), Some(0.6));
+        assert_eq!(support_of(&sets, &[1, 3]), Some(0.6));
+        assert_eq!(support_of(&sets, &[2, 3]), Some(0.6));
+        assert_eq!(support_of(&sets, &[1, 2, 3]), Some(0.4));
+    }
+
+    #[test]
+    fn min_support_prunes() {
+        let sets = apriori(&txs(), 0.7, 3);
+        assert!(support_of(&sets, &[1, 2]).is_none());
+        assert!(support_of(&sets, &[1]).is_some());
+    }
+
+    #[test]
+    fn downward_closure_holds() {
+        let sets = apriori(&txs(), 0.4, 3);
+        // Every subset of a frequent set is frequent with >= support.
+        for s in &sets {
+            if s.items.len() >= 2 {
+                for drop in 0..s.items.len() {
+                    let mut sub = s.items.clone();
+                    sub.remove(drop);
+                    let sub_support =
+                        support_of(&sets, &sub).expect("subset must be frequent");
+                    assert!(sub_support >= s.support - 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_degenerate() {
+        assert!(apriori(&[], 0.5, 3).is_empty());
+        assert!(apriori(&txs(), 0.5, 0).is_empty());
+        let sets = apriori(&[vec![]], 0.5, 3);
+        assert!(sets.is_empty());
+    }
+
+    #[test]
+    fn duplicate_symbols_in_transaction_count_once() {
+        let sets = apriori(&[vec![1, 1, 1], vec![1]], 0.5, 2);
+        assert_eq!(support_of(&sets, &[1]), Some(1.0));
+    }
+
+    #[test]
+    fn is_subset_cases() {
+        assert!(is_subset(&[1, 3], &[1, 2, 3]));
+        assert!(!is_subset(&[1, 4], &[1, 2, 3]));
+        assert!(is_subset(&[], &[1]));
+        assert!(!is_subset(&[1], &[]));
+    }
+}

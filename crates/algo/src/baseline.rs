@@ -1,0 +1,283 @@
+//! Non-personalized baselines.
+//!
+//! Every study needs a control arm: predicting the item's (damped) mean
+//! rating, the user's own mean, or the global mean. The popularity
+//! baseline also feeds the "recommender personality" machinery — an
+//! *affirming* personality (survey Section 4.6) leans toward familiar,
+//! popular items.
+
+use crate::recommender::{Ctx, ModelEvidence, Recommender};
+use exrec_types::{Confidence, Error, ItemId, Prediction, Result, UserId};
+
+/// Predicts an item's damped mean rating:
+/// `(sum + damping × global_mean) / (count + damping)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Popularity {
+    /// Bayesian damping strength (pseudo-ratings at the global mean).
+    pub damping: f64,
+}
+
+impl Default for Popularity {
+    fn default() -> Self {
+        Self { damping: 5.0 }
+    }
+}
+
+impl Recommender for Popularity {
+    fn name(&self) -> &'static str {
+        "popularity"
+    }
+
+    fn predict(&self, ctx: &Ctx<'_>, _user: UserId, item: ItemId) -> Result<Prediction> {
+        if item.index() >= ctx.ratings.n_items() {
+            return Err(Error::UnknownItem { item });
+        }
+        let ratings = ctx.ratings.item_ratings(item);
+        let global = ctx.ratings.global_mean();
+        let sum: f64 = ratings.iter().map(|&(_, v)| v).sum();
+        let n = ratings.len() as f64;
+        let score = (sum + self.damping * global) / (n + self.damping);
+        let confidence = Confidence::new((n / 20.0).min(1.0));
+        Ok(Prediction::new(ctx.ratings.scale().bound(score), confidence))
+    }
+
+    fn evidence(&self, ctx: &Ctx<'_>, _user: UserId, item: ItemId) -> Result<ModelEvidence> {
+        if item.index() >= ctx.ratings.n_items() {
+            return Err(Error::UnknownItem { item });
+        }
+        let ratings = ctx.ratings.item_ratings(item);
+        Ok(ModelEvidence::Popularity {
+            mean: ctx
+                .ratings
+                .item_mean(item)
+                .unwrap_or_else(|| ctx.ratings.global_mean()),
+            count: ratings.len(),
+        })
+    }
+}
+
+/// Predicts the user's own mean rating for everything.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UserMean;
+
+impl Recommender for UserMean {
+    fn name(&self) -> &'static str {
+        "user-mean"
+    }
+
+    fn predict(&self, ctx: &Ctx<'_>, user: UserId, item: ItemId) -> Result<Prediction> {
+        if user.index() >= ctx.ratings.n_users() {
+            return Err(Error::UnknownUser { user });
+        }
+        if item.index() >= ctx.ratings.n_items() {
+            return Err(Error::UnknownItem { item });
+        }
+        let mean = ctx.ratings.user_mean(user).ok_or(Error::NoPrediction {
+            user,
+            item,
+            reason: "user has no ratings",
+        })?;
+        let n = ctx.ratings.user_ratings(user).len() as f64;
+        Ok(Prediction::new(mean, Confidence::new((n / 20.0).min(1.0))))
+    }
+
+    fn evidence(&self, ctx: &Ctx<'_>, user: UserId, item: ItemId) -> Result<ModelEvidence> {
+        if item.index() >= ctx.ratings.n_items() {
+            return Err(Error::UnknownItem { item });
+        }
+        let mean = ctx.ratings.user_mean(user).ok_or(Error::NoPrediction {
+            user,
+            item,
+            reason: "user has no ratings",
+        })?;
+        Ok(ModelEvidence::Popularity {
+            mean,
+            count: ctx.ratings.user_ratings(user).len(),
+        })
+    }
+}
+
+/// Predicts the global mean for everything. The weakest sensible control.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GlobalMean;
+
+impl Recommender for GlobalMean {
+    fn name(&self) -> &'static str {
+        "global-mean"
+    }
+
+    fn predict(&self, ctx: &Ctx<'_>, _user: UserId, item: ItemId) -> Result<Prediction> {
+        if item.index() >= ctx.ratings.n_items() {
+            return Err(Error::UnknownItem { item });
+        }
+        Ok(Prediction::new(
+            ctx.ratings.global_mean(),
+            Confidence::new(0.2),
+        ))
+    }
+
+    fn evidence(&self, ctx: &Ctx<'_>, _user: UserId, item: ItemId) -> Result<ModelEvidence> {
+        if item.index() >= ctx.ratings.n_items() {
+            return Err(Error::UnknownItem { item });
+        }
+        Ok(ModelEvidence::Popularity {
+            mean: ctx.ratings.global_mean(),
+            count: ctx.ratings.n_ratings(),
+        })
+    }
+}
+
+/// Deterministic pseudo-random scores — the floor any real model must
+/// beat. Scores are a hash of `(seed, user, item)` so the baseline is
+/// stable across runs without carrying RNG state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomScores {
+    /// Seed mixed into every score.
+    pub seed: u64,
+}
+
+impl Default for RandomScores {
+    fn default() -> Self {
+        Self { seed: 0xDECAF }
+    }
+}
+
+impl RandomScores {
+    fn unit(&self, user: UserId, item: ItemId) -> f64 {
+        // SplitMix64 over the packed ids.
+        let mut z = self
+            .seed
+            .wrapping_add((user.raw() as u64) << 32 | item.raw() as u64)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z = z ^ (z >> 31);
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Recommender for RandomScores {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn predict(&self, ctx: &Ctx<'_>, user: UserId, item: ItemId) -> Result<Prediction> {
+        if item.index() >= ctx.ratings.n_items() {
+            return Err(Error::UnknownItem { item });
+        }
+        let scale = ctx.ratings.scale();
+        Ok(Prediction::new(
+            scale.denormalize_continuous(self.unit(user, item)),
+            Confidence::NONE,
+        ))
+    }
+
+    fn evidence(&self, ctx: &Ctx<'_>, _user: UserId, item: ItemId) -> Result<ModelEvidence> {
+        if item.index() >= ctx.ratings.n_items() {
+            return Err(Error::UnknownItem { item });
+        }
+        Ok(ModelEvidence::Popularity { mean: 0.0, count: 0 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exrec_data::{Catalog, RatingsMatrix};
+    use exrec_types::{DomainSchema, RatingScale};
+
+    fn fixtures() -> (RatingsMatrix, Catalog) {
+        let mut catalog = Catalog::new(DomainSchema::new("d", vec![]).unwrap());
+        for k in 0..3 {
+            catalog
+                .add(&format!("i{k}"), Default::default(), vec![])
+                .unwrap();
+        }
+        let mut m = RatingsMatrix::new(2, 3, RatingScale::FIVE_STAR);
+        m.rate(UserId(0), ItemId(0), 5.0).unwrap();
+        m.rate(UserId(1), ItemId(0), 5.0).unwrap();
+        m.rate(UserId(0), ItemId(1), 1.0).unwrap();
+        (m, catalog)
+    }
+
+    #[test]
+    fn popularity_damps_toward_global_mean() {
+        let (m, c) = fixtures();
+        let ctx = Ctx::new(&m, &c);
+        let pop = Popularity { damping: 100.0 };
+        let p = pop.predict(&ctx, UserId(0), ItemId(0)).unwrap();
+        let global = m.global_mean();
+        assert!(
+            (p.score - global).abs() < 0.2,
+            "heavy damping pulls to global mean"
+        );
+        let pop = Popularity { damping: 0.0 };
+        let p = pop.predict(&ctx, UserId(0), ItemId(0)).unwrap();
+        assert!((p.score - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn user_mean_needs_ratings() {
+        let (mut m, c) = fixtures();
+        m.ensure_users(3);
+        let ctx = Ctx::new(&m, &c);
+        assert!(matches!(
+            UserMean.predict(&ctx, UserId(2), ItemId(0)),
+            Err(Error::NoPrediction { .. })
+        ));
+        let p = UserMean.predict(&ctx, UserId(0), ItemId(2)).unwrap();
+        assert!((p.score - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn global_mean_is_constant() {
+        let (m, c) = fixtures();
+        let ctx = Ctx::new(&m, &c);
+        let a = GlobalMean.predict(&ctx, UserId(0), ItemId(0)).unwrap();
+        let b = GlobalMean.predict(&ctx, UserId(1), ItemId(2)).unwrap();
+        assert_eq!(a.score, b.score);
+    }
+
+    #[test]
+    fn random_is_deterministic_and_on_scale() {
+        let (m, c) = fixtures();
+        let ctx = Ctx::new(&m, &c);
+        let r = RandomScores::default();
+        let a = r.predict(&ctx, UserId(0), ItemId(1)).unwrap();
+        let b = r.predict(&ctx, UserId(0), ItemId(1)).unwrap();
+        assert_eq!(a.score, b.score);
+        assert!(a.score >= m.scale().min() && a.score <= m.scale().max());
+        let other = r.predict(&ctx, UserId(1), ItemId(1)).unwrap();
+        assert_ne!(a.score, other.score, "different pairs should differ");
+    }
+
+    #[test]
+    fn out_of_range_items_rejected() {
+        let (m, c) = fixtures();
+        let ctx = Ctx::new(&m, &c);
+        for rec in [
+            &Popularity::default() as &dyn Recommender,
+            &UserMean,
+            &GlobalMean,
+            &RandomScores::default(),
+        ] {
+            assert!(rec.predict(&ctx, UserId(0), ItemId(99)).is_err());
+        }
+    }
+
+    #[test]
+    fn popularity_evidence_counts() {
+        let (m, c) = fixtures();
+        let ctx = Ctx::new(&m, &c);
+        match Popularity::default()
+            .evidence(&ctx, UserId(0), ItemId(0))
+            .unwrap()
+        {
+            ModelEvidence::Popularity { mean, count } => {
+                assert_eq!(count, 2);
+                assert!((mean - 5.0).abs() < 1e-9);
+            }
+            other => panic!("wrong evidence {}", other.kind()),
+        }
+    }
+}

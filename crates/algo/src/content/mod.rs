@@ -1,0 +1,54 @@
+//! Content-based recommenders.
+//!
+//! Two models back the survey's content-based explanation style
+//! ("We have recommended X because you liked Y"):
+//!
+//! * [`TfIdfModel`] — TF-IDF item vectors with a Rocchio user profile;
+//!   evidence names the overlapping terms and the rated items that shaped
+//!   the profile.
+//! * [`NaiveBayesModel`] — a LIBRA-style naive-Bayes like/dislike
+//!   classifier whose evidence is per-feature log-odds *and* per-rated-item
+//!   influence shares, reproducing the survey's Figure 3.
+
+mod naive_bayes;
+mod tfidf;
+
+pub use naive_bayes::{NaiveBayesConfig, NaiveBayesModel};
+pub use tfidf::{TfIdfConfig, TfIdfModel};
+
+use exrec_types::Item;
+
+/// Extracts the content tokens of an item: its keyword bag plus tokens of
+/// any text attributes. Shared by both content models so their feature
+/// spaces agree.
+pub fn item_tokens(item: &Item) -> Vec<String> {
+    let mut toks: Vec<String> = item.keywords.clone();
+    for (_, value) in item.attrs.iter() {
+        if let Some(text) = value.as_text() {
+            toks.extend(exrec_data::text::tokenize(text));
+        }
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exrec_types::{AttributeSet, AttrValue, ItemId};
+
+    #[test]
+    fn tokens_combine_keywords_and_text() {
+        let item = Item::new(ItemId::new(0), "X")
+            .with_attrs(
+                AttributeSet::new().with(
+                    "blurb",
+                    AttrValue::Text("A quiet tale of dragons".to_owned()),
+                ),
+            )
+            .with_keywords(["fantasy"]);
+        let toks = item_tokens(&item);
+        assert!(toks.contains(&"fantasy".to_owned()));
+        assert!(toks.contains(&"dragons".to_owned()));
+        assert!(!toks.contains(&"of".to_owned()), "stopwords dropped");
+    }
+}

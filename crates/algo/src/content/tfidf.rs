@@ -1,0 +1,465 @@
+//! TF-IDF item vectors with a Rocchio user profile.
+
+use super::item_tokens;
+use crate::recommender::{
+    Ctx, FeatureInfluence, ModelEvidence, RatedItemInfluence, Recommender, Scored,
+};
+use exrec_types::{Confidence, Error, ItemId, Prediction, Result, UserId};
+use std::collections::HashMap;
+
+/// Configuration for [`TfIdfModel`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TfIdfConfig {
+    /// How many top features to report in evidence.
+    pub evidence_features: usize,
+    /// How many rated-item influences to report in evidence.
+    pub evidence_influences: usize,
+}
+
+impl Default for TfIdfConfig {
+    fn default() -> Self {
+        Self {
+            evidence_features: 6,
+            evidence_influences: 5,
+        }
+    }
+}
+
+/// A fitted TF-IDF content model.
+///
+/// Item vectors are computed once from the catalog ([`TfIdfModel::fit`]);
+/// user profiles are recomputed per call from the live ratings matrix so
+/// that mid-session re-rating is observed immediately.
+#[derive(Debug, Clone)]
+pub struct TfIdfModel {
+    config: TfIdfConfig,
+    /// Token text by feature index.
+    vocab: Vec<String>,
+    /// `vectors[i]` = sorted `(feature, tfidf_weight)`, L2-normalized.
+    vectors: Vec<Vec<(usize, f64)>>,
+}
+
+fn dot_sparse(a: &[(usize, f64)], b: &[(usize, f64)]) -> f64 {
+    let (mut x, mut y, mut acc) = (0, 0, 0.0);
+    while x < a.len() && y < b.len() {
+        match a[x].0.cmp(&b[y].0) {
+            std::cmp::Ordering::Less => x += 1,
+            std::cmp::Ordering::Greater => y += 1,
+            std::cmp::Ordering::Equal => {
+                acc += a[x].1 * b[y].1;
+                x += 1;
+                y += 1;
+            }
+        }
+    }
+    acc
+}
+
+fn l2_normalize(v: &mut [(usize, f64)]) {
+    let norm = v.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt();
+    if norm > 1e-12 {
+        for (_, w) in v.iter_mut() {
+            *w /= norm;
+        }
+    }
+}
+
+impl TfIdfModel {
+    /// Fits TF-IDF vectors over the catalog.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptyModel`] when the catalog is empty or carries
+    /// no tokens at all.
+    pub fn fit(ctx: &Ctx<'_>, config: TfIdfConfig) -> Result<Self> {
+        if ctx.catalog.is_empty() {
+            return Err(Error::EmptyModel { model: "tfidf" });
+        }
+        let n_items = ctx.catalog.len();
+        let mut vocab_index: HashMap<String, usize> = HashMap::new();
+        let mut vocab: Vec<String> = Vec::new();
+        let mut raw: Vec<Vec<(usize, f64)>> = Vec::with_capacity(n_items);
+        let mut df: Vec<usize> = Vec::new();
+
+        for item in ctx.catalog.iter() {
+            let mut counts: HashMap<usize, f64> = HashMap::new();
+            for tok in item_tokens(item) {
+                let idx = *vocab_index.entry(tok.clone()).or_insert_with(|| {
+                    vocab.push(tok);
+                    df.push(0);
+                    vocab.len() - 1
+                });
+                *counts.entry(idx).or_insert(0.0) += 1.0;
+            }
+            for &idx in counts.keys() {
+                df[idx] += 1;
+            }
+            let mut vec: Vec<(usize, f64)> = counts.into_iter().collect();
+            vec.sort_unstable_by_key(|&(i, _)| i);
+            raw.push(vec);
+        }
+        if vocab.is_empty() {
+            return Err(Error::EmptyModel { model: "tfidf" });
+        }
+
+        let vectors: Vec<Vec<(usize, f64)>> = raw
+            .into_iter()
+            .map(|counts| {
+                let mut v: Vec<(usize, f64)> = counts
+                    .into_iter()
+                    .map(|(idx, tf)| {
+                        let idf = ((n_items as f64 + 1.0) / (df[idx] as f64 + 1.0)).ln() + 1.0;
+                        (idx, tf * idf)
+                    })
+                    .collect();
+                l2_normalize(&mut v);
+                v
+            })
+            .collect();
+
+        Ok(Self {
+            config,
+            vocab,
+            vectors,
+        })
+    }
+
+    /// The fitted vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// The TF-IDF vector of an item.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownItem`] for out-of-range ids.
+    pub fn item_vector(&self, item: ItemId) -> Result<&[(usize, f64)]> {
+        self.vectors
+            .get(item.index())
+            .map(Vec::as_slice)
+            .ok_or(Error::UnknownItem { item })
+    }
+
+    /// Cosine similarity between two items' content vectors.
+    pub fn item_similarity(&self, a: ItemId, b: ItemId) -> f64 {
+        match (self.vectors.get(a.index()), self.vectors.get(b.index())) {
+            (Some(va), Some(vb)) => dot_sparse(va, vb),
+            _ => 0.0,
+        }
+    }
+
+    /// The Rocchio profile of a user: the rating-weighted (mean-centred)
+    /// sum of rated item vectors, L2-normalized. Empty when the user has
+    /// no ratings.
+    pub fn profile(&self, ctx: &Ctx<'_>, user: UserId) -> Vec<(usize, f64)> {
+        let rated = ctx.ratings.user_ratings(user);
+        if rated.is_empty() {
+            return Vec::new();
+        }
+        let mean = ctx
+            .ratings
+            .user_mean(user)
+            .unwrap_or_else(|| ctx.ratings.global_mean());
+        // Degenerate histories (all ratings identical — e.g. an implicit
+        // "watched it" log where everything is a 5) centre on the scale
+        // midpoint instead of the user mean, so pure viewing history
+        // still produces a positive profile — the TiVo situation of the
+        // survey's introduction.
+        let all_equal = rated.iter().all(|&(_, v)| (v - rated[0].1).abs() < 1e-9);
+        let centre = if all_equal {
+            let mid = ctx.ratings.scale().midpoint();
+            if (rated[0].1 - mid).abs() < 1e-9 {
+                // Even the midpoint is uninformative: treat presence as
+                // mild positive signal.
+                rated[0].1 - 1.0
+            } else {
+                mid
+            }
+        } else {
+            mean
+        };
+        let mut acc: HashMap<usize, f64> = HashMap::new();
+        for &(item, rating) in rated {
+            let weight = rating - centre;
+            if weight.abs() < 1e-12 {
+                continue;
+            }
+            if let Some(vec) = self.vectors.get(item.index()) {
+                for &(idx, w) in vec {
+                    *acc.entry(idx).or_insert(0.0) += weight * w;
+                }
+            }
+        }
+        let mut profile: Vec<(usize, f64)> = acc.into_iter().collect();
+        profile.sort_unstable_by_key(|&(i, _)| i);
+        l2_normalize(&mut profile);
+        profile
+    }
+
+    fn check_ids(&self, ctx: &Ctx<'_>, user: UserId, item: ItemId) -> Result<()> {
+        if user.index() >= ctx.ratings.n_users() {
+            return Err(Error::UnknownUser { user });
+        }
+        if item.index() >= self.vectors.len() {
+            return Err(Error::UnknownItem { item });
+        }
+        Ok(())
+    }
+}
+
+impl Recommender for TfIdfModel {
+    fn name(&self) -> &'static str {
+        "tfidf"
+    }
+
+    fn predict(&self, ctx: &Ctx<'_>, user: UserId, item: ItemId) -> Result<Prediction> {
+        self.check_ids(ctx, user, item)?;
+        let profile = self.profile(ctx, user);
+        if profile.is_empty() {
+            return Err(Error::NoPrediction {
+                user,
+                item,
+                reason: "user profile is empty",
+            });
+        }
+        let cos = dot_sparse(&profile, &self.vectors[item.index()]);
+        let mean = ctx
+            .ratings
+            .user_mean(user)
+            .unwrap_or_else(|| ctx.ratings.global_mean());
+        let scale = ctx.ratings.scale();
+        let score = scale.bound(mean + cos * scale.span() / 2.0);
+        let n_rated = ctx.ratings.user_ratings(user).len() as f64;
+        let confidence = Confidence::new((n_rated / 20.0).min(1.0) * (0.3 + 0.7 * cos.abs()));
+        Ok(Prediction::new(score, confidence))
+    }
+
+    fn recommend(&self, ctx: &Ctx<'_>, user: UserId, n: usize) -> Vec<Scored> {
+        // Rank by profile cosine, not by the bounded predicted rating:
+        // when a user's mean sits at the scale ceiling (implicit all-5
+        // histories) every prediction clamps to the maximum and the
+        // default ranking would degenerate to item-id order.
+        let profile = self.profile(ctx, user);
+        if profile.is_empty() {
+            return Vec::new();
+        }
+        let mut scored: Vec<(f64, Scored)> = ctx
+            .catalog
+            .ids()
+            .filter(|&i| ctx.ratings.rating(user, i).is_none())
+            .filter_map(|i| {
+                let cos = dot_sparse(&profile, self.vectors.get(i.index())?);
+                let prediction = self.predict(ctx, user, i).ok()?;
+                Some((cos, Scored { item: i, prediction }))
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.item.cmp(&b.1.item))
+        });
+        scored.into_iter().map(|(_, s)| s).take(n).collect()
+    }
+
+    fn evidence(&self, ctx: &Ctx<'_>, user: UserId, item: ItemId) -> Result<ModelEvidence> {
+        self.check_ids(ctx, user, item)?;
+        let profile = self.profile(ctx, user);
+        if profile.is_empty() {
+            return Err(Error::NoPrediction {
+                user,
+                item,
+                reason: "user profile is empty",
+            });
+        }
+        let item_vec = &self.vectors[item.index()];
+
+        // Feature contributions: profile ⊙ item vector, signed.
+        let profile_map: HashMap<usize, f64> = profile.iter().copied().collect();
+        let mut features: Vec<FeatureInfluence> = item_vec
+            .iter()
+            .filter_map(|&(idx, w)| {
+                profile_map.get(&idx).map(|&pw| FeatureInfluence {
+                    feature: format!("keyword \"{}\"", self.vocab[idx]),
+                    weight: pw * w,
+                })
+            })
+            .collect();
+        features.sort_by(|a, b| {
+            b.weight
+                .abs()
+                .partial_cmp(&a.weight.abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        features.truncate(self.config.evidence_features);
+
+        // Rated-item influences: |centred rating × content similarity|.
+        let mean = ctx
+            .ratings
+            .user_mean(user)
+            .unwrap_or_else(|| ctx.ratings.global_mean());
+        let mut influences: Vec<RatedItemInfluence> = ctx
+            .ratings
+            .user_ratings(user)
+            .iter()
+            .map(|&(rated, rating)| {
+                let sim = self.item_similarity(rated, item);
+                RatedItemInfluence {
+                    item: rated,
+                    user_rating: rating,
+                    share: ((rating - mean) * sim).abs(),
+                }
+            })
+            .filter(|inf| inf.share > 1e-9)
+            .collect();
+        let total: f64 = influences.iter().map(|i| i.share).sum();
+        if total > 1e-12 {
+            for inf in &mut influences {
+                inf.share /= total;
+            }
+        }
+        influences.sort_by(|a, b| {
+            b.share
+                .partial_cmp(&a.share)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        influences.truncate(self.config.evidence_influences);
+
+        Ok(ModelEvidence::Content {
+            features,
+            influences,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exrec_data::synth::{books, WorldConfig};
+    use exrec_data::World;
+
+    fn world() -> World {
+        books::generate(&WorldConfig {
+            n_users: 40,
+            n_items: 60,
+            density: 0.3,
+            ..WorldConfig::default()
+        })
+    }
+
+    #[test]
+    fn same_genre_items_are_more_similar() {
+        let w = world();
+        let ctx = Ctx::new(&w.ratings, &w.catalog);
+        let model = TfIdfModel::fit(&ctx, TfIdfConfig::default()).unwrap();
+        // Average within-genre vs cross-genre similarity.
+        let items: Vec<_> = w.catalog.iter().collect();
+        let (mut within, mut wn, mut cross, mut cn) = (0.0, 0, 0.0, 0);
+        for a in 0..items.len().min(30) {
+            for b in (a + 1)..items.len().min(30) {
+                let s = model.item_similarity(items[a].id, items[b].id);
+                if items[a].attrs.cat("genre") == items[b].attrs.cat("genre") {
+                    within += s;
+                    wn += 1;
+                } else {
+                    cross += s;
+                    cn += 1;
+                }
+            }
+        }
+        assert!(wn > 0 && cn > 0);
+        assert!(
+            within / wn as f64 > cross / cn as f64,
+            "genre structure must show in content similarity"
+        );
+    }
+
+    #[test]
+    fn profile_points_toward_liked_items() {
+        let w = world();
+        let ctx = Ctx::new(&w.ratings, &w.catalog);
+        let model = TfIdfModel::fit(&ctx, TfIdfConfig::default()).unwrap();
+        // Find a user with clear likes/dislikes.
+        for u in w.ratings.users() {
+            let rated = w.ratings.user_ratings(u);
+            let mean = match w.ratings.user_mean(u) {
+                Some(m) => m,
+                None => continue,
+            };
+            let liked: Vec<_> = rated.iter().filter(|&&(_, r)| r > mean + 0.5).collect();
+            let disliked: Vec<_> = rated.iter().filter(|&&(_, r)| r < mean - 0.5).collect();
+            if liked.is_empty() || disliked.is_empty() {
+                continue;
+            }
+            let profile = model.profile(&ctx, u);
+            let avg = |items: &[&(ItemId, f64)]| {
+                items
+                    .iter()
+                    .map(|&&(i, _)| dot_sparse(&profile, model.item_vector(i).unwrap()))
+                    .sum::<f64>()
+                    / items.len() as f64
+            };
+            assert!(
+                avg(&liked) > avg(&disliked),
+                "profile must prefer liked items for user {u}"
+            );
+            return;
+        }
+        panic!("no user with clear likes/dislikes in fixture");
+    }
+
+    #[test]
+    fn evidence_shares_sum_to_one() {
+        let w = world();
+        let ctx = Ctx::new(&w.ratings, &w.catalog);
+        let model = TfIdfModel::fit(&ctx, TfIdfConfig::default()).unwrap();
+        let user = w
+            .ratings
+            .users()
+            .find(|&u| w.ratings.user_ratings(u).len() >= 5)
+            .unwrap();
+        let unrated = w
+            .catalog
+            .ids()
+            .find(|&i| ctx.ratings.rating(user, i).is_none())
+            .unwrap();
+        match model.evidence(&ctx, user, unrated).unwrap() {
+            ModelEvidence::Content { influences, features } => {
+                if !influences.is_empty() {
+                    let sum: f64 = influences.iter().map(|i| i.share).sum();
+                    assert!(sum <= 1.0 + 1e-9, "shares are a partition, sum={sum}");
+                    assert!(influences.windows(2).all(|w| w[0].share >= w[1].share));
+                }
+                assert!(features.len() <= 6);
+            }
+            other => panic!("wrong evidence {}", other.kind()),
+        }
+    }
+
+    #[test]
+    fn empty_catalog_rejected() {
+        use exrec_data::{Catalog, RatingsMatrix};
+        use exrec_types::{DomainSchema, RatingScale};
+        let catalog = Catalog::new(DomainSchema::new("d", vec![]).unwrap());
+        let ratings = RatingsMatrix::new(0, 0, RatingScale::FIVE_STAR);
+        let ctx = Ctx::new(&ratings, &catalog);
+        assert!(TfIdfModel::fit(&ctx, TfIdfConfig::default()).is_err());
+    }
+
+    #[test]
+    fn cold_user_has_no_prediction() {
+        let w = world();
+        let ctx = Ctx::new(&w.ratings, &w.catalog);
+        let model = TfIdfModel::fit(&ctx, TfIdfConfig::default()).unwrap();
+        let cold = w
+            .ratings
+            .users()
+            .find(|&u| w.ratings.user_ratings(u).is_empty());
+        if let Some(cold) = cold {
+            assert!(matches!(
+                model.predict(&ctx, cold, ItemId(0)),
+                Err(Error::NoPrediction { .. })
+            ));
+        }
+    }
+}

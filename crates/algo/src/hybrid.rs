@@ -1,0 +1,239 @@
+//! Hybrid recommenders.
+//!
+//! Several systems in the survey's Table 4 blend sources (LIBRA mixes
+//! content and collaborative signals; Amazon's "similar to" sits on both).
+//! Two standard combinators are provided: a weighted blend and a
+//! fallback chain.
+
+use crate::recommender::{Ctx, ModelEvidence, Recommender};
+use exrec_types::{Confidence, Error, ItemId, Prediction, Result, UserId};
+
+/// Weighted blend: the prediction is the weight-normalized average of
+/// every component that can predict; evidence comes from the
+/// highest-weighted component that produced evidence.
+pub struct WeightedHybrid {
+    parts: Vec<(Box<dyn Recommender + Send + Sync>, f64)>,
+}
+
+impl WeightedHybrid {
+    /// Builds a blend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when empty or any weight ≤ 0.
+    pub fn new(parts: Vec<(Box<dyn Recommender + Send + Sync>, f64)>) -> Result<Self> {
+        if parts.is_empty() {
+            return Err(Error::InvalidConfig {
+                parameter: "parts",
+                constraint: "at least one component".to_owned(),
+            });
+        }
+        if parts.iter().any(|&(_, w)| w <= 0.0) {
+            return Err(Error::InvalidConfig {
+                parameter: "weight",
+                constraint: "all component weights > 0".to_owned(),
+            });
+        }
+        Ok(Self { parts })
+    }
+
+    /// Component names and weights, for reporting.
+    pub fn components(&self) -> Vec<(&'static str, f64)> {
+        self.parts.iter().map(|(r, w)| (r.name(), *w)).collect()
+    }
+}
+
+impl Recommender for WeightedHybrid {
+    fn name(&self) -> &'static str {
+        "hybrid-weighted"
+    }
+
+    fn predict(&self, ctx: &Ctx<'_>, user: UserId, item: ItemId) -> Result<Prediction> {
+        let mut num = 0.0;
+        let mut den = 0.0;
+        let mut conf = 0.0;
+        for (rec, w) in &self.parts {
+            if let Ok(p) = rec.predict(ctx, user, item) {
+                num += w * p.score;
+                conf += w * p.confidence.value();
+                den += w;
+            }
+        }
+        if den <= 0.0 {
+            return Err(Error::NoPrediction {
+                user,
+                item,
+                reason: "no hybrid component could predict",
+            });
+        }
+        Ok(Prediction::new(num / den, Confidence::new(conf / den)))
+    }
+
+    fn evidence(&self, ctx: &Ctx<'_>, user: UserId, item: ItemId) -> Result<ModelEvidence> {
+        let mut order: Vec<usize> = (0..self.parts.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.parts[b]
+                .1
+                .partial_cmp(&self.parts[a].1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        for idx in order {
+            if let Ok(ev) = self.parts[idx].0.evidence(ctx, user, item) {
+                return Ok(ev);
+            }
+        }
+        Err(Error::NoPrediction {
+            user,
+            item,
+            reason: "no hybrid component produced evidence",
+        })
+    }
+}
+
+/// Fallback chain: first component that can predict wins. The classic
+/// "CF when possible, content for cold items" arrangement.
+pub struct SwitchingHybrid {
+    chain: Vec<Box<dyn Recommender + Send + Sync>>,
+}
+
+impl SwitchingHybrid {
+    /// Builds a chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when the chain is empty.
+    pub fn new(chain: Vec<Box<dyn Recommender + Send + Sync>>) -> Result<Self> {
+        if chain.is_empty() {
+            return Err(Error::InvalidConfig {
+                parameter: "chain",
+                constraint: "at least one component".to_owned(),
+            });
+        }
+        Ok(Self { chain })
+    }
+}
+
+impl Recommender for SwitchingHybrid {
+    fn name(&self) -> &'static str {
+        "hybrid-switching"
+    }
+
+    fn predict(&self, ctx: &Ctx<'_>, user: UserId, item: ItemId) -> Result<Prediction> {
+        let mut last = Error::NoPrediction {
+            user,
+            item,
+            reason: "empty chain",
+        };
+        for rec in &self.chain {
+            match rec.predict(ctx, user, item) {
+                Ok(p) => return Ok(p),
+                Err(e) => last = e,
+            }
+        }
+        Err(last)
+    }
+
+    fn evidence(&self, ctx: &Ctx<'_>, user: UserId, item: ItemId) -> Result<ModelEvidence> {
+        let mut last = Error::NoPrediction {
+            user,
+            item,
+            reason: "empty chain",
+        };
+        for rec in &self.chain {
+            // Evidence must match the component that actually predicted.
+            if rec.predict(ctx, user, item).is_ok() {
+                return rec.evidence(ctx, user, item);
+            }
+            if let Err(e) = rec.predict(ctx, user, item) {
+                last = e;
+            }
+        }
+        Err(last)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::{GlobalMean, UserMean};
+    use exrec_data::{Catalog, RatingsMatrix};
+    use exrec_types::{DomainSchema, RatingScale};
+
+    fn fixtures() -> (RatingsMatrix, Catalog) {
+        let mut catalog = Catalog::new(DomainSchema::new("d", vec![]).unwrap());
+        for k in 0..3 {
+            catalog
+                .add(&format!("i{k}"), Default::default(), vec![])
+                .unwrap();
+        }
+        let mut m = RatingsMatrix::new(2, 3, RatingScale::FIVE_STAR);
+        m.rate(UserId(0), ItemId(0), 5.0).unwrap();
+        m.rate(UserId(0), ItemId(1), 5.0).unwrap();
+        m.rate(UserId(1), ItemId(0), 1.0).unwrap();
+        (m, catalog)
+    }
+
+    #[test]
+    fn weighted_blend_is_between_components() {
+        let (m, c) = fixtures();
+        let ctx = Ctx::new(&m, &c);
+        let hybrid = WeightedHybrid::new(vec![
+            (Box::new(UserMean), 1.0),
+            (Box::new(GlobalMean), 1.0),
+        ])
+        .unwrap();
+        let p = hybrid.predict(&ctx, UserId(0), ItemId(2)).unwrap();
+        let um = UserMean.predict(&ctx, UserId(0), ItemId(2)).unwrap().score;
+        let gm = GlobalMean.predict(&ctx, UserId(0), ItemId(2)).unwrap().score;
+        assert!((p.score - (um + gm) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_skips_failing_components() {
+        let (mut m, c) = fixtures();
+        m.ensure_users(3);
+        let ctx = Ctx::new(&m, &c);
+        let hybrid = WeightedHybrid::new(vec![
+            (Box::new(UserMean), 10.0),  // fails for user 2 (no ratings)
+            (Box::new(GlobalMean), 1.0),
+        ])
+        .unwrap();
+        let p = hybrid.predict(&ctx, UserId(2), ItemId(0)).unwrap();
+        let gm = GlobalMean.predict(&ctx, UserId(2), ItemId(0)).unwrap().score;
+        assert!((p.score - gm).abs() < 1e-9);
+    }
+
+    #[test]
+    fn switching_falls_back() {
+        let (mut m, c) = fixtures();
+        m.ensure_users(3);
+        let ctx = Ctx::new(&m, &c);
+        let hybrid = SwitchingHybrid::new(vec![Box::new(UserMean), Box::new(GlobalMean)]).unwrap();
+        // User 0 has ratings: UserMean wins.
+        let p = hybrid.predict(&ctx, UserId(0), ItemId(2)).unwrap();
+        assert!((p.score - 5.0).abs() < 1e-9);
+        // User 2 is cold: falls back to GlobalMean.
+        let p = hybrid.predict(&ctx, UserId(2), ItemId(2)).unwrap();
+        assert!((p.score - m.global_mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_configs() {
+        assert!(WeightedHybrid::new(vec![]).is_err());
+        assert!(WeightedHybrid::new(vec![(Box::new(GlobalMean), -1.0)]).is_err());
+        assert!(SwitchingHybrid::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn evidence_from_highest_weight() {
+        let (m, c) = fixtures();
+        let ctx = Ctx::new(&m, &c);
+        let hybrid = WeightedHybrid::new(vec![
+            (Box::new(UserMean), 5.0),
+            (Box::new(GlobalMean), 1.0),
+        ])
+        .unwrap();
+        // Both produce Popularity evidence; just confirm one arrives.
+        assert!(hybrid.evidence(&ctx, UserId(0), ItemId(2)).is_ok());
+    }
+}

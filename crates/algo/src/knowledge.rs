@@ -1,0 +1,414 @@
+//! Knowledge-based recommendation via multi-attribute utility (MAUT).
+//!
+//! This is the substrate behind the survey's *preference-based*
+//! explanations and the "user specifies their requirements" interaction
+//! (Section 5.1): the user states weighted requirements over schema
+//! attributes; items are filtered by hard constraints and ranked by
+//! weighted satisfaction. The per-attribute breakdown *is* the
+//! explanation ("price 450 satisfies your ≤ 500 budget…").
+
+use crate::recommender::{Ctx, ModelEvidence, Recommender, Scored, UtilityTerm};
+use exrec_types::{
+    AttrValue, Confidence, Error, Item, ItemId, Prediction, Result, UserId,
+};
+
+/// A single requirement's constraint.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Constraint {
+    /// Numeric value should be at most this (e.g. price ≤ 500).
+    AtMost(f64),
+    /// Numeric value should be at least this (e.g. resolution ≥ 8).
+    AtLeast(f64),
+    /// Numeric value should be near `target`; satisfaction decays to 0 at
+    /// `target ± tolerance`.
+    Near {
+        /// Preferred value.
+        target: f64,
+        /// Distance at which satisfaction reaches zero.
+        tolerance: f64,
+    },
+    /// Categorical value must equal this.
+    Equals(String),
+    /// Categorical value must be one of these.
+    OneOf(Vec<String>),
+    /// Flag must have this value.
+    Is(bool),
+}
+
+/// A weighted requirement over one attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Requirement {
+    /// Attribute name (must exist in the domain schema to match).
+    pub attribute: String,
+    /// The constraint.
+    pub constraint: Constraint,
+    /// Relative importance (> 0).
+    pub weight: f64,
+    /// Hard requirements filter items that miss them; soft ones only
+    /// lower the score.
+    pub hard: bool,
+}
+
+impl Requirement {
+    /// A soft requirement with weight 1.
+    pub fn soft(attribute: &str, constraint: Constraint) -> Self {
+        Self {
+            attribute: attribute.to_owned(),
+            constraint,
+            weight: 1.0,
+            hard: false,
+        }
+    }
+
+    /// A hard requirement with weight 1.
+    pub fn hard(attribute: &str, constraint: Constraint) -> Self {
+        Self {
+            attribute: attribute.to_owned(),
+            constraint,
+            weight: 1.0,
+            hard: true,
+        }
+    }
+
+    /// Adjusts the weight (builder style).
+    pub fn with_weight(mut self, weight: f64) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Satisfaction of `item` in `[0, 1]`, plus a human-readable account.
+    pub fn satisfaction(&self, item: &Item) -> (f64, String) {
+        let value = item.attrs.get(&self.attribute);
+        match (&self.constraint, value) {
+            (Constraint::AtMost(limit), Some(AttrValue::Num(v))) => {
+                if v <= limit {
+                    (1.0, format!("{} {v} is within your limit of {limit}", self.attribute))
+                } else {
+                    let s = (1.0 - (v - limit) / limit.abs().max(1e-9)).max(0.0);
+                    (s, format!("{} {v} exceeds your limit of {limit}", self.attribute))
+                }
+            }
+            (Constraint::AtLeast(floor), Some(AttrValue::Num(v))) => {
+                if v >= floor {
+                    (1.0, format!("{} {v} meets your minimum of {floor}", self.attribute))
+                } else {
+                    let s = (v / floor.abs().max(1e-9)).clamp(0.0, 1.0);
+                    (s, format!("{} {v} is below your minimum of {floor}", self.attribute))
+                }
+            }
+            (Constraint::Near { target, tolerance }, Some(AttrValue::Num(v))) => {
+                let s = (1.0 - (v - target).abs() / tolerance.max(1e-9)).max(0.0);
+                (s, format!("{} {v} vs preferred {target}", self.attribute))
+            }
+            (Constraint::Equals(want), Some(AttrValue::Cat(have))) => {
+                if want == have {
+                    (1.0, format!("{} is {have}, as requested", self.attribute))
+                } else {
+                    (0.0, format!("{} is {have}, not {want}", self.attribute))
+                }
+            }
+            (Constraint::OneOf(wants), Some(AttrValue::Cat(have))) => {
+                if wants.iter().any(|w| w == have) {
+                    (1.0, format!("{} is {have}, one of your choices", self.attribute))
+                } else {
+                    (0.0, format!("{} is {have}, not among your choices", self.attribute))
+                }
+            }
+            (Constraint::Is(want), Some(AttrValue::Flag(have))) => {
+                if want == have {
+                    (1.0, format!("{} requirement met", self.attribute))
+                } else {
+                    (0.0, format!("{} requirement not met", self.attribute))
+                }
+            }
+            _ => (0.0, format!("{} is not specified for this item", self.attribute)),
+        }
+    }
+}
+
+/// A MAUT scorer over a set of requirements.
+///
+/// User-independent: requirements belong to a session, not to a learned
+/// profile, so the same instance serves any user.
+///
+/// ```
+/// use exrec_algo::knowledge::{Constraint, Maut, Requirement};
+/// use exrec_types::{AttributeSet, Item, ItemId};
+///
+/// let maut = Maut::new(vec![
+///     Requirement::soft("price", Constraint::AtMost(500.0)).with_weight(2.0),
+/// ])?;
+/// let camera = Item::new(ItemId::new(0), "Lumora C200")
+///     .with_attrs(AttributeSet::new().with("price", 450.0));
+/// let (utility, terms) = maut.utility(&camera);
+/// assert_eq!(utility, 1.0);
+/// assert!(terms[0].detail.contains("within your limit"));
+/// # Ok::<(), exrec_types::Error>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Maut {
+    requirements: Vec<Requirement>,
+}
+
+impl Maut {
+    /// Builds a scorer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when any weight is non-positive.
+    pub fn new(requirements: Vec<Requirement>) -> Result<Self> {
+        if requirements.iter().any(|r| r.weight <= 0.0) {
+            return Err(Error::InvalidConfig {
+                parameter: "weight",
+                constraint: "all requirement weights > 0".to_owned(),
+            });
+        }
+        Ok(Self { requirements })
+    }
+
+    /// The active requirements.
+    pub fn requirements(&self) -> &[Requirement] {
+        &self.requirements
+    }
+
+    /// Adds a requirement.
+    pub fn add(&mut self, req: Requirement) {
+        self.requirements.push(req);
+    }
+
+    /// Removes all requirements on `attribute`, returning how many were
+    /// dropped (used by critique "repair actions").
+    pub fn relax(&mut self, attribute: &str) -> usize {
+        let before = self.requirements.len();
+        self.requirements.retain(|r| r.attribute != attribute);
+        before - self.requirements.len()
+    }
+
+    /// Whether `item` passes every *hard* requirement.
+    pub fn passes_hard(&self, item: &Item) -> bool {
+        self.requirements
+            .iter()
+            .filter(|r| r.hard)
+            .all(|r| r.satisfaction(item).0 >= 1.0 - 1e-9)
+    }
+
+    /// The weighted utility of `item` in `[0, 1]` plus per-term breakdown.
+    /// An empty requirement set scores 0.5 everywhere (indifference).
+    pub fn utility(&self, item: &Item) -> (f64, Vec<UtilityTerm>) {
+        if self.requirements.is_empty() {
+            return (0.5, Vec::new());
+        }
+        let mut terms = Vec::with_capacity(self.requirements.len());
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for req in &self.requirements {
+            let (s, detail) = req.satisfaction(item);
+            num += req.weight * s;
+            den += req.weight;
+            terms.push(UtilityTerm {
+                attribute: req.attribute.clone(),
+                satisfaction: s,
+                weight: req.weight,
+                detail,
+            });
+        }
+        (num / den, terms)
+    }
+
+    /// Ranks catalog items by utility, filtering hard-requirement misses.
+    pub fn rank<'a>(&self, ctx: &Ctx<'a>, n: usize) -> Vec<Scored> {
+        let scale = ctx.ratings.scale();
+        let mut scored: Vec<Scored> = ctx
+            .catalog
+            .iter()
+            .filter(|it| self.passes_hard(it))
+            .map(|it| {
+                let (u, _) = self.utility(it);
+                Scored {
+                    item: it.id,
+                    prediction: Prediction::new(
+                        scale.denormalize_continuous(u),
+                        Confidence::CERTAIN,
+                    ),
+                }
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            b.prediction
+                .score
+                .partial_cmp(&a.prediction.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.item.cmp(&b.item))
+        });
+        scored.truncate(n);
+        scored
+    }
+}
+
+impl Recommender for Maut {
+    fn name(&self) -> &'static str {
+        "maut"
+    }
+
+    fn predict(&self, ctx: &Ctx<'_>, _user: UserId, item: ItemId) -> Result<Prediction> {
+        let it = ctx.catalog.get(item)?;
+        let (u, _) = self.utility(it);
+        Ok(Prediction::new(
+            ctx.ratings.scale().denormalize_continuous(u),
+            Confidence::CERTAIN,
+        ))
+    }
+
+    fn evidence(&self, ctx: &Ctx<'_>, _user: UserId, item: ItemId) -> Result<ModelEvidence> {
+        let it = ctx.catalog.get(item)?;
+        let (total, terms) = self.utility(it);
+        Ok(ModelEvidence::Utility { terms, total })
+    }
+
+    fn recommend(&self, ctx: &Ctx<'_>, user: UserId, n: usize) -> Vec<Scored> {
+        // Knowledge-based ranking ignores rating history but still skips
+        // items the user already rated, like every other recommender.
+        self.rank(ctx, usize::MAX)
+            .into_iter()
+            .filter(|s| ctx.ratings.rating(user, s.item).is_none())
+            .take(n)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exrec_data::synth::{cameras, WorldConfig};
+    use exrec_data::World;
+
+    fn world() -> World {
+        cameras::generate(&WorldConfig {
+            n_items: 40,
+            n_users: 5,
+            ..WorldConfig::default()
+        })
+    }
+
+    #[test]
+    fn weights_must_be_positive() {
+        let req = Requirement::soft("price", Constraint::AtMost(500.0)).with_weight(0.0);
+        assert!(Maut::new(vec![req]).is_err());
+    }
+
+    #[test]
+    fn hard_constraints_filter() {
+        let w = world();
+        let ctx = Ctx::new(&w.ratings, &w.catalog);
+        let maut = Maut::new(vec![Requirement::hard(
+            "price",
+            Constraint::AtMost(400.0),
+        )])
+        .unwrap();
+        let ranked = maut.rank(&ctx, 100);
+        assert!(!ranked.is_empty());
+        for s in &ranked {
+            let item = w.catalog.get(s.item).unwrap();
+            assert!(item.attrs.num("price").unwrap() <= 400.0);
+        }
+    }
+
+    #[test]
+    fn soft_constraints_rank() {
+        let w = world();
+        let ctx = Ctx::new(&w.ratings, &w.catalog);
+        let maut = Maut::new(vec![
+            Requirement::soft("price", Constraint::AtMost(300.0)).with_weight(2.0),
+            Requirement::soft("resolution", Constraint::AtLeast(10.0)),
+        ])
+        .unwrap();
+        let ranked = maut.rank(&ctx, w.catalog.len());
+        assert_eq!(ranked.len(), w.catalog.len(), "soft constraints filter nothing");
+        assert!(ranked
+            .windows(2)
+            .all(|p| p[0].prediction.score >= p[1].prediction.score));
+    }
+
+    #[test]
+    fn utility_breakdown_matches_total() {
+        let w = world();
+        let item = w.catalog.get(ItemId::new(0)).unwrap();
+        let maut = Maut::new(vec![
+            Requirement::soft("price", Constraint::AtMost(500.0)).with_weight(3.0),
+            Requirement::soft("flash", Constraint::Is(true)),
+        ])
+        .unwrap();
+        let (total, terms) = maut.utility(item);
+        let manual: f64 = terms.iter().map(|t| t.weight * t.satisfaction).sum::<f64>()
+            / terms.iter().map(|t| t.weight).sum::<f64>();
+        assert!((total - manual).abs() < 1e-12);
+        assert_eq!(terms.len(), 2);
+        assert!(terms.iter().all(|t| (0.0..=1.0).contains(&t.satisfaction)));
+    }
+
+    #[test]
+    fn near_constraint_decays() {
+        let req = Requirement::soft(
+            "zoom",
+            Constraint::Near {
+                target: 10.0,
+                tolerance: 5.0,
+            },
+        );
+        let mk = |zoom: f64| {
+            Item::new(ItemId::new(0), "c").with_attrs(
+                exrec_types::AttributeSet::new().with("zoom", zoom),
+            )
+        };
+        assert!((req.satisfaction(&mk(10.0)).0 - 1.0).abs() < 1e-9);
+        assert!((req.satisfaction(&mk(12.5)).0 - 0.5).abs() < 1e-9);
+        assert_eq!(req.satisfaction(&mk(20.0)).0, 0.0);
+    }
+
+    #[test]
+    fn missing_attribute_scores_zero() {
+        let req = Requirement::soft("nonexistent", Constraint::AtMost(1.0));
+        let item = Item::new(ItemId::new(0), "x");
+        let (s, detail) = req.satisfaction(&item);
+        assert_eq!(s, 0.0);
+        assert!(detail.contains("not specified"));
+    }
+
+    #[test]
+    fn relax_removes_requirements() {
+        let mut maut = Maut::new(vec![
+            Requirement::hard("price", Constraint::AtMost(100.0)),
+            Requirement::soft("price", Constraint::Near {
+                target: 80.0,
+                tolerance: 20.0,
+            }),
+            Requirement::soft("zoom", Constraint::AtLeast(5.0)),
+        ])
+        .unwrap();
+        assert_eq!(maut.relax("price"), 2);
+        assert_eq!(maut.requirements().len(), 1);
+        assert_eq!(maut.relax("price"), 0);
+    }
+
+    #[test]
+    fn evidence_is_utility() {
+        let w = world();
+        let ctx = Ctx::new(&w.ratings, &w.catalog);
+        let maut = Maut::new(vec![Requirement::soft("price", Constraint::AtMost(500.0))]).unwrap();
+        match maut.evidence(&ctx, UserId(0), ItemId(0)).unwrap() {
+            ModelEvidence::Utility { terms, total } => {
+                assert_eq!(terms.len(), 1);
+                assert!((0.0..=1.0).contains(&total));
+            }
+            other => panic!("wrong evidence {}", other.kind()),
+        }
+    }
+
+    #[test]
+    fn empty_requirements_are_indifferent() {
+        let maut = Maut::default();
+        let item = Item::new(ItemId::new(0), "x");
+        assert_eq!(maut.utility(&item).0, 0.5);
+        assert!(maut.passes_hard(&item));
+    }
+}

@@ -1,0 +1,42 @@
+//! # exrec-algo
+//!
+//! Recommender substrates for the `exrec` toolkit. The survey
+//! (Tintarev & Masthoff, ICDE'07) classifies explanation *content* as
+//! collaborative-based, content-based or preference-based, independent of
+//! the algorithm; this crate supplies one or more algorithms behind each
+//! content type:
+//!
+//! * **collaborative** — user-based and item-based k-nearest-neighbour CF
+//!   ([`UserKnn`], [`ItemKnn`]);
+//! * **content** — TF-IDF/Rocchio profiles ([`content::TfIdfModel`]) and a
+//!   LIBRA-style naive-Bayes model with per-feature and per-rated-item
+//!   influence ([`content::NaiveBayesModel`]);
+//! * **preference/knowledge** — multi-attribute utility scoring over
+//!   explicit requirements ([`knowledge::Maut`]);
+//! * plus association-rule mining for dynamic compound critiques
+//!   ([`assoc`]), hybrids, baselines and evaluation metrics.
+//!
+//! Every model can return typed [`ModelEvidence`] for a `(user, item)`
+//! pair — the raw material the explanation engine (`exrec-core`) renders
+//! into the survey's explanation interfaces.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod assoc;
+pub mod baseline;
+pub mod content;
+pub mod hybrid;
+pub mod item_knn;
+pub mod knowledge;
+pub mod metrics;
+pub mod mf;
+pub mod neighbors;
+pub mod recommender;
+pub mod similarity;
+pub mod user_knn;
+
+pub use item_knn::ItemKnn;
+pub use recommender::{Ctx, ModelEvidence, Recommender, Scored};
+pub use similarity::Similarity;
+pub use user_knn::UserKnn;

@@ -1,0 +1,215 @@
+//! Accuracy and beyond-accuracy metrics.
+//!
+//! The survey's Section 1 cites the field's turn away from pure accuracy
+//! (MAE, precision/recall) toward satisfaction-adjacent measures
+//! (serendipity, diversity). Both families are provided: studies use
+//! accuracy metrics for the effectiveness criterion (Section 3.5) and the
+//! beyond-accuracy set for the "personality" ablations (Section 4.6).
+
+use crate::recommender::{Ctx, Recommender};
+use exrec_types::{ItemId, UserId};
+use std::collections::HashSet;
+
+/// Mean absolute error over `(predicted, actual)` pairs; `None` if empty.
+pub fn mae(pairs: &[(f64, f64)]) -> Option<f64> {
+    if pairs.is_empty() {
+        return None;
+    }
+    Some(pairs.iter().map(|&(p, a)| (p - a).abs()).sum::<f64>() / pairs.len() as f64)
+}
+
+/// Root-mean-square error over `(predicted, actual)` pairs; `None` if
+/// empty.
+pub fn rmse(pairs: &[(f64, f64)]) -> Option<f64> {
+    if pairs.is_empty() {
+        return None;
+    }
+    Some(
+        (pairs.iter().map(|&(p, a)| (p - a) * (p - a)).sum::<f64>() / pairs.len() as f64)
+            .sqrt(),
+    )
+}
+
+/// Precision@k and recall@k of a ranked list against a relevant set.
+/// Returns `(precision, recall)`; precision is `None` when the list is
+/// empty, recall is `None` when the relevant set is empty.
+pub fn precision_recall_at_k(
+    ranked: &[ItemId],
+    relevant: &HashSet<ItemId>,
+    k: usize,
+) -> (Option<f64>, Option<f64>) {
+    let top: Vec<&ItemId> = ranked.iter().take(k).collect();
+    let hits = top.iter().filter(|i| relevant.contains(i)).count();
+    let precision = if top.is_empty() {
+        None
+    } else {
+        Some(hits as f64 / top.len() as f64)
+    };
+    let recall = if relevant.is_empty() {
+        None
+    } else {
+        Some(hits as f64 / relevant.len() as f64)
+    };
+    (precision, recall)
+}
+
+/// F1 from precision and recall; `None` when either is missing or both
+/// are 0.
+pub fn f1(precision: Option<f64>, recall: Option<f64>) -> Option<f64> {
+    match (precision, recall) {
+        (Some(p), Some(r)) if p + r > 0.0 => Some(2.0 * p * r / (p + r)),
+        _ => None,
+    }
+}
+
+/// Catalog coverage: fraction of catalog items that appear in at least
+/// one user's top-n recommendations.
+pub fn coverage(rec: &dyn Recommender, ctx: &Ctx<'_>, users: &[UserId], n: usize) -> f64 {
+    if ctx.catalog.is_empty() {
+        return 0.0;
+    }
+    let mut seen: HashSet<ItemId> = HashSet::new();
+    for &u in users {
+        for s in rec.recommend(ctx, u, n) {
+            seen.insert(s.item);
+        }
+    }
+    seen.len() as f64 / ctx.catalog.len() as f64
+}
+
+/// Intra-list diversity: mean pairwise distance `1 − sim(i, j)` over a
+/// recommendation list, for any similarity in `[-1, 1]`. Returns `None`
+/// for lists shorter than 2.
+pub fn intra_list_diversity<F>(items: &[ItemId], mut sim: F) -> Option<f64>
+where
+    F: FnMut(ItemId, ItemId) -> f64,
+{
+    if items.len() < 2 {
+        return None;
+    }
+    let mut total = 0.0;
+    let mut pairs = 0usize;
+    for a in 0..items.len() {
+        for b in (a + 1)..items.len() {
+            total += 1.0 - sim(items[a], items[b]);
+            pairs += 1;
+        }
+    }
+    Some(total / pairs as f64)
+}
+
+/// Novelty: mean self-information `−log2(popularity)` of recommended
+/// items, where popularity is the fraction of users who rated the item.
+/// Unrated items count as rated-by-one for finiteness. `None` for empty
+/// lists or a user-less matrix.
+pub fn novelty(items: &[ItemId], ctx: &Ctx<'_>) -> Option<f64> {
+    if items.is_empty() || ctx.ratings.n_users() == 0 {
+        return None;
+    }
+    let n_users = ctx.ratings.n_users() as f64;
+    let total: f64 = items
+        .iter()
+        .map(|&i| {
+            let raters = ctx.ratings.item_ratings(i).len().max(1) as f64;
+            -(raters / n_users).log2()
+        })
+        .sum();
+    Some(total / items.len() as f64)
+}
+
+/// Serendipity: fraction of recommended relevant items that a trivial
+/// baseline would *not* have recommended (McNee-style "unexpected and
+/// useful"). `None` when `recommended` is empty.
+pub fn serendipity(
+    recommended: &[ItemId],
+    baseline: &[ItemId],
+    relevant: &HashSet<ItemId>,
+) -> Option<f64> {
+    if recommended.is_empty() {
+        return None;
+    }
+    let base: HashSet<&ItemId> = baseline.iter().collect();
+    let unexpected_useful = recommended
+        .iter()
+        .filter(|i| relevant.contains(i) && !base.contains(i))
+        .count();
+    Some(unexpected_useful as f64 / recommended.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mae_and_rmse() {
+        let pairs = vec![(3.0, 4.0), (5.0, 3.0)];
+        assert!((mae(&pairs).unwrap() - 1.5).abs() < 1e-12);
+        assert!((rmse(&pairs).unwrap() - (2.5f64).sqrt()).abs() < 1e-12);
+        assert!(mae(&[]).is_none());
+        assert!(rmse(&[]).is_none());
+        // RMSE >= MAE always.
+        assert!(rmse(&pairs).unwrap() >= mae(&pairs).unwrap());
+    }
+
+    #[test]
+    fn precision_recall() {
+        let ranked: Vec<ItemId> = [1, 2, 3, 4, 5].iter().map(|&i| ItemId(i)).collect();
+        let relevant: HashSet<ItemId> = [2u32, 4, 9].iter().map(|&i| ItemId(i)).collect();
+        let (p, r) = precision_recall_at_k(&ranked, &relevant, 4);
+        assert!((p.unwrap() - 0.5).abs() < 1e-12);
+        assert!((r.unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        let (p, _) = precision_recall_at_k(&[], &relevant, 4);
+        assert!(p.is_none());
+        let (_, r) = precision_recall_at_k(&ranked, &HashSet::new(), 4);
+        assert!(r.is_none());
+    }
+
+    #[test]
+    fn f1_harmonic() {
+        assert!((f1(Some(0.5), Some(1.0)).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert!(f1(Some(0.0), Some(0.0)).is_none());
+        assert!(f1(None, Some(1.0)).is_none());
+    }
+
+    #[test]
+    fn diversity_bounds() {
+        let items: Vec<ItemId> = (0..3).map(ItemId).collect();
+        // All identical → diversity 0.
+        assert!((intra_list_diversity(&items, |_, _| 1.0).unwrap()).abs() < 1e-12);
+        // All orthogonal → diversity 1.
+        assert!((intra_list_diversity(&items, |_, _| 0.0).unwrap() - 1.0).abs() < 1e-12);
+        assert!(intra_list_diversity(&items[..1], |_, _| 0.0).is_none());
+    }
+
+    #[test]
+    fn novelty_prefers_obscure() {
+        use exrec_data::{Catalog, RatingsMatrix};
+        use exrec_types::{DomainSchema, RatingScale};
+        let mut catalog = Catalog::new(DomainSchema::new("d", vec![]).unwrap());
+        for k in 0..2 {
+            catalog
+                .add(&format!("i{k}"), Default::default(), vec![])
+                .unwrap();
+        }
+        let mut m = RatingsMatrix::new(10, 2, RatingScale::FIVE_STAR);
+        for u in 0..10u32 {
+            m.rate(UserId(u), ItemId(0), 3.0).unwrap(); // popular
+        }
+        m.rate(UserId(0), ItemId(1), 3.0).unwrap(); // obscure
+        let ctx = Ctx::new(&m, &catalog);
+        let pop = novelty(&[ItemId(0)], &ctx).unwrap();
+        let obs = novelty(&[ItemId(1)], &ctx).unwrap();
+        assert!(obs > pop);
+        assert!(novelty(&[], &ctx).is_none());
+    }
+
+    #[test]
+    fn serendipity_counts_unexpected_hits() {
+        let rec: Vec<ItemId> = [1u32, 2, 3].iter().map(|&i| ItemId(i)).collect();
+        let base: Vec<ItemId> = [1u32].iter().map(|&i| ItemId(i)).collect();
+        let relevant: HashSet<ItemId> = [1u32, 2].iter().map(|&i| ItemId(i)).collect();
+        // Item 2 is relevant and not in baseline → 1/3.
+        assert!((serendipity(&rec, &base, &relevant).unwrap() - 1.0 / 3.0).abs() < 1e-12);
+        assert!(serendipity(&[], &base, &relevant).is_none());
+    }
+}

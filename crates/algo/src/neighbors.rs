@@ -1,0 +1,51 @@
+//! Top-k selection of weighted neighbours.
+
+/// Keeps the `k` entries with the largest key, in descending key order.
+///
+/// A simple partial sort: at the sizes the toolkit handles (thousands of
+/// candidates) a full `sort_unstable_by` then truncate beats heap
+/// management; the function exists to make intent explicit and keep the
+/// tie-break rule (stable index order) in one place.
+pub fn top_k_by<T, F>(mut items: Vec<T>, k: usize, mut key: F) -> Vec<T>
+where
+    F: FnMut(&T) -> f64,
+{
+    items.sort_by(|a, b| {
+        key(b)
+            .partial_cmp(&key(a))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    items.truncate(k);
+    items
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selects_largest() {
+        let v = vec![1.0f64, 5.0, 3.0, 4.0, 2.0];
+        let top = top_k_by(v, 2, |x| *x);
+        assert_eq!(top, vec![5.0, 4.0]);
+    }
+
+    #[test]
+    fn k_larger_than_input() {
+        let v = vec![1.0f64, 2.0];
+        assert_eq!(top_k_by(v, 10, |x| *x), vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn k_zero() {
+        let v = vec![1.0f64, 2.0];
+        assert!(top_k_by(v, 0, |x| *x).is_empty());
+    }
+
+    #[test]
+    fn nan_keys_do_not_panic() {
+        let v = vec![1.0f64, f64::NAN, 2.0];
+        let top = top_k_by(v, 3, |x| *x);
+        assert_eq!(top.len(), 3);
+    }
+}

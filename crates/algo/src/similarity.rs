@@ -1,0 +1,161 @@
+//! Similarity measures over co-rating vectors.
+//!
+//! All measures consume the `(value_a, value_b)` pairs produced by
+//! [`exrec_data::RatingsMatrix::co_rated`] / `co_raters` and return a
+//! score in `[-1, 1]` (Jaccard: `[0, 1]`). Significance weighting damps
+//! similarities computed from few overlapping ratings — the classic
+//! Herlocker correction, which also drives *confidence* in explanations.
+
+/// Choice of similarity measure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Similarity {
+    /// Pearson correlation of co-ratings (mean-centred per vector).
+    #[default]
+    Pearson,
+    /// Raw cosine of co-ratings.
+    Cosine,
+    /// Cosine of co-ratings centred on each rater's own mean — the
+    /// standard choice for item-based CF.
+    AdjustedCosine,
+    /// Overlap / union of the rated sets, ignoring values.
+    Jaccard,
+}
+
+impl Similarity {
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Similarity::Pearson => "pearson",
+            Similarity::Cosine => "cosine",
+            Similarity::AdjustedCosine => "adjusted-cosine",
+            Similarity::Jaccard => "jaccard",
+        }
+    }
+}
+
+/// Pearson correlation over co-rating pairs. Returns 0 when fewer than 2
+/// pairs or when either side has zero variance.
+pub fn pearson(pairs: &[(f64, f64)]) -> f64 {
+    if pairs.len() < 2 {
+        return 0.0;
+    }
+    let n = pairs.len() as f64;
+    let (ma, mb) = pairs
+        .iter()
+        .fold((0.0, 0.0), |(a, b), &(x, y)| (a + x, b + y));
+    let (ma, mb) = (ma / n, mb / n);
+    let (mut num, mut da, mut db) = (0.0, 0.0, 0.0);
+    for &(x, y) in pairs {
+        num += (x - ma) * (y - mb);
+        da += (x - ma) * (x - ma);
+        db += (y - mb) * (y - mb);
+    }
+    if da <= 1e-12 || db <= 1e-12 {
+        0.0
+    } else {
+        (num / (da.sqrt() * db.sqrt())).clamp(-1.0, 1.0)
+    }
+}
+
+/// Raw cosine over co-rating pairs. Returns 0 for empty input or a zero
+/// vector.
+pub fn cosine(pairs: &[(f64, f64)]) -> f64 {
+    let (mut num, mut da, mut db) = (0.0, 0.0, 0.0);
+    for &(x, y) in pairs {
+        num += x * y;
+        da += x * x;
+        db += y * y;
+    }
+    if da <= 1e-12 || db <= 1e-12 {
+        0.0
+    } else {
+        (num / (da.sqrt() * db.sqrt())).clamp(-1.0, 1.0)
+    }
+}
+
+/// Adjusted cosine: pairs are `(value_a - rater_mean, value_b -
+/// rater_mean)` deltas prepared by the caller; this is plain cosine over
+/// those deltas, provided separately to make intent explicit at call
+/// sites.
+pub fn adjusted_cosine(centred_pairs: &[(f64, f64)]) -> f64 {
+    cosine(centred_pairs)
+}
+
+/// Jaccard index from overlap and set sizes.
+pub fn jaccard(overlap: usize, len_a: usize, len_b: usize) -> f64 {
+    let union = len_a + len_b - overlap;
+    if union == 0 {
+        0.0
+    } else {
+        overlap as f64 / union as f64
+    }
+}
+
+/// Significance weighting: scales `sim` by `overlap / threshold` when the
+/// overlap is below `threshold` (Herlocker et al.'s n/50 correction).
+pub fn significance_weight(sim: f64, overlap: usize, threshold: usize) -> f64 {
+    if threshold == 0 || overlap >= threshold {
+        sim
+    } else {
+        sim * overlap as f64 / threshold as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let pairs = vec![(1.0, 2.0), (2.0, 4.0), (3.0, 6.0)];
+        assert!((pearson(&pairs) - 1.0).abs() < 1e-9);
+        let anti = vec![(1.0, 6.0), (2.0, 4.0), (3.0, 2.0)];
+        assert!((pearson(&anti) + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pearson_degenerate_cases() {
+        assert_eq!(pearson(&[]), 0.0);
+        assert_eq!(pearson(&[(3.0, 4.0)]), 0.0);
+        // Zero variance on one side.
+        assert_eq!(pearson(&[(3.0, 1.0), (3.0, 5.0)]), 0.0);
+    }
+
+    #[test]
+    fn cosine_basic() {
+        assert!((cosine(&[(1.0, 1.0), (1.0, 1.0)]) - 1.0).abs() < 1e-9);
+        assert!((cosine(&[(1.0, -1.0)]) + 1.0).abs() < 1e-9);
+        assert_eq!(cosine(&[]), 0.0);
+        assert_eq!(cosine(&[(0.0, 5.0)]), 0.0);
+    }
+
+    #[test]
+    fn jaccard_basic() {
+        assert_eq!(jaccard(0, 0, 0), 0.0);
+        assert!((jaccard(2, 3, 3) - 0.5).abs() < 1e-9);
+        assert!((jaccard(3, 3, 3) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn significance_weighting_damps_small_overlap() {
+        assert!((significance_weight(0.8, 25, 50) - 0.4).abs() < 1e-9);
+        assert_eq!(significance_weight(0.8, 60, 50), 0.8);
+        assert_eq!(significance_weight(0.8, 10, 0), 0.8);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Similarity::Pearson.name(), "pearson");
+        assert_eq!(Similarity::default(), Similarity::Pearson);
+    }
+
+    #[test]
+    fn scores_clamped() {
+        // Numerically awkward input should never exceed [-1, 1].
+        let pairs: Vec<(f64, f64)> = (0..100).map(|i| (i as f64 * 1e8, i as f64 * 1e8)).collect();
+        let p = pearson(&pairs);
+        assert!((-1.0..=1.0).contains(&p));
+        let c = cosine(&pairs);
+        assert!((-1.0..=1.0).contains(&c));
+    }
+}

@@ -1,0 +1,344 @@
+//! User-based k-nearest-neighbour collaborative filtering.
+//!
+//! The classic Resnick/GroupLens predictor behind "people like you
+//! liked…" explanations and Herlocker et al.'s neighbour-ratings
+//! histogram (the best-performing interface in the survey's Section 3.4).
+//!
+//! Predictions are mean-centred:
+//! `p(u,i) = mean(u) + Σ sim(u,v)·(r(v,i) − mean(v)) / Σ |sim(u,v)|`
+//! over the top-k most similar users who rated `i`. Confidence grows with
+//! the number of contributing neighbours and their agreement.
+
+use crate::neighbors::top_k_by;
+use crate::recommender::{Ctx, ModelEvidence, NeighborContribution, Recommender};
+use crate::similarity::{self, Similarity};
+use exrec_types::{Confidence, Error, ItemId, Prediction, Result, UserId};
+
+/// Configuration for [`UserKnn`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct UserKnnConfig {
+    /// Neighbourhood size.
+    pub k: usize,
+    /// Similarity measure over co-ratings.
+    pub similarity: Similarity,
+    /// Minimum co-rated items for a neighbour to count at all.
+    pub min_overlap: usize,
+    /// Significance-weighting threshold (0 disables).
+    pub significance: usize,
+    /// Drop neighbours with similarity at or below this value.
+    pub min_similarity: f64,
+}
+
+impl Default for UserKnnConfig {
+    fn default() -> Self {
+        Self {
+            k: 20,
+            similarity: Similarity::Pearson,
+            min_overlap: 2,
+            significance: 20,
+            min_similarity: 0.0,
+        }
+    }
+}
+
+/// User-based kNN recommender. Stateless: similarities are computed
+/// against the live ratings matrix on every call, so mid-session re-rating
+/// (survey Section 5.3) is observed immediately.
+#[derive(Debug, Clone, Default)]
+pub struct UserKnn {
+    config: UserKnnConfig,
+}
+
+impl UserKnn {
+    /// Builds a recommender with the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] for `k == 0`.
+    pub fn new(config: UserKnnConfig) -> Result<Self> {
+        if config.k == 0 {
+            return Err(Error::InvalidConfig {
+                parameter: "k",
+                constraint: "k >= 1".to_owned(),
+            });
+        }
+        Ok(Self { config })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &UserKnnConfig {
+        &self.config
+    }
+
+    fn similarity(&self, ctx: &Ctx<'_>, a: UserId, b: UserId) -> f64 {
+        let co = ctx.ratings.co_rated(a, b);
+        if co.len() < self.config.min_overlap {
+            return 0.0;
+        }
+        let pairs: Vec<(f64, f64)> = co.iter().map(|&(_, x, y)| (x, y)).collect();
+        let raw = match self.config.similarity {
+            Similarity::Pearson => similarity::pearson(&pairs),
+            Similarity::Cosine => similarity::cosine(&pairs),
+            Similarity::AdjustedCosine => {
+                // For user-user, adjusted == centring on each user's mean.
+                let ma = ctx.ratings.user_mean(a).unwrap_or_default();
+                let mb = ctx.ratings.user_mean(b).unwrap_or_default();
+                let centred: Vec<(f64, f64)> =
+                    pairs.iter().map(|&(x, y)| (x - ma, y - mb)).collect();
+                similarity::adjusted_cosine(&centred)
+            }
+            Similarity::Jaccard => similarity::jaccard(
+                co.len(),
+                ctx.ratings.user_ratings(a).len(),
+                ctx.ratings.user_ratings(b).len(),
+            ),
+        };
+        similarity::significance_weight(raw, co.len(), self.config.significance)
+    }
+
+    /// The top-k neighbours of `user` *who rated `item`*, strongest first.
+    pub fn neighbors(
+        &self,
+        ctx: &Ctx<'_>,
+        user: UserId,
+        item: ItemId,
+    ) -> Vec<NeighborContribution> {
+        let raters = ctx.ratings.item_ratings(item);
+        let candidates: Vec<NeighborContribution> = raters
+            .iter()
+            .filter(|&&(v, _)| v != user)
+            .filter_map(|&(v, rating)| {
+                let s = self.similarity(ctx, user, v);
+                (s > self.config.min_similarity).then_some(NeighborContribution {
+                    user: v,
+                    similarity: s,
+                    rating,
+                })
+            })
+            .collect();
+        top_k_by(candidates, self.config.k, |n| n.similarity)
+    }
+
+    fn check_ids(&self, ctx: &Ctx<'_>, user: UserId, item: ItemId) -> Result<()> {
+        if user.index() >= ctx.ratings.n_users() {
+            return Err(Error::UnknownUser { user });
+        }
+        if item.index() >= ctx.ratings.n_items() {
+            return Err(Error::UnknownItem { item });
+        }
+        Ok(())
+    }
+}
+
+impl Recommender for UserKnn {
+    fn name(&self) -> &'static str {
+        "user-knn"
+    }
+
+    fn predict(&self, ctx: &Ctx<'_>, user: UserId, item: ItemId) -> Result<Prediction> {
+        self.check_ids(ctx, user, item)?;
+        let user_mean = ctx
+            .ratings
+            .user_mean(user)
+            .unwrap_or_else(|| ctx.ratings.global_mean());
+        let neighbors = self.neighbors(ctx, user, item);
+        if neighbors.is_empty() {
+            return Err(Error::NoPrediction {
+                user,
+                item,
+                reason: "no similar users rated this item",
+            });
+        }
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for n in &neighbors {
+            let n_mean = ctx
+                .ratings
+                .user_mean(n.user)
+                .unwrap_or_else(|| ctx.ratings.global_mean());
+            num += n.similarity * (n.rating - n_mean);
+            den += n.similarity.abs();
+        }
+        if den <= 1e-12 {
+            return Err(Error::NoPrediction {
+                user,
+                item,
+                reason: "neighbour similarities cancel out",
+            });
+        }
+        let score = ctx.ratings.scale().bound(user_mean + num / den);
+
+        // Confidence: neighbourhood fill × rating agreement.
+        let fill = neighbors.len() as f64 / self.config.k as f64;
+        let mean_rating =
+            neighbors.iter().map(|n| n.rating).sum::<f64>() / neighbors.len() as f64;
+        let var = neighbors
+            .iter()
+            .map(|n| (n.rating - mean_rating).powi(2))
+            .sum::<f64>()
+            / neighbors.len() as f64;
+        let span = ctx.ratings.scale().span();
+        let agreement = 1.0 - (var.sqrt() / (span / 2.0)).min(1.0);
+        let confidence = Confidence::new(fill.min(1.0) * (0.3 + 0.7 * agreement));
+
+        Ok(Prediction::new(score, confidence))
+    }
+
+    fn evidence(&self, ctx: &Ctx<'_>, user: UserId, item: ItemId) -> Result<ModelEvidence> {
+        self.check_ids(ctx, user, item)?;
+        let neighbors = self.neighbors(ctx, user, item);
+        if neighbors.is_empty() {
+            return Err(Error::NoPrediction {
+                user,
+                item,
+                reason: "no similar users rated this item",
+            });
+        }
+        Ok(ModelEvidence::UserNeighbors { neighbors })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exrec_data::synth::{movies, WorldConfig};
+    use exrec_data::{Catalog, RatingsMatrix};
+    use exrec_types::{DomainSchema, RatingScale};
+
+    fn ctx_fixtures() -> (RatingsMatrix, Catalog) {
+        // Users 0 and 1 agree perfectly; user 2 is their opposite.
+        let schema = DomainSchema::new("d", vec![]).unwrap();
+        let mut catalog = Catalog::new(schema);
+        for k in 0..6 {
+            catalog
+                .add(&format!("m{k}"), Default::default(), vec![])
+                .unwrap();
+        }
+        let mut m = RatingsMatrix::new(3, 6, RatingScale::FIVE_STAR);
+        let grid = [
+            (0u32, [Some(5.0), Some(4.0), Some(1.0), Some(2.0), None, Some(5.0)]),
+            (1u32, [Some(5.0), Some(4.0), Some(1.0), Some(2.0), Some(5.0), None]),
+            (2u32, [Some(1.0), Some(2.0), Some(5.0), Some(4.0), Some(1.0), None]),
+        ];
+        for (u, row) in grid {
+            for (i, v) in row.into_iter().enumerate() {
+                if let Some(v) = v {
+                    m.rate(UserId(u), ItemId(i as u32), v).unwrap();
+                }
+            }
+        }
+        (m, catalog)
+    }
+
+    fn knn() -> UserKnn {
+        UserKnn::new(UserKnnConfig {
+            k: 2,
+            min_overlap: 2,
+            significance: 0,
+            ..UserKnnConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn follows_agreeing_neighbor() {
+        let (m, c) = ctx_fixtures();
+        let ctx = Ctx::new(&m, &c);
+        // User 0 hasn't rated item 4; like-minded user 1 rated it 5,
+        // opposite user 2 rated it 1. Prediction should be high.
+        let p = knn().predict(&ctx, UserId(0), ItemId(4)).unwrap();
+        assert!(p.score > 3.5, "expected high prediction, got {}", p.score);
+    }
+
+    #[test]
+    fn evidence_lists_neighbors_sorted() {
+        let (m, c) = ctx_fixtures();
+        let ctx = Ctx::new(&m, &c);
+        let ev = knn().evidence(&ctx, UserId(0), ItemId(4)).unwrap();
+        match ev {
+            ModelEvidence::UserNeighbors { neighbors } => {
+                assert!(!neighbors.is_empty());
+                assert!(neighbors
+                    .windows(2)
+                    .all(|w| w[0].similarity >= w[1].similarity));
+                assert_eq!(neighbors[0].user, UserId(1));
+            }
+            other => panic!("wrong evidence kind: {}", other.kind()),
+        }
+    }
+
+    #[test]
+    fn no_prediction_without_raters() {
+        let (mut m, c) = ctx_fixtures();
+        m.ensure_items(7);
+        let err = {
+            let ctx = Ctx::new(&m, &c);
+            knn().predict(&ctx, UserId(0), ItemId(6)).unwrap_err()
+        };
+        assert!(matches!(err, Error::NoPrediction { .. }));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let (m, c) = ctx_fixtures();
+        let ctx = Ctx::new(&m, &c);
+        assert!(matches!(
+            knn().predict(&ctx, UserId(99), ItemId(0)),
+            Err(Error::UnknownUser { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_k_is_invalid() {
+        assert!(UserKnn::new(UserKnnConfig {
+            k: 0,
+            ..UserKnnConfig::default()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn beats_global_mean_on_synthetic_world() {
+        // Sanity: on a structured world, user-kNN MAE < always-global-mean MAE.
+        let world = movies::generate(&WorldConfig {
+            n_users: 60,
+            n_items: 50,
+            density: 0.35,
+            ..WorldConfig::default()
+        });
+        let split = exrec_data::split::holdout(&world.ratings, 0.2, 9);
+        let ctx = Ctx::new(&split.train, &world.catalog);
+        let model = UserKnn::default();
+        let gm = split.train.global_mean();
+        let (mut knn_err, mut gm_err, mut n) = (0.0, 0.0, 0);
+        for &(u, i, truth) in &split.test {
+            if let Ok(p) = model.predict(&ctx, u, i) {
+                knn_err += (p.score - truth).abs();
+                gm_err += (gm - truth).abs();
+                n += 1;
+            }
+        }
+        assert!(n > 20, "need enough predictable pairs, got {n}");
+        let (knn_mae, gm_mae) = (knn_err / n as f64, gm_err / n as f64);
+        assert!(
+            knn_mae < gm_mae,
+            "kNN MAE {knn_mae:.3} should beat global-mean MAE {gm_mae:.3}"
+        );
+    }
+
+    #[test]
+    fn prediction_observes_rating_updates() {
+        let (mut m, c) = ctx_fixtures();
+        let before = {
+            let ctx = Ctx::new(&m, &c);
+            knn().predict(&ctx, UserId(0), ItemId(4)).unwrap().score
+        };
+        // Like-minded neighbour slams the item; prediction must drop.
+        m.rate(UserId(1), ItemId(4), 1.0).unwrap();
+        let after = {
+            let ctx = Ctx::new(&m, &c);
+            knn().predict(&ctx, UserId(0), ItemId(4)).unwrap().score
+        };
+        assert!(after < before, "expected {after} < {before}");
+    }
+}

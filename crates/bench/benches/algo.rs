@@ -1,0 +1,102 @@
+//! Performance benches for the recommender substrates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use exrec_algo::baseline::Popularity;
+use exrec_algo::content::{NaiveBayesModel, TfIdfConfig, TfIdfModel};
+use exrec_algo::item_knn::{ItemKnn, ItemKnnConfig};
+use exrec_algo::{Ctx, Recommender, UserKnn};
+use exrec_bench::bench_movie_world;
+use exrec_types::{ItemId, UserId};
+use std::hint::black_box;
+
+fn predictable_pair(
+    world: &exrec_data::World,
+    rec: &dyn Recommender,
+) -> (UserId, ItemId) {
+    let ctx = Ctx::new(&world.ratings, &world.catalog);
+    for u in world.ratings.users() {
+        if world.ratings.user_ratings(u).len() < 5 {
+            continue;
+        }
+        for i in world.catalog.ids() {
+            if world.ratings.rating(u, i).is_none() && rec.predict(&ctx, u, i).is_ok() {
+                return (u, i);
+            }
+        }
+    }
+    panic!("no predictable pair");
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let world = bench_movie_world();
+    let ctx = Ctx::new(&world.ratings, &world.catalog);
+    let mut g = c.benchmark_group("algo_predict");
+    g.sample_size(30);
+
+    let user_knn = UserKnn::default();
+    let (u, i) = predictable_pair(&world, &user_knn);
+    g.bench_function("user_knn", |b| {
+        b.iter(|| black_box(user_knn.predict(&ctx, u, i).unwrap()))
+    });
+
+    let item_knn = ItemKnn::fit(&ctx, ItemKnnConfig::default()).unwrap();
+    let (u2, i2) = predictable_pair(&world, &item_knn);
+    g.bench_function("item_knn", |b| {
+        b.iter(|| black_box(item_knn.predict(&ctx, u2, i2).unwrap()))
+    });
+
+    let tfidf = TfIdfModel::fit(&ctx, TfIdfConfig::default()).unwrap();
+    let (u3, i3) = predictable_pair(&world, &tfidf);
+    g.bench_function("tfidf", |b| {
+        b.iter(|| black_box(tfidf.predict(&ctx, u3, i3).unwrap()))
+    });
+
+    let nb = NaiveBayesModel::default();
+    let (u4, i4) = predictable_pair(&world, &nb);
+    g.bench_function("naive_bayes", |b| {
+        b.iter(|| black_box(nb.predict(&ctx, u4, i4).unwrap()))
+    });
+
+    let pop = Popularity::default();
+    g.bench_function("popularity", |b| {
+        b.iter(|| black_box(pop.predict(&ctx, u, i).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_fit_and_recommend(c: &mut Criterion) {
+    let world = bench_movie_world();
+    let ctx = Ctx::new(&world.ratings, &world.catalog);
+    let mut g = c.benchmark_group("algo_fit_recommend");
+    g.sample_size(10);
+
+    g.bench_function("item_knn_fit", |b| {
+        b.iter(|| black_box(ItemKnn::fit(&ctx, ItemKnnConfig::default()).unwrap()))
+    });
+    g.bench_function("tfidf_fit", |b| {
+        b.iter(|| black_box(TfIdfModel::fit(&ctx, TfIdfConfig::default()).unwrap()))
+    });
+
+    let user_knn = UserKnn::default();
+    let user = world
+        .ratings
+        .users()
+        .find(|&u| world.ratings.user_ratings(u).len() >= 5)
+        .unwrap();
+    g.bench_function("user_knn_recommend_top10", |b| {
+        b.iter(|| black_box(user_knn.recommend(&ctx, user, 10)))
+    });
+    g.finish();
+}
+
+fn bench_world_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("synth_generate");
+    g.sample_size(10);
+    g.bench_function("movie_world_100x80", |b| {
+        b.iter(|| black_box(bench_movie_world()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_predict, bench_fit_and_recommend, bench_world_generation);
+criterion_main!(benches);

@@ -1,0 +1,209 @@
+//! Performance benches for the explanation engine: interface generation,
+//! leave-one-out influence, critique mining and Apriori.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use exrec_algo::assoc::apriori;
+use exrec_algo::{Ctx, Recommender, UserKnn};
+use exrec_bench::{bench_movie_world, loo_influence_workload, render_explanation};
+use exrec_core::interfaces::{ExplainInput, InterfaceId};
+use exrec_data::synth::{cameras, WorldConfig};
+use exrec_present::critiques::mine_compound;
+use exrec_types::{ItemId, UserId};
+use std::hint::black_box;
+
+fn bench_interfaces(c: &mut Criterion) {
+    let world = bench_movie_world();
+    let ctx = Ctx::new(&world.ratings, &world.catalog);
+    let knn = UserKnn::default();
+    let (user, item) = {
+        let mut found = None;
+        'outer: for u in world.ratings.users() {
+            if world.ratings.user_ratings(u).len() < 5 {
+                continue;
+            }
+            for i in world.catalog.ids() {
+                if world.ratings.rating(u, i).is_none() && knn.predict(&ctx, u, i).is_ok() {
+                    found = Some((u, i));
+                    break 'outer;
+                }
+            }
+        }
+        found.expect("predictable pair")
+    };
+    let prediction = knn.predict(&ctx, user, item).unwrap();
+    let evidence = knn.evidence(&ctx, user, item).unwrap();
+    let input = ExplainInput {
+        ctx: &ctx,
+        user,
+        item,
+        prediction,
+        evidence: &evidence,
+    };
+
+    let mut g = c.benchmark_group("explain_generate");
+    g.sample_size(50);
+    for id in [
+        InterfaceId::ClusteredHistogram,
+        InterfaceId::Histogram,
+        InterfaceId::NeighborTable,
+        InterfaceId::DetailedProcess,
+        InterfaceId::CanonicalCollaborative,
+    ] {
+        g.bench_function(id.key(), |b| {
+            b.iter(|| {
+                let e = id.generate(&input).unwrap();
+                black_box(render_explanation(&e))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_influence(c: &mut Criterion) {
+    let world = bench_movie_world();
+    let mut g = c.benchmark_group("explain_influence");
+    g.sample_size(10);
+    g.bench_function("loo_user_knn", |b| {
+        b.iter(|| black_box(loo_influence_workload(&world).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_critiques(c: &mut Criterion) {
+    let world = cameras::generate(&WorldConfig {
+        n_users: 5,
+        n_items: 100,
+        seed: 0xC1,
+        ..WorldConfig::default()
+    });
+    let candidates: Vec<ItemId> = world.catalog.ids().collect();
+    let reference = candidates[0];
+    let mut g = c.benchmark_group("critique_mine");
+    g.sample_size(20);
+    g.bench_function("compound_100_items", |b| {
+        b.iter(|| {
+            black_box(
+                mine_compound(&world.catalog, reference, &candidates, 0.1, 3).unwrap(),
+            )
+        })
+    });
+    g.finish();
+
+    // Raw Apriori on synthetic transactions.
+    let txs: Vec<Vec<u32>> = (0..500u32)
+        .map(|k| (0..8).filter(|&s| (k + s) % 3 != 0).collect())
+        .collect();
+    let mut g = c.benchmark_group("apriori");
+    g.sample_size(20);
+    g.bench_function("500tx_8sym", |b| {
+        b.iter(|| black_box(apriori(&txs, 0.1, 3)))
+    });
+    g.finish();
+}
+
+fn bench_session(c: &mut Criterion) {
+    use exrec_algo::knowledge::{Constraint, Maut, Requirement};
+    use exrec_interact::critiquing::CritiqueSession;
+    use exrec_present::structured::OverviewConfig;
+
+    let world = cameras::generate(&WorldConfig {
+        n_users: 5,
+        n_items: 60,
+        seed: 0xC2,
+        ..WorldConfig::default()
+    });
+    let ctx = Ctx::new(&world.ratings, &world.catalog);
+    let maut = Maut::new(vec![
+        Requirement::soft("price", Constraint::AtMost(500.0)),
+        Requirement::soft("resolution", Constraint::AtLeast(8.0)),
+    ])
+    .unwrap();
+    let mut g = c.benchmark_group("critique_session");
+    g.sample_size(20);
+    g.bench_function("start_and_one_cycle", |b| {
+        b.iter(|| {
+            let (mut session, screen) =
+                CritiqueSession::start(maut.clone(), &ctx, OverviewConfig::default()).unwrap();
+            if let Some((critique, _)) = screen.options.first() {
+                let _ = black_box(session.apply_compound(
+                    &ctx,
+                    screen.current.item,
+                    critique,
+                ));
+            }
+            black_box(session.cycles())
+        })
+    });
+    g.finish();
+
+    let _ = UserId::new(0); // keep import shape stable
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    use exrec_core::modality::{complement, restrict, Modality};
+    use exrec_core::similexp::ExplainableSimilarity;
+    use exrec_present::diversify::diversify;
+
+    let world = bench_movie_world();
+    let ctx = Ctx::new(&world.ratings, &world.catalog);
+    let user = world
+        .ratings
+        .users()
+        .find(|&u| world.ratings.user_ratings(u).len() >= 5)
+        .unwrap();
+
+    let mut g = c.benchmark_group("extensions");
+    g.sample_size(20);
+    g.bench_function("similexp_fit", |b| {
+        b.iter(|| black_box(ExplainableSimilarity::fit(&ctx, user).unwrap()))
+    });
+    let sim = ExplainableSimilarity::fit(&ctx, user).unwrap();
+    let a = world.catalog.get(ItemId::new(0)).unwrap();
+    let bb = world.catalog.get(ItemId::new(1)).unwrap();
+    g.bench_function("similexp_explain_pair", |b| {
+        b.iter(|| black_box(sim.explain_pair(a, bb, world.catalog.schema())))
+    });
+
+    let knn = UserKnn::default();
+    let candidates = knn.recommend(&ctx, user, 40);
+    g.bench_function("diversify_40_to_10", |b| {
+        b.iter(|| {
+            black_box(diversify(&candidates, 10, 0.6, |x, y| {
+                let gx = world.catalog.get(x).unwrap().attrs.cat("genre");
+                let gy = world.catalog.get(y).unwrap().attrs.cat("genre");
+                if gx == gy {
+                    0.9
+                } else {
+                    0.1
+                }
+            }))
+        })
+    });
+
+    use exrec_core::engine::Explainer;
+    let explainer = Explainer::new(&knn, InterfaceId::ClusteredHistogram);
+    if let Some((_, base)) = explainer
+        .recommend_explained(&ctx, user, 1)
+        .into_iter()
+        .next()
+    {
+        g.bench_function("modality_complement", |b| {
+            b.iter(|| black_box(complement(&restrict(&base, Modality::Visual))))
+        });
+    }
+    let items: Vec<ItemId> = candidates.iter().take(3).map(|s| s.item).collect();
+    g.bench_function("group_explanation_top3", |b| {
+        b.iter(|| black_box(exrec_core::group::group_explanation(&ctx, user, &items).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_interfaces,
+    bench_influence,
+    bench_critiques,
+    bench_session,
+    bench_extensions
+);
+criterion_main!(benches);

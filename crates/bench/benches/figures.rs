@@ -1,0 +1,46 @@
+//! Benches F1–F3: regenerating the survey's three figures, plus the
+//! squarified-vs-slice-and-dice treemap ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use exrec_bench::{figure1_text, figure2_treemap, figure2_world, figure3_text};
+use exrec_present::treemap::{layout, Layout, Rect, TreemapNode};
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig1_scrutable", |b| {
+        b.iter(|| black_box(figure1_text(0xF1).unwrap()))
+    });
+    let world = figure2_world();
+    g.bench_function("fig2_treemap", |b| {
+        b.iter(|| black_box(figure2_treemap(&world)))
+    });
+    g.bench_function("fig3_influence", |b| {
+        b.iter(|| black_box(figure3_text(0xF3).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_treemap_ablation(c: &mut Criterion) {
+    let nodes: Vec<TreemapNode> = (1..=200)
+        .map(|k| TreemapNode {
+            label: format!("n{k}"),
+            weight: (k % 17 + 1) as f64,
+            group: k % 6,
+            shade: (k % 10) as f64 / 10.0,
+        })
+        .collect();
+    let mut g = c.benchmark_group("ablation_treemap");
+    g.sample_size(30);
+    g.bench_function("squarified_200", |b| {
+        b.iter(|| black_box(layout(nodes.clone(), Rect::UNIT, Layout::Squarified)))
+    });
+    g.bench_function("slice_dice_200", |b| {
+        b.iter(|| black_box(layout(nodes.clone(), Rect::UNIT, Layout::SliceAndDice)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures, bench_treemap_ablation);
+criterion_main!(benches);

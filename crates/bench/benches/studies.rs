@@ -1,0 +1,107 @@
+//! Benches for the nine Section 3 studies (small configurations — the
+//! bench measures harness cost; the full-size runs live in `repro`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use exrec_core::interfaces::InterfaceId;
+use exrec_eval::studies::*;
+use std::hint::black_box;
+
+fn bench_studies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("studies");
+    g.sample_size(10);
+
+    g.bench_function("study_persuasion", |b| {
+        let cfg = persuasion_herlocker::Config {
+            n_participants: 8,
+            n_items: 2,
+            ..Default::default()
+        };
+        b.iter(|| black_box(persuasion_herlocker::run(&cfg)))
+    });
+    g.bench_function("study_shift", |b| {
+        let cfg = rating_shift::Config {
+            n_participants: 8,
+            n_items: 2,
+            ..Default::default()
+        };
+        b.iter(|| black_box(rating_shift::run(&cfg)))
+    });
+    g.bench_function("study_effectiveness", |b| {
+        let cfg = effectiveness::Config {
+            n_participants: 8,
+            n_items: 2,
+            ..Default::default()
+        };
+        b.iter(|| black_box(effectiveness::run(&cfg)))
+    });
+    g.bench_function("study_efficiency", |b| {
+        let cfg = efficiency::Config {
+            n_shoppers: 6,
+            n_items: 50,
+            ..Default::default()
+        };
+        b.iter(|| black_box(efficiency::run(&cfg)))
+    });
+    g.bench_function("study_trust", |b| {
+        let cfg = trust_loyalty::Config {
+            n_participants: 8,
+            n_rounds: 5,
+            ..Default::default()
+        };
+        b.iter(|| black_box(trust_loyalty::run(&cfg)))
+    });
+    g.bench_function("study_transparency", |b| {
+        let cfg = transparency::Config {
+            n_participants: 8,
+            ..Default::default()
+        };
+        b.iter(|| black_box(transparency::run(&cfg)))
+    });
+    g.bench_function("study_scrutability", |b| {
+        let cfg = scrutability::Config {
+            n_participants: 8,
+            ..Default::default()
+        };
+        b.iter(|| black_box(scrutability::run(&cfg)))
+    });
+    g.bench_function("study_satisfaction", |b| {
+        let cfg = satisfaction::Config {
+            n_participants: 8,
+            interfaces: vec![
+                InterfaceId::CanonicalPreference,
+                InterfaceId::ClusteredHistogram,
+                InterfaceId::ComplexGraph,
+            ],
+            ..Default::default()
+        };
+        b.iter(|| black_box(satisfaction::run(&cfg)))
+    });
+    g.bench_function("study_modality", |b| {
+        let cfg = modality::Config {
+            n_participants: 8,
+            n_items: 2,
+            ..Default::default()
+        };
+        b.iter(|| black_box(modality::run(&cfg)))
+    });
+    g.bench_function("study_accuracy", |b| {
+        let cfg = accuracy::Config {
+            n_users: 40,
+            n_items: 40,
+            ..Default::default()
+        };
+        b.iter(|| black_box(accuracy::run(&cfg)))
+    });
+    g.bench_function("ablation_tradeoffs", |b| {
+        let cfg = tradeoffs::Config {
+            n_participants: 8,
+            boldness_steps: 4,
+            ..Default::default()
+        };
+        b.iter(|| black_box(tradeoffs::run(&cfg)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_studies);
+criterion_main!(benches);

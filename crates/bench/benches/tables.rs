@@ -1,0 +1,26 @@
+//! Benches T1–T4: regenerating the survey's four tables.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use exrec_registry::tables;
+use std::hint::black_box;
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(20);
+    g.bench_function("table1_aims", |b| {
+        b.iter(|| black_box(tables::table1().render_ascii()))
+    });
+    g.bench_function("table2_matrix", |b| {
+        b.iter(|| black_box(tables::table2().render_ascii()))
+    });
+    g.bench_function("table3_commercial", |b| {
+        b.iter(|| black_box(tables::table3().render_ascii()))
+    });
+    g.bench_function("table4_academic", |b| {
+        b.iter(|| black_box(tables::table4().render_ascii()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,176 @@
+//! `repro` — regenerates every table, figure and study of the reproduced
+//! survey (Tintarev & Masthoff, ICDE'07 workshops).
+//!
+//! ```text
+//! repro                 # everything
+//! repro --table 3       # one of Tables 1-4
+//! repro --figure 2      # one of Figures 1-3
+//! repro --study E-PERS  # one study (E-PERS, E-SHIFT, E-EFK, E-EFC,
+//!                       #  E-TRUST, E-TRA, E-SCR, E-SAT, A-TRADE,
+//!                       #  E-MODAL, E-ACC)
+//! repro --emulations    # the ten Table 4 live emulations
+//! repro --json DIR      # also dump study reports as JSON into DIR
+//! ```
+
+use exrec_bench::{figure1_text, figure2_treemap, figure2_world, figure3_text};
+use exrec_eval::studies;
+use exrec_eval::StudyReport;
+use exrec_registry::tables;
+
+fn print_table(n: u32) {
+    let spec = match n {
+        1 => tables::table1(),
+        2 => tables::table2(),
+        3 => tables::table3(),
+        4 => tables::table4(),
+        _ => {
+            eprintln!("no table {n}; tables are 1-4");
+            std::process::exit(2);
+        }
+    };
+    println!("{}", spec.render_ascii());
+}
+
+fn print_figure(n: u32) {
+    match n {
+        1 => {
+            println!("-- Figure 1: scrutable adaptive hypertext (SASY) --\n");
+            println!("{}", figure1_text(0xF1).expect("figure 1 generates"));
+        }
+        2 => {
+            println!("-- Figure 2: treemap visualization of news --\n");
+            let world = figure2_world();
+            let map = figure2_treemap(&world);
+            println!("{}", map.render_ascii(72, 20));
+            println!(
+                "({} stories; colour=topic, area=popularity, shade=recency; \
+                 mean aspect ratio {:.2})",
+                map.cells.len(),
+                map.mean_aspect()
+            );
+        }
+        3 => {
+            println!("-- Figure 3: influence of ratings on a recommendation (LIBRA) --\n");
+            println!("{}", figure3_text(0xF3).expect("figure 3 generates"));
+        }
+        _ => {
+            eprintln!("no figure {n}; figures are 1-3");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run_study(id: &str) -> Option<StudyReport> {
+    let report = match id.to_uppercase().as_str() {
+        "E-PERS" => studies::persuasion_herlocker::run(&Default::default()).report,
+        "E-SHIFT" => studies::rating_shift::run(&Default::default()).report,
+        "E-EFK" => studies::effectiveness::run(&Default::default()).report,
+        "E-EFC" => studies::efficiency::run(&Default::default()).report,
+        "E-TRUST" => studies::trust_loyalty::run(&Default::default()).report,
+        "E-TRA" => studies::transparency::run(&Default::default()).report,
+        "E-SCR" => studies::scrutability::run(&Default::default()).report,
+        "E-SAT" => studies::satisfaction::run(&Default::default()).report,
+        "A-TRADE" => studies::tradeoffs::run(&Default::default()).report,
+        "E-MODAL" => studies::modality::run(&Default::default()).report,
+        "E-ACC" => studies::accuracy::run(&Default::default()).report,
+        _ => return None,
+    };
+    Some(report)
+}
+
+const ALL_STUDIES: [&str; 11] = [
+    "E-PERS", "E-SHIFT", "E-EFK", "E-EFC", "E-TRUST", "E-TRA", "E-SCR", "E-SAT", "A-TRADE",
+    "E-MODAL", "E-ACC",
+];
+
+fn print_emulations() {
+    for emu in exrec_registry::live::all() {
+        println!("────────────────────────────────────────────────");
+        match (emu.run)(0xACE) {
+            Ok(t) => println!("{t}"),
+            Err(e) => println!("{} FAILED: {e}", emu.name),
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_dir: Option<String> = None;
+    let mut actions: Vec<(String, String)> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--table" | "--figure" | "--study" => {
+                if i + 1 >= args.len() {
+                    eprintln!("{} requires an argument", args[i]);
+                    std::process::exit(2);
+                }
+                actions.push((args[i].clone(), args[i + 1].clone()));
+                i += 2;
+            }
+            "--emulations" => {
+                actions.push(("--emulations".to_owned(), String::new()));
+                i += 1;
+            }
+            "--json" => {
+                if i + 1 >= args.len() {
+                    eprintln!("--json requires a directory");
+                    std::process::exit(2);
+                }
+                json_dir = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--all" => {
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut reports: Vec<StudyReport> = Vec::new();
+    if actions.is_empty() {
+        for t in 1..=4 {
+            print_table(t);
+        }
+        for f in 1..=3 {
+            print_figure(f);
+        }
+        for id in ALL_STUDIES {
+            let report = run_study(id).expect("known id");
+            println!("{}", report.render_ascii());
+            reports.push(report);
+        }
+        print_emulations();
+    } else {
+        for (flag, value) in actions {
+            match flag.as_str() {
+                "--table" => print_table(value.parse().unwrap_or(0)),
+                "--figure" => print_figure(value.parse().unwrap_or(0)),
+                "--study" => match run_study(&value) {
+                    Some(report) => {
+                        println!("{}", report.render_ascii());
+                        reports.push(report);
+                    }
+                    None => {
+                        eprintln!("unknown study {value}; options: {ALL_STUDIES:?}");
+                        std::process::exit(2);
+                    }
+                },
+                "--emulations" => print_emulations(),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    if let Some(dir) = json_dir {
+        std::fs::create_dir_all(&dir).expect("create json dir");
+        for report in &reports {
+            let path = format!("{dir}/{}.json", report.id);
+            std::fs::write(&path, report.to_json()).expect("write report");
+            eprintln!("wrote {path}");
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! The seven aims of an explanation facility (survey Table 1).
+//!
+//! > *"When choosing and comparing explanation techniques, it is very
+//! > important to agree on what the explanation is trying to achieve."*
+//! > — survey, Conclusion
+//!
+//! Every explanation interface in the toolkit declares an [`AimProfile`];
+//! the registry crate generates the survey's Table 1 and Table 2 from
+//! these declarations, and the evaluation crate keys its per-aim metrics
+//! off the same type.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the seven aims an explanation facility can pursue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Aim {
+    /// Explain how the system works.
+    Transparency,
+    /// Allow users to tell the system it is wrong.
+    Scrutability,
+    /// Increase users' confidence in the system.
+    Trust,
+    /// Help users make good decisions.
+    Effectiveness,
+    /// Convince users to try or buy.
+    Persuasiveness,
+    /// Help users make decisions faster.
+    Efficiency,
+    /// Increase the ease of usability or enjoyment.
+    Satisfaction,
+}
+
+impl Aim {
+    /// All seven aims, in the survey's Table 1 order.
+    pub const ALL: [Aim; 7] = [
+        Aim::Transparency,
+        Aim::Scrutability,
+        Aim::Trust,
+        Aim::Effectiveness,
+        Aim::Persuasiveness,
+        Aim::Efficiency,
+        Aim::Satisfaction,
+    ];
+
+    /// The aim's name as printed in Table 1.
+    pub fn name(self) -> &'static str {
+        match self {
+            Aim::Transparency => "Transparency",
+            Aim::Scrutability => "Scrutability",
+            Aim::Trust => "Trust",
+            Aim::Effectiveness => "Effectiveness",
+            Aim::Persuasiveness => "Persuasiveness",
+            Aim::Efficiency => "Efficiency",
+            Aim::Satisfaction => "Satisfaction",
+        }
+    }
+
+    /// The abbreviation used in the survey's Tables 1 and 2.
+    pub fn abbreviation(self) -> &'static str {
+        match self {
+            Aim::Transparency => "Tra.",
+            Aim::Scrutability => "Scr.",
+            Aim::Trust => "Trust",
+            Aim::Effectiveness => "Efk.",
+            Aim::Persuasiveness => "Pers.",
+            Aim::Efficiency => "Efc.",
+            Aim::Satisfaction => "Sat.",
+        }
+    }
+
+    /// The definition as printed in Table 1.
+    pub fn definition(self) -> &'static str {
+        match self {
+            Aim::Transparency => "Explain how the system works",
+            Aim::Scrutability => "Allow users to tell the system it is wrong",
+            Aim::Trust => "Increase users' confidence in the system",
+            Aim::Effectiveness => "Help users make good decisions",
+            Aim::Persuasiveness => "Convince users to try or buy",
+            Aim::Efficiency => "Help users make decisions faster",
+            Aim::Satisfaction => "Increase the ease of usability or enjoyment",
+        }
+    }
+
+    /// The aim this one most directly trades off against (survey
+    /// Section 3.8): transparency costs efficiency (reading explanations
+    /// takes time) and persuasiveness costs effectiveness (over-selling
+    /// leads to regretted choices). Aims without a canonical antagonist
+    /// return `None`.
+    pub fn tension(self) -> Option<Aim> {
+        match self {
+            Aim::Transparency => Some(Aim::Efficiency),
+            Aim::Efficiency => Some(Aim::Transparency),
+            Aim::Persuasiveness => Some(Aim::Effectiveness),
+            Aim::Effectiveness => Some(Aim::Persuasiveness),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Aim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A set of aims an explanation interface (or a whole system) pursues.
+///
+/// Compact bitset representation; iteration order is Table 1 order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct AimProfile {
+    bits: u8,
+}
+
+impl AimProfile {
+    /// The empty profile.
+    pub const fn empty() -> Self {
+        Self { bits: 0 }
+    }
+
+    /// A profile from a list of aims.
+    pub fn of(aims: &[Aim]) -> Self {
+        let mut p = Self::empty();
+        for &a in aims {
+            p.insert(a);
+        }
+        p
+    }
+
+    fn bit(aim: Aim) -> u8 {
+        1 << (Aim::ALL.iter().position(|&a| a == aim).expect("aim in ALL") as u8)
+    }
+
+    /// Adds an aim.
+    pub fn insert(&mut self, aim: Aim) {
+        self.bits |= Self::bit(aim);
+    }
+
+    /// Removes an aim.
+    pub fn remove(&mut self, aim: Aim) {
+        self.bits &= !Self::bit(aim);
+    }
+
+    /// Whether the profile contains `aim`.
+    pub fn contains(&self, aim: Aim) -> bool {
+        self.bits & Self::bit(aim) != 0
+    }
+
+    /// Number of aims in the profile.
+    pub fn len(&self) -> usize {
+        self.bits.count_ones() as usize
+    }
+
+    /// Whether the profile is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// Iterates the contained aims in Table 1 order.
+    pub fn iter(&self) -> impl Iterator<Item = Aim> + '_ {
+        Aim::ALL.into_iter().filter(|&a| self.contains(a))
+    }
+
+    /// Aims in this profile whose canonical antagonist is *also* in the
+    /// profile — design tensions the operator should resolve
+    /// (Section 3.8's "it is a trade-off").
+    pub fn tensions(&self) -> Vec<(Aim, Aim)> {
+        let mut out = Vec::new();
+        for a in self.iter() {
+            if let Some(t) = a.tension() {
+                if self.contains(t) && a < t {
+                    out.push((a, t));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for AimProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<&str> = self.iter().map(|a| a.abbreviation()).collect();
+        write!(f, "{}", names.join(", "))
+    }
+}
+
+impl FromIterator<Aim> for AimProfile {
+    fn from_iter<I: IntoIterator<Item = Aim>>(iter: I) -> Self {
+        let mut p = Self::empty();
+        for a in iter {
+            p.insert(a);
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_definitions_are_verbatim() {
+        // These strings ARE the reproduction of Table 1 — keep verbatim.
+        assert_eq!(Aim::Transparency.definition(), "Explain how the system works");
+        assert_eq!(
+            Aim::Scrutability.definition(),
+            "Allow users to tell the system it is wrong"
+        );
+        assert_eq!(
+            Aim::Trust.definition(),
+            "Increase users' confidence in the system"
+        );
+        assert_eq!(Aim::Effectiveness.definition(), "Help users make good decisions");
+        assert_eq!(Aim::Persuasiveness.definition(), "Convince users to try or buy");
+        assert_eq!(Aim::Efficiency.definition(), "Help users make decisions faster");
+        assert_eq!(
+            Aim::Satisfaction.definition(),
+            "Increase the ease of usability or enjoyment"
+        );
+    }
+
+    #[test]
+    fn all_has_seven_distinct_aims() {
+        assert_eq!(Aim::ALL.len(), 7);
+        let mut v = Aim::ALL.to_vec();
+        v.sort();
+        v.dedup();
+        assert_eq!(v.len(), 7);
+    }
+
+    #[test]
+    fn profile_set_operations() {
+        let mut p = AimProfile::empty();
+        assert!(p.is_empty());
+        p.insert(Aim::Trust);
+        p.insert(Aim::Trust);
+        p.insert(Aim::Satisfaction);
+        assert_eq!(p.len(), 2);
+        assert!(p.contains(Aim::Trust));
+        assert!(!p.contains(Aim::Efficiency));
+        p.remove(Aim::Trust);
+        assert!(!p.contains(Aim::Trust));
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn profile_iterates_in_table_order() {
+        let p = AimProfile::of(&[Aim::Satisfaction, Aim::Transparency, Aim::Persuasiveness]);
+        let order: Vec<Aim> = p.iter().collect();
+        assert_eq!(
+            order,
+            vec![Aim::Transparency, Aim::Persuasiveness, Aim::Satisfaction]
+        );
+    }
+
+    #[test]
+    fn tensions_are_symmetric_and_detected() {
+        assert_eq!(Aim::Transparency.tension(), Some(Aim::Efficiency));
+        assert_eq!(Aim::Efficiency.tension(), Some(Aim::Transparency));
+        let p = AimProfile::of(&[Aim::Transparency, Aim::Efficiency, Aim::Trust]);
+        assert_eq!(p.tensions(), vec![(Aim::Transparency, Aim::Efficiency)]);
+        let q = AimProfile::of(&[Aim::Trust, Aim::Satisfaction]);
+        assert!(q.tensions().is_empty());
+    }
+
+    #[test]
+    fn display_uses_abbreviations() {
+        let p = AimProfile::of(&[Aim::Transparency, Aim::Effectiveness]);
+        assert_eq!(p.to_string(), "Tra., Efk.");
+    }
+
+    #[test]
+    fn from_iterator() {
+        let p: AimProfile = [Aim::Trust, Aim::Trust, Aim::Efficiency].into_iter().collect();
+        assert_eq!(p.len(), 2);
+    }
+}

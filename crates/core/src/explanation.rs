@@ -1,0 +1,264 @@
+//! The renderer-independent explanation document model.
+//!
+//! An [`Explanation`] is a typed document: text sentences, rating
+//! histograms (Herlocker's winning interface), influence bars (survey
+//! Figure 3), key–value facts, and strength/confidence disclosures
+//! (Section 4.6). Renderers in [`crate::render`] turn it into plain text,
+//! ANSI or Markdown; the evaluation crate measures its *properties*
+//! (length, fragment mix) without parsing strings.
+
+use crate::aims::AimProfile;
+use crate::style::ExplanationStyle;
+use exrec_types::Confidence;
+
+/// Emotional polarity of a histogram bin, used by the "clustered"
+/// histogram variant that groups good and bad ratings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tone {
+    /// Ratings counted as favourable.
+    Good,
+    /// Ratings counted as unfavourable.
+    Bad,
+    /// Neither.
+    Neutral,
+}
+
+/// One histogram bin.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistBin {
+    /// Bin label (e.g. `"5★"` or `"good (4-5)"`).
+    pub label: String,
+    /// Count of observations in the bin.
+    pub count: usize,
+    /// Polarity for rendering.
+    pub tone: Tone,
+}
+
+/// A typed piece of explanation content.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Fragment {
+    /// A sentence or short paragraph.
+    Text(String),
+    /// A rating histogram with a title.
+    Histogram {
+        /// Chart title.
+        title: String,
+        /// Bins in display order.
+        bins: Vec<HistBin>,
+    },
+    /// One rated item's influence on the recommendation (Figure 3 row).
+    InfluenceBar {
+        /// Title of the previously-rated item.
+        title: String,
+        /// The user's rating of it.
+        rating: f64,
+        /// Influence share in `[0, 1]`.
+        share: f64,
+    },
+    /// A labelled fact ("Director: N. Veldt").
+    KeyValue {
+        /// Fact label.
+        key: String,
+        /// Fact value.
+        value: String,
+    },
+    /// Strength and/or confidence disclosure.
+    Disclosure {
+        /// Predicted score on the active rating scale.
+        strength: f64,
+        /// The system's confidence, if the personality discloses it.
+        confidence: Option<Confidence>,
+    },
+}
+
+impl Fragment {
+    /// Approximate reading cost of the fragment in simulated ticks,
+    /// used by the efficiency studies (survey Section 3.6): reading text
+    /// costs time proportional to its words; charts cost a fixed scan
+    /// time per element.
+    pub fn reading_cost(&self) -> u64 {
+        match self {
+            Fragment::Text(s) => {
+                let words = s.split_whitespace().count() as u64;
+                words.div_ceil(3).max(1)
+            }
+            Fragment::Histogram { bins, .. } => 2 + bins.len() as u64,
+            Fragment::InfluenceBar { .. } => 2,
+            Fragment::KeyValue { .. } => 1,
+            Fragment::Disclosure { confidence, .. } => {
+                if confidence.is_some() {
+                    2
+                } else {
+                    1
+                }
+            }
+        }
+    }
+}
+
+/// A complete explanation for one recommendation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Explanation {
+    /// Identifier of the interface that generated it (see
+    /// [`crate::interfaces::InterfaceId`]); `"none"` for the control.
+    pub interface: &'static str,
+    /// Content style.
+    pub style: ExplanationStyle,
+    /// Aims the generating interface declares.
+    pub aims: AimProfile,
+    /// Ordered content.
+    pub fragments: Vec<Fragment>,
+}
+
+impl Explanation {
+    /// An empty explanation from the "no explanation" control interface.
+    pub fn none() -> Self {
+        Self {
+            interface: "none",
+            style: ExplanationStyle::None,
+            aims: AimProfile::empty(),
+            fragments: Vec::new(),
+        }
+    }
+
+    /// Builds an explanation.
+    pub fn new(
+        interface: &'static str,
+        style: ExplanationStyle,
+        aims: AimProfile,
+        fragments: Vec<Fragment>,
+    ) -> Self {
+        Self {
+            interface,
+            style,
+            aims,
+            fragments,
+        }
+    }
+
+    /// Total simulated reading cost (survey Section 3.8: richer
+    /// explanations trade efficiency for transparency).
+    pub fn reading_cost(&self) -> u64 {
+        self.fragments.iter().map(Fragment::reading_cost).sum()
+    }
+
+    /// Whether any fragment is non-textual (chart/bar/disclosure) — a
+    /// proxy for "visual" interfaces in the persuasion study.
+    pub fn has_visual_content(&self) -> bool {
+        self.fragments
+            .iter()
+            .any(|f| !matches!(f, Fragment::Text(_) | Fragment::KeyValue { .. }))
+    }
+
+    /// Concatenated text content (for tests and simple logging).
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.fragments {
+            if let Fragment::Text(s) = f {
+                if !out.is_empty() {
+                    out.push(' ');
+                }
+                out.push_str(s);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aims::Aim;
+
+    #[test]
+    fn none_is_empty() {
+        let e = Explanation::none();
+        assert_eq!(e.reading_cost(), 0);
+        assert!(e.fragments.is_empty());
+        assert!(!e.has_visual_content());
+        assert_eq!(e.style, ExplanationStyle::None);
+    }
+
+    #[test]
+    fn reading_cost_scales_with_words() {
+        let short = Fragment::Text("Nice movie".to_owned());
+        let long = Fragment::Text(
+            "This sweeping epic follows three generations of a family through war and peace"
+                .to_owned(),
+        );
+        assert!(long.reading_cost() > short.reading_cost());
+        assert!(short.reading_cost() >= 1);
+    }
+
+    #[test]
+    fn histogram_cost_scales_with_bins() {
+        let small = Fragment::Histogram {
+            title: "t".into(),
+            bins: vec![],
+        };
+        let big = Fragment::Histogram {
+            title: "t".into(),
+            bins: (0..5)
+                .map(|i| HistBin {
+                    label: format!("{i}"),
+                    count: i,
+                    tone: Tone::Neutral,
+                })
+                .collect(),
+        };
+        assert!(big.reading_cost() > small.reading_cost());
+    }
+
+    #[test]
+    fn visual_detection() {
+        let textual = Explanation::new(
+            "t",
+            ExplanationStyle::ContentBased,
+            AimProfile::of(&[Aim::Transparency]),
+            vec![Fragment::Text("hi".into())],
+        );
+        assert!(!textual.has_visual_content());
+        let visual = Explanation::new(
+            "h",
+            ExplanationStyle::CollaborativeBased,
+            AimProfile::empty(),
+            vec![Fragment::Histogram {
+                title: "x".into(),
+                bins: vec![],
+            }],
+        );
+        assert!(visual.has_visual_content());
+    }
+
+    #[test]
+    fn text_concatenates_in_order() {
+        let e = Explanation::new(
+            "t",
+            ExplanationStyle::ContentBased,
+            AimProfile::empty(),
+            vec![
+                Fragment::Text("First.".into()),
+                Fragment::KeyValue {
+                    key: "k".into(),
+                    value: "v".into(),
+                },
+                Fragment::Text("Second.".into()),
+            ],
+        );
+        assert_eq!(e.text(), "First. Second.");
+    }
+
+    #[test]
+    fn disclosure_with_confidence_costs_more() {
+        let bare = Fragment::Disclosure {
+            strength: 4.0,
+            confidence: None,
+        };
+        let full = Fragment::Disclosure {
+            strength: 4.0,
+            confidence: Some(Confidence::new(0.5)),
+        };
+        assert!(full.reading_cost() > bare.reading_cost());
+    }
+}

@@ -1,0 +1,264 @@
+//! Group explanations for Top-N lists (survey Section 4.2).
+//!
+//! > "You have watched a lot of football and technology items. You might
+//! > like to see the local football results and the gadget of the day."
+//!
+//! A Top-N list needs an explanation of the *relation between* the chosen
+//! items, while "it should still be able to explain the rationale behind
+//! each single item". [`group_explanation`] produces exactly that: a lead
+//! sentence naming the user's dominant interests, a recommendation
+//! sentence naming the items, and a per-item relation line.
+
+use crate::aims::{Aim, AimProfile};
+use crate::explanation::{Explanation, Fragment};
+use crate::style::ExplanationStyle;
+use crate::templates::join_natural;
+use exrec_algo::Ctx;
+use exrec_types::{ItemId, Result};
+use std::collections::HashMap;
+
+/// How many dominant interests to name in the lead sentence.
+const MAX_INTERESTS: usize = 2;
+
+/// The user's dominant categorical interests: `(attribute value, liked
+/// count)` pairs over the first categorical schema attribute, strongest
+/// first.
+pub fn dominant_interests(ctx: &Ctx<'_>, user: exrec_types::UserId) -> Vec<(String, usize)> {
+    let Some(attr) = ctx
+        .catalog
+        .schema()
+        .attributes()
+        .iter()
+        .find(|a| a.kind == exrec_types::AttributeKind::Categorical)
+        .map(|a| a.name.clone())
+    else {
+        return Vec::new();
+    };
+    let mean = ctx
+        .ratings
+        .user_mean(user)
+        .unwrap_or_else(|| ctx.ratings.scale().midpoint());
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    for &(item, rating) in ctx.ratings.user_ratings(user) {
+        if rating < mean {
+            continue;
+        }
+        if let Ok(it) = ctx.catalog.get(item) {
+            if let Some(v) = it.attrs.cat(&attr) {
+                *counts.entry(v.to_owned()).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut out: Vec<(String, usize)> = counts.into_iter().collect();
+    out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    out
+}
+
+/// Builds the Section 4.2 group explanation for a Top-N list.
+///
+/// # Errors
+///
+/// Propagates catalog lookups for the listed items.
+pub fn group_explanation(
+    ctx: &Ctx<'_>,
+    user: exrec_types::UserId,
+    items: &[ItemId],
+) -> Result<Explanation> {
+    let interests = dominant_interests(ctx, user);
+    let attr = ctx
+        .catalog
+        .schema()
+        .attributes()
+        .iter()
+        .find(|a| a.kind == exrec_types::AttributeKind::Categorical)
+        .map(|a| a.name.clone());
+
+    let mut fragments = Vec::new();
+
+    // Lead: "You have watched a lot of X and Y items."
+    let named: Vec<String> = interests
+        .iter()
+        .take(MAX_INTERESTS)
+        .map(|(v, _)| v.clone())
+        .collect();
+    if named.is_empty() {
+        fragments.push(Fragment::Text(
+            "We are still learning your tastes — here is a varied starting list.".to_owned(),
+        ));
+    } else {
+        fragments.push(Fragment::Text(format!(
+            "You have watched a lot of {} items.",
+            join_natural(&named)
+        )));
+    }
+
+    // Recommendation sentence naming the items.
+    let titles: Vec<String> = items
+        .iter()
+        .map(|&i| ctx.catalog.get(i).map(|it| format!("\"{}\"", it.title)))
+        .collect::<Result<_>>()?;
+    if !titles.is_empty() {
+        fragments.push(Fragment::Text(format!(
+            "You might like to see {}.",
+            join_natural(&titles)
+        )));
+    }
+
+    // Per-item rationale: which interest each item serves.
+    if let Some(attr) = attr {
+        for &item in items {
+            let it = ctx.catalog.get(item)?;
+            let value = it.attrs.cat(&attr).unwrap_or("(uncategorized)");
+            let relation = if named.iter().any(|n| n == value) {
+                format!("matches your {value} interest")
+            } else {
+                format!("a {value} pick to broaden the mix")
+            };
+            fragments.push(Fragment::KeyValue {
+                key: it.title.clone(),
+                value: relation,
+            });
+        }
+    }
+
+    Ok(Explanation::new(
+        "group_topn",
+        ExplanationStyle::PreferenceBased,
+        AimProfile::of(&[Aim::Transparency, Aim::Efficiency]),
+        fragments,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exrec_algo::{Recommender, UserKnn};
+    use exrec_data::synth::{news, WorldConfig};
+    use exrec_data::World;
+    use exrec_types::UserId;
+
+    fn world() -> World {
+        news::generate(&WorldConfig {
+            n_users: 30,
+            n_items: 50,
+            density: 0.3,
+            ..WorldConfig::default()
+        })
+    }
+
+    /// Shapes user 0 into the survey's football-and-technology fan.
+    fn fan(world: &mut World) -> UserId {
+        let user = UserId::new(0);
+        let rated: Vec<ItemId> = world
+            .ratings
+            .user_ratings(user)
+            .iter()
+            .map(|&(i, _)| i)
+            .collect();
+        for i in rated {
+            world.ratings.unrate(user, i).unwrap();
+        }
+        let mut sport = 0;
+        let mut tech = 0;
+        for it in world.catalog.iter().map(|it| it.id).collect::<Vec<_>>() {
+            let topic = world.catalog.get(it).unwrap().attrs.cat("topic").unwrap().to_owned();
+            match topic.as_str() {
+                "sport" if sport < 5 => {
+                    world.ratings.rate(user, it, 5.0).unwrap();
+                    sport += 1;
+                }
+                "technology" if tech < 3 => {
+                    world.ratings.rate(user, it, 5.0).unwrap();
+                    tech += 1;
+                }
+                "politics" if sport > 0 && tech > 0 => {
+                    world.ratings.rate(user, it, 1.0).unwrap();
+                    return user;
+                }
+                _ => {}
+            }
+        }
+        user
+    }
+
+    #[test]
+    fn lead_names_dominant_interests() {
+        let mut w = world();
+        let user = fan(&mut w);
+        let ctx = Ctx::new(&w.ratings, &w.catalog);
+        let interests = dominant_interests(&ctx, user);
+        assert_eq!(interests[0].0, "sport");
+        assert!(interests.iter().any(|(v, _)| v == "technology"));
+
+        let items: Vec<ItemId> = UserKnn::default()
+            .recommend(&ctx, user, 2)
+            .iter()
+            .map(|s| s.item)
+            .collect();
+        let items = if items.is_empty() {
+            w.catalog.ids().take(2).collect::<Vec<_>>()
+        } else {
+            items
+        };
+        let e = group_explanation(&ctx, user, &items).unwrap();
+        let text = e.text();
+        assert!(
+            text.starts_with("You have watched a lot of sport"),
+            "got: {text}"
+        );
+        assert!(text.contains("You might like to see"));
+    }
+
+    #[test]
+    fn every_item_gets_a_rationale_line() {
+        let mut w = world();
+        let user = fan(&mut w);
+        let ctx = Ctx::new(&w.ratings, &w.catalog);
+        let items: Vec<ItemId> = w.catalog.ids().take(3).collect();
+        let e = group_explanation(&ctx, user, &items).unwrap();
+        let kv = e
+            .fragments
+            .iter()
+            .filter(|f| matches!(f, Fragment::KeyValue { .. }))
+            .count();
+        assert_eq!(kv, 3, "one relation line per listed item");
+    }
+
+    #[test]
+    fn off_interest_items_are_flagged_as_broadening() {
+        let mut w = world();
+        let user = fan(&mut w);
+        let ctx = Ctx::new(&w.ratings, &w.catalog);
+        let culture_item = w
+            .catalog
+            .iter()
+            .find(|it| it.attrs.cat("topic") == Some("culture"))
+            .unwrap()
+            .id;
+        let e = group_explanation(&ctx, user, &[culture_item]).unwrap();
+        let kv_text = format!("{:?}", e.fragments);
+        assert!(kv_text.contains("broaden the mix"), "{kv_text}");
+    }
+
+    #[test]
+    fn cold_user_gets_honest_lead() {
+        let w = world();
+        let cold = w
+            .ratings
+            .users()
+            .find(|&u| w.ratings.user_ratings(u).is_empty());
+        if let Some(cold) = cold {
+            let ctx = Ctx::new(&w.ratings, &w.catalog);
+            let items: Vec<ItemId> = w.catalog.ids().take(2).collect();
+            let e = group_explanation(&ctx, cold, &items).unwrap();
+            assert!(e.text().contains("still learning"));
+        }
+    }
+
+    #[test]
+    fn unknown_item_errors() {
+        let w = world();
+        let ctx = Ctx::new(&w.ratings, &w.catalog);
+        assert!(group_explanation(&ctx, UserId::new(0), &[ItemId::new(9999)]).is_err());
+    }
+}

@@ -1,0 +1,165 @@
+//! Algorithm-agnostic leave-one-out influence (survey Figure 3).
+//!
+//! Bilgic & Mooney's influence explanation shows, for each item the user
+//! rated, how much that rating moved the current recommendation. Content
+//! models compute this natively; for *any* other recommender the same
+//! quantity can be obtained by removing one rating at a time and
+//! re-predicting. O(rated × predict) — fine at study scale, and exact.
+
+use exrec_algo::recommender::RatedItemInfluence;
+use exrec_algo::{Ctx, Recommender};
+use exrec_data::{Catalog, RatingsMatrix};
+use exrec_types::{ItemId, Result, UserId};
+
+/// Computes leave-one-out influences of every rating `user` has made on
+/// the prediction for `item`, normalized to shares (largest first).
+///
+/// Ratings whose removal makes the prediction impossible count the *full*
+/// prediction swing to the scale midpoint — losing predictability is the
+/// strongest possible influence.
+///
+/// # Errors
+///
+/// Propagates the base prediction's errors.
+pub fn loo_influences(
+    recommender: &dyn Recommender,
+    ratings: &RatingsMatrix,
+    catalog: &Catalog,
+    user: UserId,
+    item: ItemId,
+) -> Result<Vec<RatedItemInfluence>> {
+    let base = {
+        let ctx = Ctx::new(ratings, catalog);
+        recommender.predict(&ctx, user, item)?.score
+    };
+    let midpoint = ratings.scale().midpoint();
+    let rated: Vec<(ItemId, f64)> = ratings.user_ratings(user).to_vec();
+
+    let mut working = ratings.clone();
+    let mut influences = Vec::with_capacity(rated.len());
+    for &(rated_item, user_rating) in &rated {
+        working
+            .unrate(user, rated_item)
+            .expect("rated items are in range");
+        let delta = {
+            let ctx = Ctx::new(&working, catalog);
+            match recommender.predict(&ctx, user, item) {
+                Ok(p) => (base - p.score).abs(),
+                Err(_) => (base - midpoint).abs().max(ratings.scale().span() * 0.25),
+            }
+        };
+        working
+            .rate(user, rated_item, user_rating)
+            .expect("restoring a removed rating");
+        if delta > 1e-12 {
+            influences.push(RatedItemInfluence {
+                item: rated_item,
+                user_rating,
+                share: delta,
+            });
+        }
+    }
+
+    let total: f64 = influences.iter().map(|i| i.share).sum();
+    if total > 1e-12 {
+        for inf in &mut influences {
+            inf.share /= total;
+        }
+    }
+    influences.sort_by(|a, b| {
+        b.share
+            .partial_cmp(&a.share)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.item.cmp(&b.item))
+    });
+    Ok(influences)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exrec_algo::item_knn::{ItemKnn, ItemKnnConfig};
+    use exrec_algo::UserKnn;
+    use exrec_data::synth::{movies, WorldConfig};
+    use exrec_data::World;
+
+    fn world() -> World {
+        movies::generate(&WorldConfig {
+            n_users: 30,
+            n_items: 25,
+            density: 0.4,
+            ..WorldConfig::default()
+        })
+    }
+
+    fn target(w: &World) -> (UserId, ItemId) {
+        let knn = UserKnn::default();
+        let ctx = Ctx::new(&w.ratings, &w.catalog);
+        for u in w.ratings.users() {
+            if w.ratings.user_ratings(u).len() < 4 {
+                continue;
+            }
+            for i in w.catalog.ids() {
+                if w.ratings.rating(u, i).is_none() && knn.predict(&ctx, u, i).is_ok() {
+                    return (u, i);
+                }
+            }
+        }
+        panic!("no predictable pair in fixture");
+    }
+
+    #[test]
+    fn shares_form_sorted_distribution() {
+        let w = world();
+        let (u, i) = target(&w);
+        let knn = UserKnn::default();
+        let infl = loo_influences(&knn, &w.ratings, &w.catalog, u, i).unwrap();
+        if infl.is_empty() {
+            return; // prediction insensitive to single ratings here
+        }
+        let sum: f64 = infl.iter().map(|x| x.share).sum();
+        assert!((sum - 1.0).abs() < 1e-9, "sum={sum}");
+        assert!(infl.windows(2).all(|w| w[0].share >= w[1].share));
+    }
+
+    #[test]
+    fn influences_reference_users_own_ratings() {
+        let w = world();
+        let (u, i) = target(&w);
+        let knn = UserKnn::default();
+        let infl = loo_influences(&knn, &w.ratings, &w.catalog, u, i).unwrap();
+        for inf in &infl {
+            assert_eq!(w.ratings.rating(u, inf.item), Some(inf.user_rating));
+        }
+    }
+
+    #[test]
+    fn matrix_is_restored_after_computation() {
+        let w = world();
+        let (u, i) = target(&w);
+        let before = w.ratings.clone();
+        let knn = UserKnn::default();
+        let _ = loo_influences(&knn, &w.ratings, &w.catalog, u, i).unwrap();
+        assert_eq!(w.ratings, before, "input matrix must not be mutated");
+    }
+
+    #[test]
+    fn works_for_item_knn_too() {
+        let w = world();
+        let ctx = Ctx::new(&w.ratings, &w.catalog);
+        let model = ItemKnn::fit(&ctx, ItemKnnConfig::default()).unwrap();
+        // Find a pair item-kNN can predict.
+        for u in w.ratings.users() {
+            for i in w.catalog.ids() {
+                if w.ratings.rating(u, i).is_none() && model.predict(&ctx, u, i).is_ok() {
+                    let infl =
+                        loo_influences(&model, &w.ratings, &w.catalog, u, i).unwrap();
+                    // Anchors are the user's own rated items, so most
+                    // influences should be nonzero when anchors exist.
+                    assert!(infl.iter().all(|x| x.share >= 0.0));
+                    return;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,854 @@
+//! Generation functions for the 21 explanation interfaces.
+
+use super::{ExplainInput, InterfaceId};
+use crate::explanation::{Explanation, Fragment, HistBin, Tone};
+use crate::templates::{fill, join_natural, percent, slots, stars};
+use exrec_algo::recommender::NeighborContribution;
+use exrec_algo::ModelEvidence;
+use exrec_types::{Error, Result};
+
+/// Dispatch: build the explanation for `id` from `input`.
+pub(super) fn generate(id: InterfaceId, input: &ExplainInput<'_>) -> Result<Explanation> {
+    let d = id.descriptor();
+    let frags = match id {
+        InterfaceId::NoExplanation => Vec::new(),
+        InterfaceId::Histogram => histogram(input, false)?,
+        InterfaceId::ClusteredHistogram => histogram(input, true)?,
+        InterfaceId::PastPerformance => past_performance(input),
+        InterfaceId::SimilarToRated => similar_to_rated(input)?,
+        InterfaceId::MovieAverage => item_average(input),
+        InterfaceId::FavouriteFeature => favourite_feature(input)?,
+        InterfaceId::InfluenceList => influence_list(input)?,
+        InterfaceId::KeywordMatch => keyword_match(input)?,
+        InterfaceId::CanonicalContent => canonical_content(input)?,
+        InterfaceId::CanonicalCollaborative => canonical_collaborative(input)?,
+        InterfaceId::CanonicalPreference => canonical_preference(input)?,
+        InterfaceId::NeighborCount => neighbor_count(input)?,
+        InterfaceId::ConfidenceDisplay => confidence_display(input),
+        InterfaceId::UtilityBreakdown => utility_breakdown(input)?,
+        InterfaceId::TopicProfile => topic_profile(input)?,
+        InterfaceId::WonAwards => won_awards(input),
+        InterfaceId::DetailedProcess => detailed_process(input)?,
+        InterfaceId::Demographic => demographic(input)?,
+        InterfaceId::NeighborTable => neighbor_table(input)?,
+        InterfaceId::ComplexGraph => complex_graph(input)?,
+    };
+    Ok(Explanation::new(d.key, d.style, d.aims, frags))
+}
+
+fn need_neighbors<'a>(
+    input: &'a ExplainInput<'_>,
+    interface: &'static str,
+) -> Result<&'a [NeighborContribution]> {
+    match input.evidence {
+        ModelEvidence::UserNeighbors { neighbors } => Ok(neighbors),
+        _ => Err(Error::MissingEvidence {
+            interface,
+            needs: "user-neighbour",
+        }),
+    }
+}
+
+fn title(input: &ExplainInput<'_>) -> String {
+    input
+        .ctx
+        .catalog
+        .get(input.item)
+        .map(|it| it.title.clone())
+        .unwrap_or_else(|_| format!("{}", input.item))
+}
+
+fn good_threshold(input: &ExplainInput<'_>) -> f64 {
+    let scale = input.ctx.ratings.scale();
+    scale.midpoint() + scale.span() * 0.1
+}
+
+/// Bars per star level; with `clustered`, good/bad levels are merged into
+/// two bins (Herlocker's winning variant).
+fn histogram(input: &ExplainInput<'_>, clustered: bool) -> Result<Vec<Fragment>> {
+    let neighbors = need_neighbors(input, "histogram")?;
+    let scale = input.ctx.ratings.scale();
+    let good_at = good_threshold(input);
+    let mut frags = vec![Fragment::Text(format!(
+        "How {} people with tastes like yours rated \"{}\":",
+        neighbors.len(),
+        title(input)
+    ))];
+    if clustered {
+        let good = neighbors.iter().filter(|n| n.rating >= good_at).count();
+        let mid = neighbors
+            .iter()
+            .filter(|n| n.rating < good_at && n.rating >= scale.midpoint() - scale.span() * 0.1)
+            .count();
+        let bad = neighbors.len() - good - mid;
+        frags.push(Fragment::Histogram {
+            title: "Neighbour ratings (clustered)".to_owned(),
+            bins: vec![
+                HistBin {
+                    label: "liked it".to_owned(),
+                    count: good,
+                    tone: Tone::Good,
+                },
+                HistBin {
+                    label: "neutral".to_owned(),
+                    count: mid,
+                    tone: Tone::Neutral,
+                },
+                HistBin {
+                    label: "disliked it".to_owned(),
+                    count: bad,
+                    tone: Tone::Bad,
+                },
+            ],
+        });
+    } else {
+        let levels = scale.levels();
+        let bins: Vec<HistBin> = if levels.is_empty() {
+            Vec::new()
+        } else {
+            levels
+                .iter()
+                .rev()
+                .map(|&level| HistBin {
+                    label: stars(level),
+                    count: neighbors
+                        .iter()
+                        .filter(|n| (n.rating - level).abs() < scale.step() / 2.0 + 1e-9)
+                        .count(),
+                    tone: if level >= good_at {
+                        Tone::Good
+                    } else if level <= scale.midpoint() - scale.span() * 0.1 {
+                        Tone::Bad
+                    } else {
+                        Tone::Neutral
+                    },
+                })
+                .collect()
+        };
+        frags.push(Fragment::Histogram {
+            title: "Neighbour ratings".to_owned(),
+            bins,
+        });
+    }
+    Ok(frags)
+}
+
+/// "Predictions for you have been within one star N% of the time."
+///
+/// Grounded proxy: compare each of the user's ratings against the item's
+/// mean among *other* raters — the simplest honest self-check available
+/// from observed data alone.
+fn past_performance(input: &ExplainInput<'_>) -> Vec<Fragment> {
+    let rated = input.ctx.ratings.user_ratings(input.user);
+    let mut close = 0usize;
+    let mut total = 0usize;
+    for &(item, rating) in rated {
+        let others = input.ctx.ratings.item_ratings(item);
+        let (sum, n) = others
+            .iter()
+            .filter(|&&(u, _)| u != input.user)
+            .fold((0.0, 0usize), |(s, n), &(_, v)| (s + v, n + 1));
+        if n > 0 {
+            total += 1;
+            if ((sum / n as f64) - rating).abs() <= 1.0 {
+                close += 1;
+            }
+        }
+    }
+    let pct = if total == 0 {
+        50.0
+    } else {
+        close as f64 / total as f64 * 100.0
+    };
+    vec![Fragment::Text(format!(
+        "In the past, this recommender's estimates have been within one star of \
+         your own rating {pct:.0}% of the time ({close} of {total} rated items)."
+    ))]
+}
+
+fn similar_to_rated(input: &ExplainInput<'_>) -> Result<Vec<Fragment>> {
+    let anchors = match input.evidence {
+        ModelEvidence::ItemNeighbors { anchors } => anchors,
+        _ => {
+            return Err(Error::MissingEvidence {
+                interface: "similar_to_rated",
+                needs: "item-neighbour",
+            })
+        }
+    };
+    let names: Vec<String> = anchors
+        .iter()
+        .take(3)
+        .filter_map(|a| {
+            input
+                .ctx
+                .catalog
+                .get(a.item)
+                .ok()
+                .map(|it| format!("\"{}\" (your rating: {})", it.title, stars(a.user_rating)))
+        })
+        .collect();
+    if names.is_empty() {
+        return Err(Error::MissingEvidence {
+            interface: "similar_to_rated",
+            needs: "item-neighbour",
+        });
+    }
+    Ok(vec![Fragment::Text(format!(
+        "\"{}\" is similar to {}.",
+        title(input),
+        join_natural(&names)
+    ))])
+}
+
+fn item_average(input: &ExplainInput<'_>) -> Vec<Fragment> {
+    let ratings = input.ctx.ratings.item_ratings(input.item);
+    match input.ctx.ratings.item_mean(input.item) {
+        Some(mean) => vec![
+            Fragment::Text(format!("Overall rating of \"{}\":", title(input))),
+            Fragment::KeyValue {
+                key: "Average".to_owned(),
+                value: format!("{} from {} ratings", stars((mean * 10.0).round() / 10.0), ratings.len()),
+            },
+        ],
+        None => vec![Fragment::Text(format!(
+            "\"{}\" has not been rated yet — you would be the first.",
+            title(input)
+        ))],
+    }
+}
+
+/// Finds the categorical attribute value of the target item most shared
+/// with the user's liked items ("stars Bruce Willis, who appears in 3
+/// movies you liked").
+fn favourite_feature(input: &ExplainInput<'_>) -> Result<Vec<Fragment>> {
+    let target = input.ctx.catalog.get(input.item)?;
+    let mean = input
+        .ctx
+        .ratings
+        .user_mean(input.user)
+        .unwrap_or_else(|| input.ctx.ratings.scale().midpoint());
+    let liked: Vec<_> = input
+        .ctx
+        .ratings
+        .user_ratings(input.user)
+        .iter()
+        .filter(|&&(_, r)| r >= mean)
+        .filter_map(|&(i, _)| input.ctx.catalog.get(i).ok())
+        .collect();
+
+    let mut best: Option<(String, String, usize)> = None; // (attr label, value, count)
+    for (name, value) in target.attrs.iter() {
+        if let Some(v) = value.as_cat() {
+            let count = liked
+                .iter()
+                .filter(|it| it.attrs.cat(name) == Some(v))
+                .count();
+            let label = input
+                .ctx
+                .catalog
+                .schema()
+                .attribute(name)
+                .map(|a| a.label.clone())
+                .unwrap_or_else(|| name.to_owned());
+            if count > 0 && best.as_ref().map(|b| count > b.2).unwrap_or(true) {
+                best = Some((label, v.to_owned(), count));
+            }
+        }
+    }
+    match best {
+        Some((label, value, count)) => Ok(vec![Fragment::Text(format!(
+            "{} of the items you liked share this item's {}: {}.",
+            count,
+            label.to_lowercase(),
+            value
+        ))]),
+        None => Ok(vec![Fragment::Text(format!(
+            "\"{}\" brings something new — it shares no feature with items you have liked so far.",
+            title(input)
+        ))]),
+    }
+}
+
+fn influence_list(input: &ExplainInput<'_>) -> Result<Vec<Fragment>> {
+    let influences = match input.evidence {
+        ModelEvidence::Content { influences, .. } => influences,
+        _ => {
+            return Err(Error::MissingEvidence {
+                interface: "influence_list",
+                needs: "content",
+            })
+        }
+    };
+    let mut frags = vec![Fragment::Text(format!(
+        "Your previous ratings influenced the recommendation of \"{}\" as follows:",
+        title(input)
+    ))];
+    for inf in influences.iter().take(5) {
+        let name = input
+            .ctx
+            .catalog
+            .get(inf.item)
+            .map(|it| it.title.clone())
+            .unwrap_or_else(|_| format!("{}", inf.item));
+        frags.push(Fragment::InfluenceBar {
+            title: name,
+            rating: inf.user_rating,
+            share: inf.share,
+        });
+    }
+    Ok(frags)
+}
+
+fn keyword_match(input: &ExplainInput<'_>) -> Result<Vec<Fragment>> {
+    let features = match input.evidence {
+        ModelEvidence::Content { features, .. } => features,
+        _ => {
+            return Err(Error::MissingEvidence {
+                interface: "keyword_match",
+                needs: "content",
+            })
+        }
+    };
+    let positive: Vec<String> = features
+        .iter()
+        .filter(|f| f.weight > 0.0)
+        .take(4)
+        .map(|f| f.feature.clone())
+        .collect();
+    let text = if positive.is_empty() {
+        format!(
+            "\"{}\" matches little in your profile — treat this as a long shot.",
+            title(input)
+        )
+    } else {
+        format!(
+            "\"{}\" matches your profile on {}.",
+            title(input),
+            join_natural(&positive)
+        )
+    };
+    Ok(vec![Fragment::Text(text)])
+}
+
+fn canonical_content(input: &ExplainInput<'_>) -> Result<Vec<Fragment>> {
+    let anchors = match input.evidence {
+        ModelEvidence::ItemNeighbors { anchors } => anchors,
+        _ => {
+            return Err(Error::MissingEvidence {
+                interface: "canonical_content",
+                needs: "item-neighbour",
+            })
+        }
+    };
+    let anchor = anchors
+        .first()
+        .and_then(|a| input.ctx.catalog.get(a.item).ok())
+        .ok_or(Error::MissingEvidence {
+            interface: "canonical_content",
+            needs: "item-neighbour",
+        })?;
+    let vals = slots([
+        ("item", format!("\"{}\"", title(input))),
+        ("anchor", format!("\"{}\"", anchor.title)),
+    ]);
+    Ok(vec![Fragment::Text(fill(
+        "We have recommended {item} because you liked {anchor}.",
+        &vals,
+    ))])
+}
+
+fn canonical_collaborative(input: &ExplainInput<'_>) -> Result<Vec<Fragment>> {
+    let neighbors = need_neighbors(input, "canonical_collaborative")?;
+    let good_at = good_threshold(input);
+    let liked = neighbors.iter().filter(|n| n.rating >= good_at).count();
+    Ok(vec![Fragment::Text(format!(
+        "People like you liked \"{}\" — {} of {} similar users rated it highly.",
+        title(input),
+        liked,
+        neighbors.len()
+    ))])
+}
+
+fn canonical_preference(input: &ExplainInput<'_>) -> Result<Vec<Fragment>> {
+    Ok(vec![Fragment::Text(format!(
+        "Your interests suggest that you would like \"{}\".",
+        title(input)
+    ))])
+}
+
+fn neighbor_count(input: &ExplainInput<'_>) -> Result<Vec<Fragment>> {
+    let neighbors = need_neighbors(input, "neighbor_count")?;
+    Ok(vec![Fragment::Text(format!(
+        "This prediction is based on {} users whose past ratings closely match yours.",
+        neighbors.len()
+    ))])
+}
+
+fn confidence_display(input: &ExplainInput<'_>) -> Vec<Fragment> {
+    vec![Fragment::Disclosure {
+        strength: input.prediction.score,
+        confidence: Some(input.prediction.confidence),
+    }]
+}
+
+fn utility_breakdown(input: &ExplainInput<'_>) -> Result<Vec<Fragment>> {
+    let (terms, total) = match input.evidence {
+        ModelEvidence::Utility { terms, total } => (terms, *total),
+        _ => {
+            return Err(Error::MissingEvidence {
+                interface: "utility_breakdown",
+                needs: "utility",
+            })
+        }
+    };
+    let mut frags = vec![Fragment::Text(format!(
+        "\"{}\" matches your requirements at {}:",
+        title(input),
+        percent(total)
+    ))];
+    for t in terms {
+        frags.push(Fragment::KeyValue {
+            key: t.attribute.clone(),
+            value: format!("{} ({})", percent(t.satisfaction), t.detail),
+        });
+    }
+    Ok(frags)
+}
+
+/// "You have been watching a lot of sports, and football in particular…"
+/// — the survey's Section 4.1 running example, generated from the user's
+/// liked items' dominant categorical value.
+fn topic_profile(input: &ExplainInput<'_>) -> Result<Vec<Fragment>> {
+    let target = input.ctx.catalog.get(input.item)?;
+    let mean = input
+        .ctx
+        .ratings
+        .user_mean(input.user)
+        .unwrap_or_else(|| input.ctx.ratings.scale().midpoint());
+    // Dominant categorical value among the user's liked items, per attr.
+    let mut counts: std::collections::HashMap<(String, String), usize> =
+        std::collections::HashMap::new();
+    for &(item, rating) in input.ctx.ratings.user_ratings(input.user) {
+        if rating < mean {
+            continue;
+        }
+        if let Ok(it) = input.ctx.catalog.get(item) {
+            for (name, value) in it.attrs.iter() {
+                if let Some(v) = value.as_cat() {
+                    *counts.entry((name.to_owned(), v.to_owned())).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    let dominant = counts.into_iter().max_by(|a, b| {
+        a.1.cmp(&b.1)
+            .then_with(|| b.0.cmp(&a.0)) // deterministic tie-break
+    });
+    let Some(((attr, value), count)) = dominant else {
+        return Ok(vec![Fragment::Text(
+            "We do not know much about your tastes yet — this is a starting suggestion."
+                .to_owned(),
+        )]);
+    };
+    let target_value = target.attrs.cat(&attr).unwrap_or("something different");
+    let relation = if target_value == value {
+        format!("This is a {value} item too.")
+    } else {
+        format!("This one is about {target_value} — a change of pace.")
+    };
+    Ok(vec![Fragment::Text(format!(
+        "You have been choosing a lot of {value} items ({count} liked so far). {relation}"
+    ))])
+}
+
+fn won_awards(input: &ExplainInput<'_>) -> Vec<Fragment> {
+    let ratings = input.ctx.ratings.item_ratings(input.item);
+    let scale = input.ctx.ratings.scale();
+    let mean = input.ctx.ratings.item_mean(input.item);
+    let badge = match mean {
+        Some(m) if m >= scale.midpoint() + scale.span() * 0.25 && ratings.len() >= 5 => {
+            "one of the highest-rated items in the catalog"
+        }
+        Some(_) if ratings.len() >= 10 => "widely reviewed by the community",
+        _ => "a fresh pick our editors are watching",
+    };
+    vec![Fragment::Text(format!(
+        "\"{}\" is {badge}.",
+        title(input)
+    ))]
+}
+
+fn detailed_process(input: &ExplainInput<'_>) -> Result<Vec<Fragment>> {
+    let scale = input.ctx.ratings.scale();
+    let mechanics = match input.evidence {
+        ModelEvidence::UserNeighbors { neighbors } => format!(
+            "we located the {} users whose rating history correlates most strongly with \
+             yours, weighted each of their ratings of this item by that correlation, \
+             and centred the result on your personal mean rating",
+            neighbors.len()
+        ),
+        ModelEvidence::ItemNeighbors { anchors } => format!(
+            "we measured how similarly the community rates this item and the {} items \
+             you have already rated, then combined your own ratings of those items in \
+             proportion to that similarity",
+            anchors.len()
+        ),
+        ModelEvidence::Content { features, .. } => format!(
+            "we learned which words and features distinguish the items you like from the \
+             ones you do not ({} features were decisive here) and scored this item's \
+             description against that profile",
+            features.len()
+        ),
+        ModelEvidence::Utility { terms, .. } => format!(
+            "we scored the item against each of your {} stated requirements, weighted by \
+             the importance you assigned, and averaged the result",
+            terms.len()
+        ),
+        ModelEvidence::Popularity { count, .. } => format!(
+            "we averaged the {count} community ratings of this item, shrunk toward the \
+             overall mean to avoid over-reading small samples"
+        ),
+        ModelEvidence::Latent { terms, .. } => format!(
+            "we summarized your taste and this item as {} learned numeric factors and \
+             multiplied them together; honestly, the individual factors have no \
+             human-readable meaning",
+            terms.len()
+        ),
+        _ => "we combined the available signals in your profile".to_owned(),
+    };
+    Ok(vec![Fragment::Text(format!(
+        "How this prediction was computed: {mechanics}. The resulting estimate is {:.1} \
+         on the {:.0}-to-{:.0} scale, and the computation is repeated from scratch every \
+         time your ratings change.",
+        input.prediction.score,
+        scale.min(),
+        scale.max()
+    ))])
+}
+
+fn demographic(input: &ExplainInput<'_>) -> Result<Vec<Fragment>> {
+    Ok(vec![Fragment::Text(format!(
+        "People in your demographic group tend to enjoy items like \"{}\".",
+        title(input)
+    ))])
+}
+
+fn neighbor_table(input: &ExplainInput<'_>) -> Result<Vec<Fragment>> {
+    let neighbors = need_neighbors(input, "neighbor_table")?;
+    let mut frags = vec![Fragment::Text(format!(
+        "Every neighbour who rated \"{}\":",
+        title(input)
+    ))];
+    for n in neighbors {
+        frags.push(Fragment::KeyValue {
+            key: format!("user {}", n.user),
+            value: format!("similarity {:.2}, rated {}", n.similarity, stars(n.rating)),
+        });
+    }
+    Ok(frags)
+}
+
+fn complex_graph(input: &ExplainInput<'_>) -> Result<Vec<Fragment>> {
+    // Everything at once: the canonical over-share.
+    let mut frags = histogram(input, false)?;
+    frags.extend(neighbor_table(input)?);
+    frags.push(Fragment::Disclosure {
+        strength: input.prediction.score,
+        confidence: Some(input.prediction.confidence),
+    });
+    Ok(frags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interfaces::EvidenceNeed;
+    use exrec_algo::recommender::{ItemAnchor, UtilityTerm};
+    use exrec_algo::Ctx;
+    use exrec_data::{Catalog, RatingsMatrix};
+    use exrec_types::{
+        AttributeDef, AttributeSet, Confidence, DomainSchema, ItemId, Prediction, RatingScale,
+        UserId,
+    };
+
+    struct Fixture {
+        ratings: RatingsMatrix,
+        catalog: Catalog,
+    }
+
+    fn fixture() -> Fixture {
+        let schema = DomainSchema::new(
+            "movies",
+            vec![
+                AttributeDef::categorical("genre", "Genre"),
+                AttributeDef::categorical("lead", "Lead Actor"),
+            ],
+        )
+        .unwrap();
+        let mut catalog = Catalog::new(schema);
+        for (t, g, l) in [
+            ("Alpha", "comedy", "Ann Ba"),
+            ("Beta", "comedy", "Cee Dee"),
+            ("Gamma", "drama", "Ann Ba"),
+            ("Delta", "comedy", "Ann Ba"),
+        ] {
+            catalog
+                .add(
+                    t,
+                    AttributeSet::new().with("genre", g).with("lead", l),
+                    vec![g.to_string()],
+                )
+                .unwrap();
+        }
+        let mut ratings = RatingsMatrix::new(4, 4, RatingScale::FIVE_STAR);
+        ratings.rate(UserId(0), ItemId(0), 5.0).unwrap();
+        ratings.rate(UserId(0), ItemId(1), 4.0).unwrap();
+        ratings.rate(UserId(0), ItemId(2), 2.0).unwrap();
+        ratings.rate(UserId(1), ItemId(3), 5.0).unwrap();
+        ratings.rate(UserId(2), ItemId(3), 4.0).unwrap();
+        ratings.rate(UserId(3), ItemId(3), 2.0).unwrap();
+        Fixture { ratings, catalog }
+    }
+
+    fn neighbors_evidence() -> ModelEvidence {
+        ModelEvidence::UserNeighbors {
+            neighbors: vec![
+                NeighborContribution {
+                    user: UserId(1),
+                    similarity: 0.9,
+                    rating: 5.0,
+                },
+                NeighborContribution {
+                    user: UserId(2),
+                    similarity: 0.7,
+                    rating: 4.0,
+                },
+                NeighborContribution {
+                    user: UserId(3),
+                    similarity: 0.4,
+                    rating: 2.0,
+                },
+            ],
+        }
+    }
+
+    fn run(id: InterfaceId, ev: &ModelEvidence) -> Result<Explanation> {
+        let f = fixture();
+        let ctx = Ctx::new(&f.ratings, &f.catalog);
+        let input = ExplainInput {
+            ctx: &ctx,
+            user: UserId(0),
+            item: ItemId(3),
+            prediction: Prediction::new(4.2, Confidence::new(0.8)),
+            evidence: ev,
+        };
+        id.generate(&input)
+    }
+
+    #[test]
+    fn histogram_bins_cover_all_neighbors() {
+        let e = run(InterfaceId::Histogram, &neighbors_evidence()).unwrap();
+        let bins: usize = e
+            .fragments
+            .iter()
+            .filter_map(|f| match f {
+                Fragment::Histogram { bins, .. } => {
+                    Some(bins.iter().map(|b| b.count).sum::<usize>())
+                }
+                _ => None,
+            })
+            .sum();
+        assert_eq!(bins, 3, "all three neighbours binned");
+    }
+
+    #[test]
+    fn clustered_histogram_has_three_tonal_bins() {
+        let e = run(InterfaceId::ClusteredHistogram, &neighbors_evidence()).unwrap();
+        let hist = e
+            .fragments
+            .iter()
+            .find_map(|f| match f {
+                Fragment::Histogram { bins, .. } => Some(bins.clone()),
+                _ => None,
+            })
+            .expect("histogram fragment");
+        assert_eq!(hist.len(), 3);
+        assert_eq!(hist[0].tone, Tone::Good);
+        assert_eq!(hist[2].tone, Tone::Bad);
+        // 5.0 and 4.0 are good; 2.0 is bad.
+        assert_eq!(hist[0].count, 2);
+        assert_eq!(hist[2].count, 1);
+    }
+
+    #[test]
+    fn evidence_mismatch_is_reported() {
+        let content_only = ModelEvidence::Popularity { mean: 3.0, count: 1 };
+        for id in [
+            InterfaceId::Histogram,
+            InterfaceId::ClusteredHistogram,
+            InterfaceId::SimilarToRated,
+            InterfaceId::InfluenceList,
+            InterfaceId::KeywordMatch,
+            InterfaceId::UtilityBreakdown,
+            InterfaceId::NeighborTable,
+            InterfaceId::ComplexGraph,
+            InterfaceId::NeighborCount,
+            InterfaceId::CanonicalContent,
+            InterfaceId::CanonicalCollaborative,
+        ] {
+            assert!(
+                matches!(run(id, &content_only), Err(Error::MissingEvidence { .. })),
+                "{id:?} should demand its evidence kind"
+            );
+            assert_ne!(id.descriptor().needs, EvidenceNeed::Any);
+        }
+    }
+
+    #[test]
+    fn any_evidence_interfaces_accept_popularity() {
+        let pop = ModelEvidence::Popularity { mean: 3.7, count: 3 };
+        for id in [
+            InterfaceId::PastPerformance,
+            InterfaceId::MovieAverage,
+            InterfaceId::FavouriteFeature,
+            InterfaceId::CanonicalPreference,
+            InterfaceId::ConfidenceDisplay,
+            InterfaceId::TopicProfile,
+            InterfaceId::WonAwards,
+            InterfaceId::DetailedProcess,
+            InterfaceId::Demographic,
+            InterfaceId::NoExplanation,
+        ] {
+            let e = run(id, &pop).unwrap_or_else(|err| panic!("{id:?} failed: {err}"));
+            if id != InterfaceId::NoExplanation {
+                assert!(!e.fragments.is_empty(), "{id:?} produced nothing");
+            }
+        }
+    }
+
+    #[test]
+    fn similar_to_rated_names_anchor_titles() {
+        let ev = ModelEvidence::ItemNeighbors {
+            anchors: vec![ItemAnchor {
+                item: ItemId(0),
+                similarity: 0.8,
+                user_rating: 5.0,
+            }],
+        };
+        let e = run(InterfaceId::SimilarToRated, &ev).unwrap();
+        assert!(e.text().contains("Alpha"), "text: {}", e.text());
+        assert!(e.text().contains("Delta"), "target title shown");
+    }
+
+    #[test]
+    fn canonical_content_sentence_shape() {
+        let ev = ModelEvidence::ItemNeighbors {
+            anchors: vec![ItemAnchor {
+                item: ItemId(1),
+                similarity: 0.9,
+                user_rating: 4.0,
+            }],
+        };
+        let e = run(InterfaceId::CanonicalContent, &ev).unwrap();
+        assert_eq!(
+            e.text(),
+            "We have recommended \"Delta\" because you liked \"Beta\"."
+        );
+    }
+
+    #[test]
+    fn influence_list_renders_bars() {
+        let ev = ModelEvidence::Content {
+            features: vec![],
+            influences: vec![
+                exrec_algo::recommender::RatedItemInfluence {
+                    item: ItemId(0),
+                    user_rating: 5.0,
+                    share: 0.6,
+                },
+                exrec_algo::recommender::RatedItemInfluence {
+                    item: ItemId(1),
+                    user_rating: 4.0,
+                    share: 0.4,
+                },
+            ],
+        };
+        let e = run(InterfaceId::InfluenceList, &ev).unwrap();
+        let bars = e
+            .fragments
+            .iter()
+            .filter(|f| matches!(f, Fragment::InfluenceBar { .. }))
+            .count();
+        assert_eq!(bars, 2);
+    }
+
+    #[test]
+    fn favourite_feature_finds_shared_lead() {
+        // User 0 liked Alpha (lead Ann Ba, 5★); target Delta also has Ann Ba.
+        let pop = ModelEvidence::Popularity { mean: 3.0, count: 1 };
+        let e = run(InterfaceId::FavouriteFeature, &pop).unwrap();
+        let text = e.text();
+        assert!(
+            text.contains("Ann Ba") || text.contains("comedy"),
+            "should surface a shared feature, got: {text}"
+        );
+    }
+
+    #[test]
+    fn topic_profile_mentions_dominant_category() {
+        let pop = ModelEvidence::Popularity { mean: 3.0, count: 1 };
+        let e = run(InterfaceId::TopicProfile, &pop).unwrap();
+        // User 0 liked comedies (Alpha 5★, Beta 4★ ≥ mean 3.67; Gamma 2★ below).
+        assert!(e.text().contains("comedy"), "got: {}", e.text());
+    }
+
+    #[test]
+    fn utility_breakdown_lists_terms() {
+        let ev = ModelEvidence::Utility {
+            terms: vec![UtilityTerm {
+                attribute: "price".to_owned(),
+                satisfaction: 0.9,
+                weight: 1.0,
+                detail: "price 450 is within your limit of 500".to_owned(),
+            }],
+            total: 0.9,
+        };
+        let e = run(InterfaceId::UtilityBreakdown, &ev).unwrap();
+        assert!(e
+            .fragments
+            .iter()
+            .any(|f| matches!(f, Fragment::KeyValue { key, .. } if key == "price")));
+        assert!(e.text().contains("90%"));
+    }
+
+    #[test]
+    fn complex_graph_is_heaviest() {
+        let e_graph = run(InterfaceId::ComplexGraph, &neighbors_evidence()).unwrap();
+        let e_hist = run(InterfaceId::Histogram, &neighbors_evidence()).unwrap();
+        let e_sentence = run(InterfaceId::CanonicalCollaborative, &neighbors_evidence()).unwrap();
+        assert!(e_graph.reading_cost() > e_hist.reading_cost());
+        assert!(e_hist.reading_cost() > e_sentence.reading_cost());
+    }
+
+    #[test]
+    fn confidence_display_discloses() {
+        let pop = ModelEvidence::Popularity { mean: 3.0, count: 1 };
+        let e = run(InterfaceId::ConfidenceDisplay, &pop).unwrap();
+        match &e.fragments[0] {
+            Fragment::Disclosure { strength, confidence } => {
+                assert!((strength - 4.2).abs() < 1e-9);
+                assert!(confidence.is_some());
+            }
+            other => panic!("expected disclosure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn past_performance_reports_grounded_fraction() {
+        let pop = ModelEvidence::Popularity { mean: 3.0, count: 1 };
+        let e = run(InterfaceId::PastPerformance, &pop).unwrap();
+        assert!(e.text().contains('%'));
+        assert!(e.text().contains("rated items"));
+    }
+}

@@ -1,0 +1,400 @@
+//! The explanation-interface catalog (survey Section 3.4).
+//!
+//! Herlocker, Konstan & Riedl's CSCW'00 study — the survey's central
+//! persuasiveness evidence — compared **21 explanation interfaces** for a
+//! collaborative movie recommender and found that a histogram of
+//! neighbours' ratings with good and bad ratings clustered performed
+//! best, while dense interfaces (neighbour tables, complex graphs)
+//! dropped *below* the no-explanation baseline.
+//!
+//! This module reproduces that design space: 21 interfaces, each a pure
+//! function from typed [`ModelEvidence`] to an [`Explanation`]. Each
+//! carries an [`InterfaceDescriptor`] with three *design properties* used
+//! by the simulated-user response model in `exrec-eval`:
+//!
+//! * `informativeness` — how much decision-relevant signal it conveys;
+//! * `cognitive_load` — how hard it is to absorb;
+//! * `grounding` — how directly its claims follow from actual data.
+//!
+//! The E-PERS study's ranking is *emergent* from these properties plus
+//! the response model — the reference ordering (histograms top, complex
+//! graph bottom) is asserted in `EXPERIMENTS.md`, not hard-coded into the
+//! study.
+
+mod generators;
+
+use crate::aims::{Aim, AimProfile};
+use crate::explanation::Explanation;
+use crate::style::ExplanationStyle;
+use exrec_algo::{Ctx, ModelEvidence};
+use exrec_types::{ItemId, Prediction, Result, UserId};
+use std::fmt;
+
+/// Identifier of one of the 21 explanation interfaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)] // names are self-describing; details in descriptor()
+pub enum InterfaceId {
+    ClusteredHistogram,
+    Histogram,
+    PastPerformance,
+    SimilarToRated,
+    MovieAverage,
+    FavouriteFeature,
+    InfluenceList,
+    KeywordMatch,
+    CanonicalContent,
+    CanonicalCollaborative,
+    CanonicalPreference,
+    NeighborCount,
+    ConfidenceDisplay,
+    UtilityBreakdown,
+    TopicProfile,
+    WonAwards,
+    DetailedProcess,
+    Demographic,
+    NeighborTable,
+    ComplexGraph,
+    NoExplanation,
+}
+
+/// Which evidence kind an interface requires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvidenceNeed {
+    /// Works with any or no evidence.
+    Any,
+    /// Needs [`ModelEvidence::UserNeighbors`].
+    UserNeighbors,
+    /// Needs [`ModelEvidence::ItemNeighbors`].
+    ItemNeighbors,
+    /// Needs [`ModelEvidence::Content`].
+    Content,
+    /// Needs [`ModelEvidence::Utility`].
+    Utility,
+}
+
+/// Static description of an interface: identity, classification and the
+/// design properties driving the simulated-response model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterfaceDescriptor {
+    /// The id.
+    pub id: InterfaceId,
+    /// Stable string id (snake_case).
+    pub key: &'static str,
+    /// Human-readable name.
+    pub name: &'static str,
+    /// One-line description of what the user sees.
+    pub description: &'static str,
+    /// Content style.
+    pub style: ExplanationStyle,
+    /// Aims the interface primarily serves.
+    pub aims: AimProfile,
+    /// Evidence requirement.
+    pub needs: EvidenceNeed,
+    /// Decision-relevant signal, `[0, 1]`.
+    pub informativeness: f64,
+    /// Absorption difficulty, `[0, 1]`.
+    pub cognitive_load: f64,
+    /// Data-groundedness of its claims, `[0, 1]`.
+    pub grounding: f64,
+}
+
+impl InterfaceId {
+    /// All 21 interfaces, in catalog order (strongest reference
+    /// performers first, the no-explanation control last).
+    pub const ALL: [InterfaceId; 21] = [
+        InterfaceId::ClusteredHistogram,
+        InterfaceId::Histogram,
+        InterfaceId::PastPerformance,
+        InterfaceId::SimilarToRated,
+        InterfaceId::MovieAverage,
+        InterfaceId::FavouriteFeature,
+        InterfaceId::InfluenceList,
+        InterfaceId::KeywordMatch,
+        InterfaceId::CanonicalContent,
+        InterfaceId::CanonicalCollaborative,
+        InterfaceId::CanonicalPreference,
+        InterfaceId::NeighborCount,
+        InterfaceId::ConfidenceDisplay,
+        InterfaceId::UtilityBreakdown,
+        InterfaceId::TopicProfile,
+        InterfaceId::WonAwards,
+        InterfaceId::DetailedProcess,
+        InterfaceId::Demographic,
+        InterfaceId::NeighborTable,
+        InterfaceId::ComplexGraph,
+        InterfaceId::NoExplanation,
+    ];
+
+    /// The interface's static descriptor.
+    pub fn descriptor(self) -> InterfaceDescriptor {
+        use Aim::*;
+        use ExplanationStyle::*;
+        use InterfaceId as I;
+        let d = |id: I,
+                 key: &'static str,
+                 name: &'static str,
+                 description: &'static str,
+                 style: ExplanationStyle,
+                 aims: &[Aim],
+                 needs: EvidenceNeed,
+                 informativeness: f64,
+                 cognitive_load: f64,
+                 grounding: f64| InterfaceDescriptor {
+            id,
+            key,
+            name,
+            description,
+            style,
+            aims: AimProfile::of(aims),
+            needs,
+            informativeness,
+            cognitive_load,
+            grounding,
+        };
+        match self {
+            I::ClusteredHistogram => d(
+                self, "clustered_histogram", "Clustered ratings histogram",
+                "Histogram of neighbours' ratings with good and bad ratings clustered",
+                CollaborativeBased, &[Persuasiveness, Trust, Transparency],
+                EvidenceNeed::UserNeighbors, 0.90, 0.25, 0.90,
+            ),
+            I::Histogram => d(
+                self, "histogram", "Ratings histogram",
+                "Histogram of how similar users rated the item, one bar per star level",
+                CollaborativeBased, &[Persuasiveness, Transparency],
+                EvidenceNeed::UserNeighbors, 0.85, 0.35, 0.90,
+            ),
+            I::PastPerformance => d(
+                self, "past_performance", "Past performance",
+                "How often the system's past predictions for this user were close",
+                PreferenceBased, &[Trust, Persuasiveness],
+                EvidenceNeed::Any, 0.70, 0.15, 0.75,
+            ),
+            I::SimilarToRated => d(
+                self, "similar_to_rated", "Similarity to rated items",
+                "Names the highly-rated items the recommendation is similar to",
+                ContentBased, &[Persuasiveness, Effectiveness, Transparency],
+                EvidenceNeed::ItemNeighbors, 0.70, 0.20, 0.85,
+            ),
+            I::MovieAverage => d(
+                self, "item_average", "Item average rating",
+                "The item's overall average rating and rating count",
+                CollaborativeBased, &[Persuasiveness, Efficiency],
+                EvidenceNeed::Any, 0.60, 0.10, 0.80,
+            ),
+            I::FavouriteFeature => d(
+                self, "favourite_feature", "Favourite actor/feature",
+                "Points out a feature (actor, author, genre) shared with items the user liked",
+                ContentBased, &[Persuasiveness, Satisfaction],
+                EvidenceNeed::Any, 0.65, 0.15, 0.80,
+            ),
+            I::InfluenceList => d(
+                self, "influence_list", "Rated-item influence list",
+                "Shows which of the user's past ratings influenced this recommendation, with percentages",
+                ContentBased, &[Transparency, Effectiveness, Scrutability],
+                EvidenceNeed::Content, 0.75, 0.40, 0.90,
+            ),
+            I::KeywordMatch => d(
+                self, "keyword_match", "Keyword match",
+                "Lists the keywords of the item that match the user's learned profile",
+                ContentBased, &[Effectiveness, Transparency],
+                EvidenceNeed::Content, 0.60, 0.30, 0.80,
+            ),
+            I::CanonicalContent => d(
+                self, "canonical_content", "\"Because you liked…\" sentence",
+                "One sentence: we recommended X because you liked Y",
+                ContentBased, &[Persuasiveness, Efficiency],
+                EvidenceNeed::ItemNeighbors, 0.55, 0.10, 0.70,
+            ),
+            I::CanonicalCollaborative => d(
+                self, "canonical_collaborative", "\"People like you…\" sentence",
+                "One sentence: people like you liked this item",
+                CollaborativeBased, &[Persuasiveness, Efficiency],
+                EvidenceNeed::UserNeighbors, 0.55, 0.10, 0.70,
+            ),
+            I::CanonicalPreference => d(
+                self, "canonical_preference", "\"Your interests suggest…\" sentence",
+                "One sentence: your interests suggest you would like this item",
+                PreferenceBased, &[Efficiency],
+                EvidenceNeed::Any, 0.45, 0.10, 0.60,
+            ),
+            I::NeighborCount => d(
+                self, "neighbor_count", "Neighbour count",
+                "How many similar users the prediction is based on",
+                CollaborativeBased, &[Trust, Transparency],
+                EvidenceNeed::UserNeighbors, 0.50, 0.10, 0.80,
+            ),
+            I::ConfidenceDisplay => d(
+                self, "confidence_display", "Strength and confidence",
+                "The predicted rating plus how confident the system is in it",
+                PreferenceBased, &[Trust, Transparency],
+                EvidenceNeed::Any, 0.50, 0.15, 0.85,
+            ),
+            I::UtilityBreakdown => d(
+                self, "utility_breakdown", "Requirement breakdown",
+                "Per-requirement satisfaction table for knowledge-based recommendations",
+                PreferenceBased, &[Transparency, Effectiveness, Scrutability],
+                EvidenceNeed::Utility, 0.70, 0.45, 0.90,
+            ),
+            I::TopicProfile => d(
+                self, "topic_profile", "Viewing-profile summary",
+                "\"You have been watching a lot of sports…\" profile recap",
+                PreferenceBased, &[Transparency, Scrutability],
+                EvidenceNeed::Any, 0.60, 0.20, 0.75,
+            ),
+            I::WonAwards => d(
+                self, "won_awards", "Quality badge",
+                "A quality claim (highly rated / widely reviewed) about the item",
+                CollaborativeBased, &[Persuasiveness],
+                EvidenceNeed::Any, 0.45, 0.10, 0.50,
+            ),
+            I::DetailedProcess => d(
+                self, "detailed_process", "Detailed process description",
+                "A paragraph describing exactly how the prediction was computed",
+                PreferenceBased, &[Transparency],
+                EvidenceNeed::Any, 0.65, 0.80, 0.90,
+            ),
+            I::Demographic => d(
+                self, "demographic", "Demographic appeal",
+                "\"People in your demographic tend to enjoy this\" — weakly grounded",
+                CollaborativeBased, &[Persuasiveness],
+                EvidenceNeed::Any, 0.30, 0.20, 0.40,
+            ),
+            I::NeighborTable => d(
+                self, "neighbor_table", "Neighbour ratings table",
+                "A raw table of each neighbour's similarity and rating",
+                CollaborativeBased, &[Transparency],
+                EvidenceNeed::UserNeighbors, 0.60, 0.85, 0.90,
+            ),
+            I::ComplexGraph => d(
+                self, "complex_graph", "Complex correlation graph",
+                "A dense chart of neighbour correlations and ratings (the classic over-share)",
+                CollaborativeBased, &[Transparency],
+                EvidenceNeed::UserNeighbors, 0.55, 0.95, 0.85,
+            ),
+            I::NoExplanation => d(
+                self, "none", "No explanation",
+                "Control condition: the bare recommendation",
+                ExplanationStyle::None, &[],
+                EvidenceNeed::Any, 0.0, 0.0, 0.0,
+            ),
+        }
+    }
+
+    /// Stable string key.
+    pub fn key(self) -> &'static str {
+        self.descriptor().key
+    }
+}
+
+impl fmt::Display for InterfaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.descriptor().name)
+    }
+}
+
+/// Everything an interface may draw on when generating an explanation.
+#[derive(Debug, Clone, Copy)]
+pub struct ExplainInput<'a> {
+    /// Data context (ratings + catalog).
+    pub ctx: &'a Ctx<'a>,
+    /// The user receiving the recommendation.
+    pub user: UserId,
+    /// The recommended item.
+    pub item: ItemId,
+    /// The model's prediction for the pair.
+    pub prediction: Prediction,
+    /// The model's evidence for the pair.
+    pub evidence: &'a ModelEvidence,
+}
+
+impl InterfaceId {
+    /// Generates the explanation this interface shows for `input`.
+    ///
+    /// # Errors
+    ///
+    /// [`exrec_types::Error::MissingEvidence`] when the supplied evidence
+    /// kind does not satisfy [`InterfaceDescriptor::needs`], and catalog
+    /// lookups may surface [`exrec_types::Error::UnknownItem`].
+    pub fn generate(self, input: &ExplainInput<'_>) -> Result<Explanation> {
+        generators::generate(self, input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn exactly_21_interfaces() {
+        assert_eq!(InterfaceId::ALL.len(), 21);
+        let keys: HashSet<&str> = InterfaceId::ALL.iter().map(|i| i.key()).collect();
+        assert_eq!(keys.len(), 21, "keys must be unique");
+    }
+
+    #[test]
+    fn properties_in_unit_interval() {
+        for id in InterfaceId::ALL {
+            let d = id.descriptor();
+            for (label, v) in [
+                ("informativeness", d.informativeness),
+                ("cognitive_load", d.cognitive_load),
+                ("grounding", d.grounding),
+            ] {
+                assert!(
+                    (0.0..=1.0).contains(&v),
+                    "{}: {label} = {v} out of range",
+                    d.key
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reference_design_gradient_holds() {
+        // The design properties must encode the published shape: the
+        // clustered histogram dominates the complex graph on net value.
+        let net = |id: InterfaceId| {
+            let d = id.descriptor();
+            d.informativeness * d.grounding - d.cognitive_load
+        };
+        assert!(net(InterfaceId::ClusteredHistogram) > net(InterfaceId::Histogram));
+        assert!(net(InterfaceId::Histogram) > net(InterfaceId::ComplexGraph));
+        assert!(
+            net(InterfaceId::ComplexGraph) < net(InterfaceId::NoExplanation),
+            "over-dense interfaces must fall below the control"
+        );
+        assert!(
+            net(InterfaceId::NeighborTable) < net(InterfaceId::NoExplanation),
+            "neighbour table must fall below the control"
+        );
+    }
+
+    #[test]
+    fn control_has_no_aims_and_no_style() {
+        let d = InterfaceId::NoExplanation.descriptor();
+        assert!(d.aims.is_empty());
+        assert_eq!(d.style, ExplanationStyle::None);
+    }
+
+    #[test]
+    fn every_aim_is_served_by_some_interface() {
+        for aim in Aim::ALL {
+            // Satisfaction is served indirectly by many; check the declared
+            // profiles cover every aim at least once.
+            let served = InterfaceId::ALL
+                .iter()
+                .any(|i| i.descriptor().aims.contains(aim));
+            assert!(served, "no interface declares aim {aim}");
+        }
+    }
+
+    #[test]
+    fn display_is_name() {
+        assert_eq!(
+            InterfaceId::ClusteredHistogram.to_string(),
+            "Clustered ratings histogram"
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! # exrec-core
+//!
+//! The explanation engine — the primary contribution of the reproduced
+//! survey (Tintarev & Masthoff, *A Survey of Explanations in Recommender
+//! Systems*, ICDE'07 workshops).
+//!
+//! The survey's framework, realized as an API:
+//!
+//! * [`aims`] — the seven aims of Table 1 (transparency, scrutability,
+//!   trust, effectiveness, persuasiveness, efficiency, satisfaction) as a
+//!   first-class type; every explanation interface declares which aims it
+//!   serves, which is how Table 2 is *generated* rather than transcribed.
+//! * [`style`] — the three explanation-content styles of the conclusion
+//!   (content-based / collaborative-based / preference-based).
+//! * [`explanation`] — the renderer-independent [`Explanation`] document
+//!   model (text, histograms, influence bars, disclosures).
+//! * [`interfaces`] — a catalog of 21 explanation interfaces modelled on
+//!   Herlocker et al.'s CSCW'00 study (survey Section 3.4), each a pure
+//!   function from typed model evidence to an [`Explanation`].
+//! * [`influence`] — algorithm-agnostic leave-one-out influence
+//!   computation (survey Figure 3).
+//! * [`personality`] — the strength-vs-confidence "recommender
+//!   personality" lens of Section 4.6.
+//! * [`provenance`] — volunteered-vs-inferred profile facts, the raw
+//!   material of scrutable explanations (Figure 1).
+//! * [`render`] — plain, ANSI and Markdown renderers;
+//! * [`group`] — Section 4.2 group explanations for Top-N lists.
+//!
+//! The survey's two stated future-work directions are implemented too:
+//! [`similexp`] (user-adapted, user-readable similarity) and [`modality`]
+//! (text/visual complementarity).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod aims;
+pub mod engine;
+pub mod explanation;
+pub mod group;
+pub mod influence;
+pub mod interfaces;
+pub mod modality;
+pub mod personality;
+pub mod provenance;
+pub mod render;
+pub mod similexp;
+pub mod style;
+pub mod templates;
+
+pub use aims::{Aim, AimProfile};
+pub use engine::Explainer;
+pub use explanation::{Explanation, Fragment, HistBin, Tone};
+pub use interfaces::{InterfaceDescriptor, InterfaceId};
+pub use personality::{Personality, PersonalityLens};
+pub use provenance::{ProfileFact, Source};
+pub use similexp::ExplainableSimilarity;
+pub use style::ExplanationStyle;

@@ -1,0 +1,253 @@
+//! Explanation modalities (survey Conclusion, future work #2).
+//!
+//! > "…rather than assuming that either text or images are preferable,
+//! > see how they can compliment each other."
+//!
+//! This module classifies explanation fragments by modality, analyses an
+//! explanation's modality mix, and provides a *complementary composer*
+//! that pairs every chart with a one-line textual caption (and a text-only
+//! explanation with a compact visual digest). The E-MODAL study in
+//! `exrec-eval` measures the dual-coding payoff: complementary
+//! presentations beat both single-modality variants on comprehension
+//! without the full reading cost of duplicating everything.
+
+use crate::explanation::{Explanation, Fragment, Tone};
+
+/// Presentation modality of a fragment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Modality {
+    /// Prose or labelled facts.
+    Text,
+    /// Charts and bars.
+    Visual,
+}
+
+/// Classifies one fragment.
+pub fn modality_of(fragment: &Fragment) -> Modality {
+    match fragment {
+        Fragment::Text(_) | Fragment::KeyValue { .. } | Fragment::Disclosure { .. } => {
+            Modality::Text
+        }
+        Fragment::Histogram { .. } | Fragment::InfluenceBar { .. } => Modality::Visual,
+    }
+}
+
+/// An explanation's modality mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModalityMix {
+    /// Textual fragment count.
+    pub text: usize,
+    /// Visual fragment count.
+    pub visual: usize,
+}
+
+impl ModalityMix {
+    /// Whether both modalities are present (the dual-coding condition).
+    pub fn is_complementary(&self) -> bool {
+        self.text > 0 && self.visual > 0
+    }
+
+    /// Whether this is a single-modality presentation.
+    pub fn is_single(&self) -> bool {
+        !self.is_complementary() && (self.text + self.visual) > 0
+    }
+}
+
+/// Analyses an explanation's modality mix.
+pub fn analyze(explanation: &Explanation) -> ModalityMix {
+    let mut mix = ModalityMix { text: 0, visual: 0 };
+    for f in &explanation.fragments {
+        match modality_of(f) {
+            Modality::Text => mix.text += 1,
+            Modality::Visual => mix.visual += 1,
+        }
+    }
+    mix
+}
+
+/// Strips an explanation down to one modality (the study's single-
+/// modality control conditions).
+pub fn restrict(explanation: &Explanation, keep: Modality) -> Explanation {
+    let mut out = explanation.clone();
+    out.fragments.retain(|f| modality_of(f) == keep);
+    out
+}
+
+fn caption_for(fragment: &Fragment) -> Option<String> {
+    match fragment {
+        Fragment::Histogram { title, bins } => {
+            let total: usize = bins.iter().map(|b| b.count).sum();
+            if total == 0 {
+                return Some(format!("{title}: no data yet."));
+            }
+            let good: usize = bins
+                .iter()
+                .filter(|b| b.tone == Tone::Good)
+                .map(|b| b.count)
+                .sum();
+            let biggest = bins.iter().max_by_key(|b| b.count)?;
+            Some(format!(
+                "In words: {} of {} fall under \"{}\"{}.",
+                biggest.count,
+                total,
+                biggest.label,
+                if good > 0 {
+                    format!(" ({good} favourable overall)")
+                } else {
+                    String::new()
+                }
+            ))
+        }
+        Fragment::InfluenceBar { title, share, .. } => Some(format!(
+            "In words: \"{}\" accounts for {:.0}% of this recommendation.",
+            title,
+            share * 100.0
+        )),
+        _ => None,
+    }
+}
+
+/// Composes the complementary variant: every visual fragment gains a
+/// one-line caption right after it; a purely textual explanation gains a
+/// compact visual digest where it mentions proportions. Idempotent-ish:
+/// captions are only added for visuals not already followed by text.
+pub fn complement(explanation: &Explanation) -> Explanation {
+    let mut out = explanation.clone();
+    let mut fragments = Vec::with_capacity(out.fragments.len() * 2);
+    let source = std::mem::take(&mut out.fragments);
+    for frag in source {
+        let caption = if modality_of(&frag) == Modality::Visual {
+            caption_for(&frag)
+        } else {
+            None
+        };
+        fragments.push(frag);
+        if let Some(caption) = caption {
+            fragments.push(Fragment::Text(caption));
+        }
+    }
+    out.fragments = fragments;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aims::AimProfile;
+    use crate::explanation::HistBin;
+    use crate::style::ExplanationStyle;
+
+    fn mixed() -> Explanation {
+        Explanation::new(
+            "t",
+            ExplanationStyle::CollaborativeBased,
+            AimProfile::empty(),
+            vec![
+                Fragment::Text("Here is how people rated it:".into()),
+                Fragment::Histogram {
+                    title: "Ratings".into(),
+                    bins: vec![
+                        HistBin {
+                            label: "liked it".into(),
+                            count: 7,
+                            tone: Tone::Good,
+                        },
+                        HistBin {
+                            label: "disliked it".into(),
+                            count: 2,
+                            tone: Tone::Bad,
+                        },
+                    ],
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn classification() {
+        assert_eq!(modality_of(&Fragment::Text("x".into())), Modality::Text);
+        assert_eq!(
+            modality_of(&Fragment::InfluenceBar {
+                title: "x".into(),
+                rating: 5.0,
+                share: 0.4
+            }),
+            Modality::Visual
+        );
+    }
+
+    #[test]
+    fn analyze_counts() {
+        let mix = analyze(&mixed());
+        assert_eq!(mix, ModalityMix { text: 1, visual: 1 });
+        assert!(mix.is_complementary());
+        assert!(!mix.is_single());
+    }
+
+    #[test]
+    fn restrict_produces_single_modality() {
+        let text_only = restrict(&mixed(), Modality::Text);
+        assert!(analyze(&text_only).is_single());
+        assert_eq!(analyze(&text_only).visual, 0);
+
+        let visual_only = restrict(&mixed(), Modality::Visual);
+        assert_eq!(analyze(&visual_only).text, 0);
+        assert_eq!(analyze(&visual_only).visual, 1);
+    }
+
+    #[test]
+    fn complement_captions_charts() {
+        let visual_only = restrict(&mixed(), Modality::Visual);
+        let composed = complement(&visual_only);
+        let mix = analyze(&composed);
+        assert!(mix.is_complementary(), "caption added: {mix:?}");
+        let caption = composed
+            .fragments
+            .iter()
+            .find_map(|f| match f {
+                Fragment::Text(s) => Some(s.clone()),
+                _ => None,
+            })
+            .expect("caption text");
+        assert!(caption.contains("7 of 9"), "caption summarizes: {caption}");
+    }
+
+    #[test]
+    fn complement_preserves_reading_order() {
+        let composed = complement(&mixed());
+        // Chart still precedes its caption.
+        let chart_pos = composed
+            .fragments
+            .iter()
+            .position(|f| matches!(f, Fragment::Histogram { .. }))
+            .unwrap();
+        assert!(matches!(
+            composed.fragments[chart_pos + 1],
+            Fragment::Text(_)
+        ));
+    }
+
+    #[test]
+    fn empty_explanation_stays_empty() {
+        let e = Explanation::none();
+        assert_eq!(analyze(&e), ModalityMix { text: 0, visual: 0 });
+        assert!(complement(&e).fragments.is_empty());
+    }
+
+    #[test]
+    fn influence_bar_caption_mentions_share() {
+        let e = Explanation::new(
+            "t",
+            ExplanationStyle::ContentBased,
+            AimProfile::empty(),
+            vec![Fragment::InfluenceBar {
+                title: "Oliver Twist".into(),
+                rating: 5.0,
+                share: 0.42,
+            }],
+        );
+        let composed = complement(&e);
+        assert!(composed.text().contains("42%"));
+        assert!(composed.text().contains("Oliver Twist"));
+    }
+}

@@ -1,0 +1,268 @@
+//! Recommender "personality" (survey Section 4.6).
+//!
+//! A recommendation operates along two dimensions — *strength* (how much
+//! the system thinks the user will like the item) and *confidence* (how
+//! sure it is). A system may be **bold** (recommend more strongly than
+//! warranted), **frank** (state its true confidence, shrinking uncertain
+//! scores), **affirming** (lean toward familiar, popular items, which
+//! builds trust), or **serendipitous** (lean toward novel items, which
+//! builds satisfaction). [`PersonalityLens`] wraps any recommender and
+//! applies the corresponding adjustment.
+
+use exrec_algo::{Ctx, ModelEvidence, Recommender, Scored};
+use exrec_types::{Confidence, ItemId, Prediction, Result, UserId};
+
+/// The personality a recommender projects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Personality {
+    /// No adjustment; confidence is not disclosed.
+    #[default]
+    Neutral,
+    /// Inflates strength toward the scale maximum; hides confidence.
+    Bold,
+    /// Shrinks uncertain scores toward the user's mean; always disclosed.
+    Frank,
+    /// Boosts familiar (heavily-rated) items in rankings.
+    Affirming,
+    /// Boosts novel (rarely-rated) items in rankings.
+    Serendipitous,
+}
+
+impl Personality {
+    /// Whether this personality discloses confidence in explanations.
+    pub fn discloses_confidence(self) -> bool {
+        matches!(self, Personality::Frank)
+    }
+
+    /// All personalities.
+    pub const ALL: [Personality; 5] = [
+        Personality::Neutral,
+        Personality::Bold,
+        Personality::Frank,
+        Personality::Affirming,
+        Personality::Serendipitous,
+    ];
+
+    /// Short name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Personality::Neutral => "neutral",
+            Personality::Bold => "bold",
+            Personality::Frank => "frank",
+            Personality::Affirming => "affirming",
+            Personality::Serendipitous => "serendipitous",
+        }
+    }
+}
+
+/// Wraps a recommender with a personality.
+pub struct PersonalityLens<R> {
+    inner: R,
+    personality: Personality,
+}
+
+impl<R: Recommender> PersonalityLens<R> {
+    /// Wraps `inner` with `personality`.
+    pub fn new(inner: R, personality: Personality) -> Self {
+        Self { inner, personality }
+    }
+
+    /// The wrapped personality.
+    pub fn personality(&self) -> Personality {
+        self.personality
+    }
+
+    /// The inner recommender.
+    pub fn inner(&self) -> &R {
+        &self.inner
+    }
+
+    fn adjust(&self, ctx: &Ctx<'_>, user: UserId, p: Prediction) -> Prediction {
+        let scale = ctx.ratings.scale();
+        match self.personality {
+            Personality::Neutral | Personality::Affirming | Personality::Serendipitous => p,
+            Personality::Bold => {
+                // Push a third of the remaining headroom, more when unsure
+                // (boldness papers over uncertainty).
+                let headroom = scale.max() - p.score;
+                let push = headroom * (0.25 + 0.25 * (1.0 - p.confidence.value()));
+                Prediction::new(scale.bound(p.score + push), Confidence::new(0.95))
+            }
+            Personality::Frank => {
+                // Shrink toward the user's mean in proportion to doubt.
+                let anchor = ctx
+                    .ratings
+                    .user_mean(user)
+                    .unwrap_or_else(|| scale.midpoint());
+                let trust = p.confidence.value();
+                Prediction::new(
+                    scale.bound(anchor + (p.score - anchor) * (0.5 + 0.5 * trust)),
+                    p.confidence,
+                )
+            }
+        }
+    }
+
+    /// Ranking bias for familiarity/novelty personalities, in score units.
+    fn rank_bias(&self, ctx: &Ctx<'_>, item: ItemId) -> f64 {
+        let n_users = ctx.ratings.n_users().max(1) as f64;
+        let familiarity = ctx.ratings.item_ratings(item).len() as f64 / n_users;
+        let span = ctx.ratings.scale().span();
+        match self.personality {
+            Personality::Affirming => 0.3 * span * familiarity,
+            Personality::Serendipitous => 0.3 * span * (1.0 - familiarity),
+            _ => 0.0,
+        }
+    }
+}
+
+impl<R: Recommender> Recommender for PersonalityLens<R> {
+    fn name(&self) -> &'static str {
+        // Personality is presentation-level; the algorithm identity stays.
+        self.inner.name()
+    }
+
+    fn predict(&self, ctx: &Ctx<'_>, user: UserId, item: ItemId) -> Result<Prediction> {
+        let p = self.inner.predict(ctx, user, item)?;
+        Ok(self.adjust(ctx, user, p))
+    }
+
+    fn evidence(&self, ctx: &Ctx<'_>, user: UserId, item: ItemId) -> Result<ModelEvidence> {
+        self.inner.evidence(ctx, user, item)
+    }
+
+    fn recommend(&self, ctx: &Ctx<'_>, user: UserId, n: usize) -> Vec<Scored> {
+        let mut scored = self.inner.recommend(ctx, user, usize::MAX);
+        for s in &mut scored {
+            s.prediction = self.adjust(ctx, user, s.prediction);
+        }
+        match self.personality {
+            Personality::Affirming | Personality::Serendipitous => {
+                scored.sort_by(|a, b| {
+                    let ka = a.prediction.score + self.rank_bias(ctx, a.item);
+                    let kb = b.prediction.score + self.rank_bias(ctx, b.item);
+                    kb.partial_cmp(&ka)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.item.cmp(&b.item))
+                });
+            }
+            _ => {}
+        }
+        scored.truncate(n);
+        scored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exrec_algo::baseline::Popularity;
+    use exrec_algo::UserKnn;
+    use exrec_data::synth::{movies, WorldConfig};
+    use exrec_data::World;
+
+    fn world() -> World {
+        movies::generate(&WorldConfig {
+            n_users: 40,
+            n_items: 40,
+            density: 0.3,
+            ..WorldConfig::default()
+        })
+    }
+
+    fn predictable_pair(w: &World) -> (UserId, ItemId) {
+        let knn = UserKnn::default();
+        let ctx = Ctx::new(&w.ratings, &w.catalog);
+        for u in w.ratings.users() {
+            for i in w.catalog.ids() {
+                if w.ratings.rating(u, i).is_none() && knn.predict(&ctx, u, i).is_ok() {
+                    return (u, i);
+                }
+            }
+        }
+        panic!("no predictable pair");
+    }
+
+    #[test]
+    fn bold_inflates_scores() {
+        let w = world();
+        let (u, i) = predictable_pair(&w);
+        let ctx = Ctx::new(&w.ratings, &w.catalog);
+        let plain = UserKnn::default().predict(&ctx, u, i).unwrap();
+        let bold = PersonalityLens::new(UserKnn::default(), Personality::Bold)
+            .predict(&ctx, u, i)
+            .unwrap();
+        assert!(bold.score >= plain.score);
+        assert!(bold.score <= w.ratings.scale().max() + 1e-9);
+    }
+
+    #[test]
+    fn frank_shrinks_uncertain_scores_toward_mean() {
+        let w = world();
+        let (u, i) = predictable_pair(&w);
+        let ctx = Ctx::new(&w.ratings, &w.catalog);
+        let plain = UserKnn::default().predict(&ctx, u, i).unwrap();
+        let frank = PersonalityLens::new(UserKnn::default(), Personality::Frank)
+            .predict(&ctx, u, i)
+            .unwrap();
+        let mean = w.ratings.user_mean(u).unwrap();
+        assert!(
+            (frank.score - mean).abs() <= (plain.score - mean).abs() + 1e-9,
+            "frank must not move scores away from the user's mean"
+        );
+    }
+
+    #[test]
+    fn affirming_prefers_familiar_items() {
+        let w = world();
+        let ctx = Ctx::new(&w.ratings, &w.catalog);
+        let user = w
+            .ratings
+            .users()
+            .find(|&u| w.ratings.user_ratings(u).len() >= 5)
+            .unwrap();
+        let familiar_rank = |recs: &[Scored]| -> f64 {
+            if recs.is_empty() {
+                return 0.0;
+            }
+            recs.iter()
+                .map(|s| ctx.ratings.item_ratings(s.item).len() as f64)
+                .sum::<f64>()
+                / recs.len() as f64
+        };
+        let affirming = PersonalityLens::new(Popularity::default(), Personality::Affirming)
+            .recommend(&ctx, user, 5);
+        let serendipitous =
+            PersonalityLens::new(Popularity::default(), Personality::Serendipitous)
+                .recommend(&ctx, user, 5);
+        assert!(
+            familiar_rank(&affirming) >= familiar_rank(&serendipitous),
+            "affirming lists should average more familiar items"
+        );
+    }
+
+    #[test]
+    fn only_frank_discloses() {
+        assert!(Personality::Frank.discloses_confidence());
+        for p in [
+            Personality::Neutral,
+            Personality::Bold,
+            Personality::Affirming,
+            Personality::Serendipitous,
+        ] {
+            assert!(!p.discloses_confidence());
+        }
+    }
+
+    #[test]
+    fn evidence_passes_through() {
+        let w = world();
+        let (u, i) = predictable_pair(&w);
+        let ctx = Ctx::new(&w.ratings, &w.catalog);
+        let inner_ev = UserKnn::default().evidence(&ctx, u, i).unwrap();
+        let lens_ev = PersonalityLens::new(UserKnn::default(), Personality::Bold)
+            .evidence(&ctx, u, i)
+            .unwrap();
+        assert_eq!(inner_ev, lens_ev, "personality is presentation-only");
+    }
+}

@@ -1,0 +1,161 @@
+//! Profile-fact provenance (survey Figure 1 / Section 3.2).
+//!
+//! Czarkowski's scrutable hypertext showed users *why* the system believes
+//! what it believes about them: facts they volunteered versus facts the
+//! system inferred from observation. Scrutable explanations render these
+//! facts with their provenance, and the scrutinization tooling in
+//! `exrec-interact` lets users edit or delete them.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Where a profile fact came from.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Source {
+    /// The user stated it explicitly.
+    Volunteered,
+    /// The system inferred it; the payload describes the observation
+    /// ("you recorded 12 war documentaries").
+    Inferred {
+        /// Human-readable account of the evidence behind the inference.
+        evidence: String,
+    },
+    /// A default assumption never confirmed by the user.
+    Assumed,
+}
+
+impl Source {
+    /// Whether the user can be blamed for the fact (volunteered) or the
+    /// system (inferred/assumed) — drives the phrasing of scrutable
+    /// explanations.
+    pub fn is_user_stated(&self) -> bool {
+        matches!(self, Source::Volunteered)
+    }
+}
+
+/// One fact in a scrutable user profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileFact {
+    /// Machine key (e.g. `"likes_genre"`).
+    pub key: String,
+    /// Value (e.g. `"comedy"`).
+    pub value: String,
+    /// Provenance.
+    pub source: Source,
+}
+
+impl ProfileFact {
+    /// A volunteered fact.
+    pub fn volunteered(key: &str, value: &str) -> Self {
+        Self {
+            key: key.to_owned(),
+            value: value.to_owned(),
+            source: Source::Volunteered,
+        }
+    }
+
+    /// An inferred fact with its observation.
+    pub fn inferred(key: &str, value: &str, evidence: &str) -> Self {
+        Self {
+            key: key.to_owned(),
+            value: value.to_owned(),
+            source: Source::Inferred {
+                evidence: evidence.to_owned(),
+            },
+        }
+    }
+
+    /// An assumed (default) fact.
+    pub fn assumed(key: &str, value: &str) -> Self {
+        Self {
+            key: key.to_owned(),
+            value: value.to_owned(),
+            source: Source::Assumed,
+        }
+    }
+
+    /// The scrutable sentence for this fact, in SASY's style.
+    pub fn scrutable_sentence(&self) -> String {
+        match &self.source {
+            Source::Volunteered => format!(
+                "You told us that your {} is \"{}\". You can change this at any time.",
+                self.key.replace('_', " "),
+                self.value
+            ),
+            Source::Inferred { evidence } => format!(
+                "We inferred that your {} is \"{}\" because {}. If this is wrong, you can \
+                 correct it.",
+                self.key.replace('_', " "),
+                self.value,
+                evidence
+            ),
+            Source::Assumed => format!(
+                "We assumed your {} is \"{}\" by default. Please confirm or change it.",
+                self.key.replace('_', " "),
+                self.value
+            ),
+        }
+    }
+}
+
+impl fmt::Display for ProfileFact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tag = match &self.source {
+            Source::Volunteered => "volunteered",
+            Source::Inferred { .. } => "inferred",
+            Source::Assumed => "assumed",
+        };
+        write!(f, "{}={} [{tag}]", self.key, self.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sentences_reflect_provenance() {
+        let v = ProfileFact::volunteered("home_airport", "ABZ");
+        assert!(v.scrutable_sentence().starts_with("You told us"));
+
+        let i = ProfileFact::inferred(
+            "likes_genre",
+            "documentary",
+            "you recorded 12 documentaries this month",
+        );
+        let s = i.scrutable_sentence();
+        assert!(s.starts_with("We inferred"));
+        assert!(s.contains("12 documentaries"));
+
+        let a = ProfileFact::assumed("adult_content", "hidden");
+        assert!(a.scrutable_sentence().starts_with("We assumed"));
+    }
+
+    #[test]
+    fn user_stated_detection() {
+        assert!(Source::Volunteered.is_user_stated());
+        assert!(!Source::Assumed.is_user_stated());
+        assert!(!Source::Inferred {
+            evidence: String::new()
+        }
+        .is_user_stated());
+    }
+
+    #[test]
+    fn display_tags() {
+        assert_eq!(
+            ProfileFact::volunteered("a", "b").to_string(),
+            "a=b [volunteered]"
+        );
+        assert_eq!(
+            ProfileFact::inferred("a", "b", "c").to_string(),
+            "a=b [inferred]"
+        );
+    }
+
+    #[test]
+    fn underscores_become_spaces_in_sentences() {
+        let f = ProfileFact::volunteered("favourite_sport", "football");
+        assert!(f.scrutable_sentence().contains("favourite sport"));
+    }
+}

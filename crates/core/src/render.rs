@@ -1,0 +1,278 @@
+//! Renderers: [`Explanation`] → plain text / ANSI / Markdown.
+//!
+//! The survey notes (Section 2.3) that presentation design itself affects
+//! credibility; keeping rendering behind a trait lets studies vary "design
+//! look" without touching content.
+
+use crate::explanation::{Explanation, Fragment, HistBin, Tone};
+use exrec_types::Confidence;
+use std::fmt::Write as _;
+
+/// Width of histogram/influence bars, in cells.
+const BAR_WIDTH: usize = 20;
+
+/// Renders explanations into a concrete textual format.
+pub trait Render {
+    /// Renders the whole explanation.
+    fn render(&self, explanation: &Explanation) -> String;
+}
+
+fn bar(cells: usize) -> String {
+    "█".repeat(cells)
+}
+
+fn scaled(count: usize, max: usize) -> usize {
+    if max == 0 {
+        0
+    } else {
+        (count * BAR_WIDTH).div_ceil(max)
+    }
+}
+
+fn confidence_phrase(c: Confidence) -> String {
+    format!("{} ({})", c.label(), c)
+}
+
+/// Plain UTF-8 text, no colour.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlainRenderer;
+
+/// ANSI-coloured terminal output (green good / red bad bars).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnsiRenderer;
+
+/// Markdown output (tables for key-values, code-fenced charts).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MarkdownRenderer;
+
+fn render_bins_plain(out: &mut String, title: &str, bins: &[HistBin], colour: bool) {
+    let max = bins.iter().map(|b| b.count).max().unwrap_or(0);
+    let width = bins.iter().map(|b| b.label.len()).max().unwrap_or(0);
+    let _ = writeln!(out, "{title}:");
+    for b in bins {
+        let painted = bar(scaled(b.count, max));
+        let painted = if colour {
+            match b.tone {
+                Tone::Good => format!("\x1b[32m{painted}\x1b[0m"),
+                Tone::Bad => format!("\x1b[31m{painted}\x1b[0m"),
+                Tone::Neutral => painted,
+            }
+        } else {
+            painted
+        };
+        let _ = writeln!(out, "  {:width$} {painted} {}", b.label, b.count);
+    }
+}
+
+fn render_plainlike(explanation: &Explanation, colour: bool) -> String {
+    let mut out = String::new();
+    for frag in &explanation.fragments {
+        match frag {
+            Fragment::Text(s) => {
+                let _ = writeln!(out, "{s}");
+            }
+            Fragment::Histogram { title, bins } => {
+                render_bins_plain(&mut out, title, bins, colour);
+            }
+            Fragment::InfluenceBar { title, rating, share } => {
+                let painted = bar(scaled((share * 100.0) as usize, 100));
+                let _ = writeln!(
+                    out,
+                    "  {painted} {:>3.0}%  \"{title}\" (your rating: {rating:.0})",
+                    share * 100.0
+                );
+            }
+            Fragment::KeyValue { key, value } => {
+                let _ = writeln!(out, "  {key}: {value}");
+            }
+            Fragment::Disclosure { strength, confidence } => {
+                match confidence {
+                    Some(c) => {
+                        let _ = writeln!(
+                            out,
+                            "Predicted rating: {strength:.1} — the system is {}",
+                            confidence_phrase(*c)
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(out, "Predicted rating: {strength:.1}");
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+impl Render for PlainRenderer {
+    fn render(&self, explanation: &Explanation) -> String {
+        render_plainlike(explanation, false)
+    }
+}
+
+impl Render for AnsiRenderer {
+    fn render(&self, explanation: &Explanation) -> String {
+        render_plainlike(explanation, true)
+    }
+}
+
+impl Render for MarkdownRenderer {
+    fn render(&self, explanation: &Explanation) -> String {
+        let mut out = String::new();
+        let mut kv_open = false;
+        for frag in &explanation.fragments {
+            if kv_open && !matches!(frag, Fragment::KeyValue { .. }) {
+                kv_open = false;
+                out.push('\n');
+            }
+            match frag {
+                Fragment::Text(s) => {
+                    let _ = writeln!(out, "{s}\n");
+                }
+                Fragment::Histogram { title, bins } => {
+                    let _ = writeln!(out, "**{title}**\n");
+                    let _ = writeln!(out, "```");
+                    let max = bins.iter().map(|b| b.count).max().unwrap_or(0);
+                    for b in bins {
+                        let _ = writeln!(out, "{:12} {} {}", b.label, bar(scaled(b.count, max)), b.count);
+                    }
+                    let _ = writeln!(out, "```\n");
+                }
+                Fragment::InfluenceBar { title, rating, share } => {
+                    let _ = writeln!(
+                        out,
+                        "- **{:.0}%** — \"{title}\" (your rating: {rating:.0})",
+                        share * 100.0
+                    );
+                }
+                Fragment::KeyValue { key, value } => {
+                    if !kv_open {
+                        let _ = writeln!(out, "| | |\n|---|---|");
+                        kv_open = true;
+                    }
+                    let _ = writeln!(out, "| {key} | {value} |");
+                }
+                Fragment::Disclosure { strength, confidence } => match confidence {
+                    Some(c) => {
+                        let _ = writeln!(
+                            out,
+                            "> Predicted rating **{strength:.1}** — {}\n",
+                            confidence_phrase(*c)
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(out, "> Predicted rating **{strength:.1}**\n");
+                    }
+                },
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aims::AimProfile;
+    use crate::style::ExplanationStyle;
+
+    fn sample() -> Explanation {
+        Explanation::new(
+            "test",
+            ExplanationStyle::CollaborativeBased,
+            AimProfile::empty(),
+            vec![
+                Fragment::Text("How similar users rated it:".into()),
+                Fragment::Histogram {
+                    title: "Ratings".into(),
+                    bins: vec![
+                        HistBin {
+                            label: "5★".into(),
+                            count: 10,
+                            tone: Tone::Good,
+                        },
+                        HistBin {
+                            label: "1★".into(),
+                            count: 2,
+                            tone: Tone::Bad,
+                        },
+                    ],
+                },
+                Fragment::InfluenceBar {
+                    title: "Oliver Twist".into(),
+                    rating: 5.0,
+                    share: 0.42,
+                },
+                Fragment::KeyValue {
+                    key: "Average".into(),
+                    value: "4.1★".into(),
+                },
+                Fragment::Disclosure {
+                    strength: 4.3,
+                    confidence: Some(Confidence::new(0.8)),
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn plain_renders_all_fragments() {
+        let s = PlainRenderer.render(&sample());
+        assert!(s.contains("How similar users rated it:"));
+        assert!(s.contains("5★"));
+        assert!(s.contains("█"));
+        assert!(s.contains("42%"));
+        assert!(s.contains("Oliver Twist"));
+        assert!(s.contains("Average: 4.1★"));
+        assert!(s.contains("Predicted rating: 4.3"));
+        assert!(!s.contains("\x1b["), "plain output must not contain ANSI");
+    }
+
+    #[test]
+    fn ansi_colours_toned_bars() {
+        let s = AnsiRenderer.render(&sample());
+        assert!(s.contains("\x1b[32m"), "good bars green");
+        assert!(s.contains("\x1b[31m"), "bad bars red");
+    }
+
+    #[test]
+    fn markdown_renders_structures() {
+        let s = MarkdownRenderer.render(&sample());
+        assert!(s.contains("**Ratings**"));
+        assert!(s.contains("```"));
+        assert!(s.contains("| Average | 4.1★ |"));
+        assert!(s.contains("> Predicted rating **4.3**"));
+        assert!(s.contains("- **42%**"));
+    }
+
+    #[test]
+    fn biggest_bin_gets_full_bar() {
+        let s = PlainRenderer.render(&sample());
+        let line_5 = s.lines().find(|l| l.contains("5★")).unwrap();
+        let blocks = line_5.matches('█').count();
+        assert_eq!(blocks, BAR_WIDTH);
+    }
+
+    #[test]
+    fn empty_explanation_renders_empty() {
+        let e = Explanation::none();
+        assert!(PlainRenderer.render(&e).is_empty());
+        assert!(MarkdownRenderer.render(&e).is_empty());
+    }
+
+    #[test]
+    fn disclosure_without_confidence() {
+        let e = Explanation::new(
+            "t",
+            ExplanationStyle::None,
+            AimProfile::empty(),
+            vec![Fragment::Disclosure {
+                strength: 3.0,
+                confidence: None,
+            }],
+        );
+        let s = PlainRenderer.render(&e);
+        assert!(s.contains("Predicted rating: 3.0"));
+        assert!(!s.contains("confident"));
+    }
+}

@@ -1,0 +1,83 @@
+//! Explanation-content styles (survey Conclusion and Tables 3/4).
+//!
+//! The survey classifies the *content* of explanations independently of
+//! the underlying algorithm:
+//!
+//! * content-based — "We have recommended X because you liked Y"
+//! * collaborative-based — "People who liked X also liked Y"
+//! * preference-based — "Your interests suggest that you would like X"
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The content style of an explanation, as used in the "Explanation"
+/// column of the survey's Tables 3 and 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExplanationStyle {
+    /// "We have recommended X because you liked Y."
+    ContentBased,
+    /// "People who liked X also liked Y."
+    CollaborativeBased,
+    /// "Your interests suggest that you would like X."
+    PreferenceBased,
+    /// No justification is shown (control condition in studies).
+    None,
+}
+
+impl ExplanationStyle {
+    /// All substantive styles (excludes [`ExplanationStyle::None`]).
+    pub const ALL: [ExplanationStyle; 3] = [
+        ExplanationStyle::ContentBased,
+        ExplanationStyle::CollaborativeBased,
+        ExplanationStyle::PreferenceBased,
+    ];
+
+    /// Name as used in the survey's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExplanationStyle::ContentBased => "Content-based",
+            ExplanationStyle::CollaborativeBased => "Collaborative-based",
+            ExplanationStyle::PreferenceBased => "Preference-based",
+            ExplanationStyle::None => "(None)",
+        }
+    }
+
+    /// The canonical template sentence the survey gives for the style.
+    pub fn canonical_template(self) -> &'static str {
+        match self {
+            ExplanationStyle::ContentBased => "We have recommended {item} because you liked {anchor}",
+            ExplanationStyle::CollaborativeBased => "People who liked {anchor} also liked {item}",
+            ExplanationStyle::PreferenceBased => "Your interests suggest that you would like {item}",
+            ExplanationStyle::None => "",
+        }
+    }
+}
+
+impl fmt::Display for ExplanationStyle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_survey_tables() {
+        assert_eq!(ExplanationStyle::ContentBased.name(), "Content-based");
+        assert_eq!(
+            ExplanationStyle::CollaborativeBased.name(),
+            "Collaborative-based"
+        );
+        assert_eq!(ExplanationStyle::PreferenceBased.name(), "Preference-based");
+    }
+
+    #[test]
+    fn canonical_templates_have_item_slot() {
+        for s in ExplanationStyle::ALL {
+            assert!(s.canonical_template().contains("{item}"));
+        }
+        assert!(ExplanationStyle::None.canonical_template().is_empty());
+    }
+}

@@ -1,0 +1,116 @@
+//! Tiny template realization helpers.
+//!
+//! The survey's example explanations are natural-language sentences with
+//! slots ("You have been watching a lot of {topic}, and {subtopic} in
+//! particular…"). This module provides slot substitution and
+//! list-joining so interface code stays readable.
+
+use std::collections::HashMap;
+
+/// Substitutes `{name}` slots in `template` from `values`. Unknown slots
+/// are left verbatim (making missing data visible in tests rather than
+/// silently dropped).
+pub fn fill(template: &str, values: &HashMap<&str, String>) -> String {
+    let mut out = String::with_capacity(template.len() + 16);
+    let mut rest = template;
+    while let Some(start) = rest.find('{') {
+        out.push_str(&rest[..start]);
+        match rest[start..].find('}') {
+            Some(end_rel) => {
+                let key = &rest[start + 1..start + end_rel];
+                match values.get(key) {
+                    Some(v) => out.push_str(v),
+                    None => {
+                        out.push('{');
+                        out.push_str(key);
+                        out.push('}');
+                    }
+                }
+                rest = &rest[start + end_rel + 1..];
+            }
+            None => {
+                out.push_str(&rest[start..]);
+                rest = "";
+            }
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Joins items as natural language: `a`, `a and b`, `a, b and c`.
+pub fn join_natural(items: &[String]) -> String {
+    match items.len() {
+        0 => String::new(),
+        1 => items[0].clone(),
+        2 => format!("{} and {}", items[0], items[1]),
+        n => {
+            let mut out = items[..n - 1].join(", ");
+            out.push_str(" and ");
+            out.push_str(&items[n - 1]);
+            out
+        }
+    }
+}
+
+/// Formats a share as a percentage string: `0.347` → `"35%"`.
+pub fn percent(share: f64) -> String {
+    format!("{:.0}%", share * 100.0)
+}
+
+/// Formats a star rating compactly: `4.0` → `"4★"`, `3.5` → `"3.5★"`.
+pub fn stars(rating: f64) -> String {
+    if (rating.fract()).abs() < 1e-9 {
+        format!("{}★", rating as i64)
+    } else {
+        format!("{rating:.1}★")
+    }
+}
+
+/// Builds a one-entry slot map; `slots!` style convenience.
+pub fn slots<const N: usize>(pairs: [(&'static str, String); N]) -> HashMap<&'static str, String> {
+    pairs.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_substitutes_known_slots() {
+        let vals = slots([("item", "Pulp Fiction".to_owned()), ("actor", "Bruce Willis".to_owned())]);
+        assert_eq!(
+            fill("{item} is a thriller starring {actor}", &vals),
+            "Pulp Fiction is a thriller starring Bruce Willis"
+        );
+    }
+
+    #[test]
+    fn fill_leaves_unknown_slots() {
+        let vals = slots([("a", "x".to_owned())]);
+        assert_eq!(fill("{a} {b}", &vals), "x {b}");
+    }
+
+    #[test]
+    fn fill_handles_unclosed_brace() {
+        let vals = slots([("a", "x".to_owned())]);
+        assert_eq!(fill("{a} {oops", &vals), "x {oops");
+    }
+
+    #[test]
+    fn join_natural_forms() {
+        let v = |s: &[&str]| s.iter().map(|x| x.to_string()).collect::<Vec<_>>();
+        assert_eq!(join_natural(&v(&[])), "");
+        assert_eq!(join_natural(&v(&["a"])), "a");
+        assert_eq!(join_natural(&v(&["a", "b"])), "a and b");
+        assert_eq!(join_natural(&v(&["a", "b", "c"])), "a, b and c");
+    }
+
+    #[test]
+    fn percent_and_stars() {
+        assert_eq!(percent(0.347), "35%");
+        assert_eq!(percent(1.0), "100%");
+        assert_eq!(stars(4.0), "4★");
+        assert_eq!(stars(3.5), "3.5★");
+    }
+}

@@ -1,0 +1,184 @@
+//! Property tests for the explanation engine: interfaces must never
+//! panic on arbitrary (well-typed) evidence, and always produce
+//! renderable documents.
+
+use exrec_algo::recommender::{
+    ItemAnchor, ModelEvidence, NeighborContribution, RatedItemInfluence, UtilityTerm,
+};
+use exrec_algo::Ctx;
+use exrec_core::interfaces::{ExplainInput, InterfaceId};
+use exrec_core::render::{MarkdownRenderer, PlainRenderer, Render};
+use exrec_core::templates;
+use exrec_data::{Catalog, RatingsMatrix};
+use exrec_types::{
+    AttributeDef, AttributeSet, Confidence, DomainSchema, ItemId, Prediction, RatingScale, UserId,
+};
+use proptest::prelude::*;
+
+fn fixture() -> (RatingsMatrix, Catalog) {
+    let schema = DomainSchema::new(
+        "d",
+        vec![AttributeDef::categorical("genre", "Genre")],
+    )
+    .unwrap();
+    let mut catalog = Catalog::new(schema);
+    for k in 0..6 {
+        catalog
+            .add(
+                &format!("item {k}"),
+                AttributeSet::new().with("genre", if k % 2 == 0 { "a" } else { "b" }),
+                vec![format!("kw{k}")],
+            )
+            .unwrap();
+    }
+    let mut ratings = RatingsMatrix::new(4, 6, RatingScale::FIVE_STAR);
+    ratings.rate(UserId(0), ItemId(0), 5.0).unwrap();
+    ratings.rate(UserId(0), ItemId(1), 2.0).unwrap();
+    ratings.rate(UserId(1), ItemId(2), 4.0).unwrap();
+    (ratings, catalog)
+}
+
+fn arb_evidence() -> impl Strategy<Value = ModelEvidence> {
+    let neighbors = prop::collection::vec(
+        (0u32..4, -1.0f64..1.0, 1.0f64..5.0),
+        0..12,
+    )
+    .prop_map(|ns| ModelEvidence::UserNeighbors {
+        neighbors: ns
+            .into_iter()
+            .map(|(u, s, r)| NeighborContribution {
+                user: UserId(u),
+                similarity: s,
+                rating: r,
+            })
+            .collect(),
+    });
+    let anchors = prop::collection::vec((0u32..6, 0.0f64..1.0, 1.0f64..5.0), 0..6).prop_map(
+        |xs| ModelEvidence::ItemNeighbors {
+            anchors: xs
+                .into_iter()
+                .map(|(i, s, r)| ItemAnchor {
+                    item: ItemId(i),
+                    similarity: s,
+                    user_rating: r,
+                })
+                .collect(),
+        },
+    );
+    let content = (
+        prop::collection::vec(("[a-z]{1,8}", -3.0f64..3.0), 0..6),
+        prop::collection::vec((0u32..6, 1.0f64..5.0, 0.0f64..1.0), 0..6),
+    )
+        .prop_map(|(features, influences)| ModelEvidence::Content {
+            features: features
+                .into_iter()
+                .map(|(f, w)| exrec_algo::recommender::FeatureInfluence {
+                    feature: f,
+                    weight: w,
+                })
+                .collect(),
+            influences: influences
+                .into_iter()
+                .map(|(i, r, s)| RatedItemInfluence {
+                    item: ItemId(i),
+                    user_rating: r,
+                    share: s,
+                })
+                .collect(),
+        });
+    let utility = (
+        prop::collection::vec(("[a-z]{1,8}", 0.0f64..1.0, 0.1f64..3.0), 0..5),
+        0.0f64..1.0,
+    )
+        .prop_map(|(terms, total)| ModelEvidence::Utility {
+            terms: terms
+                .into_iter()
+                .map(|(a, s, w)| UtilityTerm {
+                    attribute: a,
+                    satisfaction: s,
+                    weight: w,
+                    detail: "detail".to_owned(),
+                })
+                .collect(),
+            total,
+        });
+    let popularity = (1.0f64..5.0, 0usize..40)
+        .prop_map(|(mean, count)| ModelEvidence::Popularity { mean, count });
+    prop_oneof![neighbors, anchors, content, utility, popularity]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn interfaces_never_panic_and_render(
+        evidence in arb_evidence(),
+        score in 1.0f64..5.0,
+        conf in 0.0f64..1.0,
+        item in 0u32..6,
+    ) {
+        let (ratings, catalog) = fixture();
+        let ctx = Ctx::new(&ratings, &catalog);
+        let input = ExplainInput {
+            ctx: &ctx,
+            user: UserId(0),
+            item: ItemId(item),
+            prediction: Prediction::new(score, Confidence::new(conf)),
+            evidence: &evidence,
+        };
+        for id in InterfaceId::ALL {
+            match id.generate(&input) {
+                Ok(explanation) => {
+                    // Every produced explanation renders in every format
+                    // without panicking, and reading cost is consistent.
+                    let _ = PlainRenderer.render(&explanation);
+                    let _ = MarkdownRenderer.render(&explanation);
+                    let cost: u64 = explanation
+                        .fragments
+                        .iter()
+                        .map(|f| f.reading_cost())
+                        .sum();
+                    prop_assert_eq!(explanation.reading_cost(), cost);
+                }
+                Err(e) => {
+                    prop_assert!(!e.to_string().is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fill_never_loses_known_values(key in "[a-z]{1,6}", value in "[a-zA-Z ]{1,12}") {
+        let template = format!("start {{{key}}} end");
+        let vals = templates::slots([("k", value.clone())]);
+        let out = templates::fill(&template.replace(&format!("{{{key}}}"), "{k}"), &vals);
+        prop_assert!(out.contains(&value));
+        prop_assert!(out.starts_with("start"));
+        prop_assert!(out.ends_with("end"));
+    }
+
+    #[test]
+    fn modality_restrict_partitions(evidence in arb_evidence(), score in 1.0f64..5.0) {
+        use exrec_core::modality::{analyze, restrict, Modality};
+        let (ratings, catalog) = fixture();
+        let ctx = Ctx::new(&ratings, &catalog);
+        let input = ExplainInput {
+            ctx: &ctx,
+            user: UserId(0),
+            item: ItemId(0),
+            prediction: Prediction::new(score, Confidence::new(0.5)),
+            evidence: &evidence,
+        };
+        for id in InterfaceId::ALL {
+            if let Ok(e) = id.generate(&input) {
+                let mix = analyze(&e);
+                let t = restrict(&e, Modality::Text);
+                let v = restrict(&e, Modality::Visual);
+                prop_assert_eq!(t.fragments.len() + v.fragments.len(), e.fragments.len());
+                prop_assert_eq!(analyze(&t).visual, 0);
+                prop_assert_eq!(analyze(&v).text, 0);
+                prop_assert_eq!(analyze(&t).text + analyze(&v).visual, mix.text + mix.visual);
+            }
+        }
+    }
+}

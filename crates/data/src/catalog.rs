@@ -1,0 +1,214 @@
+//! Item catalogs.
+//!
+//! A [`Catalog`] owns a [`DomainSchema`] and a dense vector of items
+//! validated against it. Ids are assigned at insertion, so `ItemId(k)`
+//! always indexes position `k`.
+
+use exrec_types::{AttributeSet, DomainSchema, Error, Item, ItemId, Result};
+
+/// A schema-validated, densely-indexed collection of items.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Catalog {
+    schema: DomainSchema,
+    items: Vec<Item>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog over `schema`.
+    pub fn new(schema: DomainSchema) -> Self {
+        Self {
+            schema,
+            items: Vec::new(),
+        }
+    }
+
+    /// The domain schema.
+    #[inline]
+    pub fn schema(&self) -> &DomainSchema {
+        &self.schema
+    }
+
+    /// Number of items.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the catalog is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Adds an item, assigning and returning its id. The item's attributes
+    /// are validated against the schema.
+    ///
+    /// # Errors
+    ///
+    /// Propagates schema validation errors
+    /// ([`Error::UnknownAttribute`], [`Error::KindMismatch`]).
+    pub fn add(&mut self, title: &str, attrs: AttributeSet, keywords: Vec<String>) -> Result<ItemId> {
+        self.schema.validate(&attrs)?;
+        let id = ItemId::new(self.items.len() as u32);
+        self.items.push(
+            Item::new(id, title)
+                .with_attrs(attrs)
+                .with_keywords(keywords),
+        );
+        Ok(id)
+    }
+
+    /// Looks an item up by id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownItem`] for out-of-range ids.
+    pub fn get(&self, id: ItemId) -> Result<&Item> {
+        self.items
+            .get(id.index())
+            .ok_or(Error::UnknownItem { item: id })
+    }
+
+    /// Looks an item up by exact title (first match).
+    pub fn by_title(&self, title: &str) -> Option<&Item> {
+        self.items.iter().find(|it| it.title == title)
+    }
+
+    /// Iterates over all items in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &Item> {
+        self.items.iter()
+    }
+
+    /// Iterates over all item ids.
+    pub fn ids(&self) -> impl Iterator<Item = ItemId> + '_ {
+        (0..self.items.len() as u32).map(ItemId::new)
+    }
+
+    /// Items whose categorical attribute `name` equals `value`.
+    pub fn with_category<'a>(&'a self, name: &'a str, value: &'a str) -> impl Iterator<Item = &'a Item> {
+        self.items
+            .iter()
+            .filter(move |it| it.attrs.cat(name) == Some(value))
+    }
+
+    /// The distinct values of a categorical attribute, sorted.
+    pub fn category_values(&self, name: &str) -> Vec<String> {
+        let mut vals: Vec<String> = self
+            .items
+            .iter()
+            .filter_map(|it| it.attrs.cat(name).map(str::to_owned))
+            .collect();
+        vals.sort_unstable();
+        vals.dedup();
+        vals
+    }
+
+    /// The `(min, max)` range of a numeric attribute over the catalog, or
+    /// `None` when no item carries it.
+    pub fn numeric_range(&self, name: &str) -> Option<(f64, f64)> {
+        let mut range: Option<(f64, f64)> = None;
+        for it in &self.items {
+            if let Some(v) = it.attrs.num(name) {
+                range = Some(match range {
+                    None => (v, v),
+                    Some((lo, hi)) => (lo.min(v), hi.max(v)),
+                });
+            }
+        }
+        range
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exrec_types::{AttributeDef, Direction};
+
+    fn catalog() -> Catalog {
+        let schema = DomainSchema::new(
+            "books",
+            vec![
+                AttributeDef::categorical("author", "Author"),
+                AttributeDef::categorical("genre", "Genre"),
+                AttributeDef::numeric("pages", "Pages", Direction::Neutral),
+            ],
+        )
+        .unwrap();
+        let mut c = Catalog::new(schema);
+        c.add(
+            "Great Expectations",
+            AttributeSet::new()
+                .with("author", "Charles Dickens")
+                .with("genre", "classic")
+                .with("pages", 505.0),
+            vec!["orphan".into(), "victorian".into()],
+        )
+        .unwrap();
+        c.add(
+            "Oliver Twist",
+            AttributeSet::new()
+                .with("author", "Charles Dickens")
+                .with("genre", "classic")
+                .with("pages", 424.0),
+            vec!["orphan".into(), "london".into()],
+        )
+        .unwrap();
+        c.add(
+            "Dune",
+            AttributeSet::new()
+                .with("author", "Frank Herbert")
+                .with("genre", "scifi")
+                .with("pages", 412.0),
+            vec!["desert".into(), "spice".into()],
+        )
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let c = catalog();
+        assert_eq!(c.len(), 3);
+        for (k, it) in c.iter().enumerate() {
+            assert_eq!(it.id, ItemId::new(k as u32));
+        }
+    }
+
+    #[test]
+    fn get_and_by_title() {
+        let c = catalog();
+        assert_eq!(c.get(ItemId::new(1)).unwrap().title, "Oliver Twist");
+        assert!(matches!(
+            c.get(ItemId::new(99)),
+            Err(Error::UnknownItem { .. })
+        ));
+        assert_eq!(c.by_title("Dune").unwrap().id, ItemId::new(2));
+        assert!(c.by_title("Missing").is_none());
+    }
+
+    #[test]
+    fn schema_enforced_on_add() {
+        let mut c = catalog();
+        let err = c.add(
+            "Bad",
+            AttributeSet::new().with("publisher", "X"),
+            Vec::new(),
+        );
+        assert!(matches!(err, Err(Error::UnknownAttribute { .. })));
+    }
+
+    #[test]
+    fn category_queries() {
+        let c = catalog();
+        let dickens: Vec<_> = c.with_category("author", "Charles Dickens").collect();
+        assert_eq!(dickens.len(), 2);
+        assert_eq!(c.category_values("genre"), vec!["classic", "scifi"]);
+    }
+
+    #[test]
+    fn numeric_range() {
+        let c = catalog();
+        assert_eq!(c.numeric_range("pages"), Some((412.0, 505.0)));
+        assert_eq!(c.numeric_range("weight"), None);
+    }
+}

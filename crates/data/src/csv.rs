@@ -1,0 +1,148 @@
+//! Plain-text import/export for ratings (`user,item,rating` lines).
+//!
+//! The toolkit's studies run on generated worlds, but a downstream user
+//! adopting the library will have real ratings. This module reads and
+//! writes the venerable comma-separated triple format (MovieLens-style),
+//! with `#`-comment and blank-line tolerance and precise error positions.
+
+use crate::matrix::RatingsMatrix;
+use exrec_types::{Error, ItemId, RatingScale, Result, UserId};
+use std::fmt::Write as _;
+
+/// Serializes a matrix as `user,item,rating` lines (header comment
+/// included), user-major order.
+pub fn to_csv(matrix: &RatingsMatrix) -> String {
+    let mut out = String::with_capacity(matrix.n_ratings() * 12 + 64);
+    let _ = writeln!(
+        out,
+        "# exrec ratings: scale {} ({} users, {} items)",
+        matrix.scale(),
+        matrix.n_users(),
+        matrix.n_items()
+    );
+    let _ = writeln!(out, "# user,item,rating");
+    for (u, i, v) in matrix.triples() {
+        let _ = writeln!(out, "{},{},{}", u.raw(), i.raw(), v);
+    }
+    out
+}
+
+/// Parses `user,item,rating` lines into a matrix on `scale`. The id
+/// spaces are sized to the maximum ids seen (+1). Blank lines and lines
+/// starting with `#` are skipped. Duplicate pairs keep the *last* value
+/// (the natural semantics of an append-only rating log).
+///
+/// # Errors
+///
+/// Returns [`Error::CorruptSnapshot`] with a 1-based line number for any
+/// malformed line, and propagates off-scale rating errors.
+pub fn from_csv(text: &str, scale: RatingScale) -> Result<RatingsMatrix> {
+    let mut triples: Vec<(u32, u32, f64)> = Vec::new();
+    let (mut max_user, mut max_item) = (0u32, 0u32);
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split(',');
+        let bad = |what: &str| Error::CorruptSnapshot {
+            detail: format!("line {}: {what}: {line:?}", lineno + 1),
+        };
+        let user: u32 = parts
+            .next()
+            .and_then(|s| s.trim().parse().ok())
+            .ok_or_else(|| bad("bad user id"))?;
+        let item: u32 = parts
+            .next()
+            .and_then(|s| s.trim().parse().ok())
+            .ok_or_else(|| bad("bad item id"))?;
+        let rating: f64 = parts
+            .next()
+            .and_then(|s| s.trim().parse().ok())
+            .ok_or_else(|| bad("bad rating"))?;
+        if parts.next().is_some() {
+            return Err(bad("trailing fields"));
+        }
+        max_user = max_user.max(user);
+        max_item = max_item.max(item);
+        triples.push((user, item, rating));
+    }
+    let mut matrix = if triples.is_empty() {
+        RatingsMatrix::new(0, 0, scale)
+    } else {
+        RatingsMatrix::new(max_user as usize + 1, max_item as usize + 1, scale)
+    };
+    for (u, i, v) in triples {
+        matrix.rate(UserId::new(u), ItemId::new(i), v)?;
+    }
+    Ok(matrix)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> RatingsMatrix {
+        let mut m = RatingsMatrix::new(3, 4, RatingScale::FIVE_STAR);
+        m.rate(UserId(0), ItemId(2), 4.0).unwrap();
+        m.rate(UserId(2), ItemId(0), 1.0).unwrap();
+        m.rate(UserId(1), ItemId(3), 5.0).unwrap();
+        m
+    }
+
+    #[test]
+    fn round_trip() {
+        let m = matrix();
+        let csv = to_csv(&m);
+        let back = from_csv(&csv, *m.scale()).unwrap();
+        // Id spaces shrink to max-seen, so compare triples, not matrices.
+        let a: Vec<_> = m.triples().collect();
+        let b: Vec<_> = back.triples().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tolerates_comments_blanks_and_spaces() {
+        let csv = "# header\n\n 0 , 1 , 3.0 \n# mid comment\n1,0,4\n";
+        let m = from_csv(csv, RatingScale::FIVE_STAR).unwrap();
+        assert_eq!(m.n_ratings(), 2);
+        assert_eq!(m.rating(UserId(0), ItemId(1)), Some(3.0));
+        assert_eq!(m.rating(UserId(1), ItemId(0)), Some(4.0));
+    }
+
+    #[test]
+    fn duplicates_keep_last() {
+        let csv = "0,0,1\n0,0,5\n";
+        let m = from_csv(csv, RatingScale::FIVE_STAR).unwrap();
+        assert_eq!(m.n_ratings(), 1);
+        assert_eq!(m.rating(UserId(0), ItemId(0)), Some(5.0));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        for (csv, needle) in [
+            ("0,1\n", "line 1"),
+            ("# ok\nx,1,3\n", "line 2: bad user"),
+            ("0,1,3,9\n", "trailing fields"),
+            ("0,1,notanumber\n", "bad rating"),
+        ] {
+            let err = from_csv(csv, RatingScale::FIVE_STAR).unwrap_err();
+            assert!(
+                err.to_string().contains(needle),
+                "{csv:?} should mention {needle}, got {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn off_scale_ratings_rejected() {
+        assert!(from_csv("0,0,9.5\n", RatingScale::FIVE_STAR).is_err());
+    }
+
+    #[test]
+    fn empty_input_yields_empty_matrix() {
+        let m = from_csv("# nothing\n", RatingScale::FIVE_STAR).unwrap();
+        assert_eq!(m.n_ratings(), 0);
+        assert_eq!(m.n_users(), 0);
+    }
+}

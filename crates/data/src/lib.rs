@@ -1,0 +1,28 @@
+//! # exrec-data
+//!
+//! Data substrate for the `exrec` toolkit: sparse ratings matrices, item
+//! catalogs, lightweight text processing, train/test splitting, binary
+//! snapshots, and — because the survey's evidence base is proprietary
+//! deployments (TiVo, Amazon, MovieLens) — *synthetic world generators*
+//! with latent-factor ground truth for every domain the survey touches:
+//! movies, news, books, digital cameras, restaurants and holidays.
+//!
+//! Ground truth matters: effectiveness (survey Section 3.5) is measured as
+//! the gap between a user's pre-consumption estimate and their true
+//! post-consumption liking, which only a generative world model can
+//! provide.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod catalog;
+pub mod csv;
+pub mod matrix;
+pub mod snapshot;
+pub mod split;
+pub mod synth;
+pub mod text;
+
+pub use catalog::Catalog;
+pub use matrix::RatingsMatrix;
+pub use synth::{LatentModel, World, WorldConfig};

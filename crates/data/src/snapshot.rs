@@ -1,0 +1,181 @@
+//! Compact binary snapshots of ratings matrices.
+//!
+//! Studies operate on generated worlds; snapshotting the ratings matrix
+//! lets a benchmark harness stash a workload and reload it without
+//! re-running generation. The format is a simple little-endian layout:
+//!
+//! ```text
+//! magic  b"EXRS"      4 bytes
+//! version u8          currently 1
+//! scale  min,max,step 3 × f64
+//! n_users u32
+//! n_items u32
+//! n_ratings u64
+//! triples (user u32, item u32, value f64) × n_ratings
+//! ```
+
+use crate::matrix::RatingsMatrix;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use exrec_types::{Error, ItemId, RatingScale, Result, UserId};
+
+const MAGIC: &[u8; 4] = b"EXRS";
+const VERSION: u8 = 1;
+
+/// Upper bound on either dimension of a decoded matrix. Protects decode
+/// from allocating gigabytes off a corrupted header (a flipped bit in the
+/// `n_users` field would otherwise request a multi-GB `Vec` before any
+/// triple is validated).
+pub const MAX_DIMENSION: usize = 16_777_216;
+
+/// Serializes a matrix into the snapshot format.
+pub fn encode(matrix: &RatingsMatrix) -> Bytes {
+    let mut buf = BytesMut::with_capacity(33 + matrix.n_ratings() * 16);
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_f64_le(matrix.scale().min());
+    buf.put_f64_le(matrix.scale().max());
+    buf.put_f64_le(matrix.scale().step());
+    buf.put_u32_le(matrix.n_users() as u32);
+    buf.put_u32_le(matrix.n_items() as u32);
+    buf.put_u64_le(matrix.n_ratings() as u64);
+    for (u, i, v) in matrix.triples() {
+        buf.put_u32_le(u.raw());
+        buf.put_u32_le(i.raw());
+        buf.put_f64_le(v);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a snapshot produced by [`encode`].
+///
+/// # Errors
+///
+/// Returns [`Error::CorruptSnapshot`] on truncated input, a bad magic or
+/// version, or out-of-range ids/values, and propagates scale/rating
+/// validation errors.
+pub fn decode(mut data: &[u8]) -> Result<RatingsMatrix> {
+    fn need(data: &[u8], n: usize, what: &str) -> Result<()> {
+        if data.remaining() < n {
+            Err(Error::CorruptSnapshot {
+                detail: format!("truncated while reading {what}"),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    need(data, 5, "header")?;
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(Error::CorruptSnapshot {
+            detail: "bad magic".to_owned(),
+        });
+    }
+    let version = data.get_u8();
+    if version != VERSION {
+        return Err(Error::CorruptSnapshot {
+            detail: format!("unsupported version {version}"),
+        });
+    }
+
+    need(data, 24 + 4 + 4 + 8, "dimensions")?;
+    let min = data.get_f64_le();
+    let max = data.get_f64_le();
+    let step = data.get_f64_le();
+    let scale = RatingScale::new(min, max, step)?;
+    let n_users = data.get_u32_le() as usize;
+    let n_items = data.get_u32_le() as usize;
+    let n_ratings = data.get_u64_le() as usize;
+    if n_users > MAX_DIMENSION || n_items > MAX_DIMENSION {
+        return Err(Error::CorruptSnapshot {
+            detail: format!("implausible dimensions {n_users}x{n_items}"),
+        });
+    }
+
+    need(data, n_ratings.saturating_mul(16), "triples")?;
+    let mut matrix = RatingsMatrix::new(n_users, n_items, scale);
+    for _ in 0..n_ratings {
+        let u = UserId::new(data.get_u32_le());
+        let i = ItemId::new(data.get_u32_le());
+        let v = data.get_f64_le();
+        matrix.rate(u, i, v)?;
+    }
+    Ok(matrix)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> RatingsMatrix {
+        let mut m = RatingsMatrix::new(3, 5, RatingScale::HALF_STAR);
+        m.rate(UserId(0), ItemId(1), 4.5).unwrap();
+        m.rate(UserId(2), ItemId(4), 0.5).unwrap();
+        m.rate(UserId(1), ItemId(0), 3.0).unwrap();
+        m
+    }
+
+    #[test]
+    fn round_trip() {
+        let m = matrix();
+        let bytes = encode(&m);
+        let back = decode(&bytes).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn round_trip_empty() {
+        let m = RatingsMatrix::new(0, 0, RatingScale::FIVE_STAR);
+        assert_eq!(decode(&encode(&m)).unwrap(), m);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = encode(&matrix()).to_vec();
+        bytes[0] = b'X';
+        assert!(matches!(
+            decode(&bytes),
+            Err(Error::CorruptSnapshot { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut bytes = encode(&matrix()).to_vec();
+        bytes[4] = 99;
+        let err = decode(&bytes).unwrap_err();
+        assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let bytes = encode(&matrix());
+        for cut in [0, 3, 8, 30, bytes.len() - 1] {
+            assert!(
+                decode(&bytes[..cut]).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_implausible_dimensions() {
+        // A flipped bit in the header must not trigger a huge allocation.
+        let mut bytes = encode(&matrix()).to_vec();
+        bytes[29..33].copy_from_slice(&u32::MAX.to_le_bytes()); // n_users
+        let err = decode(&bytes).unwrap_err();
+        assert!(err.to_string().contains("implausible"));
+    }
+
+    #[test]
+    fn rejects_out_of_range_ids() {
+        // Hand-craft a snapshot whose triple references user 9 of 1.
+        let mut m = RatingsMatrix::new(10, 10, RatingScale::FIVE_STAR);
+        m.rate(UserId(9), ItemId(9), 5.0).unwrap();
+        let mut bytes = encode(&m).to_vec();
+        // Patch n_users down to 1 (offset: 4 magic + 1 version + 24 scale).
+        bytes[29..33].copy_from_slice(&1u32.to_le_bytes());
+        assert!(decode(&bytes).is_err());
+    }
+}

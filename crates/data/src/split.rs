@@ -1,0 +1,158 @@
+//! Train/test splitting of ratings matrices.
+//!
+//! Accuracy-adjacent effectiveness metrics (survey Section 3.5 relates
+//! effectiveness to precision/recall) need held-out ratings. Splits are
+//! per-user and seeded, so every study is reproducible.
+
+use crate::matrix::RatingsMatrix;
+use exrec_types::{ItemId, UserId};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A held-out test set: `(user, item, true_rating)` triples, with the
+/// corresponding training matrix.
+#[derive(Debug, Clone)]
+pub struct Split {
+    /// Training matrix (test ratings removed).
+    pub train: RatingsMatrix,
+    /// Held-out triples.
+    pub test: Vec<(UserId, ItemId, f64)>,
+}
+
+/// Splits `matrix` per user: each user's ratings are shuffled (seeded) and
+/// `test_fraction` of them (rounded down, but at most `ratings - 1` so
+/// every user keeps at least one training rating) are held out.
+///
+/// `test_fraction` is clamped into `[0, 1]`.
+pub fn holdout(matrix: &RatingsMatrix, test_fraction: f64, seed: u64) -> Split {
+    let frac = test_fraction.clamp(0.0, 1.0);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut train = matrix.clone();
+    let mut test = Vec::new();
+
+    for user in matrix.users() {
+        let mut rated: Vec<(ItemId, f64)> = matrix.user_ratings(user).to_vec();
+        if rated.len() < 2 {
+            continue;
+        }
+        rated.shuffle(&mut rng);
+        let n_test = ((rated.len() as f64 * frac) as usize).min(rated.len() - 1);
+        for &(item, value) in rated.iter().take(n_test) {
+            train
+                .unrate(user, item)
+                .expect("ids come from the matrix itself");
+            test.push((user, item, value));
+        }
+    }
+    Split { train, test }
+}
+
+/// Produces `k` cross-validation folds. Each rating lands in exactly one
+/// fold's test set; every fold's training matrix is the original matrix
+/// minus that fold's test triples.
+///
+/// `k` is clamped to at least 2.
+pub fn k_folds(matrix: &RatingsMatrix, k: usize, seed: u64) -> Vec<Split> {
+    let k = k.max(2);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut triples: Vec<(UserId, ItemId, f64)> = matrix.triples().collect();
+    triples.shuffle(&mut rng);
+
+    let mut folds: Vec<Vec<(UserId, ItemId, f64)>> = vec![Vec::new(); k];
+    for (n, t) in triples.into_iter().enumerate() {
+        folds[n % k].push(t);
+    }
+
+    folds
+        .into_iter()
+        .map(|test| {
+            let mut train = matrix.clone();
+            for &(u, i, _) in &test {
+                train.unrate(u, i).expect("ids come from the matrix itself");
+            }
+            Split { train, test }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exrec_types::RatingScale;
+
+    fn matrix() -> RatingsMatrix {
+        let mut m = RatingsMatrix::new(4, 10, RatingScale::FIVE_STAR);
+        for u in 0..4u32 {
+            for i in 0..10u32 {
+                if (u + i) % 2 == 0 {
+                    m.rate(UserId(u), ItemId(i), ((u + i) % 5 + 1) as f64).unwrap();
+                }
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn holdout_preserves_total_ratings() {
+        let m = matrix();
+        let s = holdout(&m, 0.2, 7);
+        assert_eq!(s.train.n_ratings() + s.test.len(), m.n_ratings());
+        assert!(!s.test.is_empty());
+        for &(u, i, v) in &s.test {
+            assert_eq!(s.train.rating(u, i), None, "held-out pair still in train");
+            assert_eq!(m.rating(u, i), Some(v));
+        }
+    }
+
+    #[test]
+    fn holdout_keeps_one_training_rating_per_user() {
+        let m = matrix();
+        let s = holdout(&m, 1.0, 7);
+        for u in m.users() {
+            if !m.user_ratings(u).is_empty() {
+                assert!(
+                    !s.train.user_ratings(u).is_empty(),
+                    "user {u} lost all training ratings"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn holdout_is_deterministic() {
+        let m = matrix();
+        let a = holdout(&m, 0.3, 42);
+        let b = holdout(&m, 0.3, 42);
+        assert_eq!(a.test, b.test);
+        let c = holdout(&m, 0.3, 43);
+        assert_ne!(a.test, c.test, "different seeds should differ");
+    }
+
+    #[test]
+    fn k_folds_partition_ratings() {
+        let m = matrix();
+        let folds = k_folds(&m, 4, 1);
+        assert_eq!(folds.len(), 4);
+        let total: usize = folds.iter().map(|f| f.test.len()).sum();
+        assert_eq!(total, m.n_ratings());
+        for f in &folds {
+            assert_eq!(f.train.n_ratings() + f.test.len(), m.n_ratings());
+        }
+    }
+
+    #[test]
+    fn k_is_clamped() {
+        let m = matrix();
+        let folds = k_folds(&m, 0, 1);
+        assert_eq!(folds.len(), 2);
+    }
+
+    #[test]
+    fn zero_fraction_holds_out_nothing() {
+        let m = matrix();
+        let s = holdout(&m, 0.0, 1);
+        assert!(s.test.is_empty());
+        assert_eq!(s.train.n_ratings(), m.n_ratings());
+    }
+}

@@ -1,0 +1,162 @@
+//! Synthetic book world (survey Table 4 row "LIBRA", Figure 3's
+//! influence-based explanation, Table 3 rows "Amazon"/"LibraryThing").
+
+use super::{names, World, WorldConfig};
+use crate::catalog::Catalog;
+use exrec_types::{AttributeDef, AttributeSet, AttrValue, Direction, DomainSchema};
+use rand::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Book genres used as latent prototypes.
+pub const GENRES: &[&str] = &[
+    "classic", "scifi", "mystery", "fantasy", "history", "romance",
+];
+
+const GENRE_WORDS: &[&[&str]] = &[
+    &["orphan", "victorian", "estate", "inheritance", "society"],
+    &["starship", "colony", "android", "quantum", "terraform"],
+    &["murder", "detective", "alibi", "poison", "manor"],
+    &["dragon", "quest", "prophecy", "sword", "kingdom"],
+    &["empire", "revolution", "biography", "archive", "war"],
+    &["courtship", "scandal", "letters", "ballroom", "elopement"],
+];
+
+/// The book domain schema.
+pub fn schema() -> DomainSchema {
+    DomainSchema::new(
+        "books",
+        vec![
+            AttributeDef::categorical("author", "Author"),
+            AttributeDef::categorical("genre", "Genre"),
+            AttributeDef::numeric("pages", "Pages", Direction::Neutral),
+            AttributeDef::numeric("year", "Year", Direction::Neutral),
+            AttributeDef::text("blurb", "Blurb"),
+        ],
+    )
+    .expect("static schema is valid")
+}
+
+/// Generates a book world from `cfg`. Authors write 2–6 books each within
+/// one genre, so author-based content explanations ("more by Charles
+/// Dickens") have signal.
+pub fn generate(cfg: &WorldConfig) -> World {
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x424F4F4B); // "BOOK"
+    let mut catalog = Catalog::new(schema());
+    let mut prototypes = Vec::with_capacity(cfg.n_items);
+
+    // Pre-assign authors to genres.
+    let n_authors = (cfg.n_items / 3).clamp(4, 40);
+    let authors: Vec<(String, usize)> = (0..n_authors)
+        .map(|a| {
+            let genre = if a < GENRES.len() {
+                a
+            } else {
+                rng.random_range(0..GENRES.len())
+            };
+            (names::person_name(&mut rng), genre)
+        })
+        .collect();
+
+    for _ in 0..cfg.n_items {
+        let (author, genre_idx) = authors[rng.random_range(0..authors.len())].clone();
+        let words = GENRE_WORDS[genre_idx];
+        let picked = names::pick_distinct(words, 3, &mut rng);
+        let title = format!(
+            "The {} {}",
+            capitalize(picked[0]),
+            capitalize(&names::pseudo_word(&mut rng)),
+        );
+        let blurb = format!(
+            "A {} tale of {} and {}, following the {} through {}.",
+            GENRES[genre_idx], picked[0], picked[1], picked[2], picked[0]
+        );
+        let mut keywords: Vec<String> = picked.iter().map(|w| w.to_string()).collect();
+        keywords.push(GENRES[genre_idx].to_string());
+        keywords.push(
+            author
+                .split(' ')
+                .next_back()
+                .unwrap_or_default()
+                .to_lowercase(),
+        );
+
+        let attrs = AttributeSet::new()
+            .with("author", author.as_str())
+            .with("genre", GENRES[genre_idx])
+            .with("pages", rng.random_range(150..800) as f64)
+            .with("year", rng.random_range(1840..2007) as f64)
+            .with("blurb", AttrValue::Text(blurb));
+
+        catalog
+            .add(&title, attrs, keywords)
+            .expect("generated attrs conform to schema");
+        prototypes.push(genre_idx);
+    }
+
+    World::assemble(
+        catalog,
+        prototypes,
+        GENRES.iter().map(|g| g.to_string()).collect(),
+        cfg,
+        &mut rng,
+    )
+}
+
+fn capitalize(s: &str) -> String {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) => c.to_uppercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn world() -> World {
+        generate(&WorldConfig {
+            n_items: 60,
+            n_users: 20,
+            ..WorldConfig::default()
+        })
+    }
+
+    #[test]
+    fn authors_stay_in_one_genre() {
+        let w = world();
+        let mut seen: HashMap<String, String> = HashMap::new();
+        for item in w.catalog.iter() {
+            let author = item.attrs.cat("author").unwrap().to_owned();
+            let genre = item.attrs.cat("genre").unwrap().to_owned();
+            if let Some(prev) = seen.insert(author.clone(), genre.clone()) {
+                assert_eq!(prev, genre, "author {author} spans genres");
+            }
+        }
+    }
+
+    #[test]
+    fn some_author_has_multiple_books() {
+        let w = world();
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for item in w.catalog.iter() {
+            *counts.entry(item.attrs.cat("author").unwrap()).or_insert(0) += 1;
+        }
+        assert!(
+            counts.values().any(|&c| c >= 2),
+            "need multi-book authors for 'more by this author' explanations"
+        );
+    }
+
+    #[test]
+    fn blurbs_mention_genre() {
+        let w = world();
+        for item in w.catalog.iter() {
+            let blurb = item.attrs.text("blurb").unwrap();
+            let genre = item.attrs.cat("genre").unwrap();
+            assert!(blurb.contains(genre), "blurb should carry genre signal");
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Synthetic digital-camera world (survey Table 3 row "Qwikshop",
+//! Section 5.2's "Less Memory and Lower Resolution and Cheaper").
+//!
+//! Cameras are the canonical *knowledge-based / critiquing* domain:
+//! numeric attributes with clear preference directions, few ratings.
+
+use super::{World, WorldConfig};
+use crate::catalog::Catalog;
+use exrec_types::{AttributeDef, AttributeSet, Direction, DomainSchema};
+use rand::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Camera classes used as latent prototypes.
+pub const CLASSES: &[&str] = &["compact", "superzoom", "dslr", "rugged"];
+
+const BRANDS: &[&str] = &["Lumora", "Pentaxis", "Veldt", "Okari", "Brightline", "Corvid"];
+
+/// The camera domain schema, with comparative adjectives wired in so
+/// critique titles read like the survey's example.
+pub fn schema() -> DomainSchema {
+    DomainSchema::new(
+        "cameras",
+        vec![
+            AttributeDef::numeric("price", "Price", Direction::LowerIsBetter)
+                .with_unit("$")
+                .with_comparatives("More Expensive", "Cheaper"),
+            AttributeDef::numeric("resolution", "Resolution", Direction::HigherIsBetter)
+                .with_unit("MP")
+                .with_comparatives("Higher Resolution", "Lower Resolution"),
+            AttributeDef::numeric("zoom", "Optical Zoom", Direction::HigherIsBetter)
+                .with_unit("x")
+                .with_comparatives("More Zoom", "Less Zoom"),
+            AttributeDef::numeric("memory", "Memory", Direction::HigherIsBetter)
+                .with_unit("GB")
+                .with_comparatives("More Memory", "Less Memory"),
+            AttributeDef::numeric("weight", "Weight", Direction::LowerIsBetter)
+                .with_unit("g")
+                .with_comparatives("Heavier", "Lighter"),
+            AttributeDef::categorical("brand", "Brand"),
+            AttributeDef::categorical("class", "Class"),
+            AttributeDef::flag("flash", "Built-in Flash"),
+        ],
+    )
+    .expect("static schema is valid")
+}
+
+/// Class-conditional attribute ranges:
+/// `(price, resolution, zoom, memory, weight)` as `(lo, hi)` pairs.
+fn class_ranges(class: usize) -> [(f64, f64); 5] {
+    match class {
+        0 => [(120.0, 350.0), (6.0, 10.0), (3.0, 5.0), (1.0, 4.0), (120.0, 220.0)], // compact
+        1 => [(280.0, 600.0), (8.0, 12.0), (10.0, 24.0), (2.0, 8.0), (300.0, 500.0)], // superzoom
+        2 => [(600.0, 1800.0), (10.0, 21.0), (1.0, 3.0), (4.0, 16.0), (500.0, 900.0)], // dslr
+        _ => [(200.0, 450.0), (6.0, 9.0), (3.0, 5.0), (1.0, 4.0), (180.0, 300.0)],  // rugged
+    }
+}
+
+/// Generates a camera world from `cfg`.
+pub fn generate(cfg: &WorldConfig) -> World {
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x43414D45); // "CAME"
+    let mut catalog = Catalog::new(schema());
+    let mut prototypes = Vec::with_capacity(cfg.n_items);
+
+    for k in 0..cfg.n_items {
+        let class = if k < CLASSES.len() {
+            k
+        } else {
+            rng.random_range(0..CLASSES.len())
+        };
+        let ranges = class_ranges(class);
+        let brand = BRANDS[rng.random_range(0..BRANDS.len())];
+        let model_no = rng.random_range(100..999);
+        let title = format!("{brand} {}{model_no}", CLASSES[class].to_uppercase().chars().next().unwrap());
+
+        let sample = |rng: &mut ChaCha8Rng, (lo, hi): (f64, f64)| {
+            (rng.random_range(lo..hi) * 10.0).round() / 10.0
+        };
+        let attrs = AttributeSet::new()
+            .with("price", sample(&mut rng, ranges[0]).round())
+            .with("resolution", sample(&mut rng, ranges[1]))
+            .with("zoom", sample(&mut rng, ranges[2]))
+            .with("memory", sample(&mut rng, ranges[3]).round().max(1.0))
+            .with("weight", sample(&mut rng, ranges[4]).round())
+            .with("brand", brand)
+            .with("class", CLASSES[class])
+            .with("flash", rng.random_range(0.0..1.0) < 0.8);
+
+        let keywords = vec![CLASSES[class].to_string(), brand.to_lowercase()];
+        catalog
+            .add(&title, attrs, keywords)
+            .expect("generated attrs conform to schema");
+        prototypes.push(class);
+    }
+
+    World::assemble(
+        catalog,
+        prototypes,
+        CLASSES.iter().map(|c| c.to_string()).collect(),
+        cfg,
+        &mut rng,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> World {
+        generate(&WorldConfig {
+            n_items: 40,
+            n_users: 20,
+            ..WorldConfig::default()
+        })
+    }
+
+    #[test]
+    fn attributes_within_class_ranges() {
+        let w = world();
+        for item in w.catalog.iter() {
+            let class = CLASSES
+                .iter()
+                .position(|c| Some(*c) == item.attrs.cat("class"))
+                .unwrap();
+            let ranges = class_ranges(class);
+            let price = item.attrs.num("price").unwrap();
+            assert!(
+                price >= ranges[0].0 - 1.0 && price <= ranges[0].1 + 1.0,
+                "{}: price {price} outside class range",
+                item.title
+            );
+        }
+    }
+
+    #[test]
+    fn schema_has_critique_comparatives() {
+        let s = schema();
+        assert_eq!(s.attribute("memory").unwrap().less_word(), "Less Memory");
+        assert_eq!(s.attribute("price").unwrap().less_word(), "Cheaper");
+        assert_eq!(
+            s.attribute("resolution").unwrap().less_word(),
+            "Lower Resolution"
+        );
+    }
+
+    #[test]
+    fn price_direction_is_lower_better() {
+        let s = schema();
+        assert_eq!(
+            s.attribute("price").unwrap().direction,
+            Direction::LowerIsBetter
+        );
+        assert_eq!(
+            s.attribute("zoom").unwrap().direction,
+            Direction::HigherIsBetter
+        );
+    }
+
+    #[test]
+    fn every_class_present() {
+        let w = world();
+        for c in CLASSES {
+            assert!(w.catalog.with_category("class", c).next().is_some());
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Synthetic holiday world (survey Figure 1 / Table 4 row "SASY" — the
+//! scrutable adaptive hypertext demo, and Table 4 row "Top Case").
+
+use super::{names, World, WorldConfig};
+use crate::catalog::Catalog;
+use exrec_types::{AttributeDef, AttributeSet, Direction, DomainSchema};
+use rand::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Holiday styles used as latent prototypes.
+pub const STYLES: &[&str] = &["beach", "city", "ski", "adventure", "countryside"];
+
+/// The holiday domain schema.
+pub fn schema() -> DomainSchema {
+    DomainSchema::new(
+        "holidays",
+        vec![
+            AttributeDef::categorical("style", "Style"),
+            AttributeDef::categorical("climate", "Climate"),
+            AttributeDef::numeric("price", "Price", Direction::LowerIsBetter)
+                .with_unit("$")
+                .with_comparatives("More Expensive", "Cheaper"),
+            AttributeDef::numeric("days", "Days", Direction::Neutral),
+            AttributeDef::flag("kid_friendly", "Kid Friendly"),
+            AttributeDef::flag("nightlife", "Nightlife"),
+        ],
+    )
+    .expect("static schema is valid")
+}
+
+fn climate_for(style: usize, rng: &mut ChaCha8Rng) -> &'static str {
+    match style {
+        0 => "hot",
+        2 => "cold",
+        _ => ["mild", "hot", "cold"][rng.random_range(0..3)],
+    }
+}
+
+/// Generates a holiday world from `cfg`.
+pub fn generate(cfg: &WorldConfig) -> World {
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x484F4C49); // "HOLI"
+    let mut catalog = Catalog::new(schema());
+    let mut prototypes = Vec::with_capacity(cfg.n_items);
+
+    for k in 0..cfg.n_items {
+        let style_idx = if k < STYLES.len() {
+            k
+        } else {
+            rng.random_range(0..STYLES.len())
+        };
+        let place = names::pseudo_word(&mut rng);
+        let title = format!("{place} {}", capitalize(STYLES[style_idx]));
+        let attrs = AttributeSet::new()
+            .with("style", STYLES[style_idx])
+            .with("climate", climate_for(style_idx, &mut rng))
+            .with("price", rng.random_range(300..3000) as f64)
+            .with("days", rng.random_range(3..15) as f64)
+            .with("kid_friendly", rng.random_range(0.0..1.0) < 0.5)
+            .with("nightlife", rng.random_range(0.0..1.0) < 0.45);
+        catalog
+            .add(&title, attrs, vec![STYLES[style_idx].to_string()])
+            .expect("generated attrs conform to schema");
+        prototypes.push(style_idx);
+    }
+
+    World::assemble(
+        catalog,
+        prototypes,
+        STYLES.iter().map(|s| s.to_string()).collect(),
+        cfg,
+        &mut rng,
+    )
+}
+
+fn capitalize(s: &str) -> String {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) => c.to_uppercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beach_is_hot_and_ski_is_cold() {
+        let w = generate(&WorldConfig {
+            n_items: 30,
+            n_users: 10,
+            ..WorldConfig::default()
+        });
+        for item in w.catalog.iter() {
+            match item.attrs.cat("style").unwrap() {
+                "beach" => assert_eq!(item.attrs.cat("climate"), Some("hot")),
+                "ski" => assert_eq!(item.attrs.cat("climate"), Some("cold")),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn prices_in_range() {
+        let w = generate(&WorldConfig {
+            n_items: 30,
+            n_users: 10,
+            ..WorldConfig::default()
+        });
+        for item in w.catalog.iter() {
+            let p = item.attrs.num("price").unwrap();
+            assert!((300.0..3000.0).contains(&p));
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Synthetic movie world (MovieLens-style, survey Tables 3/4 rows
+//! "MovieLens", "LoveFilm", "ACORN").
+
+use super::{names, World, WorldConfig};
+use crate::catalog::Catalog;
+use exrec_types::{AttributeDef, AttributeSet, Direction, DomainSchema};
+use rand::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Movie genres used as latent prototypes.
+pub const GENRES: &[&str] = &[
+    "comedy", "drama", "action", "thriller", "scifi", "romance", "horror", "documentary",
+];
+
+/// Per-genre descriptive vocabulary feeding item keywords.
+const GENRE_WORDS: &[&[&str]] = &[
+    &["hilarious", "sitcom", "slapstick", "witty", "parody"],
+    &["moving", "family", "tragedy", "memoir", "quiet"],
+    &["explosive", "chase", "heist", "combat", "stunt"],
+    &["suspense", "conspiracy", "detective", "noir", "twist"],
+    &["space", "robot", "future", "alien", "dystopia"],
+    &["love", "wedding", "heartbreak", "summer", "letters"],
+    &["haunted", "scream", "curse", "midnight", "shadow"],
+    &["archive", "interview", "nature", "history", "essay"],
+];
+
+const TITLE_PATTERNS: &[&str] = &["The {A} {B}", "{A} of {B}", "{A} Rising", "Last {A}", "{A} & {B}"];
+
+/// The movie domain schema.
+pub fn schema() -> DomainSchema {
+    DomainSchema::new(
+        "movies",
+        vec![
+            AttributeDef::categorical("genre", "Genre"),
+            AttributeDef::categorical("director", "Director"),
+            AttributeDef::categorical("lead", "Lead Actor"),
+            AttributeDef::numeric("year", "Year", Direction::Neutral),
+            AttributeDef::numeric("length", "Length", Direction::Neutral).with_unit("min"),
+            AttributeDef::categorical("rating_cert", "Certificate"),
+        ],
+    )
+    .expect("static schema is valid")
+}
+
+/// Generates a movie world from `cfg`.
+pub fn generate(cfg: &WorldConfig) -> World {
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x4D4F5649); // "MOVI"
+    let mut catalog = Catalog::new(schema());
+    let mut prototypes = Vec::with_capacity(cfg.n_items);
+
+    let directors: Vec<String> = (0..8).map(|_| names::person_name(&mut rng)).collect();
+    let actors: Vec<String> = (0..16).map(|_| names::person_name(&mut rng)).collect();
+    let certs = ["G", "PG", "PG-13", "R"];
+
+    for k in 0..cfg.n_items {
+        let genre_idx = if k < GENRES.len() {
+            // Guarantee every genre appears at least once.
+            k
+        } else {
+            rng.random_range(0..GENRES.len())
+        };
+        let genre = GENRES[genre_idx];
+        let pattern = TITLE_PATTERNS[rng.random_range(0..TITLE_PATTERNS.len())];
+        let title = pattern
+            .replace("{A}", &names::pseudo_word(&mut rng))
+            .replace("{B}", &names::pseudo_word(&mut rng));
+        let director = directors[rng.random_range(0..directors.len())].clone();
+        let lead = actors[rng.random_range(0..actors.len())].clone();
+        let words = GENRE_WORDS[genre_idx];
+        let mut keywords: Vec<String> = names::pick_distinct(words, 3, &mut rng)
+            .into_iter()
+            .map(|w| w.to_string())
+            .collect();
+        keywords.push(genre.to_string());
+        keywords.push(
+            lead.split(' ')
+                .next_back()
+                .unwrap_or_default()
+                .to_lowercase(),
+        );
+
+        let attrs = AttributeSet::new()
+            .with("genre", genre)
+            .with("director", director.as_str())
+            .with("lead", lead.as_str())
+            .with("year", rng.random_range(1970..2007) as f64)
+            .with("length", rng.random_range(80..180) as f64)
+            .with("rating_cert", certs[rng.random_range(0..certs.len())]);
+
+        catalog
+            .add(&title, attrs, keywords)
+            .expect("generated attrs conform to schema");
+        prototypes.push(genre_idx);
+    }
+
+    World::assemble(
+        catalog,
+        prototypes,
+        GENRES.iter().map(|g| g.to_string()).collect(),
+        cfg,
+        &mut rng,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_genre_is_represented() {
+        let w = generate(&WorldConfig {
+            n_items: 30,
+            n_users: 10,
+            ..WorldConfig::default()
+        });
+        for genre in GENRES {
+            assert!(
+                w.catalog.with_category("genre", genre).next().is_some(),
+                "missing genre {genre}"
+            );
+        }
+    }
+
+    #[test]
+    fn items_have_genre_keyword() {
+        let w = generate(&WorldConfig {
+            n_items: 20,
+            n_users: 5,
+            ..WorldConfig::default()
+        });
+        for item in w.catalog.iter() {
+            let genre = item.attrs.cat("genre").unwrap();
+            assert!(item.has_keyword(genre), "{} lacks its genre keyword", item.title);
+        }
+    }
+
+    #[test]
+    fn prototype_matches_genre_attr() {
+        let w = generate(&WorldConfig {
+            n_items: 20,
+            n_users: 5,
+            ..WorldConfig::default()
+        });
+        for item in w.catalog.iter() {
+            assert_eq!(
+                w.prototype_of(item.id),
+                item.attrs.cat("genre").unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn years_in_range() {
+        let w = generate(&WorldConfig::default());
+        for item in w.catalog.iter() {
+            let y = item.attrs.num("year").unwrap();
+            assert!((1970.0..2007.0).contains(&y));
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Deterministic pseudo-name generation for synthetic catalogs.
+
+use rand::prelude::*;
+
+const SYLLABLES: &[&str] = &[
+    "ka", "lo", "mi", "ra", "ve", "to", "na", "si", "du", "pel", "mar", "tin", "os", "el", "bra",
+    "cor", "fen", "gil", "hart", "ley",
+];
+
+/// A deterministic capitalized pseudo-word of 2–3 syllables.
+pub fn pseudo_word(rng: &mut impl Rng) -> String {
+    let n = rng.random_range(2..=3usize);
+    let mut w = String::new();
+    for _ in 0..n {
+        w.push_str(SYLLABLES[rng.random_range(0..SYLLABLES.len())]);
+    }
+    let mut chars = w.chars();
+    match chars.next() {
+        Some(c) => c.to_uppercase().collect::<String>() + chars.as_str(),
+        None => w,
+    }
+}
+
+/// A pseudo person name ("Firstname Lastname").
+pub fn person_name(rng: &mut impl Rng) -> String {
+    format!("{} {}", pseudo_word(rng), pseudo_word(rng))
+}
+
+/// Picks `k` distinct elements of `pool` (or all of them if `k` exceeds
+/// the pool size), preserving no particular order.
+pub fn pick_distinct<'a, T>(pool: &'a [T], k: usize, rng: &mut impl Rng) -> Vec<&'a T> {
+    let mut idx: Vec<usize> = (0..pool.len()).collect();
+    idx.shuffle(rng);
+    idx.into_iter().take(k).map(|i| &pool[i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn words_are_deterministic() {
+        let mut a = ChaCha8Rng::seed_from_u64(5);
+        let mut b = ChaCha8Rng::seed_from_u64(5);
+        assert_eq!(pseudo_word(&mut a), pseudo_word(&mut b));
+    }
+
+    #[test]
+    fn words_are_capitalized() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..20 {
+            let w = pseudo_word(&mut rng);
+            assert!(w.chars().next().unwrap().is_uppercase());
+            assert!(w.len() >= 4);
+        }
+    }
+
+    #[test]
+    fn person_names_have_two_parts() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let n = person_name(&mut rng);
+        assert_eq!(n.split(' ').count(), 2);
+    }
+
+    #[test]
+    fn pick_distinct_has_no_duplicates() {
+        let pool: Vec<u32> = (0..10).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let picked = pick_distinct(&pool, 5, &mut rng);
+        assert_eq!(picked.len(), 5);
+        let mut seen: Vec<u32> = picked.iter().map(|&&x| x).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 5);
+        assert_eq!(pick_distinct(&pool, 99, &mut rng).len(), 10);
+    }
+}

@@ -1,0 +1,182 @@
+//! Synthetic news world (survey Table 3 row "Findory", Table 4 row
+//! "News Dude", Figure 2's treemap, and the running football/technology
+//! fan example of Section 4).
+
+use super::{names, World, WorldConfig};
+use crate::catalog::Catalog;
+use exrec_types::{AttributeDef, AttributeSet, Direction, DomainSchema};
+use rand::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// News topics used as latent prototypes. "sport" is subdivided via the
+/// `subtopic` attribute (football/tennis/hockey) to support the survey's
+/// running example ("you like football but not hockey").
+pub const TOPICS: &[&str] = &[
+    "sport", "technology", "politics", "business", "culture", "science",
+];
+
+const SUBTOPICS: &[&[&str]] = &[
+    &["football", "tennis", "hockey"],
+    &["gadgets", "software", "internet"],
+    &["elections", "policy", "world"],
+    &["markets", "startups", "trade"],
+    &["film", "music", "books"],
+    &["space", "health", "climate"],
+];
+
+const TOPIC_WORDS: &[&[&str]] = &[
+    &["match", "league", "goal", "final", "cup", "season"],
+    &["device", "launch", "update", "chip", "startup"],
+    &["vote", "minister", "debate", "reform", "summit"],
+    &["shares", "profit", "merger", "forecast", "index"],
+    &["festival", "premiere", "album", "exhibition", "review"],
+    &["study", "discovery", "mission", "vaccine", "data"],
+];
+
+/// The news domain schema.
+pub fn schema() -> DomainSchema {
+    DomainSchema::new(
+        "news",
+        vec![
+            AttributeDef::categorical("topic", "Topic"),
+            AttributeDef::categorical("subtopic", "Subtopic"),
+            AttributeDef::numeric("recency", "Recency", Direction::HigherIsBetter),
+            AttributeDef::numeric("popularity", "Popularity", Direction::HigherIsBetter),
+            AttributeDef::flag("local", "Local"),
+            AttributeDef::text("summary", "Summary"),
+        ],
+    )
+    .expect("static schema is valid")
+}
+
+/// Generates a news world from `cfg`.
+///
+/// `recency` is a 0–100 score (100 = just published); `popularity` a 0–100
+/// view score. Both feed the treemap of Figure 2 (size = importance,
+/// shade = recency).
+pub fn generate(cfg: &WorldConfig) -> World {
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x4E455753); // "NEWS"
+    let mut catalog = Catalog::new(schema());
+    let mut prototypes = Vec::with_capacity(cfg.n_items);
+
+    for k in 0..cfg.n_items {
+        let topic_idx = if k < TOPICS.len() {
+            k
+        } else {
+            rng.random_range(0..TOPICS.len())
+        };
+        let subtopic =
+            SUBTOPICS[topic_idx][rng.random_range(0..SUBTOPICS[topic_idx].len())];
+        let words = TOPIC_WORDS[topic_idx];
+        let picked = names::pick_distinct(words, 3, &mut rng);
+        let headline = format!(
+            "{} {} {}",
+            capitalize(subtopic),
+            picked[0],
+            picked[1]
+        );
+        let summary = format!(
+            "{} {} {} {} in the {} {}",
+            capitalize(picked[0]),
+            subtopic,
+            picked[1],
+            picked[2],
+            TOPICS[topic_idx],
+            if rng.random_range(0.0..1.0) < 0.5 { "today" } else { "this week" },
+        );
+        let mut keywords: Vec<String> = picked.iter().map(|w| w.to_string()).collect();
+        keywords.push(TOPICS[topic_idx].to_string());
+        keywords.push(subtopic.to_string());
+
+        let attrs = AttributeSet::new()
+            .with("topic", TOPICS[topic_idx])
+            .with("subtopic", subtopic)
+            .with("recency", rng.random_range(0..101) as f64)
+            .with("popularity", rng.random_range(0..101) as f64)
+            .with("local", rng.random_range(0.0..1.0) < 0.3)
+            .with(
+                "summary",
+                exrec_types::AttrValue::Text(summary),
+            );
+
+        catalog
+            .add(&headline, attrs, keywords)
+            .expect("generated attrs conform to schema");
+        prototypes.push(topic_idx);
+    }
+
+    World::assemble(
+        catalog,
+        prototypes,
+        TOPICS.iter().map(|t| t.to_string()).collect(),
+        cfg,
+        &mut rng,
+    )
+}
+
+fn capitalize(s: &str) -> String {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) => c.to_uppercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> World {
+        generate(&WorldConfig {
+            n_items: 60,
+            n_users: 20,
+            ..WorldConfig::default()
+        })
+    }
+
+    #[test]
+    fn subtopics_belong_to_topics() {
+        let w = world();
+        for item in w.catalog.iter() {
+            let topic = item.attrs.cat("topic").unwrap();
+            let sub = item.attrs.cat("subtopic").unwrap();
+            let topic_idx = TOPICS.iter().position(|t| *t == topic).unwrap();
+            assert!(
+                SUBTOPICS[topic_idx].contains(&sub),
+                "{sub} is not a subtopic of {topic}"
+            );
+        }
+    }
+
+    #[test]
+    fn recency_and_popularity_bounded() {
+        let w = world();
+        for item in w.catalog.iter() {
+            let r = item.attrs.num("recency").unwrap();
+            let p = item.attrs.num("popularity").unwrap();
+            assert!((0.0..=100.0).contains(&r));
+            assert!((0.0..=100.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn summaries_are_text() {
+        let w = world();
+        for item in w.catalog.iter() {
+            assert!(item.attrs.text("summary").unwrap().len() > 10);
+        }
+    }
+
+    #[test]
+    fn football_items_exist() {
+        // The survey's running example requires football stories.
+        let w = world();
+        let football = w
+            .catalog
+            .iter()
+            .filter(|it| it.attrs.cat("subtopic") == Some("football"))
+            .count();
+        assert!(football > 0, "need football items for the Section 4 example");
+    }
+}

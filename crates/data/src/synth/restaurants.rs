@@ -1,0 +1,107 @@
+//! Synthetic restaurant world (survey Table 4 row "Adaptive Place
+//! Advisor" — the conversational efficiency study of Section 3.6).
+
+use super::{names, World, WorldConfig};
+use crate::catalog::Catalog;
+use exrec_types::{AttributeDef, AttributeSet, Direction, DomainSchema};
+use rand::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Cuisines used as latent prototypes.
+pub const CUISINES: &[&str] = &[
+    "italian", "japanese", "indian", "mexican", "french", "thai",
+];
+
+/// The restaurant domain schema.
+pub fn schema() -> DomainSchema {
+    DomainSchema::new(
+        "restaurants",
+        vec![
+            AttributeDef::categorical("cuisine", "Cuisine"),
+            AttributeDef::numeric("price_level", "Price Level", Direction::LowerIsBetter)
+                .with_comparatives("Pricier", "Cheaper"),
+            AttributeDef::numeric("distance", "Distance", Direction::LowerIsBetter)
+                .with_unit("km")
+                .with_comparatives("Farther", "Closer"),
+            AttributeDef::numeric("stars", "Stars", Direction::HigherIsBetter)
+                .with_comparatives("Better Rated", "Worse Rated"),
+            AttributeDef::flag("vegetarian", "Vegetarian Options"),
+            AttributeDef::flag("open_late", "Open Late"),
+        ],
+    )
+    .expect("static schema is valid")
+}
+
+/// Generates a restaurant world from `cfg`.
+pub fn generate(cfg: &WorldConfig) -> World {
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x52455354); // "REST"
+    let mut catalog = Catalog::new(schema());
+    let mut prototypes = Vec::with_capacity(cfg.n_items);
+
+    for k in 0..cfg.n_items {
+        let cuisine_idx = if k < CUISINES.len() {
+            k
+        } else {
+            rng.random_range(0..CUISINES.len())
+        };
+        let title = format!(
+            "{} {}",
+            names::pseudo_word(&mut rng),
+            ["Kitchen", "House", "Table", "Garden", "Corner"][rng.random_range(0..5)]
+        );
+        let attrs = AttributeSet::new()
+            .with("cuisine", CUISINES[cuisine_idx])
+            .with("price_level", rng.random_range(1..5) as f64)
+            .with("distance", (rng.random_range(2..120) as f64) / 10.0)
+            .with("stars", (rng.random_range(4..11) as f64) / 2.0)
+            .with("vegetarian", rng.random_range(0.0..1.0) < 0.5)
+            .with("open_late", rng.random_range(0.0..1.0) < 0.4);
+        catalog
+            .add(&title, attrs, vec![CUISINES[cuisine_idx].to_string()])
+            .expect("generated attrs conform to schema");
+        prototypes.push(cuisine_idx);
+    }
+
+    World::assemble(
+        catalog,
+        prototypes,
+        CUISINES.iter().map(|c| c.to_string()).collect(),
+        cfg,
+        &mut rng,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attribute_ranges() {
+        let w = generate(&WorldConfig {
+            n_items: 40,
+            n_users: 10,
+            ..WorldConfig::default()
+        });
+        for item in w.catalog.iter() {
+            let p = item.attrs.num("price_level").unwrap();
+            assert!((1.0..=4.0).contains(&p));
+            let s = item.attrs.num("stars").unwrap();
+            assert!((2.0..=5.0).contains(&s));
+            let d = item.attrs.num("distance").unwrap();
+            assert!(d > 0.0 && d < 12.0);
+        }
+    }
+
+    #[test]
+    fn all_cuisines_present() {
+        let w = generate(&WorldConfig {
+            n_items: 30,
+            n_users: 10,
+            ..WorldConfig::default()
+        });
+        for c in CUISINES {
+            assert!(w.catalog.with_category("cuisine", c).next().is_some());
+        }
+    }
+}

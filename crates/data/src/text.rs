@@ -1,0 +1,154 @@
+//! Minimal text processing for content-based models.
+//!
+//! LIBRA-style explanations (survey Figure 3) and keyword explanations
+//! need bag-of-words features over item descriptions. This module provides
+//! a deterministic tokenizer, an English stopword filter, and a
+//! [`Vocabulary`] mapping tokens to dense feature indexes.
+
+use std::collections::HashMap;
+
+/// A small English stopword list, sufficient for synthetic descriptions.
+const STOPWORDS: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "from", "has", "have", "he",
+    "her", "his", "in", "is", "it", "its", "of", "on", "or", "she", "that", "the", "their",
+    "they", "this", "to", "was", "were", "which", "will", "with", "you", "your",
+];
+
+/// Whether `token` is an English stopword (expects lowercase input).
+pub fn is_stopword(token: &str) -> bool {
+    STOPWORDS.binary_search(&token).is_ok()
+}
+
+/// Splits text into lowercase alphanumeric tokens, dropping stopwords and
+/// single-character tokens.
+pub fn tokenize(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| t.len() > 1)
+        .map(str::to_lowercase)
+        .filter(|t| !is_stopword(t))
+        .collect()
+}
+
+/// A token → dense-index dictionary.
+#[derive(Debug, Clone, Default)]
+pub struct Vocabulary {
+    index: HashMap<String, usize>,
+    tokens: Vec<String>,
+}
+
+impl Vocabulary {
+    /// An empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a token, returning its stable index.
+    pub fn intern(&mut self, token: &str) -> usize {
+        if let Some(&i) = self.index.get(token) {
+            return i;
+        }
+        let i = self.tokens.len();
+        self.tokens.push(token.to_owned());
+        self.index.insert(token.to_owned(), i);
+        i
+    }
+
+    /// Looks a token up without interning.
+    pub fn get(&self, token: &str) -> Option<usize> {
+        self.index.get(token).copied()
+    }
+
+    /// The token at `index`.
+    pub fn token(&self, index: usize) -> Option<&str> {
+        self.tokens.get(index).map(String::as_str)
+    }
+
+    /// Number of distinct tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Converts raw text into a sparse `(token_index, count)` bag,
+    /// interning unseen tokens. Indices are sorted.
+    pub fn bag(&mut self, text: &str) -> Vec<(usize, u32)> {
+        let mut counts: HashMap<usize, u32> = HashMap::new();
+        for tok in tokenize(text) {
+            let i = self.intern(&tok);
+            *counts.entry(i).or_insert(0) += 1;
+        }
+        let mut bag: Vec<(usize, u32)> = counts.into_iter().collect();
+        bag.sort_unstable_by_key(|&(i, _)| i);
+        bag
+    }
+
+    /// Converts raw text into a bag using only already-interned tokens.
+    pub fn bag_frozen(&self, text: &str) -> Vec<(usize, u32)> {
+        let mut counts: HashMap<usize, u32> = HashMap::new();
+        for tok in tokenize(text) {
+            if let Some(i) = self.get(&tok) {
+                *counts.entry(i).or_insert(0) += 1;
+            }
+        }
+        let mut bag: Vec<(usize, u32)> = counts.into_iter().collect();
+        bag.sort_unstable_by_key(|&(i, _)| i);
+        bag
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopword_list_is_sorted_for_binary_search() {
+        let mut sorted = STOPWORDS.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, STOPWORDS, "STOPWORDS must stay sorted");
+    }
+
+    #[test]
+    fn tokenize_basic() {
+        let toks = tokenize("The Quick brown-fox, jumps! Over 2 dogs");
+        assert_eq!(toks, vec!["quick", "brown", "fox", "jumps", "over", "dogs"]);
+    }
+
+    #[test]
+    fn tokenize_drops_stopwords_and_short() {
+        assert!(tokenize("a an the of I x").is_empty());
+    }
+
+    #[test]
+    fn intern_is_stable() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("spice");
+        let b = v.intern("desert");
+        assert_eq!(v.intern("spice"), a);
+        assert_ne!(a, b);
+        assert_eq!(v.token(a), Some("spice"));
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn bag_counts_and_sorts() {
+        let mut v = Vocabulary::new();
+        let bag = v.bag("spice spice desert");
+        assert_eq!(bag.len(), 2);
+        let spice = v.get("spice").unwrap();
+        assert!(bag.contains(&(spice, 2)));
+        assert!(bag.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn frozen_bag_ignores_unknown() {
+        let mut v = Vocabulary::new();
+        v.intern("spice");
+        let bag = v.bag_frozen("spice worm worm");
+        assert_eq!(bag, vec![(0, 1)]);
+        assert_eq!(v.len(), 1, "frozen bag must not intern");
+    }
+}

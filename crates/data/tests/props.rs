@@ -1,0 +1,106 @@
+//! Property tests for the data substrate, including decode fuzzing.
+
+use exrec_data::{snapshot, split, RatingsMatrix};
+use exrec_types::{ItemId, RatingScale, UserId};
+use proptest::prelude::*;
+
+fn arb_matrix() -> impl Strategy<Value = RatingsMatrix> {
+    prop::collection::vec((0u32..7, 0u32..11, 1u32..=5), 0..80).prop_map(|ops| {
+        let mut m = RatingsMatrix::new(7, 11, RatingScale::FIVE_STAR);
+        for (u, i, v) in ops {
+            m.rate(UserId(u), ItemId(i), v as f64).unwrap();
+        }
+        m
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn decode_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        // Failure injection: arbitrary bytes must produce Err, not panic.
+        let _ = snapshot::decode(&bytes);
+    }
+
+    #[test]
+    fn decode_never_panics_on_truncated_valid(m in arb_matrix(), cut_frac in 0.0f64..1.0) {
+        let bytes = snapshot::encode(&m);
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        let result = snapshot::decode(&bytes[..cut.min(bytes.len())]);
+        if cut >= bytes.len() {
+            prop_assert!(result.is_ok());
+        }
+    }
+
+    #[test]
+    fn decode_never_panics_on_bitflips(m in arb_matrix(), flips in prop::collection::vec((any::<prop::sample::Index>(), any::<u8>()), 1..8)) {
+        let mut bytes = snapshot::encode(&m).to_vec();
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        for (idx, mask) in flips {
+            let k = idx.index(bytes.len());
+            bytes[k] ^= mask;
+        }
+        let _ = snapshot::decode(&bytes); // must not panic
+    }
+
+    #[test]
+    fn holdout_partitions_exactly(m in arb_matrix(), frac in 0.0f64..1.0, seed in any::<u64>()) {
+        let s = split::holdout(&m, frac, seed);
+        prop_assert_eq!(s.train.n_ratings() + s.test.len(), m.n_ratings());
+        for &(u, i, v) in &s.test {
+            prop_assert_eq!(m.rating(u, i), Some(v));
+            prop_assert_eq!(s.train.rating(u, i), None);
+        }
+        // Per-user: never lose every training rating.
+        for u in m.users() {
+            if !m.user_ratings(u).is_empty() {
+                prop_assert!(!s.train.user_ratings(u).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn k_folds_are_a_partition(m in arb_matrix(), k in 2usize..6, seed in any::<u64>()) {
+        let folds = split::k_folds(&m, k, seed);
+        prop_assert_eq!(folds.len(), k);
+        let total: usize = folds.iter().map(|f| f.test.len()).sum();
+        prop_assert_eq!(total, m.n_ratings());
+        // No triple in two folds.
+        let mut seen = std::collections::HashSet::new();
+        for f in &folds {
+            for &(u, i, _) in &f.test {
+                prop_assert!(seen.insert((u, i)), "({u},{i}) in two folds");
+            }
+        }
+    }
+
+    #[test]
+    fn co_rated_is_symmetric(m in arb_matrix(), a in 0u32..7, b in 0u32..7) {
+        let ab = m.co_rated(UserId(a), UserId(b));
+        let ba = m.co_rated(UserId(b), UserId(a));
+        prop_assert_eq!(ab.len(), ba.len());
+        for (x, y) in ab.iter().zip(&ba) {
+            prop_assert_eq!(x.0, y.0);
+            prop_assert_eq!(x.1, y.2);
+            prop_assert_eq!(x.2, y.1);
+        }
+    }
+
+    #[test]
+    fn global_mean_within_bounds(m in arb_matrix()) {
+        let g = m.global_mean();
+        prop_assert!((1.0..=5.0).contains(&g), "global mean {g}");
+    }
+
+    #[test]
+    fn tokenize_output_is_normalized(text in "\\PC{0,120}") {
+        for tok in exrec_data::text::tokenize(&text) {
+            prop_assert!(tok.len() > 1);
+            prop_assert_eq!(tok.clone(), tok.to_lowercase());
+            prop_assert!(!exrec_data::text::is_stopword(&tok));
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! # exrec-eval
+//!
+//! The evaluation harness: executable, simulated-user versions of every
+//! evaluation protocol in Section 3 of the reproduced survey.
+//!
+//! * [`stats`] — summaries, Welch-t, Mann–Whitney U, correlations;
+//! * [`questionnaire`] — the five-dimension trust battery (Section 3.3);
+//! * [`simuser`] — the behavioural model standing in for human
+//!   participants (see DESIGN.md §2 for the substitution argument);
+//! * [`report`] — tables/series/JSON study reports;
+//! * [`studies`] — E-PERS, E-SHIFT, E-EFK, E-EFC, E-TRUST, E-TRA, E-SCR,
+//!   E-SAT, the A-TRADE ablation, and the E-MODAL / E-ACC extensions.
+//!
+//! Every study is seed-deterministic; unit tests assert the *shape* of
+//! each cited result (who wins, which direction), never absolute values.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod questionnaire;
+pub mod report;
+pub mod simuser;
+pub mod stats;
+pub mod studies;
+
+pub use report::{Series, StudyReport, Table};
+pub use simuser::{Persona, SimUser};
+
+/// Runs every study at its default configuration and returns the reports
+/// in experiment-id order. Used by the `repro` binary and the benchmark
+/// harness.
+pub fn run_all_studies() -> Vec<StudyReport> {
+    vec![
+        studies::persuasion_herlocker::run(&Default::default()).report,
+        studies::rating_shift::run(&Default::default()).report,
+        studies::effectiveness::run(&Default::default()).report,
+        studies::efficiency::run(&Default::default()).report,
+        studies::trust_loyalty::run(&Default::default()).report,
+        studies::transparency::run(&Default::default()).report,
+        studies::scrutability::run(&Default::default()).report,
+        studies::satisfaction::run(&Default::default()).report,
+        studies::tradeoffs::run(&Default::default()).report,
+        studies::modality::run(&Default::default()).report,
+        studies::accuracy::run(&Default::default()).report,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_studies_produce_reports() {
+        let reports = run_all_studies();
+        assert_eq!(reports.len(), 11);
+        let ids: Vec<&str> = reports.iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(
+            ids,
+            vec![
+                "E-PERS", "E-SHIFT", "E-EFK", "E-EFC", "E-TRUST", "E-TRA", "E-SCR", "E-SAT",
+                "A-TRADE", "E-MODAL", "E-ACC"
+            ]
+        );
+        for r in &reports {
+            assert!(!r.tables.is_empty(), "{} has no tables", r.id);
+            assert!(!r.render_ascii().is_empty());
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Questionnaire instruments (survey Section 3.3).
+//!
+//! "Questionnaires can be used to determine the degree of trust a user
+//! places in a system. An overview … suggests and validates a five
+//! dimensional scale of trust" (after Ohanian). The instrument here
+//! administers a five-dimension, 7-point Likert battery to a simulated
+//! respondent whose latent trust drives the answers, with per-dimension
+//! loadings and response noise — the standard reflective-measurement
+//! model.
+
+use rand::RngExt;
+use rand_chacha::ChaCha8Rng;
+
+/// A 7-point Likert response (1 = strongly disagree, 7 = strongly agree).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Likert(pub f64);
+
+impl Likert {
+    /// Clamps a raw value to the 1–7 range.
+    pub fn new(v: f64) -> Self {
+        Self(v.clamp(1.0, 7.0))
+    }
+
+    /// The response value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+/// The five trust dimensions administered.
+pub const TRUST_DIMENSIONS: [&str; 5] = [
+    "perceived competence",
+    "benevolence",
+    "integrity",
+    "predictability",
+    "reliance intention",
+];
+
+/// Per-dimension factor loadings on latent trust (reliance intention
+/// loads highest: it is the behavioural proxy).
+const LOADINGS: [f64; 5] = [0.85, 0.70, 0.75, 0.80, 0.90];
+
+/// Scores from one administration of the trust battery.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrustScores {
+    /// Per-dimension Likert scores, in [`TRUST_DIMENSIONS`] order.
+    pub dims: [Likert; 5],
+}
+
+impl TrustScores {
+    /// The battery mean (the usual composite score).
+    pub fn composite(&self) -> f64 {
+        self.dims.iter().map(|l| l.value()).sum::<f64>() / 5.0
+    }
+}
+
+fn gaussian(rng: &mut ChaCha8Rng, sd: f64) -> f64 {
+    let s: f64 = (0..12).map(|_| rng.random_range(0.0..1.0)).sum::<f64>() - 6.0;
+    s * sd
+}
+
+/// Administers the battery to a respondent with `latent_trust ∈ [0, 1]`
+/// and response-noise standard deviation `noise_sd` (Likert units).
+pub fn administer_trust(latent_trust: f64, noise_sd: f64, rng: &mut ChaCha8Rng) -> TrustScores {
+    let latent = latent_trust.clamp(0.0, 1.0);
+    let dims = core::array::from_fn(|k| {
+        // Map latent 0..1 onto 1..7 through the loading; unexplained
+        // variance shows up as regression to the midpoint plus noise.
+        let explained = LOADINGS[k] * (1.0 + latent * 6.0);
+        let unexplained = (1.0 - LOADINGS[k]) * 4.0;
+        Likert::new(explained + unexplained + gaussian(rng, noise_sd))
+    });
+    TrustScores { dims }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn likert_clamps() {
+        assert_eq!(Likert::new(9.0).value(), 7.0);
+        assert_eq!(Likert::new(-3.0).value(), 1.0);
+        assert_eq!(Likert::new(4.5).value(), 4.5);
+    }
+
+    #[test]
+    fn composite_tracks_latent_trust() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let n = 200;
+        let low: f64 = (0..n)
+            .map(|_| administer_trust(0.1, 0.5, &mut rng).composite())
+            .sum::<f64>()
+            / n as f64;
+        let high: f64 = (0..n)
+            .map(|_| administer_trust(0.9, 0.5, &mut rng).composite())
+            .sum::<f64>()
+            / n as f64;
+        assert!(
+            high - low > 2.0,
+            "latent trust must drive the composite: low={low:.2}, high={high:.2}"
+        );
+    }
+
+    #[test]
+    fn scores_stay_on_scale() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for trust in [0.0, 0.5, 1.0, 2.0, -1.0] {
+            let s = administer_trust(trust, 1.5, &mut rng);
+            for d in &s.dims {
+                assert!((1.0..=7.0).contains(&d.value()));
+            }
+        }
+    }
+
+    #[test]
+    fn reliance_loads_highest_on_average() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let n = 400;
+        let mut sums = [0.0f64; 5];
+        for _ in 0..n {
+            let s = administer_trust(1.0, 0.3, &mut rng);
+            for (acc, d) in sums.iter_mut().zip(&s.dims) {
+                *acc += d.value();
+            }
+        }
+        // At max latent trust, higher loading ⇒ higher mean score.
+        assert!(sums[4] > sums[1], "reliance intention should exceed benevolence");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        assert_eq!(
+            administer_trust(0.6, 0.4, &mut a),
+            administer_trust(0.6, 0.4, &mut b)
+        );
+    }
+}

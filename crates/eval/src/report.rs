@@ -1,0 +1,193 @@
+//! Study reports: tables and series with ASCII/Markdown/JSON output.
+//!
+//! Every study returns a [`StudyReport`] so the `repro` binary can print
+//! the same rows the paper's cited evaluations report, and EXPERIMENTS.md
+//! bookkeeping can diff JSON snapshots across runs.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// A rectangular table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Table title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows (each row must match headers in length).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Builds a table; panics in debug builds on ragged rows.
+    pub fn new(title: &str, headers: Vec<&str>) -> Self {
+        Self {
+            title: title.to_owned(),
+            headers: headers.into_iter().map(str::to_owned).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len(), "ragged row");
+        self.rows.push(cells);
+    }
+
+    /// Renders as an aligned ASCII table.
+    pub fn render_ascii(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{:w$}", c, w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let _ = writeln!(
+            out,
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Renders as a Markdown table.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}\n", self.title);
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+}
+
+/// A named numeric series (one "figure line").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Series name.
+    pub name: String,
+    /// `(x, y)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A complete study report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StudyReport {
+    /// Experiment id from DESIGN.md (e.g. `"E-PERS"`).
+    pub id: String,
+    /// Human-readable name.
+    pub name: String,
+    /// Result tables.
+    pub tables: Vec<Table>,
+    /// Figure-like series.
+    pub series: Vec<Series>,
+    /// Free-form analysis notes (shape assertions, caveats).
+    pub notes: Vec<String>,
+}
+
+impl StudyReport {
+    /// Builds an empty report.
+    pub fn new(id: &str, name: &str) -> Self {
+        Self {
+            id: id.to_owned(),
+            name: name.to_owned(),
+            tables: Vec::new(),
+            series: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Renders everything as ASCII.
+    pub fn render_ascii(&self) -> String {
+        let mut out = format!("### {} — {} ###\n\n", self.id, self.name);
+        for t in &self.tables {
+            out.push_str(&t.render_ascii());
+            out.push('\n');
+        }
+        for s in &self.series {
+            let _ = writeln!(out, "series {}:", s.name);
+            for (x, y) in &s.points {
+                let _ = writeln!(out, "  {x:>8.3}  {y:>8.3}");
+            }
+            out.push('\n');
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "note: {n}");
+        }
+        out
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        let mut t = Table::new("Mean response", vec!["Interface", "Mean"]);
+        t.push_row(vec!["histogram".into(), "5.25".into()]);
+        t.push_row(vec!["complex graph".into(), "2.10".into()]);
+        t
+    }
+
+    #[test]
+    fn ascii_is_aligned() {
+        let text = table().render_ascii();
+        assert!(text.contains("== Mean response =="));
+        let rows: Vec<&str> = text.lines().skip(1).collect();
+        // Header and rows share the column boundary.
+        let header_gap = rows[0].find("  ").unwrap();
+        assert!(rows[2].len() > header_gap);
+        assert!(text.contains("histogram"));
+    }
+
+    #[test]
+    fn markdown_has_separator() {
+        let md = table().render_markdown();
+        assert!(md.contains("| Interface | Mean |"));
+        assert!(md.contains("|---|---|"));
+    }
+
+    #[test]
+    fn report_round_trips_json() {
+        let mut r = StudyReport::new("E-PERS", "Persuasion study");
+        r.tables.push(table());
+        r.series.push(Series {
+            name: "shift".into(),
+            points: vec![(1.0, 0.2), (2.0, 0.5)],
+        });
+        r.notes.push("histogram wins".into());
+        let json = r.to_json();
+        let back: StudyReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+        assert!(r.render_ascii().contains("note: histogram wins"));
+    }
+}

@@ -1,0 +1,367 @@
+//! The simulated-user behavioural model.
+//!
+//! Substitutes for the human participants of the survey's cited studies
+//! (see DESIGN.md §2). A [`Persona`] parameterizes individual differences;
+//! response functions consume an explanation interface's *design
+//! properties* (informativeness, cognitive load, grounding — declared in
+//! `exrec-core::interfaces`) and its *declared aims*, never its name, so
+//! study outcomes are emergent rather than hard-coded:
+//!
+//! * [`SimUser::likelihood_to_try`] — Herlocker-style 1–7 response to an
+//!   explanation screen (E-PERS);
+//! * [`SimUser::estimate_rating`] — pre-consumption estimate anchored on
+//!   the shown prediction (E-SHIFT, E-EFK): persuasion-aimed interfaces
+//!   pull the estimate toward the system's number, effectiveness-aimed
+//!   interfaces shrink the estimate's error toward the user's own truth;
+//! * [`SimUser::comprehension`] — probability of correctly understanding
+//!   the mechanism (E-TRA, E-SCR);
+//! * [`SimUser::reading_time`] — simulated ticks spent reading.
+
+use exrec_core::aims::Aim;
+use exrec_core::interfaces::InterfaceDescriptor;
+use exrec_data::World;
+use exrec_types::{ItemId, RatingScale, UserId};
+use rand::RngExt;
+use rand_chacha::ChaCha8Rng;
+
+/// Individual-difference parameters, all in `[0, 1]` except noise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Persona {
+    /// How strongly the user anchors on system claims.
+    pub susceptibility: f64,
+    /// Tolerance for dense interfaces.
+    pub patience: f64,
+    /// Domain expertise (improves comprehension, speeds reading).
+    pub expertise: f64,
+    /// SD of the user's own utility-estimation noise, in scale units.
+    pub estimate_noise: f64,
+}
+
+impl Persona {
+    /// The population-average persona.
+    pub fn average() -> Self {
+        Self {
+            susceptibility: 0.5,
+            patience: 0.5,
+            expertise: 0.5,
+            estimate_noise: 0.5,
+        }
+    }
+
+    /// Samples a persona from the population distribution.
+    pub fn sample(rng: &mut ChaCha8Rng) -> Self {
+        Self {
+            susceptibility: rng.random_range(0.2..0.9),
+            patience: rng.random_range(0.2..0.9),
+            expertise: rng.random_range(0.1..0.9),
+            estimate_noise: rng.random_range(0.3..0.8),
+        }
+    }
+}
+
+fn gaussian(rng: &mut ChaCha8Rng, sd: f64) -> f64 {
+    let s: f64 = (0..12).map(|_| rng.random_range(0.0..1.0)).sum::<f64>() - 6.0;
+    s * sd
+}
+
+/// A simulated participant bound to a generated world.
+#[derive(Debug, Clone, Copy)]
+pub struct SimUser<'w> {
+    /// The world user this participant plays.
+    pub id: UserId,
+    /// Individual differences.
+    pub persona: Persona,
+    world: &'w World,
+}
+
+impl<'w> SimUser<'w> {
+    /// Binds a persona to a world user.
+    pub fn new(id: UserId, persona: Persona, world: &'w World) -> Self {
+        Self { id, persona, world }
+    }
+
+    /// The participant's *true* liking of an item, on the world's scale.
+    pub fn true_rating(&self, item: ItemId) -> f64 {
+        self.world
+            .latent
+            .true_rating(self.id, item, self.world.ratings.scale())
+    }
+
+    /// Consuming an item reveals (noisy) truth: the post-consumption
+    /// rating of the effectiveness protocol.
+    pub fn post_consumption_rating(&self, item: ItemId, rng: &mut ChaCha8Rng) -> f64 {
+        let scale = self.world.ratings.scale();
+        scale.bound(self.true_rating(item) + gaussian(rng, 0.25))
+    }
+
+    /// Herlocker-style response: "how likely would you be to see this
+    /// movie?" on a 1–7 scale, given the explanation screen alone.
+    pub fn likelihood_to_try(
+        &self,
+        descriptor: &InterfaceDescriptor,
+        shown_score: f64,
+        scale: &RatingScale,
+        rng: &mut ChaCha8Rng,
+    ) -> f64 {
+        let appeal = scale.normalize(shown_score) * 2.0 - 1.0; // [-1, 1]
+        let value = descriptor.informativeness * descriptor.grounding;
+        let load_penalty =
+            descriptor.cognitive_load * descriptor.cognitive_load * (1.5 - self.persona.patience);
+        let anchoring = (0.5 + self.persona.susceptibility) * appeal;
+        let response = 4.0
+            + 1.6 * value * (0.4 + 0.6 * appeal.max(0.0))
+            + 1.0 * anchoring
+            - 2.6 * load_penalty
+            + gaussian(rng, 0.45);
+        response.clamp(1.0, 7.0)
+    }
+
+    /// Anchoring pull toward the system's shown prediction, derived from
+    /// the interface's *declared aims* (survey Section 3.8's
+    /// persuasiveness↔effectiveness trade-off):
+    /// persuasion-aimed interfaces pull hard; effectiveness-aimed ones
+    /// help the user form their own estimate instead.
+    pub fn anchor_pull(&self, descriptor: &InterfaceDescriptor) -> f64 {
+        let persuasive = descriptor.aims.contains(Aim::Persuasiveness);
+        let effective = descriptor.aims.contains(Aim::Effectiveness);
+        let base = match (persuasive, effective) {
+            (true, false) => 0.65,
+            (true, true) => 0.40,
+            (false, true) => 0.12,
+            (false, false) => 0.30, // bare prediction still anchors a bit
+        };
+        (base * (0.6 + 0.8 * self.persona.susceptibility)).clamp(0.0, 0.95)
+    }
+
+    /// Pre-consumption estimate of how much the participant will like
+    /// `item`, after seeing `shown_score` under `descriptor`.
+    pub fn estimate_rating(
+        &self,
+        item: ItemId,
+        shown_score: f64,
+        descriptor: &InterfaceDescriptor,
+        rng: &mut ChaCha8Rng,
+    ) -> f64 {
+        let scale = self.world.ratings.scale();
+        let truth = self.true_rating(item);
+        let pull = self.anchor_pull(descriptor);
+        // Informative, grounded content lets the user reconstruct their
+        // own preference more precisely.
+        let info = descriptor.informativeness * descriptor.grounding;
+        let noise_sd = self.persona.estimate_noise * (1.0 - 0.6 * info);
+        scale.bound(truth + pull * (shown_score - truth) + gaussian(rng, noise_sd))
+    }
+
+    /// Probability the participant correctly understands *how the system
+    /// works* from this interface (transparency tasks).
+    pub fn comprehension(&self, descriptor: &InterfaceDescriptor) -> f64 {
+        let info = descriptor.informativeness * descriptor.grounding;
+        (0.15 + 0.55 * info + 0.25 * self.persona.expertise
+            - 0.35 * descriptor.cognitive_load * (1.0 - self.persona.patience))
+            .clamp(0.05, 0.98)
+    }
+
+    /// Comprehension adjusted for a concrete explanation's modality mix
+    /// (future-work direction #2 of the survey's conclusion): presenting
+    /// the same content in *complementary* text and visual form aids
+    /// understanding (dual coding), while a chart with no words costs
+    /// novices precision.
+    pub fn comprehension_of(
+        &self,
+        descriptor: &InterfaceDescriptor,
+        explanation: &exrec_core::explanation::Explanation,
+    ) -> f64 {
+        let base = self.comprehension(descriptor);
+        let mix = exrec_core::modality::analyze(explanation);
+        let adjustment = if mix.is_complementary() {
+            0.12
+        } else if mix.visual > 0 && mix.text == 0 {
+            -0.10 * (1.0 - self.persona.expertise)
+        } else {
+            0.0
+        };
+        (base + adjustment).clamp(0.05, 0.98)
+    }
+
+    /// Simulated ticks spent reading an explanation of `reading_cost`
+    /// base ticks (experts skim).
+    pub fn reading_time(&self, reading_cost: u64) -> u64 {
+        let factor = 1.3 - 0.5 * self.persona.expertise;
+        ((reading_cost as f64) * factor).round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exrec_core::interfaces::InterfaceId;
+    use exrec_data::synth::{movies, WorldConfig};
+    use rand::SeedableRng;
+
+    fn world() -> World {
+        movies::generate(&WorldConfig {
+            n_users: 20,
+            n_items: 30,
+            density: 0.3,
+            ..WorldConfig::default()
+        })
+    }
+
+    fn mean_response(user: &SimUser<'_>, id: InterfaceId, shown: f64, n: usize, seed: u64) -> f64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let d = id.descriptor();
+        let scale = RatingScale::FIVE_STAR;
+        (0..n)
+            .map(|_| user.likelihood_to_try(&d, shown, &scale, &mut rng))
+            .sum::<f64>()
+            / n as f64
+    }
+
+    #[test]
+    fn histogram_beats_control_beats_complex_graph() {
+        let w = world();
+        let user = SimUser::new(UserId::new(0), Persona::average(), &w);
+        let hist = mean_response(&user, InterfaceId::ClusteredHistogram, 4.5, 300, 1);
+        let none = mean_response(&user, InterfaceId::NoExplanation, 4.5, 300, 2);
+        let graph = mean_response(&user, InterfaceId::ComplexGraph, 4.5, 300, 3);
+        assert!(hist > none, "histogram {hist:.2} must beat control {none:.2}");
+        assert!(graph < none, "complex graph {graph:.2} must fall below control {none:.2}");
+    }
+
+    #[test]
+    fn higher_shown_score_raises_likelihood() {
+        let w = world();
+        let user = SimUser::new(UserId::new(1), Persona::average(), &w);
+        let high = mean_response(&user, InterfaceId::Histogram, 5.0, 200, 4);
+        let low = mean_response(&user, InterfaceId::Histogram, 1.5, 200, 5);
+        assert!(high > low + 1.0);
+    }
+
+    #[test]
+    fn persuasive_interfaces_pull_harder_than_effective_ones() {
+        let w = world();
+        let user = SimUser::new(UserId::new(2), Persona::average(), &w);
+        let hist = user.anchor_pull(&InterfaceId::ClusteredHistogram.descriptor());
+        let infl = user.anchor_pull(&InterfaceId::InfluenceList.descriptor());
+        assert!(
+            hist > infl,
+            "clustered histogram pull {hist:.2} must exceed influence list {infl:.2}"
+        );
+    }
+
+    #[test]
+    fn estimates_anchor_toward_shown_prediction() {
+        let w = world();
+        let user = SimUser::new(UserId::new(3), Persona::average(), &w);
+        let item = w.catalog.ids().next().unwrap();
+        let truth = user.true_rating(item);
+        let shown = (truth + 2.0).min(5.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let d = InterfaceId::ClusteredHistogram.descriptor();
+        let n = 300;
+        let mean_est: f64 = (0..n)
+            .map(|_| user.estimate_rating(item, shown, &d, &mut rng))
+            .sum::<f64>()
+            / n as f64;
+        assert!(
+            mean_est > truth + 0.2,
+            "estimate {mean_est:.2} should move from truth {truth:.2} toward shown {shown:.2}"
+        );
+        assert!(mean_est < shown + 0.2);
+    }
+
+    #[test]
+    fn effective_interfaces_estimate_closer_to_truth() {
+        let w = world();
+        let user = SimUser::new(UserId::new(4), Persona::average(), &w);
+        let item = w.catalog.ids().nth(3).unwrap();
+        let truth = user.true_rating(item);
+        let shown = w.ratings.scale().bound(truth + 1.5);
+        let n = 400;
+        let mean_abs_err = |id: InterfaceId, seed: u64| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let d = id.descriptor();
+            (0..n)
+                .map(|_| (user.estimate_rating(item, shown, &d, &mut rng) - truth).abs())
+                .sum::<f64>()
+                / n as f64
+        };
+        let persuasive = mean_abs_err(InterfaceId::ClusteredHistogram, 7);
+        let effective = mean_abs_err(InterfaceId::InfluenceList, 8);
+        assert!(
+            effective < persuasive,
+            "influence-style estimates ({effective:.2}) should sit nearer truth than \
+             histogram estimates ({persuasive:.2})"
+        );
+    }
+
+    #[test]
+    fn comprehension_ordering() {
+        let w = world();
+        let expert = SimUser::new(
+            UserId::new(5),
+            Persona {
+                expertise: 0.9,
+                ..Persona::average()
+            },
+            &w,
+        );
+        let novice = SimUser::new(
+            UserId::new(5),
+            Persona {
+                expertise: 0.1,
+                ..Persona::average()
+            },
+            &w,
+        );
+        let d = InterfaceId::DetailedProcess.descriptor();
+        assert!(expert.comprehension(&d) > novice.comprehension(&d));
+        let none = InterfaceId::NoExplanation.descriptor();
+        assert!(
+            expert.comprehension(&d) > expert.comprehension(&none),
+            "an explanation must aid comprehension over no explanation"
+        );
+    }
+
+    #[test]
+    fn reading_time_scales_with_cost_and_expertise() {
+        let w = world();
+        let expert = SimUser::new(
+            UserId::new(6),
+            Persona {
+                expertise: 1.0,
+                ..Persona::average()
+            },
+            &w,
+        );
+        let novice = SimUser::new(
+            UserId::new(6),
+            Persona {
+                expertise: 0.0,
+                ..Persona::average()
+            },
+            &w,
+        );
+        assert!(novice.reading_time(20) > expert.reading_time(20));
+        assert!(expert.reading_time(40) > expert.reading_time(10));
+        assert_eq!(expert.reading_time(0), 0);
+    }
+
+    #[test]
+    fn responses_stay_on_likert_scale() {
+        let w = world();
+        let user = SimUser::new(UserId::new(7), Persona::sample(&mut ChaCha8Rng::seed_from_u64(9)), &w);
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        for id in InterfaceId::ALL {
+            for shown in [1.0, 3.0, 5.0] {
+                let r = user.likelihood_to_try(
+                    &id.descriptor(),
+                    shown,
+                    &RatingScale::FIVE_STAR,
+                    &mut rng,
+                );
+                assert!((1.0..=7.0).contains(&r));
+            }
+        }
+    }
+}

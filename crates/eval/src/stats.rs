@@ -1,0 +1,380 @@
+//! Statistics for study reporting.
+//!
+//! Self-contained implementations (no stats crate in the approved set):
+//! descriptive summaries, Welch's t-test with an accurate Student-t CDF
+//! via the regularized incomplete beta function, Mann–Whitney U with
+//! normal approximation, Pearson and Spearman correlation, and Cohen's d.
+
+/// Descriptive summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator).
+    pub sd: f64,
+    /// Half-width of the 95% confidence interval (normal approximation).
+    pub ci95: f64,
+}
+
+/// Summarizes a sample. Empty samples yield a zeroed summary.
+pub fn summarize(xs: &[f64]) -> Summary {
+    let n = xs.len();
+    if n == 0 {
+        return Summary {
+            n: 0,
+            mean: 0.0,
+            sd: 0.0,
+            ci95: 0.0,
+        };
+    }
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let var = if n > 1 {
+        xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64
+    } else {
+        0.0
+    };
+    let sd = var.sqrt();
+    Summary {
+        n,
+        mean,
+        sd,
+        ci95: 1.96 * sd / (n as f64).sqrt(),
+    }
+}
+
+/// Natural log of the gamma function (Lanczos approximation).
+fn ln_gamma(x: f64) -> f64 {
+    const G: [f64; 7] = [
+        1.000000000190015,
+        76.18009172947146,
+        -86.50532032941677,
+        24.01409824083091,
+        -1.231739572450155,
+        1.208650973866179e-3,
+        -5.395239384953e-6,
+    ];
+    let x = x - 1.0;
+    let mut a = G[0];
+    let t = x + 5.5;
+    for (i, &g) in G.iter().enumerate().skip(1) {
+        a += g / (x + i as f64);
+    }
+    (2.0 * std::f64::consts::PI).sqrt().ln() + a.ln() - t + (x + 0.5) * t.ln()
+}
+
+/// Regularized incomplete beta function I_x(a, b), by continued fraction
+/// (Numerical Recipes `betacf` scheme).
+fn beta_inc(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_front =
+        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    let symmetric = x >= (a + 1.0) / (a + b + 2.0);
+    let (a, b, x) = if symmetric { (b, a, 1.0 - x) } else { (a, b, x) };
+
+    // Lentz's continued fraction.
+    let mut c = 1.0f64;
+    let mut d = 1.0 - (a + b) * x / (a + 1.0);
+    if d.abs() < 1e-300 {
+        d = 1e-300;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..200 {
+        let m = m as f64;
+        let num = m * (b - m) * x / ((a + 2.0 * m - 1.0) * (a + 2.0 * m));
+        d = 1.0 + num * d;
+        if d.abs() < 1e-300 {
+            d = 1e-300;
+        }
+        c = 1.0 + num / c;
+        if c.abs() < 1e-300 {
+            c = 1e-300;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        let num = -(a + m) * (a + b + m) * x / ((a + 2.0 * m) * (a + 2.0 * m + 1.0));
+        d = 1.0 + num * d;
+        if d.abs() < 1e-300 {
+            d = 1e-300;
+        }
+        c = 1.0 + num / c;
+        if c.abs() < 1e-300 {
+            c = 1e-300;
+        }
+        d = 1.0 / d;
+        let delta = d * c;
+        h *= delta;
+        if (delta - 1.0).abs() < 1e-12 {
+            break;
+        }
+    }
+    let result = front * h / a;
+    if symmetric {
+        1.0 - result
+    } else {
+        result
+    }
+}
+
+/// Two-sided p-value of Student's t with `df` degrees of freedom.
+pub fn t_two_sided_p(t: f64, df: f64) -> f64 {
+    if df <= 0.0 || !t.is_finite() {
+        return 1.0;
+    }
+    let x = df / (df + t * t);
+    beta_inc(df / 2.0, 0.5, x).clamp(0.0, 1.0)
+}
+
+/// Result of a two-sample test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TestResult {
+    /// Test statistic (t or z).
+    pub statistic: f64,
+    /// Two-sided p-value.
+    pub p: f64,
+}
+
+/// Welch's unequal-variance t-test. Returns `None` when either sample has
+/// fewer than 2 points or both variances are 0.
+pub fn welch_t(a: &[f64], b: &[f64]) -> Option<TestResult> {
+    if a.len() < 2 || b.len() < 2 {
+        return None;
+    }
+    let sa = summarize(a);
+    let sb = summarize(b);
+    let va = sa.sd * sa.sd / sa.n as f64;
+    let vb = sb.sd * sb.sd / sb.n as f64;
+    if va + vb <= 0.0 {
+        return None;
+    }
+    let t = (sa.mean - sb.mean) / (va + vb).sqrt();
+    let df = (va + vb) * (va + vb)
+        / (va * va / (sa.n as f64 - 1.0) + vb * vb / (sb.n as f64 - 1.0));
+    Some(TestResult {
+        statistic: t,
+        p: t_two_sided_p(t, df),
+    })
+}
+
+/// Mann–Whitney U test with normal approximation (ties mid-ranked).
+/// Returns `None` for empty samples.
+pub fn mann_whitney_u(a: &[f64], b: &[f64]) -> Option<TestResult> {
+    if a.is_empty() || b.is_empty() {
+        return None;
+    }
+    let mut all: Vec<(f64, usize)> = a
+        .iter()
+        .map(|&x| (x, 0usize))
+        .chain(b.iter().map(|&x| (x, 1usize)))
+        .collect();
+    all.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap_or(std::cmp::Ordering::Equal));
+    // Mid-ranks with tie handling.
+    let n = all.len();
+    let mut ranks = vec![0.0f64; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && all[j + 1].0 == all[i].0 {
+            j += 1;
+        }
+        let rank = (i + j) as f64 / 2.0 + 1.0;
+        for r in ranks.iter_mut().take(j + 1).skip(i) {
+            *r = rank;
+        }
+        i = j + 1;
+    }
+    let ra: f64 = all
+        .iter()
+        .zip(&ranks)
+        .filter(|((_, grp), _)| *grp == 0)
+        .map(|(_, &r)| r)
+        .sum();
+    let na = a.len() as f64;
+    let nb = b.len() as f64;
+    let u = ra - na * (na + 1.0) / 2.0;
+    let mu = na * nb / 2.0;
+    let sigma = (na * nb * (na + nb + 1.0) / 12.0).sqrt();
+    if sigma <= 0.0 {
+        return None;
+    }
+    let z = (u - mu) / sigma;
+    // Normal two-sided p via erfc-style approximation.
+    let p = 2.0 * normal_sf(z.abs());
+    Some(TestResult {
+        statistic: z,
+        p: p.clamp(0.0, 1.0),
+    })
+}
+
+/// Standard normal survival function (Abramowitz–Stegun 7.1.26 erf).
+pub fn normal_sf(z: f64) -> f64 {
+    let x = z / std::f64::consts::SQRT_2;
+    let t = 1.0 / (1.0 + 0.3275911 * x.abs());
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    let erf = 1.0 - poly * (-x * x).exp();
+    let erf = if x >= 0.0 { erf } else { -erf };
+    0.5 * (1.0 - erf)
+}
+
+/// Pearson correlation; `None` for length mismatch, n < 2, or zero
+/// variance.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let (mut num, mut dx, mut dy) = (0.0, 0.0, 0.0);
+    for (&x, &y) in xs.iter().zip(ys) {
+        num += (x - mx) * (y - my);
+        dx += (x - mx) * (x - mx);
+        dy += (y - my) * (y - my);
+    }
+    if dx <= 0.0 || dy <= 0.0 {
+        None
+    } else {
+        Some((num / (dx.sqrt() * dy.sqrt())).clamp(-1.0, 1.0))
+    }
+}
+
+fn rank_transform(xs: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut ranks = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        let rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in idx.iter().take(j + 1).skip(i) {
+            ranks[k] = rank;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Spearman rank correlation; same failure conditions as [`pearson`].
+pub fn spearman(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    pearson(&rank_transform(xs), &rank_transform(ys))
+}
+
+/// Cohen's d effect size; `None` when pooled SD is 0 or samples too
+/// small.
+pub fn cohens_d(a: &[f64], b: &[f64]) -> Option<f64> {
+    if a.len() < 2 || b.len() < 2 {
+        return None;
+    }
+    let sa = summarize(a);
+    let sb = summarize(b);
+    let pooled = (((sa.n - 1) as f64 * sa.sd * sa.sd + (sb.n - 1) as f64 * sb.sd * sb.sd)
+        / (sa.n + sb.n - 2) as f64)
+        .sqrt();
+    if pooled <= 0.0 {
+        None
+    } else {
+        Some((sa.mean - sb.mean) / pooled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = summarize(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.sd - 2.13809).abs() < 1e-4);
+        assert_eq!(summarize(&[]).n, 0);
+        assert_eq!(summarize(&[3.0]).sd, 0.0);
+    }
+
+    #[test]
+    fn t_cdf_reference_values() {
+        // Known: two-sided p for t=2.0, df=10 is ~0.0734.
+        assert!((t_two_sided_p(2.0, 10.0) - 0.0734).abs() < 2e-3);
+        // t=0 → p=1.
+        assert!((t_two_sided_p(0.0, 5.0) - 1.0).abs() < 1e-9);
+        // Large |t| → tiny p.
+        assert!(t_two_sided_p(10.0, 30.0) < 1e-6);
+    }
+
+    #[test]
+    fn welch_detects_difference() {
+        let a: Vec<f64> = (0..30).map(|k| 5.0 + (k % 3) as f64 * 0.1).collect();
+        let b: Vec<f64> = (0..30).map(|k| 3.0 + (k % 3) as f64 * 0.1).collect();
+        let r = welch_t(&a, &b).unwrap();
+        assert!(r.p < 1e-6, "clear difference must be significant, p={}", r.p);
+        assert!(r.statistic > 0.0);
+    }
+
+    #[test]
+    fn welch_accepts_null() {
+        let a: Vec<f64> = (0..30).map(|k| 5.0 + ((k * 7) % 10) as f64 * 0.2).collect();
+        let b: Vec<f64> = (0..30).map(|k| 5.0 + ((k * 3) % 10) as f64 * 0.2).collect();
+        let r = welch_t(&a, &b).unwrap();
+        assert!(r.p > 0.05, "similar samples should not differ, p={}", r.p);
+    }
+
+    #[test]
+    fn welch_degenerate() {
+        assert!(welch_t(&[1.0], &[2.0, 3.0]).is_none());
+        assert!(welch_t(&[1.0, 1.0], &[1.0, 1.0]).is_none());
+    }
+
+    #[test]
+    fn mann_whitney_direction() {
+        let a = [8.0, 9.0, 10.0, 11.0, 12.0, 13.0];
+        let b = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let r = mann_whitney_u(&a, &b).unwrap();
+        assert!(r.p < 0.01);
+        assert!(mann_whitney_u(&[], &b).is_none());
+    }
+
+    #[test]
+    fn pearson_and_spearman() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [2.0, 4.0, 6.0, 8.0, 10.0];
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        assert!((spearman(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        // Monotone but non-linear: spearman 1, pearson < 1.
+        let zs = [1.0, 8.0, 27.0, 64.0, 125.0];
+        assert!((spearman(&xs, &zs).unwrap() - 1.0).abs() < 1e-12);
+        assert!(pearson(&xs, &zs).unwrap() < 1.0);
+        assert!(pearson(&xs, &[1.0, 1.0, 1.0, 1.0, 1.0]).is_none());
+    }
+
+    #[test]
+    fn cohens_d_signs() {
+        let a = [5.0, 6.0, 7.0];
+        let b = [1.0, 2.0, 3.0];
+        assert!(cohens_d(&a, &b).unwrap() > 1.0);
+        assert!(cohens_d(&b, &a).unwrap() < -1.0);
+        assert!(cohens_d(&[1.0, 1.0], &[1.0, 1.0]).is_none());
+    }
+
+    #[test]
+    fn normal_sf_reference() {
+        assert!((normal_sf(0.0) - 0.5).abs() < 1e-6);
+        assert!((normal_sf(1.96) - 0.025).abs() < 1e-3);
+        assert!((normal_sf(-1.96) - 0.975).abs() < 1e-3);
+    }
+}

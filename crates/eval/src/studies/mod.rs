@@ -1,0 +1,63 @@
+//! The executable studies of the survey's Section 3 (see DESIGN.md §4).
+//!
+//! Each study is a deterministic function of its config (seed included),
+//! returns typed results plus a [`crate::report::StudyReport`], and has
+//! unit tests asserting the *shape* the survey reports (who wins, in
+//! which direction) — never the absolute numbers, which belong to the
+//! original human-subject experiments.
+
+pub mod accuracy;
+pub mod effectiveness;
+pub mod efficiency;
+pub mod modality;
+pub mod persuasion_herlocker;
+pub mod rating_shift;
+pub mod satisfaction;
+pub mod scrutability;
+pub mod tradeoffs;
+pub mod transparency;
+pub mod trust_loyalty;
+
+use crate::simuser::{Persona, SimUser};
+use exrec_data::synth::WorldConfig;
+use exrec_data::World;
+use exrec_types::UserId;
+use rand_chacha::ChaCha8Rng;
+
+/// Picks up to `n` world users with at least `min_ratings` ratings and
+/// wraps them in sampled personas.
+pub(crate) fn participants<'w>(
+    world: &'w World,
+    n: usize,
+    min_ratings: usize,
+    rng: &mut ChaCha8Rng,
+) -> Vec<SimUser<'w>> {
+    world
+        .ratings
+        .users()
+        .filter(|&u| world.ratings.user_ratings(u).len() >= min_ratings)
+        .take(n)
+        .map(|u| SimUser::new(u, Persona::sample(rng), world))
+        .collect()
+}
+
+/// The default movie world used by rating-centric studies.
+pub(crate) fn movie_world(seed: u64, n_users: usize, n_items: usize) -> World {
+    exrec_data::synth::movies::generate(&WorldConfig {
+        n_users,
+        n_items,
+        density: 0.25,
+        seed,
+        ..WorldConfig::default()
+    })
+}
+
+/// A user's top unrated items under a recommender, for study targets.
+pub(crate) fn unrated_items(world: &World, user: UserId, n: usize) -> Vec<exrec_types::ItemId> {
+    world
+        .catalog
+        .ids()
+        .filter(|&i| world.ratings.rating(user, i).is_none())
+        .take(n)
+        .collect()
+}

@@ -1,0 +1,233 @@
+//! E-MODAL — text/visual complementarity (survey Conclusion, future
+//! work #2, implemented as an ablation).
+//!
+//! The survey proposes studying how text and images *complement* each
+//! other rather than asking which is preferable. Three variants of the
+//! same explanation content are compared:
+//!
+//! * **text only** — the chart's information verbalized;
+//! * **visual only** — the bare chart;
+//! * **complementary** — the chart plus a one-line caption
+//!   (`exrec_core::modality::complement`).
+//!
+//! Expected shape (dual-coding): complementary presentations achieve the
+//! highest comprehension; the visual-only variant is fastest but costs
+//! novices precision; complementary pays only a small time premium over
+//! visual-only while beating both single modalities on comprehension per
+//! tick is *not* required (the premium buys understanding).
+
+use super::{movie_world, participants};
+use crate::report::{StudyReport, Table};
+use crate::stats::{summarize, Summary};
+use exrec_algo::{Ctx, UserKnn};
+use exrec_core::engine::Explainer;
+use exrec_core::interfaces::InterfaceId;
+use exrec_core::modality::{analyze, complement, restrict, Modality};
+use rand::RngExt;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Presentation variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// Verbalized content only.
+    TextOnly,
+    /// The bare chart.
+    VisualOnly,
+    /// Chart plus caption.
+    Complementary,
+}
+
+impl Variant {
+    /// All variants.
+    pub const ALL: [Variant; 3] = [Variant::TextOnly, Variant::VisualOnly, Variant::Complementary];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::TextOnly => "text only",
+            Variant::VisualOnly => "visual only",
+            Variant::Complementary => "complementary",
+        }
+    }
+}
+
+/// Study configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Config {
+    /// Master seed.
+    pub seed: u64,
+    /// Number of participants.
+    pub n_participants: usize,
+    /// Explained recommendations per participant.
+    pub n_items: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            seed: 0xEA,
+            n_participants: 40,
+            n_items: 3,
+        }
+    }
+}
+
+/// Per-variant aggregates.
+#[derive(Debug, Clone)]
+pub struct VariantResult {
+    /// The variant.
+    pub variant: Variant,
+    /// Comprehension-success rate.
+    pub comprehension: Summary,
+    /// Reading time (ticks).
+    pub time: Summary,
+}
+
+/// Study result.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Per-variant aggregates.
+    pub variants: Vec<VariantResult>,
+    /// The printable report.
+    pub report: StudyReport,
+}
+
+impl Outcome {
+    /// Lookup by variant.
+    pub fn result(&self, v: Variant) -> &VariantResult {
+        self.variants
+            .iter()
+            .find(|r| r.variant == v)
+            .expect("variant present")
+    }
+}
+
+/// Runs the study.
+pub fn run(config: &Config) -> Outcome {
+    let world = movie_world(config.seed, config.n_participants * 2, 50);
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let users = participants(&world, config.n_participants, 4, &mut rng);
+    let ctx = Ctx::new(&world.ratings, &world.catalog);
+    let knn = UserKnn::default();
+    let explainer = Explainer::new(&knn, InterfaceId::ClusteredHistogram);
+    let descriptor = InterfaceId::ClusteredHistogram.descriptor();
+
+    let mut comp: Vec<(Variant, Vec<f64>)> =
+        Variant::ALL.iter().map(|&v| (v, Vec::new())).collect();
+    let mut time: Vec<(Variant, Vec<f64>)> =
+        Variant::ALL.iter().map(|&v| (v, Vec::new())).collect();
+
+    for user in &users {
+        for (_, base) in explainer.recommend_explained(&ctx, user.id, config.n_items) {
+            // Derive the three variants from the SAME content.
+            let visual_only = restrict(&base, Modality::Visual);
+            if analyze(&visual_only).visual == 0 {
+                continue; // nothing visual to study
+            }
+            let complementary = complement(&visual_only);
+            let text_only = restrict(&complementary, Modality::Text);
+            for (variant, explanation) in [
+                (Variant::TextOnly, &text_only),
+                (Variant::VisualOnly, &visual_only),
+                (Variant::Complementary, &complementary),
+            ] {
+                let p = user.comprehension_of(&descriptor, explanation);
+                let understood = rng.random_range(0.0..1.0) < p;
+                comp.iter_mut()
+                    .find(|(v, _)| *v == variant)
+                    .unwrap()
+                    .1
+                    .push(f64::from(understood));
+                time.iter_mut()
+                    .find(|(v, _)| *v == variant)
+                    .unwrap()
+                    .1
+                    .push(user.reading_time(explanation.reading_cost()) as f64);
+            }
+        }
+    }
+
+    let variants: Vec<VariantResult> = Variant::ALL
+        .iter()
+        .map(|&v| VariantResult {
+            variant: v,
+            comprehension: summarize(&comp.iter().find(|(x, _)| *x == v).unwrap().1),
+            time: summarize(&time.iter().find(|(x, _)| *x == v).unwrap().1),
+        })
+        .collect();
+
+    let mut table = Table::new(
+        "Comprehension and reading time by modality variant",
+        vec!["Variant", "Comprehension", "Time (ticks)", "n"],
+    );
+    for r in &variants {
+        table.push_row(vec![
+            r.variant.name().to_owned(),
+            format!("{:.0}%", r.comprehension.mean * 100.0),
+            format!("{:.1}", r.time.mean),
+            format!("{}", r.comprehension.n),
+        ]);
+    }
+    let mut report = StudyReport::new("E-MODAL", "Modality: text and visuals complement");
+    report.tables.push(table);
+    report.notes.push(
+        "Future-work direction #2 of the survey, run as an ablation: the complementary \
+         variant should top comprehension (dual coding)."
+            .to_owned(),
+    );
+
+    Outcome { variants, report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome() -> Outcome {
+        run(&Config {
+            n_participants: 35,
+            ..Config::default()
+        })
+    }
+
+    #[test]
+    fn complementary_tops_comprehension() {
+        let o = outcome();
+        let c = o.result(Variant::Complementary).comprehension.mean;
+        assert!(
+            c > o.result(Variant::TextOnly).comprehension.mean,
+            "complementary {c:.2} must beat text-only {:.2}",
+            o.result(Variant::TextOnly).comprehension.mean
+        );
+        assert!(c > o.result(Variant::VisualOnly).comprehension.mean);
+    }
+
+    #[test]
+    fn visual_only_is_fastest() {
+        let o = outcome();
+        let v = o.result(Variant::VisualOnly).time.mean;
+        assert!(v <= o.result(Variant::Complementary).time.mean);
+    }
+
+    #[test]
+    fn complementary_time_premium_is_modest() {
+        let o = outcome();
+        let premium = o.result(Variant::Complementary).time.mean
+            / o.result(Variant::VisualOnly).time.mean.max(1e-9);
+        assert!(
+            premium < 2.0,
+            "a caption should not double the reading time (×{premium:.2})"
+        );
+    }
+
+    #[test]
+    fn samples_are_balanced() {
+        let o = outcome();
+        let n0 = o.result(Variant::TextOnly).comprehension.n;
+        for v in Variant::ALL {
+            assert_eq!(o.result(v).comprehension.n, n0);
+        }
+        assert!(n0 > 50);
+    }
+}

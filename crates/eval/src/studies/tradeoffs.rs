@@ -1,0 +1,230 @@
+//! A-TRADE — the choosing-criteria ablation (survey Section 3.8).
+//!
+//! "It is hard to create explanations that do well on all our criteria,
+//! in reality it is a trade-off." Two sweeps make the survey's two named
+//! tensions measurable:
+//!
+//! * **transparency ↔ efficiency** — across the 21 interfaces, mean
+//!   comprehension (transparency) against mean reading time; the survey
+//!   predicts a positive time-vs-transparency correlation, i.e.
+//!   transparency is bought with efficiency;
+//! * **persuasiveness ↔ effectiveness** — sweeping recommendation
+//!   "boldness" (Section 4.6's strength inflation), conversion rises
+//!   while the pre/post-consumption gap (over-selling) rises with it.
+
+use super::{movie_world, participants};
+use crate::report::{Series, StudyReport, Table};
+use crate::stats::pearson;
+use exrec_algo::baseline::Popularity;
+use exrec_algo::{Ctx, Recommender};
+use exrec_core::interfaces::InterfaceId;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Study configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Config {
+    /// Master seed.
+    pub seed: u64,
+    /// Participants.
+    pub n_participants: usize,
+    /// Boldness sweep steps in `[0, 1]`.
+    pub boldness_steps: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            seed: 0xE9,
+            n_participants: 30,
+            boldness_steps: 6,
+        }
+    }
+}
+
+/// Study result.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Correlation between interface transparency (comprehension) and
+    /// reading time across the 21 interfaces. Expected positive.
+    pub transparency_time_r: f64,
+    /// Correlation between conversion and over-selling gap across the
+    /// boldness sweep. Expected positive (persuasion costs
+    /// effectiveness).
+    pub conversion_gap_r: f64,
+    /// `(boldness, conversion)` sweep points.
+    pub conversion_curve: Vec<(f64, f64)>,
+    /// `(boldness, mean pre−post gap)` sweep points.
+    pub gap_curve: Vec<(f64, f64)>,
+    /// The printable report.
+    pub report: StudyReport,
+}
+
+/// Runs the ablation.
+pub fn run(config: &Config) -> Outcome {
+    let world = movie_world(config.seed, config.n_participants * 2, 50);
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let users = participants(&world, config.n_participants, 2, &mut rng);
+    let ctx = Ctx::new(&world.ratings, &world.catalog);
+    let model = Popularity::default();
+    let scale = *world.ratings.scale();
+
+    // ---- Sweep 1: transparency vs time along a verbosity dial ------
+    //
+    // Holding the interface *style* fixed (a detailed process
+    // description) and adding levels of detail: each level explains more
+    // of the mechanism (informativeness saturates) while reading load
+    // grows linearly — the survey's "an explanation that offers great
+    // transparency may impede efficiency".
+    let mut transparency = Vec::new();
+    let mut time = Vec::new();
+    for level in 1..=5u32 {
+        let v = level as f64;
+        let mut d = InterfaceId::DetailedProcess.descriptor();
+        d.informativeness = 0.3 + 0.6 * (1.0 - (-0.6 * v).exp());
+        d.cognitive_load = (0.12 * v).min(1.0);
+        let mean_comprehension: f64 = users
+            .iter()
+            .map(|u| u.comprehension(&d))
+            .sum::<f64>()
+            / users.len() as f64;
+        let mean_time: f64 = users
+            .iter()
+            .map(|u| u.reading_time((d.cognitive_load * 25.0 + 1.0) as u64) as f64)
+            .sum::<f64>()
+            / users.len() as f64;
+        transparency.push(mean_comprehension);
+        time.push(mean_time);
+    }
+    let transparency_time_r = pearson(&transparency, &time).unwrap_or(0.0);
+
+    // ---- Sweep 2: boldness vs conversion and over-selling ----------
+    let d = InterfaceId::ClusteredHistogram.descriptor();
+    let mut conversion_curve = Vec::new();
+    let mut gap_curve = Vec::new();
+    for step in 0..config.boldness_steps {
+        let boldness = step as f64 / (config.boldness_steps - 1).max(1) as f64;
+        let mut conversions = 0usize;
+        let mut trials = 0usize;
+        let mut gaps = Vec::new();
+        for user in &users {
+            for scored in model.recommend(&ctx, user.id, 3) {
+                let honest = scored.prediction.score;
+                let shown = scale.bound(honest + boldness * (scale.max() - honest) * 0.8);
+                let response = user.likelihood_to_try(&d, shown, &scale, &mut rng);
+                trials += 1;
+                if response >= 4.5 {
+                    conversions += 1;
+                    let pre = user.estimate_rating(scored.item, shown, &d, &mut rng);
+                    let post = user.post_consumption_rating(scored.item, &mut rng);
+                    gaps.push(pre - post);
+                }
+            }
+        }
+        let conversion = conversions as f64 / trials.max(1) as f64;
+        let mean_gap = if gaps.is_empty() {
+            0.0
+        } else {
+            gaps.iter().sum::<f64>() / gaps.len() as f64
+        };
+        conversion_curve.push((boldness, conversion));
+        gap_curve.push((boldness, mean_gap));
+    }
+    let conversion_gap_r = pearson(
+        &conversion_curve.iter().map(|&(_, c)| c).collect::<Vec<_>>(),
+        &gap_curve.iter().map(|&(_, g)| g).collect::<Vec<_>>(),
+    )
+    .unwrap_or(0.0);
+
+    let mut table = Table::new(
+        "Section 3.8 trade-offs, quantified",
+        vec!["Tension", "Correlation", "Reading"],
+    );
+    table.push_row(vec![
+        "transparency vs reading time".to_owned(),
+        format!("{transparency_time_r:+.3}"),
+        "positive: transparency is bought with time".to_owned(),
+    ]);
+    table.push_row(vec![
+        "conversion vs over-selling gap".to_owned(),
+        format!("{conversion_gap_r:+.3}"),
+        "positive: persuasion is bought with effectiveness".to_owned(),
+    ]);
+    let mut report = StudyReport::new("A-TRADE", "Criteria trade-off ablation");
+    report.tables.push(table);
+    report.series.push(Series {
+        name: "boldness vs conversion".to_owned(),
+        points: conversion_curve.clone(),
+    });
+    report.series.push(Series {
+        name: "boldness vs pre-post gap".to_owned(),
+        points: gap_curve.clone(),
+    });
+
+    Outcome {
+        transparency_time_r,
+        conversion_gap_r,
+        conversion_curve,
+        gap_curve,
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome() -> Outcome {
+        run(&Config::default())
+    }
+
+    #[test]
+    fn transparency_costs_time() {
+        let o = outcome();
+        assert!(
+            o.transparency_time_r > 0.2,
+            "transparency-time correlation should be positive, got {:.3}",
+            o.transparency_time_r
+        );
+    }
+
+    #[test]
+    fn boldness_raises_conversion() {
+        let o = outcome();
+        let first = o.conversion_curve.first().unwrap().1;
+        let last = o.conversion_curve.last().unwrap().1;
+        assert!(
+            last > first,
+            "conversion should rise with boldness: {first:.3} -> {last:.3}"
+        );
+    }
+
+    #[test]
+    fn boldness_raises_overselling() {
+        let o = outcome();
+        let first = o.gap_curve.first().unwrap().1;
+        let last = o.gap_curve.last().unwrap().1;
+        assert!(
+            last > first,
+            "over-selling gap should rise with boldness: {first:.3} -> {last:.3}"
+        );
+    }
+
+    #[test]
+    fn persuasion_trades_against_effectiveness() {
+        let o = outcome();
+        assert!(
+            o.conversion_gap_r > 0.5,
+            "conversion and over-selling should move together, r = {:.3}",
+            o.conversion_gap_r
+        );
+    }
+
+    #[test]
+    fn curves_cover_the_sweep() {
+        let o = outcome();
+        assert_eq!(o.conversion_curve.len(), 6);
+        assert_eq!(o.conversion_curve[0].0, 0.0);
+        assert_eq!(o.conversion_curve[5].0, 1.0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests for the statistics toolbox: p-values are probabilities,
+//! tests are symmetric where they should be, correlations are invariant
+//! where theory says so.
+
+use exrec_eval::stats::*;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn p_values_are_probabilities(t in -50.0f64..50.0, df in 1.0f64..200.0) {
+        let p = t_two_sided_p(t, df);
+        prop_assert!((0.0..=1.0).contains(&p), "p={p}");
+        // Symmetric in t.
+        prop_assert!((p - t_two_sided_p(-t, df)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn larger_t_means_smaller_p(t in 0.1f64..10.0, df in 2.0f64..100.0) {
+        prop_assert!(t_two_sided_p(t + 0.5, df) <= t_two_sided_p(t, df) + 1e-9);
+    }
+
+    #[test]
+    fn welch_is_antisymmetric(
+        a in prop::collection::vec(0.0f64..10.0, 3..20),
+        b in prop::collection::vec(0.0f64..10.0, 3..20),
+    ) {
+        if let (Some(ab), Some(ba)) = (welch_t(&a, &b), welch_t(&b, &a)) {
+            prop_assert!((ab.statistic + ba.statistic).abs() < 1e-9);
+            prop_assert!((ab.p - ba.p).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn welch_on_identical_samples_is_insignificant(
+        a in prop::collection::vec(0.0f64..10.0, 4..20),
+    ) {
+        if let Some(r) = welch_t(&a, &a) {
+            prop_assert!(r.statistic.abs() < 1e-9);
+            prop_assert!(r.p > 0.99);
+        }
+    }
+
+    #[test]
+    fn spearman_invariant_under_monotone_transform(
+        xs in prop::collection::vec(-10.0f64..10.0, 4..20),
+        ys in prop::collection::vec(-10.0f64..10.0, 4..20),
+    ) {
+        let n = xs.len().min(ys.len());
+        let (xs, ys) = (&xs[..n], &ys[..n]);
+        if let Some(base) = spearman(xs, ys) {
+            // exp is strictly monotone.
+            let xt: Vec<f64> = xs.iter().map(|x| x.exp()).collect();
+            let transformed = spearman(&xt, ys).unwrap();
+            prop_assert!((base - transformed).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pearson_invariant_under_positive_affine(
+        xs in prop::collection::vec(-10.0f64..10.0, 4..20),
+        ys in prop::collection::vec(-10.0f64..10.0, 4..20),
+        a in 0.1f64..5.0,
+        b in -10.0f64..10.0,
+    ) {
+        let n = xs.len().min(ys.len());
+        let (xs, ys) = (&xs[..n], &ys[..n]);
+        if let Some(base) = pearson(xs, ys) {
+            let xt: Vec<f64> = xs.iter().map(|x| a * x + b).collect();
+            if let Some(t) = pearson(&xt, ys) {
+                prop_assert!((base - t).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn summary_mean_within_minmax(xs in prop::collection::vec(-100.0f64..100.0, 1..50)) {
+        let s = summarize(&xs);
+        let lo = xs.iter().cloned().fold(f64::MAX, f64::min);
+        let hi = xs.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert!(s.mean >= lo - 1e-9 && s.mean <= hi + 1e-9);
+        prop_assert!(s.sd >= 0.0);
+        prop_assert!(s.ci95 >= 0.0);
+    }
+
+    #[test]
+    fn mann_whitney_detects_clear_separation(shift in 5.0f64..20.0) {
+        let a: Vec<f64> = (0..15).map(|k| k as f64 * 0.1).collect();
+        let b: Vec<f64> = (0..15).map(|k| k as f64 * 0.1 + shift).collect();
+        let r = mann_whitney_u(&a, &b).unwrap();
+        prop_assert!(r.p < 0.01, "p={}", r.p);
+    }
+
+    #[test]
+    fn cohens_d_scales_with_separation(gap in 0.5f64..5.0) {
+        let a: Vec<f64> = (0..20).map(|k| (k % 5) as f64 * 0.2).collect();
+        let b: Vec<f64> = a.iter().map(|x| x + gap).collect();
+        let d = cohens_d(&b, &a).unwrap();
+        prop_assert!(d > 0.0);
+        let b2: Vec<f64> = a.iter().map(|x| x + gap + 1.0).collect();
+        prop_assert!(cohens_d(&b2, &a).unwrap() > d);
+    }
+}

@@ -1,0 +1,388 @@
+//! Conversational critiquing (survey Section 5.2).
+//!
+//! The user sees a recommendation plus trade-off alternatives ("Less
+//! Memory and Lower Resolution and Cheaper"); picking a critique filters
+//! the candidate pool and yields a new recommendation. When a critique
+//! empties the pool the session offers a *repair action* (relax the
+//! tightest requirement) instead of a dead "no items found" — the
+//! survey's complaint about flight-search trial-and-error.
+
+use exrec_algo::knowledge::Maut;
+use exrec_algo::{Ctx, Scored};
+use exrec_present::critiques::{
+    attribute_ranges, mine_compound, pattern_of, CompoundCritique, UnitCritique,
+};
+use exrec_present::structured::OverviewConfig;
+use exrec_types::{Error, ItemId, Result, SimTime};
+use std::collections::HashMap;
+
+/// One step of a critiquing session, as shown to the user.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CritiqueScreen {
+    /// The current recommendation.
+    pub current: Scored,
+    /// Available compound critiques with their titles.
+    pub options: Vec<(CompoundCritique, String)>,
+    /// The cycle number (1-based).
+    pub cycle: usize,
+}
+
+/// The outcome of applying a critique.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CritiqueOutcome {
+    /// A new screen with a new current item.
+    Continue(CritiqueScreen),
+    /// The critique emptied the pool; the named attribute's requirements
+    /// were relaxed as a repair action and a new screen produced.
+    Repaired {
+        /// Attribute whose requirements were dropped.
+        relaxed: String,
+        /// The post-repair screen.
+        screen: CritiqueScreen,
+    },
+}
+
+/// A running critiquing session over a (knowledge-based) candidate pool.
+#[derive(Debug, Clone)]
+pub struct CritiqueSession {
+    maut: Maut,
+    pool: Vec<ItemId>,
+    cycle: usize,
+    time: SimTime,
+    repairs: usize,
+    config: OverviewConfig,
+    ranges: HashMap<String, (f64, f64)>,
+}
+
+impl CritiqueSession {
+    /// Starts a session: ranks the catalog with `maut` and presents the
+    /// best item plus mined critiques.
+    ///
+    /// # Errors
+    ///
+    /// Fails when nothing passes the hard requirements.
+    pub fn start(maut: Maut, ctx: &Ctx<'_>, config: OverviewConfig) -> Result<(Self, CritiqueScreen)> {
+        let ranges = attribute_ranges(ctx.catalog);
+        let pool: Vec<ItemId> = maut.rank(ctx, usize::MAX).iter().map(|s| s.item).collect();
+        if pool.is_empty() {
+            return Err(Error::InvalidSessionAction {
+                detail: "no candidate passes the hard requirements".to_owned(),
+            });
+        }
+        let mut session = Self {
+            maut,
+            pool,
+            cycle: 0,
+            time: SimTime::ZERO,
+            repairs: 0,
+            config,
+            ranges,
+        };
+        let screen = session.screen(ctx)?;
+        Ok((session, screen))
+    }
+
+    /// Elapsed simulated time.
+    pub fn elapsed(&self) -> SimTime {
+        self.time
+    }
+
+    /// Number of critique cycles so far.
+    pub fn cycles(&self) -> usize {
+        self.cycle
+    }
+
+    /// Number of repair actions taken.
+    pub fn repairs(&self) -> usize {
+        self.repairs
+    }
+
+    /// Remaining candidate count.
+    pub fn pool_size(&self) -> usize {
+        self.pool.len()
+    }
+
+    fn best(&self, ctx: &Ctx<'_>) -> Result<Scored> {
+        let ranked = self.maut.rank(ctx, usize::MAX);
+        ranked
+            .into_iter()
+            .find(|s| self.pool.contains(&s.item))
+            .ok_or(Error::InvalidSessionAction {
+                detail: "candidate pool is empty".to_owned(),
+            })
+    }
+
+    fn screen(&mut self, ctx: &Ctx<'_>) -> Result<CritiqueScreen> {
+        self.cycle += 1;
+        let current = self.best(ctx)?;
+        let candidates: Vec<ItemId> = self
+            .pool
+            .iter()
+            .copied()
+            .filter(|&i| i != current.item)
+            .collect();
+        let compounds = mine_compound(
+            ctx.catalog,
+            current.item,
+            &candidates,
+            self.config.min_support,
+            self.config.max_critique_len,
+        )?;
+        let options: Vec<(CompoundCritique, String)> = compounds
+            .into_iter()
+            .take(self.config.max_categories)
+            .map(|c| {
+                let title = c.title(ctx.catalog.schema());
+                (c, title)
+            })
+            .collect();
+        // Reading the screen costs time: scanning the item + each option.
+        self.time += 4 + 2 * options.len() as u64;
+        Ok(CritiqueScreen {
+            current,
+            options,
+            cycle: self.cycle,
+        })
+    }
+
+    /// Applies a compound critique relative to the current recommendation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates catalog lookups; repairs rather than failing when the
+    /// pool would empty.
+    pub fn apply_compound(
+        &mut self,
+        ctx: &Ctx<'_>,
+        current: ItemId,
+        critique: &CompoundCritique,
+    ) -> Result<CritiqueOutcome> {
+        let reference = ctx.catalog.get(current)?;
+        let filtered: Vec<ItemId> = self
+            .pool
+            .iter()
+            .copied()
+            .filter(|&i| i != current)
+            .filter(|&i| {
+                ctx.catalog
+                    .get(i)
+                    .map(|it| critique.matches(it, reference, &self.ranges))
+                    .unwrap_or(false)
+            })
+            .collect();
+        self.time += 2; // clicking a critique
+        if filtered.is_empty() {
+            return self.repair(ctx, critique);
+        }
+        self.pool = filtered;
+        Ok(CritiqueOutcome::Continue(self.screen(ctx)?))
+    }
+
+    /// Applies a unit critique ("cheaper than the current one").
+    ///
+    /// # Errors
+    ///
+    /// Same behaviour as [`CritiqueSession::apply_compound`].
+    pub fn apply_unit(
+        &mut self,
+        ctx: &Ctx<'_>,
+        current: ItemId,
+        critique: &UnitCritique,
+    ) -> Result<CritiqueOutcome> {
+        let compound = CompoundCritique {
+            parts: vec![critique.clone()],
+            support: 0.0,
+        };
+        self.apply_compound(ctx, current, &compound)
+    }
+
+    /// Repair action: drop the requirements on the critique's first
+    /// attribute, rebuild the pool, and continue.
+    fn repair(&mut self, ctx: &Ctx<'_>, critique: &CompoundCritique) -> Result<CritiqueOutcome> {
+        let relaxed = critique
+            .parts
+            .first()
+            .map(|p| p.attribute.clone())
+            .unwrap_or_default();
+        self.maut.relax(&relaxed);
+        self.repairs += 1;
+        self.time += 3;
+        self.pool = self
+            .maut
+            .rank(ctx, usize::MAX)
+            .iter()
+            .map(|s| s.item)
+            .collect();
+        let screen = self.screen(ctx)?;
+        Ok(CritiqueOutcome::Repaired { relaxed, screen })
+    }
+
+    /// Whether `target` is still reachable (in the pool).
+    pub fn reachable(&self, target: ItemId) -> bool {
+        self.pool.contains(&target)
+    }
+
+    /// The critique (if any) among `options` that moves the pool toward
+    /// `target` — used by simulated users who know what they want.
+    pub fn critique_toward<'o>(
+        &self,
+        ctx: &Ctx<'_>,
+        current: ItemId,
+        target: ItemId,
+        options: &'o [(CompoundCritique, String)],
+    ) -> Option<&'o (CompoundCritique, String)> {
+        let reference = ctx.catalog.get(current).ok()?;
+        let target_item = ctx.catalog.get(target).ok()?;
+        let target_pattern = pattern_of(target_item, reference, &self.ranges);
+        options
+            .iter()
+            .filter(|(c, _)| c.parts.iter().all(|p| target_pattern.contains(p)))
+            .max_by(|(a, _), (b, _)| {
+                a.parts
+                    .len()
+                    .cmp(&b.parts.len())
+                    .then(
+                        a.support
+                            .partial_cmp(&b.support)
+                            .unwrap_or(std::cmp::Ordering::Equal),
+                    )
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exrec_algo::knowledge::{Constraint, Requirement};
+    use exrec_data::synth::{cameras, WorldConfig};
+    use exrec_data::World;
+
+    fn world() -> World {
+        cameras::generate(&WorldConfig {
+            n_items: 50,
+            n_users: 5,
+            ..WorldConfig::default()
+        })
+    }
+
+    fn maut() -> Maut {
+        Maut::new(vec![
+            Requirement::soft("price", Constraint::AtMost(500.0)),
+            Requirement::soft("resolution", Constraint::AtLeast(8.0)),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn session_starts_with_options() {
+        let w = world();
+        let ctx = Ctx::new(&w.ratings, &w.catalog);
+        let (session, screen) =
+            CritiqueSession::start(maut(), &ctx, OverviewConfig::default()).unwrap();
+        assert_eq!(screen.cycle, 1);
+        assert!(!screen.options.is_empty(), "camera world must mine critiques");
+        assert!(session.pool_size() > 1);
+        assert!(session.elapsed().ticks() > 0);
+    }
+
+    #[test]
+    fn applying_critique_shrinks_pool_and_matches() {
+        let w = world();
+        let ctx = Ctx::new(&w.ratings, &w.catalog);
+        let (mut session, screen) =
+            CritiqueSession::start(maut(), &ctx, OverviewConfig::default()).unwrap();
+        let before = session.pool_size();
+        let (critique, _) = screen.options[0].clone();
+        let outcome = session
+            .apply_compound(&ctx, screen.current.item, &critique)
+            .unwrap();
+        match outcome {
+            CritiqueOutcome::Continue(next) => {
+                assert!(session.pool_size() < before);
+                assert_ne!(next.current.item, screen.current.item);
+                assert_eq!(next.cycle, 2);
+                // Every remaining item satisfies the critique.
+                let ranges = attribute_ranges(&w.catalog);
+                let reference = w.catalog.get(screen.current.item).unwrap();
+                for &i in &session.pool {
+                    assert!(critique.matches(w.catalog.get(i).unwrap(), reference, &ranges));
+                }
+            }
+            CritiqueOutcome::Repaired { .. } => {
+                // Acceptable but unusual for the first cycle in this world.
+            }
+        }
+    }
+
+    #[test]
+    fn impossible_critique_triggers_repair() {
+        let w = world();
+        let ctx = Ctx::new(&w.ratings, &w.catalog);
+        let (mut session, screen) =
+            CritiqueSession::start(maut(), &ctx, OverviewConfig::default()).unwrap();
+        // Find the cheapest item in the pool and demand "cheaper" from it.
+        let cheapest = session
+            .pool
+            .iter()
+            .copied()
+            .min_by(|&a, &b| {
+                let pa = w.catalog.get(a).unwrap().attrs.num("price").unwrap();
+                let pb = w.catalog.get(b).unwrap().attrs.num("price").unwrap();
+                pa.partial_cmp(&pb).unwrap()
+            })
+            .unwrap();
+        let _ = screen;
+        let uc = UnitCritique::new("price", exrec_present::CritiqueDirection::Less);
+        let outcome = session.apply_unit(&ctx, cheapest, &uc).unwrap();
+        match outcome {
+            CritiqueOutcome::Repaired { relaxed, screen } => {
+                assert_eq!(relaxed, "price");
+                assert!(screen.cycle >= 2);
+                assert_eq!(session.repairs(), 1);
+            }
+            CritiqueOutcome::Continue(_) => {
+                panic!("cheaper-than-cheapest must trigger repair")
+            }
+        }
+    }
+
+    #[test]
+    fn critique_toward_finds_compatible_option() {
+        let w = world();
+        let ctx = Ctx::new(&w.ratings, &w.catalog);
+        let (session, screen) =
+            CritiqueSession::start(maut(), &ctx, OverviewConfig::default()).unwrap();
+        // Pick any pool member that one of the options matches; the
+        // helper must find a critique consistent with reaching it.
+        let ranges = attribute_ranges(&w.catalog);
+        let reference = w.catalog.get(screen.current.item).unwrap();
+        for &target in &session.pool {
+            if target == screen.current.item {
+                continue;
+            }
+            if let Some((c, title)) =
+                session.critique_toward(&ctx, screen.current.item, target, &screen.options)
+            {
+                assert!(!title.is_empty());
+                assert!(c.matches(w.catalog.get(target).unwrap(), reference, &ranges));
+                return;
+            }
+        }
+        // No compatible option found for any target: acceptable only if
+        // there are no options at all.
+        assert!(screen.options.is_empty());
+    }
+
+    #[test]
+    fn time_accumulates_per_cycle() {
+        let w = world();
+        let ctx = Ctx::new(&w.ratings, &w.catalog);
+        let (mut session, screen) =
+            CritiqueSession::start(maut(), &ctx, OverviewConfig::default()).unwrap();
+        let t0 = session.elapsed();
+        if let Some((c, _)) = screen.options.first() {
+            let _ = session.apply_compound(&ctx, screen.current.item, c);
+            assert!(session.elapsed() > t0);
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # exrec-interact
+//!
+//! Interaction layer (survey Section 5): "justifying recommendations to
+//! the user is only half of the solution, the second half is making the
+//! system scrutable by allowing the user to make changes."
+//!
+//! * [`mode`] — the interaction taxonomy of Tables 3/4;
+//! * [`profile`] — the scrutable user profile (Figure 1): volunteered vs
+//!   inferred facts plus actionable preference rules ("no more Disney");
+//! * [`opinions`] — opinion feedback (Section 5.4): more-like-this
+//!   (MoreLater / GiveMeMore), no-more (AlreadyKnow / NoMoreLikeThis),
+//!   SurpriseMe, and aspect-level feedback;
+//! * [`critiquing`] — conversational critiquing sessions (Section 5.2)
+//!   with unit and dynamic compound critiques and repair actions;
+//! * [`requirements`] — slot-filling requirement elicitation
+//!   (Section 5.1), including the survey's thriller/Bruce Willis dialog
+//!   shape;
+//! * [`session`] — the single-shot vs conversational session engine with
+//!   simulated-time accounting;
+//! * [`store`] — a concurrent session store tracking logins and
+//!   interactions (the loyalty measures of Section 3.3).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod critiquing;
+pub mod mode;
+pub mod opinions;
+pub mod profile;
+pub mod requirements;
+pub mod session;
+pub mod store;
+
+pub use critiquing::CritiqueSession;
+pub use mode::InteractionMode;
+pub use opinions::Opinion;
+pub use profile::{RuleEffect, ScrutableProfile};
+pub use session::RecommendationSession;
+pub use store::SessionStore;

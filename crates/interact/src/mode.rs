@@ -1,0 +1,70 @@
+//! The interaction-mode taxonomy of the survey's Tables 3 and 4.
+
+use std::fmt;
+
+/// How the user gives feedback to the recommender (survey Section 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InteractionMode {
+    /// The user rates items (Section 5.3).
+    Rating,
+    /// Ratings inferred from behaviour rather than entered.
+    ImplicitRating,
+    /// The user gives a like/dislike-style opinion (Section 5.4).
+    Opinion,
+    /// The user specifies requirements directly (Section 5.1).
+    SpecifyRequirements,
+    /// The user asks for alterations / critiques (Section 5.2).
+    Alteration,
+    /// Mixed or study-dependent.
+    Varied,
+    /// No feedback channel.
+    None,
+}
+
+impl InteractionMode {
+    /// Name as used in the survey's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            InteractionMode::Rating => "Rating",
+            InteractionMode::ImplicitRating => "(Implicit) rating",
+            InteractionMode::Opinion => "Opinion",
+            InteractionMode::SpecifyRequirements => "Specify reqs.",
+            InteractionMode::Alteration => "Alteration",
+            InteractionMode::Varied => "(varied)",
+            InteractionMode::None => "(None)",
+        }
+    }
+
+    /// Whether the mode closes the scrutability loop (the user can
+    /// actually change the system's beliefs).
+    pub fn is_corrective(self) -> bool {
+        !matches!(self, InteractionMode::None | InteractionMode::ImplicitRating)
+    }
+}
+
+impl fmt::Display for InteractionMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_tables() {
+        assert_eq!(InteractionMode::Rating.name(), "Rating");
+        assert_eq!(InteractionMode::SpecifyRequirements.name(), "Specify reqs.");
+        assert_eq!(InteractionMode::ImplicitRating.name(), "(Implicit) rating");
+        assert_eq!(InteractionMode::None.name(), "(None)");
+    }
+
+    #[test]
+    fn corrective_modes() {
+        assert!(InteractionMode::Rating.is_corrective());
+        assert!(InteractionMode::Alteration.is_corrective());
+        assert!(!InteractionMode::None.is_corrective());
+        assert!(!InteractionMode::ImplicitRating.is_corrective());
+    }
+}

@@ -1,0 +1,232 @@
+//! Opinion feedback (survey Section 5.4).
+//!
+//! "It is sometimes easier for a user to say what they want or do not
+//! want, when they have options in front of them." The survey's option
+//! tree, verbatim:
+//!
+//! * **More like this** — "More later!" (good type, not now) and
+//!   "Give me more!" (more right away);
+//! * **No more like this** — "I already know this!" (familiar, not
+//!   necessarily negative) and "No more like this!" (disliked);
+//! * **Surprise me!** — broaden the horizon with partly random picks;
+//! * aspect-level feedback — like the sport, dislike the distant venue.
+
+use crate::profile::{RuleEffect, ScrutableProfile};
+use exrec_data::Catalog;
+use exrec_types::{ItemId, Result};
+use std::collections::HashSet;
+
+/// An opinion a user can express about a presented item (or the stream).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Opinion {
+    /// "More later!" — I like this type; don't flood me now.
+    MoreLater,
+    /// "Give me more!" — show me more of this immediately.
+    GiveMeMore,
+    /// "I already know this!" — familiar; correct, but don't reinforce.
+    AlreadyKnow,
+    /// "No more like this!" — stop showing this type.
+    NoMoreLikeThis,
+    /// "Surprise me!" — raise the exploration dial.
+    SurpriseMe,
+    /// Aspect-level: I relate to this `attribute = value` specifically.
+    Aspect {
+        /// The attribute being judged.
+        attribute: String,
+        /// The value being judged.
+        value: String,
+        /// Liked or disliked.
+        liked: bool,
+    },
+}
+
+/// The session-level state opinions accumulate into.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OpinionState {
+    /// Items the user already knows — excluded from lists but *not*
+    /// negative signal.
+    pub known: HashSet<ItemId>,
+    /// Exploration dial in `[0, 1]` (SurpriseMe raises it).
+    pub exploration: f64,
+    /// Pending "give me more" anchor, if any.
+    pub more_anchor: Option<ItemId>,
+}
+
+/// Applies an opinion about `item` to the profile and session state.
+///
+/// The *category* of the item (its first categorical attribute of the
+/// schema, typically genre/topic/cuisine) carries type-level opinions.
+///
+/// # Errors
+///
+/// Propagates catalog lookup failures.
+pub fn apply_opinion(
+    opinion: &Opinion,
+    item: ItemId,
+    catalog: &Catalog,
+    profile: &mut ScrutableProfile,
+    state: &mut OpinionState,
+) -> Result<()> {
+    let it = catalog.get(item)?;
+    let type_attr = catalog
+        .schema()
+        .attributes()
+        .iter()
+        .find(|a| a.kind == exrec_types::AttributeKind::Categorical)
+        .map(|a| a.name.clone());
+
+    match opinion {
+        Opinion::MoreLater => {
+            if let Some(attr) = type_attr {
+                if let Some(v) = it.attrs.cat(&attr) {
+                    // Mild standing preference, no immediate flood.
+                    profile.add_rule(&attr, v, RuleEffect::Bias(0.3));
+                }
+            }
+            state.more_anchor = None;
+        }
+        Opinion::GiveMeMore => {
+            if let Some(attr) = type_attr {
+                if let Some(v) = it.attrs.cat(&attr) {
+                    profile.add_rule(&attr, v, RuleEffect::Bias(1.0));
+                }
+            }
+            state.more_anchor = Some(item);
+        }
+        Opinion::AlreadyKnow => {
+            // Correct recommendation, but do not reinforce: exclude the
+            // item, leave the profile untouched.
+            state.known.insert(item);
+        }
+        Opinion::NoMoreLikeThis => {
+            if let Some(attr) = type_attr {
+                if let Some(v) = it.attrs.cat(&attr) {
+                    profile.add_rule(&attr, v, RuleEffect::Bias(-1.5));
+                }
+            }
+            state.known.insert(item);
+        }
+        Opinion::SurpriseMe => {
+            state.exploration = (state.exploration + 0.25).min(1.0);
+        }
+        Opinion::Aspect {
+            attribute,
+            value,
+            liked,
+        } => {
+            let delta = if *liked { 0.8 } else { -0.8 };
+            profile.add_rule(attribute, value, RuleEffect::Bias(delta));
+        }
+    }
+    Ok(())
+}
+
+impl OpinionState {
+    /// Lowers the exploration dial (e.g. after a bad surprise).
+    pub fn calm_down(&mut self) {
+        self.exploration = (self.exploration - 0.25).max(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exrec_data::synth::{news, WorldConfig};
+    use exrec_data::World;
+
+    fn world() -> World {
+        news::generate(&WorldConfig {
+            n_items: 30,
+            n_users: 5,
+            ..WorldConfig::default()
+        })
+    }
+
+    fn setup() -> (World, ScrutableProfile, OpinionState) {
+        (world(), ScrutableProfile::new(), OpinionState::default())
+    }
+
+    #[test]
+    fn give_me_more_boosts_and_anchors() {
+        let (w, mut p, mut s) = setup();
+        let item = w.catalog.ids().next().unwrap();
+        apply_opinion(&Opinion::GiveMeMore, item, &w.catalog, &mut p, &mut s).unwrap();
+        assert_eq!(s.more_anchor, Some(item));
+        assert_eq!(p.rules().len(), 1);
+        assert!(matches!(p.rules()[0].effect, RuleEffect::Bias(d) if d > 0.5));
+    }
+
+    #[test]
+    fn more_later_is_mild() {
+        let (w, mut p, mut s) = setup();
+        let item = w.catalog.ids().next().unwrap();
+        apply_opinion(&Opinion::MoreLater, item, &w.catalog, &mut p, &mut s).unwrap();
+        assert_eq!(s.more_anchor, None, "no immediate flood");
+        assert!(matches!(p.rules()[0].effect, RuleEffect::Bias(d) if d > 0.0 && d < 0.5));
+    }
+
+    #[test]
+    fn already_know_excludes_without_penalty() {
+        let (w, mut p, mut s) = setup();
+        let item = w.catalog.ids().next().unwrap();
+        apply_opinion(&Opinion::AlreadyKnow, item, &w.catalog, &mut p, &mut s).unwrap();
+        assert!(s.known.contains(&item));
+        assert!(p.rules().is_empty(), "familiarity is not negative signal");
+    }
+
+    #[test]
+    fn no_more_like_this_penalizes_type() {
+        let (w, mut p, mut s) = setup();
+        let item = w.catalog.ids().next().unwrap();
+        apply_opinion(&Opinion::NoMoreLikeThis, item, &w.catalog, &mut p, &mut s).unwrap();
+        assert!(s.known.contains(&item));
+        assert!(matches!(p.rules()[0].effect, RuleEffect::Bias(d) if d < 0.0));
+    }
+
+    #[test]
+    fn surprise_me_saturates() {
+        let (w, mut p, mut s) = setup();
+        let item = w.catalog.ids().next().unwrap();
+        for _ in 0..10 {
+            apply_opinion(&Opinion::SurpriseMe, item, &w.catalog, &mut p, &mut s).unwrap();
+        }
+        assert_eq!(s.exploration, 1.0);
+        s.calm_down();
+        assert!((s.exploration - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aspect_feedback_targets_named_attribute() {
+        // "the user may want to say they like the sport, but not that the
+        // game took place at a distant location"
+        let (w, mut p, mut s) = setup();
+        let item = w.catalog.ids().next().unwrap();
+        apply_opinion(
+            &Opinion::Aspect {
+                attribute: "subtopic".to_owned(),
+                value: "football".to_owned(),
+                liked: true,
+            },
+            item,
+            &w.catalog,
+            &mut p,
+            &mut s,
+        )
+        .unwrap();
+        apply_opinion(
+            &Opinion::Aspect {
+                attribute: "local".to_owned(),
+                value: "no".to_owned(),
+                liked: false,
+            },
+            item,
+            &w.catalog,
+            &mut p,
+            &mut s,
+        )
+        .unwrap();
+        assert_eq!(p.rules().len(), 2);
+        assert_eq!(p.rules()[0].attribute, "subtopic");
+        assert!(matches!(p.rules()[1].effect, RuleEffect::Bias(d) if d < 0.0));
+    }
+}

@@ -1,0 +1,361 @@
+//! The scrutable user profile (survey Figure 1 and Sections 2.2 / 3.2).
+//!
+//! Czarkowski's SASY evaluation found users could appreciate that
+//! "adaptation in the system was based on their personal attributes
+//! stored in their profile; that their profile contained information they
+//! volunteered … and information that was inferred …; and that they could
+//! change their profile to control the personalization". This module is
+//! that loop: provenance-tagged facts plus *preference rules* that
+//! directly reshape recommendation lists — including the canonical
+//! "stop recommending Disney movies" block.
+
+use exrec_algo::Scored;
+use exrec_core::provenance::{ProfileFact, Source};
+use exrec_data::Catalog;
+use exrec_types::ItemId;
+
+/// What a preference rule does to matching items.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RuleEffect {
+    /// Remove matching items from recommendation lists entirely.
+    Block,
+    /// Add `delta` to matching items' scores (positive or negative).
+    Bias(f64),
+}
+
+/// A preference rule over a categorical attribute value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreferenceRule {
+    /// Attribute name (e.g. `"genre"`).
+    pub attribute: String,
+    /// Attribute value the rule matches (e.g. `"disney"`).
+    pub value: String,
+    /// Effect on matching items.
+    pub effect: RuleEffect,
+    /// Where the rule came from.
+    pub source: Source,
+}
+
+impl PreferenceRule {
+    fn matches(&self, catalog: &Catalog, item: ItemId) -> bool {
+        catalog
+            .get(item)
+            .map(|it| it.attrs.cat(&self.attribute) == Some(self.value.as_str()))
+            .unwrap_or(false)
+    }
+
+    /// Human-readable description.
+    pub fn describe(&self) -> String {
+        match self.effect {
+            RuleEffect::Block => {
+                format!("never recommend {} = \"{}\"", self.attribute, self.value)
+            }
+            RuleEffect::Bias(d) if d >= 0.0 => {
+                format!("prefer {} = \"{}\" (+{d:.1})", self.attribute, self.value)
+            }
+            RuleEffect::Bias(d) => {
+                format!("avoid {} = \"{}\" ({d:.1})", self.attribute, self.value)
+            }
+        }
+    }
+}
+
+/// A scrutable profile: provenance-tagged facts + actionable rules.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ScrutableProfile {
+    facts: Vec<ProfileFact>,
+    rules: Vec<PreferenceRule>,
+}
+
+impl ScrutableProfile {
+    /// An empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // ---- facts -----------------------------------------------------
+
+    /// All facts, in insertion order.
+    pub fn facts(&self) -> &[ProfileFact] {
+        &self.facts
+    }
+
+    /// Adds or replaces a fact by key.
+    pub fn set_fact(&mut self, fact: ProfileFact) {
+        match self.facts.iter_mut().find(|f| f.key == fact.key) {
+            Some(slot) => *slot = fact,
+            None => self.facts.push(fact),
+        }
+    }
+
+    /// Looks a fact up by key.
+    pub fn fact(&self, key: &str) -> Option<&ProfileFact> {
+        self.facts.iter().find(|f| f.key == key)
+    }
+
+    /// User correction: replaces the fact's value and marks it
+    /// volunteered (the scrutability loop of Section 2.2).
+    pub fn correct_fact(&mut self, key: &str, new_value: &str) -> bool {
+        match self.facts.iter_mut().find(|f| f.key == key) {
+            Some(f) => {
+                f.value = new_value.to_owned();
+                f.source = Source::Volunteered;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Deletes a fact. Returns whether it existed.
+    pub fn delete_fact(&mut self, key: &str) -> bool {
+        let before = self.facts.len();
+        self.facts.retain(|f| f.key != key);
+        self.facts.len() != before
+    }
+
+    /// Count of inferred (non-volunteered) facts — the "how much does the
+    /// system assume about me" number surfaced in scrutable UIs.
+    pub fn n_inferred(&self) -> usize {
+        self.facts
+            .iter()
+            .filter(|f| !f.source.is_user_stated())
+            .count()
+    }
+
+    // ---- rules -----------------------------------------------------
+
+    /// All rules.
+    pub fn rules(&self) -> &[PreferenceRule] {
+        &self.rules
+    }
+
+    /// Adds a rule (user-volunteered).
+    pub fn add_rule(&mut self, attribute: &str, value: &str, effect: RuleEffect) {
+        self.rules.push(PreferenceRule {
+            attribute: attribute.to_owned(),
+            value: value.to_owned(),
+            effect,
+            source: Source::Volunteered,
+        });
+    }
+
+    /// Adds a system-inferred rule with its observation.
+    pub fn infer_rule(&mut self, attribute: &str, value: &str, effect: RuleEffect, evidence: &str) {
+        self.rules.push(PreferenceRule {
+            attribute: attribute.to_owned(),
+            value: value.to_owned(),
+            effect,
+            source: Source::Inferred {
+                evidence: evidence.to_owned(),
+            },
+        });
+    }
+
+    /// Convenience: "stop recommending items whose `attribute` is
+    /// `value`" — the survey's Disney scenario.
+    pub fn block(&mut self, attribute: &str, value: &str) {
+        self.add_rule(attribute, value, RuleEffect::Block);
+    }
+
+    /// Removes every rule on `(attribute, value)`. Returns how many.
+    pub fn remove_rules(&mut self, attribute: &str, value: &str) -> usize {
+        let before = self.rules.len();
+        self.rules
+            .retain(|r| !(r.attribute == attribute && r.value == value));
+        before - self.rules.len()
+    }
+
+    /// Applies all rules to a ranked list: blocked items are dropped,
+    /// biased items re-scored and the list re-sorted.
+    pub fn apply(&self, catalog: &Catalog, mut ranked: Vec<Scored>) -> Vec<Scored> {
+        ranked.retain(|s| {
+            !self
+                .rules
+                .iter()
+                .any(|r| matches!(r.effect, RuleEffect::Block) && r.matches(catalog, s.item))
+        });
+        for s in &mut ranked {
+            for r in &self.rules {
+                if let RuleEffect::Bias(delta) = r.effect {
+                    if r.matches(catalog, s.item) {
+                        s.prediction.score += delta;
+                    }
+                }
+            }
+        }
+        ranked.sort_by(|a, b| {
+            b.prediction
+                .score
+                .partial_cmp(&a.prediction.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.item.cmp(&b.item))
+        });
+        ranked
+    }
+
+    /// Which rules fired for `item` — the "why was this filtered/boosted"
+    /// answer in scrutable UIs.
+    pub fn why(&self, catalog: &Catalog, item: ItemId) -> Vec<&PreferenceRule> {
+        self.rules
+            .iter()
+            .filter(|r| r.matches(catalog, item))
+            .collect()
+    }
+
+    /// The full scrutable rendering: every fact's sentence plus every
+    /// rule description.
+    pub fn render_scrutable(&self) -> String {
+        let mut out = String::new();
+        for f in &self.facts {
+            out.push_str(&f.scrutable_sentence());
+            out.push('\n');
+        }
+        for r in &self.rules {
+            out.push_str("Active rule: ");
+            out.push_str(&r.describe());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exrec_algo::{Recommender, Ctx};
+    use exrec_algo::baseline::Popularity;
+    use exrec_data::synth::{movies, WorldConfig};
+    use exrec_data::World;
+    use exrec_types::UserId;
+
+    fn world() -> World {
+        movies::generate(&WorldConfig {
+            n_users: 20,
+            n_items: 40,
+            density: 0.3,
+            ..WorldConfig::default()
+        })
+    }
+
+    #[test]
+    fn facts_lifecycle() {
+        let mut p = ScrutableProfile::new();
+        p.set_fact(ProfileFact::inferred(
+            "likes_genre",
+            "horror",
+            "you rated 4 horror movies highly",
+        ));
+        assert_eq!(p.n_inferred(), 1);
+        assert!(p.correct_fact("likes_genre", "comedy"));
+        assert_eq!(p.fact("likes_genre").unwrap().value, "comedy");
+        assert_eq!(p.n_inferred(), 0, "corrected facts become volunteered");
+        assert!(p.delete_fact("likes_genre"));
+        assert!(!p.delete_fact("likes_genre"));
+    }
+
+    #[test]
+    fn set_fact_replaces_by_key() {
+        let mut p = ScrutableProfile::new();
+        p.set_fact(ProfileFact::volunteered("home", "ABZ"));
+        p.set_fact(ProfileFact::volunteered("home", "EDI"));
+        assert_eq!(p.facts().len(), 1);
+        assert_eq!(p.fact("home").unwrap().value, "EDI");
+    }
+
+    #[test]
+    fn block_rule_removes_genre_from_recommendations() {
+        // The survey's "stop receiving recommendations of Disney movies".
+        let w = world();
+        let ctx = Ctx::new(&w.ratings, &w.catalog);
+        let user = w.ratings.users().next().unwrap();
+        let ranked = Popularity::default().recommend(&ctx, user, w.catalog.len());
+        let target_genre = w
+            .catalog
+            .get(ranked[0].item)
+            .unwrap()
+            .attrs
+            .cat("genre")
+            .unwrap()
+            .to_owned();
+
+        let mut profile = ScrutableProfile::new();
+        profile.block("genre", &target_genre);
+        let filtered = profile.apply(&w.catalog, ranked.clone());
+        assert!(filtered.len() < ranked.len());
+        for s in &filtered {
+            assert_ne!(
+                w.catalog.get(s.item).unwrap().attrs.cat("genre"),
+                Some(target_genre.as_str())
+            );
+        }
+    }
+
+    #[test]
+    fn bias_rule_reorders() {
+        let w = world();
+        let ctx = Ctx::new(&w.ratings, &w.catalog);
+        let user = UserId::new(0);
+        let ranked = Popularity::default().recommend(&ctx, user, 10);
+        let last_genre = w
+            .catalog
+            .get(ranked.last().unwrap().item)
+            .unwrap()
+            .attrs
+            .cat("genre")
+            .unwrap()
+            .to_owned();
+        let mut profile = ScrutableProfile::new();
+        profile.add_rule("genre", &last_genre, RuleEffect::Bias(10.0));
+        let boosted = profile.apply(&w.catalog, ranked);
+        assert_eq!(
+            w.catalog
+                .get(boosted[0].item)
+                .unwrap()
+                .attrs
+                .cat("genre"),
+            Some(last_genre.as_str()),
+            "boosted genre should rise to the top"
+        );
+        // Output stays sorted.
+        assert!(boosted
+            .windows(2)
+            .all(|p| p[0].prediction.score >= p[1].prediction.score));
+    }
+
+    #[test]
+    fn why_reports_firing_rules() {
+        let w = world();
+        let item = w.catalog.ids().next().unwrap();
+        let genre = w.catalog.get(item).unwrap().attrs.cat("genre").unwrap().to_owned();
+        let mut profile = ScrutableProfile::new();
+        profile.block("genre", &genre);
+        profile.add_rule("genre", "nonexistent", RuleEffect::Block);
+        let fired = profile.why(&w.catalog, item);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].value, genre);
+    }
+
+    #[test]
+    fn remove_rules_unblocks() {
+        let mut p = ScrutableProfile::new();
+        p.block("genre", "disney");
+        p.block("genre", "horror");
+        assert_eq!(p.remove_rules("genre", "disney"), 1);
+        assert_eq!(p.rules().len(), 1);
+    }
+
+    #[test]
+    fn scrutable_rendering_mentions_everything() {
+        let mut p = ScrutableProfile::new();
+        p.set_fact(ProfileFact::volunteered("age_group", "25-34"));
+        p.infer_rule(
+            "genre",
+            "documentary",
+            RuleEffect::Bias(-1.0),
+            "you skipped 6 documentaries",
+        );
+        let text = p.render_scrutable();
+        assert!(text.contains("You told us"));
+        assert!(text.contains("avoid genre = \"documentary\""));
+    }
+}

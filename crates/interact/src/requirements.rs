@@ -1,0 +1,280 @@
+//! Requirement elicitation via slot-filling dialog (survey Section 5.1).
+//!
+//! "By allowing a user to directly specify their requirements it is
+//! possible to circumvent the type of faulty assumptions that can be made
+//! by a system where the interests of a user are based on the items they
+//! decide to see." The dialog manager walks a list of slots (attributes),
+//! asks for each, accepts answers or "I'm not sure" (which moves on to a
+//! fallback slot), and yields a [`Maut`] requirement set — the shape of
+//! the survey's thriller / Bruce Willis conversation.
+
+use exrec_algo::knowledge::{Constraint, Maut, Requirement};
+use exrec_types::Result;
+
+/// One slot the dialog can fill.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Slot {
+    /// Attribute the slot fills.
+    pub attribute: String,
+    /// The question asked.
+    pub prompt: String,
+    /// Weight of the resulting requirement.
+    pub weight: f64,
+    /// Whether a filled value becomes a hard constraint.
+    pub hard: bool,
+}
+
+impl Slot {
+    /// A categorical slot with prompt.
+    pub fn new(attribute: &str, prompt: &str) -> Self {
+        Self {
+            attribute: attribute.to_owned(),
+            prompt: prompt.to_owned(),
+            weight: 1.0,
+            hard: false,
+        }
+    }
+
+    /// Makes the slot's requirement hard (builder style).
+    pub fn hard(mut self) -> Self {
+        self.hard = true;
+        self
+    }
+
+    /// Sets the weight (builder style).
+    pub fn with_weight(mut self, weight: f64) -> Self {
+        self.weight = weight;
+        self
+    }
+}
+
+/// A user's answer to a slot prompt.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SlotAnswer {
+    /// A categorical value ("thriller", "Bruce Willis").
+    Value(String),
+    /// A numeric bound ("at most 500").
+    AtMost(f64),
+    /// A numeric floor ("at least 8").
+    AtLeast(f64),
+    /// "Uhm, I'm not sure" — skip to the next slot.
+    Unsure,
+}
+
+/// One exchange of the dialog transcript.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DialogTurn {
+    /// Who spoke.
+    pub speaker: Speaker,
+    /// What was said.
+    pub utterance: String,
+}
+
+/// Dialog participants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Speaker {
+    /// The recommender system.
+    System,
+    /// The user.
+    User,
+}
+
+/// A slot-filling dialog in progress.
+#[derive(Debug, Clone)]
+pub struct DialogManager {
+    slots: Vec<Slot>,
+    cursor: usize,
+    requirements: Vec<Requirement>,
+    transcript: Vec<DialogTurn>,
+}
+
+impl DialogManager {
+    /// Starts a dialog over `slots`.
+    pub fn new(slots: Vec<Slot>) -> Self {
+        Self {
+            slots,
+            cursor: 0,
+            requirements: Vec::new(),
+            transcript: Vec::new(),
+        }
+    }
+
+    /// The next prompt, or `None` when all slots are exhausted.
+    pub fn prompt(&mut self) -> Option<String> {
+        let slot = self.slots.get(self.cursor)?;
+        let prompt = slot.prompt.clone();
+        self.transcript.push(DialogTurn {
+            speaker: Speaker::System,
+            utterance: prompt.clone(),
+        });
+        Some(prompt)
+    }
+
+    /// Answers the current slot, advancing the dialog.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`exrec_types::Error::InvalidSessionAction`] when no slot
+    /// is pending.
+    pub fn answer(&mut self, answer: SlotAnswer) -> Result<()> {
+        let slot = self
+            .slots
+            .get(self.cursor)
+            .ok_or(exrec_types::Error::InvalidSessionAction {
+                detail: "dialog already complete".to_owned(),
+            })?
+            .clone();
+        let text = match &answer {
+            SlotAnswer::Value(v) => v.clone(),
+            SlotAnswer::AtMost(n) => format!("at most {n}"),
+            SlotAnswer::AtLeast(n) => format!("at least {n}"),
+            SlotAnswer::Unsure => "Uhm, I'm not sure".to_owned(),
+        };
+        self.transcript.push(DialogTurn {
+            speaker: Speaker::User,
+            utterance: text,
+        });
+        match answer {
+            SlotAnswer::Unsure => {}
+            SlotAnswer::Value(v) => {
+                let req = Requirement {
+                    attribute: slot.attribute.clone(),
+                    constraint: Constraint::Equals(v),
+                    weight: slot.weight,
+                    hard: slot.hard,
+                };
+                self.requirements.push(req);
+            }
+            SlotAnswer::AtMost(n) => {
+                self.requirements.push(Requirement {
+                    attribute: slot.attribute.clone(),
+                    constraint: Constraint::AtMost(n),
+                    weight: slot.weight,
+                    hard: slot.hard,
+                });
+            }
+            SlotAnswer::AtLeast(n) => {
+                self.requirements.push(Requirement {
+                    attribute: slot.attribute.clone(),
+                    constraint: Constraint::AtLeast(n),
+                    weight: slot.weight,
+                    hard: slot.hard,
+                });
+            }
+        }
+        self.cursor += 1;
+        Ok(())
+    }
+
+    /// Whether every slot has been visited.
+    pub fn is_complete(&self) -> bool {
+        self.cursor >= self.slots.len()
+    }
+
+    /// Number of slots answered with a real value (not "unsure").
+    pub fn n_filled(&self) -> usize {
+        self.requirements.len()
+    }
+
+    /// The dialog transcript so far.
+    pub fn transcript(&self) -> &[DialogTurn] {
+        &self.transcript
+    }
+
+    /// Finishes the dialog, producing the requirement set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Maut::new`] validation.
+    pub fn finish(self) -> Result<Maut> {
+        Maut::new(self.requirements)
+    }
+
+    /// Renders the transcript like the survey's example dialog.
+    pub fn render_transcript(&self) -> String {
+        self.transcript
+            .iter()
+            .map(|t| match t.speaker {
+                Speaker::System => format!("System: {}", t.utterance),
+                Speaker::User => format!("User: {}", t.utterance),
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn movie_slots() -> Vec<Slot> {
+        vec![
+            Slot::new("genre", "What kind of movie do you feel like watching?"),
+            Slot::new(
+                "favourite_title",
+                "Can you tell me one of your favorite thriller movies?",
+            ),
+            Slot::new("lead", "Okay. Can you tell me one of your favorite actors or actresses?"),
+        ]
+    }
+
+    #[test]
+    fn survey_dialog_shape() {
+        // Mirrors the thriller / Bruce Willis exchange of Section 5.1.
+        let mut d = DialogManager::new(movie_slots());
+        assert!(d.prompt().is_some());
+        d.answer(SlotAnswer::Value("thriller".into())).unwrap();
+        assert!(d.prompt().is_some());
+        d.answer(SlotAnswer::Unsure).unwrap();
+        assert!(d.prompt().is_some());
+        d.answer(SlotAnswer::Value("Bruce Willis".into())).unwrap();
+        assert!(d.is_complete());
+        assert_eq!(d.n_filled(), 2, "unsure slot skipped");
+        let transcript = d.render_transcript();
+        assert!(transcript.contains("User: Uhm, I'm not sure"));
+        assert!(transcript.contains("User: Bruce Willis"));
+        let maut = d.finish().unwrap();
+        assert_eq!(maut.requirements().len(), 2);
+    }
+
+    #[test]
+    fn numeric_answers_become_bounds() {
+        let mut d = DialogManager::new(vec![
+            Slot::new("price", "What is your budget?").hard(),
+            Slot::new("resolution", "Minimum resolution?"),
+        ]);
+        d.prompt();
+        d.answer(SlotAnswer::AtMost(500.0)).unwrap();
+        d.prompt();
+        d.answer(SlotAnswer::AtLeast(8.0)).unwrap();
+        let maut = d.finish().unwrap();
+        assert!(maut.requirements()[0].hard);
+        assert!(matches!(
+            maut.requirements()[0].constraint,
+            Constraint::AtMost(v) if v == 500.0
+        ));
+        assert!(matches!(
+            maut.requirements()[1].constraint,
+            Constraint::AtLeast(v) if v == 8.0
+        ));
+    }
+
+    #[test]
+    fn answering_past_the_end_errors() {
+        let mut d = DialogManager::new(vec![Slot::new("a", "?")]);
+        d.prompt();
+        d.answer(SlotAnswer::Unsure).unwrap();
+        assert!(d.prompt().is_none());
+        assert!(d.answer(SlotAnswer::Unsure).is_err());
+    }
+
+    #[test]
+    fn transcript_alternates_speakers() {
+        let mut d = DialogManager::new(movie_slots());
+        d.prompt();
+        d.answer(SlotAnswer::Value("comedy".into())).unwrap();
+        let t = d.transcript();
+        assert_eq!(t[0].speaker, Speaker::System);
+        assert_eq!(t[1].speaker, Speaker::User);
+    }
+}

@@ -1,0 +1,365 @@
+//! The recommendation session engine.
+//!
+//! A [`RecommendationSession`] threads everything Section 5 of the survey
+//! describes into one stateful loop: recommendations filtered by the
+//! scrutable profile, rating and re-rating feedback, opinion feedback,
+//! "why?" queries that produce explanations, and an exploration dial fed
+//! by "Surprise me!". Every action advances simulated time and an
+//! interaction counter — the raw measurements of the efficiency and
+//! loyalty studies (Sections 3.3 and 3.6).
+
+use crate::opinions::{apply_opinion, Opinion, OpinionState};
+use crate::profile::ScrutableProfile;
+use exrec_algo::{Ctx, Recommender, Scored};
+use exrec_core::engine::Explainer;
+use exrec_core::explanation::Explanation;
+use exrec_core::interfaces::InterfaceId;
+use exrec_data::{Catalog, RatingsMatrix};
+use exrec_types::{ItemId, Prediction, Result, SimTime, UserId};
+
+/// Session style: the survey contrasts single-shot systems, "where each
+/// user interaction is treated independently of previous history", with
+/// conversational ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionStyle {
+    /// Feedback is accepted but does not persist across `recommend` calls.
+    SingleShot,
+    /// Feedback accumulates (the default).
+    Conversational,
+}
+
+/// A stateful recommendation session for one user.
+pub struct RecommendationSession<'a, R: Recommender> {
+    ratings: &'a mut RatingsMatrix,
+    catalog: &'a Catalog,
+    recommender: &'a R,
+    user: UserId,
+    style: SessionStyle,
+    /// The scrutable profile (public: scrutiny tools edit it directly).
+    pub profile: ScrutableProfile,
+    /// Opinion-derived state (public for the same reason).
+    pub opinions: OpinionState,
+    interface: InterfaceId,
+    time: SimTime,
+    interactions: usize,
+}
+
+impl<'a, R: Recommender> RecommendationSession<'a, R> {
+    /// Opens a session.
+    pub fn new(
+        ratings: &'a mut RatingsMatrix,
+        catalog: &'a Catalog,
+        recommender: &'a R,
+        user: UserId,
+        style: SessionStyle,
+        interface: InterfaceId,
+    ) -> Self {
+        Self {
+            ratings,
+            catalog,
+            recommender,
+            user,
+            style,
+            profile: ScrutableProfile::new(),
+            opinions: OpinionState::default(),
+            interface,
+            time: SimTime::ZERO,
+            interactions: 0,
+        }
+    }
+
+    /// The session user.
+    pub fn user(&self) -> UserId {
+        self.user
+    }
+
+    /// Elapsed simulated time.
+    pub fn elapsed(&self) -> SimTime {
+        self.time
+    }
+
+    /// Number of explicit interactions so far.
+    pub fn interactions(&self) -> usize {
+        self.interactions
+    }
+
+    /// The active explanation interface.
+    pub fn interface(&self) -> InterfaceId {
+        self.interface
+    }
+
+    fn tick(&mut self, cost: u64) {
+        self.time += cost;
+        self.interactions += 1;
+    }
+
+    /// Current recommendations: ranked by the recommender, reshaped by
+    /// the profile rules, minus known items, with the exploration dial
+    /// mixing in long-tail items deterministically.
+    pub fn recommend(&self, n: usize) -> Vec<Scored> {
+        let ctx = Ctx::new(self.ratings, self.catalog);
+        let mut ranked = self.recommender.recommend(&ctx, self.user, usize::MAX);
+        if self.style == SessionStyle::Conversational {
+            ranked = self.profile.apply(self.catalog, ranked);
+            ranked.retain(|s| !self.opinions.known.contains(&s.item));
+        }
+        if self.opinions.exploration > 0.0 && ranked.len() > n {
+            // Deterministically swap the tail of the top-n with long-tail
+            // picks, proportional to the dial.
+            let n_explore = ((n as f64) * self.opinions.exploration * 0.5).round() as usize;
+            let n_keep = n.saturating_sub(n_explore);
+            let mut out: Vec<Scored> = ranked.iter().take(n_keep).copied().collect();
+            let tail: Vec<Scored> = ranked.iter().skip(n * 2).copied().collect();
+            for k in 0..n_explore {
+                // Stable stride through the tail.
+                if let Some(pick) = tail.get((k * 7 + 3) % tail.len().max(1)) {
+                    if !out.iter().any(|s| s.item == pick.item) {
+                        out.push(*pick);
+                    }
+                }
+            }
+            out.truncate(n);
+            return out;
+        }
+        ranked.truncate(n);
+        ranked
+    }
+
+    /// Rates (or re-rates) an item; the next `recommend` call observes it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates matrix errors (unknown ids, off-scale values).
+    pub fn rate(&mut self, item: ItemId, value: f64) -> Result<Option<f64>> {
+        self.tick(2);
+        self.ratings.rate(self.user, item, value)
+    }
+
+    /// Removes the user's rating of an item.
+    ///
+    /// # Errors
+    ///
+    /// Propagates matrix errors.
+    pub fn unrate(&mut self, item: ItemId) -> Result<Option<f64>> {
+        self.tick(2);
+        self.ratings.unrate(self.user, item)
+    }
+
+    /// Expresses an opinion about an item (Section 5.4).
+    ///
+    /// # Errors
+    ///
+    /// Propagates catalog lookups.
+    pub fn opine(&mut self, item: ItemId, opinion: Opinion) -> Result<()> {
+        self.tick(1);
+        if self.style == SessionStyle::SingleShot {
+            // Accepted but forgotten: single-shot systems treat each
+            // interaction independently.
+            let mut scratch_profile = self.profile.clone();
+            let mut scratch_state = self.opinions.clone();
+            return apply_opinion(
+                &opinion,
+                item,
+                self.catalog,
+                &mut scratch_profile,
+                &mut scratch_state,
+            );
+        }
+        apply_opinion(
+            &opinion,
+            item,
+            self.catalog,
+            &mut self.profile,
+            &mut self.opinions,
+        )
+    }
+
+    /// "Why was this recommended?" — produces the prediction and the
+    /// explanation under the session's interface, charging the
+    /// explanation's reading cost to the session clock.
+    ///
+    /// # Errors
+    ///
+    /// Propagates prediction/evidence/generation errors.
+    pub fn why(&mut self, item: ItemId) -> Result<(Prediction, Explanation)> {
+        let (prediction, explanation) = {
+            let ctx = Ctx::new(self.ratings, self.catalog);
+            let explainer = Explainer::new(self.recommender, self.interface);
+            explainer.explain(&ctx, self.user, item)?
+        };
+        self.tick(explanation.reading_cost());
+        Ok((prediction, explanation))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exrec_algo::baseline::Popularity;
+    use exrec_data::synth::{movies, WorldConfig};
+    use exrec_data::World;
+
+    fn world() -> World {
+        movies::generate(&WorldConfig {
+            n_users: 20,
+            n_items: 40,
+            density: 0.3,
+            ..WorldConfig::default()
+        })
+    }
+
+    #[test]
+    fn rating_feedback_affects_recommendations() {
+        let mut w = world();
+        let rec = Popularity::default();
+        let user = UserId::new(0);
+        let mut session = RecommendationSession::new(
+            &mut w.ratings,
+            &w.catalog,
+            &rec,
+            user,
+            SessionStyle::Conversational,
+            InterfaceId::MovieAverage,
+        );
+        let before = session.recommend(5);
+        let top = before[0].item;
+        session.rate(top, 1.0).unwrap();
+        let after = session.recommend(5);
+        assert!(
+            !after.iter().any(|s| s.item == top),
+            "rated items leave the recommendation list"
+        );
+    }
+
+    #[test]
+    fn scrutability_loop_blocks_genre() {
+        let mut w = world();
+        let rec = Popularity::default();
+        let mut session = RecommendationSession::new(
+            &mut w.ratings,
+            &w.catalog,
+            &rec,
+            UserId::new(1),
+            SessionStyle::Conversational,
+            InterfaceId::MovieAverage,
+        );
+        let before = session.recommend(5);
+        let genre = w
+            .catalog
+            .get(before[0].item)
+            .unwrap()
+            .attrs
+            .cat("genre")
+            .unwrap()
+            .to_owned();
+        session.profile.block("genre", &genre);
+        for s in session.recommend(5) {
+            assert_ne!(
+                w.catalog.get(s.item).unwrap().attrs.cat("genre"),
+                Some(genre.as_str())
+            );
+        }
+    }
+
+    #[test]
+    fn single_shot_forgets_opinions() {
+        let mut w = world();
+        let rec = Popularity::default();
+        let mut session = RecommendationSession::new(
+            &mut w.ratings,
+            &w.catalog,
+            &rec,
+            UserId::new(2),
+            SessionStyle::SingleShot,
+            InterfaceId::MovieAverage,
+        );
+        let before = session.recommend(5);
+        session
+            .opine(before[0].item, Opinion::NoMoreLikeThis)
+            .unwrap();
+        let after = session.recommend(5);
+        assert_eq!(before, after, "single-shot sessions ignore history");
+        assert!(session.profile.rules().is_empty());
+    }
+
+    #[test]
+    fn conversational_remembers_opinions() {
+        let mut w = world();
+        let rec = Popularity::default();
+        let mut session = RecommendationSession::new(
+            &mut w.ratings,
+            &w.catalog,
+            &rec,
+            UserId::new(2),
+            SessionStyle::Conversational,
+            InterfaceId::MovieAverage,
+        );
+        let before = session.recommend(5);
+        session.opine(before[0].item, Opinion::AlreadyKnow).unwrap();
+        let after = session.recommend(5);
+        assert!(!after.iter().any(|s| s.item == before[0].item));
+    }
+
+    #[test]
+    fn why_charges_reading_time() {
+        let mut w = world();
+        let rec = Popularity::default();
+        let mut session = RecommendationSession::new(
+            &mut w.ratings,
+            &w.catalog,
+            &rec,
+            UserId::new(3),
+            SessionStyle::Conversational,
+            InterfaceId::DetailedProcess,
+        );
+        let recs = session.recommend(1);
+        let t0 = session.elapsed();
+        let (_, explanation) = session.why(recs[0].item).unwrap();
+        assert_eq!(
+            session.elapsed() - t0,
+            explanation.reading_cost(),
+            "why() charges exactly the reading cost"
+        );
+        assert!(explanation.reading_cost() > 0);
+    }
+
+    #[test]
+    fn surprise_me_diversifies() {
+        let mut w = world();
+        let rec = Popularity::default();
+        let mut session = RecommendationSession::new(
+            &mut w.ratings,
+            &w.catalog,
+            &rec,
+            UserId::new(4),
+            SessionStyle::Conversational,
+            InterfaceId::MovieAverage,
+        );
+        let plain = session.recommend(6);
+        let anchor = plain[0].item;
+        for _ in 0..4 {
+            session.opine(anchor, Opinion::SurpriseMe).unwrap();
+        }
+        let surprising = session.recommend(6);
+        assert_ne!(plain, surprising, "exploration must change the list");
+    }
+
+    #[test]
+    fn interaction_counter_tracks_actions() {
+        let mut w = world();
+        let rec = Popularity::default();
+        let mut session = RecommendationSession::new(
+            &mut w.ratings,
+            &w.catalog,
+            &rec,
+            UserId::new(5),
+            SessionStyle::Conversational,
+            InterfaceId::MovieAverage,
+        );
+        let recs = session.recommend(2);
+        session.rate(recs[0].item, 4.0).unwrap();
+        session.opine(recs[1].item, Opinion::MoreLater).unwrap();
+        assert_eq!(session.interactions(), 2);
+        assert!(session.elapsed().ticks() >= 3);
+    }
+}

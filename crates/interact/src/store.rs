@@ -1,0 +1,193 @@
+//! Concurrent session store with loyalty accounting (survey Section 3.3).
+//!
+//! "Loyalty was measured in terms of the number of logins and
+//! interactions with the system" (McNee et al.). The store owns shared
+//! mutable state — ratings, per-user profiles, login and interaction
+//! tallies — behind a `parking_lot` mutex so concurrent simulated users
+//! (the trust study fans out across threads) can hit it safely.
+
+use crate::profile::ScrutableProfile;
+use exrec_data::{Catalog, RatingsMatrix};
+use exrec_types::{ItemId, Result, UserId};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Per-user loyalty tallies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Loyalty {
+    /// Number of logins (sessions opened).
+    pub logins: u32,
+    /// Number of explicit interactions across sessions.
+    pub interactions: u32,
+    /// Number of items consumed ("sales" in Section 3.3's indirect
+    /// trust measure).
+    pub consumed: u32,
+}
+
+#[derive(Debug)]
+struct StoreState {
+    ratings: RatingsMatrix,
+    profiles: HashMap<UserId, ScrutableProfile>,
+    loyalty: HashMap<UserId, Loyalty>,
+}
+
+/// A thread-safe store of everything that persists across sessions.
+#[derive(Debug)]
+pub struct SessionStore {
+    catalog: Catalog,
+    state: Mutex<StoreState>,
+}
+
+impl SessionStore {
+    /// Builds a store from a ratings matrix and catalog.
+    pub fn new(ratings: RatingsMatrix, catalog: Catalog) -> Self {
+        Self {
+            catalog,
+            state: Mutex::new(StoreState {
+                ratings,
+                profiles: HashMap::new(),
+                loyalty: HashMap::new(),
+            }),
+        }
+    }
+
+    /// The shared catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Records a login and returns the user's current profile snapshot.
+    pub fn login(&self, user: UserId) -> ScrutableProfile {
+        let mut state = self.state.lock();
+        state.loyalty.entry(user).or_default().logins += 1;
+        state.profiles.entry(user).or_default().clone()
+    }
+
+    /// Records `n` interactions for a user.
+    pub fn record_interactions(&self, user: UserId, n: u32) {
+        let mut state = self.state.lock();
+        state.loyalty.entry(user).or_default().interactions += n;
+    }
+
+    /// Records a consumption ("sale").
+    pub fn record_consumption(&self, user: UserId) {
+        let mut state = self.state.lock();
+        state.loyalty.entry(user).or_default().consumed += 1;
+    }
+
+    /// Persists a profile back at session end.
+    pub fn save_profile(&self, user: UserId, profile: ScrutableProfile) {
+        self.state.lock().profiles.insert(user, profile);
+    }
+
+    /// Applies a rating against the shared matrix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates matrix errors.
+    pub fn rate(&self, user: UserId, item: ItemId, value: f64) -> Result<Option<f64>> {
+        self.state.lock().ratings.rate(user, item, value)
+    }
+
+    /// Snapshot of the shared ratings matrix.
+    pub fn ratings_snapshot(&self) -> RatingsMatrix {
+        self.state.lock().ratings.clone()
+    }
+
+    /// A user's loyalty tallies.
+    pub fn loyalty(&self, user: UserId) -> Loyalty {
+        self.state
+            .lock()
+            .loyalty
+            .get(&user)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Total consumption across all users (the "increase in sales"
+    /// aggregate of Sections 3.3 / 3.4).
+    pub fn total_consumed(&self) -> u32 {
+        self.state.lock().loyalty.values().map(|l| l.consumed).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exrec_data::synth::{movies, WorldConfig};
+    use std::sync::Arc;
+
+    fn store() -> SessionStore {
+        let w = movies::generate(&WorldConfig {
+            n_users: 10,
+            n_items: 20,
+            density: 0.2,
+            ..WorldConfig::default()
+        });
+        SessionStore::new(w.ratings, w.catalog)
+    }
+
+    #[test]
+    fn logins_and_interactions_accumulate() {
+        let s = store();
+        let u = UserId::new(0);
+        s.login(u);
+        s.login(u);
+        s.record_interactions(u, 5);
+        s.record_consumption(u);
+        let l = s.loyalty(u);
+        assert_eq!(l.logins, 2);
+        assert_eq!(l.interactions, 5);
+        assert_eq!(l.consumed, 1);
+        assert_eq!(s.loyalty(UserId::new(9)), Loyalty::default());
+    }
+
+    #[test]
+    fn profiles_persist_across_logins() {
+        let s = store();
+        let u = UserId::new(1);
+        let mut p = s.login(u);
+        p.block("genre", "horror");
+        s.save_profile(u, p);
+        let p2 = s.login(u);
+        assert_eq!(p2.rules().len(), 1);
+    }
+
+    #[test]
+    fn ratings_visible_across_sessions() {
+        let s = store();
+        let u = UserId::new(2);
+        s.rate(u, ItemId::new(3), 5.0).unwrap();
+        assert_eq!(s.ratings_snapshot().rating(u, ItemId::new(3)), Some(5.0));
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let s = Arc::new(store());
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                let u = UserId::new(t % 3);
+                for _ in 0..50 {
+                    s.login(u);
+                    s.record_interactions(u, 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total: u32 = (0..3).map(|k| s.loyalty(UserId::new(k)).logins).sum();
+        assert_eq!(total, 200);
+    }
+
+    #[test]
+    fn total_consumed_aggregates() {
+        let s = store();
+        for k in 0..3u32 {
+            s.record_consumption(UserId::new(k));
+        }
+        assert_eq!(s.total_consumed(), 3);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests for the interaction layer.
+
+use exrec_algo::Scored;
+use exrec_data::synth::{movies, WorldConfig};
+use exrec_interact::profile::{RuleEffect, ScrutableProfile};
+use exrec_types::{Confidence, ItemId, Prediction};
+use proptest::prelude::*;
+
+fn world() -> exrec_data::World {
+    movies::generate(&WorldConfig {
+        n_users: 10,
+        n_items: 30,
+        density: 0.2,
+        seed: 0x1AB,
+        ..WorldConfig::default()
+    })
+}
+
+fn ranked(n: u32) -> Vec<Scored> {
+    (0..n)
+        .map(|k| Scored {
+            item: ItemId(k),
+            prediction: Prediction::new(5.0 - k as f64 * 0.1, Confidence::new(0.5)),
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn profile_apply_output_is_sorted_and_subset(
+        blocks in prop::collection::vec(0usize..8, 0..4),
+        biases in prop::collection::vec((0usize..8, -3.0f64..3.0), 0..4),
+    ) {
+        let w = world();
+        let genres: Vec<String> = w.catalog.category_values("genre");
+        let mut profile = ScrutableProfile::new();
+        for &g in &blocks {
+            profile.block("genre", &genres[g % genres.len()]);
+        }
+        for &(g, d) in &biases {
+            profile.add_rule("genre", &genres[g % genres.len()], RuleEffect::Bias(d));
+        }
+        let input = ranked(30);
+        let out = profile.apply(&w.catalog, input.clone());
+        // Sorted descending.
+        prop_assert!(out.windows(2).all(|p| p[0].prediction.score >= p[1].prediction.score));
+        // Subset of input items.
+        let input_ids: std::collections::HashSet<ItemId> =
+            input.iter().map(|s| s.item).collect();
+        for s in &out {
+            prop_assert!(input_ids.contains(&s.item));
+        }
+        // Blocked genres absent.
+        for &g in &blocks {
+            let genre = &genres[g % genres.len()];
+            for s in &out {
+                prop_assert_ne!(
+                    w.catalog.get(s.item).unwrap().attrs.cat("genre"),
+                    Some(genre.as_str())
+                );
+            }
+        }
+        // Idempotent-ish: applying again never grows the list.
+        let again = profile.apply(&w.catalog, out.clone());
+        prop_assert_eq!(again.len(), out.len());
+    }
+
+    #[test]
+    fn fact_correction_always_wins(
+        key in "[a-z]{1,6}",
+        v1 in "[a-z]{1,6}",
+        v2 in "[a-z]{1,6}",
+    ) {
+        use exrec_core::provenance::ProfileFact;
+        let mut p = ScrutableProfile::new();
+        p.set_fact(ProfileFact::inferred(&key, &v1, "watched"));
+        p.correct_fact(&key, &v2);
+        let f = p.fact(&key).unwrap();
+        prop_assert_eq!(&f.value, &v2);
+        prop_assert!(f.source.is_user_stated());
+        prop_assert_eq!(p.n_inferred(), 0);
+    }
+
+    #[test]
+    fn rules_removal_is_complete(pairs in prop::collection::vec(("[ab]", "[xy]"), 0..10)) {
+        let mut p = ScrutableProfile::new();
+        for (a, v) in &pairs {
+            p.block(a, v);
+        }
+        for (a, v) in &pairs {
+            p.remove_rules(a, v);
+        }
+        prop_assert!(p.rules().is_empty());
+    }
+
+    #[test]
+    fn dialog_fills_at_most_slot_count(answers in prop::collection::vec(any::<bool>(), 1..6)) {
+        use exrec_interact::requirements::{DialogManager, Slot, SlotAnswer};
+        let slots: Vec<Slot> = (0..answers.len())
+            .map(|k| Slot::new(&format!("a{k}"), "?"))
+            .collect();
+        let n = slots.len();
+        let mut d = DialogManager::new(slots);
+        for &yes in &answers {
+            d.prompt();
+            let answer = if yes {
+                SlotAnswer::Value("v".to_owned())
+            } else {
+                SlotAnswer::Unsure
+            };
+            d.answer(answer).unwrap();
+        }
+        prop_assert!(d.is_complete());
+        let filled = answers.iter().filter(|&&b| b).count();
+        prop_assert_eq!(d.n_filled(), filled);
+        prop_assert!(d.n_filled() <= n);
+        // Transcript has exactly 2 turns per slot.
+        prop_assert_eq!(d.transcript().len(), n * 2);
+    }
+}

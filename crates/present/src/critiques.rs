@@ -1,0 +1,400 @@
+//! Unit and compound critiques (survey Sections 4.5 and 5.2).
+//!
+//! A *unit critique* is a single-attribute difference between a candidate
+//! and the current recommendation ("Cheaper"). *Dynamic compound
+//! critiques* (McCarthy et al.; Reilly et al.) are frequently co-occurring
+//! difference patterns mined from the remaining candidates — the survey's
+//! example: **"Less Memory and Lower Resolution and Cheaper"**. Their
+//! titles double as category headers in the structured overview
+//! (Section 4.5) and as one-click feedback actions (Section 5.2).
+
+use exrec_algo::assoc::apriori;
+use exrec_data::Catalog;
+use exrec_types::{Direction, DomainSchema, Item, ItemId, Result};
+use std::collections::HashMap;
+
+/// Fraction of an attribute's catalog range that counts as "noticeably
+/// different".
+const EPSILON_FRAC: f64 = 0.05;
+
+/// The direction of a unit critique on a numeric attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CritiqueDirection {
+    /// The candidate has noticeably less of the attribute.
+    Less,
+    /// The candidate has noticeably more of the attribute.
+    More,
+}
+
+/// A single-attribute critique relative to a reference item.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct UnitCritique {
+    /// The numeric attribute name.
+    pub attribute: String,
+    /// Direction of difference.
+    pub direction: CritiqueDirection,
+}
+
+impl UnitCritique {
+    /// Builds a unit critique.
+    pub fn new(attribute: &str, direction: CritiqueDirection) -> Self {
+        Self {
+            attribute: attribute.to_owned(),
+            direction,
+        }
+    }
+
+    /// The display phrase, using the schema's comparative adjectives
+    /// ("Cheaper", "Less Memory", "Higher Resolution").
+    pub fn phrase(&self, schema: &DomainSchema) -> String {
+        match schema.attribute(&self.attribute) {
+            Some(def) => match self.direction {
+                CritiqueDirection::Less => def.less_word(),
+                CritiqueDirection::More => def.more_word(),
+            },
+            None => format!(
+                "{} {}",
+                match self.direction {
+                    CritiqueDirection::Less => "less",
+                    CritiqueDirection::More => "more",
+                },
+                self.attribute
+            ),
+        }
+    }
+
+    /// Whether moving in this direction is an improvement, a sacrifice,
+    /// or neutral under the schema's preference direction.
+    pub fn is_improvement(&self, schema: &DomainSchema) -> Option<bool> {
+        let def = schema.attribute(&self.attribute)?;
+        match (def.direction, self.direction) {
+            (Direction::LowerIsBetter, CritiqueDirection::Less)
+            | (Direction::HigherIsBetter, CritiqueDirection::More) => Some(true),
+            (Direction::LowerIsBetter, CritiqueDirection::More)
+            | (Direction::HigherIsBetter, CritiqueDirection::Less) => Some(false),
+            (Direction::Neutral, _) => None,
+        }
+    }
+
+    /// Whether `candidate` differs from `reference` in this critique's
+    /// direction by more than epsilon of the attribute's `range`.
+    pub fn matches(&self, candidate: &Item, reference: &Item, range: (f64, f64)) -> bool {
+        let (Some(c), Some(r)) = (
+            candidate.attrs.num(&self.attribute),
+            reference.attrs.num(&self.attribute),
+        ) else {
+            return false;
+        };
+        let eps = (range.1 - range.0).abs() * EPSILON_FRAC;
+        match self.direction {
+            CritiqueDirection::Less => c < r - eps,
+            CritiqueDirection::More => c > r + eps,
+        }
+    }
+}
+
+/// A mined compound critique: a set of unit critiques that frequently
+/// co-occur among the remaining candidates, with its support.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompoundCritique {
+    /// The constituent unit critiques, in schema attribute order.
+    pub parts: Vec<UnitCritique>,
+    /// Fraction of candidates exhibiting the full pattern.
+    pub support: f64,
+}
+
+impl CompoundCritique {
+    /// The category title in the survey's style: improvements joined by
+    /// "and", sacrifices after "but" — e.g.
+    /// `"Cheaper and Lighter, but Lower Resolution"`.
+    pub fn title(&self, schema: &DomainSchema) -> String {
+        let mut ups: Vec<String> = Vec::new();
+        let mut downs: Vec<String> = Vec::new();
+        for p in &self.parts {
+            let phrase = p.phrase(schema);
+            match p.is_improvement(schema) {
+                Some(false) => downs.push(phrase),
+                _ => ups.push(phrase),
+            }
+        }
+        match (ups.is_empty(), downs.is_empty()) {
+            (false, false) => format!("{}, but {}", ups.join(" and "), downs.join(" and ")),
+            (false, true) => ups.join(" and "),
+            (true, false) => downs.join(" and "),
+            (true, true) => String::new(),
+        }
+    }
+
+    /// Whether `candidate` exhibits every part of the pattern relative to
+    /// `reference`.
+    pub fn matches(
+        &self,
+        candidate: &Item,
+        reference: &Item,
+        ranges: &HashMap<String, (f64, f64)>,
+    ) -> bool {
+        self.parts.iter().all(|p| {
+            ranges
+                .get(&p.attribute)
+                .map(|&r| p.matches(candidate, reference, r))
+                .unwrap_or(false)
+        })
+    }
+}
+
+/// Catalog-wide numeric ranges for every numeric attribute in the schema.
+pub fn attribute_ranges(catalog: &Catalog) -> HashMap<String, (f64, f64)> {
+    catalog
+        .schema()
+        .attributes()
+        .iter()
+        .filter_map(|def| {
+            catalog
+                .numeric_range(&def.name)
+                .map(|r| (def.name.clone(), r))
+        })
+        .collect()
+}
+
+/// The difference pattern of `candidate` vs `reference`: one unit
+/// critique per numeric attribute that differs noticeably.
+pub fn pattern_of(
+    candidate: &Item,
+    reference: &Item,
+    ranges: &HashMap<String, (f64, f64)>,
+) -> Vec<UnitCritique> {
+    let mut out = Vec::new();
+    let mut attrs: Vec<&String> = ranges.keys().collect();
+    attrs.sort();
+    for attr in attrs {
+        for dir in [CritiqueDirection::Less, CritiqueDirection::More] {
+            let uc = UnitCritique::new(attr, dir);
+            if uc.matches(candidate, reference, ranges[attr]) {
+                out.push(uc);
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Mines dynamic compound critiques of size 2..=`max_len` over
+/// `candidates` relative to `reference`, keeping patterns with support ≥
+/// `min_support`. Results are ordered by descending support, then by
+/// descending size, then lexically — the presentation order of the
+/// structured overview.
+///
+/// # Errors
+///
+/// Propagates catalog lookups for `reference` and candidates.
+pub fn mine_compound(
+    catalog: &Catalog,
+    reference: ItemId,
+    candidates: &[ItemId],
+    min_support: f64,
+    max_len: usize,
+) -> Result<Vec<CompoundCritique>> {
+    let reference_item = catalog.get(reference)?;
+    let ranges = attribute_ranges(catalog);
+
+    // Stable symbol table: attribute index × direction.
+    let mut attr_names: Vec<&str> = ranges.keys().map(String::as_str).collect();
+    attr_names.sort_unstable();
+    let symbol = |uc: &UnitCritique| -> u32 {
+        let idx = attr_names
+            .binary_search(&uc.attribute.as_str())
+            .expect("attribute from ranges") as u32;
+        idx * 2
+            + match uc.direction {
+                CritiqueDirection::Less => 0,
+                CritiqueDirection::More => 1,
+            }
+    };
+    let unsymbol = |s: u32| -> UnitCritique {
+        UnitCritique::new(
+            attr_names[(s / 2) as usize],
+            if s.is_multiple_of(2) {
+                CritiqueDirection::Less
+            } else {
+                CritiqueDirection::More
+            },
+        )
+    };
+
+    let mut transactions: Vec<Vec<u32>> = Vec::with_capacity(candidates.len());
+    for &cand in candidates {
+        if cand == reference {
+            continue;
+        }
+        let item = catalog.get(cand)?;
+        let pattern = pattern_of(item, reference_item, &ranges);
+        transactions.push(pattern.iter().map(&symbol).collect());
+    }
+
+    let mut compounds: Vec<CompoundCritique> = apriori(&transactions, min_support, max_len)
+        .into_iter()
+        .filter(|fs| fs.items.len() >= 2)
+        .map(|fs| CompoundCritique {
+            parts: fs.items.iter().map(|&s| unsymbol(s)).collect(),
+            support: fs.support,
+        })
+        .collect();
+    compounds.sort_by(|a, b| {
+        b.support
+            .partial_cmp(&a.support)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(b.parts.len().cmp(&a.parts.len()))
+            .then_with(|| format!("{:?}", a.parts).cmp(&format!("{:?}", b.parts)))
+    });
+    Ok(compounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exrec_data::synth::{cameras, WorldConfig};
+    use exrec_data::World;
+
+    fn world() -> World {
+        cameras::generate(&WorldConfig {
+            n_items: 40,
+            n_users: 5,
+            ..WorldConfig::default()
+        })
+    }
+
+    #[test]
+    fn phrases_use_schema_comparatives() {
+        let schema = cameras::schema();
+        assert_eq!(
+            UnitCritique::new("price", CritiqueDirection::Less).phrase(&schema),
+            "Cheaper"
+        );
+        assert_eq!(
+            UnitCritique::new("memory", CritiqueDirection::Less).phrase(&schema),
+            "Less Memory"
+        );
+        assert_eq!(
+            UnitCritique::new("resolution", CritiqueDirection::Less).phrase(&schema),
+            "Lower Resolution"
+        );
+    }
+
+    #[test]
+    fn improvement_classification() {
+        let schema = cameras::schema();
+        assert_eq!(
+            UnitCritique::new("price", CritiqueDirection::Less).is_improvement(&schema),
+            Some(true)
+        );
+        assert_eq!(
+            UnitCritique::new("resolution", CritiqueDirection::Less).is_improvement(&schema),
+            Some(false)
+        );
+        assert_eq!(
+            UnitCritique::new("zoom", CritiqueDirection::More).is_improvement(&schema),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn title_joins_with_but() {
+        let schema = cameras::schema();
+        let c = CompoundCritique {
+            parts: vec![
+                UnitCritique::new("memory", CritiqueDirection::Less),
+                UnitCritique::new("resolution", CritiqueDirection::Less),
+                UnitCritique::new("price", CritiqueDirection::Less),
+            ],
+            support: 0.3,
+        };
+        let title = c.title(&schema);
+        // The survey's exact example pattern: improvements first, then but.
+        assert!(title.contains("Cheaper"));
+        assert!(title.contains("but"));
+        assert!(title.contains("Less Memory"));
+        assert!(title.contains("Lower Resolution"));
+        assert!(
+            title.starts_with("Cheaper"),
+            "improvement leads the title: {title}"
+        );
+    }
+
+    #[test]
+    fn title_without_sacrifices_has_no_but() {
+        let schema = cameras::schema();
+        let c = CompoundCritique {
+            parts: vec![
+                UnitCritique::new("price", CritiqueDirection::Less),
+                UnitCritique::new("weight", CritiqueDirection::Less),
+            ],
+            support: 0.5,
+        };
+        let title = c.title(&schema);
+        assert_eq!(title, "Cheaper and Lighter");
+    }
+
+    #[test]
+    fn pattern_detects_differences() {
+        let w = world();
+        let ranges = attribute_ranges(&w.catalog);
+        // Find two cameras with clearly different price.
+        let items: Vec<&exrec_types::Item> = w.catalog.iter().collect();
+        let (mut lo, mut hi) = (items[0], items[0]);
+        for it in &items {
+            if it.attrs.num("price") < lo.attrs.num("price") {
+                lo = it;
+            }
+            if it.attrs.num("price") > hi.attrs.num("price") {
+                hi = it;
+            }
+        }
+        let pattern = pattern_of(lo, hi, &ranges);
+        assert!(
+            pattern.contains(&UnitCritique::new("price", CritiqueDirection::Less)),
+            "cheapest vs priciest must include a Cheaper critique"
+        );
+    }
+
+    #[test]
+    fn mined_compounds_have_support_and_match_candidates() {
+        let w = world();
+        let reference = w.catalog.ids().next().unwrap();
+        let candidates: Vec<ItemId> = w.catalog.ids().collect();
+        let compounds = mine_compound(&w.catalog, reference, &candidates, 0.15, 3).unwrap();
+        assert!(!compounds.is_empty(), "camera world must yield compounds");
+        let ranges = attribute_ranges(&w.catalog);
+        let reference_item = w.catalog.get(reference).unwrap();
+        for c in &compounds {
+            assert!(c.parts.len() >= 2);
+            assert!(c.support >= 0.15);
+            // Support is consistent: counting matching candidates
+            // reproduces it.
+            let matching = candidates
+                .iter()
+                .filter(|&&i| i != reference)
+                .filter(|&&i| {
+                    c.matches(w.catalog.get(i).unwrap(), reference_item, &ranges)
+                })
+                .count();
+            let expected = (c.support * (candidates.len() - 1) as f64).round() as usize;
+            assert_eq!(matching, expected, "support mismatch for {c:?}");
+        }
+        // Ordered by support.
+        assert!(compounds.windows(2).all(|w| w[0].support >= w[1].support));
+    }
+
+    #[test]
+    fn less_and_more_are_exclusive_per_attribute() {
+        let w = world();
+        let ranges = attribute_ranges(&w.catalog);
+        let a = w.catalog.get(ItemId::new(0)).unwrap();
+        let b = w.catalog.get(ItemId::new(1)).unwrap();
+        let pattern = pattern_of(a, b, &ranges);
+        let mut attrs: Vec<&str> = pattern.iter().map(|p| p.attribute.as_str()).collect();
+        let before = attrs.len();
+        attrs.sort_unstable();
+        attrs.dedup();
+        assert_eq!(attrs.len(), before, "one critique per attribute");
+    }
+}

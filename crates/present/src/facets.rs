@@ -1,0 +1,198 @@
+//! Faceted metadata browsing (survey Section 4.5, after Yee et al.).
+//!
+//! "The user can see how many items there are available at each level for
+//! each aspect." A facet is a categorical attribute; the browser keeps a
+//! selection per facet and reports value counts over the *currently
+//! filtered* item set, so counts always answer "what would I get if I
+//! clicked this".
+
+use exrec_data::Catalog;
+use exrec_types::{Item, ItemId};
+use std::collections::BTreeMap;
+
+/// One facet value with its count under the current selection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FacetValue {
+    /// The value label.
+    pub value: String,
+    /// How many currently-visible items carry it.
+    pub count: usize,
+    /// Whether it is part of the active selection.
+    pub selected: bool,
+}
+
+/// A faceted browser over a catalog.
+#[derive(Debug, Clone)]
+pub struct FacetBrowser<'a> {
+    catalog: &'a Catalog,
+    facets: Vec<String>,
+    /// facet name → selected value (None = no filter on that facet).
+    selection: BTreeMap<String, String>,
+}
+
+impl<'a> FacetBrowser<'a> {
+    /// Builds a browser over every categorical attribute in the schema.
+    pub fn new(catalog: &'a Catalog) -> Self {
+        let facets = catalog
+            .schema()
+            .attributes()
+            .iter()
+            .filter(|a| a.kind == exrec_types::AttributeKind::Categorical)
+            .map(|a| a.name.clone())
+            .collect();
+        Self {
+            catalog,
+            facets,
+            selection: BTreeMap::new(),
+        }
+    }
+
+    /// The facet names.
+    pub fn facets(&self) -> &[String] {
+        &self.facets
+    }
+
+    /// Selects a value on a facet (replacing any previous selection).
+    pub fn select(&mut self, facet: &str, value: &str) {
+        if self.facets.iter().any(|f| f == facet) {
+            self.selection.insert(facet.to_owned(), value.to_owned());
+        }
+    }
+
+    /// Clears a facet's selection.
+    pub fn clear(&mut self, facet: &str) {
+        self.selection.remove(facet);
+    }
+
+    /// Clears every selection.
+    pub fn clear_all(&mut self) {
+        self.selection.clear();
+    }
+
+    fn visible(&self, item: &Item) -> bool {
+        self.selection
+            .iter()
+            .all(|(facet, value)| item.attrs.cat(facet) == Some(value.as_str()))
+    }
+
+    /// Items matching the current selection, in id order.
+    pub fn items(&self) -> Vec<ItemId> {
+        self.catalog
+            .iter()
+            .filter(|it| self.visible(it))
+            .map(|it| it.id)
+            .collect()
+    }
+
+    /// Value counts for `facet` under the current selection *excluding
+    /// that facet's own filter* (so users see sibling options), sorted by
+    /// value.
+    pub fn values(&self, facet: &str) -> Vec<FacetValue> {
+        let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+        for item in self.catalog.iter() {
+            let others_ok = self
+                .selection
+                .iter()
+                .filter(|(f, _)| f.as_str() != facet)
+                .all(|(f, v)| item.attrs.cat(f) == Some(v.as_str()));
+            if !others_ok {
+                continue;
+            }
+            if let Some(v) = item.attrs.cat(facet) {
+                *counts.entry(v.to_owned()).or_insert(0) += 1;
+            }
+        }
+        counts
+            .into_iter()
+            .map(|(value, count)| FacetValue {
+                selected: self.selection.get(facet) == Some(&value),
+                value,
+                count,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exrec_data::synth::{holidays, WorldConfig};
+    use exrec_data::World;
+
+    fn world() -> World {
+        holidays::generate(&WorldConfig {
+            n_items: 40,
+            n_users: 5,
+            ..WorldConfig::default()
+        })
+    }
+
+    #[test]
+    fn facets_are_categorical_attributes() {
+        let w = world();
+        let b = FacetBrowser::new(&w.catalog);
+        assert!(b.facets().contains(&"style".to_owned()));
+        assert!(b.facets().contains(&"climate".to_owned()));
+        assert!(!b.facets().contains(&"price".to_owned()), "numeric excluded");
+    }
+
+    #[test]
+    fn selection_filters_items() {
+        let w = world();
+        let mut b = FacetBrowser::new(&w.catalog);
+        let all = b.items().len();
+        b.select("style", "beach");
+        let beach = b.items();
+        assert!(!beach.is_empty());
+        assert!(beach.len() < all);
+        for id in &beach {
+            assert_eq!(w.catalog.get(*id).unwrap().attrs.cat("style"), Some("beach"));
+        }
+    }
+
+    #[test]
+    fn counts_sum_to_visible_items() {
+        let w = world();
+        let mut b = FacetBrowser::new(&w.catalog);
+        b.select("climate", "hot");
+        let total: usize = b.values("style").iter().map(|v| v.count).sum();
+        assert_eq!(total, b.items().len());
+    }
+
+    #[test]
+    fn own_facet_counts_show_siblings() {
+        let w = world();
+        let mut b = FacetBrowser::new(&w.catalog);
+        b.select("style", "beach");
+        // Counts for "style" ignore the style filter itself.
+        let style_values = b.values("style");
+        assert!(style_values.len() > 1, "siblings stay visible");
+        assert!(style_values.iter().any(|v| v.selected && v.value == "beach"));
+    }
+
+    #[test]
+    fn cross_facet_filters_compose() {
+        let w = world();
+        let mut b = FacetBrowser::new(&w.catalog);
+        b.select("style", "beach");
+        b.select("climate", "hot");
+        for id in b.items() {
+            let it = w.catalog.get(id).unwrap();
+            assert_eq!(it.attrs.cat("style"), Some("beach"));
+            assert_eq!(it.attrs.cat("climate"), Some("hot"));
+        }
+        b.clear("climate");
+        let after = b.items().len();
+        b.clear_all();
+        assert!(b.items().len() >= after);
+    }
+
+    #[test]
+    fn selecting_unknown_facet_is_ignored() {
+        let w = world();
+        let mut b = FacetBrowser::new(&w.catalog);
+        let before = b.items().len();
+        b.select("nonexistent", "x");
+        assert_eq!(b.items().len(), before);
+    }
+}

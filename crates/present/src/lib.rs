@@ -1,0 +1,37 @@
+//! # exrec-present
+//!
+//! Presentation layer (survey Section 4): *how* recommendations reach the
+//! user, which the survey shows is itself part of the explanation.
+//!
+//! * [`mode`] — the presentation-mode taxonomy of Tables 3/4;
+//! * [`top`] — top item and top-N lists with star rendering;
+//! * [`similar`] — "You might also like…" presentation anchored on rated
+//!   items (Section 4.3);
+//! * [`predicted`] — browse-everything with predicted ratings
+//!   (Section 4.4);
+//! * [`critiques`] — unit and compound critique mining ("Less Memory and
+//!   Lower Resolution and Cheaper", Section 5.2);
+//! * [`structured`] — Pu & Chen's organizational structure: best match on
+//!   top, trade-off categories below (Section 4.5);
+//! * [`facets`] — faceted metadata browsing (Yee et al.);
+//! * [`treemap`] — ordered squarified treemaps (Figure 2);
+//! * [`diversify`] — Ziegler-style topic diversification (the diversity
+//!   quality the survey's introduction names).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod critiques;
+pub mod diversify;
+pub mod facets;
+pub mod mode;
+pub mod predicted;
+pub mod similar;
+pub mod structured;
+pub mod top;
+pub mod treemap;
+
+pub use critiques::{CompoundCritique, CritiqueDirection, UnitCritique};
+pub use mode::PresentationMode;
+pub use structured::StructuredOverview;
+pub use treemap::{Treemap, TreemapNode};

@@ -1,0 +1,78 @@
+//! The presentation-mode taxonomy of the survey's Tables 3 and 4.
+
+use std::fmt;
+
+/// How recommendations are laid out for the user (survey Section 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PresentationMode {
+    /// A single best item (Section 4.1).
+    TopItem,
+    /// A ranked list of several items (Section 4.2).
+    TopN,
+    /// Items similar to something the user liked (Section 4.3).
+    SimilarToTopItem,
+    /// Predicted ratings shown for every browsable item (Section 4.4).
+    PredictedRatings,
+    /// Best match plus trade-off categories (Section 4.5).
+    StructuredOverview,
+}
+
+impl PresentationMode {
+    /// All modes, in the survey's section order.
+    pub const ALL: [PresentationMode; 5] = [
+        PresentationMode::TopItem,
+        PresentationMode::TopN,
+        PresentationMode::SimilarToTopItem,
+        PresentationMode::PredictedRatings,
+        PresentationMode::StructuredOverview,
+    ];
+
+    /// Name as used in the survey's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            PresentationMode::TopItem => "Top item",
+            PresentationMode::TopN => "Top-N",
+            PresentationMode::SimilarToTopItem => "Similar to top item(s)",
+            PresentationMode::PredictedRatings => "Predicted ratings",
+            PresentationMode::StructuredOverview => "Structured overview",
+        }
+    }
+
+    /// The survey subsection describing the mode.
+    pub fn section(self) -> &'static str {
+        match self {
+            PresentationMode::TopItem => "4.1",
+            PresentationMode::TopN => "4.2",
+            PresentationMode::SimilarToTopItem => "4.3",
+            PresentationMode::PredictedRatings => "4.4",
+            PresentationMode::StructuredOverview => "4.5",
+        }
+    }
+}
+
+impl fmt::Display for PresentationMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_tables() {
+        assert_eq!(PresentationMode::TopItem.name(), "Top item");
+        assert_eq!(
+            PresentationMode::SimilarToTopItem.name(),
+            "Similar to top item(s)"
+        );
+        assert_eq!(PresentationMode::ALL.len(), 5);
+    }
+
+    #[test]
+    fn sections_cover_4_1_to_4_5() {
+        let sections: Vec<&str> = PresentationMode::ALL.iter().map(|m| m.section()).collect();
+        assert_eq!(sections, vec!["4.1", "4.2", "4.3", "4.4", "4.5"]);
+    }
+}

@@ -1,0 +1,164 @@
+//! Predicted-ratings-for-all-items browsing (survey Section 4.4).
+//!
+//! "Rather than forcing selections on the user, a system may allow its
+//! users to browse all the available options" with a predicted rating per
+//! item. The user can then counteract predictions by re-rating — the
+//! scrutability loop of Section 2.2.
+
+use crate::top::star_glyphs;
+use exrec_algo::{Ctx, Recommender};
+use exrec_types::{ItemId, Prediction, UserId};
+
+/// One row of the browse-all view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BrowseRow {
+    /// The item.
+    pub item: ItemId,
+    /// Its title.
+    pub title: String,
+    /// The user's own rating, if they already rated it.
+    pub own_rating: Option<f64>,
+    /// The model's prediction, if one is possible.
+    pub prediction: Option<Prediction>,
+    /// Star display (own rating wins over prediction).
+    pub stars: String,
+}
+
+/// Sort order for the browse view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BrowseOrder {
+    /// Catalog (id) order.
+    Catalog,
+    /// Best predicted first; unpredictable items last.
+    PredictionDescending,
+}
+
+/// Builds the full browse view for `user`: *every* catalog item appears,
+/// rated or not, predictable or not.
+pub fn browse_all(
+    rec: &dyn Recommender,
+    ctx: &Ctx<'_>,
+    user: UserId,
+    order: BrowseOrder,
+) -> Vec<BrowseRow> {
+    let scale = ctx.ratings.scale();
+    let mut rows: Vec<BrowseRow> = ctx
+        .catalog
+        .iter()
+        .map(|it| {
+            let own_rating = ctx.ratings.rating(user, it.id);
+            let prediction = rec.predict(ctx, user, it.id).ok();
+            let display = own_rating.or(prediction.map(|p| p.score));
+            BrowseRow {
+                item: it.id,
+                title: it.title.clone(),
+                own_rating,
+                prediction,
+                stars: match display {
+                    Some(score) => star_glyphs(score, scale),
+                    None => "—————".to_owned(),
+                },
+            }
+        })
+        .collect();
+    if order == BrowseOrder::PredictionDescending {
+        rows.sort_by(|a, b| {
+            let ka = a.prediction.map(|p| p.score).unwrap_or(f64::MIN);
+            let kb = b.prediction.map(|p| p.score).unwrap_or(f64::MIN);
+            kb.partial_cmp(&ka)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.item.cmp(&b.item))
+        });
+    }
+    rows
+}
+
+/// Rows whose prediction the user might want to challenge: low predicted
+/// score despite the user never having said anything negative — the
+/// "why is local hockey predicted 1 star?" entry point of Section 4.4.
+pub fn challengeable_rows(rows: &[BrowseRow], scale_midpoint: f64) -> Vec<&BrowseRow> {
+    rows.iter()
+        .filter(|r| {
+            r.own_rating.is_none()
+                && r.prediction
+                    .map(|p| p.score < scale_midpoint)
+                    .unwrap_or(false)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exrec_algo::baseline::Popularity;
+    use exrec_data::synth::{news, WorldConfig};
+    use exrec_data::World;
+
+    fn world() -> World {
+        news::generate(&WorldConfig {
+            n_users: 20,
+            n_items: 25,
+            density: 0.3,
+            ..WorldConfig::default()
+        })
+    }
+
+    #[test]
+    fn every_item_gets_a_row() {
+        let w = world();
+        let ctx = Ctx::new(&w.ratings, &w.catalog);
+        let user = w.ratings.users().next().unwrap();
+        let rows = browse_all(&Popularity::default(), &ctx, user, BrowseOrder::Catalog);
+        assert_eq!(rows.len(), w.catalog.len());
+        // Catalog order = id order.
+        assert!(rows.windows(2).all(|p| p[0].item < p[1].item));
+    }
+
+    #[test]
+    fn own_ratings_surface() {
+        let w = world();
+        let ctx = Ctx::new(&w.ratings, &w.catalog);
+        let user = w
+            .ratings
+            .users()
+            .find(|&u| !w.ratings.user_ratings(u).is_empty())
+            .unwrap();
+        let rows = browse_all(&Popularity::default(), &ctx, user, BrowseOrder::Catalog);
+        let rated = w.ratings.user_ratings(user);
+        for &(item, value) in rated {
+            let row = rows.iter().find(|r| r.item == item).unwrap();
+            assert_eq!(row.own_rating, Some(value));
+        }
+    }
+
+    #[test]
+    fn prediction_order_descends() {
+        let w = world();
+        let ctx = Ctx::new(&w.ratings, &w.catalog);
+        let user = w.ratings.users().next().unwrap();
+        let rows = browse_all(
+            &Popularity::default(),
+            &ctx,
+            user,
+            BrowseOrder::PredictionDescending,
+        );
+        let scores: Vec<f64> = rows
+            .iter()
+            .filter_map(|r| r.prediction.map(|p| p.score))
+            .collect();
+        assert!(scores.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn challengeable_rows_are_low_and_unrated() {
+        let w = world();
+        let ctx = Ctx::new(&w.ratings, &w.catalog);
+        let user = w.ratings.users().next().unwrap();
+        let rows = browse_all(&Popularity::default(), &ctx, user, BrowseOrder::Catalog);
+        let mid = ctx.ratings.scale().midpoint();
+        for r in challengeable_rows(&rows, mid) {
+            assert!(r.own_rating.is_none());
+            assert!(r.prediction.unwrap().score < mid);
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! "You might also like…" presentation (survey Section 4.3).
+//!
+//! Once a user shows a preference for one or more items, the system
+//! presents items similar to them — individually ("You might also
+//! like… Oliver Twist by Charles Dickens") or socially ("People like you
+//! liked… Oliver Twist").
+
+use crate::top::star_glyphs;
+use exrec_algo::item_knn::ItemKnn;
+use exrec_algo::Ctx;
+use exrec_types::{ItemId, Result, UserId};
+
+/// One "similar to" suggestion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimilarSuggestion {
+    /// The suggested item.
+    pub item: ItemId,
+    /// Its title.
+    pub title: String,
+    /// The anchor item it is similar to.
+    pub anchor: ItemId,
+    /// Anchor title.
+    pub anchor_title: String,
+    /// Similarity score.
+    pub similarity: f64,
+    /// The lead sentence, in the survey's phrasing.
+    pub lead: String,
+}
+
+/// Phrasing variant for the lead sentence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimilarPhrasing {
+    /// "You might also like…" (individual framing).
+    Individual,
+    /// "People like you liked…" (social framing).
+    Social,
+}
+
+/// Suggests up to `n` items similar to `anchor` that `user` has not yet
+/// rated, using a fitted item-kNN similarity table.
+///
+/// # Errors
+///
+/// Propagates catalog lookup failures for the anchor.
+pub fn similar_to(
+    model: &ItemKnn,
+    ctx: &Ctx<'_>,
+    user: UserId,
+    anchor: ItemId,
+    n: usize,
+    phrasing: SimilarPhrasing,
+) -> Result<Vec<SimilarSuggestion>> {
+    let anchor_item = ctx.catalog.get(anchor)?;
+    let out = model
+        .similar_items(anchor, usize::MAX)
+        .iter()
+        .filter(|&&(i, _)| ctx.ratings.rating(user, i).is_none())
+        .filter_map(|&(i, similarity)| {
+            let item = ctx.catalog.get(i).ok()?;
+            let lead = match phrasing {
+                SimilarPhrasing::Individual => {
+                    format!("You might also like… \"{}\"", item.title)
+                }
+                SimilarPhrasing::Social => {
+                    format!("People like you liked… \"{}\"", item.title)
+                }
+            };
+            Some(SimilarSuggestion {
+                item: i,
+                title: item.title.clone(),
+                anchor,
+                anchor_title: anchor_item.title.clone(),
+                similarity,
+                lead,
+            })
+        })
+        .take(n)
+        .collect();
+    Ok(out)
+}
+
+/// Suggests items similar to the user's highest-rated item(s): picks the
+/// user's top `n_anchors` rated items and merges their neighbours,
+/// deduplicated, best similarity first.
+pub fn similar_to_favourites(
+    model: &ItemKnn,
+    ctx: &Ctx<'_>,
+    user: UserId,
+    n_anchors: usize,
+    n: usize,
+) -> Vec<SimilarSuggestion> {
+    let mut rated: Vec<(ItemId, f64)> = ctx.ratings.user_ratings(user).to_vec();
+    rated.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    let mut out: Vec<SimilarSuggestion> = Vec::new();
+    for &(anchor, _) in rated.iter().take(n_anchors) {
+        if let Ok(suggestions) =
+            similar_to(model, ctx, user, anchor, n, SimilarPhrasing::Individual)
+        {
+            for s in suggestions {
+                if !out.iter().any(|o| o.item == s.item) {
+                    out.push(s);
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| {
+        b.similarity
+            .partial_cmp(&a.similarity)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.item.cmp(&b.item))
+    });
+    out.truncate(n);
+    out
+}
+
+/// Renders one suggestion with the anchor context and star display.
+pub fn render_suggestion(s: &SimilarSuggestion, ctx: &Ctx<'_>) -> String {
+    let stars = star_glyphs(
+        ctx.ratings
+            .item_mean(s.item)
+            .unwrap_or_else(|| ctx.ratings.scale().midpoint()),
+        ctx.ratings.scale(),
+    );
+    format!(
+        "{} {} — because you liked \"{}\" (similarity {:.2})",
+        s.lead, stars, s.anchor_title, s.similarity
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exrec_algo::item_knn::ItemKnnConfig;
+    use exrec_data::synth::{books, WorldConfig};
+    use exrec_data::World;
+
+    fn world() -> World {
+        books::generate(&WorldConfig {
+            n_users: 40,
+            n_items: 40,
+            density: 0.35,
+            ..WorldConfig::default()
+        })
+    }
+
+    fn fitted(w: &World) -> ItemKnn {
+        let ctx = Ctx::new(&w.ratings, &w.catalog);
+        ItemKnn::fit(&ctx, ItemKnnConfig::default()).unwrap()
+    }
+
+    fn anchored_user(w: &World, model: &ItemKnn) -> (UserId, ItemId) {
+        for u in w.ratings.users() {
+            for &(i, _) in w.ratings.user_ratings(u) {
+                if !model.similar_items(i, 1).is_empty() {
+                    return (u, i);
+                }
+            }
+        }
+        panic!("no anchor with neighbours");
+    }
+
+    #[test]
+    fn suggestions_exclude_rated_items() {
+        let w = world();
+        let model = fitted(&w);
+        let ctx = Ctx::new(&w.ratings, &w.catalog);
+        let (user, anchor) = anchored_user(&w, &model);
+        let sugg = similar_to(&model, &ctx, user, anchor, 5, SimilarPhrasing::Individual)
+            .unwrap();
+        for s in &sugg {
+            assert!(ctx.ratings.rating(user, s.item).is_none());
+            assert_eq!(s.anchor, anchor);
+        }
+    }
+
+    #[test]
+    fn phrasing_variants() {
+        let w = world();
+        let model = fitted(&w);
+        let ctx = Ctx::new(&w.ratings, &w.catalog);
+        let (user, anchor) = anchored_user(&w, &model);
+        let ind = similar_to(&model, &ctx, user, anchor, 1, SimilarPhrasing::Individual)
+            .unwrap();
+        let soc = similar_to(&model, &ctx, user, anchor, 1, SimilarPhrasing::Social).unwrap();
+        if let (Some(i), Some(s)) = (ind.first(), soc.first()) {
+            assert!(i.lead.starts_with("You might also like…"));
+            assert!(s.lead.starts_with("People like you liked…"));
+        }
+    }
+
+    #[test]
+    fn favourites_merge_dedupes_and_sorts() {
+        let w = world();
+        let model = fitted(&w);
+        let ctx = Ctx::new(&w.ratings, &w.catalog);
+        let user = w
+            .ratings
+            .users()
+            .find(|&u| w.ratings.user_ratings(u).len() >= 3)
+            .unwrap();
+        let sugg = similar_to_favourites(&model, &ctx, user, 3, 10);
+        let mut ids: Vec<ItemId> = sugg.iter().map(|s| s.item).collect();
+        let before = ids.len();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), before, "no duplicates");
+        assert!(sugg.windows(2).all(|w| w[0].similarity >= w[1].similarity));
+    }
+
+    #[test]
+    fn render_mentions_anchor() {
+        let w = world();
+        let model = fitted(&w);
+        let ctx = Ctx::new(&w.ratings, &w.catalog);
+        let (user, anchor) = anchored_user(&w, &model);
+        if let Some(s) = similar_to(&model, &ctx, user, anchor, 1, SimilarPhrasing::Individual)
+            .unwrap()
+            .first()
+        {
+            let text = render_suggestion(s, &ctx);
+            assert!(text.contains(&s.anchor_title));
+            assert!(text.contains('★') || text.contains('☆'));
+        }
+    }
+}

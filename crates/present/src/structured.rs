@@ -1,0 +1,288 @@
+//! Pu & Chen's structured overview (survey Section 4.5).
+//!
+//! "The best matching item is displayed at the top. Below it several
+//! categories of trade-off alternatives are listed. Each category has a
+//! title explaining the characteristics of the items in it" — e.g.
+//! *"[these laptops]… are cheaper and lighter, but have lower processor
+//! speed"*. The ordering of categories follows how well each category
+//! matches the user's requirements.
+
+use crate::critiques::{attribute_ranges, mine_compound, CompoundCritique};
+use exrec_algo::knowledge::Maut;
+use exrec_algo::{Ctx, Scored};
+use exrec_types::{Error, ItemId, Result};
+use std::fmt::Write as _;
+
+/// One trade-off category.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Category {
+    /// The compound critique characterizing the category.
+    pub critique: CompoundCritique,
+    /// The category title shown to the user.
+    pub title: String,
+    /// Member items, best first.
+    pub items: Vec<Scored>,
+    /// Mean requirement-utility of the members (ordering key).
+    pub mean_utility: f64,
+}
+
+/// The full structured overview.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructuredOverview {
+    /// The best-matching item.
+    pub best: Scored,
+    /// Trade-off categories, best matching first.
+    pub categories: Vec<Category>,
+}
+
+/// Configuration for building a structured overview.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverviewConfig {
+    /// Minimum support for mined compound critiques.
+    pub min_support: f64,
+    /// Maximum critique size.
+    pub max_critique_len: usize,
+    /// Maximum number of categories shown.
+    pub max_categories: usize,
+    /// Maximum items listed per category.
+    pub max_items_per_category: usize,
+}
+
+impl Default for OverviewConfig {
+    fn default() -> Self {
+        Self {
+            min_support: 0.15,
+            max_critique_len: 3,
+            max_categories: 4,
+            max_items_per_category: 5,
+        }
+    }
+}
+
+/// Builds the structured overview: ranks candidates with `maut`, takes
+/// the best as the reference, mines compound critiques over the rest, and
+/// groups the remainder into titled trade-off categories ordered by how
+/// well their members satisfy the requirements.
+///
+/// # Errors
+///
+/// Returns [`Error::NoPrediction`]-style failure when no candidate passes
+/// the hard requirements, and propagates catalog lookups.
+pub fn build_overview(
+    maut: &Maut,
+    ctx: &Ctx<'_>,
+    config: &OverviewConfig,
+) -> Result<StructuredOverview> {
+    let ranked = maut.rank(ctx, usize::MAX);
+    let best = *ranked.first().ok_or(Error::NoPrediction {
+        user: exrec_types::UserId::new(0),
+        item: ItemId::new(0),
+        reason: "no candidate passes the hard requirements",
+    })?;
+
+    let candidates: Vec<ItemId> = ranked.iter().skip(1).map(|s| s.item).collect();
+    let compounds = mine_compound(
+        ctx.catalog,
+        best.item,
+        &candidates,
+        config.min_support,
+        config.max_critique_len,
+    )?;
+
+    let ranges = attribute_ranges(ctx.catalog);
+    let reference = ctx.catalog.get(best.item)?;
+    let schema = ctx.catalog.schema();
+
+    let mut categories: Vec<Category> = Vec::new();
+    let mut used: Vec<ItemId> = Vec::new();
+    for critique in compounds {
+        if categories.len() >= config.max_categories {
+            break;
+        }
+        let mut items: Vec<Scored> = ranked
+            .iter()
+            .skip(1)
+            .filter(|s| !used.contains(&s.item))
+            .filter(|s| {
+                ctx.catalog
+                    .get(s.item)
+                    .map(|it| critique.matches(it, reference, &ranges))
+                    .unwrap_or(false)
+            })
+            .copied()
+            .collect();
+        if items.is_empty() {
+            continue;
+        }
+        items.truncate(config.max_items_per_category);
+        used.extend(items.iter().map(|s| s.item));
+        let mean_utility = items
+            .iter()
+            .map(|s| {
+                ctx.catalog
+                    .get(s.item)
+                    .map(|it| maut.utility(it).0)
+                    .unwrap_or(0.0)
+            })
+            .sum::<f64>()
+            / items.len() as f64;
+        let title = critique.title(schema);
+        categories.push(Category {
+            critique,
+            title,
+            items,
+            mean_utility,
+        });
+    }
+    // "The order of the titles depends on how well the category matches
+    // the user's requirements."
+    categories.sort_by(|a, b| {
+        b.mean_utility
+            .partial_cmp(&a.mean_utility)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    Ok(StructuredOverview { best, categories })
+}
+
+impl StructuredOverview {
+    /// Plain-text rendering: the best item, then each titled category.
+    pub fn render_plain(&self, ctx: &Ctx<'_>) -> String {
+        let mut out = String::new();
+        if let Ok(best) = ctx.catalog.get(self.best.item) {
+            let _ = writeln!(
+                out,
+                "Best match: \"{}\" ({:.1})",
+                best.title, self.best.prediction.score
+            );
+        }
+        for cat in &self.categories {
+            let _ = writeln!(out, "\n[{}]", cat.title);
+            for s in &cat.items {
+                if let Ok(item) = ctx.catalog.get(s.item) {
+                    let _ = writeln!(out, "  - \"{}\" ({:.1})", item.title, s.prediction.score);
+                }
+            }
+        }
+        out
+    }
+
+    /// Total number of alternative items shown across categories.
+    pub fn n_alternatives(&self) -> usize {
+        self.categories.iter().map(|c| c.items.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exrec_algo::knowledge::{Constraint, Requirement};
+    use exrec_data::synth::{cameras, WorldConfig};
+    use exrec_data::World;
+
+    fn world() -> World {
+        cameras::generate(&WorldConfig {
+            n_items: 50,
+            n_users: 5,
+            ..WorldConfig::default()
+        })
+    }
+
+    fn maut() -> Maut {
+        Maut::new(vec![
+            Requirement::soft("price", Constraint::AtMost(400.0)).with_weight(2.0),
+            Requirement::soft("resolution", Constraint::AtLeast(8.0)),
+            Requirement::soft("zoom", Constraint::AtLeast(5.0)),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn overview_has_best_and_categories() {
+        let w = world();
+        let ctx = Ctx::new(&w.ratings, &w.catalog);
+        let o = build_overview(&maut(), &ctx, &OverviewConfig::default()).unwrap();
+        assert!(!o.categories.is_empty(), "camera world must yield categories");
+        // Best item is the MAUT top choice.
+        let top = maut().rank(&ctx, 1)[0];
+        assert_eq!(o.best.item, top.item);
+    }
+
+    #[test]
+    fn categories_ordered_by_requirement_match() {
+        let w = world();
+        let ctx = Ctx::new(&w.ratings, &w.catalog);
+        let o = build_overview(&maut(), &ctx, &OverviewConfig::default()).unwrap();
+        assert!(o
+            .categories
+            .windows(2)
+            .all(|c| c[0].mean_utility >= c[1].mean_utility));
+    }
+
+    #[test]
+    fn categories_do_not_repeat_items() {
+        let w = world();
+        let ctx = Ctx::new(&w.ratings, &w.catalog);
+        let o = build_overview(&maut(), &ctx, &OverviewConfig::default()).unwrap();
+        let mut seen: Vec<ItemId> = vec![o.best.item];
+        for cat in &o.categories {
+            for s in &cat.items {
+                assert!(!seen.contains(&s.item), "item {:?} repeated", s.item);
+                seen.push(s.item);
+            }
+        }
+    }
+
+    #[test]
+    fn titles_are_nonempty_and_use_comparatives() {
+        let w = world();
+        let ctx = Ctx::new(&w.ratings, &w.catalog);
+        let o = build_overview(&maut(), &ctx, &OverviewConfig::default()).unwrap();
+        for c in &o.categories {
+            assert!(!c.title.is_empty());
+            assert!(c.title.contains("and") || c.title.contains("but"),
+                "compound titles combine phrases: {}", c.title);
+        }
+    }
+
+    #[test]
+    fn members_actually_match_their_critique() {
+        let w = world();
+        let ctx = Ctx::new(&w.ratings, &w.catalog);
+        let o = build_overview(&maut(), &ctx, &OverviewConfig::default()).unwrap();
+        let ranges = attribute_ranges(&w.catalog);
+        let reference = w.catalog.get(o.best.item).unwrap();
+        for cat in &o.categories {
+            for s in &cat.items {
+                let item = w.catalog.get(s.item).unwrap();
+                assert!(
+                    cat.critique.matches(item, reference, &ranges),
+                    "\"{}\" does not satisfy \"{}\"",
+                    item.title,
+                    cat.title
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hard_filter_with_no_survivors_errors() {
+        let w = world();
+        let ctx = Ctx::new(&w.ratings, &w.catalog);
+        let impossible =
+            Maut::new(vec![Requirement::hard("price", Constraint::AtMost(1.0))]).unwrap();
+        assert!(build_overview(&impossible, &ctx, &OverviewConfig::default()).is_err());
+    }
+
+    #[test]
+    fn render_lists_best_and_titles() {
+        let w = world();
+        let ctx = Ctx::new(&w.ratings, &w.catalog);
+        let o = build_overview(&maut(), &ctx, &OverviewConfig::default()).unwrap();
+        let text = o.render_plain(&ctx);
+        assert!(text.starts_with("Best match:"));
+        for c in &o.categories {
+            assert!(text.contains(&c.title));
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Top-item and top-N presentations (survey Sections 4.1–4.2).
+//!
+//! "Relevance can be represented by the order in which recommendations
+//! are given. In a list, the best items are at the top." Star glyphs and
+//! rank markers make relevance visible.
+
+use exrec_algo::{Ctx, Recommender, Scored};
+use exrec_types::{Result, UserId};
+use std::fmt::Write as _;
+
+/// One row of a presented recommendation list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PresentedItem {
+    /// 1-based rank.
+    pub rank: usize,
+    /// The scored item.
+    pub scored: Scored,
+    /// The item's display title.
+    pub title: String,
+    /// Star string for the predicted rating, e.g. `"★★★★☆"`.
+    pub stars: String,
+}
+
+/// A rendered recommendation list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopList {
+    /// The rows, best first.
+    pub entries: Vec<PresentedItem>,
+}
+
+/// Renders a predicted score as filled/empty stars on a 5-slot display,
+/// regardless of the underlying scale (the display normalizes).
+pub fn star_glyphs(score: f64, scale: &exrec_types::RatingScale) -> String {
+    let unit = scale.normalize(score);
+    let filled = (unit * 5.0).round() as usize;
+    let filled = filled.min(5);
+    format!("{}{}", "★".repeat(filled), "☆".repeat(5 - filled))
+}
+
+/// Builds the single-best-item presentation (survey Section 4.1).
+///
+/// # Errors
+///
+/// Returns [`exrec_types::Error::NoPrediction`] when the recommender
+/// cannot rank anything for this user.
+pub fn top_item(rec: &dyn Recommender, ctx: &Ctx<'_>, user: UserId) -> Result<PresentedItem> {
+    top_n(rec, ctx, user, 1)
+        .entries
+        .into_iter()
+        .next()
+        .ok_or(exrec_types::Error::NoPrediction {
+            user,
+            item: exrec_types::ItemId::new(0),
+            reason: "recommender produced no candidates",
+        })
+}
+
+/// Builds a top-N list (survey Section 4.2). Items without catalog
+/// entries are skipped.
+pub fn top_n(rec: &dyn Recommender, ctx: &Ctx<'_>, user: UserId, n: usize) -> TopList {
+    let entries = rec
+        .recommend(ctx, user, n)
+        .into_iter()
+        .enumerate()
+        .filter_map(|(k, scored)| {
+            let item = ctx.catalog.get(scored.item).ok()?;
+            Some(PresentedItem {
+                rank: k + 1,
+                title: item.title.clone(),
+                stars: star_glyphs(scored.prediction.score, ctx.ratings.scale()),
+                scored,
+            })
+        })
+        .collect();
+    TopList { entries }
+}
+
+impl TopList {
+    /// Plain-text rendering, one row per line.
+    pub fn render_plain(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            let _ = writeln!(
+                out,
+                "{:>2}. {} {} ({:.1})",
+                e.rank, e.stars, e.title, e.scored.prediction.score
+            );
+        }
+        out
+    }
+
+    /// Whether ranks strictly ascend and scores weakly descend — the
+    /// ordering invariant of Section 4's "best items at the top".
+    pub fn is_well_ordered(&self) -> bool {
+        self.entries.windows(2).all(|w| {
+            w[0].rank + 1 == w[1].rank
+                && w[0].scored.prediction.score >= w[1].scored.prediction.score
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exrec_algo::baseline::Popularity;
+    use exrec_data::synth::{movies, WorldConfig};
+    use exrec_data::World;
+    use exrec_types::RatingScale;
+
+    fn world() -> World {
+        movies::generate(&WorldConfig {
+            n_users: 20,
+            n_items: 30,
+            density: 0.3,
+            ..WorldConfig::default()
+        })
+    }
+
+    #[test]
+    fn star_glyphs_span() {
+        let s = RatingScale::FIVE_STAR;
+        assert_eq!(star_glyphs(5.0, &s), "★★★★★");
+        assert_eq!(star_glyphs(1.0, &s), "☆☆☆☆☆");
+        assert_eq!(star_glyphs(3.0, &s), "★★★☆☆");
+        assert_eq!(star_glyphs(3.0, &s).chars().count(), 5);
+    }
+
+    #[test]
+    fn top_n_is_ordered_and_sized() {
+        let w = world();
+        let ctx = Ctx::new(&w.ratings, &w.catalog);
+        let rec = Popularity::default();
+        let user = w.ratings.users().next().unwrap();
+        let list = top_n(&rec, &ctx, user, 5);
+        assert_eq!(list.entries.len(), 5);
+        assert!(list.is_well_ordered());
+        assert_eq!(list.entries[0].rank, 1);
+    }
+
+    #[test]
+    fn top_item_is_head_of_list() {
+        let w = world();
+        let ctx = Ctx::new(&w.ratings, &w.catalog);
+        let rec = Popularity::default();
+        let user = w.ratings.users().next().unwrap();
+        let single = top_item(&rec, &ctx, user).unwrap();
+        let list = top_n(&rec, &ctx, user, 3);
+        assert_eq!(single, list.entries[0]);
+    }
+
+    #[test]
+    fn render_contains_titles() {
+        let w = world();
+        let ctx = Ctx::new(&w.ratings, &w.catalog);
+        let rec = Popularity::default();
+        let user = w.ratings.users().next().unwrap();
+        let list = top_n(&rec, &ctx, user, 3);
+        let text = list.render_plain();
+        for e in &list.entries {
+            assert!(text.contains(&e.title));
+        }
+        assert_eq!(text.lines().count(), 3);
+    }
+}

@@ -1,0 +1,420 @@
+//! Squarified and ordered treemap layout (survey Figure 2, after
+//! Bederson, Shneiderman & Wattenberg).
+//!
+//! "Here it is possible to use different colors to represent topic areas,
+//! square and font size to represent importance to the current user, and
+//! shades of each topic color to represent recency." Nodes carry a
+//! weight (importance → area), a colour group (topic) and a shade
+//! (recency); layouts place them in the unit rectangle, and renderers
+//! produce ASCII (for terminal demos) or SVG.
+
+use std::fmt::Write as _;
+
+/// A node to lay out.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreemapNode {
+    /// Display label.
+    pub label: String,
+    /// Area weight (> 0). Importance to the current user.
+    pub weight: f64,
+    /// Colour group (topic index).
+    pub group: usize,
+    /// Shade within the group, `[0, 1]` (recency: 1 = newest).
+    pub shade: f64,
+}
+
+/// An axis-aligned rectangle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    /// Left edge.
+    pub x: f64,
+    /// Top edge.
+    pub y: f64,
+    /// Width.
+    pub w: f64,
+    /// Height.
+    pub h: f64,
+}
+
+impl Rect {
+    /// The unit square.
+    pub const UNIT: Rect = Rect {
+        x: 0.0,
+        y: 0.0,
+        w: 1.0,
+        h: 1.0,
+    };
+
+    /// Rectangle area.
+    pub fn area(&self) -> f64 {
+        self.w * self.h
+    }
+
+    /// Aspect ratio ≥ 1 (1 = square).
+    pub fn aspect(&self) -> f64 {
+        if self.w <= 0.0 || self.h <= 0.0 {
+            f64::INFINITY
+        } else {
+            (self.w / self.h).max(self.h / self.w)
+        }
+    }
+
+    /// Whether the point lies inside (inclusive of top/left edges).
+    pub fn contains(&self, px: f64, py: f64) -> bool {
+        px >= self.x && px < self.x + self.w && py >= self.y && py < self.y + self.h
+    }
+}
+
+/// A computed layout: nodes with their rectangles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Treemap {
+    /// `(node, rect)` pairs in layout order.
+    pub cells: Vec<(TreemapNode, Rect)>,
+}
+
+/// Layout algorithm choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layout {
+    /// Bruls-style squarified layout: near-square cells, weight-sorted.
+    Squarified,
+    /// Ordered slice-and-dice: preserves input order, alternating axis.
+    SliceAndDice,
+}
+
+/// Lays out `nodes` in `bounds`. Zero/negative-weight nodes are dropped.
+///
+/// ```
+/// use exrec_present::treemap::{layout, Layout, Rect, TreemapNode};
+///
+/// let nodes = (1..=4)
+///     .map(|k| TreemapNode {
+///         label: format!("n{k}"),
+///         weight: k as f64,
+///         group: 0,
+///         shade: 0.5,
+///     })
+///     .collect();
+/// let map = layout(nodes, Rect::UNIT, Layout::Squarified);
+/// let area: f64 = map.cells.iter().map(|(_, r)| r.area()).sum();
+/// assert!((area - 1.0).abs() < 1e-9);
+/// ```
+pub fn layout(nodes: Vec<TreemapNode>, bounds: Rect, algorithm: Layout) -> Treemap {
+    let nodes: Vec<TreemapNode> = nodes.into_iter().filter(|n| n.weight > 0.0).collect();
+    if nodes.is_empty() || bounds.area() <= 0.0 {
+        return Treemap { cells: Vec::new() };
+    }
+    match algorithm {
+        Layout::Squarified => squarify(nodes, bounds),
+        Layout::SliceAndDice => slice_dice(nodes, bounds, true),
+    }
+}
+
+fn slice_dice(nodes: Vec<TreemapNode>, bounds: Rect, horizontal: bool) -> Treemap {
+    let total: f64 = nodes.iter().map(|n| n.weight).sum();
+    let mut cells = Vec::with_capacity(nodes.len());
+    let mut offset = 0.0;
+    for node in nodes {
+        let frac = node.weight / total;
+        let rect = if horizontal {
+            Rect {
+                x: bounds.x + offset * bounds.w,
+                y: bounds.y,
+                w: frac * bounds.w,
+                h: bounds.h,
+            }
+        } else {
+            Rect {
+                x: bounds.x,
+                y: bounds.y + offset * bounds.h,
+                w: bounds.w,
+                h: frac * bounds.h,
+            }
+        };
+        offset += frac;
+        cells.push((node, rect));
+    }
+    Treemap { cells }
+}
+
+/// Worst aspect ratio of a row of areas laid against a side of length
+/// `side`.
+fn worst_aspect(row: &[f64], side: f64) -> f64 {
+    let sum: f64 = row.iter().sum();
+    if sum <= 0.0 || side <= 0.0 {
+        return f64::INFINITY;
+    }
+    let (min, max) = row
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), &a| (lo.min(a), hi.max(a)));
+    let s2 = sum * sum;
+    let w2 = side * side;
+    (w2 * max / s2).max(s2 / (w2 * min))
+}
+
+fn squarify(mut nodes: Vec<TreemapNode>, bounds: Rect) -> Treemap {
+    // Normalize weights to the bounds area.
+    let total: f64 = nodes.iter().map(|n| n.weight).sum();
+    let scale = bounds.area() / total;
+    nodes.sort_by(|a, b| {
+        b.weight
+            .partial_cmp(&a.weight)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.label.cmp(&b.label))
+    });
+    let areas: Vec<f64> = nodes.iter().map(|n| n.weight * scale).collect();
+
+    let mut cells: Vec<(TreemapNode, Rect)> = Vec::with_capacity(nodes.len());
+    let mut free = bounds;
+    let mut row: Vec<usize> = Vec::new();
+    let mut i = 0usize;
+
+    let mut nodes_opt: Vec<Option<TreemapNode>> = nodes.into_iter().map(Some).collect();
+
+    while i < areas.len() {
+        let side = free.w.min(free.h);
+        let row_areas: Vec<f64> = row.iter().map(|&k| areas[k]).collect();
+        let mut with_next = row_areas.clone();
+        with_next.push(areas[i]);
+        if row.is_empty() || worst_aspect(&with_next, side) <= worst_aspect(&row_areas, side) {
+            row.push(i);
+            i += 1;
+        } else {
+            lay_row(&mut cells, &mut nodes_opt, &row, &areas, &mut free);
+            row.clear();
+        }
+    }
+    if !row.is_empty() {
+        lay_row(&mut cells, &mut nodes_opt, &row, &areas, &mut free);
+    }
+    Treemap { cells }
+}
+
+/// Places a finished row along the shorter side of `free`, shrinking it.
+fn lay_row(
+    cells: &mut Vec<(TreemapNode, Rect)>,
+    nodes: &mut [Option<TreemapNode>],
+    row: &[usize],
+    areas: &[f64],
+    free: &mut Rect,
+) {
+    let row_area: f64 = row.iter().map(|&k| areas[k]).sum();
+    if row_area <= 0.0 {
+        return;
+    }
+    let horizontal = free.w < free.h; // lay row along the top (full width)
+    if horizontal {
+        let row_h = row_area / free.w;
+        let mut x = free.x;
+        for &k in row {
+            let w = areas[k] / row_h;
+            cells.push((
+                nodes[k].take().expect("node used once"),
+                Rect {
+                    x,
+                    y: free.y,
+                    w,
+                    h: row_h,
+                },
+            ));
+            x += w;
+        }
+        free.y += row_h;
+        free.h -= row_h;
+    } else {
+        let row_w = row_area / free.h;
+        let mut y = free.y;
+        for &k in row {
+            let h = areas[k] / row_w;
+            cells.push((
+                nodes[k].take().expect("node used once"),
+                Rect {
+                    x: free.x,
+                    y,
+                    w: row_w,
+                    h,
+                },
+            ));
+            y += h;
+        }
+        free.x += row_w;
+        free.w -= row_w;
+    }
+}
+
+impl Treemap {
+    /// Mean aspect ratio across cells (1 = all squares). Empty maps
+    /// return 1.
+    pub fn mean_aspect(&self) -> f64 {
+        if self.cells.is_empty() {
+            return 1.0;
+        }
+        self.cells.iter().map(|(_, r)| r.aspect()).sum::<f64>() / self.cells.len() as f64
+    }
+
+    /// ASCII rendering on a `cols`×`rows` character grid: each cell is
+    /// filled with a letter cycling a–z in layout order.
+    pub fn render_ascii(&self, cols: usize, rows: usize) -> String {
+        let mut out = String::with_capacity((cols + 1) * rows);
+        for ry in 0..rows {
+            for rx in 0..cols {
+                let px = (rx as f64 + 0.5) / cols as f64;
+                let py = (ry as f64 + 0.5) / rows as f64;
+                let ch = self
+                    .cells
+                    .iter()
+                    .position(|(_, r)| r.contains(px, py))
+                    .map(|k| (b'a' + (k % 26) as u8) as char)
+                    .unwrap_or(' ');
+                out.push(ch);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// SVG rendering: `palette[group]` gives the base colour as
+    /// `(r, g, b)`; shade scales lightness (newer = more saturated).
+    pub fn render_svg(&self, width: u32, height: u32, palette: &[(u8, u8, u8)]) -> String {
+        let mut svg = format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width}\" height=\"{height}\" \
+             viewBox=\"0 0 {width} {height}\">\n"
+        );
+        for (node, rect) in &self.cells {
+            let (r, g, b) = palette
+                .get(node.group % palette.len().max(1))
+                .copied()
+                .unwrap_or((128, 128, 128));
+            let fade = 0.45 + 0.55 * node.shade.clamp(0.0, 1.0);
+            let (r, g, b) = (
+                (r as f64 * fade + 255.0 * (1.0 - fade)) as u8,
+                (g as f64 * fade + 255.0 * (1.0 - fade)) as u8,
+                (b as f64 * fade + 255.0 * (1.0 - fade)) as u8,
+            );
+            let _ = writeln!(
+                svg,
+                "  <rect x=\"{:.1}\" y=\"{:.1}\" width=\"{:.1}\" height=\"{:.1}\" \
+                 fill=\"rgb({r},{g},{b})\" stroke=\"white\" stroke-width=\"1\">\
+                 <title>{}</title></rect>",
+                rect.x * width as f64,
+                rect.y * height as f64,
+                rect.w * width as f64,
+                rect.h * height as f64,
+                node.label
+            );
+        }
+        svg.push_str("</svg>\n");
+        svg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nodes(weights: &[f64]) -> Vec<TreemapNode> {
+        weights
+            .iter()
+            .enumerate()
+            .map(|(k, &w)| TreemapNode {
+                label: format!("n{k}"),
+                weight: w,
+                group: k % 3,
+                shade: 0.5,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn areas_proportional_to_weights() {
+        for algo in [Layout::Squarified, Layout::SliceAndDice] {
+            let t = layout(nodes(&[6.0, 3.0, 1.0]), Rect::UNIT, algo);
+            let total: f64 = t.cells.iter().map(|(_, r)| r.area()).sum();
+            assert!((total - 1.0).abs() < 1e-9, "{algo:?}: cells tile the square");
+            for (n, r) in &t.cells {
+                assert!(
+                    (r.area() - n.weight / 10.0).abs() < 1e-9,
+                    "{algo:?}: area of {} should be {}",
+                    n.label,
+                    n.weight / 10.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cells_do_not_overlap() {
+        let t = layout(nodes(&[5.0, 4.0, 3.0, 2.0, 1.0, 1.0]), Rect::UNIT, Layout::Squarified);
+        // Sample a fine grid: each point lies in at most one cell.
+        for gx in 0..50 {
+            for gy in 0..50 {
+                let px = (gx as f64 + 0.5) / 50.0;
+                let py = (gy as f64 + 0.5) / 50.0;
+                let hits = t.cells.iter().filter(|(_, r)| r.contains(px, py)).count();
+                assert!(hits <= 1, "point ({px},{py}) in {hits} cells");
+            }
+        }
+    }
+
+    #[test]
+    fn squarified_beats_slice_dice_on_aspect() {
+        let ws: Vec<f64> = (1..=12).map(|k| k as f64).collect();
+        let sq = layout(nodes(&ws), Rect::UNIT, Layout::Squarified);
+        let sd = layout(nodes(&ws), Rect::UNIT, Layout::SliceAndDice);
+        assert!(
+            sq.mean_aspect() < sd.mean_aspect(),
+            "squarified {:.2} should beat slice-dice {:.2}",
+            sq.mean_aspect(),
+            sd.mean_aspect()
+        );
+        assert!(sq.mean_aspect() < 3.0, "squarified cells stay near-square");
+    }
+
+    #[test]
+    fn slice_dice_preserves_order() {
+        let t = layout(nodes(&[1.0, 2.0, 3.0]), Rect::UNIT, Layout::SliceAndDice);
+        let labels: Vec<&str> = t.cells.iter().map(|(n, _)| n.label.as_str()).collect();
+        assert_eq!(labels, vec!["n0", "n1", "n2"]);
+        // Left-to-right placement.
+        assert!(t.cells.windows(2).all(|w| w[0].1.x <= w[1].1.x));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(layout(vec![], Rect::UNIT, Layout::Squarified).cells.is_empty());
+        assert!(layout(nodes(&[0.0, -1.0]), Rect::UNIT, Layout::Squarified)
+            .cells
+            .is_empty());
+        let single = layout(nodes(&[5.0]), Rect::UNIT, Layout::Squarified);
+        assert_eq!(single.cells.len(), 1);
+        assert!((single.cells[0].1.area() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ascii_renders_all_cells() {
+        let t = layout(nodes(&[4.0, 2.0, 1.0, 1.0]), Rect::UNIT, Layout::Squarified);
+        let art = t.render_ascii(40, 20);
+        assert_eq!(art.lines().count(), 20);
+        for k in 0..4usize {
+            let ch = (b'a' + k as u8) as char;
+            assert!(art.contains(ch), "cell {ch} missing from ASCII render");
+        }
+    }
+
+    #[test]
+    fn svg_contains_rects_and_titles() {
+        let t = layout(nodes(&[3.0, 1.0]), Rect::UNIT, Layout::Squarified);
+        let svg = t.render_svg(400, 300, &[(200, 60, 60), (60, 60, 200), (60, 200, 60)]);
+        assert!(svg.starts_with("<svg"));
+        assert_eq!(svg.matches("<rect").count(), 2);
+        assert!(svg.contains("<title>n0</title>"));
+        assert!(svg.ends_with("</svg>\n"));
+    }
+
+    #[test]
+    fn bigger_weight_gets_bigger_cell() {
+        let t = layout(nodes(&[10.0, 1.0]), Rect::UNIT, Layout::Squarified);
+        let big = t.cells.iter().find(|(n, _)| n.label == "n0").unwrap().1;
+        let small = t.cells.iter().find(|(n, _)| n.label == "n1").unwrap().1;
+        assert!(big.area() > small.area() * 5.0);
+    }
+}

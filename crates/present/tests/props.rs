@@ -1,0 +1,127 @@
+//! Property tests for the presentation layer.
+
+use exrec_present::critiques::{attribute_ranges, mine_compound, pattern_of};
+use exrec_present::facets::FacetBrowser;
+use exrec_present::treemap::{layout, Layout, Rect, TreemapNode};
+use exrec_data::synth::{cameras, holidays, WorldConfig};
+use exrec_types::ItemId;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn mined_critiques_always_match_their_supporters(seed in 0u64..500) {
+        let world = cameras::generate(&WorldConfig {
+            n_items: 25,
+            n_users: 3,
+            seed,
+            ..WorldConfig::default()
+        });
+        let candidates: Vec<ItemId> = world.catalog.ids().collect();
+        let reference = candidates[(seed % 25) as usize];
+        let compounds =
+            mine_compound(&world.catalog, reference, &candidates, 0.2, 3).unwrap();
+        let ranges = attribute_ranges(&world.catalog);
+        let reference_item = world.catalog.get(reference).unwrap();
+        for c in &compounds {
+            prop_assert!((0.0..=1.0).contains(&c.support));
+            prop_assert!(c.parts.len() >= 2);
+            let matches = candidates
+                .iter()
+                .filter(|&&i| i != reference)
+                .filter(|&&i| c.matches(world.catalog.get(i).unwrap(), reference_item, &ranges))
+                .count();
+            let expected = (c.support * (candidates.len() - 1) as f64).round() as usize;
+            prop_assert_eq!(matches, expected);
+            // Titles always verbalize.
+            prop_assert!(!c.title(world.catalog.schema()).is_empty());
+        }
+    }
+
+    #[test]
+    fn pattern_is_antisymmetric(seed in 0u64..500, a in 0u32..25, b in 0u32..25) {
+        let world = cameras::generate(&WorldConfig {
+            n_items: 25,
+            n_users: 3,
+            seed,
+            ..WorldConfig::default()
+        });
+        let ranges = attribute_ranges(&world.catalog);
+        let ia = world.catalog.get(ItemId(a)).unwrap();
+        let ib = world.catalog.get(ItemId(b)).unwrap();
+        let ab = pattern_of(ia, ib, &ranges);
+        let ba = pattern_of(ib, ia, &ranges);
+        // Every Less in a-vs-b appears as More in b-vs-a on the same attr.
+        use exrec_present::CritiqueDirection::*;
+        for uc in &ab {
+            let flipped = exrec_present::UnitCritique::new(
+                &uc.attribute,
+                match uc.direction { Less => More, More => Less },
+            );
+            prop_assert!(ba.contains(&flipped), "no mirror for {uc:?}");
+        }
+        prop_assert_eq!(ab.len(), ba.len());
+    }
+
+    #[test]
+    fn facet_counts_always_sum_to_visible(seed in 0u64..500) {
+        let world = holidays::generate(&WorldConfig {
+            n_items: 30,
+            n_users: 3,
+            seed,
+            ..WorldConfig::default()
+        });
+        let mut browser = FacetBrowser::new(&world.catalog);
+        // Apply an arbitrary style selection derived from the seed.
+        let styles = world.catalog.category_values("style");
+        let style = &styles[(seed % styles.len() as u64) as usize];
+        browser.select("style", style);
+        // For any *other* facet, counts sum to exactly the visible items.
+        let visible = browser.items().len();
+        let total: usize = browser.values("climate").iter().map(|v| v.count).sum();
+        prop_assert_eq!(total, visible);
+    }
+
+    #[test]
+    fn treemap_never_overlaps(weights in prop::collection::vec(0.1f64..20.0, 2..25)) {
+        let nodes: Vec<TreemapNode> = weights
+            .iter()
+            .enumerate()
+            .map(|(k, &w)| TreemapNode {
+                label: format!("n{k}"),
+                weight: w,
+                group: k % 3,
+                shade: 0.5,
+            })
+            .collect();
+        let t = layout(nodes, Rect::UNIT, Layout::Squarified);
+        for gx in 0..20 {
+            for gy in 0..20 {
+                let px = (gx as f64 + 0.5) / 20.0;
+                let py = (gy as f64 + 0.5) / 20.0;
+                let hits = t.cells.iter().filter(|(_, r)| r.contains(px, py)).count();
+                prop_assert!(hits <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn svg_is_well_formed_enough(weights in prop::collection::vec(0.5f64..10.0, 1..15)) {
+        let nodes: Vec<TreemapNode> = weights
+            .iter()
+            .enumerate()
+            .map(|(k, &w)| TreemapNode {
+                label: format!("n{k}"),
+                weight: w,
+                group: k,
+                shade: (k % 10) as f64 / 10.0,
+            })
+            .collect();
+        let n = nodes.len();
+        let t = layout(nodes, Rect::UNIT, Layout::Squarified);
+        let svg = t.render_svg(300, 200, &[(10, 20, 30), (200, 100, 50)]);
+        prop_assert_eq!(svg.matches("<rect").count(), n);
+        prop_assert_eq!(svg.matches("</svg>").count(), 1);
+    }
+}

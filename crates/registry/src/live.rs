@@ -1,0 +1,515 @@
+//! Live emulations of the survey's Table 4 systems.
+//!
+//! Every academic system the survey classifies is assembled here from
+//! toolkit components and exercised end-to-end; each emulation returns a
+//! deterministic transcript. The point is epistemic: Table 4's
+//! classification columns (presentation / explanation / interaction) are
+//! claims about *behaviour*, and these functions make the claims
+//! executable.
+
+use exrec_algo::baseline::Popularity;
+use exrec_algo::content::{NaiveBayesModel, TfIdfConfig, TfIdfModel};
+use exrec_algo::knowledge::{Constraint, Maut, Requirement};
+use exrec_algo::{Ctx, Recommender, UserKnn};
+use exrec_core::engine::Explainer;
+use exrec_core::interfaces::InterfaceId;
+use exrec_core::render::{PlainRenderer, Render};
+use exrec_data::synth::{books, cameras, holidays, movies, news, restaurants, WorldConfig};
+use exrec_data::Catalog;
+use exrec_interact::requirements::{DialogManager, Slot, SlotAnswer};
+use exrec_interact::profile::ScrutableProfile;
+use exrec_present::structured::{build_overview, OverviewConfig};
+use exrec_types::{AttributeDef, AttributeSet, Direction, DomainSchema, Result, UserId};
+use std::fmt::Write as _;
+
+/// A runnable emulation.
+pub struct Emulation {
+    /// Stable key (matches `SystemDescriptor::emulation`).
+    pub key: &'static str,
+    /// The emulated system's name.
+    pub name: &'static str,
+    /// Runs the scenario, returning a transcript.
+    pub run: fn(u64) -> Result<String>,
+}
+
+/// All ten emulations, Table 4 order.
+pub fn all() -> Vec<Emulation> {
+    vec![
+        Emulation { key: "libra", name: "LIBRA", run: libra },
+        Emulation { key: "news_dude", name: "News Dude", run: news_dude },
+        Emulation { key: "mycin", name: "MYCIN", run: mycin },
+        Emulation { key: "movielens", name: "MovieLens", run: movielens },
+        Emulation { key: "sasy", name: "SASY", run: sasy },
+        Emulation { key: "sim", name: "Sim", run: sim },
+        Emulation { key: "top_case", name: "Top Case", run: top_case },
+        Emulation { key: "organizational", name: "Organizational Structure", run: organizational },
+        Emulation { key: "place_advisor", name: "Adaptive Place Advisor", run: place_advisor },
+        Emulation { key: "acorn", name: "ACORN", run: acorn },
+    ]
+}
+
+/// Runs one emulation by key.
+///
+/// # Errors
+///
+/// Propagates the emulation's own errors; unknown keys yield
+/// [`exrec_types::Error::InvalidConfig`].
+pub fn run(key: &str, seed: u64) -> Result<String> {
+    let emu = all()
+        .into_iter()
+        .find(|e| e.key == key)
+        .ok_or(exrec_types::Error::InvalidConfig {
+            parameter: "emulation",
+            constraint: "a key from registry::live::all()".to_owned(),
+        })?;
+    (emu.run)(seed)
+}
+
+fn pick_user_with_ratings(
+    ratings: &exrec_data::RatingsMatrix,
+    min: usize,
+) -> Option<UserId> {
+    ratings
+        .users()
+        .find(|&u| ratings.user_ratings(u).len() >= min)
+}
+
+/// LIBRA: naive-Bayes book recommendation with influence explanation.
+fn libra(seed: u64) -> Result<String> {
+    let world = books::generate(&WorldConfig {
+        n_users: 30,
+        n_items: 40,
+        density: 0.3,
+        seed,
+        ..WorldConfig::default()
+    });
+    let ctx = Ctx::new(&world.ratings, &world.catalog);
+    let model = NaiveBayesModel::default();
+    let user = pick_user_with_ratings(&world.ratings, 5).expect("dense world");
+    let explainer = Explainer::new(&model, InterfaceId::InfluenceList);
+    let mut out = String::from("LIBRA (content-based book recommender)\n");
+    for (scored, expl) in explainer.recommend_explained(&ctx, user, 2) {
+        let title = &ctx.catalog.get(scored.item)?.title;
+        let _ = writeln!(out, "\nRecommended: \"{}\" ({:.1})", title, scored.prediction.score);
+        out.push_str(&PlainRenderer.render(&expl));
+    }
+    Ok(out)
+}
+
+/// News Dude: preference-based news stream with opinion feedback.
+fn news_dude(seed: u64) -> Result<String> {
+    let world = news::generate(&WorldConfig {
+        n_users: 20,
+        n_items: 40,
+        density: 0.3,
+        seed,
+        ..WorldConfig::default()
+    });
+    let mut ratings = world.ratings.clone();
+    let model = TfIdfModel::fit(&Ctx::new(&ratings, &world.catalog), TfIdfConfig::default())?;
+    let user = pick_user_with_ratings(&ratings, 4).expect("dense world");
+    let mut session = exrec_interact::session::RecommendationSession::new(
+        &mut ratings,
+        &world.catalog,
+        &model,
+        user,
+        exrec_interact::session::SessionStyle::Conversational,
+        InterfaceId::KeywordMatch,
+    );
+    let mut out = String::from("News Dude (personal news agent that talks, learns, and explains)\n");
+    let recs = session.recommend(3);
+    for s in &recs {
+        let _ = writeln!(
+            out,
+            "story: \"{}\"",
+            world.catalog.get(s.item)?.title
+        );
+    }
+    if let Some(first) = recs.first() {
+        let (_, expl) = session.why(first.item)?;
+        out.push_str("why? ");
+        out.push_str(&PlainRenderer.render(&expl));
+        session.opine(first.item, exrec_interact::opinions::Opinion::AlreadyKnow)?;
+        let _ = writeln!(out, "user: \"I already know this!\"");
+        let after = session.recommend(3);
+        let _ = writeln!(
+            out,
+            "next story: \"{}\"",
+            world.catalog.get(after[0].item)?.title
+        );
+    }
+    Ok(out)
+}
+
+/// MYCIN-style: rule/knowledge-based prescription with utility breakdown.
+fn mycin(_seed: u64) -> Result<String> {
+    let schema = DomainSchema::new(
+        "prescriptions",
+        vec![
+            AttributeDef::categorical("organism", "Target Organism"),
+            AttributeDef::numeric("toxicity", "Toxicity", Direction::LowerIsBetter),
+            AttributeDef::numeric("efficacy", "Efficacy", Direction::HigherIsBetter),
+            AttributeDef::flag("oral", "Oral Administration"),
+        ],
+    )?;
+    let mut catalog = Catalog::new(schema);
+    for (name, organism, tox, eff, oral) in [
+        ("Penicillin G", "gram-positive", 2.0, 0.85, false),
+        ("Ampicillin", "gram-positive", 2.5, 0.80, true),
+        ("Gentamicin", "gram-negative", 6.0, 0.90, false),
+        ("Tetracycline", "broad", 3.5, 0.70, true),
+        ("Erythromycin", "gram-positive", 2.0, 0.75, true),
+    ] {
+        catalog.add(
+            name,
+            AttributeSet::new()
+                .with("organism", organism)
+                .with("toxicity", tox)
+                .with("efficacy", eff)
+                .with("oral", oral),
+            vec![],
+        )?;
+    }
+    let ratings = exrec_data::RatingsMatrix::new(1, catalog.len(), exrec_types::RatingScale::UNIT);
+    let ctx = Ctx::new(&ratings, &catalog);
+    let maut = Maut::new(vec![
+        Requirement::hard("organism", Constraint::OneOf(vec![
+            "gram-positive".to_owned(),
+            "broad".to_owned(),
+        ])),
+        Requirement::soft("efficacy", Constraint::AtLeast(0.8)).with_weight(2.0),
+        Requirement::soft("toxicity", Constraint::AtMost(3.0)),
+        Requirement::soft("oral", Constraint::Is(true)),
+    ])?;
+    let explainer = Explainer::new(&maut, InterfaceId::UtilityBreakdown);
+    let top = maut.rank(&ctx, 1)[0];
+    let (_, expl) = explainer.explain(&ctx, UserId::new(0), top.item)?;
+    let mut out = String::from("MYCIN-style prescription advisor (knowledge-based)\n");
+    let _ = writeln!(out, "prescribe: {}", catalog.get(top.item)?.title);
+    out.push_str(&PlainRenderer.render(&expl));
+    Ok(out)
+}
+
+/// MovieLens: collaborative filtering with the ratings histogram.
+fn movielens(seed: u64) -> Result<String> {
+    let world = movies::generate(&WorldConfig {
+        n_users: 40,
+        n_items: 40,
+        density: 0.3,
+        seed,
+        ..WorldConfig::default()
+    });
+    let ctx = Ctx::new(&world.ratings, &world.catalog);
+    let model = UserKnn::default();
+    let user = pick_user_with_ratings(&world.ratings, 5).expect("dense world");
+    let explainer = Explainer::new(&model, InterfaceId::ClusteredHistogram);
+    let mut out = String::from("MovieLens (collaborative filtering with histogram explanations)\n");
+    for (scored, expl) in explainer.recommend_explained(&ctx, user, 1) {
+        let _ = writeln!(
+            out,
+            "\npredicted {:.1} for \"{}\"",
+            scored.prediction.score,
+            ctx.catalog.get(scored.item)?.title
+        );
+        out.push_str(&PlainRenderer.render(&expl));
+    }
+    Ok(out)
+}
+
+/// SASY: scrutable holiday profile with correction.
+fn sasy(seed: u64) -> Result<String> {
+    let world = holidays::generate(&WorldConfig {
+        n_users: 10,
+        n_items: 30,
+        density: 0.2,
+        seed,
+        ..WorldConfig::default()
+    });
+    let ctx = Ctx::new(&world.ratings, &world.catalog);
+    let model = Popularity::default();
+    let user = UserId::new(0);
+    let mut profile = ScrutableProfile::new();
+    profile.set_fact(exrec_core::provenance::ProfileFact::volunteered(
+        "travel_party", "family with children",
+    ));
+    profile.set_fact(exrec_core::provenance::ProfileFact::inferred(
+        "budget_band",
+        "premium",
+        "your last three bookings were above $2000",
+    ));
+    profile.infer_rule(
+        "style",
+        "ski",
+        exrec_interact::profile::RuleEffect::Bias(3.0),
+        "you viewed 5 ski holidays last week",
+    );
+    let mut out = String::from("SASY (scrutable adaptive hypertext for holidays)\n\n");
+    out.push_str(&profile.render_scrutable());
+    let ranked = profile.apply(&world.catalog, model.recommend(&ctx, user, usize::MAX));
+    let _ = writeln!(
+        out,
+        "\ntop suggestion: {}",
+        ctx.catalog.get(ranked[0].item)?.title
+    );
+    // The user scrutinizes and corrects the inferred interest.
+    profile.remove_rules("style", "ski");
+    profile.block("style", "ski");
+    out.push_str("\nuser corrects the profile: no skiing, thanks.\n");
+    let ranked = profile.apply(&world.catalog, model.recommend(&ctx, user, usize::MAX));
+    let _ = writeln!(
+        out,
+        "new top suggestion: {}",
+        ctx.catalog.get(ranked[0].item)?.title
+    );
+    Ok(out)
+}
+
+/// Sim: comparison-based PC recommendation.
+fn sim(_seed: u64) -> Result<String> {
+    let schema = DomainSchema::new(
+        "pcs",
+        vec![
+            AttributeDef::numeric("price", "Price", Direction::LowerIsBetter)
+                .with_unit("$")
+                .with_comparatives("More Expensive", "Cheaper"),
+            AttributeDef::numeric("ram", "RAM", Direction::HigherIsBetter)
+                .with_unit("GB")
+                .with_comparatives("More RAM", "Less RAM"),
+            AttributeDef::numeric("cpu", "Processor Speed", Direction::HigherIsBetter)
+                .with_comparatives("Faster", "Lower Processor Speed"),
+            AttributeDef::numeric("weight", "Weight", Direction::LowerIsBetter)
+                .with_comparatives("Heavier", "Lighter"),
+        ],
+    )?;
+    let mut catalog = Catalog::new(schema);
+    for (name, price, ram, cpu, weight) in [
+        ("Veldt Aero 13", 1400.0, 16.0, 3.2, 1.2),
+        ("Okari Slab 15", 900.0, 8.0, 2.4, 2.1),
+        ("Corvid Forge", 2100.0, 32.0, 4.0, 2.8),
+        ("Lumora Breeze", 700.0, 8.0, 2.0, 1.1),
+        ("Pentaxis Core", 1100.0, 16.0, 2.8, 1.7),
+    ] {
+        catalog.add(
+            name,
+            AttributeSet::new()
+                .with("price", price)
+                .with("ram", ram)
+                .with("cpu", cpu)
+                .with("weight", weight),
+            vec![],
+        )?;
+    }
+    let ratings = exrec_data::RatingsMatrix::new(1, catalog.len(), exrec_types::RatingScale::UNIT);
+    let ctx = Ctx::new(&ratings, &catalog);
+    let maut = Maut::new(vec![
+        Requirement::soft("price", Constraint::AtMost(1200.0)).with_weight(2.0),
+        Requirement::soft("ram", Constraint::AtLeast(16.0)),
+    ])?;
+    let ranked = maut.rank(&ctx, 3);
+    let mut out = String::from("Sim (comparison-based PC recommender)\n");
+    let reference = catalog.get(ranked[0].item)?;
+    let _ = writeln!(out, "best match: {}", reference.title);
+    let ranges = exrec_present::critiques::attribute_ranges(&catalog);
+    for s in &ranked[1..] {
+        let item = catalog.get(s.item)?;
+        let pattern = exrec_present::critiques::pattern_of(item, reference, &ranges);
+        let phrases: Vec<String> = pattern
+            .iter()
+            .map(|p| p.phrase(catalog.schema()))
+            .collect();
+        let _ = writeln!(out, "compared to it, {} is: {}", item.title, phrases.join(" and "));
+    }
+    Ok(out)
+}
+
+/// Top Case: best holiday case plus explained alternatives.
+fn top_case(seed: u64) -> Result<String> {
+    let world = holidays::generate(&WorldConfig {
+        n_users: 10,
+        n_items: 30,
+        density: 0.2,
+        seed,
+        ..WorldConfig::default()
+    });
+    let ctx = Ctx::new(&world.ratings, &world.catalog);
+    let maut = Maut::new(vec![
+        Requirement::soft("climate", Constraint::Equals("hot".to_owned())).with_weight(2.0),
+        Requirement::soft("price", Constraint::AtMost(1500.0)),
+        Requirement::soft("kid_friendly", Constraint::Is(true)),
+    ])?;
+    let explainer = Explainer::new(&maut, InterfaceId::UtilityBreakdown);
+    let ranked = maut.rank(&ctx, 3);
+    let mut out = String::from("Top Case (CBR holiday recommender)\n");
+    for (k, s) in ranked.iter().enumerate() {
+        let (_, expl) = explainer.explain(&ctx, UserId::new(0), s.item)?;
+        let _ = writeln!(
+            out,
+            "\ncase {}: {}",
+            k + 1,
+            ctx.catalog.get(s.item)?.title
+        );
+        out.push_str(&PlainRenderer.render(&expl));
+    }
+    Ok(out)
+}
+
+/// Pu & Chen's organizational structure over digital cameras.
+fn organizational(seed: u64) -> Result<String> {
+    let world = cameras::generate(&WorldConfig {
+        n_users: 5,
+        n_items: 40,
+        seed,
+        ..WorldConfig::default()
+    });
+    let ctx = Ctx::new(&world.ratings, &world.catalog);
+    let maut = Maut::new(vec![
+        Requirement::soft("price", Constraint::AtMost(400.0)).with_weight(2.0),
+        Requirement::soft("resolution", Constraint::AtLeast(8.0)),
+        Requirement::soft("zoom", Constraint::AtLeast(5.0)),
+    ])?;
+    let overview = build_overview(&maut, &ctx, &OverviewConfig::default())?;
+    let mut out = String::from("Organizational Structure (trade-off categories)\n\n");
+    out.push_str(&overview.render_plain(&ctx));
+    Ok(out)
+}
+
+/// Adaptive Place Advisor: conversational restaurant search.
+fn place_advisor(seed: u64) -> Result<String> {
+    let world = restaurants::generate(&WorldConfig {
+        n_users: 10,
+        n_items: 30,
+        density: 0.2,
+        seed,
+        ..WorldConfig::default()
+    });
+    let ctx = Ctx::new(&world.ratings, &world.catalog);
+    let mut dialog = DialogManager::new(vec![
+        Slot::new("cuisine", "What kind of food would you like?"),
+        Slot::new("price_level", "How much do you want to spend?"),
+        Slot::new("vegetarian", "Do you need vegetarian options?"),
+    ]);
+    dialog.prompt();
+    dialog.answer(SlotAnswer::Value("italian".to_owned()))?;
+    dialog.prompt();
+    dialog.answer(SlotAnswer::AtMost(2.0))?;
+    dialog.prompt();
+    dialog.answer(SlotAnswer::Unsure)?;
+    let mut out = String::from("Adaptive Place Advisor (conversational restaurant search)\n\n");
+    out.push_str(&dialog.render_transcript());
+    let maut = dialog.finish()?;
+    let ranked = maut.rank(&ctx, 1);
+    if let Some(top) = ranked.first() {
+        let _ = writeln!(
+            out,
+            "\nSystem: How about {}?",
+            ctx.catalog.get(top.item)?.title
+        );
+    }
+    Ok(out)
+}
+
+/// ACORN: conversational movie recommendation with a structured close.
+fn acorn(seed: u64) -> Result<String> {
+    let world = movies::generate(&WorldConfig {
+        n_users: 20,
+        n_items: 40,
+        density: 0.25,
+        seed,
+        ..WorldConfig::default()
+    });
+    let ctx = Ctx::new(&world.ratings, &world.catalog);
+    let mut dialog = DialogManager::new(vec![
+        Slot::new("genre", "What kind of movie do you feel like?"),
+        Slot::new("lead", "A favourite actor or actress?"),
+    ]);
+    dialog.prompt();
+    dialog.answer(SlotAnswer::Value("thriller".to_owned()))?;
+    dialog.prompt();
+    dialog.answer(SlotAnswer::Unsure)?;
+    let mut out = String::from("ACORN (conversational movie recommender)\n\n");
+    out.push_str(&dialog.render_transcript());
+    let maut = dialog.finish()?;
+    let ranked = maut.rank(&ctx, 3);
+    out.push_str("\n\nSystem: here is what matches, best first:\n");
+    for s in &ranked {
+        let _ = writeln!(
+            out,
+            "  - {} ({:.1})",
+            ctx.catalog.get(s.item)?.title,
+            s.prediction.score
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_ten_emulations_run() {
+        for emu in all() {
+            let transcript = (emu.run)(7).unwrap_or_else(|e| panic!("{} failed: {e}", emu.key));
+            assert!(
+                transcript.len() > 40,
+                "{} transcript too short:\n{transcript}",
+                emu.key
+            );
+        }
+    }
+
+    #[test]
+    fn emulations_are_deterministic() {
+        for emu in all() {
+            assert_eq!(
+                (emu.run)(11).unwrap(),
+                (emu.run)(11).unwrap(),
+                "{} not deterministic",
+                emu.key
+            );
+        }
+    }
+
+    #[test]
+    fn keys_match_table4() {
+        let keys: Vec<&str> = all().iter().map(|e| e.key).collect();
+        for sys in crate::systems::academic() {
+            assert!(
+                keys.contains(&sys.emulation.unwrap()),
+                "{} has no live emulation",
+                sys.name
+            );
+        }
+    }
+
+    #[test]
+    fn run_by_key_and_unknown_key() {
+        assert!(run("libra", 3).is_ok());
+        assert!(run("nonexistent", 3).is_err());
+    }
+
+    #[test]
+    fn characteristic_content() {
+        let sasy = run("sasy", 5).unwrap();
+        assert!(sasy.contains("You told us"), "scrutable sentences present");
+        assert!(sasy.contains("corrects the profile"));
+
+        let org = run("organizational", 5).unwrap();
+        assert!(org.contains("Best match:"));
+        assert!(org.contains("but") || org.contains("and"), "trade-off titles");
+
+        let pa = run("place_advisor", 5).unwrap();
+        assert!(pa.contains("System:"));
+        assert!(pa.contains("User: Uhm, I'm not sure"));
+
+        let ml = run("movielens", 5).unwrap();
+        assert!(ml.contains("tastes like yours") || ml.contains("Neighbour ratings"));
+
+        let libra_out = run("libra", 5).unwrap();
+        assert!(libra_out.contains("influenced the recommendation"));
+
+        let mycin_out = run("mycin", 5).unwrap();
+        assert!(mycin_out.contains("prescribe:"));
+        assert!(mycin_out.contains("matches your requirements"));
+    }
+}

@@ -1,0 +1,375 @@
+//! Descriptors for the systems of the survey's Tables 2–4.
+
+use exrec_core::aims::{Aim, AimProfile};
+use exrec_core::style::ExplanationStyle;
+use exrec_interact::mode::InteractionMode;
+use exrec_present::mode::PresentationMode;
+
+/// Commercial or academic system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemKind {
+    /// Table 3.
+    Commercial,
+    /// Table 4.
+    Academic,
+}
+
+/// One row of Table 3 or 4.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemDescriptor {
+    /// System name as printed in the survey.
+    pub name: &'static str,
+    /// Commercial or academic.
+    pub kind: SystemKind,
+    /// Survey citation key (academic systems), e.g. `"[5]"`.
+    pub citation: Option<&'static str>,
+    /// The "Item type" column.
+    pub item_type: &'static str,
+    /// The "Presentation" column.
+    pub presentation: Vec<PresentationMode>,
+    /// The "Explanation" column.
+    pub explanation: Vec<ExplanationStyle>,
+    /// The "Interaction" column.
+    pub interaction: Vec<InteractionMode>,
+    /// Aims pursued (Table 2; reconstructed for academic systems).
+    pub aims: AimProfile,
+    /// Which toolkit emulation backs this row, if any (see [`crate::live`]).
+    pub emulation: Option<&'static str>,
+}
+
+impl SystemDescriptor {
+    /// The presentation column as printed.
+    pub fn presentation_text(&self) -> String {
+        self.presentation
+            .iter()
+            .map(|p| p.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+
+    /// The explanation column as printed.
+    pub fn explanation_text(&self) -> String {
+        self.explanation
+            .iter()
+            .map(|e| e.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+
+    /// The interaction column as printed.
+    pub fn interaction_text(&self) -> String {
+        self.interaction
+            .iter()
+            .map(|i| i.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+/// The eight commercial systems of Table 3, verbatim classification.
+pub fn commercial() -> Vec<SystemDescriptor> {
+    use ExplanationStyle as E;
+    use InteractionMode as I;
+    use PresentationMode as P;
+    let d = |name,
+             item_type,
+             presentation: Vec<P>,
+             explanation: Vec<E>,
+             interaction: Vec<I>| SystemDescriptor {
+        name,
+        kind: SystemKind::Commercial,
+        citation: None,
+        item_type,
+        presentation,
+        explanation,
+        interaction,
+        aims: AimProfile::empty(),
+        emulation: None,
+    };
+    vec![
+        d(
+            "Amazon",
+            "e.g. Books, Movies",
+            vec![P::SimilarToTopItem],
+            vec![E::ContentBased],
+            vec![I::Rating, I::Opinion],
+        ),
+        d(
+            "Findory",
+            "News",
+            vec![P::SimilarToTopItem],
+            vec![E::PreferenceBased],
+            vec![I::ImplicitRating],
+        ),
+        d(
+            "LibraryThing",
+            "Books",
+            vec![P::SimilarToTopItem],
+            vec![E::CollaborativeBased],
+            vec![I::Rating],
+        ),
+        d(
+            "LoveFilm",
+            "Movies",
+            vec![P::TopN, P::PredictedRatings],
+            vec![E::ContentBased],
+            vec![I::Rating],
+        ),
+        d(
+            "OkCupid",
+            "People to date",
+            vec![P::TopN, P::PredictedRatings],
+            vec![E::PreferenceBased],
+            vec![I::SpecifyRequirements],
+        ),
+        d(
+            "Pandora",
+            "Music",
+            vec![P::TopItem],
+            vec![E::PreferenceBased],
+            vec![I::Opinion],
+        ),
+        d(
+            "StumbleUpon",
+            "Web pages",
+            vec![P::TopItem],
+            vec![E::PreferenceBased],
+            vec![I::Opinion],
+        ),
+        d(
+            "Qwikshop",
+            "Digital cameras",
+            vec![P::TopItem, P::SimilarToTopItem],
+            vec![E::PreferenceBased],
+            vec![I::Alteration],
+        ),
+    ]
+}
+
+/// The ten academic systems of Table 4, each backed by a live toolkit
+/// emulation, with Table 2 aims (reconstructed — see crate docs).
+pub fn academic() -> Vec<SystemDescriptor> {
+    use Aim as A;
+    use ExplanationStyle as E;
+    use InteractionMode as I;
+    use PresentationMode as P;
+    #[allow(clippy::too_many_arguments)]
+    fn d(
+        name: &'static str,
+        citation: &'static str,
+        item_type: &'static str,
+        presentation: Vec<PresentationMode>,
+        explanation: Vec<ExplanationStyle>,
+        interaction: Vec<InteractionMode>,
+        aims: &[Aim],
+        emulation: &'static str,
+    ) -> SystemDescriptor {
+        SystemDescriptor {
+            name,
+            kind: SystemKind::Academic,
+            citation: Some(citation),
+            item_type,
+            presentation,
+            explanation,
+            interaction,
+            aims: AimProfile::of(aims),
+            emulation: Some(emulation),
+        }
+    }
+    vec![
+        d(
+            "LIBRA",
+            "[5]",
+            "Books",
+            vec![P::TopN, P::PredictedRatings],
+            vec![E::ContentBased, E::CollaborativeBased],
+            vec![I::Rating],
+            &[A::Effectiveness],
+            "libra",
+        ),
+        d(
+            "News Dude",
+            "[6]",
+            "News",
+            vec![P::TopN],
+            vec![E::PreferenceBased],
+            vec![I::Opinion],
+            &[A::Transparency, A::Satisfaction],
+            "news_dude",
+        ),
+        d(
+            "MYCIN",
+            "[7]",
+            "Prescriptions",
+            vec![P::TopItem],
+            vec![E::PreferenceBased],
+            vec![I::SpecifyRequirements],
+            &[A::Transparency, A::Trust],
+            "mycin",
+        ),
+        d(
+            "MovieLens",
+            "[10, 18]",
+            "Movies",
+            vec![P::TopN, P::PredictedRatings],
+            vec![E::CollaborativeBased],
+            vec![I::Rating],
+            &[A::Trust, A::Persuasiveness, A::Satisfaction],
+            "movielens",
+        ),
+        d(
+            "SASY",
+            "[11]",
+            "E.g. holiday",
+            vec![P::TopItem],
+            vec![E::PreferenceBased],
+            vec![I::Alteration],
+            &[A::Transparency, A::Scrutability],
+            "sasy",
+        ),
+        d(
+            "Sim",
+            "[21]",
+            "PCs",
+            vec![P::TopN],
+            vec![E::PreferenceBased],
+            vec![I::Varied],
+            &[A::Efficiency],
+            "sim",
+        ),
+        d(
+            "Top Case",
+            "[24]",
+            "Holiday",
+            vec![P::TopItem, P::SimilarToTopItem],
+            vec![E::PreferenceBased],
+            vec![I::SpecifyRequirements],
+            &[A::Transparency, A::Trust],
+            "top_case",
+        ),
+        d(
+            "\"Organizational Structure\"",
+            "[28]",
+            "Digital camera, notebook computer",
+            vec![P::StructuredOverview],
+            vec![E::PreferenceBased],
+            vec![I::None],
+            &[A::Trust],
+            "organizational",
+        ),
+        d(
+            "ADAPTIVE PLACE ADVISOR",
+            "[35]",
+            "Restaurants",
+            vec![P::TopItem],
+            vec![E::PreferenceBased],
+            vec![I::SpecifyRequirements],
+            &[A::Efficiency, A::Satisfaction],
+            "place_advisor",
+        ),
+        d(
+            "ACORN",
+            "[37]",
+            "Movies",
+            vec![P::StructuredOverview, P::TopN],
+            vec![E::PreferenceBased],
+            vec![I::SpecifyRequirements],
+            &[A::Efficiency, A::Satisfaction],
+            "acorn",
+        ),
+    ]
+}
+
+/// The additional cited works of Table 2 that are studies rather than
+/// Table 4 systems, with their reconstructed aims.
+pub fn table2_extra() -> Vec<(&'static str, AimProfile)> {
+    use Aim as A;
+    vec![
+        ("[2]", AimProfile::of(&[A::Transparency, A::Satisfaction])), // INTRIGUE
+        ("[20]", AimProfile::of(&[A::Effectiveness, A::Efficiency])), // Qwikshop critiques
+        ("[31]", AimProfile::of(&[A::Transparency])),                 // Sinha & Swearingen
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_has_eight_rows() {
+        let rows = commercial();
+        assert_eq!(rows.len(), 8);
+        let names: Vec<&str> = rows.iter().map(|r| r.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "Amazon",
+                "Findory",
+                "LibraryThing",
+                "LoveFilm",
+                "OkCupid",
+                "Pandora",
+                "StumbleUpon",
+                "Qwikshop"
+            ]
+        );
+    }
+
+    #[test]
+    fn table4_has_ten_rows_all_emulated() {
+        let rows = academic();
+        assert_eq!(rows.len(), 10);
+        for r in &rows {
+            assert!(r.emulation.is_some(), "{} lacks an emulation", r.name);
+            assert!(r.citation.is_some());
+            assert!(!r.aims.is_empty(), "{} has no aims", r.name);
+        }
+    }
+
+    #[test]
+    fn classification_matches_survey_text() {
+        let rows = commercial();
+        let amazon = &rows[0];
+        assert_eq!(amazon.presentation_text(), "Similar to top item(s)");
+        assert_eq!(amazon.explanation_text(), "Content-based");
+        assert_eq!(amazon.interaction_text(), "Rating, Opinion");
+
+        let qwikshop = rows.iter().find(|r| r.name == "Qwikshop").unwrap();
+        assert_eq!(qwikshop.interaction_text(), "Alteration");
+
+        let academic_rows = academic();
+        let sasy = academic_rows.iter().find(|r| r.name == "SASY").unwrap();
+        assert_eq!(sasy.item_type, "E.g. holiday");
+        assert_eq!(sasy.interaction_text(), "Alteration");
+        let org = academic_rows
+            .iter()
+            .find(|r| r.name.contains("Organizational"))
+            .unwrap();
+        assert_eq!(org.presentation_text(), "Structured overview");
+        assert_eq!(org.interaction_text(), "(None)");
+    }
+
+    #[test]
+    fn table2_covers_fourteen_citations() {
+        let total = academic().len() + table2_extra().len();
+        // The survey's Table 2 lists 14 cited systems; [10,18] share one
+        // Table 4 row (MovieLens) but are two Table 2 rows, so 10 + 3 + 1
+        // (the shared row counts twice) = 14.
+        assert_eq!(total + 1, 14);
+    }
+
+    #[test]
+    fn scrutability_only_with_corrective_interaction() {
+        // Sanity constraint: a system that claims the scrutability aim
+        // must expose a corrective interaction mode.
+        for r in academic() {
+            if r.aims.contains(Aim::Scrutability) {
+                assert!(
+                    r.interaction.iter().any(|i| i.is_corrective()),
+                    "{} claims scrutability without corrective interaction",
+                    r.name
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Generators for the survey's Tables 1–4.
+
+use crate::systems::{academic, commercial, table2_extra};
+use exrec_core::aims::Aim;
+use std::fmt::Write as _;
+
+/// A generated table: title, headers, rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableSpec {
+    /// Table title as printed.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl TableSpec {
+    /// Aligned ASCII rendering.
+    pub fn render_ascii(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{:w$}", c, w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+                .trim_end()
+                .to_owned()
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers));
+        let _ = writeln!(
+            out,
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row));
+        }
+        out
+    }
+}
+
+/// Table 1: the seven aims and their definitions, verbatim.
+pub fn table1() -> TableSpec {
+    TableSpec {
+        title: "Table 1. Aims".to_owned(),
+        headers: vec!["Aim".to_owned(), "Definition".to_owned()],
+        rows: Aim::ALL
+            .iter()
+            .map(|a| {
+                vec![
+                    format!("{} ({})", a.name(), a.abbreviation()),
+                    a.definition().to_owned(),
+                ]
+            })
+            .collect(),
+    }
+}
+
+/// Table 2: aims of academic systems, one row per citation key, `X`
+/// marks per aim column (matrix reconstructed — see crate docs).
+pub fn table2() -> TableSpec {
+    let mut rows: Vec<(String, exrec_core::aims::AimProfile)> = Vec::new();
+    for sys in academic() {
+        // MovieLens carries two citations in Table 4 but Table 2 lists
+        // them separately.
+        let citation = sys.citation.unwrap_or("?");
+        if citation.contains(',') {
+            for c in citation.split(',') {
+                rows.push((format!("[{}]", c.trim().trim_matches(['[', ']'])), sys.aims));
+            }
+        } else {
+            rows.push((citation.to_owned(), sys.aims));
+        }
+    }
+    for (citation, aims) in table2_extra() {
+        rows.push((citation.to_owned(), aims));
+    }
+    rows.sort_by_key(|(c, _)| {
+        c.trim_matches(['[', ']'])
+            .parse::<u32>()
+            .unwrap_or(u32::MAX)
+    });
+
+    let mut headers = vec!["System".to_owned()];
+    headers.extend(Aim::ALL.iter().map(|a| a.abbreviation().to_owned()));
+    TableSpec {
+        title: "Table 2. Aims of academic systems (matrix reconstructed)".to_owned(),
+        headers,
+        rows: rows
+            .into_iter()
+            .map(|(citation, aims)| {
+                let mut row = vec![citation];
+                for a in Aim::ALL {
+                    row.push(if aims.contains(a) { "X" } else { "" }.to_owned());
+                }
+                row
+            })
+            .collect(),
+    }
+}
+
+/// Table 3: commercial systems with explanation facilities.
+pub fn table3() -> TableSpec {
+    TableSpec {
+        title: "Table 3. A selection of commercial recommender systems with explanation facilities"
+            .to_owned(),
+        headers: vec![
+            "System".to_owned(),
+            "Item type".to_owned(),
+            "Presentation (Section 4)".to_owned(),
+            "Explanation".to_owned(),
+            "Interaction (Section 5)".to_owned(),
+        ],
+        rows: commercial()
+            .into_iter()
+            .map(|s| {
+                vec![
+                    s.name.to_owned(),
+                    s.item_type.to_owned(),
+                    s.presentation_text(),
+                    s.explanation_text(),
+                    s.interaction_text(),
+                ]
+            })
+            .collect(),
+    }
+}
+
+/// Table 4: academic systems with explanation facilities, each backed by
+/// a live toolkit emulation.
+pub fn table4() -> TableSpec {
+    TableSpec {
+        title: "Table 4. A selection of academic recommender systems with explanation facilities"
+            .to_owned(),
+        headers: vec![
+            "System".to_owned(),
+            "Item type".to_owned(),
+            "Presentation (Section 4)".to_owned(),
+            "Explanation".to_owned(),
+            "Interaction (Section 5)".to_owned(),
+            "Emulation".to_owned(),
+        ],
+        rows: academic()
+            .into_iter()
+            .map(|s| {
+                vec![
+                    format!("{} {}", s.name, s.citation.unwrap_or("")),
+                    s.item_type.to_owned(),
+                    s.presentation_text(),
+                    s.explanation_text(),
+                    s.interaction_text(),
+                    s.emulation.unwrap_or("-").to_owned(),
+                ]
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_is_verbatim() {
+        let t = table1();
+        assert_eq!(t.rows.len(), 7);
+        assert_eq!(t.rows[0][0], "Transparency (Tra.)");
+        assert_eq!(t.rows[0][1], "Explain how the system works");
+        assert_eq!(t.rows[6][1], "Increase the ease of usability or enjoyment");
+        let ascii = t.render_ascii();
+        assert!(ascii.contains("Table 1. Aims"));
+        assert!(ascii.contains("Convince users to try or buy"));
+    }
+
+    #[test]
+    fn table2_rows_sorted_by_citation() {
+        let t = table2();
+        assert_eq!(t.headers.len(), 8);
+        assert_eq!(t.rows.len(), 14);
+        let keys: Vec<u32> = t
+            .rows
+            .iter()
+            .map(|r| r[0].trim_matches(['[', ']']).parse::<u32>().unwrap())
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+        // Every row has at least one X.
+        for r in &t.rows {
+            assert!(r[1..].iter().any(|c| c == "X"), "{} has no aims", r[0]);
+        }
+    }
+
+    #[test]
+    fn table3_matches_survey_rows() {
+        let t = table3();
+        assert_eq!(t.rows.len(), 8);
+        let ascii = t.render_ascii();
+        assert!(ascii.contains("Amazon"));
+        assert!(ascii.contains("Qwikshop"));
+        assert!(ascii.contains("Similar to top item(s)"));
+    }
+
+    #[test]
+    fn table4_lists_emulations() {
+        let t = table4();
+        assert_eq!(t.rows.len(), 10);
+        for row in &t.rows {
+            assert_ne!(row[5], "-", "{} must have an emulation", row[0]);
+        }
+        assert!(t.render_ascii().contains("ADAPTIVE PLACE ADVISOR"));
+    }
+}

@@ -1,0 +1,362 @@
+//! Schema-described item attributes.
+//!
+//! Knowledge-based recommendation, critiquing ("Less Memory and Lower
+//! Resolution and Cheaper", survey Section 5.2) and structured overviews
+//! (Section 4.5) all need to reason about item attributes *generically*:
+//! which attributes exist, whether they are numeric or categorical, and in
+//! which direction "better" lies. This module provides that vocabulary.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The kind of values an attribute holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttributeKind {
+    /// Continuous or ordinal numeric values (price, resolution, weight…).
+    Numeric,
+    /// Unordered categorical values (brand, genre, cuisine…).
+    Categorical,
+    /// Free-text / keyword bags (descriptions, reviews).
+    Text,
+    /// Boolean flags (has-flash, vegetarian-options…).
+    Flag,
+}
+
+impl fmt::Display for AttributeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AttributeKind::Numeric => "numeric",
+            AttributeKind::Categorical => "categorical",
+            AttributeKind::Text => "text",
+            AttributeKind::Flag => "flag",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Which direction of a numeric attribute is preferable, all else equal.
+///
+/// Critique generators use this to verbalize trade-offs: a lower price on
+/// a [`Direction::LowerIsBetter`] attribute is rendered as "cheaper",
+/// while a lower resolution on a [`Direction::HigherIsBetter`] attribute
+/// is "lower resolution".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Direction {
+    /// Larger values are better (resolution, memory, battery life).
+    HigherIsBetter,
+    /// Smaller values are better (price, weight, distance).
+    LowerIsBetter,
+    /// No universal ordering (screen size, spice level) — user-specific.
+    #[default]
+    Neutral,
+}
+
+/// Definition of one attribute in a domain schema.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttributeDef {
+    /// Machine name, unique within a schema (e.g. `"price"`).
+    pub name: String,
+    /// Human-readable label (e.g. `"Price"`).
+    pub label: String,
+    /// Value kind.
+    pub kind: AttributeKind,
+    /// Preference direction for numeric attributes.
+    pub direction: Direction,
+    /// Optional unit suffix for rendering (e.g. `"$"`, `"MP"`, `"g"`).
+    pub unit: Option<String>,
+    /// Adjective pair used when verbalizing comparisons, as
+    /// `(more_word, less_word)` — e.g. `("more expensive", "cheaper")`.
+    /// When absent, generic "higher X" / "lower X" phrasing is used.
+    pub comparatives: Option<(String, String)>,
+}
+
+impl AttributeDef {
+    /// Creates a numeric attribute definition.
+    pub fn numeric(name: &str, label: &str, direction: Direction) -> Self {
+        Self {
+            name: name.to_owned(),
+            label: label.to_owned(),
+            kind: AttributeKind::Numeric,
+            direction,
+            unit: None,
+            comparatives: None,
+        }
+    }
+
+    /// Creates a categorical attribute definition.
+    pub fn categorical(name: &str, label: &str) -> Self {
+        Self {
+            name: name.to_owned(),
+            label: label.to_owned(),
+            kind: AttributeKind::Categorical,
+            direction: Direction::Neutral,
+            unit: None,
+            comparatives: None,
+        }
+    }
+
+    /// Creates a flag attribute definition.
+    pub fn flag(name: &str, label: &str) -> Self {
+        Self {
+            name: name.to_owned(),
+            label: label.to_owned(),
+            kind: AttributeKind::Flag,
+            direction: Direction::Neutral,
+            unit: None,
+            comparatives: None,
+        }
+    }
+
+    /// Creates a text attribute definition.
+    pub fn text(name: &str, label: &str) -> Self {
+        Self {
+            name: name.to_owned(),
+            label: label.to_owned(),
+            kind: AttributeKind::Text,
+            direction: Direction::Neutral,
+            unit: None,
+            comparatives: None,
+        }
+    }
+
+    /// Attaches a unit suffix (builder style).
+    pub fn with_unit(mut self, unit: &str) -> Self {
+        self.unit = Some(unit.to_owned());
+        self
+    }
+
+    /// Attaches comparative adjectives (builder style):
+    /// `with_comparatives("more expensive", "cheaper")`.
+    pub fn with_comparatives(mut self, more: &str, less: &str) -> Self {
+        self.comparatives = Some((more.to_owned(), less.to_owned()));
+        self
+    }
+
+    /// The word for "this item has *more* of the attribute".
+    pub fn more_word(&self) -> String {
+        match &self.comparatives {
+            Some((more, _)) => more.clone(),
+            None => format!("higher {}", self.label.to_lowercase()),
+        }
+    }
+
+    /// The word for "this item has *less* of the attribute".
+    pub fn less_word(&self) -> String {
+        match &self.comparatives {
+            Some((_, less)) => less.clone(),
+            None => format!("lower {}", self.label.to_lowercase()),
+        }
+    }
+}
+
+/// A single attribute value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AttrValue {
+    /// Numeric value.
+    Num(f64),
+    /// Categorical symbol.
+    Cat(String),
+    /// Text (already lowercase-tokenizable).
+    Text(String),
+    /// Boolean flag.
+    Flag(bool),
+}
+
+impl AttrValue {
+    /// The numeric value, if this is [`AttrValue::Num`].
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            AttrValue::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The categorical symbol, if this is [`AttrValue::Cat`].
+    pub fn as_cat(&self) -> Option<&str> {
+        match self {
+            AttrValue::Cat(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The text payload, if this is [`AttrValue::Text`].
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            AttrValue::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The flag, if this is [`AttrValue::Flag`].
+    pub fn as_flag(&self) -> Option<bool> {
+        match self {
+            AttrValue::Flag(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Whether this value's variant matches an [`AttributeKind`].
+    pub fn matches_kind(&self, kind: AttributeKind) -> bool {
+        matches!(
+            (self, kind),
+            (AttrValue::Num(_), AttributeKind::Numeric)
+                | (AttrValue::Cat(_), AttributeKind::Categorical)
+                | (AttrValue::Text(_), AttributeKind::Text)
+                | (AttrValue::Flag(_), AttributeKind::Flag)
+        )
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Num(v) => {
+                if (v.fract()).abs() < 1e-9 {
+                    write!(f, "{}", *v as i64)
+                } else {
+                    write!(f, "{v:.2}")
+                }
+            }
+            AttrValue::Cat(s) | AttrValue::Text(s) => f.write_str(s),
+            AttrValue::Flag(b) => f.write_str(if *b { "yes" } else { "no" }),
+        }
+    }
+}
+
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::Num(v)
+    }
+}
+
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> Self {
+        AttrValue::Flag(v)
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Cat(v.to_owned())
+    }
+}
+
+/// An ordered map of attribute name → value, as carried by each item.
+///
+/// A `BTreeMap` keeps rendering deterministic.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct AttributeSet {
+    values: BTreeMap<String, AttrValue>,
+}
+
+impl AttributeSet {
+    /// An empty attribute set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets an attribute (builder style).
+    pub fn with(mut self, name: &str, value: impl Into<AttrValue>) -> Self {
+        self.values.insert(name.to_owned(), value.into());
+        self
+    }
+
+    /// Sets an attribute in place.
+    pub fn set(&mut self, name: &str, value: impl Into<AttrValue>) {
+        self.values.insert(name.to_owned(), value.into());
+    }
+
+    /// Looks up an attribute value.
+    pub fn get(&self, name: &str) -> Option<&AttrValue> {
+        self.values.get(name)
+    }
+
+    /// Numeric value shortcut.
+    pub fn num(&self, name: &str) -> Option<f64> {
+        self.get(name).and_then(AttrValue::as_num)
+    }
+
+    /// Categorical value shortcut.
+    pub fn cat(&self, name: &str) -> Option<&str> {
+        self.get(name).and_then(AttrValue::as_cat)
+    }
+
+    /// Flag value shortcut.
+    pub fn flag(&self, name: &str) -> Option<bool> {
+        self.get(name).and_then(AttrValue::as_flag)
+    }
+
+    /// Text value shortcut.
+    pub fn text(&self, name: &str) -> Option<&str> {
+        self.get(name).and_then(AttrValue::as_text)
+    }
+
+    /// Number of attributes present.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &AttrValue)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_lookup() {
+        let a = AttributeSet::new()
+            .with("price", 499.0)
+            .with("brand", "Canon")
+            .with("flash", true);
+        assert_eq!(a.num("price"), Some(499.0));
+        assert_eq!(a.cat("brand"), Some("Canon"));
+        assert_eq!(a.flag("flash"), Some(true));
+        assert_eq!(a.num("missing"), None);
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn kind_matching() {
+        assert!(AttrValue::Num(1.0).matches_kind(AttributeKind::Numeric));
+        assert!(!AttrValue::Num(1.0).matches_kind(AttributeKind::Flag));
+        assert!(AttrValue::Text("x".into()).matches_kind(AttributeKind::Text));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(AttrValue::Num(5.0).to_string(), "5");
+        assert_eq!(AttrValue::Num(5.25).to_string(), "5.25");
+        assert_eq!(AttrValue::Flag(false).to_string(), "no");
+        assert_eq!(AttrValue::Cat("Canon".into()).to_string(), "Canon");
+    }
+
+    #[test]
+    fn comparative_words() {
+        let price = AttributeDef::numeric("price", "Price", Direction::LowerIsBetter)
+            .with_comparatives("more expensive", "cheaper");
+        assert_eq!(price.more_word(), "more expensive");
+        assert_eq!(price.less_word(), "cheaper");
+
+        let zoom = AttributeDef::numeric("zoom", "Optical Zoom", Direction::HigherIsBetter);
+        assert_eq!(zoom.more_word(), "higher optical zoom");
+        assert_eq!(zoom.less_word(), "lower optical zoom");
+    }
+
+    #[test]
+    fn iter_is_name_ordered() {
+        let a = AttributeSet::new().with("z", 1.0).with("a", 2.0).with("m", 3.0);
+        let names: Vec<&str> = a.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a", "m", "z"]);
+    }
+}

@@ -1,0 +1,217 @@
+//! Domain schemas and items.
+//!
+//! A [`DomainSchema`] declares which attributes items of a domain carry
+//! (the survey spans movies, news, books, digital cameras, restaurants,
+//! holidays and more — see Tables 3 and 4). An [`Item`] is one
+//! recommendable object with a title, schema-described attributes and a
+//! keyword bag used by content-based recommenders.
+
+use crate::attribute::{AttributeDef, AttributeSet};
+use crate::error::{Error, Result};
+use crate::id::ItemId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Declarative description of a domain's attributes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DomainSchema {
+    /// Human-readable domain name (e.g. `"movies"`).
+    pub name: String,
+    attributes: Vec<AttributeDef>,
+}
+
+impl DomainSchema {
+    /// Builds a schema from a name and attribute definitions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DuplicateAttribute`] when two definitions share a
+    /// name.
+    pub fn new(name: &str, attributes: Vec<AttributeDef>) -> Result<Self> {
+        for (i, a) in attributes.iter().enumerate() {
+            if attributes[..i].iter().any(|b| b.name == a.name) {
+                return Err(Error::DuplicateAttribute {
+                    attribute: a.name.clone(),
+                });
+            }
+        }
+        Ok(Self {
+            name: name.to_owned(),
+            attributes,
+        })
+    }
+
+    /// All attribute definitions, in declaration order.
+    pub fn attributes(&self) -> &[AttributeDef] {
+        &self.attributes
+    }
+
+    /// Looks up an attribute definition by machine name.
+    pub fn attribute(&self, name: &str) -> Option<&AttributeDef> {
+        self.attributes.iter().find(|a| a.name == name)
+    }
+
+    /// Validates that every value in `attrs` is declared in the schema
+    /// with a matching kind.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownAttribute`] or [`Error::KindMismatch`].
+    pub fn validate(&self, attrs: &AttributeSet) -> Result<()> {
+        for (name, value) in attrs.iter() {
+            let def = self.attribute(name).ok_or_else(|| Error::UnknownAttribute {
+                attribute: name.to_owned(),
+                domain: self.name.clone(),
+            })?;
+            if !value.matches_kind(def.kind) {
+                return Err(Error::KindMismatch {
+                    attribute: name.to_owned(),
+                    expected: def.kind,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for DomainSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} attributes)", self.name, self.attributes.len())
+    }
+}
+
+/// One recommendable object.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Item {
+    /// Dense identifier within a catalog.
+    pub id: ItemId,
+    /// Display title.
+    pub title: String,
+    /// Schema-described attributes.
+    pub attrs: AttributeSet,
+    /// Keyword bag for content-based models (lowercased tokens).
+    pub keywords: Vec<String>,
+}
+
+impl Item {
+    /// Builds an item with no attributes or keywords.
+    pub fn new(id: ItemId, title: &str) -> Self {
+        Self {
+            id,
+            title: title.to_owned(),
+            attrs: AttributeSet::new(),
+            keywords: Vec::new(),
+        }
+    }
+
+    /// Sets the attribute set (builder style).
+    pub fn with_attrs(mut self, attrs: AttributeSet) -> Self {
+        self.attrs = attrs;
+        self
+    }
+
+    /// Sets the keyword bag (builder style), lowercasing each keyword.
+    pub fn with_keywords<I, S>(mut self, keywords: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        self.keywords = keywords
+            .into_iter()
+            .map(|k| k.as_ref().to_lowercase())
+            .collect();
+        self
+    }
+
+    /// Whether the keyword bag contains `keyword` (case-insensitive).
+    pub fn has_keyword(&self, keyword: &str) -> bool {
+        let k = keyword.to_lowercase();
+        self.keywords.contains(&k)
+    }
+}
+
+impl fmt::Display for Item {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} \"{}\"", self.id, self.title)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::Direction;
+
+    fn camera_schema() -> DomainSchema {
+        DomainSchema::new(
+            "cameras",
+            vec![
+                AttributeDef::numeric("price", "Price", Direction::LowerIsBetter),
+                AttributeDef::numeric("resolution", "Resolution", Direction::HigherIsBetter),
+                AttributeDef::categorical("brand", "Brand"),
+                AttributeDef::flag("flash", "Flash"),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn schema_rejects_duplicates() {
+        let err = DomainSchema::new(
+            "d",
+            vec![
+                AttributeDef::flag("x", "X"),
+                AttributeDef::numeric("x", "X2", Direction::Neutral),
+            ],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn schema_lookup() {
+        let s = camera_schema();
+        assert!(s.attribute("price").is_some());
+        assert!(s.attribute("nope").is_none());
+        assert_eq!(s.attributes().len(), 4);
+    }
+
+    #[test]
+    fn validate_accepts_conforming_items() {
+        let s = camera_schema();
+        let attrs = AttributeSet::new()
+            .with("price", 300.0)
+            .with("brand", "Nikon")
+            .with("flash", true);
+        assert!(s.validate(&attrs).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_unknown_and_mismatched() {
+        let s = camera_schema();
+        let unknown = AttributeSet::new().with("weight", 1.0);
+        assert!(matches!(
+            s.validate(&unknown),
+            Err(Error::UnknownAttribute { .. })
+        ));
+        let mismatch = AttributeSet::new().with("price", "cheap");
+        assert!(matches!(
+            s.validate(&mismatch),
+            Err(Error::KindMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn item_keywords_lowercase() {
+        let it = Item::new(ItemId::new(0), "Great Expectations")
+            .with_keywords(["Dickens", "Victorian", "ORPHAN"]);
+        assert!(it.has_keyword("dickens"));
+        assert!(it.has_keyword("Dickens"));
+        assert!(!it.has_keyword("austen"));
+    }
+
+    #[test]
+    fn item_display() {
+        let it = Item::new(ItemId::new(3), "Oliver Twist");
+        assert_eq!(it.to_string(), "i3 \"Oliver Twist\"");
+    }
+}

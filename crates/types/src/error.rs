@@ -1,0 +1,187 @@
+//! The workspace-wide error type.
+//!
+//! A single enum keeps cross-crate `Result` plumbing simple; variants are
+//! grouped by the subsystem that raises them. The enum is `#[non_exhaustive]`
+//! so downstream code must keep a catch-all arm, letting the toolkit add
+//! variants without a breaking release.
+
+use crate::attribute::AttributeKind;
+use crate::id::{ItemId, UserId};
+use crate::rating::RatingScale;
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+/// All error conditions surfaced by the toolkit.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A rating scale with inconsistent bounds or step was requested.
+    InvalidScale {
+        /// Requested lower bound.
+        min: f64,
+        /// Requested upper bound.
+        max: f64,
+        /// Requested step.
+        step: f64,
+    },
+    /// A rating value off the scale was supplied.
+    InvalidRating {
+        /// Offending value.
+        value: f64,
+        /// Scale it was checked against.
+        scale: RatingScale,
+    },
+    /// A user id outside the model's user space.
+    UnknownUser {
+        /// Offending id.
+        user: UserId,
+    },
+    /// An item id outside the catalog.
+    UnknownItem {
+        /// Offending id.
+        item: ItemId,
+    },
+    /// Two attribute definitions in one schema share a name.
+    DuplicateAttribute {
+        /// The duplicated name.
+        attribute: String,
+    },
+    /// An attribute not declared by the domain schema.
+    UnknownAttribute {
+        /// The undeclared name.
+        attribute: String,
+        /// Schema name.
+        domain: String,
+    },
+    /// An attribute value of the wrong kind.
+    KindMismatch {
+        /// Attribute name.
+        attribute: String,
+        /// Kind declared in the schema.
+        expected: AttributeKind,
+    },
+    /// A model was queried before it was fitted, or fitted on no data.
+    EmptyModel {
+        /// Which model.
+        model: &'static str,
+    },
+    /// A prediction could not be made (e.g. no overlapping neighbours).
+    NoPrediction {
+        /// User the prediction was for.
+        user: UserId,
+        /// Item the prediction was for.
+        item: ItemId,
+        /// Why it failed.
+        reason: &'static str,
+    },
+    /// A conversational session was driven with an action invalid in its
+    /// current state.
+    InvalidSessionAction {
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+    /// A requested explanation interface cannot run on the supplied
+    /// evidence (e.g. a neighbour histogram without neighbour evidence).
+    MissingEvidence {
+        /// Name of the interface that was asked to render.
+        interface: &'static str,
+        /// Evidence kind it needs.
+        needs: &'static str,
+    },
+    /// A configuration value outside its legal range.
+    InvalidConfig {
+        /// Parameter name.
+        parameter: &'static str,
+        /// Human-readable constraint that was violated.
+        constraint: String,
+    },
+    /// A data snapshot could not be decoded.
+    CorruptSnapshot {
+        /// What went wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidScale { min, max, step } => {
+                write!(f, "invalid rating scale: min={min}, max={max}, step={step}")
+            }
+            Error::InvalidRating { value, scale } => {
+                write!(f, "rating {value} is not on scale {scale}")
+            }
+            Error::UnknownUser { user } => write!(f, "unknown user {user}"),
+            Error::UnknownItem { item } => write!(f, "unknown item {item}"),
+            Error::DuplicateAttribute { attribute } => {
+                write!(f, "duplicate attribute \"{attribute}\" in schema")
+            }
+            Error::UnknownAttribute { attribute, domain } => {
+                write!(f, "attribute \"{attribute}\" not declared in domain \"{domain}\"")
+            }
+            Error::KindMismatch { attribute, expected } => {
+                write!(f, "attribute \"{attribute}\" must be {expected}")
+            }
+            Error::EmptyModel { model } => write!(f, "{model} has not been fitted on any data"),
+            Error::NoPrediction { user, item, reason } => {
+                write!(f, "no prediction for ({user}, {item}): {reason}")
+            }
+            Error::InvalidSessionAction { detail } => {
+                write!(f, "invalid session action: {detail}")
+            }
+            Error::MissingEvidence { interface, needs } => {
+                write!(f, "interface \"{interface}\" requires {needs} evidence")
+            }
+            Error::InvalidConfig { parameter, constraint } => {
+                write!(f, "invalid configuration: {parameter} must satisfy {constraint}")
+            }
+            Error::CorruptSnapshot { detail } => write!(f, "corrupt snapshot: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = Error::UnknownUser { user: UserId::new(9) };
+        assert_eq!(e.to_string(), "unknown user u9");
+
+        let e = Error::NoPrediction {
+            user: UserId::new(1),
+            item: ItemId::new(2),
+            reason: "no overlapping neighbours",
+        };
+        assert!(e.to_string().contains("no overlapping neighbours"));
+
+        let e = Error::MissingEvidence {
+            interface: "histogram",
+            needs: "neighbour",
+        };
+        assert!(e.to_string().contains("histogram"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Error::EmptyModel { model: "user-knn" });
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            Error::UnknownItem { item: ItemId::new(1) },
+            Error::UnknownItem { item: ItemId::new(1) }
+        );
+        assert_ne!(
+            Error::UnknownItem { item: ItemId::new(1) },
+            Error::UnknownItem { item: ItemId::new(2) }
+        );
+    }
+}

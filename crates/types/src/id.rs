@@ -1,0 +1,105 @@
+//! Strongly-typed entity identifiers.
+//!
+//! Users and items are both stored in dense, zero-based index spaces; the
+//! newtypes exist purely so that the two spaces cannot be mixed up.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a user in a dense, zero-based index space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct UserId(pub u32);
+
+/// Identifier of an item in a dense, zero-based index space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct ItemId(pub u32);
+
+macro_rules! impl_id {
+    ($name:ident, $letter:literal) => {
+        impl $name {
+            /// Builds an identifier from a raw index.
+            #[inline]
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// The raw index.
+            #[inline]
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+
+            /// The raw index as a `usize`, for direct vector indexing.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($letter, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(raw: u32) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$name> for u32 {
+            fn from(id: $name) -> u32 {
+                id.0
+            }
+        }
+    };
+}
+
+impl_id!(UserId, "u");
+impl_id!(ItemId, "i");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_round_trip_through_raw() {
+        let u = UserId::new(42);
+        assert_eq!(u.raw(), 42);
+        assert_eq!(u.index(), 42usize);
+        assert_eq!(UserId::from(42u32), u);
+        assert_eq!(u32::from(u), 42);
+    }
+
+    #[test]
+    fn display_is_prefixed() {
+        assert_eq!(UserId::new(7).to_string(), "u7");
+        assert_eq!(ItemId::new(9).to_string(), "i9");
+    }
+
+    #[test]
+    fn ids_order_by_raw_value() {
+        assert!(ItemId::new(1) < ItemId::new(2));
+        let mut v = vec![UserId::new(3), UserId::new(1), UserId::new(2)];
+        v.sort();
+        assert_eq!(v, vec![UserId::new(1), UserId::new(2), UserId::new(3)]);
+    }
+
+    #[test]
+    fn ids_hash_distinctly() {
+        let set: HashSet<ItemId> = (0..100).map(ItemId::new).collect();
+        assert_eq!(set.len(), 100);
+    }
+
+    #[test]
+    fn serde_is_transparent() {
+        let json = serde_json::to_string(&ItemId::new(5)).unwrap();
+        assert_eq!(json, "5");
+        let back: ItemId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ItemId::new(5));
+    }
+}

@@ -1,0 +1,37 @@
+//! # exrec-types
+//!
+//! Foundation types shared by every crate in the `exrec` workspace: entity
+//! identifiers, rating values and scales, item attributes and domain
+//! schemas, and the common error type.
+//!
+//! The toolkit reproduces the framework of Tintarev & Masthoff,
+//! *A Survey of Explanations in Recommender Systems* (ICDE'07 workshops).
+//! This crate deliberately contains no algorithmic code — only the
+//! vocabulary the rest of the system speaks.
+//!
+//! ## Design notes
+//!
+//! * Identifiers are newtypes over `u32` ([`UserId`], [`ItemId`]) so that a
+//!   user index can never be confused with an item index at compile time.
+//! * Ratings are validated at construction against a [`RatingScale`]; a
+//!   [`Rating`] therefore always holds an in-scale value.
+//! * Item attributes are schema-described ([`DomainSchema`]) so that
+//!   knowledge-based recommenders and critique generators can reason about
+//!   *directions* ("cheaper is better") without domain-specific code.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod attribute;
+pub mod domain;
+pub mod error;
+pub mod id;
+pub mod rating;
+pub mod time;
+
+pub use attribute::{AttrValue, AttributeDef, AttributeKind, AttributeSet, Direction};
+pub use domain::{DomainSchema, Item};
+pub use error::{Error, Result};
+pub use id::{ItemId, UserId};
+pub use rating::{Confidence, Prediction, Rating, RatingScale};
+pub use time::SimTime;

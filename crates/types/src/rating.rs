@@ -1,0 +1,379 @@
+//! Rating values, rating scales and predictions.
+//!
+//! The survey distinguishes two dimensions of a recommendation (Section
+//! 4.6, after Herlocker et al. 2004): the *strength* of the recommendation
+//! (how much the system thinks the user will like the item) and the
+//! *confidence* (how sure the system is). [`Prediction`] carries both, and
+//! the explanation layer may disclose either or both depending on the
+//! recommender's "personality".
+
+use crate::error::{Error, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An inclusive rating scale, e.g. 1..5 stars in steps of 1, or 0.5..5.0
+/// in steps of 0.5.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RatingScale {
+    min: f64,
+    max: f64,
+    step: f64,
+}
+
+impl RatingScale {
+    /// The classic MovieLens-style five-star scale (1.0 ..= 5.0, step 1).
+    pub const FIVE_STAR: RatingScale = RatingScale {
+        min: 1.0,
+        max: 5.0,
+        step: 1.0,
+    };
+
+    /// A half-star scale (0.5 ..= 5.0, step 0.5).
+    pub const HALF_STAR: RatingScale = RatingScale {
+        min: 0.5,
+        max: 5.0,
+        step: 0.5,
+    };
+
+    /// A unit interval scale (0 ..= 1, continuous).
+    pub const UNIT: RatingScale = RatingScale {
+        min: 0.0,
+        max: 1.0,
+        step: 0.0,
+    };
+
+    /// Builds a custom scale. `step == 0.0` means continuous.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidScale`] when `min >= max`, any bound is not
+    /// finite, or `step` is negative.
+    pub fn new(min: f64, max: f64, step: f64) -> Result<Self> {
+        if !(min.is_finite() && max.is_finite() && step.is_finite())
+            || min >= max
+            || step < 0.0
+            || step > max - min
+        {
+            return Err(Error::InvalidScale { min, max, step });
+        }
+        Ok(Self { min, max, step })
+    }
+
+    /// Lower bound of the scale.
+    #[inline]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Upper bound of the scale.
+    #[inline]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Step between adjacent levels; `0.0` for a continuous scale.
+    #[inline]
+    pub fn step(&self) -> f64 {
+        self.step
+    }
+
+    /// Width of the scale (`max - min`).
+    #[inline]
+    pub fn span(&self) -> f64 {
+        self.max - self.min
+    }
+
+    /// Midpoint of the scale, a common neutral prior for mean-centred
+    /// predictors.
+    #[inline]
+    pub fn midpoint(&self) -> f64 {
+        self.min + self.span() / 2.0
+    }
+
+    /// Whether `value` lies on the scale (within bounds; for stepped
+    /// scales, within a small tolerance of a step level).
+    pub fn contains(&self, value: f64) -> bool {
+        if !value.is_finite() || value < self.min - 1e-9 || value > self.max + 1e-9 {
+            return false;
+        }
+        if self.step == 0.0 {
+            return true;
+        }
+        let k = (value - self.min) / self.step;
+        (k - k.round()).abs() < 1e-6
+    }
+
+    /// Clamps an arbitrary score to the nearest value on the scale.
+    pub fn clamp(&self, value: f64) -> f64 {
+        let v = value.clamp(self.min, self.max);
+        if self.step == 0.0 {
+            v
+        } else {
+            // Snap to the nearest step *level*, never past the last one
+            // (which may sit below `max` when the span is not a multiple
+            // of the step).
+            let k_max = ((self.span() + 1e-9) / self.step).floor();
+            let k = ((v - self.min) / self.step).round().clamp(0.0, k_max);
+            self.min + k * self.step
+        }
+    }
+
+    /// Clamps a score into the scale's bounds *without* snapping to step
+    /// levels. Predictions are conceptually continuous ("4.2 stars") even
+    /// on stepped scales; use [`RatingScale::clamp`] only for values a
+    /// user would actually enter.
+    #[inline]
+    pub fn bound(&self, value: f64) -> f64 {
+        if value.is_nan() {
+            self.midpoint()
+        } else {
+            value.clamp(self.min, self.max)
+        }
+    }
+
+    /// Maps a `[0, 1]` value onto the scale *without* snapping to step
+    /// levels (the continuous counterpart of [`RatingScale::denormalize`]).
+    #[inline]
+    pub fn denormalize_continuous(&self, unit: f64) -> f64 {
+        self.min + unit.clamp(0.0, 1.0) * self.span()
+    }
+
+    /// All discrete levels of the scale, lowest first. Empty for a
+    /// continuous scale.
+    pub fn levels(&self) -> Vec<f64> {
+        if self.step == 0.0 {
+            return Vec::new();
+        }
+        let n = ((self.span() + 1e-9) / self.step).floor() as usize;
+        (0..=n).map(|k| self.min + k as f64 * self.step).collect()
+    }
+
+    /// Normalizes an in-scale value to `[0, 1]`.
+    #[inline]
+    pub fn normalize(&self, value: f64) -> f64 {
+        ((value - self.min) / self.span()).clamp(0.0, 1.0)
+    }
+
+    /// Maps a `[0, 1]` value back onto the scale (snapping to steps).
+    #[inline]
+    pub fn denormalize(&self, unit: f64) -> f64 {
+        self.clamp(self.min + unit.clamp(0.0, 1.0) * self.span())
+    }
+}
+
+impl Default for RatingScale {
+    fn default() -> Self {
+        Self::FIVE_STAR
+    }
+}
+
+impl fmt::Display for RatingScale {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.step == 0.0 {
+            write!(f, "[{}, {}] (continuous)", self.min, self.max)
+        } else {
+            write!(f, "[{}, {}] step {}", self.min, self.max, self.step)
+        }
+    }
+}
+
+/// A validated rating: the value is guaranteed to lie on the scale it was
+/// constructed with.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Rating(f64);
+
+impl Rating {
+    /// Validates `value` against `scale`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidRating`] when the value is off-scale.
+    pub fn new(value: f64, scale: &RatingScale) -> Result<Self> {
+        if scale.contains(value) {
+            Ok(Self(value))
+        } else {
+            Err(Error::InvalidRating {
+                value,
+                scale: *scale,
+            })
+        }
+    }
+
+    /// Snaps an arbitrary score onto `scale` and wraps it.
+    pub fn clamped(value: f64, scale: &RatingScale) -> Self {
+        Self(scale.clamp(value))
+    }
+
+    /// The rating value.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Rating {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}", self.0)
+    }
+}
+
+/// A confidence level in `[0, 1]`. Out-of-range inputs are clamped.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Confidence(f64);
+
+impl Confidence {
+    /// Full confidence.
+    pub const CERTAIN: Confidence = Confidence(1.0);
+    /// No confidence at all.
+    pub const NONE: Confidence = Confidence(0.0);
+
+    /// Builds a confidence, clamping into `[0, 1]` (NaN becomes 0).
+    pub fn new(v: f64) -> Self {
+        if v.is_nan() {
+            Self(0.0)
+        } else {
+            Self(v.clamp(0.0, 1.0))
+        }
+    }
+
+    /// The confidence value in `[0, 1]`.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// A coarse verbal label, used by "frank" recommender personalities
+    /// when admitting how sure they are (survey Section 4.6).
+    pub fn label(self) -> &'static str {
+        match self.0 {
+            v if v >= 0.85 => "very confident",
+            v if v >= 0.6 => "confident",
+            v if v >= 0.35 => "somewhat unsure",
+            _ => "not confident",
+        }
+    }
+}
+
+impl fmt::Display for Confidence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.0}%", self.0 * 100.0)
+    }
+}
+
+/// A predicted rating: strength (the score, on some scale) plus the
+/// system's confidence in it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Prediction {
+    /// Predicted score, on the model's rating scale.
+    pub score: f64,
+    /// How sure the model is of `score`.
+    pub confidence: Confidence,
+}
+
+impl Prediction {
+    /// Builds a prediction.
+    pub fn new(score: f64, confidence: Confidence) -> Self {
+        Self { score, confidence }
+    }
+
+    /// A prediction with full confidence (e.g. from deterministic
+    /// knowledge-based scoring).
+    pub fn certain(score: f64) -> Self {
+        Self {
+            score,
+            confidence: Confidence::CERTAIN,
+        }
+    }
+}
+
+impl fmt::Display for Prediction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} ({})", self.score, self.confidence)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_star_levels() {
+        assert_eq!(RatingScale::FIVE_STAR.levels(), vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(RatingScale::HALF_STAR.levels().len(), 10);
+        assert!(RatingScale::UNIT.levels().is_empty());
+    }
+
+    #[test]
+    fn contains_respects_steps() {
+        let s = RatingScale::FIVE_STAR;
+        assert!(s.contains(3.0));
+        assert!(!s.contains(3.5));
+        assert!(!s.contains(0.0));
+        assert!(!s.contains(6.0));
+        assert!(!s.contains(f64::NAN));
+        assert!(RatingScale::UNIT.contains(0.37));
+    }
+
+    #[test]
+    fn clamp_snaps_to_nearest_level() {
+        let s = RatingScale::FIVE_STAR;
+        assert_eq!(s.clamp(3.4), 3.0);
+        assert_eq!(s.clamp(3.6), 4.0);
+        assert_eq!(s.clamp(-2.0), 1.0);
+        assert_eq!(s.clamp(9.0), 5.0);
+    }
+
+    #[test]
+    fn invalid_scales_rejected() {
+        assert!(RatingScale::new(5.0, 1.0, 1.0).is_err());
+        assert!(RatingScale::new(1.0, 5.0, -1.0).is_err());
+        assert!(RatingScale::new(f64::NAN, 5.0, 1.0).is_err());
+        assert!(RatingScale::new(0.0, 1.0, 0.0).is_ok());
+        assert!(
+            RatingScale::new(0.0, 0.5, 0.7).is_err(),
+            "step larger than the span is degenerate"
+        );
+    }
+
+    #[test]
+    fn rating_validation() {
+        let s = RatingScale::FIVE_STAR;
+        assert!(Rating::new(4.0, &s).is_ok());
+        assert!(Rating::new(4.2, &s).is_err());
+        assert_eq!(Rating::clamped(4.2, &s).value(), 4.0);
+    }
+
+    #[test]
+    fn normalize_round_trips() {
+        let s = RatingScale::FIVE_STAR;
+        for level in s.levels() {
+            let u = s.normalize(level);
+            assert!((s.denormalize(u) - level).abs() < 1e-9);
+        }
+        assert_eq!(s.normalize(1.0), 0.0);
+        assert_eq!(s.normalize(5.0), 1.0);
+    }
+
+    #[test]
+    fn confidence_clamps_and_labels() {
+        assert_eq!(Confidence::new(1.5).value(), 1.0);
+        assert_eq!(Confidence::new(-0.5).value(), 0.0);
+        assert_eq!(Confidence::new(f64::NAN).value(), 0.0);
+        assert_eq!(Confidence::new(0.9).label(), "very confident");
+        assert_eq!(Confidence::new(0.1).label(), "not confident");
+    }
+
+    #[test]
+    fn midpoint_is_neutral() {
+        assert_eq!(RatingScale::FIVE_STAR.midpoint(), 3.0);
+        assert_eq!(RatingScale::UNIT.midpoint(), 0.5);
+    }
+
+    #[test]
+    fn prediction_display() {
+        let p = Prediction::new(4.25, Confidence::new(0.8));
+        assert_eq!(p.to_string(), "4.25 (80%)");
+    }
+}

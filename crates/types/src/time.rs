@@ -1,0 +1,96 @@
+//! Simulated time.
+//!
+//! The evaluation harness measures efficiency (survey Section 3.6) in
+//! *modelled* time: reading an explanation, scanning a list and issuing a
+//! critique each cost a deterministic number of ticks. Wall-clock time
+//! would make studies machine-dependent and non-reproducible.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, measured in abstract ticks.
+///
+/// One tick is roughly "one second of user effort" in the behavioural
+/// model, but nothing depends on that interpretation.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Builds a time from raw ticks.
+    #[inline]
+    pub const fn from_ticks(t: u64) -> Self {
+        Self(t)
+    }
+
+    /// Raw tick count.
+    #[inline]
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating difference (`self - earlier`), in ticks.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: u64) -> SimTime {
+        SimTime(self.0.saturating_add(rhs))
+    }
+}
+
+impl AddAssign<u64> for SimTime {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 = self.0.saturating_add(rhs);
+    }
+}
+
+impl Sub for SimTime {
+    type Output = u64;
+    fn sub(self, rhs: SimTime) -> u64 {
+        self.since(rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let mut t = SimTime::ZERO;
+        t += 5;
+        let t2 = t + 10;
+        assert_eq!(t2.ticks(), 15);
+        assert_eq!(t2 - t, 10);
+        assert_eq!(t - t2, 0, "difference saturates");
+    }
+
+    #[test]
+    fn saturation_at_max() {
+        let t = SimTime::from_ticks(u64::MAX);
+        assert_eq!((t + 1).ticks(), u64::MAX);
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        assert!(SimTime::from_ticks(1) < SimTime::from_ticks(2));
+        assert_eq!(SimTime::from_ticks(7).to_string(), "t7");
+    }
+}

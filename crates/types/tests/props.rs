@@ -1,0 +1,91 @@
+//! Property tests for the foundation types.
+
+use exrec_types::*;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn custom_scales_behave(min in -10.0f64..10.0, span in 0.5f64..20.0, step in 0.0f64..2.0) {
+        let max = min + span;
+        let Ok(scale) = RatingScale::new(min, max, step) else {
+            // Only invalid when step is degenerate relative to span; the
+            // constructor is the oracle.
+            return Ok(());
+        };
+        // Midpoint is inside.
+        prop_assert!(scale.midpoint() >= min && scale.midpoint() <= max);
+        // Clamp always lands on-scale.
+        for v in [min - 5.0, min, (min + max) / 2.0, max, max + 5.0] {
+            prop_assert!(scale.contains(scale.clamp(v)), "clamp({v}) off scale");
+        }
+        // Levels (if any) are all contained and ascending.
+        let levels = scale.levels();
+        prop_assert!(levels.windows(2).all(|w| w[0] < w[1]));
+        for l in levels {
+            prop_assert!(scale.contains(l));
+        }
+    }
+
+    #[test]
+    fn bound_is_idempotent(v in -100.0f64..100.0) {
+        let s = RatingScale::FIVE_STAR;
+        prop_assert_eq!(s.bound(s.bound(v)), s.bound(v));
+    }
+
+    #[test]
+    fn confidence_always_unit(v in -10.0f64..10.0) {
+        let c = Confidence::new(v);
+        prop_assert!((0.0..=1.0).contains(&c.value()));
+        prop_assert!(!c.label().is_empty());
+    }
+
+    #[test]
+    fn attribute_set_get_returns_last_set(
+        pairs in prop::collection::vec(("[a-c]", -100.0f64..100.0), 1..20)
+    ) {
+        let mut set = AttributeSet::new();
+        let mut last: std::collections::HashMap<String, f64> = Default::default();
+        for (k, v) in &pairs {
+            set.set(k, *v);
+            last.insert(k.clone(), *v);
+        }
+        for (k, v) in &last {
+            prop_assert_eq!(set.num(k), Some(*v));
+        }
+        prop_assert_eq!(set.len(), last.len());
+    }
+
+    #[test]
+    fn ids_serde_round_trip(raw in any::<u32>()) {
+        let u = UserId::new(raw);
+        let json = serde_json::to_string(&u).unwrap();
+        prop_assert_eq!(serde_json::from_str::<UserId>(&json).unwrap(), u);
+        let i = ItemId::new(raw);
+        let json = serde_json::to_string(&i).unwrap();
+        prop_assert_eq!(serde_json::from_str::<ItemId>(&json).unwrap(), i);
+    }
+
+    #[test]
+    fn sim_time_is_monotone_under_addition(start in 0u64..1_000_000, deltas in prop::collection::vec(0u64..1000, 0..50)) {
+        let mut t = SimTime::from_ticks(start);
+        let mut prev = t;
+        for d in deltas {
+            t += d;
+            prop_assert!(t >= prev);
+            prop_assert_eq!(t - prev, d);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn error_display_never_empty(user in any::<u32>(), item in any::<u32>()) {
+        let errors = vec![
+            Error::UnknownUser { user: UserId::new(user) },
+            Error::UnknownItem { item: ItemId::new(item) },
+            Error::EmptyModel { model: "m" },
+        ];
+        for e in errors {
+            prop_assert!(!e.to_string().is_empty());
+        }
+    }
+}

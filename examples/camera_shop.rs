@@ -1,0 +1,72 @@
+//! Camera shop: Qwikshop-style conversational critiquing with dynamic
+//! compound critiques and a structured trade-off overview.
+//!
+//! ```text
+//! cargo run --example camera_shop
+//! ```
+
+use exrec::algo::knowledge::{Constraint, Maut, Requirement};
+use exrec::interact::critiquing::{CritiqueOutcome, CritiqueSession};
+use exrec::present::structured::{build_overview, OverviewConfig};
+use exrec::prelude::*;
+
+fn main() {
+    let world = exrec::data::synth::cameras::generate(&WorldConfig {
+        n_items: 60,
+        n_users: 5,
+        ..WorldConfig::default()
+    });
+    let ctx = Ctx::new(&world.ratings, &world.catalog);
+
+    let maut = Maut::new(vec![
+        Requirement::soft("price", Constraint::AtMost(450.0)).with_weight(2.0),
+        Requirement::soft("resolution", Constraint::AtLeast(8.0)),
+        Requirement::soft("zoom", Constraint::AtLeast(5.0)),
+    ])
+    .expect("valid requirements");
+
+    // The structured overview: best match + titled trade-off categories
+    // (Pu & Chen, survey Section 4.5).
+    let overview = build_overview(&maut, &ctx, &OverviewConfig::default())
+        .expect("camera world yields an overview");
+    println!("{}", overview.render_plain(&ctx));
+
+    // A conversational session: the shopper keeps asking for cheaper
+    // cameras until the pool pushes back with a repair action.
+    println!("\n--- conversational critiquing ---");
+    let (mut session, mut screen) =
+        CritiqueSession::start(maut, &ctx, OverviewConfig::default()).expect("session starts");
+    for round in 0..6 {
+        let current = world.catalog.get(screen.current.item).unwrap();
+        println!(
+            "\ncycle {}: showing \"{}\" (${})",
+            screen.cycle,
+            current.title,
+            current.attrs.num("price").unwrap_or_default()
+        );
+        for (k, (_, title)) in screen.options.iter().enumerate() {
+            println!("  option {}: {}", k + 1, title);
+        }
+        let Some((critique, title)) = screen.options.first().cloned() else {
+            println!("no further critiques available");
+            break;
+        };
+        println!("shopper picks: {title}");
+        match session
+            .apply_compound(&ctx, screen.current.item, &critique)
+            .expect("critique applies")
+        {
+            CritiqueOutcome::Continue(next) => screen = next,
+            CritiqueOutcome::Repaired { relaxed, screen: next } => {
+                println!(
+                    "(no camera satisfies that — relaxed your \"{relaxed}\" requirement instead)"
+                );
+                screen = next;
+            }
+        }
+        if round == 5 {
+            println!("\nshopper settles after {} cycles ({} ticks of effort)",
+                session.cycles(), session.elapsed().ticks());
+        }
+    }
+}

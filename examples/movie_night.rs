@@ -1,0 +1,75 @@
+//! Movie night: the MovieLens-style pipeline, all 21 explanation
+//! interfaces side by side, and the recommender-personality lens.
+//!
+//! ```text
+//! cargo run --example movie_night
+//! ```
+
+use exrec::core::interfaces::ExplainInput;
+use exrec::core::personality::{Personality, PersonalityLens};
+use exrec::prelude::*;
+
+fn main() {
+    let world = exrec::data::synth::movies::generate(&WorldConfig {
+        n_users: 80,
+        n_items: 60,
+        density: 0.25,
+        ..WorldConfig::default()
+    });
+    let ctx = Ctx::new(&world.ratings, &world.catalog);
+    let knn = UserKnn::default();
+    let user = world
+        .ratings
+        .users()
+        .find(|&u| world.ratings.user_ratings(u).len() >= 8)
+        .expect("active user");
+
+    let scored = knn
+        .recommend(&ctx, user, 1)
+        .into_iter()
+        .next()
+        .expect("a recommendation");
+    let movie = world.catalog.get(scored.item).unwrap();
+    println!(
+        "tonight's pick for {user}: \"{}\" (predicted {})\n",
+        movie.title, scored.prediction
+    );
+
+    // Every interface that can run on collaborative evidence, in catalog
+    // order. Interfaces whose evidence needs aren't met are reported.
+    let evidence = knn.evidence(&ctx, user, scored.item).unwrap();
+    let input = ExplainInput {
+        ctx: &ctx,
+        user,
+        item: scored.item,
+        prediction: scored.prediction,
+        evidence: &evidence,
+    };
+    for id in InterfaceId::ALL {
+        println!("── {} ──", id);
+        match id.generate(&input) {
+            Ok(explanation) if explanation.fragments.is_empty() => {
+                println!("(control: no explanation shown)\n");
+            }
+            Ok(explanation) => println!("{}", PlainRenderer.render(&explanation)),
+            Err(e) => println!("(not applicable here: {e})\n"),
+        }
+    }
+
+    // Personality: the same algorithm, angled (survey Section 4.6).
+    println!("personality lens on the same prediction:");
+    for personality in Personality::ALL {
+        let lens = PersonalityLens::new(UserKnn::default(), personality);
+        let p = lens.predict(&ctx, user, scored.item).unwrap();
+        println!(
+            "  {:>13}: {:.2}{}",
+            personality.name(),
+            p.score,
+            if personality.discloses_confidence() {
+                format!(" — and admits it is {}", p.confidence.label())
+            } else {
+                String::new()
+            }
+        );
+    }
+}

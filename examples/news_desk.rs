@@ -1,0 +1,98 @@
+//! News desk: the survey's running football/technology example — a
+//! preference-based news stream with opinion feedback, the treemap
+//! overview of Figure 2, and faceted browsing.
+//!
+//! ```text
+//! cargo run --example news_desk
+//! ```
+
+use exrec::algo::content::{TfIdfConfig, TfIdfModel};
+use exrec::interact::opinions::Opinion;
+use exrec::interact::session::{RecommendationSession, SessionStyle};
+use exrec::present::facets::FacetBrowser;
+use exrec::present::treemap::{layout, Layout, Rect, TreemapNode};
+use exrec::prelude::*;
+
+fn main() {
+    let world = exrec::data::synth::news::generate(&WorldConfig {
+        n_users: 40,
+        n_items: 50,
+        density: 0.3,
+        ..WorldConfig::default()
+    });
+
+    // --- Figure 2: the treemap front page -----------------------------
+    let nodes: Vec<TreemapNode> = world
+        .catalog
+        .iter()
+        .map(|it| TreemapNode {
+            label: it.title.clone(),
+            weight: it.attrs.num("popularity").unwrap_or(1.0).max(1.0),
+            group: world.prototypes[it.id.index()],
+            shade: it.attrs.num("recency").unwrap_or(50.0) / 100.0,
+        })
+        .collect();
+    let map = layout(nodes, Rect::UNIT, Layout::Squarified);
+    println!("front page (treemap: letter=story, area=importance):\n");
+    println!("{}", map.render_ascii(68, 16));
+
+    // --- Faceted browsing (Section 4.5) -------------------------------
+    let mut facets = FacetBrowser::new(&world.catalog);
+    facets.select("topic", "sport");
+    println!("sport desk — subtopic counts:");
+    for v in facets.values("subtopic") {
+        println!("  {:10} {}", v.value, v.count);
+    }
+
+    // --- The running example: a football fan's session ----------------
+    let mut ratings = world.ratings.clone();
+    let model = TfIdfModel::fit(&Ctx::new(&ratings, &world.catalog), TfIdfConfig::default())
+        .expect("news world fits");
+    let user = ratings
+        .users()
+        .find(|&u| ratings.user_ratings(u).len() >= 5)
+        .expect("active reader");
+    let mut session = RecommendationSession::new(
+        &mut ratings,
+        &world.catalog,
+        &model,
+        user,
+        SessionStyle::Conversational,
+        InterfaceId::TopicProfile,
+    );
+
+    println!("\nreader {user}'s stream:");
+    let recs = session.recommend(3);
+    for s in &recs {
+        println!("  - {}", world.catalog.get(s.item).unwrap().title);
+    }
+
+    // The Section 4.2 group explanation: what ties the list together.
+    {
+        let ctx2 = Ctx::new(&world.ratings, &world.catalog);
+        let items: Vec<ItemId> = recs.iter().map(|s| s.item).collect();
+        if let Ok(group) = exrec::core::group::group_explanation(&ctx2, user, &items) {
+            println!("\nwhy this list?");
+            println!("{}", PlainRenderer.render(&group));
+        }
+    }
+    if let Some(first) = recs.first().copied() {
+        let (_, explanation) = session.why(first.item).expect("explainable");
+        println!("\nwhy the top story?");
+        println!("{}", PlainRenderer.render(&explanation));
+
+        // "I already know this!" then "Surprise me!"
+        session.opine(first.item, Opinion::AlreadyKnow).unwrap();
+        session.opine(first.item, Opinion::SurpriseMe).unwrap();
+        session.opine(first.item, Opinion::SurpriseMe).unwrap();
+        println!("after 'I already know this!' + 'Surprise me!':");
+        for s in session.recommend(3) {
+            println!("  - {}", world.catalog.get(s.item).unwrap().title);
+        }
+    }
+    println!(
+        "\nsession: {} interactions, {} ticks",
+        session.interactions(),
+        session.elapsed().ticks()
+    );
+}

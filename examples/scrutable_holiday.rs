@@ -1,0 +1,86 @@
+//! Scrutable holiday: the SASY scenario of the survey's Figure 1, plus
+//! the TiVo / Mr. Iwanyk correction story from its introduction.
+//!
+//! ```text
+//! cargo run --example scrutable_holiday
+//! ```
+
+use exrec::algo::baseline::Popularity;
+use exrec::core::provenance::ProfileFact;
+use exrec::interact::profile::{RuleEffect, ScrutableProfile};
+use exrec::prelude::*;
+
+fn main() {
+    let world = exrec::data::synth::holidays::generate(&WorldConfig {
+        n_items: 40,
+        n_users: 10,
+        density: 0.2,
+        ..WorldConfig::default()
+    });
+    let ctx = Ctx::new(&world.ratings, &world.catalog);
+    let model = Popularity::default();
+    let user = UserId::new(0);
+
+    // A profile mixing volunteered and inferred beliefs, Figure 1 style.
+    let mut profile = ScrutableProfile::new();
+    profile.set_fact(ProfileFact::volunteered("travel_party", "family with children"));
+    profile.set_fact(ProfileFact::inferred(
+        "budget_band",
+        "premium",
+        "your last three bookings were above $2000",
+    ));
+    profile.infer_rule(
+        "style",
+        "ski",
+        RuleEffect::Bias(3.0),
+        "you viewed 5 ski holidays last week",
+    );
+
+    println!("your scrutable profile:\n");
+    println!("{}", profile.render_scrutable());
+
+    let ranked = profile.apply(&world.catalog, model.recommend(&ctx, user, usize::MAX));
+    println!("suggestions under this profile:");
+    for s in ranked.iter().take(3) {
+        let h = world.catalog.get(s.item).unwrap();
+        println!(
+            "  - {} ({}, ${})",
+            h.title,
+            h.attrs.cat("style").unwrap_or("?"),
+            h.attrs.num("price").unwrap_or_default()
+        );
+    }
+
+    // Why is the top one here? The rules that fired are the answer.
+    if let Some(top) = ranked.first() {
+        let fired = profile.why(&world.catalog, top.item);
+        if !fired.is_empty() {
+            println!("\nwhy the top suggestion?");
+            for rule in fired {
+                println!("  because of your rule: {}", rule.describe());
+            }
+        }
+    }
+
+    // The Mr. Iwanyk move: the inference was wrong; scrutinize and fix.
+    println!("\nyou: \"the ski thing was research for a friend — stop it.\"");
+    profile.remove_rules("style", "ski");
+    profile.block("style", "ski");
+    profile.correct_fact("budget_band", "mid-range");
+
+    println!("\ncorrected profile:\n");
+    println!("{}", profile.render_scrutable());
+    println!("suggestions after correction:");
+    for s in profile
+        .apply(&world.catalog, model.recommend(&ctx, user, usize::MAX))
+        .iter()
+        .take(3)
+    {
+        let h = world.catalog.get(s.item).unwrap();
+        println!(
+            "  - {} ({})",
+            h.title,
+            h.attrs.cat("style").unwrap_or("?")
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! Systems gallery: regenerates the survey's Tables 1–4 and runs every
+//! Table 4 system as a live emulation.
+//!
+//! ```text
+//! cargo run --example systems_gallery
+//! ```
+
+use exrec::registry::{live, tables};
+
+fn main() {
+    println!("{}", tables::table1().render_ascii());
+    println!("{}", tables::table2().render_ascii());
+    println!("{}", tables::table3().render_ascii());
+    println!("{}", tables::table4().render_ascii());
+
+    println!("\nlive emulations of every Table 4 row:\n");
+    for emulation in live::all() {
+        println!("══════ {} ══════", emulation.name);
+        match (emulation.run)(0x6A11E47) {
+            Ok(transcript) => println!("{transcript}"),
+            Err(e) => println!("FAILED: {e}"),
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! # exrec — an explanation-aware recommender-systems toolkit
+//!
+//! `exrec` reproduces, as a working system, the framework of
+//! **Tintarev & Masthoff, *A Survey of Explanations in Recommender
+//! Systems* (WPRSIUI @ ICDE 2007)**: the seven aims an explanation can
+//! pursue, the three explanation-content styles, the presentation and
+//! interaction taxonomies, and the per-aim evaluation methodology —
+//! each as executable code rather than prose.
+//!
+//! This crate is the facade: it re-exports the workspace's crates under
+//! one roof and hosts the runnable examples and cross-crate integration
+//! tests.
+//!
+//! ## Layout
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`types`] | `exrec-types` | ids, ratings, attributes, schemas, errors |
+//! | [`data`] | `exrec-data` | ratings matrix, catalogs, synthetic worlds |
+//! | [`algo`] | `exrec-algo` | kNN CF, content models, MAUT, Apriori, metrics |
+//! | [`core`] | `exrec-core` | aims, styles, evidence → explanation engine |
+//! | [`present`] | `exrec-present` | top-N, structured overview, facets, treemaps |
+//! | [`interact`] | `exrec-interact` | critiquing, opinions, scrutable profiles |
+//! | [`eval`] | `exrec-eval` | simulated users and the Section 3 studies |
+//! | [`registry`] | `exrec-registry` | Tables 1–4 generators + live emulations |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use exrec::prelude::*;
+//!
+//! // A synthetic movie world with latent ground truth.
+//! let world = exrec::data::synth::movies::generate(&WorldConfig {
+//!     n_users: 40,
+//!     n_items: 40,
+//!     ..WorldConfig::default()
+//! });
+//! let ctx = Ctx::new(&world.ratings, &world.catalog);
+//!
+//! // Collaborative filtering + the survey's best-performing interface.
+//! let knn = UserKnn::default();
+//! let explainer = Explainer::new(&knn, InterfaceId::ClusteredHistogram);
+//! let user = world
+//!     .ratings
+//!     .users()
+//!     .find(|&u| world.ratings.user_ratings(u).len() >= 5)
+//!     .unwrap();
+//! for (scored, explanation) in explainer.recommend_explained(&ctx, user, 3) {
+//!     println!(
+//!         "{} — {}",
+//!         world.catalog.get(scored.item).unwrap().title,
+//!         scored.prediction
+//!     );
+//!     println!("{}", PlainRenderer.render(&explanation));
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use exrec_algo as algo;
+pub use exrec_core as core;
+pub use exrec_data as data;
+pub use exrec_eval as eval;
+pub use exrec_interact as interact;
+pub use exrec_present as present;
+pub use exrec_registry as registry;
+pub use exrec_types as types;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use exrec_algo::{Ctx, ModelEvidence, Recommender, Scored, UserKnn};
+    pub use exrec_core::engine::Explainer;
+    pub use exrec_core::interfaces::InterfaceId;
+    pub use exrec_core::render::{PlainRenderer, Render};
+    pub use exrec_core::{Aim, AimProfile, Explanation, ExplanationStyle};
+    pub use exrec_data::synth::WorldConfig;
+    pub use exrec_data::{Catalog, RatingsMatrix, World};
+    pub use exrec_types::{ItemId, Prediction, Rating, RatingScale, UserId};
+}

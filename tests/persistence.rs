@@ -1,0 +1,118 @@
+//! Cross-session persistence: the scrutability loop must survive logout
+//! (survey Section 2.2 — corrections are durable, not per-session).
+
+use exrec::algo::baseline::Popularity;
+use exrec::interact::store::SessionStore;
+use exrec::prelude::*;
+
+fn store() -> (SessionStore, World) {
+    let world = exrec::data::synth::movies::generate(&WorldConfig {
+        n_users: 20,
+        n_items: 40,
+        density: 0.3,
+        ..WorldConfig::default()
+    });
+    (
+        SessionStore::new(world.ratings.clone(), world.catalog.clone()),
+        world,
+    )
+}
+
+#[test]
+fn corrections_survive_logout() {
+    let (store, world) = store();
+    let user = UserId::new(0);
+
+    // Session 1: block the top genre and log out.
+    let mut profile = store.login(user);
+    let ratings = store.ratings_snapshot();
+    let ctx = Ctx::new(&ratings, store.catalog());
+    let top = Popularity::default().recommend(&ctx, user, 1)[0];
+    let genre = world
+        .catalog
+        .get(top.item)
+        .unwrap()
+        .attrs
+        .cat("genre")
+        .unwrap()
+        .to_owned();
+    profile.block("genre", &genre);
+    store.save_profile(user, profile);
+
+    // Session 2: fresh login sees the rule and the filtered list.
+    let profile = store.login(user);
+    assert_eq!(profile.rules().len(), 1, "rule persisted across sessions");
+    let ranked = profile.apply(
+        store.catalog(),
+        Popularity::default().recommend(&ctx, user, 10),
+    );
+    for s in &ranked {
+        assert_ne!(
+            world.catalog.get(s.item).unwrap().attrs.cat("genre"),
+            Some(genre.as_str())
+        );
+    }
+    assert_eq!(store.loyalty(user).logins, 2);
+}
+
+#[test]
+fn ratings_entered_in_one_session_shape_the_next() {
+    let (store, world) = store();
+    let user = UserId::new(1);
+
+    // Session 1: the user slams an item.
+    store.login(user);
+    let ratings = store.ratings_snapshot();
+    let ctx = Ctx::new(&ratings, store.catalog());
+    let top = Popularity::default().recommend(&ctx, user, 1)[0];
+    store.rate(user, top.item, 1.0).unwrap();
+
+    // Session 2: the rated item is no longer recommendable.
+    store.login(user);
+    let ratings = store.ratings_snapshot();
+    let ctx = Ctx::new(&ratings, store.catalog());
+    let recs = Popularity::default().recommend(&ctx, user, 10);
+    assert!(
+        !recs.iter().any(|s| s.item == top.item),
+        "rated items leave the list in later sessions"
+    );
+    let _ = world;
+}
+
+#[test]
+fn snapshot_backup_and_restore_of_live_store() {
+    // Operational path: snapshot the store's ratings, corrupt nothing,
+    // restore into a fresh store, verify behaviour is identical.
+    let (store, world) = store();
+    let user = UserId::new(2);
+    store.rate(user, ItemId::new(3), 5.0).unwrap();
+
+    let bytes = exrec::data::snapshot::encode(&store.ratings_snapshot());
+    let restored = exrec::data::snapshot::decode(&bytes).unwrap();
+    let store2 = SessionStore::new(restored, world.catalog.clone());
+
+    let ctx1_r = store.ratings_snapshot();
+    let ctx2_r = store2.ratings_snapshot();
+    assert_eq!(ctx1_r, ctx2_r);
+    let ctx1 = Ctx::new(&ctx1_r, store.catalog());
+    let ctx2 = Ctx::new(&ctx2_r, store2.catalog());
+    assert_eq!(
+        Popularity::default().recommend(&ctx1, user, 5),
+        Popularity::default().recommend(&ctx2, user, 5)
+    );
+}
+
+#[test]
+fn csv_export_import_preserves_recommendations() {
+    let (store, world) = store();
+    let csv = exrec::data::csv::to_csv(&store.ratings_snapshot());
+    let imported = exrec::data::csv::from_csv(&csv, *store.ratings_snapshot().scale()).unwrap();
+    let user = UserId::new(3);
+    let r1 = store.ratings_snapshot();
+    let ctx1 = Ctx::new(&r1, &world.catalog);
+    let ctx2 = Ctx::new(&imported, &world.catalog);
+    assert_eq!(
+        Popularity::default().recommend(&ctx1, user, 5),
+        Popularity::default().recommend(&ctx2, user, 5)
+    );
+}

@@ -1,0 +1,171 @@
+//! Cross-crate integration: every recommender × every compatible
+//! explanation interface, end to end, over every domain world.
+
+use exrec::algo::baseline::{GlobalMean, Popularity, UserMean};
+use exrec::algo::content::{NaiveBayesModel, TfIdfConfig, TfIdfModel};
+use exrec::algo::item_knn::{ItemKnn, ItemKnnConfig};
+use exrec::core::interfaces::EvidenceNeed;
+use exrec::prelude::*;
+
+fn movie_world() -> World {
+    exrec::data::synth::movies::generate(&WorldConfig {
+        n_users: 50,
+        n_items: 50,
+        density: 0.3,
+        ..WorldConfig::default()
+    })
+}
+
+fn active_user(world: &World) -> UserId {
+    world
+        .ratings
+        .users()
+        .find(|&u| world.ratings.user_ratings(u).len() >= 6)
+        .expect("active user exists")
+}
+
+#[test]
+fn every_interface_runs_on_some_recommender() {
+    let world = movie_world();
+    let ctx = Ctx::new(&world.ratings, &world.catalog);
+    let user = active_user(&world);
+
+    let user_knn = UserKnn::default();
+    let item_knn = ItemKnn::fit(&ctx, ItemKnnConfig::default()).unwrap();
+    let tfidf = TfIdfModel::fit(&ctx, TfIdfConfig::default()).unwrap();
+    let nb = NaiveBayesModel::default();
+    let pop = Popularity::default();
+    let maut = exrec::algo::knowledge::Maut::new(vec![exrec::algo::knowledge::Requirement::soft(
+        "year",
+        exrec::algo::knowledge::Constraint::AtLeast(1990.0),
+    )])
+    .unwrap();
+    let recommenders: Vec<&dyn Recommender> =
+        vec![&user_knn, &item_knn, &tfidf, &nb, &pop, &maut];
+
+    for id in InterfaceId::ALL {
+        let mut generated = false;
+        for rec in &recommenders {
+            let explainer = Explainer::new(*rec, id);
+            for item in world.catalog.ids() {
+                if world.ratings.rating(user, item).is_some() {
+                    continue;
+                }
+                if let Ok((_, explanation)) = explainer.explain(&ctx, user, item) {
+                    assert_eq!(explanation.interface, id.key());
+                    // Rendering never panics and is non-empty except for
+                    // the control.
+                    let text = PlainRenderer.render(&explanation);
+                    if id != InterfaceId::NoExplanation {
+                        assert!(!text.is_empty(), "{id:?} rendered empty");
+                    }
+                    generated = true;
+                    break;
+                }
+            }
+            if generated {
+                break;
+            }
+        }
+        assert!(generated, "no recommender could feed interface {id:?}");
+    }
+}
+
+#[test]
+fn evidence_needs_are_honest() {
+    // Every interface declaring a specific need refuses mismatched
+    // evidence, and every interface declaring Any accepts popularity
+    // evidence.
+    let world = movie_world();
+    let ctx = Ctx::new(&world.ratings, &world.catalog);
+    let user = active_user(&world);
+    let pop = Popularity::default();
+    let item = world
+        .catalog
+        .ids()
+        .find(|&i| world.ratings.rating(user, i).is_none())
+        .unwrap();
+
+    for id in InterfaceId::ALL {
+        let explainer = Explainer::new(&pop, id);
+        let outcome = explainer.explain(&ctx, user, item);
+        match id.descriptor().needs {
+            EvidenceNeed::Any => {
+                assert!(outcome.is_ok(), "{id:?} should accept popularity evidence");
+            }
+            _ => assert!(
+                outcome.is_err(),
+                "{id:?} should reject popularity evidence"
+            ),
+        }
+    }
+}
+
+#[test]
+fn predictions_stay_on_scale_across_models() {
+    let world = movie_world();
+    let ctx = Ctx::new(&world.ratings, &world.catalog);
+    let scale = world.ratings.scale();
+    let user_knn = UserKnn::default();
+    let item_knn = ItemKnn::fit(&ctx, ItemKnnConfig::default()).unwrap();
+    let tfidf = TfIdfModel::fit(&ctx, TfIdfConfig::default()).unwrap();
+    let nb = NaiveBayesModel::default();
+    let recommenders: Vec<&dyn Recommender> =
+        vec![&user_knn, &item_knn, &tfidf, &nb, &GlobalMean, &UserMean];
+    for rec in recommenders {
+        let mut checked = 0;
+        for u in world.ratings.users().take(10) {
+            for i in world.catalog.ids().take(10) {
+                if let Ok(p) = rec.predict(&ctx, u, i) {
+                    assert!(
+                        p.score >= scale.min() - 1e-9 && p.score <= scale.max() + 1e-9,
+                        "{}: score {} off scale",
+                        rec.name(),
+                        p.score
+                    );
+                    assert!((0.0..=1.0).contains(&p.confidence.value()));
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked > 0, "{} predicted nothing", rec.name());
+    }
+}
+
+#[test]
+fn every_domain_world_supports_the_full_pipeline() {
+    use exrec::data::synth;
+    let cfg = WorldConfig {
+        n_users: 30,
+        n_items: 30,
+        density: 0.3,
+        ..WorldConfig::default()
+    };
+    let worlds: Vec<(&str, World)> = vec![
+        ("movies", synth::movies::generate(&cfg)),
+        ("books", synth::books::generate(&cfg)),
+        ("news", synth::news::generate(&cfg)),
+        ("cameras", synth::cameras::generate(&cfg)),
+        ("restaurants", synth::restaurants::generate(&cfg)),
+        ("holidays", synth::holidays::generate(&cfg)),
+    ];
+    for (name, world) in worlds {
+        let ctx = Ctx::new(&world.ratings, &world.catalog);
+        let pop = Popularity::default();
+        let explainer = Explainer::new(&pop, InterfaceId::MovieAverage);
+        let user = world.ratings.users().next().unwrap();
+        let explained = explainer.recommend_explained(&ctx, user, 3);
+        assert!(!explained.is_empty(), "{name}: no explained recommendations");
+        // And the catalog supports faceted browsing on some attribute.
+        let browser = exrec::present::facets::FacetBrowser::new(&world.catalog);
+        assert!(!browser.facets().is_empty(), "{name}: no facets");
+    }
+}
+
+#[test]
+fn snapshot_round_trips_generated_worlds() {
+    let world = movie_world();
+    let bytes = exrec::data::snapshot::encode(&world.ratings);
+    let decoded = exrec::data::snapshot::decode(&bytes).unwrap();
+    assert_eq!(decoded, world.ratings);
+}

@@ -1,0 +1,195 @@
+//! Property-based tests over the toolkit's core invariants.
+
+use exrec::algo::assoc::apriori;
+use exrec::core::templates;
+use exrec::present::treemap::{layout, Layout, Rect, TreemapNode};
+use exrec::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    // ---------- rating scales ----------------------------------------
+
+    #[test]
+    fn scale_clamp_always_lands_on_scale(value in -100.0f64..100.0) {
+        let scale = RatingScale::FIVE_STAR;
+        prop_assert!(scale.contains(scale.clamp(value)));
+    }
+
+    #[test]
+    fn scale_bound_respects_bounds(value in -100.0f64..100.0) {
+        let scale = RatingScale::HALF_STAR;
+        let b = scale.bound(value);
+        prop_assert!(b >= scale.min() && b <= scale.max());
+    }
+
+    #[test]
+    fn normalize_denormalize_round_trip(unit in 0.0f64..=1.0) {
+        let scale = RatingScale::UNIT;
+        let v = scale.denormalize_continuous(unit);
+        prop_assert!((scale.normalize(v) - unit).abs() < 1e-9);
+    }
+
+    // ---------- ratings matrix ----------------------------------------
+
+    #[test]
+    fn matrix_rate_unrate_is_identity(
+        ops in prop::collection::vec((0u32..8, 0u32..12, 1u32..=5), 1..60)
+    ) {
+        let mut m = RatingsMatrix::new(8, 12, RatingScale::FIVE_STAR);
+        let empty = m.clone();
+        for &(u, i, v) in &ops {
+            m.rate(UserId(u), ItemId(i), v as f64).unwrap();
+        }
+        // Indexes agree: every user-row entry appears in the item column.
+        for u in m.users() {
+            for &(i, v) in m.user_ratings(u) {
+                let col = m.item_ratings(i);
+                prop_assert!(col.iter().any(|&(cu, cv)| cu == u && cv == v));
+            }
+        }
+        // n_ratings equals the number of distinct (u, i) pairs.
+        let mut pairs: Vec<(u32, u32)> = ops.iter().map(|&(u, i, _)| (u, i)).collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        prop_assert_eq!(m.n_ratings(), pairs.len());
+        // Removing everything restores the empty matrix.
+        for &(u, i) in &pairs {
+            m.unrate(UserId(u), ItemId(i)).unwrap();
+        }
+        prop_assert_eq!(m, empty);
+    }
+
+    #[test]
+    fn snapshot_round_trip_any_matrix(
+        ops in prop::collection::vec((0u32..6, 0u32..9, 1u32..=5), 0..40)
+    ) {
+        let mut m = RatingsMatrix::new(6, 9, RatingScale::FIVE_STAR);
+        for &(u, i, v) in &ops {
+            m.rate(UserId(u), ItemId(i), v as f64).unwrap();
+        }
+        let decoded = exrec::data::snapshot::decode(&exrec::data::snapshot::encode(&m)).unwrap();
+        prop_assert_eq!(decoded, m);
+    }
+
+    // ---------- similarity --------------------------------------------
+
+    #[test]
+    fn pearson_is_symmetric_and_bounded(
+        pairs in prop::collection::vec((1.0f64..5.0, 1.0f64..5.0), 2..30)
+    ) {
+        let fwd = exrec::algo::similarity::pearson(&pairs);
+        let swapped: Vec<(f64, f64)> = pairs.iter().map(|&(a, b)| (b, a)).collect();
+        let rev = exrec::algo::similarity::pearson(&swapped);
+        prop_assert!((fwd - rev).abs() < 1e-9);
+        prop_assert!((-1.0..=1.0).contains(&fwd));
+    }
+
+    #[test]
+    fn jaccard_bounded_and_symmetric(overlap in 0usize..20, extra_a in 0usize..20, extra_b in 0usize..20) {
+        let a = overlap + extra_a;
+        let b = overlap + extra_b;
+        let j = exrec::algo::similarity::jaccard(overlap, a, b);
+        prop_assert!((0.0..=1.0).contains(&j));
+        prop_assert!((j - exrec::algo::similarity::jaccard(overlap, b, a)).abs() < 1e-12);
+    }
+
+    // ---------- apriori ------------------------------------------------
+
+    #[test]
+    fn apriori_supports_are_consistent(
+        txs in prop::collection::vec(prop::collection::vec(0u32..6, 0..5), 1..25),
+        min_support in 0.1f64..0.9,
+    ) {
+        let sets = apriori(&txs, min_support, 3);
+        for fs in &sets {
+            prop_assert!(fs.support >= min_support - 1e-9);
+            prop_assert!(fs.support <= 1.0 + 1e-9);
+            // Support matches a direct count.
+            let count = txs
+                .iter()
+                .filter(|t| fs.items.iter().all(|s| t.contains(s)))
+                .count();
+            prop_assert!((fs.support - count as f64 / txs.len() as f64).abs() < 1e-9);
+            // Sorted, deduped symbols.
+            prop_assert!(fs.items.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    // ---------- treemap -------------------------------------------------
+
+    #[test]
+    fn treemap_tiles_the_unit_square(weights in prop::collection::vec(0.1f64..50.0, 1..40)) {
+        let nodes: Vec<TreemapNode> = weights
+            .iter()
+            .enumerate()
+            .map(|(k, &w)| TreemapNode {
+                label: format!("n{k}"),
+                weight: w,
+                group: k % 4,
+                shade: 0.5,
+            })
+            .collect();
+        let t = layout(nodes, Rect::UNIT, Layout::Squarified);
+        let total: f64 = t.cells.iter().map(|(_, r)| r.area()).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6, "area sum {total}");
+        let wsum: f64 = weights.iter().sum();
+        for (node, rect) in &t.cells {
+            prop_assert!((rect.area() - node.weight / wsum).abs() < 1e-6);
+            prop_assert!(rect.x >= -1e-9 && rect.y >= -1e-9);
+            prop_assert!(rect.x + rect.w <= 1.0 + 1e-6);
+            prop_assert!(rect.y + rect.h <= 1.0 + 1e-6);
+        }
+    }
+
+    // ---------- templates ------------------------------------------------
+
+    #[test]
+    fn template_fill_is_stable_without_slots(text in "[a-zA-Z0-9 .,!?]{0,80}") {
+        let vals = std::collections::HashMap::new();
+        // Text without braces passes through untouched.
+        if !text.contains('{') && !text.contains('}') {
+            prop_assert_eq!(templates::fill(&text, &vals), text);
+        }
+    }
+
+    #[test]
+    fn join_natural_contains_every_item(items in prop::collection::vec("[a-z]{1,8}", 0..6)) {
+        let joined = templates::join_natural(&items);
+        for item in &items {
+            prop_assert!(joined.contains(item.as_str()));
+        }
+    }
+
+    // ---------- aims ------------------------------------------------------
+
+    #[test]
+    fn aim_profile_set_semantics(indices in prop::collection::vec(0usize..7, 0..20)) {
+        let aims: Vec<Aim> = indices.iter().map(|&i| Aim::ALL[i]).collect();
+        let profile: AimProfile = aims.iter().copied().collect();
+        for aim in Aim::ALL {
+            prop_assert_eq!(profile.contains(aim), aims.contains(&aim));
+        }
+        prop_assert!(profile.len() <= 7);
+    }
+}
+
+// ---------- explanation reading cost (plain, non-proptest invariant) ----
+
+#[test]
+fn reading_cost_is_monotone_in_fragments() {
+    use exrec::core::explanation::{Explanation, Fragment};
+    use exrec::core::ExplanationStyle;
+    let mut fragments = Vec::new();
+    let mut last = 0;
+    for k in 0..10 {
+        fragments.push(Fragment::Text(format!("sentence number {k} with words")));
+        let e = Explanation::new(
+            "t",
+            ExplanationStyle::ContentBased,
+            AimProfile::empty(),
+            fragments.clone(),
+        );
+        assert!(e.reading_cost() > last);
+        last = e.reading_cost();
+    }
+}

@@ -1,0 +1,83 @@
+//! Cross-study integration: the survey's headline result shapes hold at
+//! default study configurations, and reports serialize cleanly.
+//!
+//! (Per-study assertions live in `exrec-eval`'s unit tests; this file
+//! checks the *relationships between* studies the survey's conclusion
+//! draws, plus reporting plumbing.)
+
+use exrec::core::interfaces::InterfaceId;
+use exrec::eval::studies;
+
+#[test]
+fn persuasion_and_effectiveness_disagree_about_the_histogram() {
+    // The conclusion's central warning: "[18] measured user satisfaction
+    // with recommendations (persuasion), this is not the same as
+    // measuring satisfaction with actual items (effectiveness) [5]".
+    // Concretely: the clustered histogram tops the persuasion ranking
+    // while being the *worst* of the compared interfaces at
+    // effectiveness.
+    let persuasion = studies::persuasion_herlocker::run(&Default::default());
+    let effectiveness = studies::effectiveness::run(&Default::default());
+
+    assert!(persuasion.rank_of(InterfaceId::ClusteredHistogram) <= 3);
+    let hist_abs = effectiveness.abs_gap_of(InterfaceId::ClusteredHistogram);
+    for other in [InterfaceId::KeywordMatch, InterfaceId::InfluenceList] {
+        assert!(
+            effectiveness.abs_gap_of(other) < hist_abs,
+            "{other:?} must be more effective than the persuasion winner"
+        );
+    }
+}
+
+#[test]
+fn shift_study_confirms_the_persuasion_mechanism() {
+    // The rating-shift study's explanation amplification is the causal
+    // mechanism behind the persuasion ranking: both must point the same
+    // way for the histogram interface.
+    let shift = studies::rating_shift::run(&Default::default());
+    use studies::rating_shift::ShownPrediction;
+    assert!(
+        shift.shift(ShownPrediction::PerturbedUp, true)
+            > shift.shift(ShownPrediction::PerturbedUp, false)
+    );
+    assert!(shift.explanation_effect_p < 0.05);
+}
+
+#[test]
+fn all_reports_serialize_and_render() {
+    let reports = exrec::eval::run_all_studies();
+    assert_eq!(reports.len(), 11);
+    for r in &reports {
+        let json = r.to_json();
+        let back: exrec::eval::StudyReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(&back, r);
+        let ascii = r.render_ascii();
+        assert!(ascii.contains(&r.id));
+        for t in &r.tables {
+            assert!(!t.rows.is_empty(), "{}: empty table", r.id);
+            assert!(!t.render_markdown().is_empty());
+        }
+    }
+}
+
+#[test]
+fn trust_and_scrutability_studies_agree_on_control() {
+    // Both E-TRUST and E-SCR operationalize "let the user correct the
+    // system"; both must show the scrutiny condition helping.
+    let trust = studies::trust_loyalty::run(&Default::default());
+    use studies::trust_loyalty::Condition as TrustCondition;
+    assert!(
+        trust
+            .result(TrustCondition::ExplainScrutinize)
+            .trust_composite
+            .mean
+            > trust.result(TrustCondition::None).trust_composite.mean
+    );
+
+    let scr = studies::scrutability::run(&Default::default());
+    use studies::scrutability::Condition as ScrCondition;
+    assert!(
+        scr.result(ScrCondition::ToolVisible).success_rate
+            > scr.result(ScrCondition::NoTool).success_rate
+    );
+}

@@ -1,0 +1,138 @@
+//! The survey's opening anecdote, executed: TiVo decides Mr. Iwanyk is
+//! gay from his viewing history; his counter-programming makes things
+//! worse; scrutability fixes in one step what counter-rating cannot.
+
+use exrec::algo::content::{TfIdfConfig, TfIdfModel};
+use exrec::interact::profile::ScrutableProfile;
+use exrec::prelude::*;
+
+/// Builds a movie world and a fresh user whose viewing history is all
+/// `seed_genre`, returning (world, user).
+fn world_with_fan(seed_genre: &str) -> (World, UserId) {
+    let world = exrec::data::synth::movies::generate(&WorldConfig {
+        n_users: 40,
+        n_items: 60,
+        density: 0.25,
+        ..WorldConfig::default()
+    });
+    let mut world = world;
+    // Re-purpose user 0: wipe their history and make them watch only the
+    // seed genre.
+    let user = UserId::new(0);
+    let rated: Vec<ItemId> = world
+        .ratings
+        .user_ratings(user)
+        .iter()
+        .map(|&(i, _)| i)
+        .collect();
+    for item in rated {
+        world.ratings.unrate(user, item).unwrap();
+    }
+    let seeds: Vec<ItemId> = world
+        .catalog
+        .iter()
+        .filter(|it| it.attrs.cat("genre") == Some(seed_genre))
+        .map(|it| it.id)
+        .take(5)
+        .collect();
+    assert!(seeds.len() >= 3, "world must contain the seed genre");
+    for item in seeds {
+        world.ratings.rate(user, item, 5.0).unwrap();
+    }
+    (world, user)
+}
+
+fn genre_share(world: &World, recs: &[Scored], genre: &str) -> f64 {
+    if recs.is_empty() {
+        return 0.0;
+    }
+    recs.iter()
+        .filter(|s| {
+            world
+                .catalog
+                .get(s.item)
+                .map(|it| it.attrs.cat("genre") == Some(genre))
+                .unwrap_or(false)
+        })
+        .count() as f64
+        / recs.len() as f64
+}
+
+fn base_rate(world: &World, genre: &str) -> f64 {
+    world
+        .catalog
+        .iter()
+        .filter(|it| it.attrs.cat("genre") == Some(genre))
+        .count() as f64
+        / world.catalog.len() as f64
+}
+
+#[test]
+fn the_system_overfits_to_observed_behaviour() {
+    // Phase 1: the recorder infers a strong genre preference from
+    // behaviour alone — the genre is heavily over-represented relative
+    // to its catalog base rate, and tops the list.
+    let (world, user) = world_with_fan("romance");
+    let ctx = Ctx::new(&world.ratings, &world.catalog);
+    let model = TfIdfModel::fit(&ctx, TfIdfConfig::default()).unwrap();
+    let recs = model.recommend(&ctx, user, 5);
+    let share = genre_share(&world, &recs, "romance");
+    let base = base_rate(&world, "romance");
+    assert!(
+        share >= base * 2.0,
+        "romance share {share:.2} should far exceed base rate {base:.2}"
+    );
+    let top = world.catalog.get(recs[0].item).unwrap();
+    assert_eq!(
+        top.attrs.cat("genre"),
+        Some("romance"),
+        "the top pick follows the watched genre"
+    );
+}
+
+#[test]
+fn counter_programming_overcorrects() {
+    // Phase 2: Mr. Iwanyk records "guy stuff" to fix it — and the system
+    // simply pivots to the new obsession instead of balancing.
+    let (mut world, user) = world_with_fan("romance");
+    let war_items: Vec<ItemId> = world
+        .catalog
+        .iter()
+        .filter(|it| it.attrs.cat("genre") == Some("action"))
+        .map(|it| it.id)
+        .take(4) // leave some action items unrated and recommendable
+        .collect();
+    for item in &war_items {
+        world.ratings.rate(user, *item, 5.0).unwrap();
+    }
+    let ctx = Ctx::new(&world.ratings, &world.catalog);
+    let model = TfIdfModel::fit(&ctx, TfIdfConfig::default()).unwrap();
+    let recs = model.recommend(&ctx, user, 5);
+    let action_share = genre_share(&world, &recs, "action");
+    let base = base_rate(&world, "action");
+    assert!(
+        action_share > 0.0 && action_share >= base,
+        "counter-programming creates a new fixation (action share {action_share:.2}          vs base {base:.2})"
+    );
+}
+
+#[test]
+fn scrutability_fixes_it_in_one_step() {
+    // Phase 3: with a scrutable profile the user just says "no".
+    let (world, user) = world_with_fan("romance");
+    let ctx = Ctx::new(&world.ratings, &world.catalog);
+    let model = TfIdfModel::fit(&ctx, TfIdfConfig::default()).unwrap();
+
+    let mut profile = ScrutableProfile::new();
+    profile.block("genre", "romance");
+    let recs = profile.apply(&world.catalog, model.recommend(&ctx, user, 12));
+    assert!(
+        genre_share(&world, &recs, "romance") == 0.0,
+        "one profile rule removes the genre entirely"
+    );
+    assert!(!recs.is_empty(), "other genres remain recommendable");
+    // And the user can see why any remaining item was allowed.
+    for s in &recs {
+        assert!(profile.why(&world.catalog, s.item).is_empty());
+    }
+}
