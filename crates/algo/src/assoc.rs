@@ -92,10 +92,7 @@ pub fn apriori(transactions: &[Vec<u32>], min_support: f64, max_len: usize) -> V
         // Count support.
         let mut next: Vec<(Vec<u32>, usize)> = Vec::new();
         for cand in candidates {
-            let count = txs
-                .iter()
-                .filter(|t| is_subset(&cand, t))
-                .count();
+            let count = txs.iter().filter(|t| is_subset(&cand, t)).count();
             if count >= min_count {
                 next.push((cand, count));
             }
@@ -111,7 +108,12 @@ pub fn apriori(transactions: &[Vec<u32>], min_support: f64, max_len: usize) -> V
         size += 1;
     }
 
-    all.sort_by(|a, b| a.items.len().cmp(&b.items.len()).then(a.items.cmp(&b.items)));
+    all.sort_by(|a, b| {
+        a.items
+            .len()
+            .cmp(&b.items.len())
+            .then(a.items.cmp(&b.items))
+    });
     all
 }
 
@@ -186,8 +188,7 @@ mod tests {
                 for drop in 0..s.items.len() {
                     let mut sub = s.items.clone();
                     sub.remove(drop);
-                    let sub_support =
-                        support_of(&sets, &sub).expect("subset must be frequent");
+                    let sub_support = support_of(&sets, &sub).expect("subset must be frequent");
                     assert!(sub_support >= s.support - 1e-12);
                 }
             }

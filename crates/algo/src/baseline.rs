@@ -38,7 +38,10 @@ impl Recommender for Popularity {
         let n = ratings.len() as f64;
         let score = (sum + self.damping * global) / (n + self.damping);
         let confidence = Confidence::new((n / 20.0).min(1.0));
-        Ok(Prediction::new(ctx.ratings.scale().bound(score), confidence))
+        Ok(Prediction::new(
+            ctx.ratings.scale().bound(score),
+            confidence,
+        ))
     }
 
     fn evidence(&self, ctx: &Ctx<'_>, _user: UserId, item: ItemId) -> Result<ModelEvidence> {
@@ -176,7 +179,10 @@ impl Recommender for RandomScores {
         if item.index() >= ctx.ratings.n_items() {
             return Err(Error::UnknownItem { item });
         }
-        Ok(ModelEvidence::Popularity { mean: 0.0, count: 0 })
+        Ok(ModelEvidence::Popularity {
+            mean: 0.0,
+            count: 0,
+        })
     }
 }
 

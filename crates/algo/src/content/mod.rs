@@ -34,17 +34,15 @@ pub fn item_tokens(item: &Item) -> Vec<String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use exrec_types::{AttributeSet, AttrValue, ItemId};
+    use exrec_types::{AttrValue, AttributeSet, ItemId};
 
     #[test]
     fn tokens_combine_keywords_and_text() {
         let item = Item::new(ItemId::new(0), "X")
-            .with_attrs(
-                AttributeSet::new().with(
-                    "blurb",
-                    AttrValue::Text("A quiet tale of dragons".to_owned()),
-                ),
-            )
+            .with_attrs(AttributeSet::new().with(
+                "blurb",
+                AttrValue::Text("A quiet tale of dragons".to_owned()),
+            ))
             .with_keywords(["fantasy"]);
         let toks = item_tokens(&item);
         assert!(toks.contains(&"fantasy".to_owned()));

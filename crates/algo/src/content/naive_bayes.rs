@@ -12,9 +12,7 @@
 //!   leave-one-out retraining, expressed as percentage shares.
 
 use super::item_tokens;
-use crate::recommender::{
-    Ctx, FeatureInfluence, ModelEvidence, RatedItemInfluence, Recommender,
-};
+use crate::recommender::{Ctx, FeatureInfluence, ModelEvidence, RatedItemInfluence, Recommender};
 use exrec_types::{Confidence, Error, ItemId, Prediction, Result, UserId};
 use std::collections::HashMap;
 
@@ -308,8 +306,7 @@ mod tests {
                     return false;
                 }
                 let mean = w.ratings.user_mean(u).unwrap();
-                rated.iter().any(|&(_, r)| r >= mean)
-                    && rated.iter().any(|&(_, r)| r < mean)
+                rated.iter().any(|&(_, r)| r >= mean) && rated.iter().any(|&(_, r)| r < mean)
             })
             .expect("fixture must contain an opinionated user")
     }

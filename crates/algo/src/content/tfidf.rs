@@ -251,7 +251,13 @@ impl Recommender for TfIdfModel {
             .filter_map(|i| {
                 let cos = dot_sparse(&profile, self.vectors.get(i.index())?);
                 let prediction = self.predict(ctx, user, i).ok()?;
-                Some((cos, Scored { item: i, prediction }))
+                Some((
+                    cos,
+                    Scored {
+                        item: i,
+                        prediction,
+                    },
+                ))
             })
             .collect();
         scored.sort_by(|a, b| {
@@ -424,7 +430,10 @@ mod tests {
             .find(|&i| ctx.ratings.rating(user, i).is_none())
             .unwrap();
         match model.evidence(&ctx, user, unrated).unwrap() {
-            ModelEvidence::Content { influences, features } => {
+            ModelEvidence::Content {
+                influences,
+                features,
+            } => {
                 if !influences.is_empty() {
                     let sum: f64 = influences.iter().map(|i| i.share).sum();
                     assert!(sum <= 1.0 + 1e-9, "shares are a partition, sum={sum}");

@@ -177,14 +177,15 @@ mod tests {
     fn weighted_blend_is_between_components() {
         let (m, c) = fixtures();
         let ctx = Ctx::new(&m, &c);
-        let hybrid = WeightedHybrid::new(vec![
-            (Box::new(UserMean), 1.0),
-            (Box::new(GlobalMean), 1.0),
-        ])
-        .unwrap();
+        let hybrid =
+            WeightedHybrid::new(vec![(Box::new(UserMean), 1.0), (Box::new(GlobalMean), 1.0)])
+                .unwrap();
         let p = hybrid.predict(&ctx, UserId(0), ItemId(2)).unwrap();
         let um = UserMean.predict(&ctx, UserId(0), ItemId(2)).unwrap().score;
-        let gm = GlobalMean.predict(&ctx, UserId(0), ItemId(2)).unwrap().score;
+        let gm = GlobalMean
+            .predict(&ctx, UserId(0), ItemId(2))
+            .unwrap()
+            .score;
         assert!((p.score - (um + gm) / 2.0).abs() < 1e-9);
     }
 
@@ -194,12 +195,15 @@ mod tests {
         m.ensure_users(3);
         let ctx = Ctx::new(&m, &c);
         let hybrid = WeightedHybrid::new(vec![
-            (Box::new(UserMean), 10.0),  // fails for user 2 (no ratings)
+            (Box::new(UserMean), 10.0), // fails for user 2 (no ratings)
             (Box::new(GlobalMean), 1.0),
         ])
         .unwrap();
         let p = hybrid.predict(&ctx, UserId(2), ItemId(0)).unwrap();
-        let gm = GlobalMean.predict(&ctx, UserId(2), ItemId(0)).unwrap().score;
+        let gm = GlobalMean
+            .predict(&ctx, UserId(2), ItemId(0))
+            .unwrap()
+            .score;
         assert!((p.score - gm).abs() < 1e-9);
     }
 
@@ -228,11 +232,9 @@ mod tests {
     fn evidence_from_highest_weight() {
         let (m, c) = fixtures();
         let ctx = Ctx::new(&m, &c);
-        let hybrid = WeightedHybrid::new(vec![
-            (Box::new(UserMean), 5.0),
-            (Box::new(GlobalMean), 1.0),
-        ])
-        .unwrap();
+        let hybrid =
+            WeightedHybrid::new(vec![(Box::new(UserMean), 5.0), (Box::new(GlobalMean), 1.0)])
+                .unwrap();
         // Both produce Popularity evidence; just confirm one arrives.
         assert!(hybrid.evidence(&ctx, UserId(0), ItemId(2)).is_ok());
     }

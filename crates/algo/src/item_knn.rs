@@ -96,13 +96,11 @@ impl ItemKnn {
                         similarity::adjusted_cosine(&centred)
                     }
                     Similarity::Cosine => {
-                        let pairs: Vec<(f64, f64)> =
-                            co.iter().map(|&(_, x, y)| (x, y)).collect();
+                        let pairs: Vec<(f64, f64)> = co.iter().map(|&(_, x, y)| (x, y)).collect();
                         similarity::cosine(&pairs)
                     }
                     Similarity::Pearson => {
-                        let pairs: Vec<(f64, f64)> =
-                            co.iter().map(|&(_, x, y)| (x, y)).collect();
+                        let pairs: Vec<(f64, f64)> = co.iter().map(|&(_, x, y)| (x, y)).collect();
                         similarity::pearson(&pairs)
                     }
                     Similarity::Jaccard => similarity::jaccard(
@@ -159,11 +157,13 @@ impl ItemKnn {
         let candidates: Vec<ItemAnchor> = row
             .iter()
             .filter_map(|&(other, similarity)| {
-                ctx.ratings.rating(user, other).map(|user_rating| ItemAnchor {
-                    item: other,
-                    similarity,
-                    user_rating,
-                })
+                ctx.ratings
+                    .rating(user, other)
+                    .map(|user_rating| ItemAnchor {
+                        item: other,
+                        similarity,
+                        user_rating,
+                    })
             })
             .collect();
         top_k_by(candidates, self.config.k, |a| a.similarity)
@@ -210,8 +210,7 @@ impl Recommender for ItemKnn {
         }
         let score = ctx.ratings.scale().bound(num / den);
         let fill = (anchors.len() as f64 / self.config.k as f64).min(1.0);
-        let mean_sim =
-            anchors.iter().map(|a| a.similarity).sum::<f64>() / anchors.len() as f64;
+        let mean_sim = anchors.iter().map(|a| a.similarity).sum::<f64>() / anchors.len() as f64;
         let confidence = Confidence::new(fill * (0.4 + 0.6 * mean_sim.clamp(0.0, 1.0)));
         Ok(Prediction::new(score, confidence))
     }

@@ -8,9 +8,7 @@
 //! explanation ("price 450 satisfies your ≤ 500 budget…").
 
 use crate::recommender::{Ctx, ModelEvidence, Recommender, Scored, UtilityTerm};
-use exrec_types::{
-    AttrValue, Confidence, Error, Item, ItemId, Prediction, Result, UserId,
-};
+use exrec_types::{AttrValue, Confidence, Error, Item, ItemId, Prediction, Result, UserId};
 
 /// A single requirement's constraint.
 #[derive(Debug, Clone, PartialEq)]
@@ -82,18 +80,30 @@ impl Requirement {
         match (&self.constraint, value) {
             (Constraint::AtMost(limit), Some(AttrValue::Num(v))) => {
                 if v <= limit {
-                    (1.0, format!("{} {v} is within your limit of {limit}", self.attribute))
+                    (
+                        1.0,
+                        format!("{} {v} is within your limit of {limit}", self.attribute),
+                    )
                 } else {
                     let s = (1.0 - (v - limit) / limit.abs().max(1e-9)).max(0.0);
-                    (s, format!("{} {v} exceeds your limit of {limit}", self.attribute))
+                    (
+                        s,
+                        format!("{} {v} exceeds your limit of {limit}", self.attribute),
+                    )
                 }
             }
             (Constraint::AtLeast(floor), Some(AttrValue::Num(v))) => {
                 if v >= floor {
-                    (1.0, format!("{} {v} meets your minimum of {floor}", self.attribute))
+                    (
+                        1.0,
+                        format!("{} {v} meets your minimum of {floor}", self.attribute),
+                    )
                 } else {
                     let s = (v / floor.abs().max(1e-9)).clamp(0.0, 1.0);
-                    (s, format!("{} {v} is below your minimum of {floor}", self.attribute))
+                    (
+                        s,
+                        format!("{} {v} is below your minimum of {floor}", self.attribute),
+                    )
                 }
             }
             (Constraint::Near { target, tolerance }, Some(AttrValue::Num(v))) => {
@@ -109,9 +119,15 @@ impl Requirement {
             }
             (Constraint::OneOf(wants), Some(AttrValue::Cat(have))) => {
                 if wants.iter().any(|w| w == have) {
-                    (1.0, format!("{} is {have}, one of your choices", self.attribute))
+                    (
+                        1.0,
+                        format!("{} is {have}, one of your choices", self.attribute),
+                    )
                 } else {
-                    (0.0, format!("{} is {have}, not among your choices", self.attribute))
+                    (
+                        0.0,
+                        format!("{} is {have}, not among your choices", self.attribute),
+                    )
                 }
             }
             (Constraint::Is(want), Some(AttrValue::Flag(have))) => {
@@ -121,7 +137,10 @@ impl Requirement {
                     (0.0, format!("{} requirement not met", self.attribute))
                 }
             }
-            _ => (0.0, format!("{} is not specified for this item", self.attribute)),
+            _ => (
+                0.0,
+                format!("{} is not specified for this item", self.attribute),
+            ),
         }
     }
 }
@@ -300,11 +319,7 @@ mod tests {
     fn hard_constraints_filter() {
         let w = world();
         let ctx = Ctx::new(&w.ratings, &w.catalog);
-        let maut = Maut::new(vec![Requirement::hard(
-            "price",
-            Constraint::AtMost(400.0),
-        )])
-        .unwrap();
+        let maut = Maut::new(vec![Requirement::hard("price", Constraint::AtMost(400.0))]).unwrap();
         let ranked = maut.rank(&ctx, 100);
         assert!(!ranked.is_empty());
         for s in &ranked {
@@ -323,7 +338,11 @@ mod tests {
         ])
         .unwrap();
         let ranked = maut.rank(&ctx, w.catalog.len());
-        assert_eq!(ranked.len(), w.catalog.len(), "soft constraints filter nothing");
+        assert_eq!(
+            ranked.len(),
+            w.catalog.len(),
+            "soft constraints filter nothing"
+        );
         assert!(ranked
             .windows(2)
             .all(|p| p[0].prediction.score >= p[1].prediction.score));
@@ -356,9 +375,8 @@ mod tests {
             },
         );
         let mk = |zoom: f64| {
-            Item::new(ItemId::new(0), "c").with_attrs(
-                exrec_types::AttributeSet::new().with("zoom", zoom),
-            )
+            Item::new(ItemId::new(0), "c")
+                .with_attrs(exrec_types::AttributeSet::new().with("zoom", zoom))
         };
         assert!((req.satisfaction(&mk(10.0)).0 - 1.0).abs() < 1e-9);
         assert!((req.satisfaction(&mk(12.5)).0 - 0.5).abs() < 1e-9);
@@ -378,10 +396,13 @@ mod tests {
     fn relax_removes_requirements() {
         let mut maut = Maut::new(vec![
             Requirement::hard("price", Constraint::AtMost(100.0)),
-            Requirement::soft("price", Constraint::Near {
-                target: 80.0,
-                tolerance: 20.0,
-            }),
+            Requirement::soft(
+                "price",
+                Constraint::Near {
+                    target: 80.0,
+                    tolerance: 20.0,
+                },
+            ),
             Requirement::soft("zoom", Constraint::AtLeast(5.0)),
         ])
         .unwrap();

@@ -16,6 +16,9 @@
 //! * plus association-rule mining for dynamic compound critiques
 //!   ([`assoc`]), hybrids, baselines and evaluation metrics.
 //!
+//! Any model can be wrapped in an [`InstrumentedRecommender`] to count
+//! and time its calls against an `exrec-obs` metrics registry.
+//!
 //! Every model can return typed [`ModelEvidence`] for a `(user, item)`
 //! pair — the raw material the explanation engine (`exrec-core`) renders
 //! into the survey's explanation interfaces.
@@ -27,6 +30,7 @@ pub mod assoc;
 pub mod baseline;
 pub mod content;
 pub mod hybrid;
+pub mod instrument;
 pub mod item_knn;
 pub mod knowledge;
 pub mod metrics;
@@ -36,6 +40,7 @@ pub mod recommender;
 pub mod similarity;
 pub mod user_knn;
 
+pub use instrument::InstrumentedRecommender;
 pub use item_knn::ItemKnn;
 pub use recommender::{Ctx, ModelEvidence, Recommender, Scored};
 pub use similarity::Similarity;

@@ -24,10 +24,7 @@ pub fn rmse(pairs: &[(f64, f64)]) -> Option<f64> {
     if pairs.is_empty() {
         return None;
     }
-    Some(
-        (pairs.iter().map(|&(p, a)| (p - a) * (p - a)).sum::<f64>() / pairs.len() as f64)
-            .sqrt(),
-    )
+    Some((pairs.iter().map(|&(p, a)| (p - a) * (p - a)).sum::<f64>() / pairs.len() as f64).sqrt())
 }
 
 /// Precision@k and recall@k of a ranked list against a relevant set.

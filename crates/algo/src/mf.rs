@@ -198,9 +198,7 @@ impl Recommender for MatrixFactorization {
         });
         Ok(ModelEvidence::Latent {
             terms,
-            bias: self.global_mean
-                + self.user_bias[user.index()]
-                + self.item_bias[item.index()],
+            bias: self.global_mean + self.user_bias[user.index()] + self.item_bias[item.index()],
         })
     }
 }
@@ -226,9 +224,18 @@ mod tests {
         let w = world();
         let ctx = Ctx::new(&w.ratings, &w.catalog);
         for cfg in [
-            MfConfig { factors: 0, ..MfConfig::default() },
-            MfConfig { epochs: 0, ..MfConfig::default() },
-            MfConfig { learning_rate: 0.0, ..MfConfig::default() },
+            MfConfig {
+                factors: 0,
+                ..MfConfig::default()
+            },
+            MfConfig {
+                epochs: 0,
+                ..MfConfig::default()
+            },
+            MfConfig {
+                learning_rate: 0.0,
+                ..MfConfig::default()
+            },
         ] {
             assert!(MatrixFactorization::fit(&ctx, cfg).is_err());
         }
@@ -253,9 +260,11 @@ mod tests {
             n += 1;
         }
         assert!(n > 30);
-        let (mf_mae, knn_mae, gm_mae) =
-            (mf_err / n as f64, knn_err / n as f64, gm_err / n as f64);
-        assert!(mf_mae < gm_mae, "MF {mf_mae:.3} must beat global mean {gm_mae:.3}");
+        let (mf_mae, knn_mae, gm_mae) = (mf_err / n as f64, knn_err / n as f64, gm_err / n as f64);
+        assert!(
+            mf_mae < gm_mae,
+            "MF {mf_mae:.3} must beat global mean {gm_mae:.3}"
+        );
         assert!(
             mf_mae < knn_mae * 1.15,
             "MF {mf_mae:.3} should be competitive with kNN {knn_mae:.3}"

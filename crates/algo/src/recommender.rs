@@ -204,9 +204,10 @@ pub trait Recommender {
             .ids()
             .filter(|&i| ctx.ratings.rating(user, i).is_none())
             .filter_map(|i| {
-                self.predict(ctx, user, i)
-                    .ok()
-                    .map(|prediction| Scored { item: i, prediction })
+                self.predict(ctx, user, i).ok().map(|prediction| Scored {
+                    item: i,
+                    prediction,
+                })
             })
             .collect();
         scored.sort_by(|a, b| {
@@ -248,7 +249,10 @@ mod tests {
             ))
         }
         fn evidence(&self, _ctx: &Ctx<'_>, _user: UserId, _item: ItemId) -> Result<ModelEvidence> {
-            Ok(ModelEvidence::Popularity { mean: 3.0, count: 1 })
+            Ok(ModelEvidence::Popularity {
+                mean: 3.0,
+                count: 1,
+            })
         }
     }
 
@@ -286,7 +290,11 @@ mod tests {
     #[test]
     fn evidence_kinds() {
         assert_eq!(
-            ModelEvidence::Popularity { mean: 1.0, count: 2 }.kind(),
+            ModelEvidence::Popularity {
+                mean: 1.0,
+                count: 2
+            }
+            .kind(),
             "popularity"
         );
         assert_eq!(

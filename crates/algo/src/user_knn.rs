@@ -170,8 +170,7 @@ impl Recommender for UserKnn {
 
         // Confidence: neighbourhood fill × rating agreement.
         let fill = neighbors.len() as f64 / self.config.k as f64;
-        let mean_rating =
-            neighbors.iter().map(|n| n.rating).sum::<f64>() / neighbors.len() as f64;
+        let mean_rating = neighbors.iter().map(|n| n.rating).sum::<f64>() / neighbors.len() as f64;
         let var = neighbors
             .iter()
             .map(|n| (n.rating - mean_rating).powi(2))
@@ -216,9 +215,18 @@ mod tests {
         }
         let mut m = RatingsMatrix::new(3, 6, RatingScale::FIVE_STAR);
         let grid = [
-            (0u32, [Some(5.0), Some(4.0), Some(1.0), Some(2.0), None, Some(5.0)]),
-            (1u32, [Some(5.0), Some(4.0), Some(1.0), Some(2.0), Some(5.0), None]),
-            (2u32, [Some(1.0), Some(2.0), Some(5.0), Some(4.0), Some(1.0), None]),
+            (
+                0u32,
+                [Some(5.0), Some(4.0), Some(1.0), Some(2.0), None, Some(5.0)],
+            ),
+            (
+                1u32,
+                [Some(5.0), Some(4.0), Some(1.0), Some(2.0), Some(5.0), None],
+            ),
+            (
+                2u32,
+                [Some(1.0), Some(2.0), Some(5.0), Some(4.0), Some(1.0), None],
+            ),
         ];
         for (u, row) in grid {
             for (i, v) in row.into_iter().enumerate() {

@@ -9,10 +9,7 @@ use exrec_bench::bench_movie_world;
 use exrec_types::{ItemId, UserId};
 use std::hint::black_box;
 
-fn predictable_pair(
-    world: &exrec_data::World,
-    rec: &dyn Recommender,
-) -> (UserId, ItemId) {
+fn predictable_pair(world: &exrec_data::World, rec: &dyn Recommender) -> (UserId, ItemId) {
     let ctx = Ctx::new(&world.ratings, &world.catalog);
     for u in world.ratings.users() {
         if world.ratings.user_ratings(u).len() < 5 {
@@ -98,5 +95,10 @@ fn bench_world_generation(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_predict, bench_fit_and_recommend, bench_world_generation);
+criterion_group!(
+    benches,
+    bench_predict,
+    bench_fit_and_recommend,
+    bench_world_generation
+);
 criterion_main!(benches);

@@ -81,11 +81,7 @@ fn bench_critiques(c: &mut Criterion) {
     let mut g = c.benchmark_group("critique_mine");
     g.sample_size(20);
     g.bench_function("compound_100_items", |b| {
-        b.iter(|| {
-            black_box(
-                mine_compound(&world.catalog, reference, &candidates, 0.1, 3).unwrap(),
-            )
-        })
+        b.iter(|| black_box(mine_compound(&world.catalog, reference, &candidates, 0.1, 3).unwrap()))
     });
     g.finish();
 
@@ -125,11 +121,7 @@ fn bench_session(c: &mut Criterion) {
             let (mut session, screen) =
                 CritiqueSession::start(maut.clone(), &ctx, OverviewConfig::default()).unwrap();
             if let Some((critique, _)) = screen.options.first() {
-                let _ = black_box(session.apply_compound(
-                    &ctx,
-                    screen.current.item,
-                    critique,
-                ));
+                let _ = black_box(session.apply_compound(&ctx, screen.current.item, critique));
             }
             black_box(session.cycles())
         })

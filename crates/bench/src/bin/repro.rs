@@ -9,12 +9,18 @@
 //!                       #  E-TRUST, E-TRA, E-SCR, E-SAT, A-TRADE,
 //!                       #  E-MODAL, E-ACC)
 //! repro --emulations    # the ten Table 4 live emulations
-//! repro --json DIR      # also dump study reports as JSON into DIR
+//! repro --json DIR      # also dump study reports (and telemetry) as
+//!                       # JSON into DIR
 //! ```
+//!
+//! Studies run under an `exrec-obs` telemetry registry; whenever at
+//! least one study ran, the final metrics snapshot (per-study wall
+//! clock, per-aim durations, simulated-user throughput) is printed
+//! after the reports.
 
 use exrec_bench::{figure1_text, figure2_treemap, figure2_world, figure3_text};
-use exrec_eval::studies;
 use exrec_eval::StudyReport;
+use exrec_obs::Telemetry;
 use exrec_registry::tables;
 
 fn print_table(n: u32) {
@@ -60,28 +66,7 @@ fn print_figure(n: u32) {
     }
 }
 
-fn run_study(id: &str) -> Option<StudyReport> {
-    let report = match id.to_uppercase().as_str() {
-        "E-PERS" => studies::persuasion_herlocker::run(&Default::default()).report,
-        "E-SHIFT" => studies::rating_shift::run(&Default::default()).report,
-        "E-EFK" => studies::effectiveness::run(&Default::default()).report,
-        "E-EFC" => studies::efficiency::run(&Default::default()).report,
-        "E-TRUST" => studies::trust_loyalty::run(&Default::default()).report,
-        "E-TRA" => studies::transparency::run(&Default::default()).report,
-        "E-SCR" => studies::scrutability::run(&Default::default()).report,
-        "E-SAT" => studies::satisfaction::run(&Default::default()).report,
-        "A-TRADE" => studies::tradeoffs::run(&Default::default()).report,
-        "E-MODAL" => studies::modality::run(&Default::default()).report,
-        "E-ACC" => studies::accuracy::run(&Default::default()).report,
-        _ => return None,
-    };
-    Some(report)
-}
-
-const ALL_STUDIES: [&str; 11] = [
-    "E-PERS", "E-SHIFT", "E-EFK", "E-EFC", "E-TRUST", "E-TRA", "E-SCR", "E-SAT", "A-TRADE",
-    "E-MODAL", "E-ACC",
-];
+const ALL_STUDIES: [&str; 11] = exrec_eval::STUDY_IDS;
 
 fn print_emulations() {
     for emu in exrec_registry::live::all() {
@@ -130,6 +115,7 @@ fn main() {
         }
     }
 
+    let telemetry = Telemetry::default();
     let mut reports: Vec<StudyReport> = Vec::new();
     if actions.is_empty() {
         for t in 1..=4 {
@@ -139,7 +125,7 @@ fn main() {
             print_figure(f);
         }
         for id in ALL_STUDIES {
-            let report = run_study(id).expect("known id");
+            let report = exrec_eval::run_study_with(&telemetry, id).expect("known id");
             println!("{}", report.render_ascii());
             reports.push(report);
         }
@@ -149,7 +135,7 @@ fn main() {
             match flag.as_str() {
                 "--table" => print_table(value.parse().unwrap_or(0)),
                 "--figure" => print_figure(value.parse().unwrap_or(0)),
-                "--study" => match run_study(&value) {
+                "--study" => match exrec_eval::run_study_with(&telemetry, &value) {
                     Some(report) => {
                         println!("{}", report.render_ascii());
                         reports.push(report);
@@ -165,11 +151,22 @@ fn main() {
         }
     }
 
+    let metrics = telemetry.report();
+    if !metrics.is_empty() {
+        println!("{}", metrics.render_ascii());
+    }
+
     if let Some(dir) = json_dir {
         std::fs::create_dir_all(&dir).expect("create json dir");
         for report in &reports {
             let path = format!("{dir}/{}.json", report.id);
             std::fs::write(&path, report.to_json()).expect("write report");
+            eprintln!("wrote {path}");
+        }
+        if !metrics.is_empty() {
+            let path = format!("{dir}/telemetry.json");
+            let json = serde_json::to_string_pretty(&metrics).expect("serialize telemetry");
+            std::fs::write(&path, json).expect("write telemetry");
             eprintln!("wrote {path}");
         }
     }

@@ -201,7 +201,10 @@ mod tests {
     #[test]
     fn table1_definitions_are_verbatim() {
         // These strings ARE the reproduction of Table 1 — keep verbatim.
-        assert_eq!(Aim::Transparency.definition(), "Explain how the system works");
+        assert_eq!(
+            Aim::Transparency.definition(),
+            "Explain how the system works"
+        );
         assert_eq!(
             Aim::Scrutability.definition(),
             "Allow users to tell the system it is wrong"
@@ -210,9 +213,18 @@ mod tests {
             Aim::Trust.definition(),
             "Increase users' confidence in the system"
         );
-        assert_eq!(Aim::Effectiveness.definition(), "Help users make good decisions");
-        assert_eq!(Aim::Persuasiveness.definition(), "Convince users to try or buy");
-        assert_eq!(Aim::Efficiency.definition(), "Help users make decisions faster");
+        assert_eq!(
+            Aim::Effectiveness.definition(),
+            "Help users make good decisions"
+        );
+        assert_eq!(
+            Aim::Persuasiveness.definition(),
+            "Convince users to try or buy"
+        );
+        assert_eq!(
+            Aim::Efficiency.definition(),
+            "Help users make decisions faster"
+        );
         assert_eq!(
             Aim::Satisfaction.definition(),
             "Increase the ease of usability or enjoyment"
@@ -271,7 +283,9 @@ mod tests {
 
     #[test]
     fn from_iterator() {
-        let p: AimProfile = [Aim::Trust, Aim::Trust, Aim::Efficiency].into_iter().collect();
+        let p: AimProfile = [Aim::Trust, Aim::Trust, Aim::Efficiency]
+            .into_iter()
+            .collect();
         assert_eq!(p.len(), 2);
     }
 }

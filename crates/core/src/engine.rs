@@ -5,10 +5,13 @@
 //! because explanation content is generated from typed evidence rather
 //! than from the algorithm's internals.
 
+use std::time::Instant;
+
 use crate::explanation::Explanation;
 use crate::interfaces::{ExplainInput, InterfaceId};
-use exrec_algo::{Ctx, Recommender, Scored};
-use exrec_types::{ItemId, Prediction, Result, UserId};
+use exrec_algo::{Ctx, ModelEvidence, Recommender, Scored};
+use exrec_obs::Telemetry;
+use exrec_types::{Error, ItemId, Prediction, Result, UserId};
 
 /// Pairs a recommender with an explanation interface.
 ///
@@ -31,6 +34,7 @@ use exrec_types::{ItemId, Prediction, Result, UserId};
 pub struct Explainer<'r> {
     recommender: &'r dyn Recommender,
     interface: InterfaceId,
+    telemetry: Option<Telemetry>,
 }
 
 impl<'r> Explainer<'r> {
@@ -39,7 +43,17 @@ impl<'r> Explainer<'r> {
         Self {
             recommender,
             interface,
+            telemetry: None,
         }
+    }
+
+    /// Attaches a telemetry handle. The explainer then records, per
+    /// call: evidence-gathering latency (`explain.evidence_ns`), which
+    /// interface fired (`explain.fired.<key>`), and how often generation
+    /// aborted for lack of evidence (`explain.abort.missing_evidence`).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = Some(telemetry);
+        self
     }
 
     /// The active interface.
@@ -50,6 +64,37 @@ impl<'r> Explainer<'r> {
     /// Swaps the interface (e.g. between study conditions).
     pub fn set_interface(&mut self, interface: InterfaceId) {
         self.interface = interface;
+    }
+
+    /// Gathers model evidence, timing it when telemetry is attached.
+    fn gather_evidence(&self, ctx: &Ctx<'_>, user: UserId, item: ItemId) -> Result<ModelEvidence> {
+        let started = Instant::now();
+        let evidence = self.recommender.evidence(ctx, user, item);
+        if let Some(t) = &self.telemetry {
+            t.metrics()
+                .histogram("explain.evidence_ns")
+                .record(started.elapsed());
+        }
+        evidence
+    }
+
+    /// Runs the interface on gathered evidence, recording fire/abort
+    /// counts when telemetry is attached.
+    fn generate(&self, input: &ExplainInput<'_>) -> Result<Explanation> {
+        let result = self.interface.generate(input);
+        if let Some(t) = &self.telemetry {
+            match &result {
+                Ok(_) => t
+                    .metrics()
+                    .counter(&format!("explain.fired.{}", self.interface.key()))
+                    .incr(),
+                Err(Error::MissingEvidence { .. }) => {
+                    t.metrics().counter("explain.abort.missing_evidence").incr();
+                }
+                Err(_) => {}
+            }
+        }
+        result
     }
 
     /// Predicts and explains one `(user, item)` pair.
@@ -66,7 +111,7 @@ impl<'r> Explainer<'r> {
         item: ItemId,
     ) -> Result<(Prediction, Explanation)> {
         let prediction = self.recommender.predict(ctx, user, item)?;
-        let evidence = self.recommender.evidence(ctx, user, item)?;
+        let evidence = self.gather_evidence(ctx, user, item)?;
         let input = ExplainInput {
             ctx,
             user,
@@ -74,7 +119,7 @@ impl<'r> Explainer<'r> {
             prediction,
             evidence: &evidence,
         };
-        let explanation = self.interface.generate(&input)?;
+        let explanation = self.generate(&input)?;
         Ok((prediction, explanation))
     }
 
@@ -88,11 +133,15 @@ impl<'r> Explainer<'r> {
         user: UserId,
         n: usize,
     ) -> Vec<(Scored, Explanation)> {
+        let _span = self
+            .telemetry
+            .as_ref()
+            .map(|t| exrec_obs::span!(t, "recommend_explained", interface = self.interface.key()));
         self.recommender
             .recommend(ctx, user, n * 2)
             .into_iter()
             .filter_map(|scored| {
-                let evidence = self.recommender.evidence(ctx, user, scored.item).ok()?;
+                let evidence = self.gather_evidence(ctx, user, scored.item).ok()?;
                 let input = ExplainInput {
                     ctx,
                     user,
@@ -100,7 +149,7 @@ impl<'r> Explainer<'r> {
                     prediction: scored.prediction,
                     evidence: &evidence,
                 };
-                let explanation = self.interface.generate(&input).ok()?;
+                let explanation = self.generate(&input).ok()?;
                 Some((scored, explanation))
             })
             .take(n)
@@ -172,5 +221,28 @@ mod tests {
         explainer.set_interface(InterfaceId::WonAwards);
         let (_, b) = explainer.explain(&ctx, user, item).unwrap();
         assert_eq!(b.interface, "won_awards");
+    }
+
+    #[test]
+    fn telemetry_counts_fires_and_aborts() {
+        let w = world();
+        let ctx = Ctx::new(&w.ratings, &w.catalog);
+        let pop = Popularity::default();
+        let obs = Telemetry::default();
+        let mut explainer =
+            Explainer::new(&pop, InterfaceId::MovieAverage).with_telemetry(obs.clone());
+        let user = w.ratings.users().next().unwrap();
+        let item = w.catalog.ids().next().unwrap();
+
+        explainer.explain(&ctx, user, item).unwrap();
+        explainer.explain(&ctx, user, item).unwrap();
+        // Histogram needs neighbour evidence popularity cannot provide.
+        explainer.set_interface(InterfaceId::Histogram);
+        assert!(explainer.explain(&ctx, user, item).is_err());
+
+        let report = obs.report();
+        assert_eq!(report.counters["explain.fired.item_average"], 2);
+        assert_eq!(report.counters["explain.abort.missing_evidence"], 1);
+        assert_eq!(report.histograms["explain.evidence_ns"].count, 3);
     }
 }

@@ -161,7 +161,14 @@ mod tests {
         let mut sport = 0;
         let mut tech = 0;
         for it in world.catalog.iter().map(|it| it.id).collect::<Vec<_>>() {
-            let topic = world.catalog.get(it).unwrap().attrs.cat("topic").unwrap().to_owned();
+            let topic = world
+                .catalog
+                .get(it)
+                .unwrap()
+                .attrs
+                .cat("topic")
+                .unwrap()
+                .to_owned();
             match topic.as_str() {
                 "sport" if sport < 5 => {
                     world.ratings.rate(user, it, 5.0).unwrap();

@@ -152,8 +152,7 @@ mod tests {
         for u in w.ratings.users() {
             for i in w.catalog.ids() {
                 if w.ratings.rating(u, i).is_none() && model.predict(&ctx, u, i).is_ok() {
-                    let infl =
-                        loo_influences(&model, &w.ratings, &w.catalog, u, i).unwrap();
+                    let infl = loo_influences(&model, &w.ratings, &w.catalog, u, i).unwrap();
                     // Anchors are the user's own rated items, so most
                     // influences should be nonzero when anchors exist.
                     assert!(infl.iter().all(|x| x.share >= 0.0));

@@ -208,7 +208,11 @@ fn item_average(input: &ExplainInput<'_>) -> Vec<Fragment> {
             Fragment::Text(format!("Overall rating of \"{}\":", title(input))),
             Fragment::KeyValue {
                 key: "Average".to_owned(),
-                value: format!("{} from {} ratings", stars((mean * 10.0).round() / 10.0), ratings.len()),
+                value: format!(
+                    "{} from {} ratings",
+                    stars((mean * 10.0).round() / 10.0),
+                    ratings.len()
+                ),
             },
         ],
         None => vec![Fragment::Text(format!(
@@ -442,13 +446,11 @@ fn topic_profile(input: &ExplainInput<'_>) -> Result<Vec<Fragment>> {
         }
     }
     let dominant = counts.into_iter().max_by(|a, b| {
-        a.1.cmp(&b.1)
-            .then_with(|| b.0.cmp(&a.0)) // deterministic tie-break
+        a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)) // deterministic tie-break
     });
     let Some(((attr, value), count)) = dominant else {
         return Ok(vec![Fragment::Text(
-            "We do not know much about your tastes yet — this is a starting suggestion."
-                .to_owned(),
+            "We do not know much about your tastes yet — this is a starting suggestion.".to_owned(),
         )]);
     };
     let target_value = target.attrs.cat(&attr).unwrap_or("something different");
@@ -473,10 +475,7 @@ fn won_awards(input: &ExplainInput<'_>) -> Vec<Fragment> {
         Some(_) if ratings.len() >= 10 => "widely reviewed by the community",
         _ => "a fresh pick our editors are watching",
     };
-    vec![Fragment::Text(format!(
-        "\"{}\" is {badge}.",
-        title(input)
-    ))]
+    vec![Fragment::Text(format!("\"{}\" is {badge}.", title(input)))]
 }
 
 fn detailed_process(input: &ExplainInput<'_>) -> Result<Vec<Fragment>> {
@@ -683,7 +682,10 @@ mod tests {
 
     #[test]
     fn evidence_mismatch_is_reported() {
-        let content_only = ModelEvidence::Popularity { mean: 3.0, count: 1 };
+        let content_only = ModelEvidence::Popularity {
+            mean: 3.0,
+            count: 1,
+        };
         for id in [
             InterfaceId::Histogram,
             InterfaceId::ClusteredHistogram,
@@ -707,7 +709,10 @@ mod tests {
 
     #[test]
     fn any_evidence_interfaces_accept_popularity() {
-        let pop = ModelEvidence::Popularity { mean: 3.7, count: 3 };
+        let pop = ModelEvidence::Popularity {
+            mean: 3.7,
+            count: 3,
+        };
         for id in [
             InterfaceId::PastPerformance,
             InterfaceId::MovieAverage,
@@ -786,7 +791,10 @@ mod tests {
     #[test]
     fn favourite_feature_finds_shared_lead() {
         // User 0 liked Alpha (lead Ann Ba, 5★); target Delta also has Ann Ba.
-        let pop = ModelEvidence::Popularity { mean: 3.0, count: 1 };
+        let pop = ModelEvidence::Popularity {
+            mean: 3.0,
+            count: 1,
+        };
         let e = run(InterfaceId::FavouriteFeature, &pop).unwrap();
         let text = e.text();
         assert!(
@@ -797,7 +805,10 @@ mod tests {
 
     #[test]
     fn topic_profile_mentions_dominant_category() {
-        let pop = ModelEvidence::Popularity { mean: 3.0, count: 1 };
+        let pop = ModelEvidence::Popularity {
+            mean: 3.0,
+            count: 1,
+        };
         let e = run(InterfaceId::TopicProfile, &pop).unwrap();
         // User 0 liked comedies (Alpha 5★, Beta 4★ ≥ mean 3.67; Gamma 2★ below).
         assert!(e.text().contains("comedy"), "got: {}", e.text());
@@ -833,10 +844,16 @@ mod tests {
 
     #[test]
     fn confidence_display_discloses() {
-        let pop = ModelEvidence::Popularity { mean: 3.0, count: 1 };
+        let pop = ModelEvidence::Popularity {
+            mean: 3.0,
+            count: 1,
+        };
         let e = run(InterfaceId::ConfidenceDisplay, &pop).unwrap();
         match &e.fragments[0] {
-            Fragment::Disclosure { strength, confidence } => {
+            Fragment::Disclosure {
+                strength,
+                confidence,
+            } => {
                 assert!((strength - 4.2).abs() < 1e-9);
                 assert!(confidence.is_some());
             }
@@ -846,7 +863,10 @@ mod tests {
 
     #[test]
     fn past_performance_reports_grounded_fraction() {
-        let pop = ModelEvidence::Popularity { mean: 3.0, count: 1 };
+        let pop = ModelEvidence::Popularity {
+            mean: 3.0,
+            count: 1,
+        };
         let e = run(InterfaceId::PastPerformance, &pop).unwrap();
         assert!(e.text().contains('%'));
         assert!(e.text().contains("rated items"));

@@ -232,9 +232,8 @@ mod tests {
         };
         let affirming = PersonalityLens::new(Popularity::default(), Personality::Affirming)
             .recommend(&ctx, user, 5);
-        let serendipitous =
-            PersonalityLens::new(Popularity::default(), Personality::Serendipitous)
-                .recommend(&ctx, user, 5);
+        let serendipitous = PersonalityLens::new(Popularity::default(), Personality::Serendipitous)
+            .recommend(&ctx, user, 5);
         assert!(
             familiar_rank(&affirming) >= familiar_rank(&serendipitous),
             "affirming lists should average more familiar items"

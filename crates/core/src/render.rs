@@ -74,7 +74,11 @@ fn render_plainlike(explanation: &Explanation, colour: bool) -> String {
             Fragment::Histogram { title, bins } => {
                 render_bins_plain(&mut out, title, bins, colour);
             }
-            Fragment::InfluenceBar { title, rating, share } => {
+            Fragment::InfluenceBar {
+                title,
+                rating,
+                share,
+            } => {
                 let painted = bar(scaled((share * 100.0) as usize, 100));
                 let _ = writeln!(
                     out,
@@ -85,20 +89,21 @@ fn render_plainlike(explanation: &Explanation, colour: bool) -> String {
             Fragment::KeyValue { key, value } => {
                 let _ = writeln!(out, "  {key}: {value}");
             }
-            Fragment::Disclosure { strength, confidence } => {
-                match confidence {
-                    Some(c) => {
-                        let _ = writeln!(
-                            out,
-                            "Predicted rating: {strength:.1} — the system is {}",
-                            confidence_phrase(*c)
-                        );
-                    }
-                    None => {
-                        let _ = writeln!(out, "Predicted rating: {strength:.1}");
-                    }
+            Fragment::Disclosure {
+                strength,
+                confidence,
+            } => match confidence {
+                Some(c) => {
+                    let _ = writeln!(
+                        out,
+                        "Predicted rating: {strength:.1} — the system is {}",
+                        confidence_phrase(*c)
+                    );
                 }
-            }
+                None => {
+                    let _ = writeln!(out, "Predicted rating: {strength:.1}");
+                }
+            },
         }
     }
     out
@@ -134,11 +139,21 @@ impl Render for MarkdownRenderer {
                     let _ = writeln!(out, "```");
                     let max = bins.iter().map(|b| b.count).max().unwrap_or(0);
                     for b in bins {
-                        let _ = writeln!(out, "{:12} {} {}", b.label, bar(scaled(b.count, max)), b.count);
+                        let _ = writeln!(
+                            out,
+                            "{:12} {} {}",
+                            b.label,
+                            bar(scaled(b.count, max)),
+                            b.count
+                        );
                     }
                     let _ = writeln!(out, "```\n");
                 }
-                Fragment::InfluenceBar { title, rating, share } => {
+                Fragment::InfluenceBar {
+                    title,
+                    rating,
+                    share,
+                } => {
                     let _ = writeln!(
                         out,
                         "- **{:.0}%** — \"{title}\" (your rating: {rating:.0})",
@@ -152,7 +167,10 @@ impl Render for MarkdownRenderer {
                     }
                     let _ = writeln!(out, "| {key} | {value} |");
                 }
-                Fragment::Disclosure { strength, confidence } => match confidence {
+                Fragment::Disclosure {
+                    strength,
+                    confidence,
+                } => match confidence {
                     Some(c) => {
                         let _ = writeln!(
                             out,

@@ -73,9 +73,7 @@ impl ExplainableSimilarity {
                 AttributeKind::Categorical => {
                     categorical_strength(ctx, &rated, &def.name).unwrap_or(0.0)
                 }
-                AttributeKind::Numeric => {
-                    numeric_strength(ctx, &rated, &def.name).unwrap_or(0.0)
-                }
+                AttributeKind::Numeric => numeric_strength(ctx, &rated, &def.name).unwrap_or(0.0),
                 AttributeKind::Flag => flag_strength(ctx, &rated, &def.name).unwrap_or(0.0),
                 AttributeKind::Text => continue, // folded into keywords
             };
@@ -100,8 +98,7 @@ impl ExplainableSimilarity {
                 )
             })
             .collect();
-        let keyword_weight = PRIOR_MIX * uniform
-            + (1.0 - PRIOR_MIX) * (1.0 / (n + 1.0));
+        let keyword_weight = PRIOR_MIX * uniform + (1.0 - PRIOR_MIX) * (1.0 / (n + 1.0));
         // Renormalize to exactly 1.
         let sum: f64 = weights.iter().map(|(_, w)| w).sum::<f64>() + keyword_weight;
         for (_, w) in &mut weights {
@@ -114,7 +111,11 @@ impl ExplainableSimilarity {
             .schema()
             .attributes()
             .iter()
-            .filter_map(|d| ctx.catalog.numeric_range(&d.name).map(|r| (d.name.clone(), r)))
+            .filter_map(|d| {
+                ctx.catalog
+                    .numeric_range(&d.name)
+                    .map(|r| (d.name.clone(), r))
+            })
             .collect();
 
         Ok(Self {
@@ -140,12 +141,17 @@ impl ExplainableSimilarity {
 
     /// Similarity of two items in `[0, 1]`, with the named breakdown
     /// (largest contribution first).
-    pub fn similarity(&self, a: &Item, b: &Item, schema: &exrec_types::DomainSchema)
-        -> (f64, Vec<SimilarityTerm>)
-    {
+    pub fn similarity(
+        &self,
+        a: &Item,
+        b: &Item,
+        schema: &exrec_types::DomainSchema,
+    ) -> (f64, Vec<SimilarityTerm>) {
         let mut terms = Vec::new();
         for (name, weight) in &self.attribute_weights {
-            let Some(def) = schema.attribute(name) else { continue };
+            let Some(def) = schema.attribute(name) else {
+                continue;
+            };
             let (match_frac, label) = match (a.attrs.get(name), b.attrs.get(name)) {
                 (Some(va), Some(vb)) => match def.kind {
                     AttributeKind::Categorical => {
@@ -163,11 +169,7 @@ impl ExplainableSimilarity {
                         }
                     }
                     AttributeKind::Numeric => {
-                        let (lo, hi) = self
-                            .ranges
-                            .get(name)
-                            .copied()
-                            .unwrap_or((0.0, 1.0));
+                        let (lo, hi) = self.ranges.get(name).copied().unwrap_or((0.0, 1.0));
                         let span = (hi - lo).abs().max(1e-9);
                         let (x, y) = (
                             va.as_num().unwrap_or_default(),
@@ -210,18 +212,17 @@ impl ExplainableSimilarity {
                 .partial_cmp(&x.contribution)
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
-        let total = terms.iter().map(|t| t.contribution).sum::<f64>().clamp(0.0, 1.0);
+        let total = terms
+            .iter()
+            .map(|t| t.contribution)
+            .sum::<f64>()
+            .clamp(0.0, 1.0);
         (total, terms)
     }
 
     /// A user-readable sentence: "For you, X and Y are 72% similar —
     /// mostly because same genre (comedy) and 2 shared keywords."
-    pub fn explain_pair(
-        &self,
-        a: &Item,
-        b: &Item,
-        schema: &exrec_types::DomainSchema,
-    ) -> String {
+    pub fn explain_pair(&self, a: &Item, b: &Item, schema: &exrec_types::DomainSchema) -> String {
         let (total, terms) = self.similarity(a, b, schema);
         let top: Vec<String> = terms
             .iter()
@@ -410,7 +411,9 @@ mod tests {
         let (total, terms) = sim.similarity(a, b, w.catalog.schema());
         let sum: f64 = terms.iter().map(|t| t.contribution).sum();
         assert!((total - sum.clamp(0.0, 1.0)).abs() < 1e-9);
-        assert!(terms.windows(2).all(|p| p[0].contribution >= p[1].contribution));
+        assert!(terms
+            .windows(2)
+            .all(|p| p[0].contribution >= p[1].contribution));
         assert!((0.0..=1.0).contains(&total));
     }
 

@@ -45,9 +45,13 @@ impl ExplanationStyle {
     /// The canonical template sentence the survey gives for the style.
     pub fn canonical_template(self) -> &'static str {
         match self {
-            ExplanationStyle::ContentBased => "We have recommended {item} because you liked {anchor}",
+            ExplanationStyle::ContentBased => {
+                "We have recommended {item} because you liked {anchor}"
+            }
             ExplanationStyle::CollaborativeBased => "People who liked {anchor} also liked {item}",
-            ExplanationStyle::PreferenceBased => "Your interests suggest that you would like {item}",
+            ExplanationStyle::PreferenceBased => {
+                "Your interests suggest that you would like {item}"
+            }
             ExplanationStyle::None => "",
         }
     }

@@ -78,7 +78,10 @@ mod tests {
 
     #[test]
     fn fill_substitutes_known_slots() {
-        let vals = slots([("item", "Pulp Fiction".to_owned()), ("actor", "Bruce Willis".to_owned())]);
+        let vals = slots([
+            ("item", "Pulp Fiction".to_owned()),
+            ("actor", "Bruce Willis".to_owned()),
+        ]);
         assert_eq!(
             fill("{item} is a thriller starring {actor}", &vals),
             "Pulp Fiction is a thriller starring Bruce Willis"

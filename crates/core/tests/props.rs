@@ -16,11 +16,7 @@ use exrec_types::{
 use proptest::prelude::*;
 
 fn fixture() -> (RatingsMatrix, Catalog) {
-    let schema = DomainSchema::new(
-        "d",
-        vec![AttributeDef::categorical("genre", "Genre")],
-    )
-    .unwrap();
+    let schema = DomainSchema::new("d", vec![AttributeDef::categorical("genre", "Genre")]).unwrap();
     let mut catalog = Catalog::new(schema);
     for k in 0..6 {
         catalog
@@ -39,22 +35,21 @@ fn fixture() -> (RatingsMatrix, Catalog) {
 }
 
 fn arb_evidence() -> impl Strategy<Value = ModelEvidence> {
-    let neighbors = prop::collection::vec(
-        (0u32..4, -1.0f64..1.0, 1.0f64..5.0),
-        0..12,
-    )
-    .prop_map(|ns| ModelEvidence::UserNeighbors {
-        neighbors: ns
-            .into_iter()
-            .map(|(u, s, r)| NeighborContribution {
-                user: UserId(u),
-                similarity: s,
-                rating: r,
-            })
-            .collect(),
-    });
-    let anchors = prop::collection::vec((0u32..6, 0.0f64..1.0, 1.0f64..5.0), 0..6).prop_map(
-        |xs| ModelEvidence::ItemNeighbors {
+    let neighbors =
+        prop::collection::vec((0u32..4, -1.0f64..1.0, 1.0f64..5.0), 0..12).prop_map(|ns| {
+            ModelEvidence::UserNeighbors {
+                neighbors: ns
+                    .into_iter()
+                    .map(|(u, s, r)| NeighborContribution {
+                        user: UserId(u),
+                        similarity: s,
+                        rating: r,
+                    })
+                    .collect(),
+            }
+        });
+    let anchors = prop::collection::vec((0u32..6, 0.0f64..1.0, 1.0f64..5.0), 0..6).prop_map(|xs| {
+        ModelEvidence::ItemNeighbors {
             anchors: xs
                 .into_iter()
                 .map(|(i, s, r)| ItemAnchor {
@@ -63,8 +58,8 @@ fn arb_evidence() -> impl Strategy<Value = ModelEvidence> {
                     user_rating: r,
                 })
                 .collect(),
-        },
-    );
+        }
+    });
     let content = (
         prop::collection::vec(("[a-z]{1,8}", -3.0f64..3.0), 0..6),
         prop::collection::vec((0u32..6, 1.0f64..5.0, 0.0f64..1.0), 0..6),

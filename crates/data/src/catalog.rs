@@ -47,7 +47,12 @@ impl Catalog {
     ///
     /// Propagates schema validation errors
     /// ([`Error::UnknownAttribute`], [`Error::KindMismatch`]).
-    pub fn add(&mut self, title: &str, attrs: AttributeSet, keywords: Vec<String>) -> Result<ItemId> {
+    pub fn add(
+        &mut self,
+        title: &str,
+        attrs: AttributeSet,
+        keywords: Vec<String>,
+    ) -> Result<ItemId> {
         self.schema.validate(&attrs)?;
         let id = ItemId::new(self.items.len() as u32);
         self.items.push(
@@ -85,7 +90,11 @@ impl Catalog {
     }
 
     /// Items whose categorical attribute `name` equals `value`.
-    pub fn with_category<'a>(&'a self, name: &'a str, value: &'a str) -> impl Iterator<Item = &'a Item> {
+    pub fn with_category<'a>(
+        &'a self,
+        name: &'a str,
+        value: &'a str,
+    ) -> impl Iterator<Item = &'a Item> {
         self.items
             .iter()
             .filter(move |it| it.attrs.cat(name) == Some(value))

@@ -249,10 +249,10 @@ impl RatingsMatrix {
 
     /// Iterator over every `(user, item, value)` triple, user-major.
     pub fn triples(&self) -> impl Iterator<Item = (UserId, ItemId, f64)> + '_ {
-        self.by_user.iter().enumerate().flat_map(|(u, row)| {
-            row.iter()
-                .map(move |&(i, v)| (UserId::new(u as u32), i, v))
-        })
+        self.by_user
+            .iter()
+            .enumerate()
+            .flat_map(|(u, row)| row.iter().map(move |&(i, v)| (UserId::new(u as u32), i, v)))
     }
 
     /// Items rated by both users, with both values:
@@ -327,7 +327,10 @@ mod tests {
         let prev = m.rate(UserId(0), ItemId(0), 2.0).unwrap();
         assert_eq!(prev, Some(5.0));
         assert_eq!(m.rating(UserId(0), ItemId(0)), Some(2.0));
-        assert_eq!(m.item_ratings(ItemId(0)), &[(UserId(0), 2.0), (UserId(2), 1.0)]);
+        assert_eq!(
+            m.item_ratings(ItemId(0)),
+            &[(UserId(0), 2.0), (UserId(2), 1.0)]
+        );
         assert_eq!(m.n_ratings(), 5);
         let expected_mean = (2.0 + 3.0 + 4.0 + 2.0 + 1.0) / 5.0;
         assert!((m.global_mean() - expected_mean).abs() < 1e-12);
@@ -339,7 +342,10 @@ mod tests {
         assert_eq!(m.unrate(UserId(0), ItemId(1)).unwrap(), Some(3.0));
         assert_eq!(m.unrate(UserId(0), ItemId(1)).unwrap(), None);
         assert_eq!(m.rating(UserId(0), ItemId(1)), None);
-        assert!(m.item_ratings(ItemId(1)).iter().all(|&(u, _)| u != UserId(0)));
+        assert!(m
+            .item_ratings(ItemId(1))
+            .iter()
+            .all(|&(u, _)| u != UserId(0)));
         assert_eq!(m.n_ratings(), 4);
     }
 
@@ -374,9 +380,15 @@ mod tests {
     #[test]
     fn co_rated_merge() {
         let m = tiny();
-        assert_eq!(m.co_rated(UserId(0), UserId(1)), vec![(ItemId(1), 3.0, 4.0)]);
+        assert_eq!(
+            m.co_rated(UserId(0), UserId(1)),
+            vec![(ItemId(1), 3.0, 4.0)]
+        );
         assert!(m.co_rated(UserId(0), UserId(2)).len() == 1);
-        assert_eq!(m.co_raters(ItemId(0), ItemId(1)), vec![(UserId(0), 5.0, 3.0)]);
+        assert_eq!(
+            m.co_raters(ItemId(0), ItemId(1)),
+            vec![(UserId(0), 5.0, 3.0)]
+        );
     }
 
     #[test]
@@ -385,7 +397,11 @@ mod tests {
         for i in [7u32, 2, 9, 0, 4] {
             m.rate(UserId(0), ItemId(i), 3.0).unwrap();
         }
-        let ids: Vec<u32> = m.user_ratings(UserId(0)).iter().map(|&(i, _)| i.raw()).collect();
+        let ids: Vec<u32> = m
+            .user_ratings(UserId(0))
+            .iter()
+            .map(|&(i, _)| i.raw())
+            .collect();
         assert_eq!(ids, vec![0, 2, 4, 7, 9]);
     }
 

@@ -134,10 +134,7 @@ mod tests {
     fn rejects_bad_magic() {
         let mut bytes = encode(&matrix()).to_vec();
         bytes[0] = b'X';
-        assert!(matches!(
-            decode(&bytes),
-            Err(Error::CorruptSnapshot { .. })
-        ));
+        assert!(matches!(decode(&bytes), Err(Error::CorruptSnapshot { .. })));
     }
 
     #[test]
@@ -152,10 +149,7 @@ mod tests {
     fn rejects_truncation() {
         let bytes = encode(&matrix());
         for cut in [0, 3, 8, 30, bytes.len() - 1] {
-            assert!(
-                decode(&bytes[..cut]).is_err(),
-                "cut at {cut} should fail"
-            );
+            assert!(decode(&bytes[..cut]).is_err(), "cut at {cut} should fail");
         }
     }
 

@@ -86,7 +86,8 @@ mod tests {
         for u in 0..4u32 {
             for i in 0..10u32 {
                 if (u + i) % 2 == 0 {
-                    m.rate(UserId(u), ItemId(i), ((u + i) % 5 + 1) as f64).unwrap();
+                    m.rate(UserId(u), ItemId(i), ((u + i) % 5 + 1) as f64)
+                        .unwrap();
                 }
             }
         }

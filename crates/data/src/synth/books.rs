@@ -3,7 +3,7 @@
 
 use super::{names, World, WorldConfig};
 use crate::catalog::Catalog;
-use exrec_types::{AttributeDef, AttributeSet, AttrValue, Direction, DomainSchema};
+use exrec_types::{AttrValue, AttributeDef, AttributeSet, Direction, DomainSchema};
 use rand::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;

@@ -14,7 +14,14 @@ use rand_chacha::ChaCha8Rng;
 /// Camera classes used as latent prototypes.
 pub const CLASSES: &[&str] = &["compact", "superzoom", "dslr", "rugged"];
 
-const BRANDS: &[&str] = &["Lumora", "Pentaxis", "Veldt", "Okari", "Brightline", "Corvid"];
+const BRANDS: &[&str] = &[
+    "Lumora",
+    "Pentaxis",
+    "Veldt",
+    "Okari",
+    "Brightline",
+    "Corvid",
+];
 
 /// The camera domain schema, with comparative adjectives wired in so
 /// critique titles read like the survey's example.
@@ -49,10 +56,34 @@ pub fn schema() -> DomainSchema {
 /// `(price, resolution, zoom, memory, weight)` as `(lo, hi)` pairs.
 fn class_ranges(class: usize) -> [(f64, f64); 5] {
     match class {
-        0 => [(120.0, 350.0), (6.0, 10.0), (3.0, 5.0), (1.0, 4.0), (120.0, 220.0)], // compact
-        1 => [(280.0, 600.0), (8.0, 12.0), (10.0, 24.0), (2.0, 8.0), (300.0, 500.0)], // superzoom
-        2 => [(600.0, 1800.0), (10.0, 21.0), (1.0, 3.0), (4.0, 16.0), (500.0, 900.0)], // dslr
-        _ => [(200.0, 450.0), (6.0, 9.0), (3.0, 5.0), (1.0, 4.0), (180.0, 300.0)],  // rugged
+        0 => [
+            (120.0, 350.0),
+            (6.0, 10.0),
+            (3.0, 5.0),
+            (1.0, 4.0),
+            (120.0, 220.0),
+        ], // compact
+        1 => [
+            (280.0, 600.0),
+            (8.0, 12.0),
+            (10.0, 24.0),
+            (2.0, 8.0),
+            (300.0, 500.0),
+        ], // superzoom
+        2 => [
+            (600.0, 1800.0),
+            (10.0, 21.0),
+            (1.0, 3.0),
+            (4.0, 16.0),
+            (500.0, 900.0),
+        ], // dslr
+        _ => [
+            (200.0, 450.0),
+            (6.0, 9.0),
+            (3.0, 5.0),
+            (1.0, 4.0),
+            (180.0, 300.0),
+        ], // rugged
     }
 }
 
@@ -71,7 +102,10 @@ pub fn generate(cfg: &WorldConfig) -> World {
         let ranges = class_ranges(class);
         let brand = BRANDS[rng.random_range(0..BRANDS.len())];
         let model_no = rng.random_range(100..999);
-        let title = format!("{brand} {}{model_no}", CLASSES[class].to_uppercase().chars().next().unwrap());
+        let title = format!(
+            "{brand} {}{model_no}",
+            CLASSES[class].to_uppercase().chars().next().unwrap()
+        );
 
         let sample = |rng: &mut ChaCha8Rng, (lo, hi): (f64, f64)| {
             (rng.random_range(lo..hi) * 10.0).round() / 10.0

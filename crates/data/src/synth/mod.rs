@@ -141,10 +141,7 @@ impl LatentModel {
             .iter()
             .map(|&p| {
                 let base = &proto_vecs[p.min(n_prototypes - 1)];
-                let mut v: Vec<f64> = base
-                    .iter()
-                    .map(|&x| x + gaussian(rng, 0.25))
-                    .collect();
+                let mut v: Vec<f64> = base.iter().map(|&x| x + gaussian(rng, 0.25)).collect();
                 normalize(&mut v);
                 v
             })
@@ -170,9 +167,7 @@ impl LatentModel {
             })
             .collect();
 
-        let item_quality: Vec<f64> = (0..prototypes.len())
-            .map(|_| gaussian(rng, 0.5))
-            .collect();
+        let item_quality: Vec<f64> = (0..prototypes.len()).map(|_| gaussian(rng, 0.5)).collect();
 
         Self {
             n_factors,

@@ -10,7 +10,14 @@ use rand_chacha::ChaCha8Rng;
 
 /// Movie genres used as latent prototypes.
 pub const GENRES: &[&str] = &[
-    "comedy", "drama", "action", "thriller", "scifi", "romance", "horror", "documentary",
+    "comedy",
+    "drama",
+    "action",
+    "thriller",
+    "scifi",
+    "romance",
+    "horror",
+    "documentary",
 ];
 
 /// Per-genre descriptive vocabulary feeding item keywords.
@@ -25,7 +32,13 @@ const GENRE_WORDS: &[&[&str]] = &[
     &["archive", "interview", "nature", "history", "essay"],
 ];
 
-const TITLE_PATTERNS: &[&str] = &["The {A} {B}", "{A} of {B}", "{A} Rising", "Last {A}", "{A} & {B}"];
+const TITLE_PATTERNS: &[&str] = &[
+    "The {A} {B}",
+    "{A} of {B}",
+    "{A} Rising",
+    "Last {A}",
+    "{A} & {B}",
+];
 
 /// The movie domain schema.
 pub fn schema() -> DomainSchema {
@@ -131,7 +144,11 @@ mod tests {
         });
         for item in w.catalog.iter() {
             let genre = item.attrs.cat("genre").unwrap();
-            assert!(item.has_keyword(genre), "{} lacks its genre keyword", item.title);
+            assert!(
+                item.has_keyword(genre),
+                "{} lacks its genre keyword",
+                item.title
+            );
         }
     }
 
@@ -143,10 +160,7 @@ mod tests {
             ..WorldConfig::default()
         });
         for item in w.catalog.iter() {
-            assert_eq!(
-                w.prototype_of(item.id),
-                item.attrs.cat("genre").unwrap()
-            );
+            assert_eq!(w.prototype_of(item.id), item.attrs.cat("genre").unwrap());
         }
     }
 

@@ -13,7 +13,12 @@ use rand_chacha::ChaCha8Rng;
 /// `subtopic` attribute (football/tennis/hockey) to support the survey's
 /// running example ("you like football but not hockey").
 pub const TOPICS: &[&str] = &[
-    "sport", "technology", "politics", "business", "culture", "science",
+    "sport",
+    "technology",
+    "politics",
+    "business",
+    "culture",
+    "science",
 ];
 
 const SUBTOPICS: &[&[&str]] = &[
@@ -66,16 +71,10 @@ pub fn generate(cfg: &WorldConfig) -> World {
         } else {
             rng.random_range(0..TOPICS.len())
         };
-        let subtopic =
-            SUBTOPICS[topic_idx][rng.random_range(0..SUBTOPICS[topic_idx].len())];
+        let subtopic = SUBTOPICS[topic_idx][rng.random_range(0..SUBTOPICS[topic_idx].len())];
         let words = TOPIC_WORDS[topic_idx];
         let picked = names::pick_distinct(words, 3, &mut rng);
-        let headline = format!(
-            "{} {} {}",
-            capitalize(subtopic),
-            picked[0],
-            picked[1]
-        );
+        let headline = format!("{} {} {}", capitalize(subtopic), picked[0], picked[1]);
         let summary = format!(
             "{} {} {} {} in the {} {}",
             capitalize(picked[0]),
@@ -83,7 +82,11 @@ pub fn generate(cfg: &WorldConfig) -> World {
             picked[1],
             picked[2],
             TOPICS[topic_idx],
-            if rng.random_range(0.0..1.0) < 0.5 { "today" } else { "this week" },
+            if rng.random_range(0.0..1.0) < 0.5 {
+                "today"
+            } else {
+                "this week"
+            },
         );
         let mut keywords: Vec<String> = picked.iter().map(|w| w.to_string()).collect();
         keywords.push(TOPICS[topic_idx].to_string());
@@ -95,10 +98,7 @@ pub fn generate(cfg: &WorldConfig) -> World {
             .with("recency", rng.random_range(0..101) as f64)
             .with("popularity", rng.random_range(0..101) as f64)
             .with("local", rng.random_range(0.0..1.0) < 0.3)
-            .with(
-                "summary",
-                exrec_types::AttrValue::Text(summary),
-            );
+            .with("summary", exrec_types::AttrValue::Text(summary));
 
         catalog
             .add(&headline, attrs, keywords)
@@ -177,6 +177,9 @@ mod tests {
             .iter()
             .filter(|it| it.attrs.cat("subtopic") == Some("football"))
             .count();
-        assert!(football > 0, "need football items for the Section 4 example");
+        assert!(
+            football > 0,
+            "need football items for the Section 4 example"
+        );
     }
 }

@@ -9,9 +9,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 /// Cuisines used as latent prototypes.
-pub const CUISINES: &[&str] = &[
-    "italian", "japanese", "indian", "mexican", "french", "thai",
-];
+pub const CUISINES: &[&str] = &["italian", "japanese", "indian", "mexican", "french", "thai"];
 
 /// The restaurant domain schema.
 pub fn schema() -> DomainSchema {

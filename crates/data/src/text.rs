@@ -10,8 +10,8 @@ use std::collections::HashMap;
 /// A small English stopword list, sufficient for synthetic descriptions.
 const STOPWORDS: &[&str] = &[
     "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "from", "has", "have", "he",
-    "her", "his", "in", "is", "it", "its", "of", "on", "or", "she", "that", "the", "their",
-    "they", "this", "to", "was", "were", "which", "will", "with", "you", "your",
+    "her", "his", "in", "is", "it", "its", "of", "on", "or", "she", "that", "the", "their", "they",
+    "this", "to", "was", "were", "which", "will", "with", "you", "your",
 ];
 
 /// Whether `token` is an English stopword (expects lowercase input).

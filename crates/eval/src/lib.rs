@@ -17,6 +17,11 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+use std::time::Instant;
+
+use exrec_core::aims::Aim;
+use exrec_obs::Telemetry;
+
 pub mod questionnaire;
 pub mod report;
 pub mod simuser;
@@ -30,19 +35,116 @@ pub use simuser::{Persona, SimUser};
 /// in experiment-id order. Used by the `repro` binary and the benchmark
 /// harness.
 pub fn run_all_studies() -> Vec<StudyReport> {
-    vec![
-        studies::persuasion_herlocker::run(&Default::default()).report,
-        studies::rating_shift::run(&Default::default()).report,
-        studies::effectiveness::run(&Default::default()).report,
-        studies::efficiency::run(&Default::default()).report,
-        studies::trust_loyalty::run(&Default::default()).report,
-        studies::transparency::run(&Default::default()).report,
-        studies::scrutability::run(&Default::default()).report,
-        studies::satisfaction::run(&Default::default()).report,
-        studies::tradeoffs::run(&Default::default()).report,
-        studies::modality::run(&Default::default()).report,
-        studies::accuracy::run(&Default::default()).report,
-    ]
+    run_all_studies_with(&Telemetry::default())
+}
+
+/// Runs one study under telemetry: a `study` span plus, on the metrics
+/// registry, its wall-clock (`eval.study_ns.<id>`), the same duration
+/// filed under every aim it evaluates (`eval.aim_ns.<aim>`), simulated
+/// throughput (`eval.users_per_sec.<id>`), and workspace-wide totals
+/// (`eval.studies_run`, `eval.simulated_users`).
+fn observed(
+    telemetry: &Telemetry,
+    aims: &[Aim],
+    participants: usize,
+    run: impl FnOnce() -> StudyReport,
+) -> StudyReport {
+    let started = Instant::now();
+    let report = run();
+    let elapsed = started.elapsed();
+
+    // Re-emit the span after the fact so its duration matches the
+    // recorded wall-clock and the id comes from the report itself.
+    drop(
+        exrec_obs::span!(
+            telemetry,
+            "study",
+            id = &report.id,
+            participants = participants
+        )
+        .started_at(started),
+    );
+    let metrics = telemetry.metrics();
+    metrics
+        .histogram(&format!("eval.study_ns.{}", report.id))
+        .record(elapsed);
+    for aim in aims {
+        metrics
+            .histogram(&format!("eval.aim_ns.{}", aim.name().to_ascii_lowercase()))
+            .record(elapsed);
+    }
+    let secs = elapsed.as_secs_f64();
+    if secs > 0.0 {
+        metrics
+            .gauge(&format!("eval.users_per_sec.{}", report.id))
+            .set(participants as f64 / secs);
+    }
+    metrics.counter("eval.studies_run").incr();
+    metrics
+        .counter("eval.simulated_users")
+        .add(participants as u64);
+    report
+}
+
+/// Every study's experiment id, in canonical run order.
+pub const STUDY_IDS: [&str; 11] = [
+    "E-PERS", "E-SHIFT", "E-EFK", "E-EFC", "E-TRUST", "E-TRA", "E-SCR", "E-SAT", "A-TRADE",
+    "E-MODAL", "E-ACC",
+];
+
+/// Runs one study (by experiment id, case-insensitive) at its default
+/// configuration, recording telemetry via [`observed`]. Returns `None`
+/// for unknown ids.
+pub fn run_study_with(telemetry: &Telemetry, id: &str) -> Option<StudyReport> {
+    use Aim::*;
+
+    /// Runs one study at its default config under [`observed`], naming
+    /// the config field that holds the simulated-participant count.
+    macro_rules! study {
+        ($module:ident, $participants:ident, [$($aim:ident),+]) => {{
+            let cfg = studies::$module::Config::default();
+            let n = cfg.$participants;
+            observed(telemetry, &[$($aim),+], n, || studies::$module::run(&cfg).report)
+        }};
+    }
+
+    let report = match id.to_uppercase().as_str() {
+        "E-PERS" => study!(persuasion_herlocker, n_participants, [Persuasiveness]),
+        "E-SHIFT" => study!(rating_shift, n_participants, [Persuasiveness]),
+        "E-EFK" => study!(effectiveness, n_participants, [Effectiveness]),
+        "E-EFC" => study!(efficiency, n_shoppers, [Efficiency]),
+        "E-TRUST" => study!(trust_loyalty, n_participants, [Trust]),
+        "E-TRA" => study!(transparency, n_participants, [Transparency]),
+        "E-SCR" => study!(scrutability, n_participants, [Scrutability]),
+        "E-SAT" => study!(satisfaction, n_participants, [Satisfaction]),
+        // A-TRADE sweeps the survey's two named tensions, so its
+        // duration is filed under all four aims being traded off.
+        "A-TRADE" => study!(
+            tradeoffs,
+            n_participants,
+            [Transparency, Efficiency, Persuasiveness, Effectiveness]
+        ),
+        // E-MODAL measures comprehension (effectiveness) and preference
+        // (satisfaction) across text/visual variants.
+        "E-MODAL" => study!(modality, n_participants, [Effectiveness, Satisfaction]),
+        "E-ACC" => study!(accuracy, n_users, [Effectiveness]),
+        _ => return None,
+    };
+    Some(report)
+}
+
+/// [`run_all_studies`], recording per-study telemetry: wall-clock
+/// histograms (`eval.study_ns.<id>`), the same durations grouped by the
+/// survey aim each study evaluates (`eval.aim_ns.<aim>`), and
+/// simulated-user throughput gauges (`eval.users_per_sec.<id>`). The
+/// study→aim mapping follows the survey's Section 3 assignments; A-TRADE
+/// and the extensions are filed under every aim they trade off (see
+/// `docs/observability.md`).
+pub fn run_all_studies_with(telemetry: &Telemetry) -> Vec<StudyReport> {
+    STUDY_IDS
+        .iter()
+        .map(|id| run_study_with(telemetry, id).expect("known id"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -50,8 +152,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn all_studies_produce_reports() {
-        let reports = run_all_studies();
+    fn all_studies_produce_reports_and_telemetry() {
+        let obs = Telemetry::default();
+        let reports = run_all_studies_with(&obs);
         assert_eq!(reports.len(), 11);
         let ids: Vec<&str> = reports.iter().map(|r| r.id.as_str()).collect();
         assert_eq!(
@@ -65,5 +168,24 @@ mod tests {
             assert!(!r.tables.is_empty(), "{} has no tables", r.id);
             assert!(!r.render_ascii().is_empty());
         }
+
+        let report = obs.report();
+        assert_eq!(report.counters["eval.studies_run"], 11);
+        assert!(report.counters["eval.simulated_users"] > 0);
+        // One wall-clock sample and one throughput gauge per study…
+        for id in &ids {
+            assert_eq!(report.histograms[&format!("eval.study_ns.{id}")].count, 1);
+            assert!(report.gauges[&format!("eval.users_per_sec.{id}")] > 0.0);
+        }
+        assert_eq!(report.histograms["span_ns.study"].count, 11);
+        // …and every one of the survey's seven aims exercised at least
+        // once (persuasiveness by both E-PERS and E-SHIFT).
+        for aim in Aim::ALL {
+            let samples = report.histograms
+                [&format!("eval.aim_ns.{}", aim.name().to_ascii_lowercase())]
+                .count;
+            assert!(samples >= 1, "aim {} never evaluated", aim.name());
+        }
+        assert_eq!(report.histograms["eval.aim_ns.persuasiveness"].count, 3);
     }
 }

@@ -126,7 +126,10 @@ mod tests {
             }
         }
         // At max latent trust, higher loading ⇒ higher mean score.
-        assert!(sums[4] > sums[1], "reliance intention should exceed benevolence");
+        assert!(
+            sums[4] > sums[1],
+            "reliance intention should exceed benevolence"
+        );
     }
 
     #[test]

@@ -108,9 +108,7 @@ impl<'w> SimUser<'w> {
         let load_penalty =
             descriptor.cognitive_load * descriptor.cognitive_load * (1.5 - self.persona.patience);
         let anchoring = (0.5 + self.persona.susceptibility) * appeal;
-        let response = 4.0
-            + 1.6 * value * (0.4 + 0.6 * appeal.max(0.0))
-            + 1.0 * anchoring
+        let response = 4.0 + 1.6 * value * (0.4 + 0.6 * appeal.max(0.0)) + 1.0 * anchoring
             - 2.6 * load_penalty
             + gaussian(rng, 0.45);
         response.clamp(1.0, 7.0)
@@ -224,8 +222,14 @@ mod tests {
         let hist = mean_response(&user, InterfaceId::ClusteredHistogram, 4.5, 300, 1);
         let none = mean_response(&user, InterfaceId::NoExplanation, 4.5, 300, 2);
         let graph = mean_response(&user, InterfaceId::ComplexGraph, 4.5, 300, 3);
-        assert!(hist > none, "histogram {hist:.2} must beat control {none:.2}");
-        assert!(graph < none, "complex graph {graph:.2} must fall below control {none:.2}");
+        assert!(
+            hist > none,
+            "histogram {hist:.2} must beat control {none:.2}"
+        );
+        assert!(
+            graph < none,
+            "complex graph {graph:.2} must fall below control {none:.2}"
+        );
     }
 
     #[test]
@@ -350,7 +354,11 @@ mod tests {
     #[test]
     fn responses_stay_on_likert_scale() {
         let w = world();
-        let user = SimUser::new(UserId::new(7), Persona::sample(&mut ChaCha8Rng::seed_from_u64(9)), &w);
+        let user = SimUser::new(
+            UserId::new(7),
+            Persona::sample(&mut ChaCha8Rng::seed_from_u64(9)),
+            &w,
+        );
         let mut rng = ChaCha8Rng::seed_from_u64(10);
         for id in InterfaceId::ALL {
             for shown in [1.0, 3.0, 5.0] {

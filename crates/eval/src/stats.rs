@@ -73,11 +73,14 @@ fn beta_inc(a: f64, b: f64, x: f64) -> f64 {
     if x >= 1.0 {
         return 1.0;
     }
-    let ln_front =
-        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
     let front = ln_front.exp();
     let symmetric = x >= (a + 1.0) / (a + b + 2.0);
-    let (a, b, x) = if symmetric { (b, a, 1.0 - x) } else { (a, b, x) };
+    let (a, b, x) = if symmetric {
+        (b, a, 1.0 - x)
+    } else {
+        (a, b, x)
+    };
 
     // Lentz's continued fraction.
     let mut c = 1.0f64;
@@ -156,8 +159,8 @@ pub fn welch_t(a: &[f64], b: &[f64]) -> Option<TestResult> {
         return None;
     }
     let t = (sa.mean - sb.mean) / (va + vb).sqrt();
-    let df = (va + vb) * (va + vb)
-        / (va * va / (sa.n as f64 - 1.0) + vb * vb / (sb.n as f64 - 1.0));
+    let df =
+        (va + vb) * (va + vb) / (va * va / (sa.n as f64 - 1.0) + vb * vb / (sb.n as f64 - 1.0));
     Some(TestResult {
         statistic: t,
         p: t_two_sided_p(t, df),
@@ -250,7 +253,11 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
 
 fn rank_transform(xs: &[f64]) -> Vec<f64> {
     let mut idx: Vec<usize> = (0..xs.len()).collect();
-    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.sort_by(|&a, &b| {
+        xs[a]
+            .partial_cmp(&xs[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut ranks = vec![0.0; xs.len()];
     let mut i = 0;
     while i < idx.len() {
@@ -322,7 +329,11 @@ mod tests {
         let a: Vec<f64> = (0..30).map(|k| 5.0 + (k % 3) as f64 * 0.1).collect();
         let b: Vec<f64> = (0..30).map(|k| 3.0 + (k % 3) as f64 * 0.1).collect();
         let r = welch_t(&a, &b).unwrap();
-        assert!(r.p < 1e-6, "clear difference must be significant, p={}", r.p);
+        assert!(
+            r.p < 1e-6,
+            "clear difference must be significant, p={}",
+            r.p
+        );
         assert!(r.statistic > 0.0);
     }
 

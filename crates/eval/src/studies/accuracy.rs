@@ -110,7 +110,14 @@ pub fn run(config: &Config) -> Outcome {
     let mf = MatrixFactorization::fit(&ctx, MfConfig::default()).expect("fit");
     let pop = Popularity::default();
     let models: Vec<&dyn Recommender> = vec![
-        &mf, &user_knn, &item_knn, &tfidf, &nb, &pop, &UserMean, &GlobalMean,
+        &mf,
+        &user_knn,
+        &item_knn,
+        &tfidf,
+        &nb,
+        &pop,
+        &UserMean,
+        &GlobalMean,
     ];
 
     let mut rows = Vec::new();
@@ -178,7 +185,10 @@ mod tests {
         let gm = o.row("global-mean").mae.unwrap();
         for name in ["matrix-factorization", "user-knn", "item-knn"] {
             let mae = o.row(name).mae.unwrap();
-            assert!(mae < gm, "{name} MAE {mae:.3} must beat global mean {gm:.3}");
+            assert!(
+                mae < gm,
+                "{name} MAE {mae:.3} must beat global mean {gm:.3}"
+            );
         }
     }
 

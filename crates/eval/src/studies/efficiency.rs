@@ -140,7 +140,11 @@ fn hidden_target(maut: &Maut, ctx: &Ctx<'_>, rng: &mut ChaCha8Rng) -> ItemId {
     let ranked = maut.rank(ctx, usize::MAX);
     let lo = 15.min(ranked.len() - 1);
     let hi = 45.min(ranked.len());
-    let idx = if hi > lo { rng.random_range(lo..hi) } else { lo };
+    let idx = if hi > lo {
+        rng.random_range(lo..hi)
+    } else {
+        lo
+    };
     ranked[idx].item
 }
 
@@ -201,7 +205,8 @@ fn run_critiquing(
             session.apply_unit(ctx, current, &pattern[0])
         };
         match outcome {
-            Ok(CritiqueOutcome::Continue(next)) | Ok(CritiqueOutcome::Repaired { screen: next, .. }) => {
+            Ok(CritiqueOutcome::Continue(next))
+            | Ok(CritiqueOutcome::Repaired { screen: next, .. }) => {
                 screen = next;
             }
             Err(_) => break,
@@ -260,7 +265,11 @@ pub fn run(config: &Config) -> Outcome {
                 .1
                 .push(t as f64);
             if ok {
-                successes.iter_mut().find(|(s, _)| *s == strategy).unwrap().1 += 1;
+                successes
+                    .iter_mut()
+                    .find(|(s, _)| *s == strategy)
+                    .unwrap()
+                    .1 += 1;
             }
         }
     }
@@ -322,8 +331,10 @@ mod tests {
     use super::*;
 
     fn outcome() -> Outcome {
+        // 60 shoppers keeps the weakest strategy's success-rate estimate
+        // comfortably clear of the 0.7 floor across RNG streams.
         run(&Config {
-            n_shoppers: 30,
+            n_shoppers: 60,
             ..Config::default()
         })
     }
@@ -357,8 +368,7 @@ mod tests {
     fn critiquing_saves_total_time() {
         let o = outcome();
         assert!(
-            o.result(Strategy::CompoundCritiquing).time.mean
-                < o.result(Strategy::Browse).time.mean,
+            o.result(Strategy::CompoundCritiquing).time.mean < o.result(Strategy::Browse).time.mean,
             "compound time {:.1} must beat browse time {:.1}",
             o.result(Strategy::CompoundCritiquing).time.mean,
             o.result(Strategy::Browse).time.mean

@@ -40,7 +40,11 @@ pub enum Variant {
 
 impl Variant {
     /// All variants.
-    pub const ALL: [Variant; 3] = [Variant::TextOnly, Variant::VisualOnly, Variant::Complementary];
+    pub const ALL: [Variant; 3] = [
+        Variant::TextOnly,
+        Variant::VisualOnly,
+        Variant::Complementary,
+    ];
 
     /// Display name.
     pub fn name(self) -> &'static str {

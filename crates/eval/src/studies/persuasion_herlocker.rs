@@ -92,12 +92,7 @@ pub fn run(config: &Config) -> Outcome {
         for scored in &candidates {
             for (id, bucket) in &mut responses {
                 let d = id.descriptor();
-                bucket.push(user.likelihood_to_try(
-                    &d,
-                    scored.prediction.score,
-                    &scale,
-                    &mut rng,
-                ));
+                bucket.push(user.likelihood_to_try(&d, scored.prediction.score, &scale, &mut rng));
             }
         }
     }
@@ -204,6 +199,9 @@ mod tests {
     fn all_21_interfaces_ranked() {
         let o = outcome();
         assert_eq!(o.ranking.len(), 21);
-        assert!(o.report.render_ascii().contains("Clustered ratings histogram"));
+        assert!(o
+            .report
+            .render_ascii()
+            .contains("Clustered ratings histogram"));
     }
 }

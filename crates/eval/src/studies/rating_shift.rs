@@ -128,9 +128,7 @@ pub fn run(config: &Config) -> Outcome {
             // estimate anchors on nothing, modelled as pull-free noise).
             let truth = user.true_rating(item);
             let pre = {
-                let noisy = truth
-                    + user.persona.estimate_noise
-                        * (rng_gauss(&mut rng) * 0.8);
+                let noisy = truth + user.persona.estimate_noise * (rng_gauss(&mut rng) * 0.8);
                 scale.bound(noisy)
             };
             for shown_kind in ShownPrediction::ALL {
@@ -147,7 +145,11 @@ pub fn run(config: &Config) -> Outcome {
                     continue;
                 }
                 for explained in [false, true] {
-                    let d = if explained { &explained_descriptor } else { &none };
+                    let d = if explained {
+                        &explained_descriptor
+                    } else {
+                        &none
+                    };
                     let rerate = user.estimate_rating(item, shown, d, &mut rng);
                     let shift = (rerate - pre) * direction;
                     cells

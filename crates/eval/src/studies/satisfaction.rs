@@ -119,18 +119,15 @@ pub fn run(config: &Config) -> Outcome {
             // Perceived usefulness: informative content helps; verbose
             // interfaces are *perceived* as more useful (Sinha &
             // Swearingen's longer-description effect), even when heavy.
-            let usefulness = (0.25
-                + 0.45 * info
-                + 0.25 * d.cognitive_load
-                + rng.random_range(-0.08..0.08))
-            .clamp(0.0, 1.0);
+            let usefulness =
+                (0.25 + 0.45 * info + 0.25 * d.cognitive_load + rng.random_range(-0.08..0.08))
+                    .clamp(0.0, 1.0);
             usefulness_samples.push(usefulness);
 
             let effort = d.cognitive_load * (1.0 - user.persona.patience);
             let fun = 0.3 * f64::from(info > 0.4 && d.cognitive_load < 0.5);
-            let sat = (4.0 + 2.4 * usefulness - 3.2 * effort + fun
-                + rng.random_range(-0.4..0.4))
-            .clamp(1.0, 7.0);
+            let sat = (4.0 + 2.4 * usefulness - 3.2 * effort + fun + rng.random_range(-0.4..0.4))
+                .clamp(1.0, 7.0);
             process.push(sat);
 
             // Frustration events: each unit of effort risks one.
@@ -246,7 +243,9 @@ mod tests {
             o.result(InterfaceId::ClusteredHistogram)
                 .process_satisfaction
                 .mean
-                > o.result(InterfaceId::ComplexGraph).process_satisfaction.mean,
+                > o.result(InterfaceId::ComplexGraph)
+                    .process_satisfaction
+                    .mean,
             "clear visuals must out-satisfy the complex graph"
         );
     }

@@ -181,9 +181,8 @@ pub fn run(config: &Config) -> Outcome {
                 Condition::ToolHidden => {
                     // Hunt for the tool first.
                     time += 14;
-                    
-                    rng.random_range(0.0..1.0)
-                        < 0.45 + 0.35 * user.persona.expertise
+
+                    rng.random_range(0.0..1.0) < 0.45 + 0.35 * user.persona.expertise
                 }
                 Condition::NoTool => false,
             };
@@ -207,8 +206,8 @@ pub fn run(config: &Config) -> Outcome {
                     ) + 0.25;
                 // "Users do not scrutinize often" — impatient users
                 // abandon manual correction after a few actions.
-                let personal_budget = (2.0 + user.persona.patience * config.downrate_budget as f64)
-                    .round() as usize;
+                let personal_budget =
+                    (2.0 + user.persona.patience * config.downrate_budget as f64).round() as usize;
                 if understands {
                     // Correct action: down-rate offending items.
                     let unwanted: Vec<_> = world
@@ -324,8 +323,7 @@ mod tests {
         // The confound inflates hidden-tool times beyond the visible-tool
         // cell even when the task itself is identical once found.
         assert!(
-            o.result(Condition::ToolHidden).time.mean
-                > o.result(Condition::ToolVisible).time.mean
+            o.result(Condition::ToolHidden).time.mean > o.result(Condition::ToolVisible).time.mean
         );
         // And hidden-tool success sits between the other two cells.
         let hidden = o.result(Condition::ToolHidden).success_rate;

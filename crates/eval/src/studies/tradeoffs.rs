@@ -83,11 +83,8 @@ pub fn run(config: &Config) -> Outcome {
         let mut d = InterfaceId::DetailedProcess.descriptor();
         d.informativeness = 0.3 + 0.6 * (1.0 - (-0.6 * v).exp());
         d.cognitive_load = (0.12 * v).min(1.0);
-        let mean_comprehension: f64 = users
-            .iter()
-            .map(|u| u.comprehension(&d))
-            .sum::<f64>()
-            / users.len() as f64;
+        let mean_comprehension: f64 =
+            users.iter().map(|u| u.comprehension(&d)).sum::<f64>() / users.len() as f64;
         let mean_time: f64 = users
             .iter()
             .map(|u| u.reading_time((d.cognitive_load * 25.0 + 1.0) as u64) as f64)

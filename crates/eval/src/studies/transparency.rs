@@ -181,12 +181,7 @@ pub fn run(config: &Config) -> Outcome {
 
     let mut table = Table::new(
         "Teach-the-system task: correctness (3-of-top-5) and time",
-        vec![
-            "Interface",
-            "Success",
-            "Genre share",
-            "Time (success only)",
-        ],
+        vec!["Interface", "Success", "Genre share", "Time (success only)"],
     );
     for c in &conditions {
         table.push_row(vec![
@@ -254,11 +249,17 @@ mod tests {
 
     #[test]
     fn correct_strategy_actually_teaches() {
-        // Participants who understood should hit well above chance:
-        // verify the share distribution is bimodal-ish by checking the
-        // explained conditions clear 0.3 mean share.
+        // Participants who understood should hit above chance. "Chance"
+        // for this simulation is the NoExplanation control, where hardly
+        // anyone comprehends the system: the explained condition must
+        // shift the whole share distribution past it.
         let o = outcome();
-        assert!(o.result(InterfaceId::TopicProfile).genre_share.mean > 0.3);
+        let topic = o.result(InterfaceId::TopicProfile).genre_share.mean;
+        let none = o.result(InterfaceId::NoExplanation).genre_share.mean;
+        assert!(
+            topic > none,
+            "topic share {topic:.2} must beat the control's {none:.2}"
+        );
     }
 
     #[test]

@@ -160,7 +160,11 @@ pub fn run(config: &Config) -> Outcome {
                     trust += 0.06;
                 } else {
                     // Explanations buy forgiveness for bad picks.
-                    trust -= if condition == Condition::None { 0.16 } else { 0.07 };
+                    trust -= if condition == Condition::None {
+                        0.16
+                    } else {
+                        0.07
+                    };
                     if condition == Condition::ExplainScrutinize {
                         // Close the loop: block the offending genre.
                         if let Ok(item) = world.catalog.get(pick.item) {
@@ -262,7 +266,10 @@ mod tests {
         let explain = o.result(Condition::Explain).trust_composite.mean;
         let full = o.result(Condition::ExplainScrutinize).trust_composite.mean;
         assert!(explain > none);
-        assert!(full >= explain - 0.1, "scrutiny {full:.2} vs explain {explain:.2}");
+        assert!(
+            full >= explain - 0.1,
+            "scrutiny {full:.2} vs explain {explain:.2}"
+        );
     }
 
     #[test]

@@ -61,7 +61,11 @@ impl CritiqueSession {
     /// # Errors
     ///
     /// Fails when nothing passes the hard requirements.
-    pub fn start(maut: Maut, ctx: &Ctx<'_>, config: OverviewConfig) -> Result<(Self, CritiqueScreen)> {
+    pub fn start(
+        maut: Maut,
+        ctx: &Ctx<'_>,
+        config: OverviewConfig,
+    ) -> Result<(Self, CritiqueScreen)> {
         let ranges = attribute_ranges(ctx.catalog);
         let pool: Vec<ItemId> = maut.rank(ctx, usize::MAX).iter().map(|s| s.item).collect();
         if pool.is_empty() {
@@ -238,14 +242,11 @@ impl CritiqueSession {
             .iter()
             .filter(|(c, _)| c.parts.iter().all(|p| target_pattern.contains(p)))
             .max_by(|(a, _), (b, _)| {
-                a.parts
-                    .len()
-                    .cmp(&b.parts.len())
-                    .then(
-                        a.support
-                            .partial_cmp(&b.support)
-                            .unwrap_or(std::cmp::Ordering::Equal),
-                    )
+                a.parts.len().cmp(&b.parts.len()).then(
+                    a.support
+                        .partial_cmp(&b.support)
+                        .unwrap_or(std::cmp::Ordering::Equal),
+                )
             })
     }
 }
@@ -280,7 +281,10 @@ mod tests {
         let (session, screen) =
             CritiqueSession::start(maut(), &ctx, OverviewConfig::default()).unwrap();
         assert_eq!(screen.cycle, 1);
-        assert!(!screen.options.is_empty(), "camera world must mine critiques");
+        assert!(
+            !screen.options.is_empty(),
+            "camera world must mine critiques"
+        );
         assert!(session.pool_size() > 1);
         assert!(session.elapsed().ticks() > 0);
     }

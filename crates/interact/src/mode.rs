@@ -38,7 +38,10 @@ impl InteractionMode {
     /// Whether the mode closes the scrutability loop (the user can
     /// actually change the system's beliefs).
     pub fn is_corrective(self) -> bool {
-        !matches!(self, InteractionMode::None | InteractionMode::ImplicitRating)
+        !matches!(
+            self,
+            InteractionMode::None | InteractionMode::ImplicitRating
+        )
     }
 }
 

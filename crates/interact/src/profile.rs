@@ -222,8 +222,8 @@ impl ScrutableProfile {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use exrec_algo::{Recommender, Ctx};
     use exrec_algo::baseline::Popularity;
+    use exrec_algo::{Ctx, Recommender};
     use exrec_data::synth::{movies, WorldConfig};
     use exrec_data::World;
     use exrec_types::UserId;
@@ -308,11 +308,7 @@ mod tests {
         profile.add_rule("genre", &last_genre, RuleEffect::Bias(10.0));
         let boosted = profile.apply(&w.catalog, ranked);
         assert_eq!(
-            w.catalog
-                .get(boosted[0].item)
-                .unwrap()
-                .attrs
-                .cat("genre"),
+            w.catalog.get(boosted[0].item).unwrap().attrs.cat("genre"),
             Some(last_genre.as_str()),
             "boosted genre should rise to the top"
         );
@@ -326,7 +322,14 @@ mod tests {
     fn why_reports_firing_rules() {
         let w = world();
         let item = w.catalog.ids().next().unwrap();
-        let genre = w.catalog.get(item).unwrap().attrs.cat("genre").unwrap().to_owned();
+        let genre = w
+            .catalog
+            .get(item)
+            .unwrap()
+            .attrs
+            .cat("genre")
+            .unwrap()
+            .to_owned();
         let mut profile = ScrutableProfile::new();
         profile.block("genre", &genre);
         profile.add_rule("genre", "nonexistent", RuleEffect::Block);

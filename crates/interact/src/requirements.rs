@@ -214,7 +214,10 @@ mod tests {
                 "favourite_title",
                 "Can you tell me one of your favorite thriller movies?",
             ),
-            Slot::new("lead", "Okay. Can you tell me one of your favorite actors or actresses?"),
+            Slot::new(
+                "lead",
+                "Okay. Can you tell me one of your favorite actors or actresses?",
+            ),
         ]
     }
 

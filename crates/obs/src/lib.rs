@@ -1,0 +1,45 @@
+//! Observability core for the explanation pipeline.
+//!
+//! Recommenders predict, interfaces fire, studies emulate users — and
+//! until now none of it left a trace. This crate provides the three
+//! primitives the rest of the workspace instruments itself with:
+//!
+//! * **[`Metrics`]** — a `Send + Sync` registry of named atomic
+//!   [`Counter`]s, [`Gauge`]s and fixed-bucket latency [`Histogram`]s
+//!   (p50/p95/p99), cheap enough for the predict/explain hot path;
+//! * **spans** — [`Telemetry::span`] / the [`span!`] macro time a named
+//!   region and deliver a structured [`SpanEvent`] to a pluggable
+//!   [`Subscriber`] ([`NoopSubscriber`] by default,
+//!   [`JsonLinesSubscriber`] for structured logs);
+//! * **[`MetricsReport`]** — a serde-serializable snapshot of every
+//!   registered instrument, rendered by `repro` and the `telemetry`
+//!   example.
+//!
+//! The metric taxonomy (`algo.*`, `explain.*`, `eval.*`) and its mapping
+//! onto the survey's seven explanation aims are documented in
+//! `docs/observability.md`.
+//!
+//! ```
+//! use exrec_obs::{span, Telemetry};
+//!
+//! let obs = Telemetry::default();
+//! let predictions = obs.metrics().counter("algo.predict.user_knn");
+//! {
+//!     let _span = span!(obs, "predict", model = "user_knn");
+//!     predictions.incr();
+//! }
+//! let report = obs.report();
+//! assert_eq!(report.counters["algo.predict.user_knn"], 1);
+//! assert_eq!(report.histograms["span_ns.predict"].count, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod metrics;
+pub mod span;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, Metrics, MetricsReport};
+pub use span::{
+    CountingSubscriber, JsonLinesSubscriber, NoopSubscriber, SpanEvent, Subscriber, Telemetry,
+};

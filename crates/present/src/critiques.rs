@@ -373,9 +373,7 @@ mod tests {
             let matching = candidates
                 .iter()
                 .filter(|&&i| i != reference)
-                .filter(|&&i| {
-                    c.matches(w.catalog.get(i).unwrap(), reference_item, &ranges)
-                })
+                .filter(|&&i| c.matches(w.catalog.get(i).unwrap(), reference_item, &ranges))
                 .count();
             let expected = (c.support * (candidates.len() - 1) as f64).round() as usize;
             assert_eq!(matching, expected, "support mismatch for {c:?}");

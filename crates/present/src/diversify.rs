@@ -41,12 +41,10 @@ where
         let mut best_idx = 0;
         let mut best_val = f64::MIN;
         for (idx, cand) in remaining.iter().enumerate() {
-            let mean_sim = picked
-                .iter()
-                .map(|p| sim(cand.item, p.item))
-                .sum::<f64>()
-                / picked.len() as f64;
-            let value = (1.0 - theta) * relevance(cand) + theta * (1.0 - mean_sim) / 2.0
+            let mean_sim =
+                picked.iter().map(|p| sim(cand.item, p.item)).sum::<f64>() / picked.len() as f64;
+            let value = (1.0 - theta) * relevance(cand)
+                + theta * (1.0 - mean_sim) / 2.0
                 + theta * 0.5 * (1.0 - mean_sim.max(0.0));
             if value > best_val {
                 best_val = value;

@@ -133,7 +133,10 @@ mod tests {
         let b = FacetBrowser::new(&w.catalog);
         assert!(b.facets().contains(&"style".to_owned()));
         assert!(b.facets().contains(&"climate".to_owned()));
-        assert!(!b.facets().contains(&"price".to_owned()), "numeric excluded");
+        assert!(
+            !b.facets().contains(&"price".to_owned()),
+            "numeric excluded"
+        );
     }
 
     #[test]
@@ -146,7 +149,10 @@ mod tests {
         assert!(!beach.is_empty());
         assert!(beach.len() < all);
         for id in &beach {
-            assert_eq!(w.catalog.get(*id).unwrap().attrs.cat("style"), Some("beach"));
+            assert_eq!(
+                w.catalog.get(*id).unwrap().attrs.cat("style"),
+                Some("beach")
+            );
         }
     }
 
@@ -167,7 +173,9 @@ mod tests {
         // Counts for "style" ignore the style filter itself.
         let style_values = b.values("style");
         assert!(style_values.len() > 1, "siblings stay visible");
-        assert!(style_values.iter().any(|v| v.selected && v.value == "beach"));
+        assert!(style_values
+            .iter()
+            .any(|v| v.selected && v.value == "beach"));
     }
 
     #[test]

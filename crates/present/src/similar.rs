@@ -165,8 +165,7 @@ mod tests {
         let model = fitted(&w);
         let ctx = Ctx::new(&w.ratings, &w.catalog);
         let (user, anchor) = anchored_user(&w, &model);
-        let sugg = similar_to(&model, &ctx, user, anchor, 5, SimilarPhrasing::Individual)
-            .unwrap();
+        let sugg = similar_to(&model, &ctx, user, anchor, 5, SimilarPhrasing::Individual).unwrap();
         for s in &sugg {
             assert!(ctx.ratings.rating(user, s.item).is_none());
             assert_eq!(s.anchor, anchor);
@@ -179,8 +178,7 @@ mod tests {
         let model = fitted(&w);
         let ctx = Ctx::new(&w.ratings, &w.catalog);
         let (user, anchor) = anchored_user(&w, &model);
-        let ind = similar_to(&model, &ctx, user, anchor, 1, SimilarPhrasing::Individual)
-            .unwrap();
+        let ind = similar_to(&model, &ctx, user, anchor, 1, SimilarPhrasing::Individual).unwrap();
         let soc = similar_to(&model, &ctx, user, anchor, 1, SimilarPhrasing::Social).unwrap();
         if let (Some(i), Some(s)) = (ind.first(), soc.first()) {
             assert!(i.lead.starts_with("You might also like…"));

@@ -202,7 +202,10 @@ mod tests {
         let w = world();
         let ctx = Ctx::new(&w.ratings, &w.catalog);
         let o = build_overview(&maut(), &ctx, &OverviewConfig::default()).unwrap();
-        assert!(!o.categories.is_empty(), "camera world must yield categories");
+        assert!(
+            !o.categories.is_empty(),
+            "camera world must yield categories"
+        );
         // Best item is the MAUT top choice.
         let top = maut().rank(&ctx, 1)[0];
         assert_eq!(o.best.item, top.item);
@@ -240,8 +243,11 @@ mod tests {
         let o = build_overview(&maut(), &ctx, &OverviewConfig::default()).unwrap();
         for c in &o.categories {
             assert!(!c.title.is_empty());
-            assert!(c.title.contains("and") || c.title.contains("but"),
-                "compound titles combine phrases: {}", c.title);
+            assert!(
+                c.title.contains("and") || c.title.contains("but"),
+                "compound titles combine phrases: {}",
+                c.title
+            );
         }
     }
 

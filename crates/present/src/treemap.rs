@@ -329,7 +329,10 @@ mod tests {
         for algo in [Layout::Squarified, Layout::SliceAndDice] {
             let t = layout(nodes(&[6.0, 3.0, 1.0]), Rect::UNIT, algo);
             let total: f64 = t.cells.iter().map(|(_, r)| r.area()).sum();
-            assert!((total - 1.0).abs() < 1e-9, "{algo:?}: cells tile the square");
+            assert!(
+                (total - 1.0).abs() < 1e-9,
+                "{algo:?}: cells tile the square"
+            );
             for (n, r) in &t.cells {
                 assert!(
                     (r.area() - n.weight / 10.0).abs() < 1e-9,
@@ -343,7 +346,11 @@ mod tests {
 
     #[test]
     fn cells_do_not_overlap() {
-        let t = layout(nodes(&[5.0, 4.0, 3.0, 2.0, 1.0, 1.0]), Rect::UNIT, Layout::Squarified);
+        let t = layout(
+            nodes(&[5.0, 4.0, 3.0, 2.0, 1.0, 1.0]),
+            Rect::UNIT,
+            Layout::Squarified,
+        );
         // Sample a fine grid: each point lies in at most one cell.
         for gx in 0..50 {
             for gy in 0..50 {
@@ -380,7 +387,9 @@ mod tests {
 
     #[test]
     fn degenerate_inputs() {
-        assert!(layout(vec![], Rect::UNIT, Layout::Squarified).cells.is_empty());
+        assert!(layout(vec![], Rect::UNIT, Layout::Squarified)
+            .cells
+            .is_empty());
         assert!(layout(nodes(&[0.0, -1.0]), Rect::UNIT, Layout::Squarified)
             .cells
             .is_empty());

@@ -1,9 +1,9 @@
 //! Property tests for the presentation layer.
 
+use exrec_data::synth::{cameras, holidays, WorldConfig};
 use exrec_present::critiques::{attribute_ranges, mine_compound, pattern_of};
 use exrec_present::facets::FacetBrowser;
 use exrec_present::treemap::{layout, Layout, Rect, TreemapNode};
-use exrec_data::synth::{cameras, holidays, WorldConfig};
 use exrec_types::ItemId;
 use proptest::prelude::*;
 

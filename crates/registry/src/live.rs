@@ -16,8 +16,8 @@ use exrec_core::interfaces::InterfaceId;
 use exrec_core::render::{PlainRenderer, Render};
 use exrec_data::synth::{books, cameras, holidays, movies, news, restaurants, WorldConfig};
 use exrec_data::Catalog;
-use exrec_interact::requirements::{DialogManager, Slot, SlotAnswer};
 use exrec_interact::profile::ScrutableProfile;
+use exrec_interact::requirements::{DialogManager, Slot, SlotAnswer};
 use exrec_present::structured::{build_overview, OverviewConfig};
 use exrec_types::{AttributeDef, AttributeSet, Direction, DomainSchema, Result, UserId};
 use std::fmt::Write as _;
@@ -35,16 +35,56 @@ pub struct Emulation {
 /// All ten emulations, Table 4 order.
 pub fn all() -> Vec<Emulation> {
     vec![
-        Emulation { key: "libra", name: "LIBRA", run: libra },
-        Emulation { key: "news_dude", name: "News Dude", run: news_dude },
-        Emulation { key: "mycin", name: "MYCIN", run: mycin },
-        Emulation { key: "movielens", name: "MovieLens", run: movielens },
-        Emulation { key: "sasy", name: "SASY", run: sasy },
-        Emulation { key: "sim", name: "Sim", run: sim },
-        Emulation { key: "top_case", name: "Top Case", run: top_case },
-        Emulation { key: "organizational", name: "Organizational Structure", run: organizational },
-        Emulation { key: "place_advisor", name: "Adaptive Place Advisor", run: place_advisor },
-        Emulation { key: "acorn", name: "ACORN", run: acorn },
+        Emulation {
+            key: "libra",
+            name: "LIBRA",
+            run: libra,
+        },
+        Emulation {
+            key: "news_dude",
+            name: "News Dude",
+            run: news_dude,
+        },
+        Emulation {
+            key: "mycin",
+            name: "MYCIN",
+            run: mycin,
+        },
+        Emulation {
+            key: "movielens",
+            name: "MovieLens",
+            run: movielens,
+        },
+        Emulation {
+            key: "sasy",
+            name: "SASY",
+            run: sasy,
+        },
+        Emulation {
+            key: "sim",
+            name: "Sim",
+            run: sim,
+        },
+        Emulation {
+            key: "top_case",
+            name: "Top Case",
+            run: top_case,
+        },
+        Emulation {
+            key: "organizational",
+            name: "Organizational Structure",
+            run: organizational,
+        },
+        Emulation {
+            key: "place_advisor",
+            name: "Adaptive Place Advisor",
+            run: place_advisor,
+        },
+        Emulation {
+            key: "acorn",
+            name: "ACORN",
+            run: acorn,
+        },
     ]
 }
 
@@ -55,20 +95,18 @@ pub fn all() -> Vec<Emulation> {
 /// Propagates the emulation's own errors; unknown keys yield
 /// [`exrec_types::Error::InvalidConfig`].
 pub fn run(key: &str, seed: u64) -> Result<String> {
-    let emu = all()
-        .into_iter()
-        .find(|e| e.key == key)
-        .ok_or(exrec_types::Error::InvalidConfig {
-            parameter: "emulation",
-            constraint: "a key from registry::live::all()".to_owned(),
-        })?;
+    let emu =
+        all()
+            .into_iter()
+            .find(|e| e.key == key)
+            .ok_or(exrec_types::Error::InvalidConfig {
+                parameter: "emulation",
+                constraint: "a key from registry::live::all()".to_owned(),
+            })?;
     (emu.run)(seed)
 }
 
-fn pick_user_with_ratings(
-    ratings: &exrec_data::RatingsMatrix,
-    min: usize,
-) -> Option<UserId> {
+fn pick_user_with_ratings(ratings: &exrec_data::RatingsMatrix, min: usize) -> Option<UserId> {
     ratings
         .users()
         .find(|&u| ratings.user_ratings(u).len() >= min)
@@ -90,7 +128,11 @@ fn libra(seed: u64) -> Result<String> {
     let mut out = String::from("LIBRA (content-based book recommender)\n");
     for (scored, expl) in explainer.recommend_explained(&ctx, user, 2) {
         let title = &ctx.catalog.get(scored.item)?.title;
-        let _ = writeln!(out, "\nRecommended: \"{}\" ({:.1})", title, scored.prediction.score);
+        let _ = writeln!(
+            out,
+            "\nRecommended: \"{}\" ({:.1})",
+            title, scored.prediction.score
+        );
         out.push_str(&PlainRenderer.render(&expl));
     }
     Ok(out)
@@ -116,14 +158,11 @@ fn news_dude(seed: u64) -> Result<String> {
         exrec_interact::session::SessionStyle::Conversational,
         InterfaceId::KeywordMatch,
     );
-    let mut out = String::from("News Dude (personal news agent that talks, learns, and explains)\n");
+    let mut out =
+        String::from("News Dude (personal news agent that talks, learns, and explains)\n");
     let recs = session.recommend(3);
     for s in &recs {
-        let _ = writeln!(
-            out,
-            "story: \"{}\"",
-            world.catalog.get(s.item)?.title
-        );
+        let _ = writeln!(out, "story: \"{}\"", world.catalog.get(s.item)?.title);
     }
     if let Some(first) = recs.first() {
         let (_, expl) = session.why(first.item)?;
@@ -173,10 +212,10 @@ fn mycin(_seed: u64) -> Result<String> {
     let ratings = exrec_data::RatingsMatrix::new(1, catalog.len(), exrec_types::RatingScale::UNIT);
     let ctx = Ctx::new(&ratings, &catalog);
     let maut = Maut::new(vec![
-        Requirement::hard("organism", Constraint::OneOf(vec![
-            "gram-positive".to_owned(),
-            "broad".to_owned(),
-        ])),
+        Requirement::hard(
+            "organism",
+            Constraint::OneOf(vec!["gram-positive".to_owned(), "broad".to_owned()]),
+        ),
         Requirement::soft("efficacy", Constraint::AtLeast(0.8)).with_weight(2.0),
         Requirement::soft("toxicity", Constraint::AtMost(3.0)),
         Requirement::soft("oral", Constraint::Is(true)),
@@ -230,7 +269,8 @@ fn sasy(seed: u64) -> Result<String> {
     let user = UserId::new(0);
     let mut profile = ScrutableProfile::new();
     profile.set_fact(exrec_core::provenance::ProfileFact::volunteered(
-        "travel_party", "family with children",
+        "travel_party",
+        "family with children",
     ));
     profile.set_fact(exrec_core::provenance::ProfileFact::inferred(
         "budget_band",
@@ -313,11 +353,13 @@ fn sim(_seed: u64) -> Result<String> {
     for s in &ranked[1..] {
         let item = catalog.get(s.item)?;
         let pattern = exrec_present::critiques::pattern_of(item, reference, &ranges);
-        let phrases: Vec<String> = pattern
-            .iter()
-            .map(|p| p.phrase(catalog.schema()))
-            .collect();
-        let _ = writeln!(out, "compared to it, {} is: {}", item.title, phrases.join(" and "));
+        let phrases: Vec<String> = pattern.iter().map(|p| p.phrase(catalog.schema())).collect();
+        let _ = writeln!(
+            out,
+            "compared to it, {} is: {}",
+            item.title,
+            phrases.join(" and ")
+        );
     }
     Ok(out)
 }
@@ -342,12 +384,7 @@ fn top_case(seed: u64) -> Result<String> {
     let mut out = String::from("Top Case (CBR holiday recommender)\n");
     for (k, s) in ranked.iter().enumerate() {
         let (_, expl) = explainer.explain(&ctx, UserId::new(0), s.item)?;
-        let _ = writeln!(
-            out,
-            "\ncase {}: {}",
-            k + 1,
-            ctx.catalog.get(s.item)?.title
-        );
+        let _ = writeln!(out, "\ncase {}: {}", k + 1, ctx.catalog.get(s.item)?.title);
         out.push_str(&PlainRenderer.render(&expl));
     }
     Ok(out)
@@ -496,7 +533,10 @@ mod tests {
 
         let org = run("organizational", 5).unwrap();
         assert!(org.contains("Best match:"));
-        assert!(org.contains("but") || org.contains("and"), "trade-off titles");
+        assert!(
+            org.contains("but") || org.contains("and"),
+            "trade-off titles"
+        );
 
         let pa = run("place_advisor", 5).unwrap();
         assert!(pa.contains("System:"));

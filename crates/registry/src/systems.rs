@@ -71,20 +71,18 @@ pub fn commercial() -> Vec<SystemDescriptor> {
     use ExplanationStyle as E;
     use InteractionMode as I;
     use PresentationMode as P;
-    let d = |name,
-             item_type,
-             presentation: Vec<P>,
-             explanation: Vec<E>,
-             interaction: Vec<I>| SystemDescriptor {
-        name,
-        kind: SystemKind::Commercial,
-        citation: None,
-        item_type,
-        presentation,
-        explanation,
-        interaction,
-        aims: AimProfile::empty(),
-        emulation: None,
+    let d = |name, item_type, presentation: Vec<P>, explanation: Vec<E>, interaction: Vec<I>| {
+        SystemDescriptor {
+            name,
+            kind: SystemKind::Commercial,
+            citation: None,
+            item_type,
+            presentation,
+            explanation,
+            interaction,
+            aims: AimProfile::empty(),
+            emulation: None,
+        }
     };
     vec![
         d(

@@ -355,7 +355,10 @@ mod tests {
 
     #[test]
     fn iter_is_name_ordered() {
-        let a = AttributeSet::new().with("z", 1.0).with("a", 2.0).with("m", 3.0);
+        let a = AttributeSet::new()
+            .with("z", 1.0)
+            .with("a", 2.0)
+            .with("m", 3.0);
         let names: Vec<&str> = a.iter().map(|(n, _)| n).collect();
         assert_eq!(names, vec!["a", "m", "z"]);
     }

@@ -59,10 +59,12 @@ impl DomainSchema {
     /// Returns [`Error::UnknownAttribute`] or [`Error::KindMismatch`].
     pub fn validate(&self, attrs: &AttributeSet) -> Result<()> {
         for (name, value) in attrs.iter() {
-            let def = self.attribute(name).ok_or_else(|| Error::UnknownAttribute {
-                attribute: name.to_owned(),
-                domain: self.name.clone(),
-            })?;
+            let def = self
+                .attribute(name)
+                .ok_or_else(|| Error::UnknownAttribute {
+                    attribute: name.to_owned(),
+                    domain: self.name.clone(),
+                })?;
             if !value.matches_kind(def.kind) {
                 return Err(Error::KindMismatch {
                     attribute: name.to_owned(),
@@ -202,8 +204,11 @@ mod tests {
 
     #[test]
     fn item_keywords_lowercase() {
-        let it = Item::new(ItemId::new(0), "Great Expectations")
-            .with_keywords(["Dickens", "Victorian", "ORPHAN"]);
+        let it = Item::new(ItemId::new(0), "Great Expectations").with_keywords([
+            "Dickens",
+            "Victorian",
+            "ORPHAN",
+        ]);
         assert!(it.has_keyword("dickens"));
         assert!(it.has_keyword("Dickens"));
         assert!(!it.has_keyword("austen"));

@@ -119,9 +119,15 @@ impl fmt::Display for Error {
                 write!(f, "duplicate attribute \"{attribute}\" in schema")
             }
             Error::UnknownAttribute { attribute, domain } => {
-                write!(f, "attribute \"{attribute}\" not declared in domain \"{domain}\"")
+                write!(
+                    f,
+                    "attribute \"{attribute}\" not declared in domain \"{domain}\""
+                )
             }
-            Error::KindMismatch { attribute, expected } => {
+            Error::KindMismatch {
+                attribute,
+                expected,
+            } => {
                 write!(f, "attribute \"{attribute}\" must be {expected}")
             }
             Error::EmptyModel { model } => write!(f, "{model} has not been fitted on any data"),
@@ -134,8 +140,14 @@ impl fmt::Display for Error {
             Error::MissingEvidence { interface, needs } => {
                 write!(f, "interface \"{interface}\" requires {needs} evidence")
             }
-            Error::InvalidConfig { parameter, constraint } => {
-                write!(f, "invalid configuration: {parameter} must satisfy {constraint}")
+            Error::InvalidConfig {
+                parameter,
+                constraint,
+            } => {
+                write!(
+                    f,
+                    "invalid configuration: {parameter} must satisfy {constraint}"
+                )
             }
             Error::CorruptSnapshot { detail } => write!(f, "corrupt snapshot: {detail}"),
         }
@@ -150,7 +162,9 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = Error::UnknownUser { user: UserId::new(9) };
+        let e = Error::UnknownUser {
+            user: UserId::new(9),
+        };
         assert_eq!(e.to_string(), "unknown user u9");
 
         let e = Error::NoPrediction {
@@ -176,12 +190,20 @@ mod tests {
     #[test]
     fn errors_are_comparable() {
         assert_eq!(
-            Error::UnknownItem { item: ItemId::new(1) },
-            Error::UnknownItem { item: ItemId::new(1) }
+            Error::UnknownItem {
+                item: ItemId::new(1)
+            },
+            Error::UnknownItem {
+                item: ItemId::new(1)
+            }
         );
         assert_ne!(
-            Error::UnknownItem { item: ItemId::new(1) },
-            Error::UnknownItem { item: ItemId::new(2) }
+            Error::UnknownItem {
+                item: ItemId::new(1)
+            },
+            Error::UnknownItem {
+                item: ItemId::new(2)
+            }
         );
     }
 }

@@ -300,7 +300,10 @@ mod tests {
 
     #[test]
     fn five_star_levels() {
-        assert_eq!(RatingScale::FIVE_STAR.levels(), vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(
+            RatingScale::FIVE_STAR.levels(),
+            vec![1.0, 2.0, 3.0, 4.0, 5.0]
+        );
         assert_eq!(RatingScale::HALF_STAR.levels().len(), 10);
         assert!(RatingScale::UNIT.levels().is_empty());
     }

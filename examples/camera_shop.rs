@@ -7,8 +7,8 @@
 
 use exrec::algo::knowledge::{Constraint, Maut, Requirement};
 use exrec::interact::critiquing::{CritiqueOutcome, CritiqueSession};
-use exrec::present::structured::{build_overview, OverviewConfig};
 use exrec::prelude::*;
+use exrec::present::structured::{build_overview, OverviewConfig};
 
 fn main() {
     let world = exrec::data::synth::cameras::generate(&WorldConfig {
@@ -57,7 +57,10 @@ fn main() {
             .expect("critique applies")
         {
             CritiqueOutcome::Continue(next) => screen = next,
-            CritiqueOutcome::Repaired { relaxed, screen: next } => {
+            CritiqueOutcome::Repaired {
+                relaxed,
+                screen: next,
+            } => {
                 println!(
                     "(no camera satisfies that — relaxed your \"{relaxed}\" requirement instead)"
                 );
@@ -65,8 +68,11 @@ fn main() {
             }
         }
         if round == 5 {
-            println!("\nshopper settles after {} cycles ({} ticks of effort)",
-                session.cycles(), session.elapsed().ticks());
+            println!(
+                "\nshopper settles after {} cycles ({} ticks of effort)",
+                session.cycles(),
+                session.elapsed().ticks()
+            );
         }
     }
 }

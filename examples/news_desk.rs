@@ -9,9 +9,9 @@
 use exrec::algo::content::{TfIdfConfig, TfIdfModel};
 use exrec::interact::opinions::Opinion;
 use exrec::interact::session::{RecommendationSession, SessionStyle};
+use exrec::prelude::*;
 use exrec::present::facets::FacetBrowser;
 use exrec::present::treemap::{layout, Layout, Rect, TreemapNode};
-use exrec::prelude::*;
 
 fn main() {
     let world = exrec::data::synth::news::generate(&WorldConfig {

@@ -35,10 +35,7 @@ fn main() {
 
     for (scored, explanation) in explainer.recommend_explained(&ctx, user, 3) {
         let movie = world.catalog.get(scored.item).expect("catalog item");
-        println!(
-            "▶ {} — predicted {}",
-            movie.title, scored.prediction
-        );
+        println!("▶ {} — predicted {}", movie.title, scored.prediction);
         println!("{}", PlainRenderer.render(&explanation));
     }
 
@@ -46,8 +43,10 @@ fn main() {
     //    interface — explanation content is decoupled from the algorithm.
     let mut explainer = explainer;
     explainer.set_interface(InterfaceId::CanonicalCollaborative);
-    if let Some((scored, explanation)) =
-        explainer.recommend_explained(&ctx, user, 1).into_iter().next()
+    if let Some((scored, explanation)) = explainer
+        .recommend_explained(&ctx, user, 1)
+        .into_iter()
+        .next()
     {
         let movie = world.catalog.get(scored.item).expect("catalog item");
         println!("one-liner for \"{}\":", movie.title);

@@ -23,7 +23,10 @@ fn main() {
 
     // A profile mixing volunteered and inferred beliefs, Figure 1 style.
     let mut profile = ScrutableProfile::new();
-    profile.set_fact(ProfileFact::volunteered("travel_party", "family with children"));
+    profile.set_fact(ProfileFact::volunteered(
+        "travel_party",
+        "family with children",
+    ));
     profile.set_fact(ProfileFact::inferred(
         "budget_band",
         "premium",
@@ -77,10 +80,6 @@ fn main() {
         .take(3)
     {
         let h = world.catalog.get(s.item).unwrap();
-        println!(
-            "  - {} ({})",
-            h.title,
-            h.attrs.cat("style").unwrap_or("?")
-        );
+        println!("  - {} ({})", h.title, h.attrs.cat("style").unwrap_or("?"));
     }
 }

@@ -15,8 +15,8 @@
 use exrec::algo::metrics::intra_list_diversity;
 use exrec::core::modality::{analyze, complement, restrict, Modality};
 use exrec::core::similexp::ExplainableSimilarity;
-use exrec::present::diversify::diversify;
 use exrec::prelude::*;
+use exrec::present::diversify::diversify;
 
 fn main() {
     let mut world = exrec::data::synth::movies::generate(&WorldConfig {
@@ -53,8 +53,16 @@ fn main() {
         .to_owned();
     for &item in items.iter().take(24) {
         let it = world.catalog.get(item).unwrap();
-        let a_score = if it.attrs.cat("genre") == Some("comedy") { 5.0 } else { 1.0 };
-        let b_score = if it.attrs.cat("lead") == Some(fav_lead.as_str()) { 5.0 } else { 2.0 };
+        let a_score = if it.attrs.cat("genre") == Some("comedy") {
+            5.0
+        } else {
+            1.0
+        };
+        let b_score = if it.attrs.cat("lead") == Some(fav_lead.as_str()) {
+            5.0
+        } else {
+            2.0
+        };
         world.ratings.rate(viewer_a, item, a_score).unwrap();
         world.ratings.rate(viewer_b, item, b_score).unwrap();
     }
@@ -119,7 +127,15 @@ fn main() {
     for (label, list) in [("plain", &plain), ("diversified", &mixed)] {
         let genres: Vec<&str> = list
             .iter()
-            .map(|&i| world.catalog.get(i).unwrap().attrs.cat("genre").unwrap_or("?"))
+            .map(|&i| {
+                world
+                    .catalog
+                    .get(i)
+                    .unwrap()
+                    .attrs
+                    .cat("genre")
+                    .unwrap_or("?")
+            })
             .collect();
         println!("  {label:11}: {}", genres.join(", "));
     }

@@ -23,6 +23,7 @@
 //! | [`interact`] | `exrec-interact` | critiquing, opinions, scrutable profiles |
 //! | [`eval`] | `exrec-eval` | simulated users and the Section 3 studies |
 //! | [`registry`] | `exrec-registry` | Tables 1–4 generators + live emulations |
+//! | [`obs`] | `exrec-obs` | metrics registry, span tracing, telemetry reports |
 //!
 //! ## Quickstart
 //!
@@ -63,18 +64,22 @@ pub use exrec_core as core;
 pub use exrec_data as data;
 pub use exrec_eval as eval;
 pub use exrec_interact as interact;
+pub use exrec_obs as obs;
 pub use exrec_present as present;
 pub use exrec_registry as registry;
 pub use exrec_types as types;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use exrec_algo::{Ctx, ModelEvidence, Recommender, Scored, UserKnn};
+    pub use exrec_algo::{
+        Ctx, InstrumentedRecommender, ModelEvidence, Recommender, Scored, UserKnn,
+    };
     pub use exrec_core::engine::Explainer;
     pub use exrec_core::interfaces::InterfaceId;
     pub use exrec_core::render::{PlainRenderer, Render};
     pub use exrec_core::{Aim, AimProfile, Explanation, ExplanationStyle};
     pub use exrec_data::synth::WorldConfig;
     pub use exrec_data::{Catalog, RatingsMatrix, World};
+    pub use exrec_obs::{MetricsReport, Telemetry};
     pub use exrec_types::{ItemId, Prediction, Rating, RatingScale, UserId};
 }

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/algo-94f4a989dbfbd689.d: crates/bench/benches/algo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libalgo-94f4a989dbfbd689.rmeta: crates/bench/benches/algo.rs Cargo.toml
+
+crates/bench/benches/algo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

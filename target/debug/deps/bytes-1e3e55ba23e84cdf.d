@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-1e3e55ba23e84cdf.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-1e3e55ba23e84cdf.rlib: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-1e3e55ba23e84cdf.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

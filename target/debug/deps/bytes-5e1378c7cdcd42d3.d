@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-5e1378c7cdcd42d3.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/bytes-5e1378c7cdcd42d3: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/debug_tivo_tmp-8e7b67e94753a1a8.d: tests/debug_tivo_tmp.rs
+
+/root/repo/target/debug/deps/debug_tivo_tmp-8e7b67e94753a1a8: tests/debug_tivo_tmp.rs
+
+tests/debug_tivo_tmp.rs:

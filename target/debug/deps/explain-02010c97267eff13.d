@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/explain-02010c97267eff13.d: crates/bench/benches/explain.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexplain-02010c97267eff13.rmeta: crates/bench/benches/explain.rs Cargo.toml
+
+crates/bench/benches/explain.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

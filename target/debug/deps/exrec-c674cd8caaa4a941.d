@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exrec-c674cd8caaa4a941.d: src/lib.rs
+
+/root/repo/target/debug/deps/exrec-c674cd8caaa4a941: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exrec-d4fd89806b363e91.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexrec-d4fd89806b363e91.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/exrec-e3824bc57e5bc4b7.d: src/lib.rs
+
+/root/repo/target/debug/deps/libexrec-e3824bc57e5bc4b7.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libexrec-e3824bc57e5bc4b7.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/exrec-e3ad77951e13c5fa.d: src/lib.rs
+
+/root/repo/target/debug/deps/libexrec-e3ad77951e13c5fa.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libexrec-e3ad77951e13c5fa.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exrec-ff12bf9291bffaa7.d: src/lib.rs
+
+/root/repo/target/debug/deps/exrec-ff12bf9291bffaa7: src/lib.rs
+
+src/lib.rs:

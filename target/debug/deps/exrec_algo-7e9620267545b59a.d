@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/exrec_algo-7e9620267545b59a.d: crates/algo/src/lib.rs crates/algo/src/assoc.rs crates/algo/src/baseline.rs crates/algo/src/content/mod.rs crates/algo/src/content/naive_bayes.rs crates/algo/src/content/tfidf.rs crates/algo/src/hybrid.rs crates/algo/src/instrument.rs crates/algo/src/item_knn.rs crates/algo/src/knowledge.rs crates/algo/src/metrics.rs crates/algo/src/mf.rs crates/algo/src/neighbors.rs crates/algo/src/recommender.rs crates/algo/src/similarity.rs crates/algo/src/user_knn.rs
+
+/root/repo/target/debug/deps/libexrec_algo-7e9620267545b59a.rlib: crates/algo/src/lib.rs crates/algo/src/assoc.rs crates/algo/src/baseline.rs crates/algo/src/content/mod.rs crates/algo/src/content/naive_bayes.rs crates/algo/src/content/tfidf.rs crates/algo/src/hybrid.rs crates/algo/src/instrument.rs crates/algo/src/item_knn.rs crates/algo/src/knowledge.rs crates/algo/src/metrics.rs crates/algo/src/mf.rs crates/algo/src/neighbors.rs crates/algo/src/recommender.rs crates/algo/src/similarity.rs crates/algo/src/user_knn.rs
+
+/root/repo/target/debug/deps/libexrec_algo-7e9620267545b59a.rmeta: crates/algo/src/lib.rs crates/algo/src/assoc.rs crates/algo/src/baseline.rs crates/algo/src/content/mod.rs crates/algo/src/content/naive_bayes.rs crates/algo/src/content/tfidf.rs crates/algo/src/hybrid.rs crates/algo/src/instrument.rs crates/algo/src/item_knn.rs crates/algo/src/knowledge.rs crates/algo/src/metrics.rs crates/algo/src/mf.rs crates/algo/src/neighbors.rs crates/algo/src/recommender.rs crates/algo/src/similarity.rs crates/algo/src/user_knn.rs
+
+crates/algo/src/lib.rs:
+crates/algo/src/assoc.rs:
+crates/algo/src/baseline.rs:
+crates/algo/src/content/mod.rs:
+crates/algo/src/content/naive_bayes.rs:
+crates/algo/src/content/tfidf.rs:
+crates/algo/src/hybrid.rs:
+crates/algo/src/instrument.rs:
+crates/algo/src/item_knn.rs:
+crates/algo/src/knowledge.rs:
+crates/algo/src/metrics.rs:
+crates/algo/src/mf.rs:
+crates/algo/src/neighbors.rs:
+crates/algo/src/recommender.rs:
+crates/algo/src/similarity.rs:
+crates/algo/src/user_knn.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exrec_bench-08243d72347adc5d.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexrec_bench-08243d72347adc5d.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

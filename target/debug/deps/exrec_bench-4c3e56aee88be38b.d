@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/exrec_bench-4c3e56aee88be38b.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libexrec_bench-4c3e56aee88be38b.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libexrec_bench-4c3e56aee88be38b.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

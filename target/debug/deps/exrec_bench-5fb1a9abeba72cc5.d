@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exrec_bench-5fb1a9abeba72cc5.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/exrec_bench-5fb1a9abeba72cc5: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/exrec_bench-a365bcea21896db1.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libexrec_bench-a365bcea21896db1.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libexrec_bench-a365bcea21896db1.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

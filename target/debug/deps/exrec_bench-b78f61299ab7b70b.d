@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exrec_bench-b78f61299ab7b70b.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexrec_bench-b78f61299ab7b70b.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exrec_bench-cc3e6b9b7bfc8972.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/exrec_bench-cc3e6b9b7bfc8972: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/exrec_core-0ce0426b310d52fc.d: crates/core/src/lib.rs crates/core/src/aims.rs crates/core/src/engine.rs crates/core/src/explanation.rs crates/core/src/group.rs crates/core/src/influence.rs crates/core/src/interfaces/mod.rs crates/core/src/interfaces/generators.rs crates/core/src/modality.rs crates/core/src/personality.rs crates/core/src/provenance.rs crates/core/src/render.rs crates/core/src/similexp.rs crates/core/src/style.rs crates/core/src/templates.rs
+
+/root/repo/target/debug/deps/libexrec_core-0ce0426b310d52fc.rlib: crates/core/src/lib.rs crates/core/src/aims.rs crates/core/src/engine.rs crates/core/src/explanation.rs crates/core/src/group.rs crates/core/src/influence.rs crates/core/src/interfaces/mod.rs crates/core/src/interfaces/generators.rs crates/core/src/modality.rs crates/core/src/personality.rs crates/core/src/provenance.rs crates/core/src/render.rs crates/core/src/similexp.rs crates/core/src/style.rs crates/core/src/templates.rs
+
+/root/repo/target/debug/deps/libexrec_core-0ce0426b310d52fc.rmeta: crates/core/src/lib.rs crates/core/src/aims.rs crates/core/src/engine.rs crates/core/src/explanation.rs crates/core/src/group.rs crates/core/src/influence.rs crates/core/src/interfaces/mod.rs crates/core/src/interfaces/generators.rs crates/core/src/modality.rs crates/core/src/personality.rs crates/core/src/provenance.rs crates/core/src/render.rs crates/core/src/similexp.rs crates/core/src/style.rs crates/core/src/templates.rs
+
+crates/core/src/lib.rs:
+crates/core/src/aims.rs:
+crates/core/src/engine.rs:
+crates/core/src/explanation.rs:
+crates/core/src/group.rs:
+crates/core/src/influence.rs:
+crates/core/src/interfaces/mod.rs:
+crates/core/src/interfaces/generators.rs:
+crates/core/src/modality.rs:
+crates/core/src/personality.rs:
+crates/core/src/provenance.rs:
+crates/core/src/render.rs:
+crates/core/src/similexp.rs:
+crates/core/src/style.rs:
+crates/core/src/templates.rs:

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/exrec_core-9ff1d97c5266bc01.d: crates/core/src/lib.rs crates/core/src/aims.rs crates/core/src/engine.rs crates/core/src/explanation.rs crates/core/src/group.rs crates/core/src/influence.rs crates/core/src/interfaces/mod.rs crates/core/src/interfaces/generators.rs crates/core/src/modality.rs crates/core/src/personality.rs crates/core/src/provenance.rs crates/core/src/render.rs crates/core/src/similexp.rs crates/core/src/style.rs crates/core/src/templates.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexrec_core-9ff1d97c5266bc01.rmeta: crates/core/src/lib.rs crates/core/src/aims.rs crates/core/src/engine.rs crates/core/src/explanation.rs crates/core/src/group.rs crates/core/src/influence.rs crates/core/src/interfaces/mod.rs crates/core/src/interfaces/generators.rs crates/core/src/modality.rs crates/core/src/personality.rs crates/core/src/provenance.rs crates/core/src/render.rs crates/core/src/similexp.rs crates/core/src/style.rs crates/core/src/templates.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/aims.rs:
+crates/core/src/engine.rs:
+crates/core/src/explanation.rs:
+crates/core/src/group.rs:
+crates/core/src/influence.rs:
+crates/core/src/interfaces/mod.rs:
+crates/core/src/interfaces/generators.rs:
+crates/core/src/modality.rs:
+crates/core/src/personality.rs:
+crates/core/src/provenance.rs:
+crates/core/src/render.rs:
+crates/core/src/similexp.rs:
+crates/core/src/style.rs:
+crates/core/src/templates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/exrec_data-de259c5818666db1.d: crates/data/src/lib.rs crates/data/src/catalog.rs crates/data/src/csv.rs crates/data/src/matrix.rs crates/data/src/snapshot.rs crates/data/src/split.rs crates/data/src/synth/mod.rs crates/data/src/synth/books.rs crates/data/src/synth/cameras.rs crates/data/src/synth/holidays.rs crates/data/src/synth/movies.rs crates/data/src/synth/names.rs crates/data/src/synth/news.rs crates/data/src/synth/restaurants.rs crates/data/src/text.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexrec_data-de259c5818666db1.rmeta: crates/data/src/lib.rs crates/data/src/catalog.rs crates/data/src/csv.rs crates/data/src/matrix.rs crates/data/src/snapshot.rs crates/data/src/split.rs crates/data/src/synth/mod.rs crates/data/src/synth/books.rs crates/data/src/synth/cameras.rs crates/data/src/synth/holidays.rs crates/data/src/synth/movies.rs crates/data/src/synth/names.rs crates/data/src/synth/news.rs crates/data/src/synth/restaurants.rs crates/data/src/text.rs Cargo.toml
+
+crates/data/src/lib.rs:
+crates/data/src/catalog.rs:
+crates/data/src/csv.rs:
+crates/data/src/matrix.rs:
+crates/data/src/snapshot.rs:
+crates/data/src/split.rs:
+crates/data/src/synth/mod.rs:
+crates/data/src/synth/books.rs:
+crates/data/src/synth/cameras.rs:
+crates/data/src/synth/holidays.rs:
+crates/data/src/synth/movies.rs:
+crates/data/src/synth/names.rs:
+crates/data/src/synth/news.rs:
+crates/data/src/synth/restaurants.rs:
+crates/data/src/text.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

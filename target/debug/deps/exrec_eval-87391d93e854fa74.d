@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/exrec_eval-87391d93e854fa74.d: crates/eval/src/lib.rs crates/eval/src/questionnaire.rs crates/eval/src/report.rs crates/eval/src/simuser.rs crates/eval/src/stats.rs crates/eval/src/studies/mod.rs crates/eval/src/studies/accuracy.rs crates/eval/src/studies/effectiveness.rs crates/eval/src/studies/efficiency.rs crates/eval/src/studies/modality.rs crates/eval/src/studies/persuasion_herlocker.rs crates/eval/src/studies/rating_shift.rs crates/eval/src/studies/satisfaction.rs crates/eval/src/studies/scrutability.rs crates/eval/src/studies/tradeoffs.rs crates/eval/src/studies/transparency.rs crates/eval/src/studies/trust_loyalty.rs
+
+/root/repo/target/debug/deps/libexrec_eval-87391d93e854fa74.rlib: crates/eval/src/lib.rs crates/eval/src/questionnaire.rs crates/eval/src/report.rs crates/eval/src/simuser.rs crates/eval/src/stats.rs crates/eval/src/studies/mod.rs crates/eval/src/studies/accuracy.rs crates/eval/src/studies/effectiveness.rs crates/eval/src/studies/efficiency.rs crates/eval/src/studies/modality.rs crates/eval/src/studies/persuasion_herlocker.rs crates/eval/src/studies/rating_shift.rs crates/eval/src/studies/satisfaction.rs crates/eval/src/studies/scrutability.rs crates/eval/src/studies/tradeoffs.rs crates/eval/src/studies/transparency.rs crates/eval/src/studies/trust_loyalty.rs
+
+/root/repo/target/debug/deps/libexrec_eval-87391d93e854fa74.rmeta: crates/eval/src/lib.rs crates/eval/src/questionnaire.rs crates/eval/src/report.rs crates/eval/src/simuser.rs crates/eval/src/stats.rs crates/eval/src/studies/mod.rs crates/eval/src/studies/accuracy.rs crates/eval/src/studies/effectiveness.rs crates/eval/src/studies/efficiency.rs crates/eval/src/studies/modality.rs crates/eval/src/studies/persuasion_herlocker.rs crates/eval/src/studies/rating_shift.rs crates/eval/src/studies/satisfaction.rs crates/eval/src/studies/scrutability.rs crates/eval/src/studies/tradeoffs.rs crates/eval/src/studies/transparency.rs crates/eval/src/studies/trust_loyalty.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/questionnaire.rs:
+crates/eval/src/report.rs:
+crates/eval/src/simuser.rs:
+crates/eval/src/stats.rs:
+crates/eval/src/studies/mod.rs:
+crates/eval/src/studies/accuracy.rs:
+crates/eval/src/studies/effectiveness.rs:
+crates/eval/src/studies/efficiency.rs:
+crates/eval/src/studies/modality.rs:
+crates/eval/src/studies/persuasion_herlocker.rs:
+crates/eval/src/studies/rating_shift.rs:
+crates/eval/src/studies/satisfaction.rs:
+crates/eval/src/studies/scrutability.rs:
+crates/eval/src/studies/tradeoffs.rs:
+crates/eval/src/studies/transparency.rs:
+crates/eval/src/studies/trust_loyalty.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/exrec_interact-0108b7e802cdcd1f.d: crates/interact/src/lib.rs crates/interact/src/critiquing.rs crates/interact/src/mode.rs crates/interact/src/opinions.rs crates/interact/src/profile.rs crates/interact/src/requirements.rs crates/interact/src/session.rs crates/interact/src/store.rs
+
+/root/repo/target/debug/deps/exrec_interact-0108b7e802cdcd1f: crates/interact/src/lib.rs crates/interact/src/critiquing.rs crates/interact/src/mode.rs crates/interact/src/opinions.rs crates/interact/src/profile.rs crates/interact/src/requirements.rs crates/interact/src/session.rs crates/interact/src/store.rs
+
+crates/interact/src/lib.rs:
+crates/interact/src/critiquing.rs:
+crates/interact/src/mode.rs:
+crates/interact/src/opinions.rs:
+crates/interact/src/profile.rs:
+crates/interact/src/requirements.rs:
+crates/interact/src/session.rs:
+crates/interact/src/store.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/exrec_interact-6099abed08598ad0.d: crates/interact/src/lib.rs crates/interact/src/critiquing.rs crates/interact/src/mode.rs crates/interact/src/opinions.rs crates/interact/src/profile.rs crates/interact/src/requirements.rs crates/interact/src/session.rs crates/interact/src/store.rs
+
+/root/repo/target/debug/deps/libexrec_interact-6099abed08598ad0.rlib: crates/interact/src/lib.rs crates/interact/src/critiquing.rs crates/interact/src/mode.rs crates/interact/src/opinions.rs crates/interact/src/profile.rs crates/interact/src/requirements.rs crates/interact/src/session.rs crates/interact/src/store.rs
+
+/root/repo/target/debug/deps/libexrec_interact-6099abed08598ad0.rmeta: crates/interact/src/lib.rs crates/interact/src/critiquing.rs crates/interact/src/mode.rs crates/interact/src/opinions.rs crates/interact/src/profile.rs crates/interact/src/requirements.rs crates/interact/src/session.rs crates/interact/src/store.rs
+
+crates/interact/src/lib.rs:
+crates/interact/src/critiquing.rs:
+crates/interact/src/mode.rs:
+crates/interact/src/opinions.rs:
+crates/interact/src/profile.rs:
+crates/interact/src/requirements.rs:
+crates/interact/src/session.rs:
+crates/interact/src/store.rs:

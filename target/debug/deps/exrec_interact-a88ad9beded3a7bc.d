@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/exrec_interact-a88ad9beded3a7bc.d: crates/interact/src/lib.rs crates/interact/src/critiquing.rs crates/interact/src/mode.rs crates/interact/src/opinions.rs crates/interact/src/profile.rs crates/interact/src/requirements.rs crates/interact/src/session.rs crates/interact/src/store.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexrec_interact-a88ad9beded3a7bc.rmeta: crates/interact/src/lib.rs crates/interact/src/critiquing.rs crates/interact/src/mode.rs crates/interact/src/opinions.rs crates/interact/src/profile.rs crates/interact/src/requirements.rs crates/interact/src/session.rs crates/interact/src/store.rs Cargo.toml
+
+crates/interact/src/lib.rs:
+crates/interact/src/critiquing.rs:
+crates/interact/src/mode.rs:
+crates/interact/src/opinions.rs:
+crates/interact/src/profile.rs:
+crates/interact/src/requirements.rs:
+crates/interact/src/session.rs:
+crates/interact/src/store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

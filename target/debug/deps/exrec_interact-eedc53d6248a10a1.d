@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/exrec_interact-eedc53d6248a10a1.d: crates/interact/src/lib.rs crates/interact/src/critiquing.rs crates/interact/src/mode.rs crates/interact/src/opinions.rs crates/interact/src/profile.rs crates/interact/src/requirements.rs crates/interact/src/session.rs crates/interact/src/store.rs
+
+/root/repo/target/debug/deps/exrec_interact-eedc53d6248a10a1: crates/interact/src/lib.rs crates/interact/src/critiquing.rs crates/interact/src/mode.rs crates/interact/src/opinions.rs crates/interact/src/profile.rs crates/interact/src/requirements.rs crates/interact/src/session.rs crates/interact/src/store.rs
+
+crates/interact/src/lib.rs:
+crates/interact/src/critiquing.rs:
+crates/interact/src/mode.rs:
+crates/interact/src/opinions.rs:
+crates/interact/src/profile.rs:
+crates/interact/src/requirements.rs:
+crates/interact/src/session.rs:
+crates/interact/src/store.rs:

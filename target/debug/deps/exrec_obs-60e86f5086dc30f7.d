@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/exrec_obs-60e86f5086dc30f7.d: crates/obs/src/lib.rs crates/obs/src/metrics.rs crates/obs/src/span.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexrec_obs-60e86f5086dc30f7.rmeta: crates/obs/src/lib.rs crates/obs/src/metrics.rs crates/obs/src/span.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/span.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exrec_obs-699660a285bb2555.d: crates/obs/src/lib.rs crates/obs/src/metrics.rs crates/obs/src/span.rs
+
+/root/repo/target/debug/deps/libexrec_obs-699660a285bb2555.rlib: crates/obs/src/lib.rs crates/obs/src/metrics.rs crates/obs/src/span.rs
+
+/root/repo/target/debug/deps/libexrec_obs-699660a285bb2555.rmeta: crates/obs/src/lib.rs crates/obs/src/metrics.rs crates/obs/src/span.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/span.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/exrec_obs-df61d90416230ca7.d: crates/obs/src/lib.rs crates/obs/src/metrics.rs crates/obs/src/span.rs
+
+/root/repo/target/debug/deps/exrec_obs-df61d90416230ca7: crates/obs/src/lib.rs crates/obs/src/metrics.rs crates/obs/src/span.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/span.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/exrec_present-62db29f9a5cbe9df.d: crates/present/src/lib.rs crates/present/src/critiques.rs crates/present/src/diversify.rs crates/present/src/facets.rs crates/present/src/mode.rs crates/present/src/predicted.rs crates/present/src/similar.rs crates/present/src/structured.rs crates/present/src/top.rs crates/present/src/treemap.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexrec_present-62db29f9a5cbe9df.rmeta: crates/present/src/lib.rs crates/present/src/critiques.rs crates/present/src/diversify.rs crates/present/src/facets.rs crates/present/src/mode.rs crates/present/src/predicted.rs crates/present/src/similar.rs crates/present/src/structured.rs crates/present/src/top.rs crates/present/src/treemap.rs Cargo.toml
+
+crates/present/src/lib.rs:
+crates/present/src/critiques.rs:
+crates/present/src/diversify.rs:
+crates/present/src/facets.rs:
+crates/present/src/mode.rs:
+crates/present/src/predicted.rs:
+crates/present/src/similar.rs:
+crates/present/src/structured.rs:
+crates/present/src/top.rs:
+crates/present/src/treemap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

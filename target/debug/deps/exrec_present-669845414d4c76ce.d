@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/exrec_present-669845414d4c76ce.d: crates/present/src/lib.rs crates/present/src/critiques.rs crates/present/src/diversify.rs crates/present/src/facets.rs crates/present/src/mode.rs crates/present/src/predicted.rs crates/present/src/similar.rs crates/present/src/structured.rs crates/present/src/top.rs crates/present/src/treemap.rs
+
+/root/repo/target/debug/deps/libexrec_present-669845414d4c76ce.rlib: crates/present/src/lib.rs crates/present/src/critiques.rs crates/present/src/diversify.rs crates/present/src/facets.rs crates/present/src/mode.rs crates/present/src/predicted.rs crates/present/src/similar.rs crates/present/src/structured.rs crates/present/src/top.rs crates/present/src/treemap.rs
+
+/root/repo/target/debug/deps/libexrec_present-669845414d4c76ce.rmeta: crates/present/src/lib.rs crates/present/src/critiques.rs crates/present/src/diversify.rs crates/present/src/facets.rs crates/present/src/mode.rs crates/present/src/predicted.rs crates/present/src/similar.rs crates/present/src/structured.rs crates/present/src/top.rs crates/present/src/treemap.rs
+
+crates/present/src/lib.rs:
+crates/present/src/critiques.rs:
+crates/present/src/diversify.rs:
+crates/present/src/facets.rs:
+crates/present/src/mode.rs:
+crates/present/src/predicted.rs:
+crates/present/src/similar.rs:
+crates/present/src/structured.rs:
+crates/present/src/top.rs:
+crates/present/src/treemap.rs:

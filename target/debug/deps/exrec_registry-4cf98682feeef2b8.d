@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/exrec_registry-4cf98682feeef2b8.d: crates/registry/src/lib.rs crates/registry/src/live.rs crates/registry/src/systems.rs crates/registry/src/tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexrec_registry-4cf98682feeef2b8.rmeta: crates/registry/src/lib.rs crates/registry/src/live.rs crates/registry/src/systems.rs crates/registry/src/tables.rs Cargo.toml
+
+crates/registry/src/lib.rs:
+crates/registry/src/live.rs:
+crates/registry/src/systems.rs:
+crates/registry/src/tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

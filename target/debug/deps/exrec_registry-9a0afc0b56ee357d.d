@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/exrec_registry-9a0afc0b56ee357d.d: crates/registry/src/lib.rs crates/registry/src/live.rs crates/registry/src/systems.rs crates/registry/src/tables.rs
+
+/root/repo/target/debug/deps/libexrec_registry-9a0afc0b56ee357d.rlib: crates/registry/src/lib.rs crates/registry/src/live.rs crates/registry/src/systems.rs crates/registry/src/tables.rs
+
+/root/repo/target/debug/deps/libexrec_registry-9a0afc0b56ee357d.rmeta: crates/registry/src/lib.rs crates/registry/src/live.rs crates/registry/src/systems.rs crates/registry/src/tables.rs
+
+crates/registry/src/lib.rs:
+crates/registry/src/live.rs:
+crates/registry/src/systems.rs:
+crates/registry/src/tables.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/exrec_registry-9ae7c1415a4fe5a3.d: crates/registry/src/lib.rs crates/registry/src/live.rs crates/registry/src/systems.rs crates/registry/src/tables.rs
+
+/root/repo/target/debug/deps/exrec_registry-9ae7c1415a4fe5a3: crates/registry/src/lib.rs crates/registry/src/live.rs crates/registry/src/systems.rs crates/registry/src/tables.rs
+
+crates/registry/src/lib.rs:
+crates/registry/src/live.rs:
+crates/registry/src/systems.rs:
+crates/registry/src/tables.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/exrec_types-49859183aee0640c.d: crates/types/src/lib.rs crates/types/src/attribute.rs crates/types/src/domain.rs crates/types/src/error.rs crates/types/src/id.rs crates/types/src/rating.rs crates/types/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexrec_types-49859183aee0640c.rmeta: crates/types/src/lib.rs crates/types/src/attribute.rs crates/types/src/domain.rs crates/types/src/error.rs crates/types/src/id.rs crates/types/src/rating.rs crates/types/src/time.rs Cargo.toml
+
+crates/types/src/lib.rs:
+crates/types/src/attribute.rs:
+crates/types/src/domain.rs:
+crates/types/src/error.rs:
+crates/types/src/id.rs:
+crates/types/src/rating.rs:
+crates/types/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

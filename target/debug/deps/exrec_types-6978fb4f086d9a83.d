@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/exrec_types-6978fb4f086d9a83.d: crates/types/src/lib.rs crates/types/src/attribute.rs crates/types/src/domain.rs crates/types/src/error.rs crates/types/src/id.rs crates/types/src/rating.rs crates/types/src/time.rs
+
+/root/repo/target/debug/deps/exrec_types-6978fb4f086d9a83: crates/types/src/lib.rs crates/types/src/attribute.rs crates/types/src/domain.rs crates/types/src/error.rs crates/types/src/id.rs crates/types/src/rating.rs crates/types/src/time.rs
+
+crates/types/src/lib.rs:
+crates/types/src/attribute.rs:
+crates/types/src/domain.rs:
+crates/types/src/error.rs:
+crates/types/src/id.rs:
+crates/types/src/rating.rs:
+crates/types/src/time.rs:

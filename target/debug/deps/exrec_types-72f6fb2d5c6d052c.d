@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/exrec_types-72f6fb2d5c6d052c.d: crates/types/src/lib.rs crates/types/src/attribute.rs crates/types/src/domain.rs crates/types/src/error.rs crates/types/src/id.rs crates/types/src/rating.rs crates/types/src/time.rs
+
+/root/repo/target/debug/deps/libexrec_types-72f6fb2d5c6d052c.rlib: crates/types/src/lib.rs crates/types/src/attribute.rs crates/types/src/domain.rs crates/types/src/error.rs crates/types/src/id.rs crates/types/src/rating.rs crates/types/src/time.rs
+
+/root/repo/target/debug/deps/libexrec_types-72f6fb2d5c6d052c.rmeta: crates/types/src/lib.rs crates/types/src/attribute.rs crates/types/src/domain.rs crates/types/src/error.rs crates/types/src/id.rs crates/types/src/rating.rs crates/types/src/time.rs
+
+crates/types/src/lib.rs:
+crates/types/src/attribute.rs:
+crates/types/src/domain.rs:
+crates/types/src/error.rs:
+crates/types/src/id.rs:
+crates/types/src/rating.rs:
+crates/types/src/time.rs:

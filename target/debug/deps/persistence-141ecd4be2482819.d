@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/persistence-141ecd4be2482819.d: tests/persistence.rs
+
+/root/repo/target/debug/deps/persistence-141ecd4be2482819: tests/persistence.rs
+
+tests/persistence.rs:

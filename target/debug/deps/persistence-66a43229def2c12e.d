@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/persistence-66a43229def2c12e.d: tests/persistence.rs
+
+/root/repo/target/debug/deps/persistence-66a43229def2c12e: tests/persistence.rs
+
+tests/persistence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-51c57b541fc55ef5.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-51c57b541fc55ef5: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-ba2b34e14841bc2d.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-ba2b34e14841bc2d: tests/pipeline.rs
+
+tests/pipeline.rs:

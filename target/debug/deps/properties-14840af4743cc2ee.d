@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-14840af4743cc2ee.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-14840af4743cc2ee: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-d443965334fcb953.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-d443965334fcb953: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-0fb681dada08124f.d: crates/interact/tests/props.rs
+
+/root/repo/target/debug/deps/props-0fb681dada08124f: crates/interact/tests/props.rs
+
+crates/interact/tests/props.rs:

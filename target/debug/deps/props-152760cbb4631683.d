@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-152760cbb4631683.d: crates/core/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-152760cbb4631683.rmeta: crates/core/tests/props.rs Cargo.toml
+
+crates/core/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

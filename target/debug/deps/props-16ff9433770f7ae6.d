@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-16ff9433770f7ae6.d: crates/types/tests/props.rs
+
+/root/repo/target/debug/deps/props-16ff9433770f7ae6: crates/types/tests/props.rs
+
+crates/types/tests/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-1a8a9e97cff5ac0e.d: crates/eval/tests/props.rs
+
+/root/repo/target/debug/deps/props-1a8a9e97cff5ac0e: crates/eval/tests/props.rs
+
+crates/eval/tests/props.rs:

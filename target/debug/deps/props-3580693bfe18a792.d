@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-3580693bfe18a792.d: crates/present/tests/props.rs
+
+/root/repo/target/debug/deps/props-3580693bfe18a792: crates/present/tests/props.rs
+
+crates/present/tests/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-43e0b2949a89ea11.d: crates/core/tests/props.rs
+
+/root/repo/target/debug/deps/props-43e0b2949a89ea11: crates/core/tests/props.rs
+
+crates/core/tests/props.rs:

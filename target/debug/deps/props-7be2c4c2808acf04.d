@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-7be2c4c2808acf04.d: crates/present/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-7be2c4c2808acf04.rmeta: crates/present/tests/props.rs Cargo.toml
+
+crates/present/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-7c3a292bb3ed6cf0.d: crates/types/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-7c3a292bb3ed6cf0.rmeta: crates/types/tests/props.rs Cargo.toml
+
+crates/types/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-7ffcbe6d22c7829f.d: crates/interact/tests/props.rs
+
+/root/repo/target/debug/deps/props-7ffcbe6d22c7829f: crates/interact/tests/props.rs
+
+crates/interact/tests/props.rs:

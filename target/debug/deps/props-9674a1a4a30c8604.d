@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-9674a1a4a30c8604.d: crates/present/tests/props.rs
+
+/root/repo/target/debug/deps/props-9674a1a4a30c8604: crates/present/tests/props.rs
+
+crates/present/tests/props.rs:

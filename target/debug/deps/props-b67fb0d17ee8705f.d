@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-b67fb0d17ee8705f.d: crates/interact/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-b67fb0d17ee8705f.rmeta: crates/interact/tests/props.rs Cargo.toml
+
+crates/interact/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-e4384aeba183afc7.d: crates/data/tests/props.rs
+
+/root/repo/target/debug/deps/props-e4384aeba183afc7: crates/data/tests/props.rs
+
+crates/data/tests/props.rs:

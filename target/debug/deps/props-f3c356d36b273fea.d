@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-f3c356d36b273fea.d: crates/core/tests/props.rs
+
+/root/repo/target/debug/deps/props-f3c356d36b273fea: crates/core/tests/props.rs
+
+crates/core/tests/props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-f76b10448d053420.d: crates/eval/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-f76b10448d053420.rmeta: crates/eval/tests/props.rs Cargo.toml
+
+crates/eval/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-fd7fcd25a24d6274.d: crates/eval/tests/props.rs
+
+/root/repo/target/debug/deps/props-fd7fcd25a24d6274: crates/eval/tests/props.rs
+
+crates/eval/tests/props.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand_chacha-7e03161366b25a36.d: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-7e03161366b25a36.rlib: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-7e03161366b25a36.rmeta: vendor/rand_chacha/src/lib.rs
+
+vendor/rand_chacha/src/lib.rs:

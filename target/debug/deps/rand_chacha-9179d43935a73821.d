@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_chacha-9179d43935a73821.d: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/rand_chacha-9179d43935a73821: vendor/rand_chacha/src/lib.rs
+
+vendor/rand_chacha/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-179bf521623f622c.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-179bf521623f622c: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-45a9d7ab9711c9b4.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-45a9d7ab9711c9b4: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

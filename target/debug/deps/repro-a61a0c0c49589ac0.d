@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-a61a0c0c49589ac0.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-a61a0c0c49589ac0: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

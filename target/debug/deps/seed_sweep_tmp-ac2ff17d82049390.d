@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/seed_sweep_tmp-ac2ff17d82049390.d: crates/eval/tests/seed_sweep_tmp.rs
+
+/root/repo/target/debug/deps/seed_sweep_tmp-ac2ff17d82049390: crates/eval/tests/seed_sweep_tmp.rs
+
+crates/eval/tests/seed_sweep_tmp.rs:

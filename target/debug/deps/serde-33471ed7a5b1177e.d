@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-33471ed7a5b1177e.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-33471ed7a5b1177e: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

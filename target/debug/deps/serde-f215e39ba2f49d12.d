@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-f215e39ba2f49d12.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-f215e39ba2f49d12.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-f215e39ba2f49d12.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-f60337123f1ab622.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-f60337123f1ab622: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-f88dd66f788bcbf1.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-f88dd66f788bcbf1.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-f88dd66f788bcbf1.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/studies-e436dc8fc0804711.d: crates/bench/benches/studies.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstudies-e436dc8fc0804711.rmeta: crates/bench/benches/studies.rs Cargo.toml
+
+crates/bench/benches/studies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/study_shapes-510a10fcdc3d589f.d: tests/study_shapes.rs
+
+/root/repo/target/debug/deps/study_shapes-510a10fcdc3d589f: tests/study_shapes.rs
+
+tests/study_shapes.rs:

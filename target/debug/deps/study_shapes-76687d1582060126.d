@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/study_shapes-76687d1582060126.d: tests/study_shapes.rs
+
+/root/repo/target/debug/deps/study_shapes-76687d1582060126: tests/study_shapes.rs
+
+tests/study_shapes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/study_shapes-f9276f71186e63c1.d: tests/study_shapes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstudy_shapes-f9276f71186e63c1.rmeta: tests/study_shapes.rs Cargo.toml
+
+tests/study_shapes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

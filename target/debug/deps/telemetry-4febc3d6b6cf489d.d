@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry-4febc3d6b6cf489d.d: tests/telemetry.rs
+
+/root/repo/target/debug/deps/telemetry-4febc3d6b6cf489d: tests/telemetry.rs
+
+tests/telemetry.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tivo_scenario-50240942b022b44d.d: tests/tivo_scenario.rs
+
+/root/repo/target/debug/deps/tivo_scenario-50240942b022b44d: tests/tivo_scenario.rs
+
+tests/tivo_scenario.rs:

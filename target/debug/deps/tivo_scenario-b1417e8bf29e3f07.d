@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tivo_scenario-b1417e8bf29e3f07.d: tests/tivo_scenario.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtivo_scenario-b1417e8bf29e3f07.rmeta: tests/tivo_scenario.rs Cargo.toml
+
+tests/tivo_scenario.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

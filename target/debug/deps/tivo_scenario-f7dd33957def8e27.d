@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tivo_scenario-f7dd33957def8e27.d: tests/tivo_scenario.rs
+
+/root/repo/target/debug/deps/tivo_scenario-f7dd33957def8e27: tests/tivo_scenario.rs
+
+tests/tivo_scenario.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/book_club-67d8b0b592651ce7.d: examples/book_club.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbook_club-67d8b0b592651ce7.rmeta: examples/book_club.rs Cargo.toml
+
+examples/book_club.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/book_club-8431e746ce3e6848.d: examples/book_club.rs
+
+/root/repo/target/debug/examples/book_club-8431e746ce3e6848: examples/book_club.rs
+
+examples/book_club.rs:

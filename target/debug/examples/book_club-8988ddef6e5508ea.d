@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/book_club-8988ddef6e5508ea.d: examples/book_club.rs
+
+/root/repo/target/debug/examples/book_club-8988ddef6e5508ea: examples/book_club.rs
+
+examples/book_club.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/camera_shop-0824717c0806ae16.d: examples/camera_shop.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcamera_shop-0824717c0806ae16.rmeta: examples/camera_shop.rs Cargo.toml
+
+examples/camera_shop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/camera_shop-9d52c3da621b046a.d: examples/camera_shop.rs
+
+/root/repo/target/debug/examples/camera_shop-9d52c3da621b046a: examples/camera_shop.rs
+
+examples/camera_shop.rs:

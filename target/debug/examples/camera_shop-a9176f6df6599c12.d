@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/camera_shop-a9176f6df6599c12.d: examples/camera_shop.rs
+
+/root/repo/target/debug/examples/camera_shop-a9176f6df6599c12: examples/camera_shop.rs
+
+examples/camera_shop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/movie_night-9c18e1e68778f8d7.d: examples/movie_night.rs
+
+/root/repo/target/debug/examples/movie_night-9c18e1e68778f8d7: examples/movie_night.rs
+
+examples/movie_night.rs:

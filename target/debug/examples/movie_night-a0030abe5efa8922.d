@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/movie_night-a0030abe5efa8922.d: examples/movie_night.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmovie_night-a0030abe5efa8922.rmeta: examples/movie_night.rs Cargo.toml
+
+examples/movie_night.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/movie_night-f232055a13a57181.d: examples/movie_night.rs
+
+/root/repo/target/debug/examples/movie_night-f232055a13a57181: examples/movie_night.rs
+
+examples/movie_night.rs:

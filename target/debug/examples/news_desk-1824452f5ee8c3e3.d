@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/news_desk-1824452f5ee8c3e3.d: examples/news_desk.rs
+
+/root/repo/target/debug/examples/news_desk-1824452f5ee8c3e3: examples/news_desk.rs
+
+examples/news_desk.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/news_desk-bc5bd6d91cfe3a25.d: examples/news_desk.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnews_desk-bc5bd6d91cfe3a25.rmeta: examples/news_desk.rs Cargo.toml
+
+examples/news_desk.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

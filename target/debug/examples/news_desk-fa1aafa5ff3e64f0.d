@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/news_desk-fa1aafa5ff3e64f0.d: examples/news_desk.rs
+
+/root/repo/target/debug/examples/news_desk-fa1aafa5ff3e64f0: examples/news_desk.rs
+
+examples/news_desk.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-0197268a6a532804.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-0197268a6a532804: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e48688257770ccf1.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e48688257770ccf1: examples/quickstart.rs
+
+examples/quickstart.rs:

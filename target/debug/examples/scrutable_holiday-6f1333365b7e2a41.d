@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scrutable_holiday-6f1333365b7e2a41.d: examples/scrutable_holiday.rs
+
+/root/repo/target/debug/examples/scrutable_holiday-6f1333365b7e2a41: examples/scrutable_holiday.rs
+
+examples/scrutable_holiday.rs:

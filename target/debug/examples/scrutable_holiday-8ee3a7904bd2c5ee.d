@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/scrutable_holiday-8ee3a7904bd2c5ee.d: examples/scrutable_holiday.rs Cargo.toml
+
+/root/repo/target/debug/examples/libscrutable_holiday-8ee3a7904bd2c5ee.rmeta: examples/scrutable_holiday.rs Cargo.toml
+
+examples/scrutable_holiday.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

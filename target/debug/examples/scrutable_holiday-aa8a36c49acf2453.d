@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scrutable_holiday-aa8a36c49acf2453.d: examples/scrutable_holiday.rs
+
+/root/repo/target/debug/examples/scrutable_holiday-aa8a36c49acf2453: examples/scrutable_holiday.rs
+
+examples/scrutable_holiday.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/similarity_lab-3e50dd27b0c8bc08.d: examples/similarity_lab.rs
+
+/root/repo/target/debug/examples/similarity_lab-3e50dd27b0c8bc08: examples/similarity_lab.rs
+
+examples/similarity_lab.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/similarity_lab-9914d6883cff8127.d: examples/similarity_lab.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsimilarity_lab-9914d6883cff8127.rmeta: examples/similarity_lab.rs Cargo.toml
+
+examples/similarity_lab.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/similarity_lab-d52d18f4053e26e4.d: examples/similarity_lab.rs
+
+/root/repo/target/debug/examples/similarity_lab-d52d18f4053e26e4: examples/similarity_lab.rs
+
+examples/similarity_lab.rs:

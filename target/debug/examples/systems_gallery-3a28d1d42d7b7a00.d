@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/systems_gallery-3a28d1d42d7b7a00.d: examples/systems_gallery.rs
+
+/root/repo/target/debug/examples/systems_gallery-3a28d1d42d7b7a00: examples/systems_gallery.rs
+
+examples/systems_gallery.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/systems_gallery-87918cd6cce780c5.d: examples/systems_gallery.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsystems_gallery-87918cd6cce780c5.rmeta: examples/systems_gallery.rs Cargo.toml
+
+examples/systems_gallery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/systems_gallery-fb2918b030a7d662.d: examples/systems_gallery.rs
+
+/root/repo/target/debug/examples/systems_gallery-fb2918b030a7d662: examples/systems_gallery.rs
+
+examples/systems_gallery.rs:

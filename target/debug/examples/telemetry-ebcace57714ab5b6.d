@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/telemetry-ebcace57714ab5b6.d: examples/telemetry.rs
+
+/root/repo/target/debug/examples/telemetry-ebcace57714ab5b6: examples/telemetry.rs
+
+examples/telemetry.rs:

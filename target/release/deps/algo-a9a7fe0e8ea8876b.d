@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/algo-a9a7fe0e8ea8876b.d: crates/bench/benches/algo.rs
+
+/root/repo/target/release/deps/algo-a9a7fe0e8ea8876b: crates/bench/benches/algo.rs
+
+crates/bench/benches/algo.rs:

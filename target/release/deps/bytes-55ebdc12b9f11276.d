@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-55ebdc12b9f11276.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-55ebdc12b9f11276.rlib: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-55ebdc12b9f11276.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

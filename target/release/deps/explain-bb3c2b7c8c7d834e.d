@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/explain-bb3c2b7c8c7d834e.d: crates/bench/benches/explain.rs
+
+/root/repo/target/release/deps/explain-bb3c2b7c8c7d834e: crates/bench/benches/explain.rs
+
+crates/bench/benches/explain.rs:

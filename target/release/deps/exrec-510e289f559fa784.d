@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/exrec-510e289f559fa784.d: src/lib.rs
+
+/root/repo/target/release/deps/libexrec-510e289f559fa784.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libexrec-510e289f559fa784.rmeta: src/lib.rs
+
+src/lib.rs:

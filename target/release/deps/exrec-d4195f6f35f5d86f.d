@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/exrec-d4195f6f35f5d86f.d: src/lib.rs
+
+/root/repo/target/release/deps/libexrec-d4195f6f35f5d86f.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libexrec-d4195f6f35f5d86f.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exrec-db7bb0b1f63ac297.d: src/lib.rs
+
+/root/repo/target/release/deps/exrec-db7bb0b1f63ac297: src/lib.rs
+
+src/lib.rs:

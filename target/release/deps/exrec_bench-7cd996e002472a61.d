@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exrec_bench-7cd996e002472a61.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/exrec_bench-7cd996e002472a61: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

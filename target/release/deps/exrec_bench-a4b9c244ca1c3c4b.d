@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/exrec_bench-a4b9c244ca1c3c4b.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libexrec_bench-a4b9c244ca1c3c4b.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libexrec_bench-a4b9c244ca1c3c4b.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

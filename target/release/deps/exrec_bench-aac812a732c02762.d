@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/exrec_bench-aac812a732c02762.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libexrec_bench-aac812a732c02762.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libexrec_bench-aac812a732c02762.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/exrec_core-2bc0863c713cde38.d: crates/core/src/lib.rs crates/core/src/aims.rs crates/core/src/engine.rs crates/core/src/explanation.rs crates/core/src/group.rs crates/core/src/influence.rs crates/core/src/interfaces/mod.rs crates/core/src/interfaces/generators.rs crates/core/src/modality.rs crates/core/src/personality.rs crates/core/src/provenance.rs crates/core/src/render.rs crates/core/src/similexp.rs crates/core/src/style.rs crates/core/src/templates.rs
+
+/root/repo/target/release/deps/libexrec_core-2bc0863c713cde38.rlib: crates/core/src/lib.rs crates/core/src/aims.rs crates/core/src/engine.rs crates/core/src/explanation.rs crates/core/src/group.rs crates/core/src/influence.rs crates/core/src/interfaces/mod.rs crates/core/src/interfaces/generators.rs crates/core/src/modality.rs crates/core/src/personality.rs crates/core/src/provenance.rs crates/core/src/render.rs crates/core/src/similexp.rs crates/core/src/style.rs crates/core/src/templates.rs
+
+/root/repo/target/release/deps/libexrec_core-2bc0863c713cde38.rmeta: crates/core/src/lib.rs crates/core/src/aims.rs crates/core/src/engine.rs crates/core/src/explanation.rs crates/core/src/group.rs crates/core/src/influence.rs crates/core/src/interfaces/mod.rs crates/core/src/interfaces/generators.rs crates/core/src/modality.rs crates/core/src/personality.rs crates/core/src/provenance.rs crates/core/src/render.rs crates/core/src/similexp.rs crates/core/src/style.rs crates/core/src/templates.rs
+
+crates/core/src/lib.rs:
+crates/core/src/aims.rs:
+crates/core/src/engine.rs:
+crates/core/src/explanation.rs:
+crates/core/src/group.rs:
+crates/core/src/influence.rs:
+crates/core/src/interfaces/mod.rs:
+crates/core/src/interfaces/generators.rs:
+crates/core/src/modality.rs:
+crates/core/src/personality.rs:
+crates/core/src/provenance.rs:
+crates/core/src/render.rs:
+crates/core/src/similexp.rs:
+crates/core/src/style.rs:
+crates/core/src/templates.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/exrec_data-fa72fdd21b8c7603.d: crates/data/src/lib.rs crates/data/src/catalog.rs crates/data/src/csv.rs crates/data/src/matrix.rs crates/data/src/snapshot.rs crates/data/src/split.rs crates/data/src/synth/mod.rs crates/data/src/synth/books.rs crates/data/src/synth/cameras.rs crates/data/src/synth/holidays.rs crates/data/src/synth/movies.rs crates/data/src/synth/names.rs crates/data/src/synth/news.rs crates/data/src/synth/restaurants.rs crates/data/src/text.rs
+
+/root/repo/target/release/deps/libexrec_data-fa72fdd21b8c7603.rlib: crates/data/src/lib.rs crates/data/src/catalog.rs crates/data/src/csv.rs crates/data/src/matrix.rs crates/data/src/snapshot.rs crates/data/src/split.rs crates/data/src/synth/mod.rs crates/data/src/synth/books.rs crates/data/src/synth/cameras.rs crates/data/src/synth/holidays.rs crates/data/src/synth/movies.rs crates/data/src/synth/names.rs crates/data/src/synth/news.rs crates/data/src/synth/restaurants.rs crates/data/src/text.rs
+
+/root/repo/target/release/deps/libexrec_data-fa72fdd21b8c7603.rmeta: crates/data/src/lib.rs crates/data/src/catalog.rs crates/data/src/csv.rs crates/data/src/matrix.rs crates/data/src/snapshot.rs crates/data/src/split.rs crates/data/src/synth/mod.rs crates/data/src/synth/books.rs crates/data/src/synth/cameras.rs crates/data/src/synth/holidays.rs crates/data/src/synth/movies.rs crates/data/src/synth/names.rs crates/data/src/synth/news.rs crates/data/src/synth/restaurants.rs crates/data/src/text.rs
+
+crates/data/src/lib.rs:
+crates/data/src/catalog.rs:
+crates/data/src/csv.rs:
+crates/data/src/matrix.rs:
+crates/data/src/snapshot.rs:
+crates/data/src/split.rs:
+crates/data/src/synth/mod.rs:
+crates/data/src/synth/books.rs:
+crates/data/src/synth/cameras.rs:
+crates/data/src/synth/holidays.rs:
+crates/data/src/synth/movies.rs:
+crates/data/src/synth/names.rs:
+crates/data/src/synth/news.rs:
+crates/data/src/synth/restaurants.rs:
+crates/data/src/text.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/exrec_interact-2586f7677a7a739d.d: crates/interact/src/lib.rs crates/interact/src/critiquing.rs crates/interact/src/mode.rs crates/interact/src/opinions.rs crates/interact/src/profile.rs crates/interact/src/requirements.rs crates/interact/src/session.rs crates/interact/src/store.rs
+
+/root/repo/target/release/deps/libexrec_interact-2586f7677a7a739d.rlib: crates/interact/src/lib.rs crates/interact/src/critiquing.rs crates/interact/src/mode.rs crates/interact/src/opinions.rs crates/interact/src/profile.rs crates/interact/src/requirements.rs crates/interact/src/session.rs crates/interact/src/store.rs
+
+/root/repo/target/release/deps/libexrec_interact-2586f7677a7a739d.rmeta: crates/interact/src/lib.rs crates/interact/src/critiquing.rs crates/interact/src/mode.rs crates/interact/src/opinions.rs crates/interact/src/profile.rs crates/interact/src/requirements.rs crates/interact/src/session.rs crates/interact/src/store.rs
+
+crates/interact/src/lib.rs:
+crates/interact/src/critiquing.rs:
+crates/interact/src/mode.rs:
+crates/interact/src/opinions.rs:
+crates/interact/src/profile.rs:
+crates/interact/src/requirements.rs:
+crates/interact/src/session.rs:
+crates/interact/src/store.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/exrec_obs-1c5cb2f3c4f01854.d: crates/obs/src/lib.rs crates/obs/src/metrics.rs crates/obs/src/span.rs
+
+/root/repo/target/release/deps/libexrec_obs-1c5cb2f3c4f01854.rlib: crates/obs/src/lib.rs crates/obs/src/metrics.rs crates/obs/src/span.rs
+
+/root/repo/target/release/deps/libexrec_obs-1c5cb2f3c4f01854.rmeta: crates/obs/src/lib.rs crates/obs/src/metrics.rs crates/obs/src/span.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/span.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/exrec_present-30a95c692a832608.d: crates/present/src/lib.rs crates/present/src/critiques.rs crates/present/src/diversify.rs crates/present/src/facets.rs crates/present/src/mode.rs crates/present/src/predicted.rs crates/present/src/similar.rs crates/present/src/structured.rs crates/present/src/top.rs crates/present/src/treemap.rs
+
+/root/repo/target/release/deps/libexrec_present-30a95c692a832608.rlib: crates/present/src/lib.rs crates/present/src/critiques.rs crates/present/src/diversify.rs crates/present/src/facets.rs crates/present/src/mode.rs crates/present/src/predicted.rs crates/present/src/similar.rs crates/present/src/structured.rs crates/present/src/top.rs crates/present/src/treemap.rs
+
+/root/repo/target/release/deps/libexrec_present-30a95c692a832608.rmeta: crates/present/src/lib.rs crates/present/src/critiques.rs crates/present/src/diversify.rs crates/present/src/facets.rs crates/present/src/mode.rs crates/present/src/predicted.rs crates/present/src/similar.rs crates/present/src/structured.rs crates/present/src/top.rs crates/present/src/treemap.rs
+
+crates/present/src/lib.rs:
+crates/present/src/critiques.rs:
+crates/present/src/diversify.rs:
+crates/present/src/facets.rs:
+crates/present/src/mode.rs:
+crates/present/src/predicted.rs:
+crates/present/src/similar.rs:
+crates/present/src/structured.rs:
+crates/present/src/top.rs:
+crates/present/src/treemap.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/exrec_registry-d8077c415d0dc655.d: crates/registry/src/lib.rs crates/registry/src/live.rs crates/registry/src/systems.rs crates/registry/src/tables.rs
+
+/root/repo/target/release/deps/libexrec_registry-d8077c415d0dc655.rlib: crates/registry/src/lib.rs crates/registry/src/live.rs crates/registry/src/systems.rs crates/registry/src/tables.rs
+
+/root/repo/target/release/deps/libexrec_registry-d8077c415d0dc655.rmeta: crates/registry/src/lib.rs crates/registry/src/live.rs crates/registry/src/systems.rs crates/registry/src/tables.rs
+
+crates/registry/src/lib.rs:
+crates/registry/src/live.rs:
+crates/registry/src/systems.rs:
+crates/registry/src/tables.rs:

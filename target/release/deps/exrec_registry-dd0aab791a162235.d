@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/exrec_registry-dd0aab791a162235.d: crates/registry/src/lib.rs crates/registry/src/live.rs crates/registry/src/systems.rs crates/registry/src/tables.rs
+
+/root/repo/target/release/deps/libexrec_registry-dd0aab791a162235.rlib: crates/registry/src/lib.rs crates/registry/src/live.rs crates/registry/src/systems.rs crates/registry/src/tables.rs
+
+/root/repo/target/release/deps/libexrec_registry-dd0aab791a162235.rmeta: crates/registry/src/lib.rs crates/registry/src/live.rs crates/registry/src/systems.rs crates/registry/src/tables.rs
+
+crates/registry/src/lib.rs:
+crates/registry/src/live.rs:
+crates/registry/src/systems.rs:
+crates/registry/src/tables.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/exrec_types-056748c4bdc3ca19.d: crates/types/src/lib.rs crates/types/src/attribute.rs crates/types/src/domain.rs crates/types/src/error.rs crates/types/src/id.rs crates/types/src/rating.rs crates/types/src/time.rs
+
+/root/repo/target/release/deps/libexrec_types-056748c4bdc3ca19.rlib: crates/types/src/lib.rs crates/types/src/attribute.rs crates/types/src/domain.rs crates/types/src/error.rs crates/types/src/id.rs crates/types/src/rating.rs crates/types/src/time.rs
+
+/root/repo/target/release/deps/libexrec_types-056748c4bdc3ca19.rmeta: crates/types/src/lib.rs crates/types/src/attribute.rs crates/types/src/domain.rs crates/types/src/error.rs crates/types/src/id.rs crates/types/src/rating.rs crates/types/src/time.rs
+
+crates/types/src/lib.rs:
+crates/types/src/attribute.rs:
+crates/types/src/domain.rs:
+crates/types/src/error.rs:
+crates/types/src/id.rs:
+crates/types/src/rating.rs:
+crates/types/src/time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-aff6c8dd118eb2b8.d: crates/bench/benches/figures.rs
+
+/root/repo/target/release/deps/figures-aff6c8dd118eb2b8: crates/bench/benches/figures.rs
+
+crates/bench/benches/figures.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_chacha-ca30e0669782dd60.d: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-ca30e0669782dd60.rlib: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-ca30e0669782dd60.rmeta: vendor/rand_chacha/src/lib.rs
+
+vendor/rand_chacha/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-11ff3bb6355ce864.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-11ff3bb6355ce864: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

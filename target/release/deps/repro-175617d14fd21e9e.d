@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-175617d14fd21e9e.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-175617d14fd21e9e: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-6c33b08e1048aa93.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-6c33b08e1048aa93: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-ecfd7d14ec67f5a5.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-ecfd7d14ec67f5a5.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-ecfd7d14ec67f5a5.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-efe8abbe5b95fee1.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-efe8abbe5b95fee1.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-00adcbd09a9a6317.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-00adcbd09a9a6317.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-00adcbd09a9a6317.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/studies-47be21f585cb9be5.d: crates/bench/benches/studies.rs
+
+/root/repo/target/release/deps/studies-47be21f585cb9be5: crates/bench/benches/studies.rs
+
+crates/bench/benches/studies.rs:

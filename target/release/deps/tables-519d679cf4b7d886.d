@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tables-519d679cf4b7d886.d: crates/bench/benches/tables.rs
+
+/root/repo/target/release/deps/tables-519d679cf4b7d886: crates/bench/benches/tables.rs
+
+crates/bench/benches/tables.rs:

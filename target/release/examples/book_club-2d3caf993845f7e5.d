@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/book_club-2d3caf993845f7e5.d: examples/book_club.rs
+
+/root/repo/target/release/examples/book_club-2d3caf993845f7e5: examples/book_club.rs
+
+examples/book_club.rs:

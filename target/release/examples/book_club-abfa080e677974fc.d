@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/book_club-abfa080e677974fc.d: examples/book_club.rs
+
+/root/repo/target/release/examples/book_club-abfa080e677974fc: examples/book_club.rs
+
+examples/book_club.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/camera_shop-3beee14a994867d7.d: examples/camera_shop.rs
+
+/root/repo/target/release/examples/camera_shop-3beee14a994867d7: examples/camera_shop.rs
+
+examples/camera_shop.rs:

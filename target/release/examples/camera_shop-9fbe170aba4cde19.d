@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/camera_shop-9fbe170aba4cde19.d: examples/camera_shop.rs
+
+/root/repo/target/release/examples/camera_shop-9fbe170aba4cde19: examples/camera_shop.rs
+
+examples/camera_shop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/movie_night-411add580e972bd2.d: examples/movie_night.rs
+
+/root/repo/target/release/examples/movie_night-411add580e972bd2: examples/movie_night.rs
+
+examples/movie_night.rs:

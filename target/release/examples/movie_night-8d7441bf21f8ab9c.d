@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/movie_night-8d7441bf21f8ab9c.d: examples/movie_night.rs
+
+/root/repo/target/release/examples/movie_night-8d7441bf21f8ab9c: examples/movie_night.rs
+
+examples/movie_night.rs:

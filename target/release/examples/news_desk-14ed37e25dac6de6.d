@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/news_desk-14ed37e25dac6de6.d: examples/news_desk.rs
+
+/root/repo/target/release/examples/news_desk-14ed37e25dac6de6: examples/news_desk.rs
+
+examples/news_desk.rs:

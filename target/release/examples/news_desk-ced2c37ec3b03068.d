@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/news_desk-ced2c37ec3b03068.d: examples/news_desk.rs
+
+/root/repo/target/release/examples/news_desk-ced2c37ec3b03068: examples/news_desk.rs
+
+examples/news_desk.rs:

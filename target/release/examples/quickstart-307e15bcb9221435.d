@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-307e15bcb9221435.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-307e15bcb9221435: examples/quickstart.rs
+
+examples/quickstart.rs:

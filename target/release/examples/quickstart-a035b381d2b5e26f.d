@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-a035b381d2b5e26f.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-a035b381d2b5e26f: examples/quickstart.rs
+
+examples/quickstart.rs:

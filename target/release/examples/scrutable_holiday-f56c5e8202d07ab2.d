@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/scrutable_holiday-f56c5e8202d07ab2.d: examples/scrutable_holiday.rs
+
+/root/repo/target/release/examples/scrutable_holiday-f56c5e8202d07ab2: examples/scrutable_holiday.rs
+
+examples/scrutable_holiday.rs:

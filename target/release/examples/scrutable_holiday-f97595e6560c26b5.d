@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/scrutable_holiday-f97595e6560c26b5.d: examples/scrutable_holiday.rs
+
+/root/repo/target/release/examples/scrutable_holiday-f97595e6560c26b5: examples/scrutable_holiday.rs
+
+examples/scrutable_holiday.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/similarity_lab-c2d320fc87705f17.d: examples/similarity_lab.rs
+
+/root/repo/target/release/examples/similarity_lab-c2d320fc87705f17: examples/similarity_lab.rs
+
+examples/similarity_lab.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/similarity_lab-f58d8a33b514d09b.d: examples/similarity_lab.rs
+
+/root/repo/target/release/examples/similarity_lab-f58d8a33b514d09b: examples/similarity_lab.rs
+
+examples/similarity_lab.rs:

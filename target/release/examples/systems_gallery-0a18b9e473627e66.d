@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/systems_gallery-0a18b9e473627e66.d: examples/systems_gallery.rs
+
+/root/repo/target/release/examples/systems_gallery-0a18b9e473627e66: examples/systems_gallery.rs
+
+examples/systems_gallery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/systems_gallery-f1c209e4e62b883e.d: examples/systems_gallery.rs
+
+/root/repo/target/release/examples/systems_gallery-f1c209e4e62b883e: examples/systems_gallery.rs
+
+examples/systems_gallery.rs:

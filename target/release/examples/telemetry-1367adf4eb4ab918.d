@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/telemetry-1367adf4eb4ab918.d: examples/telemetry.rs
+
+/root/repo/target/release/examples/telemetry-1367adf4eb4ab918: examples/telemetry.rs
+
+examples/telemetry.rs:

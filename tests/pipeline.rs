@@ -40,8 +40,7 @@ fn every_interface_runs_on_some_recommender() {
         exrec::algo::knowledge::Constraint::AtLeast(1990.0),
     )])
     .unwrap();
-    let recommenders: Vec<&dyn Recommender> =
-        vec![&user_knn, &item_knn, &tfidf, &nb, &pop, &maut];
+    let recommenders: Vec<&dyn Recommender> = vec![&user_knn, &item_knn, &tfidf, &nb, &pop, &maut];
 
     for id in InterfaceId::ALL {
         let mut generated = false;
@@ -93,10 +92,7 @@ fn evidence_needs_are_honest() {
             EvidenceNeed::Any => {
                 assert!(outcome.is_ok(), "{id:?} should accept popularity evidence");
             }
-            _ => assert!(
-                outcome.is_err(),
-                "{id:?} should reject popularity evidence"
-            ),
+            _ => assert!(outcome.is_err(), "{id:?} should reject popularity evidence"),
         }
     }
 }
@@ -155,7 +151,10 @@ fn every_domain_world_supports_the_full_pipeline() {
         let explainer = Explainer::new(&pop, InterfaceId::MovieAverage);
         let user = world.ratings.users().next().unwrap();
         let explained = explainer.recommend_explained(&ctx, user, 3);
-        assert!(!explained.is_empty(), "{name}: no explained recommendations");
+        assert!(
+            !explained.is_empty(),
+            "{name}: no explained recommendations"
+        );
         // And the catalog supports faceted browsing on some attribute.
         let browser = exrec::present::facets::FacetBrowser::new(&world.catalog);
         assert!(!browser.facets().is_empty(), "{name}: no facets");

@@ -2,8 +2,8 @@
 
 use exrec::algo::assoc::apriori;
 use exrec::core::templates;
-use exrec::present::treemap::{layout, Layout, Rect, TreemapNode};
 use exrec::prelude::*;
+use exrec::present::treemap::{layout, Layout, Rect, TreemapNode};
 use proptest::prelude::*;
 
 proptest! {

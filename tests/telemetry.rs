@@ -1,0 +1,141 @@
+//! End-to-end telemetry: the metrics a full pipeline run reports must
+//! agree, exactly, with what the pipeline actually did.
+//!
+//! One synthetic world, one instrumented recommender, one explainer per
+//! interface condition — and independently-kept tallies of every
+//! prediction, explanation and abort, checked against the
+//! [`MetricsReport`] snapshot at the end.
+
+use std::sync::Arc;
+
+use exrec::obs::{CountingSubscriber, Metrics, Subscriber, Telemetry};
+use exrec::prelude::*;
+use exrec::types::Error;
+
+fn world() -> World {
+    exrec::data::synth::movies::generate(&WorldConfig {
+        n_users: 50,
+        n_items: 50,
+        density: 0.25,
+        ..WorldConfig::default()
+    })
+}
+
+#[test]
+fn report_counts_match_pipeline_activity() {
+    let w = world();
+    let ctx = Ctx::new(&w.ratings, &w.catalog);
+    let spans = Arc::new(CountingSubscriber::new());
+    let obs = Telemetry::new(
+        Arc::new(Metrics::new()),
+        Arc::clone(&spans) as Arc<dyn Subscriber>,
+    );
+
+    let knn = InstrumentedRecommender::new(UserKnn::default(), &obs);
+    let users: Vec<UserId> = w
+        .ratings
+        .users()
+        .filter(|&u| w.ratings.user_ratings(u).len() >= 4)
+        .take(8)
+        .collect();
+    assert!(users.len() >= 4, "world too sparse for the scenario");
+    let items: Vec<ItemId> = w.catalog.ids().take(12).collect();
+
+    // Ground truth tallies, kept by hand as the pipeline runs.
+    let mut ok_predictions = 0u64;
+    let mut failed_predictions = 0u64;
+    let mut explanations = 0u64;
+    let mut recommend_calls = 0u64;
+
+    // Per-pair predictions straight on the model.
+    for &user in &users {
+        for &item in &items {
+            match knn.predict(&ctx, user, item) {
+                Ok(_) => ok_predictions += 1,
+                Err(_) => failed_predictions += 1,
+            }
+        }
+    }
+
+    // Explained recommendations through a compatible interface.
+    let explainer =
+        Explainer::new(&knn, InterfaceId::ClusteredHistogram).with_telemetry(obs.clone());
+    for &user in &users {
+        explanations += explainer.recommend_explained(&ctx, user, 3).len() as u64;
+        recommend_calls += 1;
+    }
+    assert!(explanations > 0, "no explanation ever fired");
+
+    // A popularity model cannot feed a neighbour histogram: every
+    // attempt must abort with MissingEvidence, and be counted.
+    let pop = InstrumentedRecommender::new(exrec::algo::baseline::Popularity::default(), &obs);
+    let mismatched = Explainer::new(&pop, InterfaceId::Histogram).with_telemetry(obs.clone());
+    let mut aborts = 0u64;
+    for &user in &users[..4] {
+        match mismatched.explain(&ctx, user, items[0]) {
+            Err(Error::MissingEvidence { .. }) => aborts += 1,
+            other => panic!("expected MissingEvidence, got {other:?}"),
+        }
+    }
+
+    let report = obs.report();
+
+    // Algorithm layer: the wrapper saw exactly the calls we made.
+    assert_eq!(report.counters["algo.predict.user-knn"], ok_predictions);
+    assert_eq!(
+        report.counters["algo.predict_err.user-knn"],
+        failed_predictions
+    );
+    assert_eq!(report.counters["algo.recommend.user-knn"], recommend_calls);
+    assert_eq!(
+        report.histograms["algo.predict_ns.user-knn"].count,
+        ok_predictions + failed_predictions
+    );
+    assert!(report.histograms["algo.predict_ns.user-knn"].p99_ns > 0);
+    // The mismatched explainer predicted once per abort attempt.
+    assert_eq!(report.counters["algo.predict.popularity"], aborts);
+
+    // Explanation layer: one fire per explanation delivered, one abort
+    // per mismatched attempt, nothing else.
+    assert_eq!(
+        report.counters["explain.fired.clustered_histogram"],
+        explanations
+    );
+    assert_eq!(report.counters["explain.abort.missing_evidence"], aborts);
+    assert_eq!(
+        report.histograms["span_ns.recommend_explained"].count,
+        recommend_calls
+    );
+
+    // Span events reached the subscriber, tagged with the interface.
+    let events = spans.events();
+    assert_eq!(events.len(), recommend_calls as usize);
+    for event in &events {
+        assert_eq!(event.name, "recommend_explained");
+        assert_eq!(
+            event.fields,
+            vec![("interface".to_owned(), "clustered_histogram".to_owned())]
+        );
+    }
+
+    // The snapshot survives a JSON round-trip intact.
+    let json = serde_json::to_string(&report).expect("report serializes");
+    let back: MetricsReport = serde_json::from_str(&json).expect("report deserializes");
+    assert_eq!(back.counters, report.counters);
+    assert_eq!(back.histograms.len(), report.histograms.len());
+}
+
+#[test]
+fn studies_report_per_aim_telemetry() {
+    let obs = Telemetry::default();
+    let report = exrec::eval::run_study_with(&obs, "e-tra")
+        .expect("E-TRA is a known study id (case-insensitive)");
+    assert_eq!(report.id, "E-TRA");
+
+    let metrics = obs.report();
+    assert_eq!(metrics.counters["eval.studies_run"], 1);
+    assert_eq!(metrics.histograms["eval.study_ns.E-TRA"].count, 1);
+    assert_eq!(metrics.histograms["eval.aim_ns.transparency"].count, 1);
+    assert!(metrics.gauges["eval.users_per_sec.E-TRA"] > 0.0);
+    assert!(exrec::eval::run_study_with(&obs, "E-BOGUS").is_none());
+}

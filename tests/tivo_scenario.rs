@@ -93,14 +93,16 @@ fn the_system_overfits_to_observed_behaviour() {
 #[test]
 fn counter_programming_overcorrects() {
     // Phase 2: Mr. Iwanyk records "guy stuff" to fix it — and the system
-    // simply pivots to the new obsession instead of balancing.
+    // simply pivots to the new obsession instead of balancing. The
+    // counter-programming has to outweigh the original five-movie
+    // history to tip the profile, so he records war movies in bulk.
     let (mut world, user) = world_with_fan("romance");
     let war_items: Vec<ItemId> = world
         .catalog
         .iter()
         .filter(|it| it.attrs.cat("genre") == Some("action"))
         .map(|it| it.id)
-        .take(4) // leave some action items unrated and recommendable
+        .take(8) // leave some action items unrated and recommendable
         .collect();
     for item in &war_items {
         world.ratings.rate(user, *item, 5.0).unwrap();

@@ -1,0 +1,125 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Keeps the same authoring surface — [`Criterion`], benchmark groups,
+//! [`Bencher::iter`], `criterion_group!`/`criterion_main!` — but measures
+//! with a simple wall-clock loop and prints one line per benchmark instead
+//! of doing statistical analysis. Good enough to keep `cargo bench`
+//! compiling and producing comparable relative numbers offline.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver, handed to each registered bench function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: 20,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark and prints its mean per-iteration time.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: self.sample_size as u64,
+            elapsed: Duration::ZERO,
+        };
+        // One untimed pass to warm caches, then the timed run.
+        f(&mut b);
+        b.elapsed = Duration::ZERO;
+        f(&mut b);
+        let per_iter = b.elapsed.as_nanos() / u128::from(b.iters.max(1));
+        println!("  {name}: {per_iter} ns/iter ({} iters)", b.iters);
+        self
+    }
+
+    /// Ends the group. Present for API parity; prints nothing.
+    pub fn finish(&mut self) {}
+}
+
+/// Timer handle passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it a fixed number of iterations.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            let out = routine();
+            std::hint::black_box(&out);
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a benchmark group: a function that runs each listed bench.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, invoking each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(5);
+        let mut calls = 0u64;
+        g.bench_function("count", |b| b.iter(|| calls += 1));
+        g.finish();
+        // Warm-up pass + timed pass, 5 iterations each.
+        assert_eq!(calls, 10);
+    }
+}

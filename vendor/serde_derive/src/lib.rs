@@ -1,0 +1,432 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against
+//! the vendored `serde` stub's `Value` model. Because crates.io (and
+//! therefore `syn`/`quote`) is unreachable, the item is parsed directly
+//! from the `proc_macro` token stream. Supported shapes — the full set
+//! used by this workspace:
+//!
+//! * structs with named fields;
+//! * tuple structs (newtypes serialize as their inner value, matching
+//!   serde; `#[serde(transparent)]` is accepted and equivalent);
+//! * enums with unit, tuple and struct variants (externally tagged).
+//!
+//! Generics are not supported and produce a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct { fields: Vec<String> },
+    TupleStruct { arity: usize },
+    Enum { variants: Vec<Variant> },
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Model {
+    name: String,
+    shape: Shape,
+}
+
+/// Skips one `#[...]` attribute if present; returns whether one was eaten.
+fn skip_attr(tokens: &[TokenTree], pos: &mut usize) -> bool {
+    if let Some(TokenTree::Punct(p)) = tokens.get(*pos) {
+        if p.as_char() == '#' {
+            if let Some(TokenTree::Group(g)) = tokens.get(*pos + 1) {
+                if g.delimiter() == Delimiter::Bracket {
+                    *pos += 2;
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, …) if present.
+fn skip_vis(tokens: &[TokenTree], pos: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*pos) {
+        if id.to_string() == "pub" {
+            *pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Counts the top-level comma-separated chunks of a token sequence,
+/// treating `<`…`>` pairs as nesting (for `Vec<(A, B)>` and friends).
+fn count_chunks(tokens: &[TokenTree]) -> usize {
+    let mut depth = 0i32;
+    let mut chunks = 0usize;
+    let mut in_chunk = false;
+    for t in tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                in_chunk = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                in_chunk = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if in_chunk {
+                    chunks += 1;
+                }
+                in_chunk = false;
+            }
+            _ => in_chunk = true,
+        }
+    }
+    if in_chunk {
+        chunks += 1;
+    }
+    chunks
+}
+
+/// Parses `field: Type, …` (named-field bodies of structs and variants).
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        while skip_attr(&tokens, &mut pos) {}
+        skip_vis(&tokens, &mut pos);
+        let Some(TokenTree::Ident(name)) = tokens.get(pos) else {
+            break;
+        };
+        fields.push(name.to_string());
+        pos += 1;
+        // Expect `:`, then consume the type up to a top-level comma.
+        assert!(
+            matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ':'),
+            "serde_derive stub: expected `:` after field `{}`",
+            fields.last().unwrap()
+        );
+        pos += 1;
+        let mut depth = 0i32;
+        while pos < tokens.len() {
+            match &tokens[pos] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        while skip_attr(&tokens, &mut pos) {}
+        let Some(TokenTree::Ident(name)) = tokens.get(pos) else {
+            break;
+        };
+        let name = name.to_string();
+        pos += 1;
+        let kind = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_chunks(&g.stream().into_iter().collect::<Vec<_>>());
+                pos += 1;
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                pos += 1;
+                VariantKind::Named(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        // Skip to past the next top-level comma.
+        while pos < tokens.len() {
+            if matches!(&tokens[pos], TokenTree::Punct(p) if p.as_char() == ',') {
+                pos += 1;
+                break;
+            }
+            pos += 1;
+        }
+    }
+    variants
+}
+
+fn parse_model(input: TokenStream) -> Model {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    while skip_attr(&tokens, &mut pos) {}
+    skip_vis(&tokens, &mut pos);
+    let keyword = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected `struct` or `enum`, found {other:?}"),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected type name, found {other:?}"),
+    };
+    pos += 1;
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stub: generic type `{name}` is not supported");
+    }
+    let shape = match (keyword.as_str(), tokens.get(pos)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::NamedStruct {
+                fields: parse_named_fields(g.stream()),
+            }
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::TupleStruct {
+                arity: count_chunks(&g.stream().into_iter().collect::<Vec<_>>()),
+            }
+        }
+        ("struct", _) => Shape::TupleStruct { arity: 0 },
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => Shape::Enum {
+            variants: parse_variants(g.stream()),
+        },
+        other => panic!("serde_derive stub: unsupported item shape for `{name}`: {other:?}"),
+    };
+    Model { name, shape }
+}
+
+// --------------------------------------------------------------- codegen
+
+fn gen_serialize(m: &Model) -> String {
+    let name = &m.name;
+    let body = match &m.shape {
+        Shape::NamedStruct { fields } => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Obj(vec![{}])", pairs.join(", "))
+        }
+        Shape::TupleStruct { arity: 0 } => "::serde::Value::Null".to_string(),
+        Shape::TupleStruct { arity: 1 } => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct { arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Arr(vec![{}])", items.join(", "))
+        }
+        Shape::Enum { variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str({vn:?}.to_string()),"
+                        ),
+                        VariantKind::Tuple(arity) => {
+                            let binds: Vec<String> =
+                                (0..*arity).map(|k| format!("f{k}")).collect();
+                            let inner = if *arity == 1 {
+                                "::serde::Serialize::to_value(f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!("::serde::Value::Arr(vec![{}])", items.join(", "))
+                            };
+                            format!(
+                                "{name}::{vn}({binds}) => ::serde::Value::Obj(vec![({vn:?}.to_string(), {inner})]),",
+                                binds = binds.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let pairs: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "({f:?}.to_string(), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {fields} }} => ::serde::Value::Obj(vec![({vn:?}.to_string(), ::serde::Value::Obj(vec![{pairs}]))]),",
+                                fields = fields.join(", "),
+                                pairs = pairs.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+            fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn named_fields_from_obj(type_and_variant: &str, fields: &[String], source: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value({source}.get({f:?}).unwrap_or(&::serde::Value::Null))\
+                 .map_err(|e| ::serde::DeError(format!(\"{type_and_variant}.{f}: {{}}\", e.0)))?"
+            )
+        })
+        .collect();
+    inits.join(", ")
+}
+
+fn gen_deserialize(m: &Model) -> String {
+    let name = &m.name;
+    let body = match &m.shape {
+        Shape::NamedStruct { fields } => {
+            let inits = named_fields_from_obj(name, fields, "v");
+            format!(
+                "match v {{\n\
+                    ::serde::Value::Obj(_) => Ok({name} {{ {inits} }}),\n\
+                    other => Err(::serde::DeError::msg(format!(\n\
+                        \"expected object for {name}, found {{}}\", other.kind()))),\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct { arity: 0 } => format!("{{ let _ = v; Ok({name}) }}"),
+        Shape::TupleStruct { arity: 1 } => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::TupleStruct { arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+                .collect();
+            format!(
+                "match v {{\n\
+                    ::serde::Value::Arr(items) if items.len() == {arity} =>\n\
+                        Ok({name}({items})),\n\
+                    other => Err(::serde::DeError::msg(format!(\n\
+                        \"expected {arity}-element array for {name}, found {{}}\", other.kind()))),\n\
+                 }}",
+                items = items.join(", ")
+            )
+        }
+        Shape::Enum { variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("{vn:?} => Ok({name}::{vn}),", vn = v.name))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "{vn:?} => Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?)),"
+                        )),
+                        VariantKind::Tuple(arity) => {
+                            let items: Vec<String> = (0..*arity)
+                                .map(|k| {
+                                    format!("::serde::Deserialize::from_value(&items[{k}])?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => match inner {{\n\
+                                    ::serde::Value::Arr(items) if items.len() == {arity} =>\n\
+                                        Ok({name}::{vn}({items})),\n\
+                                    other => Err(::serde::DeError::msg(format!(\n\
+                                        \"expected {arity}-element array for {name}::{vn}, found {{}}\",\n\
+                                        other.kind()))),\n\
+                                 }},",
+                                items = items.join(", ")
+                            ))
+                        }
+                        VariantKind::Named(fields) => {
+                            let inits = named_fields_from_obj(
+                                &format!("{name}::{vn}"),
+                                fields,
+                                "inner",
+                            );
+                            Some(format!(
+                                "{vn:?} => match inner {{\n\
+                                    ::serde::Value::Obj(_) => Ok({name}::{vn} {{ {inits} }}),\n\
+                                    other => Err(::serde::DeError::msg(format!(\n\
+                                        \"expected object for {name}::{vn}, found {{}}\",\n\
+                                        other.kind()))),\n\
+                                 }},"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                    ::serde::Value::Str(s) => match s.as_str() {{\n\
+                        {unit_arms}\n\
+                        other => Err(::serde::DeError::msg(format!(\n\
+                            \"unknown unit variant {{other}} for {name}\"))),\n\
+                    }},\n\
+                    ::serde::Value::Obj(fields) if fields.len() == 1 => {{\n\
+                        let (tag, inner) = &fields[0];\n\
+                        match tag.as_str() {{\n\
+                            {tagged_arms}\n\
+                            other => Err(::serde::DeError::msg(format!(\n\
+                                \"unknown variant {{other}} for {name}\"))),\n\
+                        }}\n\
+                    }}\n\
+                    other => Err(::serde::DeError::msg(format!(\n\
+                        \"expected string or single-key object for {name}, found {{}}\",\n\
+                        other.kind()))),\n\
+                 }}",
+                unit_arms = unit_arms.join("\n"),
+                tagged_arms = tagged_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+            fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                {body}\n\
+            }}\n\
+         }}"
+    )
+}
+
+/// Derives `serde::Serialize` (stub).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let model = parse_model(input);
+    gen_serialize(&model)
+        .parse()
+        .expect("serde_derive stub generated invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize` (stub).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let model = parse_model(input);
+    gen_deserialize(&model)
+        .parse()
+        .expect("serde_derive stub generated invalid Deserialize impl")
+}
