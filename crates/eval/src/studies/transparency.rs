@@ -252,13 +252,19 @@ mod tests {
         // Participants who understood should hit above chance. "Chance"
         // for this simulation is the NoExplanation control, where hardly
         // anyone comprehends the system: the explained condition must
-        // shift the whole share distribution past it.
+        // shift the whole share distribution past it — and also clear an
+        // absolute floor, so a regression that collapses comprehension in
+        // both conditions cannot pass on a near-zero control.
         let o = outcome();
         let topic = o.result(InterfaceId::TopicProfile).genre_share.mean;
         let none = o.result(InterfaceId::NoExplanation).genre_share.mean;
         assert!(
             topic > none,
             "topic share {topic:.2} must beat the control's {none:.2}"
+        );
+        assert!(
+            topic > 0.2,
+            "topic share {topic:.2} must clear the absolute comprehension floor of 0.2"
         );
     }
 

@@ -17,8 +17,9 @@ use serde::{Deserialize, Serialize};
 /// above `2^41` ns (~37 minutes).
 pub const N_BUCKETS: usize = 42;
 
-/// Values above this saturate into the top bucket (and clamp the sum so
-/// a hostile sample cannot wrap the accumulator).
+/// Values above this saturate into the top bucket. The clamp bounds each
+/// individual sample; the running sum saturates separately (see
+/// [`Histogram::record_ns`]) so it cannot wrap either.
 pub const MAX_TRACKED_NS: u64 = 1 << (N_BUCKETS - 1);
 
 /// A monotonically increasing event count.
@@ -98,12 +99,18 @@ fn bucket_bound(i: usize) -> u64 {
 }
 
 impl Histogram {
-    /// Records one sample, saturating above [`MAX_TRACKED_NS`].
+    /// Records one sample, saturating above [`MAX_TRACKED_NS`]. The sum
+    /// accumulator saturates at `u64::MAX` rather than wrapping, so the
+    /// reported mean degrades to an underestimate instead of garbage
+    /// after ~4M max-sized samples.
     pub fn record_ns(&self, ns: u64) {
         let ns = ns.min(MAX_TRACKED_NS);
         self.buckets[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        let prev = self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        if prev.checked_add(ns).is_none() {
+            self.sum_ns.store(u64::MAX, Ordering::Relaxed);
+        }
     }
 
     /// Records a [`Duration`] sample.

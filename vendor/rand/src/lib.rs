@@ -26,6 +26,13 @@ impl<R: Rng + ?Sized> Rng for &mut R {
     fn next_u64(&mut self) -> u64 {
         (**self).next_u64()
     }
+
+    // Forwarded so a generator's custom `next_u32` (e.g. ChaCha8Rng
+    // consuming one word) is preserved through a `&mut` reference; the
+    // trait default would consume a full u64 and fork the stream.
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
 }
 
 /// A type that can be sampled uniformly from a range by an [`Rng`].
