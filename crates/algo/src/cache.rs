@@ -1,0 +1,548 @@
+//! Sharded, lock-striped similarity cache for the batch serving path.
+//!
+//! User-based kNN recomputes `sim(u, v)` from the ratings matrix on every
+//! call — the right default for a single conversational session (survey
+//! Section 5.3 re-rates mid-session and must observe the change), but
+//! quadratically wasteful for batch serving: one `recommend` call touches
+//! every rater of every candidate item, and each rater recurs once per
+//! item they rated. [`SimilarityCache`] memoizes symmetric pair
+//! similarities so each pair is computed once per matrix revision.
+//!
+//! Design, sized for the "heavy traffic" north star:
+//!
+//! * **Sharding** — entries are spread over `N` shards by a 64-bit hash
+//!   of the (ordered) pair, each shard behind its own mutex, so
+//!   concurrent batch workers contend only when they hash to the same
+//!   shard (lock striping).
+//! * **LRU per shard** — every entry carries a shard-local access tick;
+//!   a full shard evicts the oldest of a small sampled window (classic
+//!   sampled LRU: O(1) eviction, no intrusive lists on the hit path).
+//! * **Revision invalidation** — entries are valid for exactly one
+//!   [`exrec_data::RatingsMatrix::revision`]. A shard touched with a
+//!   newer revision clears itself lazily; there is no epoch scan and no
+//!   global pause. Stale reads are therefore impossible by construction,
+//!   which is what keeps cached results bit-identical to uncached ones.
+//! * **Observability** — hit/miss/eviction/invalidation counters are
+//!   `exrec-obs` [`Counter`]s; build with
+//!   [`SimilarityCache::instrumented`] to surface them in a shared
+//!   [`Metrics`] registry (`cache.<name>.hits`, …).
+//!
+//! The cache stores whatever `f64` the compute closure produced, so a
+//! cached model returns *bit-identical* scores to an uncached one — the
+//! property the batch determinism tests assert.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+use exrec_obs::{Counter, Metrics};
+use parking_lot::Mutex;
+
+/// A SplitMix64 hasher for the fixed-width pair keys. The default
+/// SipHash is DoS-resistant but costs more than the similarity lookup it
+/// guards; ids here are dense internal u32s, not attacker-controlled.
+#[derive(Default)]
+struct PairHasher(u64);
+
+impl Hasher for PairHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        // Keys hash via `write_u32` below; this path is only hit by
+        // exotic key types and stays correct, just slower.
+        for &b in bytes {
+            self.0 = splitmix64(self.0 ^ u64::from(b));
+        }
+    }
+
+    fn write_u32(&mut self, n: u32) {
+        self.0 = (self.0 << 32) | u64::from(n);
+    }
+
+    fn finish(&self) -> u64 {
+        splitmix64(self.0)
+    }
+}
+
+type PairMap = HashMap<(u32, u32), usize, BuildHasherDefault<PairHasher>>;
+
+/// How many resident entries an eviction inspects when choosing a
+/// victim. Sampled LRU: evict the oldest tick among a small window.
+const EVICTION_SAMPLE: usize = 8;
+
+/// Configuration for a [`SimilarityCache`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of lock-striped shards. Rounded up to at least 1; use a
+    /// power of two for the cheapest shard selection.
+    pub shards: usize,
+    /// Maximum entries per shard; the cache holds at most
+    /// `shards × capacity_per_shard` similarities.
+    pub capacity_per_shard: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self {
+            shards: 64,
+            capacity_per_shard: 8192,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// A config sized to hold roughly `entries` similarities in total.
+    pub fn with_capacity(entries: usize) -> Self {
+        let shards = 64;
+        Self {
+            shards,
+            capacity_per_shard: entries.div_ceil(shards).max(1),
+        }
+    }
+}
+
+/// One resident similarity.
+struct Entry {
+    key: (u32, u32),
+    value: f64,
+    /// Shard-local logical clock at last access.
+    tick: u64,
+}
+
+/// One lock stripe: an open-addressed index over a dense slab.
+struct Shard {
+    /// Key → slot in `entries`.
+    index: PairMap,
+    /// Dense entry slab; eviction swap-removes.
+    entries: Vec<Entry>,
+    /// Logical clock, bumped on every access.
+    tick: u64,
+    /// Rotating eviction cursor (start of the next sample window).
+    cursor: usize,
+    /// Matrix revision the resident entries were computed against.
+    revision: u64,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            index: PairMap::default(),
+            entries: Vec::new(),
+            tick: 0,
+            cursor: 0,
+            revision: 0,
+        }
+    }
+
+    /// Clears the shard if it holds entries for an older revision.
+    /// Returns `true` when an invalidation happened.
+    fn sync_revision(&mut self, revision: u64) -> bool {
+        if self.revision == revision {
+            return false;
+        }
+        let had_entries = !self.entries.is_empty();
+        self.index.clear();
+        self.entries.clear();
+        self.revision = revision;
+        had_entries
+    }
+
+    fn get(&mut self, key: (u32, u32)) -> Option<f64> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.index.get(&key).map(|&slot| {
+            let entry = &mut self.entries[slot];
+            entry.tick = tick;
+            entry.value
+        })
+    }
+
+    /// Inserts or refreshes an entry, evicting when at `capacity`.
+    /// Returns `true` when an eviction happened.
+    fn insert(&mut self, key: (u32, u32), value: f64, capacity: usize) -> bool {
+        self.tick += 1;
+        if let Some(&slot) = self.index.get(&key) {
+            let entry = &mut self.entries[slot];
+            entry.value = value;
+            entry.tick = self.tick;
+            return false;
+        }
+        let evicted = if self.entries.len() >= capacity {
+            self.evict_one();
+            true
+        } else {
+            false
+        };
+        self.index.insert(key, self.entries.len());
+        self.entries.push(Entry {
+            key,
+            value,
+            tick: self.tick,
+        });
+        evicted
+    }
+
+    /// Removes the least-recently-used entry of a small sampled window.
+    fn evict_one(&mut self) {
+        let n = self.entries.len();
+        debug_assert!(n > 0);
+        let start = self.cursor % n;
+        let mut victim = start;
+        for offset in 1..EVICTION_SAMPLE.min(n) {
+            let probe = (start + offset) % n;
+            if self.entries[probe].tick < self.entries[victim].tick {
+                victim = probe;
+            }
+        }
+        self.cursor = (start + EVICTION_SAMPLE) % n.max(1);
+        let removed = self.entries.swap_remove(victim);
+        self.index.remove(&removed.key);
+        // The former tail now lives in the victim's slot.
+        if victim < self.entries.len() {
+            let moved_key = self.entries[victim].key;
+            self.index.insert(moved_key, victim);
+        }
+    }
+}
+
+/// Point-in-time counters of a [`SimilarityCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute.
+    pub misses: u64,
+    /// Entries displaced by capacity pressure.
+    pub evictions: u64,
+    /// Shard clears triggered by a revision change.
+    pub invalidations: u64,
+    /// Currently resident entries, summed over shards.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups (0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A sharded, revision-aware cache of symmetric pair similarities.
+///
+/// Keys are unordered `(u32, u32)` id pairs — user ids for user-user
+/// similarity, item ids for item-item — normalized internally, so
+/// `sim(a, b)` and `sim(b, a)` share one entry. Values are valid for a
+/// single ratings-matrix revision; see the module docs for the
+/// invalidation story.
+///
+/// ```
+/// use exrec_algo::cache::{CacheConfig, SimilarityCache};
+///
+/// let cache = SimilarityCache::new(CacheConfig::default());
+/// let v = cache.get_or_compute(3, 7, 0, || 0.25);
+/// assert_eq!(v, 0.25);
+/// // Second lookup (either orientation) is a hit: no recompute.
+/// let v = cache.get_or_compute(7, 3, 0, || unreachable!());
+/// assert_eq!(v, 0.25);
+/// assert_eq!(cache.stats().hits, 1);
+/// // A new revision invalidates.
+/// let v = cache.get_or_compute(3, 7, 1, || -1.0);
+/// assert_eq!(v, -1.0);
+/// ```
+pub struct SimilarityCache {
+    shards: Vec<Mutex<Shard>>,
+    capacity_per_shard: usize,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    invalidations: Counter,
+}
+
+impl std::fmt::Debug for SimilarityCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimilarityCache")
+            .field("shards", &self.shards.len())
+            .field("capacity_per_shard", &self.capacity_per_shard)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// SplitMix64 finalizer: cheap, well-mixed.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Shard-selection hash for an ordered pair key.
+fn mix(key: (u32, u32)) -> u64 {
+    splitmix64((u64::from(key.0) << 32) | u64::from(key.1))
+}
+
+impl SimilarityCache {
+    /// Builds a cache with standalone (unregistered) counters.
+    pub fn new(config: CacheConfig) -> Self {
+        let n = config.shards.max(1);
+        SimilarityCache {
+            shards: (0..n).map(|_| Mutex::new(Shard::new())).collect(),
+            capacity_per_shard: config.capacity_per_shard.max(1),
+            hits: Counter::default(),
+            misses: Counter::default(),
+            evictions: Counter::default(),
+            invalidations: Counter::default(),
+        }
+    }
+
+    /// Builds a cache whose counters live in `metrics` under
+    /// `cache.<name>.{hits,misses,evictions,invalidations}`, so snapshots
+    /// and the `repro`/`serve_bench` telemetry dumps include them.
+    pub fn instrumented(config: CacheConfig, metrics: &Metrics, name: &str) -> Self {
+        let mut cache = Self::new(config);
+        cache.hits = metrics.counter(&format!("cache.{name}.hits"));
+        cache.misses = metrics.counter(&format!("cache.{name}.misses"));
+        cache.evictions = metrics.counter(&format!("cache.{name}.evictions"));
+        cache.invalidations = metrics.counter(&format!("cache.{name}.invalidations"));
+        cache
+    }
+
+    /// Number of lock stripes.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_and_key(&self, a: u32, b: u32) -> (&Mutex<Shard>, (u32, u32)) {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        let shard = (mix(key) as usize) % self.shards.len();
+        (&self.shards[shard], key)
+    }
+
+    /// The cached similarity for the unordered pair `(a, b)` at
+    /// `revision`, if resident.
+    pub fn get(&self, a: u32, b: u32, revision: u64) -> Option<f64> {
+        let (shard, key) = self.shard_and_key(a, b);
+        let mut guard = shard.lock();
+        if guard.sync_revision(revision) {
+            self.invalidations.incr();
+        }
+        let found = guard.get(key);
+        drop(guard);
+        match found {
+            Some(v) => {
+                self.hits.incr();
+                Some(v)
+            }
+            None => {
+                self.misses.incr();
+                None
+            }
+        }
+    }
+
+    /// Stores a similarity for the unordered pair `(a, b)` at `revision`.
+    pub fn insert(&self, a: u32, b: u32, revision: u64, value: f64) {
+        let (shard, key) = self.shard_and_key(a, b);
+        let mut guard = shard.lock();
+        if guard.sync_revision(revision) {
+            self.invalidations.incr();
+        }
+        if guard.insert(key, value, self.capacity_per_shard) {
+            self.evictions.incr();
+        }
+    }
+
+    /// Returns the cached value or computes, stores and returns it.
+    ///
+    /// The shard lock is *not* held while `compute` runs, so two workers
+    /// racing on the same cold pair may both compute; both arrive at the
+    /// same deterministic value, so last-write-wins is harmless. This
+    /// keeps similarity computation (which walks the ratings matrix) out
+    /// of the critical section.
+    pub fn get_or_compute(
+        &self,
+        a: u32,
+        b: u32,
+        revision: u64,
+        compute: impl FnOnce() -> f64,
+    ) -> f64 {
+        if let Some(v) = self.get(a, b, revision) {
+            return v;
+        }
+        let v = compute();
+        self.insert(a, b, revision, v);
+        v
+    }
+
+    /// Drops every resident entry (counters are preserved).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut guard = shard.lock();
+            guard.index.clear();
+            guard.entries.clear();
+        }
+    }
+
+    /// Currently resident entries, summed over shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().entries.len()).sum()
+    }
+
+    /// Whether no entry is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the hit/miss/eviction/invalidation counters plus the
+    /// resident-entry count.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
+            invalidations: self.invalidations.get(),
+            entries: self.len(),
+        }
+    }
+}
+
+impl Default for SimilarityCache {
+    fn default() -> Self {
+        Self::new(CacheConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn hit_after_miss_and_symmetry() {
+        let cache = SimilarityCache::new(CacheConfig::default());
+        assert_eq!(cache.get(1, 2, 0), None);
+        cache.insert(1, 2, 0, 0.5);
+        assert_eq!(cache.get(2, 1, 0), Some(0.5), "pair key is unordered");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn revision_change_invalidates_lazily() {
+        let cache = SimilarityCache::new(CacheConfig {
+            shards: 1,
+            capacity_per_shard: 16,
+        });
+        cache.insert(1, 2, 0, 0.5);
+        assert_eq!(cache.get(1, 2, 1), None, "old revision must not leak");
+        assert_eq!(cache.stats().invalidations, 1);
+        // The shard is now on revision 1 and usable again.
+        cache.insert(1, 2, 1, -0.5);
+        assert_eq!(cache.get(1, 2, 1), Some(-0.5));
+    }
+
+    #[test]
+    fn capacity_is_enforced_with_lru_bias() {
+        let cache = SimilarityCache::new(CacheConfig {
+            shards: 1,
+            capacity_per_shard: 8,
+        });
+        for i in 0..8 {
+            cache.insert(i, 1000, 0, i as f64);
+        }
+        // Touch key 0 so it is the hottest entry.
+        assert!(cache.get(0, 1000, 0).is_some());
+        for i in 8..64 {
+            cache.insert(i, 1000, 0, i as f64);
+        }
+        let s = cache.stats();
+        assert_eq!(s.entries, 8, "shard never exceeds capacity");
+        assert_eq!(s.evictions, 56);
+    }
+
+    #[test]
+    fn get_or_compute_runs_closure_once_per_revision() {
+        let cache = SimilarityCache::new(CacheConfig::default());
+        let mut calls = 0;
+        let v = cache.get_or_compute(9, 4, 7, || {
+            calls += 1;
+            0.25
+        });
+        assert_eq!((v, calls), (0.25, 1));
+        let v = cache.get_or_compute(4, 9, 7, || {
+            calls += 1;
+            f64::NAN
+        });
+        assert_eq!((v, calls), (0.25, 1), "second lookup must not compute");
+    }
+
+    #[test]
+    fn clear_preserves_counters() {
+        let cache = SimilarityCache::default();
+        cache.insert(1, 2, 0, 1.0);
+        assert_eq!(cache.len(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+        cache.insert(1, 2, 0, 2.0);
+        assert_eq!(cache.get(1, 2, 0), Some(2.0));
+    }
+
+    #[test]
+    fn instrumented_counters_reach_the_registry() {
+        let metrics = Metrics::new();
+        let cache = SimilarityCache::instrumented(CacheConfig::default(), &metrics, "user_sim");
+        cache.get_or_compute(1, 2, 0, || 0.5);
+        cache.get_or_compute(1, 2, 0, || unreachable!());
+        let report = metrics.report();
+        assert_eq!(report.counters["cache.user_sim.hits"], 1);
+        assert_eq!(report.counters["cache.user_sim.misses"], 1);
+        assert_eq!(report.counters["cache.user_sim.evictions"], 0);
+    }
+
+    /// Loom-style interleaving smoke test: many threads hammer a tiny,
+    /// highly contended cache with overlapping keys and mixed revisions.
+    /// We cannot enumerate interleavings without the real loom crate, but
+    /// we can assert the invariants every interleaving must preserve.
+    #[test]
+    fn concurrent_hammer_preserves_invariants() {
+        let cache = Arc::new(SimilarityCache::new(CacheConfig {
+            shards: 4,
+            capacity_per_shard: 32,
+        }));
+        let threads = 8;
+        let per_thread = 2_000u32;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        let a = (i + t) % 64;
+                        let b = (i * 7 + t) % 64;
+                        let rev = u64::from(i / 1000); // two revisions
+                        let v = cache.get_or_compute(a, b, rev, || {
+                            f64::from(a.min(b)) + f64::from(a.max(b)) / 100.0
+                        });
+                        // Whatever interleaving happened, the value must
+                        // be the deterministic function of the key.
+                        let expect = f64::from(a.min(b)) + f64::from(a.max(b)) / 100.0;
+                        assert_eq!(v.to_bits(), expect.to_bits());
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = cache.stats();
+        assert_eq!(
+            s.hits + s.misses,
+            u64::from(per_thread) * threads as u64,
+            "every lookup is counted exactly once"
+        );
+        assert!(s.entries <= 4 * 32, "capacity holds under contention");
+        assert!(s.invalidations >= 1, "revision flip must invalidate");
+    }
+}

@@ -22,12 +22,29 @@
 //! Every model can return typed [`ModelEvidence`] for a `(user, item)`
 //! pair — the raw material the explanation engine (`exrec-core`) renders
 //! into the survey's explanation interfaces.
+//!
+//! ## Serving at scale
+//!
+//! Two modules turn the one-user-at-a-time substrates into a batch
+//! serving path (see `docs/architecture.md` for the request lifecycle
+//! and `docs/benchmarking.md` for measured throughput):
+//!
+//! * [`batch`] — [`Recommender::recommend_batch`] plus
+//!   [`batch::BatchPool`], a work-stealing thread pool distributing
+//!   request chunks over crossbeam-style MPMC channels; results are
+//!   bit-identical to the sequential path under any thread count;
+//! * [`cache`] — [`cache::SimilarityCache`], a sharded, lock-striped,
+//!   revision-invalidated LRU memo of pair similarities that
+//!   [`UserKnn::with_cache`] consults instead of re-walking the ratings
+//!   matrix; hit/miss/eviction counters export through `exrec-obs`.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod assoc;
 pub mod baseline;
+pub mod batch;
+pub mod cache;
 pub mod content;
 pub mod hybrid;
 pub mod instrument;
@@ -40,6 +57,8 @@ pub mod recommender;
 pub mod similarity;
 pub mod user_knn;
 
+pub use batch::BatchPool;
+pub use cache::SimilarityCache;
 pub use instrument::InstrumentedRecommender;
 pub use item_knn::ItemKnn;
 pub use recommender::{Ctx, ModelEvidence, Recommender, Scored};

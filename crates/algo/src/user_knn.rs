@@ -9,6 +9,9 @@
 //! over the top-k most similar users who rated `i`. Confidence grows with
 //! the number of contributing neighbours and their agreement.
 
+use std::sync::Arc;
+
+use crate::cache::SimilarityCache;
 use crate::neighbors::top_k_by;
 use crate::recommender::{Ctx, ModelEvidence, NeighborContribution, Recommender};
 use crate::similarity::{self, Similarity};
@@ -41,12 +44,19 @@ impl Default for UserKnnConfig {
     }
 }
 
-/// User-based kNN recommender. Stateless: similarities are computed
-/// against the live ratings matrix on every call, so mid-session re-rating
-/// (survey Section 5.3) is observed immediately.
+/// User-based kNN recommender. Stateless by default: similarities are
+/// computed against the live ratings matrix on every call, so mid-session
+/// re-rating (survey Section 5.3) is observed immediately.
+///
+/// For batch serving, attach a shared [`SimilarityCache`] with
+/// [`UserKnn::with_cache`]: pair similarities are then memoized per
+/// ratings-matrix revision. Because the cache stores the exact computed
+/// value and self-invalidates when the matrix mutates, cached predictions
+/// stay bit-identical to uncached ones — including after re-rating.
 #[derive(Debug, Clone, Default)]
 pub struct UserKnn {
     config: UserKnnConfig,
+    cache: Option<Arc<SimilarityCache>>,
 }
 
 impl UserKnn {
@@ -62,7 +72,10 @@ impl UserKnn {
                 constraint: "k >= 1".to_owned(),
             });
         }
-        Ok(Self { config })
+        Ok(Self {
+            config,
+            cache: None,
+        })
     }
 
     /// The configuration in use.
@@ -70,7 +83,28 @@ impl UserKnn {
         &self.config
     }
 
+    /// Attaches a shared user–user similarity cache. Clones of the same
+    /// `Arc` (e.g. one per batch worker's model handle) share entries.
+    pub fn with_cache(mut self, cache: Arc<SimilarityCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached similarity cache, if any.
+    pub fn cache(&self) -> Option<&Arc<SimilarityCache>> {
+        self.cache.as_ref()
+    }
+
     fn similarity(&self, ctx: &Ctx<'_>, a: UserId, b: UserId) -> f64 {
+        match &self.cache {
+            Some(cache) => cache.get_or_compute(a.raw(), b.raw(), ctx.ratings.revision(), || {
+                self.similarity_uncached(ctx, a, b)
+            }),
+            None => self.similarity_uncached(ctx, a, b),
+        }
+    }
+
+    fn similarity_uncached(&self, ctx: &Ctx<'_>, a: UserId, b: UserId) -> f64 {
         let co = ctx.ratings.co_rated(a, b);
         if co.len() < self.config.min_overlap {
             return 0.0;

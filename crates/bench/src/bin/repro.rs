@@ -11,6 +11,9 @@
 //! repro --emulations    # the ten Table 4 live emulations
 //! repro --json DIR      # also dump study reports (and telemetry) as
 //!                       # JSON into DIR
+//! repro --parallel [N]  # fan the full study suite out over N worker
+//!                       # threads (default: available parallelism);
+//!                       # reports are identical to the sequential run
 //! ```
 //!
 //! Studies run under an `exrec-obs` telemetry registry; whenever at
@@ -81,6 +84,7 @@ fn print_emulations() {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json_dir: Option<String> = None;
+    let mut parallel: Option<usize> = None;
     let mut actions: Vec<(String, String)> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -105,6 +109,18 @@ fn main() {
                 json_dir = Some(args[i + 1].clone());
                 i += 2;
             }
+            "--parallel" => {
+                // Optional numeric argument; 0 = available parallelism.
+                if i + 1 < args.len() {
+                    if let Ok(n) = args[i + 1].parse::<usize>() {
+                        parallel = Some(n);
+                        i += 2;
+                        continue;
+                    }
+                }
+                parallel = Some(0);
+                i += 1;
+            }
             "--all" => {
                 i += 1;
             }
@@ -124,10 +140,22 @@ fn main() {
         for f in 1..=3 {
             print_figure(f);
         }
-        for id in ALL_STUDIES {
-            let report = exrec_eval::run_study_with(&telemetry, id).expect("known id");
-            println!("{}", report.render_ascii());
-            reports.push(report);
+        match parallel {
+            Some(threads) => {
+                // Run the whole suite on the worker pool, then print in
+                // canonical order (reports are scheduling-independent).
+                reports = exrec_eval::run_all_studies_with_threads(&telemetry, threads);
+                for report in &reports {
+                    println!("{}", report.render_ascii());
+                }
+            }
+            None => {
+                for id in ALL_STUDIES {
+                    let report = exrec_eval::run_study_with(&telemetry, id).expect("known id");
+                    println!("{}", report.render_ascii());
+                    reports.push(report);
+                }
+            }
         }
         print_emulations();
     } else {

@@ -1,0 +1,315 @@
+//! `serve_bench` — the serving-path throughput baseline.
+//!
+//! Measures the same top-k recommendation workload three ways on
+//! synthetic catalogs, and records the repo's first performance
+//! trajectory point (`BENCH_serve.json`, see `docs/benchmarking.md`):
+//!
+//! 1. **sequential** — one `Recommender::recommend` call per user on one
+//!    thread, similarities recomputed from scratch (the pre-batch
+//!    serving path);
+//! 2. **batch** — the same model fanned out over the work-stealing
+//!    [`BatchPool`];
+//! 3. **batch_cached** — the batch path with a sharded
+//!    [`SimilarityCache`] attached, so each user-pair similarity is
+//!    computed once per matrix revision.
+//!
+//! Every mode serves the identical user list and the harness asserts the
+//! per-user results are **bit-identical** across modes before reporting
+//! throughput — a speedup that changes answers is a bug, not a result.
+//!
+//! ```text
+//! serve_bench                  # full run: 10k- and 100k-user workloads
+//! serve_bench --quick          # CI smoke: small 10k-user workload only
+//! serve_bench --threads 8      # worker threads (default: all cores)
+//! serve_bench --out PATH       # report path (default: BENCH_serve.json)
+//! ```
+//!
+//! Exit code is non-zero if any mode disagrees with the sequential
+//! reference, so CI's smoke run doubles as a determinism check.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use exrec_algo::batch::BatchPool;
+use exrec_algo::cache::{CacheConfig, SimilarityCache};
+use exrec_algo::{Ctx, Recommender, Scored, UserKnn};
+use exrec_data::synth::{movies, WorldConfig};
+use exrec_obs::Telemetry;
+use exrec_types::UserId;
+use serde::Serialize;
+
+/// One synthetic serving workload.
+struct Workload {
+    name: &'static str,
+    n_users: usize,
+    n_items: usize,
+    density: f64,
+    /// Users served per mode.
+    requests: usize,
+    /// Top-k size per request.
+    k: usize,
+}
+
+const FULL: &[Workload] = &[
+    Workload {
+        name: "synthetic-10k",
+        n_users: 10_000,
+        n_items: 400,
+        density: 0.05,
+        requests: 24,
+        k: 10,
+    },
+    Workload {
+        name: "synthetic-100k",
+        n_users: 100_000,
+        n_items: 500,
+        density: 0.1,
+        requests: 8,
+        k: 10,
+    },
+];
+
+const QUICK: &[Workload] = &[Workload {
+    name: "synthetic-10k-quick",
+    n_users: 10_000,
+    n_items: 400,
+    density: 0.05,
+    requests: 8,
+    k: 10,
+}];
+
+#[derive(Serialize)]
+struct CacheReport {
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    invalidations: u64,
+    entries: usize,
+    hit_rate: f64,
+}
+
+#[derive(Serialize)]
+struct ModeReport {
+    requests: usize,
+    threads: usize,
+    total_ms: f64,
+    requests_per_sec: f64,
+    /// Per-user results equal the sequential reference, bit for bit.
+    identical_to_sequential: bool,
+    /// Cache counters; `null` for the uncached modes.
+    cache: Option<CacheReport>,
+}
+
+#[derive(Serialize)]
+struct WorkloadReport {
+    name: &'static str,
+    n_users: usize,
+    n_items: usize,
+    n_ratings: usize,
+    k: usize,
+    sequential: ModeReport,
+    batch: ModeReport,
+    batch_cached: ModeReport,
+    speedup_batch_vs_sequential: f64,
+    speedup_batch_cached_vs_sequential: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    benchmark: &'static str,
+    quick: bool,
+    threads: usize,
+    workloads: Vec<WorkloadReport>,
+}
+
+/// Times `run` and folds the outcome into a [`ModeReport`].
+fn measure(
+    requests: usize,
+    threads: usize,
+    reference: Option<&[Vec<Scored>]>,
+    run: impl FnOnce() -> Vec<Vec<Scored>>,
+) -> (ModeReport, Vec<Vec<Scored>>) {
+    let started = Instant::now();
+    let results = run();
+    let elapsed = started.elapsed();
+    let total_ms = elapsed.as_secs_f64() * 1e3;
+    let report = ModeReport {
+        requests,
+        threads,
+        total_ms,
+        requests_per_sec: requests as f64 / elapsed.as_secs_f64(),
+        identical_to_sequential: reference.map(|r| r == results.as_slice()).unwrap_or(true),
+        cache: None,
+    };
+    (report, results)
+}
+
+fn run_workload(w: &Workload, threads: usize, telemetry: &Telemetry) -> WorkloadReport {
+    eprintln!(
+        "[serve_bench] generating {}: {} users x {} items @ density {}",
+        w.name, w.n_users, w.n_items, w.density
+    );
+    let world = movies::generate(&WorldConfig {
+        n_users: w.n_users,
+        n_items: w.n_items,
+        density: w.density,
+        seed: 0xBE_AC,
+        ..WorldConfig::default()
+    });
+    let ctx = Ctx::new(&world.ratings, &world.catalog);
+    eprintln!(
+        "[serve_bench]   generated {} ratings (revision {})",
+        world.ratings.n_ratings(),
+        world.ratings.revision()
+    );
+
+    // Deterministic request mix: users spread evenly over the id space.
+    let stride = (w.n_users / w.requests).max(1);
+    let users: Vec<UserId> = (0..w.requests)
+        .map(|r| UserId::new(((r * stride) % w.n_users) as u32))
+        .collect();
+
+    let uncached = UserKnn::default();
+
+    eprintln!("[serve_bench]   mode 1/3: sequential (uncached, 1 thread)");
+    let (sequential, reference) = measure(users.len(), 1, None, || {
+        uncached.recommend_batch(&ctx, &users, w.k)
+    });
+
+    eprintln!("[serve_bench]   mode 2/3: batch ({threads} threads, uncached)");
+    let pool = BatchPool::new(threads).with_telemetry(telemetry.clone());
+    let (batch, _) = measure(users.len(), threads, Some(&reference), || {
+        pool.recommend_batch(&uncached, &ctx, &users, w.k)
+    });
+
+    eprintln!("[serve_bench]   mode 3/3: batch + sharded similarity cache");
+    let cache = Arc::new(SimilarityCache::instrumented(
+        CacheConfig {
+            shards: 64,
+            capacity_per_shard: 32_768,
+        },
+        telemetry.metrics(),
+        w.name,
+    ));
+    let cached_model = UserKnn::default().with_cache(Arc::clone(&cache));
+    let (mut batch_cached, _) = measure(users.len(), threads, Some(&reference), || {
+        pool.recommend_batch(&cached_model, &ctx, &users, w.k)
+    });
+    let stats = cache.stats();
+    batch_cached.cache = Some(CacheReport {
+        hits: stats.hits,
+        misses: stats.misses,
+        evictions: stats.evictions,
+        invalidations: stats.invalidations,
+        entries: stats.entries,
+        hit_rate: stats.hit_rate(),
+    });
+
+    WorkloadReport {
+        name: w.name,
+        n_users: w.n_users,
+        n_items: w.n_items,
+        n_ratings: world.ratings.n_ratings(),
+        k: w.k,
+        speedup_batch_vs_sequential: batch.requests_per_sec / sequential.requests_per_sec,
+        speedup_batch_cached_vs_sequential: batch_cached.requests_per_sec
+            / sequential.requests_per_sec,
+        sequential,
+        batch,
+        batch_cached,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out = "BENCH_serve.json".to_owned();
+    let mut threads = 0usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {
+                quick = true;
+                i += 1;
+            }
+            "--out" => {
+                if i + 1 >= args.len() {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                }
+                out = args[i + 1].clone();
+                i += 2;
+            }
+            "--threads" => {
+                let parsed = args.get(i + 1).and_then(|a| a.parse::<usize>().ok());
+                match parsed {
+                    Some(n) => threads = n,
+                    None => {
+                        eprintln!("--threads requires a number");
+                        std::process::exit(2);
+                    }
+                }
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument {other}; usage: serve_bench [--quick] [--threads N] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let threads = if threads == 0 {
+        exrec_algo::batch::default_threads()
+    } else {
+        threads
+    };
+
+    let telemetry = Telemetry::default();
+    let workloads: Vec<WorkloadReport> = if quick { QUICK } else { FULL }
+        .iter()
+        .map(|w| run_workload(w, threads, &telemetry))
+        .collect();
+
+    let mut ok = true;
+    for w in &workloads {
+        println!(
+            "{:<20} seq {:>8.2} req/s | batch {:>8.2} req/s ({:.2}x) | batch+cache {:>8.2} req/s ({:.2}x, hit rate {:.1}%)",
+            w.name,
+            w.sequential.requests_per_sec,
+            w.batch.requests_per_sec,
+            w.speedup_batch_vs_sequential,
+            w.batch_cached.requests_per_sec,
+            w.speedup_batch_cached_vs_sequential,
+            w.batch_cached
+                .cache
+                .as_ref()
+                .map(|c| c.hit_rate * 100.0)
+                .unwrap_or(0.0),
+        );
+        if !w.batch.identical_to_sequential || !w.batch_cached.identical_to_sequential {
+            eprintln!(
+                "[serve_bench] ERROR: {} results diverged from the sequential reference",
+                w.name
+            );
+            ok = false;
+        }
+    }
+
+    let report = BenchReport {
+        benchmark: "serve_bench",
+        quick,
+        threads,
+        workloads,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize bench report");
+    std::fs::write(&out, json + "\n").expect("write bench report");
+    println!("wrote {out}");
+
+    let metrics = telemetry.report();
+    if !metrics.is_empty() {
+        println!("{}", metrics.render_ascii());
+    }
+
+    if !ok {
+        std::process::exit(1);
+    }
+}

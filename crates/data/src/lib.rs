@@ -11,6 +11,14 @@
 //! the gap between a user's pre-consumption estimate and their true
 //! post-consumption liking, which only a generative world model can
 //! provide.
+//!
+//! The [`RatingsMatrix`] additionally carries a monotone *revision
+//! counter* ([`RatingsMatrix::revision`]) bumped by every successful
+//! mutation. Derived caches — most prominently the sharded similarity
+//! cache in `exrec-algo` — key their entries to it, which makes cache
+//! invalidation lazy, exact, and free when nothing changed. The counter
+//! is deliberately excluded from equality: two matrices with the same
+//! content compare equal regardless of their edit histories.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

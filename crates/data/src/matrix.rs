@@ -23,7 +23,7 @@ use exrec_types::{Error, ItemId, Rating, RatingScale, Result, UserId};
 /// assert_eq!(m.n_ratings(), 0);
 /// # Ok::<(), exrec_types::Error>(())
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct RatingsMatrix {
     scale: RatingScale,
     /// `by_user[u]` = sorted `(item, value)` pairs.
@@ -32,6 +32,22 @@ pub struct RatingsMatrix {
     by_item: Vec<Vec<(UserId, f64)>>,
     n_ratings: usize,
     sum: f64,
+    /// Bumped on every mutation; lets derived state (similarity caches,
+    /// fitted models) detect that the matrix has changed underneath them.
+    revision: u64,
+}
+
+/// Equality compares *content* (scale and ratings), not the revision
+/// counter: a decoded snapshot equals the matrix it encoded even though
+/// their mutation histories differ.
+impl PartialEq for RatingsMatrix {
+    fn eq(&self, other: &Self) -> bool {
+        self.scale == other.scale
+            && self.by_user == other.by_user
+            && self.by_item == other.by_item
+            && self.n_ratings == other.n_ratings
+            && self.sum == other.sum
+    }
 }
 
 impl RatingsMatrix {
@@ -44,7 +60,21 @@ impl RatingsMatrix {
             by_item: vec![Vec::new(); n_items],
             n_ratings: 0,
             sum: 0.0,
+            revision: 0,
         }
+    }
+
+    /// Monotone mutation counter: incremented by every call that changes
+    /// stored ratings ([`RatingsMatrix::rate`] / [`RatingsMatrix::unrate`]).
+    ///
+    /// Consumers that derive state from the matrix — the sharded
+    /// similarity cache in `exrec-algo`, fitted item-item tables — record
+    /// the revision they computed against and treat a mismatch as "the
+    /// world moved, recompute". Cloning preserves the current value;
+    /// revisions are comparable only within one matrix's lineage.
+    #[inline]
+    pub fn revision(&self) -> u64 {
+        self.revision
     }
 
     /// The rating scale.
@@ -153,6 +183,7 @@ impl RatingsMatrix {
                 self.sum += v;
             }
         }
+        self.revision += 1;
         Ok(prev)
     }
 
@@ -177,6 +208,7 @@ impl RatingsMatrix {
             }
             self.n_ratings -= 1;
             self.sum -= v;
+            self.revision += 1;
         }
         Ok(removed)
     }
@@ -414,6 +446,34 @@ mod tests {
         assert_eq!(m.n_users(), 10);
         assert_eq!(m.n_items(), 10);
         assert!(m.rate(UserId(9), ItemId(9), 1.0).is_ok());
+    }
+
+    #[test]
+    fn revision_tracks_mutations_but_not_equality() {
+        let mut m = RatingsMatrix::new(2, 2, RatingScale::FIVE_STAR);
+        assert_eq!(m.revision(), 0);
+        m.rate(UserId(0), ItemId(0), 4.0).unwrap();
+        let r1 = m.revision();
+        assert!(r1 > 0);
+        // Re-rating and unrating both advance the revision.
+        m.rate(UserId(0), ItemId(0), 2.0).unwrap();
+        assert!(m.revision() > r1);
+        let r2 = m.revision();
+        m.unrate(UserId(0), ItemId(0)).unwrap();
+        assert!(m.revision() > r2);
+        // Unrating an absent pair and failed mutations change nothing.
+        let r3 = m.revision();
+        m.unrate(UserId(0), ItemId(1)).unwrap();
+        assert!(m.rate(UserId(0), ItemId(0), 3.5).is_err());
+        assert_eq!(m.revision(), r3);
+        // Equality is content-based: different histories, same ratings.
+        let mut a = RatingsMatrix::new(1, 1, RatingScale::FIVE_STAR);
+        a.rate(UserId(0), ItemId(0), 5.0).unwrap();
+        let mut b = RatingsMatrix::new(1, 1, RatingScale::FIVE_STAR);
+        b.rate(UserId(0), ItemId(0), 3.0).unwrap();
+        b.rate(UserId(0), ItemId(0), 5.0).unwrap();
+        assert_ne!(a.revision(), b.revision());
+        assert_eq!(a, b);
     }
 
     #[test]

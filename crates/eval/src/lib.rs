@@ -13,6 +13,13 @@
 //!
 //! Every study is seed-deterministic; unit tests assert the *shape* of
 //! each cited result (who wins, which direction), never absolute values.
+//!
+//! Studies can run sequentially ([`run_all_studies_with`]) or fanned out
+//! over the work-stealing pool from `exrec_algo::batch`
+//! ([`run_all_studies_with_threads`]); because each study owns its RNG
+//! stream and shares no mutable state, the parallel mode returns
+//! identical reports in canonical order. The `repro` binary exposes this
+//! as `--parallel [N]`.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -93,8 +100,8 @@ pub const STUDY_IDS: [&str; 11] = [
 ];
 
 /// Runs one study (by experiment id, case-insensitive) at its default
-/// configuration, recording telemetry via [`observed`]. Returns `None`
-/// for unknown ids.
+/// configuration, recording per-study telemetry (wall-clock, per-aim
+/// durations, throughput). Returns `None` for unknown ids.
 pub fn run_study_with(telemetry: &Telemetry, id: &str) -> Option<StudyReport> {
     use Aim::*;
 
@@ -141,10 +148,30 @@ pub fn run_study_with(telemetry: &Telemetry, id: &str) -> Option<StudyReport> {
 /// and the extensions are filed under every aim they trade off (see
 /// `docs/observability.md`).
 pub fn run_all_studies_with(telemetry: &Telemetry) -> Vec<StudyReport> {
-    STUDY_IDS
-        .iter()
-        .map(|id| run_study_with(telemetry, id).expect("known id"))
-        .collect()
+    run_all_studies_with_threads(telemetry, 1)
+}
+
+/// [`run_all_studies_with`], but fanning independent studies out over
+/// `threads` workers (`0` = available parallelism, `1` = sequential)
+/// using the work-stealing pool from `exrec_algo::batch`.
+///
+/// Studies are internally seed-deterministic and share no mutable state,
+/// so every report is identical to the sequential run and reports come
+/// back in canonical [`STUDY_IDS`] order regardless of scheduling. The
+/// telemetry registry is lock-free on the hot path and its counters
+/// commute, so aggregate totals (`eval.studies_run`,
+/// `eval.simulated_users`, per-study wall-clocks) also match; only
+/// throughput gauges may differ, since wall-clock under contention is
+/// not wall-clock alone.
+pub fn run_all_studies_with_threads(telemetry: &Telemetry, threads: usize) -> Vec<StudyReport> {
+    let threads = if threads == 0 {
+        exrec_algo::batch::default_threads()
+    } else {
+        threads
+    };
+    exrec_algo::batch::parallel_map(threads, &STUDY_IDS, |_, id| {
+        run_study_with(telemetry, id).expect("known id")
+    })
 }
 
 #[cfg(test)]
@@ -187,5 +214,21 @@ mod tests {
             assert!(samples >= 1, "aim {} never evaluated", aim.name());
         }
         assert_eq!(report.histograms["eval.aim_ns.persuasiveness"].count, 3);
+    }
+
+    #[test]
+    fn parallel_studies_match_sequential() {
+        let sequential = run_all_studies_with(&Telemetry::default());
+        let obs = Telemetry::default();
+        let parallel = run_all_studies_with_threads(&obs, 4);
+        assert_eq!(parallel.len(), sequential.len());
+        for (p, s) in parallel.iter().zip(&sequential) {
+            assert_eq!(p.id, s.id, "canonical order survives scheduling");
+            assert_eq!(p.tables, s.tables, "{}: reports must be identical", p.id);
+        }
+        // Aggregate telemetry still adds up under concurrency.
+        let report = obs.report();
+        assert_eq!(report.counters["eval.studies_run"], 11);
+        assert_eq!(report.histograms["span_ns.study"].count, 11);
     }
 }

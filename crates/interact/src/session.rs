@@ -29,7 +29,7 @@ pub enum SessionStyle {
 }
 
 /// A stateful recommendation session for one user.
-pub struct RecommendationSession<'a, R: Recommender> {
+pub struct RecommendationSession<'a, R: Recommender + Sync> {
     ratings: &'a mut RatingsMatrix,
     catalog: &'a Catalog,
     recommender: &'a R,
@@ -44,7 +44,7 @@ pub struct RecommendationSession<'a, R: Recommender> {
     interactions: usize,
 }
 
-impl<'a, R: Recommender> RecommendationSession<'a, R> {
+impl<'a, R: Recommender + Sync> RecommendationSession<'a, R> {
     /// Opens a session.
     pub fn new(
         ratings: &'a mut RatingsMatrix,

@@ -1,7 +1,7 @@
 //! Span tracing: named, timed regions with key/value fields, delivered
 //! to a pluggable [`Subscriber`].
 //!
-//! A span is opened with [`Telemetry::span`] (or the [`span!`] macro,
+//! A span is opened with [`Telemetry::span`] (or the `span!` macro,
 //! which adds fields ergonomically) and reports on drop: duration goes
 //! into the metrics histogram `span_ns.<name>` and a structured
 //! [`SpanEvent`] goes to the subscriber. The default [`NoopSubscriber`]
