@@ -135,6 +135,9 @@ where
     U: Send,
     F: Fn(usize, &T) -> U + Sync,
 {
+    if items.is_empty() {
+        return Vec::new();
+    }
     let threads = threads.min(items.len());
     if threads <= 1 {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
@@ -254,6 +257,11 @@ impl BatchPool {
         U: Send,
         F: Fn(usize, &T) -> U + Sync,
     {
+        // An empty batch does no work; skip the pool and keep the
+        // batch.* series free of zero-sized entries.
+        if items.is_empty() {
+            return Vec::new();
+        }
         let started = Instant::now();
         let out = parallel_map(self.threads(), items, f);
         if let Some(t) = &self.telemetry {
@@ -364,6 +372,37 @@ mod tests {
         let empty: Vec<u8> = vec![];
         assert!(parallel_map(8, &empty, |_, &x| x).is_empty());
         assert_eq!(parallel_map(8, &[42u8], |_, &x| x), vec![42]);
+    }
+
+    #[test]
+    fn empty_batch_short_circuits_without_pool_or_telemetry() {
+        // `parallel_map` must not spawn (or even size) a pool for zero
+        // items, regardless of the requested thread count.
+        let empty: Vec<u64> = vec![];
+        assert!(parallel_map(usize::MAX, &empty, |_, &x| x).is_empty());
+
+        // `BatchPool::run` returns immediately and records nothing, so
+        // empty batches never skew the batch.* series.
+        let obs = Telemetry::default();
+        let pool = BatchPool::new(4).with_telemetry(obs.clone());
+        let out: Vec<u64> = pool.run("recommend", &empty, |_, &x| x);
+        assert!(out.is_empty());
+        let report = obs.report();
+        assert!(!report.counters.contains_key("batch.batches"));
+        assert!(!report.histograms.contains_key("batch.recommend_ns"));
+
+        // The trait-default `Recommender::recommend_batch` also
+        // short-circuits: no per-user calls, just an empty result.
+        let world = movies::generate(&WorldConfig {
+            n_users: 5,
+            n_items: 5,
+            density: 0.5,
+            ..WorldConfig::default()
+        });
+        let ctx = Ctx::new(&world.ratings, &world.catalog);
+        let model = Popularity::default();
+        assert!(model.recommend_batch(&ctx, &[], 4).is_empty());
+        assert!(pool.recommend_batch(&model, &ctx, &[], 4).is_empty());
     }
 
     #[test]

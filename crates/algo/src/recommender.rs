@@ -226,6 +226,9 @@ pub trait Recommender {
     /// implementation the parallel path ([`crate::batch::BatchPool`])
     /// must match bit-for-bit; overrides must preserve per-user results.
     fn recommend_batch(&self, ctx: &Ctx<'_>, users: &[UserId], n: usize) -> Vec<Vec<Scored>> {
+        if users.is_empty() {
+            return Vec::new();
+        }
         users.iter().map(|&u| self.recommend(ctx, u, n)).collect()
     }
 }

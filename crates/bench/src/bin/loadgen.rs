@@ -1,0 +1,461 @@
+//! `loadgen` — open-loop load generator for the `exrec-serve` edge.
+//!
+//! Drives a concurrency sweep against a running server (or one it
+//! spawns in-process on loopback) and records latency percentiles plus
+//! the shed/timeout counts that prove admission control works
+//! (`BENCH_serve_net.json`, see `docs/benchmarking.md`).
+//!
+//! **Open loop.** Request *i* of a sweep point is scheduled at
+//! `start + i / offered_rps`, independent of when earlier responses
+//! arrive, and its latency is measured from that scheduled instant —
+//! so a slow server accrues queueing delay in the numbers instead of
+//! silently slowing the generator down (no coordinated omission). A
+//! fixed pool of client threads executes the schedule; each request
+//! uses a fresh connection (`Connection: close`), which is what makes
+//! the server's per-connection admission control observable.
+//!
+//! ```text
+//! loadgen                      # full sweep, spawns a server in-process
+//! loadgen --quick              # CI smoke: small world, short sweep
+//! loadgen --addr HOST:PORT     # target an already-running server
+//! loadgen --out PATH           # report path (default BENCH_serve_net.json)
+//! ```
+//!
+//! Exit code is non-zero when any response falls outside the expected
+//! classes (2xx, 429 shed, 504 deadline) or any transport error
+//! occurs — CI runs `--quick` as a correctness gate on the edge.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use exrec_obs::Telemetry;
+use exrec_serve::app::{AppConfig, ExplainApp};
+use exrec_serve::server::{self, ServerConfig, ServerHandle};
+use serde::Serialize;
+
+/// One point of the sweep: an offered arrival rate and a request count.
+struct SweepPoint {
+    name: &'static str,
+    offered_rps: f64,
+    requests: usize,
+    clients: usize,
+    /// Per-request deadline sent on the wire, ms (`None` = server default).
+    deadline_ms: Option<u64>,
+}
+
+const FULL_SWEEP: &[SweepPoint] = &[
+    SweepPoint {
+        name: "light",
+        offered_rps: 50.0,
+        requests: 400,
+        clients: 8,
+        deadline_ms: None,
+    },
+    SweepPoint {
+        name: "moderate",
+        offered_rps: 200.0,
+        requests: 1_200,
+        clients: 16,
+        deadline_ms: None,
+    },
+    SweepPoint {
+        name: "heavy",
+        offered_rps: 600.0,
+        requests: 2_400,
+        clients: 32,
+        deadline_ms: Some(2_000),
+    },
+    // Far above capacity with a small admission queue: most of this
+    // point MUST be shed with 429s while admitted requests stay correct.
+    SweepPoint {
+        name: "overload",
+        offered_rps: 4_000.0,
+        requests: 4_000,
+        clients: 48,
+        deadline_ms: Some(1_000),
+    },
+];
+
+const QUICK_SWEEP: &[SweepPoint] = &[
+    SweepPoint {
+        name: "light-quick",
+        offered_rps: 50.0,
+        requests: 120,
+        clients: 8,
+        deadline_ms: None,
+    },
+    SweepPoint {
+        name: "overload-quick",
+        offered_rps: 2_000.0,
+        requests: 600,
+        clients: 24,
+        deadline_ms: Some(1_000),
+    },
+];
+
+/// Outcome of one request.
+enum Outcome {
+    Ok2xx(f64),
+    Shed429,
+    Timeout504,
+    /// Unexpected status class — fails the run.
+    Unexpected(u16),
+    /// Socket-level failure — fails the run.
+    Transport,
+}
+
+/// Latency digest in milliseconds.
+#[derive(Serialize)]
+struct LatencyMs {
+    p50: f64,
+    p95: f64,
+    p99: f64,
+    mean: f64,
+    max: f64,
+}
+
+#[derive(Serialize)]
+struct PointReport {
+    name: &'static str,
+    offered_rps: f64,
+    clients: usize,
+    requests: usize,
+    status_2xx: usize,
+    shed_429: usize,
+    timeout_504: usize,
+    unexpected: usize,
+    transport_errors: usize,
+    wall_ms: f64,
+    achieved_rps: f64,
+    /// Latencies of successful (2xx) requests, from scheduled arrival.
+    latency_ms: LatencyMs,
+}
+
+#[derive(Serialize)]
+struct ServerInfo {
+    addr: String,
+    in_process: bool,
+    workers: usize,
+    queue_bound: usize,
+    default_deadline_ms: u64,
+    world_users: usize,
+    world_items: usize,
+}
+
+#[derive(Serialize)]
+struct LoadgenReport {
+    benchmark: &'static str,
+    quick: bool,
+    server: ServerInfo,
+    points: Vec<PointReport>,
+}
+
+/// The deterministic request mix: mostly plain ranking, some explained
+/// ranking, some single-pair explanations.
+fn request_body(i: usize, n_users: usize, deadline_ms: Option<u64>) -> (&'static str, String) {
+    let user = (i * 17) % n_users;
+    let deadline = deadline_ms
+        .map(|ms| format!(", \"deadline_ms\": {ms}"))
+        .unwrap_or_default();
+    match i % 10 {
+        // 10%: one explained pair through /v1/explain.
+        0 => (
+            "/v1/explain",
+            format!(
+                "{{\"user\": {user}, \"item\": {}, \"interface\": \"item_average\"{deadline}}}",
+                (i * 7) % 100
+            ),
+        ),
+        // 20%: explained top-k.
+        1 | 2 => (
+            "/v1/recommend",
+            format!("{{\"users\": [{user}], \"n\": 5, \"explain\": true{deadline}}}"),
+        ),
+        // 70%: plain top-k for a couple of users.
+        _ => (
+            "/v1/recommend",
+            format!(
+                "{{\"users\": [{user}, {}], \"n\": 10{deadline}}}",
+                (user + 1) % n_users
+            ),
+        ),
+    }
+}
+
+/// Sends one request on a fresh connection and classifies the outcome.
+/// Latency is measured from `scheduled` (open-loop semantics).
+fn fire(addr: SocketAddr, path: &str, body: &str, scheduled: Instant) -> Outcome {
+    let Ok(stream) = TcpStream::connect(addr) else {
+        return Outcome::Transport;
+    };
+    if stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .is_err()
+    {
+        return Outcome::Transport;
+    }
+    let request = format!(
+        "POST {path} HTTP/1.1\r\nhost: loadgen\r\nconnection: close\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len(),
+    );
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return Outcome::Transport,
+    };
+    // The server may shed (answer + close) before reading the body; a
+    // write error here still has a response waiting to be read.
+    let _ = writer.write_all(request.as_bytes());
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    if reader.read_line(&mut status_line).unwrap_or(0) == 0 {
+        return Outcome::Transport;
+    }
+    let Some(status) = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+    else {
+        return Outcome::Transport;
+    };
+    // Drain headers + body so the latency covers the full response.
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line).unwrap_or(0) == 0 {
+            return Outcome::Transport;
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    if reader.read_exact(&mut body).is_err() {
+        return Outcome::Transport;
+    }
+    let latency_ms = scheduled.elapsed().as_secs_f64() * 1e3;
+    match status {
+        200..=299 => Outcome::Ok2xx(latency_ms),
+        429 => Outcome::Shed429,
+        504 => Outcome::Timeout504,
+        other => Outcome::Unexpected(other),
+    }
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Runs one sweep point with a fixed client-thread pool executing the
+/// open-loop schedule.
+fn run_point(addr: SocketAddr, n_users: usize, point: &SweepPoint) -> PointReport {
+    eprintln!(
+        "[loadgen] point {:<14} offered {:>6.0} rps, {} requests, {} clients",
+        point.name, point.offered_rps, point.requests, point.clients
+    );
+    let next = AtomicUsize::new(0);
+    let outcomes: Mutex<Vec<Outcome>> = Mutex::new(Vec::with_capacity(point.requests));
+    let interval = Duration::from_secs_f64(1.0 / point.offered_rps);
+    let started = Instant::now();
+
+    std::thread::scope(|scope| {
+        for _ in 0..point.clients {
+            scope.spawn(|| {
+                let mut local = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= point.requests {
+                        break;
+                    }
+                    let scheduled = started + interval.mul_f64(i as f64);
+                    let now = Instant::now();
+                    if scheduled > now {
+                        std::thread::sleep(scheduled - now);
+                    }
+                    let (path, body) = request_body(i, n_users, point.deadline_ms);
+                    local.push(fire(addr, path, &body, scheduled));
+                }
+                outcomes
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .extend(local);
+            });
+        }
+    });
+    let wall = started.elapsed();
+
+    let outcomes = outcomes.into_inner().unwrap_or_else(|p| p.into_inner());
+    let mut ok_latencies: Vec<f64> = Vec::new();
+    let (mut ok, mut shed, mut timeout, mut unexpected, mut transport) = (0, 0, 0, 0, 0);
+    for outcome in &outcomes {
+        match outcome {
+            Outcome::Ok2xx(ms) => {
+                ok += 1;
+                ok_latencies.push(*ms);
+            }
+            Outcome::Shed429 => shed += 1,
+            Outcome::Timeout504 => timeout += 1,
+            Outcome::Unexpected(status) => {
+                eprintln!("[loadgen]   unexpected status {status}");
+                unexpected += 1;
+            }
+            Outcome::Transport => transport += 1,
+        }
+    }
+    ok_latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mean = if ok_latencies.is_empty() {
+        0.0
+    } else {
+        ok_latencies.iter().sum::<f64>() / ok_latencies.len() as f64
+    };
+    let report = PointReport {
+        name: point.name,
+        offered_rps: point.offered_rps,
+        clients: point.clients,
+        requests: point.requests,
+        status_2xx: ok,
+        shed_429: shed,
+        timeout_504: timeout,
+        unexpected,
+        transport_errors: transport,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        achieved_rps: outcomes.len() as f64 / wall.as_secs_f64(),
+        latency_ms: LatencyMs {
+            p50: percentile(&ok_latencies, 0.50),
+            p95: percentile(&ok_latencies, 0.95),
+            p99: percentile(&ok_latencies, 0.99),
+            mean,
+            max: ok_latencies.last().copied().unwrap_or(0.0),
+        },
+    };
+    eprintln!(
+        "[loadgen]   2xx {} / shed {} / timeout {} / bad {} / transport {}  p50 {:.1}ms p99 {:.1}ms",
+        ok, shed, timeout, unexpected, transport, report.latency_ms.p50, report.latency_ms.p99
+    );
+    report
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out = "BENCH_serve_net.json".to_owned();
+    let mut external: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = args.next().unwrap_or(out),
+            "--addr" => external = args.next(),
+            other => {
+                eprintln!("usage: loadgen [--quick] [--addr HOST:PORT] [--out PATH] ({other:?}?)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // Edge tuning chosen so the overload point genuinely overruns the
+    // queue: small admission bound, few workers.
+    let server_config = ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 4,
+        queue_bound: 8,
+        default_deadline_ms: 2_000,
+        ..ServerConfig::default()
+    };
+    let app_config = AppConfig {
+        n_users: if quick { 500 } else { 2_000 },
+        n_items: 300,
+        density: 0.05,
+        ..AppConfig::default()
+    };
+    let n_users = app_config.n_users;
+
+    let mut spawned: Option<ServerHandle> = None;
+    let addr: SocketAddr = match &external {
+        Some(addr) => addr.parse().unwrap_or_else(|_| {
+            eprintln!("[loadgen] bad --addr {addr:?}");
+            std::process::exit(2);
+        }),
+        None => {
+            eprintln!(
+                "[loadgen] spawning server in-process ({} users, {} workers, queue {})",
+                n_users, server_config.workers, server_config.queue_bound
+            );
+            let telemetry = Telemetry::default();
+            let app = ExplainApp::new(app_config, telemetry.clone());
+            let handle = server::start(app, server_config.clone(), telemetry)
+                .expect("spawn loopback server");
+            let addr = handle.addr();
+            spawned = Some(handle);
+            addr
+        }
+    };
+
+    // Warm the similarity cache so the sweep measures steady state.
+    eprintln!("[loadgen] warmup");
+    for i in 0..24 {
+        let (path, body) = request_body(i, n_users, None);
+        let _ = fire(addr, path, &body, Instant::now());
+    }
+
+    let sweep = if quick { QUICK_SWEEP } else { FULL_SWEEP };
+    let points: Vec<PointReport> = sweep
+        .iter()
+        .map(|point| run_point(addr, n_users, point))
+        .collect();
+
+    let report = LoadgenReport {
+        benchmark: "serve_net",
+        quick,
+        server: ServerInfo {
+            addr: addr.to_string(),
+            in_process: external.is_none(),
+            workers: server_config.workers,
+            queue_bound: server_config.queue_bound,
+            default_deadline_ms: server_config.default_deadline_ms,
+            world_users: n_users,
+            world_items: 300,
+        },
+        points,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    // Parse it back before writing: CI fails on a report that does not
+    // round-trip (the "latency-report parse error" gate).
+    if serde_json::from_str::<serde_json::Value>(&json).is_err() {
+        eprintln!("[loadgen] FAIL: report does not parse back");
+        std::process::exit(1);
+    }
+    std::fs::write(&out, &json).expect("write report");
+    eprintln!("[loadgen] wrote {out}");
+
+    if let Some(handle) = spawned {
+        handle.shutdown();
+    }
+
+    let bad: usize = report
+        .points
+        .iter()
+        .map(|p| p.unexpected + p.transport_errors)
+        .sum();
+    let ok: usize = report.points.iter().map(|p| p.status_2xx).sum();
+    if bad > 0 {
+        eprintln!("[loadgen] FAIL: {bad} responses outside the expected classes");
+        std::process::exit(1);
+    }
+    if ok == 0 {
+        eprintln!("[loadgen] FAIL: no successful responses at all");
+        std::process::exit(1);
+    }
+    eprintln!("[loadgen] OK");
+}

@@ -285,6 +285,14 @@ impl InterfaceId {
     pub fn key(self) -> &'static str {
         self.descriptor().key
     }
+
+    /// Resolves a stable string key (as returned by
+    /// [`InterfaceId::key`]) back to its interface — the lookup wire
+    /// protocols use to let a caller select an interface by name.
+    /// Returns `None` for unknown keys.
+    pub fn from_key(key: &str) -> Option<InterfaceId> {
+        InterfaceId::ALL.into_iter().find(|id| id.key() == key)
+    }
 }
 
 impl fmt::Display for InterfaceId {

@@ -30,7 +30,7 @@
 //! [`similexp`] (user-adapted, user-readable similarity) and [`modality`]
 //! (text/visual complementarity).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod aims;

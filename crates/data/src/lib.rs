@@ -20,7 +20,7 @@
 //! is deliberately excluded from equality: two matrices with the same
 //! content compare equal regardless of their edit histories.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod catalog;

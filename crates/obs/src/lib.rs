@@ -33,7 +33,7 @@
 //! assert_eq!(report.histograms["span_ns.predict"].count, 1);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod metrics;

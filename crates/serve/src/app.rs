@@ -1,0 +1,517 @@
+//! The application behind the HTTP edge: a synthetic world, a cached
+//! k-NN model and the explanation engine, shaped into wire responses.
+//!
+//! Everything the handlers do is a thin adapter over existing pipeline
+//! pieces: ranking goes through `BatchPool::recommend_batch`, explained
+//! ranking through [`Explainer::recommend_explained_batch`], single-pair
+//! explanations through [`Explainer::explain`]. The app adds the
+//! serving-boundary concerns those APIs deliberately do not have:
+//! request validation, deadline checks between work units, per-aim edge
+//! telemetry, and (test-gated) fault injection.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use exrec_algo::batch::BatchPool;
+use exrec_algo::cache::{CacheConfig, SimilarityCache};
+use exrec_algo::{Ctx, Scored, UserKnn};
+use exrec_core::engine::Explainer;
+use exrec_core::explanation::Explanation;
+use exrec_core::interfaces::InterfaceId;
+use exrec_core::render::{PlainRenderer, Render};
+use exrec_data::synth::{movies, WorldConfig};
+use exrec_data::World;
+use exrec_obs::Telemetry;
+use exrec_types::{ItemId, UserId};
+
+use crate::proto::{
+    ExplainRequest, ExplainResponse, ExplanationBody, RecommendRequest, RecommendResponse,
+    ScoredItem, UserRecommendations,
+};
+
+/// A per-request time budget, measured from admission.
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    at: Instant,
+}
+
+impl Deadline {
+    /// A deadline `ms` milliseconds after `start`.
+    pub fn from(start: Instant, ms: u64) -> Self {
+        Deadline {
+            at: start + Duration::from_millis(ms),
+        }
+    }
+
+    /// A deadline `ms` milliseconds from now.
+    pub fn after_ms(ms: u64) -> Self {
+        Deadline::from(Instant::now(), ms)
+    }
+
+    /// Whether the budget is spent.
+    pub fn exceeded(&self) -> bool {
+        Instant::now() >= self.at
+    }
+}
+
+/// How a request failed inside the app; the server maps these onto HTTP
+/// status codes (see `docs/serving.md`).
+#[derive(Debug)]
+pub enum AppError {
+    /// Malformed or out-of-policy request → 400.
+    BadRequest(String),
+    /// A referenced user or item does not exist → 404.
+    NotFound(String),
+    /// The pair is valid but no explanation/prediction can be produced
+    /// (e.g. the interface's evidence needs are unmet) → 422.
+    Unprocessable(String),
+    /// The per-request deadline elapsed before completion → 504.
+    DeadlineExceeded,
+}
+
+/// Configuration of the serving application.
+#[derive(Debug, Clone)]
+pub struct AppConfig {
+    /// Synthetic-world user count.
+    pub n_users: usize,
+    /// Synthetic-world item count.
+    pub n_items: usize,
+    /// Synthetic-world rating density.
+    pub density: f64,
+    /// World RNG seed (equal seeds serve identical answers).
+    pub seed: u64,
+    /// Interface used when a request does not name one.
+    pub default_interface: InterfaceId,
+    /// Top-k size when a request does not name one.
+    pub default_n: usize,
+    /// Per-request caps: most users per recommend call…
+    pub max_batch_users: usize,
+    /// …and largest top-k size.
+    pub max_n: usize,
+    /// Threads in the shared intra-request batch pool (`0` = cores).
+    pub pool_threads: usize,
+    /// Honour `inject_panic` / `inject_delay_ms` request fields. Test
+    /// harnesses only; off by default.
+    pub fault_injection: bool,
+}
+
+impl Default for AppConfig {
+    fn default() -> Self {
+        AppConfig {
+            n_users: 2_000,
+            n_items: 300,
+            density: 0.05,
+            seed: 0xEC,
+            default_interface: InterfaceId::ClusteredHistogram,
+            default_n: 10,
+            max_batch_users: 256,
+            max_n: 100,
+            pool_threads: 0,
+            fault_injection: false,
+        }
+    }
+}
+
+/// The serving application: owns the data, model and batch pool the
+/// worker threads share.
+pub struct ExplainApp {
+    config: AppConfig,
+    world: World,
+    model: UserKnn,
+    pool: BatchPool,
+    telemetry: Telemetry,
+}
+
+impl ExplainApp {
+    /// Generates the world and builds the cached model. Expensive
+    /// (world generation); call once at startup.
+    pub fn new(config: AppConfig, telemetry: Telemetry) -> Self {
+        let world = movies::generate(&WorldConfig {
+            n_users: config.n_users,
+            n_items: config.n_items,
+            density: config.density,
+            seed: config.seed,
+            ..WorldConfig::default()
+        });
+        let cache = Arc::new(SimilarityCache::instrumented(
+            CacheConfig::default(),
+            telemetry.metrics(),
+            "serve",
+        ));
+        let model = UserKnn::default().with_cache(cache);
+        let pool = BatchPool::new(config.pool_threads).with_telemetry(telemetry.clone());
+        ExplainApp {
+            config,
+            world,
+            model,
+            pool,
+            telemetry,
+        }
+    }
+
+    /// The app's configuration.
+    pub fn config(&self) -> &AppConfig {
+        &self.config
+    }
+
+    /// Number of users in the served world (valid ids are `0..n`).
+    pub fn n_users(&self) -> usize {
+        self.world.ratings.n_users()
+    }
+
+    /// Number of items in the served catalog (valid ids are `0..n`).
+    pub fn n_items(&self) -> usize {
+        self.world.catalog.len()
+    }
+
+    /// Runs the (test-gated) fault hooks shared by both POST endpoints.
+    fn fault_hooks(
+        &self,
+        inject_panic: Option<bool>,
+        inject_delay_ms: Option<u64>,
+        deadline: Deadline,
+    ) -> Result<(), AppError> {
+        if inject_panic.is_none() && inject_delay_ms.is_none() {
+            return Ok(());
+        }
+        if !self.config.fault_injection {
+            return Err(AppError::BadRequest(
+                "fault-injection fields require the server's --fault-injection flag".to_owned(),
+            ));
+        }
+        if inject_panic == Some(true) {
+            panic!("injected handler panic (fault-injection)");
+        }
+        if let Some(ms) = inject_delay_ms {
+            let until = Instant::now() + Duration::from_millis(ms);
+            while Instant::now() < until {
+                if deadline.exceeded() {
+                    return Err(AppError::DeadlineExceeded);
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolves an optional interface key against the catalog.
+    fn resolve_interface(&self, key: Option<&str>) -> Result<InterfaceId, AppError> {
+        match key {
+            None => Ok(self.config.default_interface),
+            Some(key) => InterfaceId::from_key(key)
+                .ok_or_else(|| AppError::BadRequest(format!("unknown interface {key:?}"))),
+        }
+    }
+
+    /// Validates a raw user id against the served world.
+    fn user(&self, raw: u32) -> Result<UserId, AppError> {
+        if (raw as usize) < self.n_users() {
+            Ok(UserId::new(raw))
+        } else {
+            Err(AppError::NotFound(format!(
+                "user {raw} outside 0..{}",
+                self.n_users()
+            )))
+        }
+    }
+
+    /// Validates a raw item id against the served catalog.
+    fn item(&self, raw: u32) -> Result<ItemId, AppError> {
+        if (raw as usize) < self.n_items() {
+            Ok(ItemId::new(raw))
+        } else {
+            Err(AppError::NotFound(format!(
+                "item {raw} outside 0..{}",
+                self.n_items()
+            )))
+        }
+    }
+
+    /// Counts one served explanation's aims at the edge
+    /// (`serve.aims.<aim>` counters).
+    fn count_aims(&self, explanation: &Explanation) {
+        let metrics = self.telemetry.metrics();
+        for aim in explanation.aims.iter() {
+            metrics
+                .counter(&format!("serve.aims.{}", aim.name().to_ascii_lowercase()))
+                .incr();
+        }
+    }
+
+    /// Flattens an explanation for the wire.
+    fn shape_explanation(&self, explanation: &Explanation) -> ExplanationBody {
+        self.count_aims(explanation);
+        ExplanationBody {
+            interface: explanation.interface.to_owned(),
+            style: explanation.style.name().to_owned(),
+            aims: explanation
+                .aims
+                .iter()
+                .map(|a| a.name().to_ascii_lowercase())
+                .collect(),
+            text: PlainRenderer.render(explanation),
+        }
+    }
+
+    fn shape_scored(scored: &Scored, explanation: Option<ExplanationBody>) -> ScoredItem {
+        ScoredItem {
+            item: scored.item.raw(),
+            score: scored.prediction.score,
+            confidence: scored.prediction.confidence.value(),
+            explanation,
+        }
+    }
+
+    /// Handles `POST /v1/recommend`.
+    ///
+    /// # Errors
+    ///
+    /// [`AppError::BadRequest`] on empty/oversized batches, bad `n` or
+    /// an unknown interface key; [`AppError::NotFound`] for out-of-world
+    /// user ids; [`AppError::DeadlineExceeded`] when the budget elapses
+    /// between work units.
+    pub fn recommend(
+        &self,
+        req: &RecommendRequest,
+        deadline: Deadline,
+    ) -> Result<RecommendResponse, AppError> {
+        self.fault_hooks(req.inject_panic, req.inject_delay_ms, deadline)?;
+        if req.users.is_empty() {
+            return Err(AppError::BadRequest("users must be non-empty".to_owned()));
+        }
+        if req.users.len() > self.config.max_batch_users {
+            return Err(AppError::BadRequest(format!(
+                "{} users exceeds the per-request cap of {}",
+                req.users.len(),
+                self.config.max_batch_users
+            )));
+        }
+        let n = req.n.unwrap_or(self.config.default_n);
+        if n == 0 || n > self.config.max_n {
+            return Err(AppError::BadRequest(format!(
+                "n must be in 1..={}",
+                self.config.max_n
+            )));
+        }
+        let interface = self.resolve_interface(req.interface.as_deref())?;
+        let users: Vec<UserId> = req
+            .users
+            .iter()
+            .map(|&raw| self.user(raw))
+            .collect::<Result<_, _>>()?;
+        let explain = req.explain.unwrap_or(false);
+        let ctx = Ctx::new(&self.world.ratings, &self.world.catalog);
+
+        // Deadlines are checked between pool-sized chunks: a worker can
+        // not abandon a user mid-score, but an overrunning batch stops
+        // at the next chunk boundary instead of running to completion.
+        let chunk_size = (self.pool.threads().max(1)) * 2;
+        let mut results = Vec::with_capacity(users.len());
+        for chunk in users.chunks(chunk_size) {
+            if deadline.exceeded() {
+                return Err(AppError::DeadlineExceeded);
+            }
+            if explain {
+                let explainer =
+                    Explainer::new(&self.model, interface).with_telemetry(self.telemetry.clone());
+                let per_user = explainer.recommend_explained_batch(&ctx, &self.pool, chunk, n);
+                for (&user, items) in chunk.iter().zip(per_user) {
+                    results.push(UserRecommendations {
+                        user: user.raw(),
+                        items: items
+                            .iter()
+                            .map(|(scored, explanation)| {
+                                Self::shape_scored(
+                                    scored,
+                                    Some(self.shape_explanation(explanation)),
+                                )
+                            })
+                            .collect(),
+                    });
+                }
+            } else {
+                let per_user = self.pool.recommend_batch(&self.model, &ctx, chunk, n);
+                for (&user, items) in chunk.iter().zip(per_user) {
+                    results.push(UserRecommendations {
+                        user: user.raw(),
+                        items: items.iter().map(|s| Self::shape_scored(s, None)).collect(),
+                    });
+                }
+            }
+        }
+        Ok(RecommendResponse { results })
+    }
+
+    /// Handles `POST /v1/explain`.
+    ///
+    /// # Errors
+    ///
+    /// [`AppError::BadRequest`] for unknown interface keys,
+    /// [`AppError::NotFound`] for out-of-world ids,
+    /// [`AppError::Unprocessable`] when prediction or explanation
+    /// generation fails for the pair, [`AppError::DeadlineExceeded`]
+    /// when the budget is already spent.
+    pub fn explain(
+        &self,
+        req: &ExplainRequest,
+        deadline: Deadline,
+    ) -> Result<ExplainResponse, AppError> {
+        self.fault_hooks(req.inject_panic, req.inject_delay_ms, deadline)?;
+        let interface = self.resolve_interface(req.interface.as_deref())?;
+        let user = self.user(req.user)?;
+        let item = self.item(req.item)?;
+        if deadline.exceeded() {
+            return Err(AppError::DeadlineExceeded);
+        }
+        let ctx = Ctx::new(&self.world.ratings, &self.world.catalog);
+        let explainer =
+            Explainer::new(&self.model, interface).with_telemetry(self.telemetry.clone());
+        match explainer.explain(&ctx, user, item) {
+            Ok((prediction, explanation)) => Ok(ExplainResponse {
+                user: req.user,
+                item: req.item,
+                score: prediction.score,
+                confidence: prediction.confidence.value(),
+                explanation: self.shape_explanation(&explanation),
+            }),
+            // MissingEvidence (interface/model mismatch) and NoPrediction
+            // (cold pair) are both "valid ids, no answer": 422.
+            Err(e) => Err(AppError::Unprocessable(e.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn app() -> ExplainApp {
+        ExplainApp::new(
+            AppConfig {
+                n_users: 60,
+                n_items: 40,
+                density: 0.3,
+                ..AppConfig::default()
+            },
+            Telemetry::default(),
+        )
+    }
+
+    fn recommend_req(users: Vec<u32>) -> RecommendRequest {
+        RecommendRequest {
+            users,
+            n: Some(3),
+            interface: None,
+            explain: Some(true),
+            deadline_ms: None,
+            inject_panic: None,
+            inject_delay_ms: None,
+        }
+    }
+
+    #[test]
+    fn recommend_shapes_explained_results() {
+        let app = app();
+        let resp = app
+            .recommend(&recommend_req(vec![0, 1, 2]), Deadline::after_ms(60_000))
+            .unwrap();
+        assert_eq!(resp.results.len(), 3);
+        for (idx, per_user) in resp.results.iter().enumerate() {
+            assert_eq!(per_user.user, idx as u32);
+            for item in &per_user.items {
+                assert!((item.item as usize) < app.n_items());
+                assert!(item.confidence >= 0.0 && item.confidence <= 1.0);
+                let explanation = item.explanation.as_ref().expect("explain=true");
+                assert_eq!(explanation.interface, "clustered_histogram");
+                assert!(!explanation.text.is_empty());
+                assert!(!explanation.aims.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn recommend_validates_inputs() {
+        let app = app();
+        let far = Deadline::after_ms(60_000);
+        assert!(matches!(
+            app.recommend(&recommend_req(vec![]), far),
+            Err(AppError::BadRequest(_))
+        ));
+        assert!(matches!(
+            app.recommend(&recommend_req(vec![9_999]), far),
+            Err(AppError::NotFound(_))
+        ));
+        let mut bad_interface = recommend_req(vec![0]);
+        bad_interface.interface = Some("nope".to_owned());
+        assert!(matches!(
+            app.recommend(&bad_interface, far),
+            Err(AppError::BadRequest(_))
+        ));
+        let mut bad_n = recommend_req(vec![0]);
+        bad_n.n = Some(0);
+        assert!(matches!(
+            app.recommend(&bad_n, far),
+            Err(AppError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn spent_deadline_stops_work() {
+        let app = app();
+        let spent = Deadline::from(Instant::now() - Duration::from_millis(10), 1);
+        assert!(matches!(
+            app.recommend(&recommend_req(vec![0, 1]), spent),
+            Err(AppError::DeadlineExceeded)
+        ));
+    }
+
+    #[test]
+    fn explain_returns_rendered_explanation_and_counts_aims() {
+        let telemetry = Telemetry::default();
+        let app = ExplainApp::new(
+            AppConfig {
+                n_users: 60,
+                n_items: 40,
+                density: 0.3,
+                ..AppConfig::default()
+            },
+            telemetry.clone(),
+        );
+        let resp = app
+            .explain(
+                &ExplainRequest {
+                    user: 0,
+                    item: 1,
+                    interface: Some("item_average".to_owned()),
+                    deadline_ms: None,
+                    inject_panic: None,
+                    inject_delay_ms: None,
+                },
+                Deadline::after_ms(60_000),
+            )
+            .unwrap();
+        assert_eq!(resp.user, 0);
+        assert_eq!(resp.item, 1);
+        assert_eq!(resp.explanation.interface, "item_average");
+        assert!(!resp.explanation.text.is_empty());
+        let report = telemetry.report();
+        let aim_counts: u64 = report
+            .counters
+            .iter()
+            .filter(|(k, _)| k.starts_with("serve.aims."))
+            .map(|(_, v)| v)
+            .sum();
+        assert!(aim_counts > 0, "edge aim counters recorded");
+    }
+
+    #[test]
+    fn fault_fields_rejected_unless_enabled() {
+        let app = app();
+        let mut req = recommend_req(vec![0]);
+        req.inject_panic = Some(true);
+        assert!(matches!(
+            app.recommend(&req, Deadline::after_ms(1_000)),
+            Err(AppError::BadRequest(_))
+        ));
+    }
+}

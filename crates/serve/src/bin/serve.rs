@@ -1,0 +1,152 @@
+//! `serve` — run the explanation-serving edge.
+//!
+//! ```text
+//! serve [--port P]            bind port (default 8787; 0 = ephemeral)
+//!       [--workers N]         worker threads (default 4)
+//!       [--queue-bound N]     admission queue capacity (default 64)
+//!       [--deadline-ms D]     default per-request deadline (default 2000)
+//!       [--idle-ms I]         keep-alive idle reap timeout (default 5000)
+//!       [--users N]           synthetic world size (default 2000)
+//!       [--items N]           synthetic catalog size (default 300)
+//!       [--density F]         synthetic rating density (default 0.05)
+//!       [--interface KEY]     default explanation interface
+//!       [--pool-threads N]    intra-request batch threads (default: cores)
+//!       [--fault-injection]   honour inject_panic/inject_delay_ms (tests)
+//! ```
+//!
+//! Runs until SIGTERM or ctrl-c (SIGINT), then drains gracefully:
+//! stops admitting, finishes queued and in-flight requests, closes the
+//! listener, and prints the final telemetry report to stderr.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use exrec_core::interfaces::InterfaceId;
+use exrec_obs::Telemetry;
+use exrec_serve::app::{AppConfig, ExplainApp};
+use exrec_serve::server::{self, ServerConfig};
+
+/// Set from the signal handler; polled by the main loop.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Installs a minimal SIGINT/SIGTERM handler that flips [`SHUTDOWN`].
+///
+/// The workspace vendors no `libc`/`signal-hook`, so this binds the C
+/// library's `signal(2)` directly; the handler only stores to an
+/// atomic, which is async-signal-safe. On non-unix targets this is a
+/// no-op and the process runs until killed.
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    extern "C" fn on_signal(_signum: i32) {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let handler = on_signal as extern "C" fn(i32) as usize;
+    unsafe {
+        signal(SIGINT, handler);
+        signal(SIGTERM, handler);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+fn usage() -> ! {
+    eprintln!("usage: serve [--port P] [--workers N] [--queue-bound N] [--deadline-ms D]");
+    eprintln!("             [--idle-ms I] [--users N] [--items N] [--density F]");
+    eprintln!("             [--interface KEY] [--pool-threads N] [--fault-injection]");
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    match value.and_then(|v| v.parse().ok()) {
+        Some(v) => v,
+        None => {
+            eprintln!("[serve] {flag} needs a valid value");
+            usage();
+        }
+    }
+}
+
+fn main() {
+    let mut port: u16 = 8787;
+    let mut app_config = AppConfig::default();
+    let mut server_config = ServerConfig::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--port" => port = parse("--port", args.next()),
+            "--workers" => server_config.workers = parse("--workers", args.next()),
+            "--queue-bound" => server_config.queue_bound = parse("--queue-bound", args.next()),
+            "--deadline-ms" => {
+                server_config.default_deadline_ms = parse("--deadline-ms", args.next())
+            }
+            "--idle-ms" => server_config.idle_timeout_ms = parse("--idle-ms", args.next()),
+            "--users" => app_config.n_users = parse("--users", args.next()),
+            "--items" => app_config.n_items = parse("--items", args.next()),
+            "--density" => app_config.density = parse("--density", args.next()),
+            "--pool-threads" => app_config.pool_threads = parse("--pool-threads", args.next()),
+            "--interface" => {
+                let key: String = parse("--interface", args.next());
+                match InterfaceId::from_key(&key) {
+                    Some(id) => app_config.default_interface = id,
+                    None => {
+                        eprintln!("[serve] unknown interface {key:?}; known keys:");
+                        for id in InterfaceId::ALL {
+                            eprintln!("  {}", id.key());
+                        }
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--fault-injection" => app_config.fault_injection = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("[serve] unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+    server_config.addr = format!("127.0.0.1:{port}");
+
+    install_signal_handlers();
+
+    let telemetry = Telemetry::default();
+    eprintln!(
+        "[serve] generating world: {} users x {} items @ density {}",
+        app_config.n_users, app_config.n_items, app_config.density
+    );
+    let app = ExplainApp::new(app_config, telemetry.clone());
+    eprintln!(
+        "[serve] world ready; default interface {}",
+        app.config().default_interface.key()
+    );
+
+    let handle = match server::start(app, server_config.clone(), telemetry.clone()) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("[serve] bind {} failed: {e}", server_config.addr);
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "[serve] listening on {} ({} workers, queue bound {}, deadline {}ms)",
+        handle.addr(),
+        server_config.workers,
+        server_config.queue_bound,
+        server_config.default_deadline_ms
+    );
+
+    while !SHUTDOWN.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    eprintln!("[serve] signal received; draining");
+    handle.shutdown();
+    eprintln!("[serve] drained; final telemetry:");
+    eprintln!("{}", telemetry.report().render_ascii());
+}

@@ -1,0 +1,181 @@
+//! The JSON wire protocol (`docs/serving.md` is the normative spec).
+//!
+//! Request fields that are optional on the wire are `Option` here; the
+//! app layer applies defaults. Responses flatten the toolkit's richer
+//! types ([`exrec_core::explanation::Explanation`], `Prediction`) into
+//! plain JSON-friendly shapes so clients never need the Rust types.
+
+use serde::{Deserialize, Serialize};
+
+/// Body of `POST /v1/recommend`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RecommendRequest {
+    /// Users to rank for (raw ids). Must be non-empty.
+    pub users: Vec<u32>,
+    /// Top-k size; server default when omitted.
+    pub n: Option<usize>,
+    /// Explanation interface key (see `InterfaceId::key`); server
+    /// default when omitted. Only consulted when `explain` is true.
+    pub interface: Option<String>,
+    /// When true, each returned item carries its explanation (served
+    /// through `Explainer::recommend_explained_batch`; items the system
+    /// cannot justify are withheld).
+    pub explain: Option<bool>,
+    /// Per-request deadline override, milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// Fault injection (test only, requires `--fault-injection`):
+    /// panic inside the handler to exercise worker isolation.
+    pub inject_panic: Option<bool>,
+    /// Fault injection (test only, requires `--fault-injection`):
+    /// busy-wait this long inside the handler, honouring the deadline.
+    pub inject_delay_ms: Option<u64>,
+}
+
+/// Body of `POST /v1/explain`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExplainRequest {
+    /// The user the explanation addresses (raw id).
+    pub user: u32,
+    /// The item being explained (raw id).
+    pub item: u32,
+    /// Explanation interface key; server default when omitted.
+    pub interface: Option<String>,
+    /// Per-request deadline override, milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// Fault injection (test only, requires `--fault-injection`).
+    pub inject_panic: Option<bool>,
+    /// Fault injection (test only, requires `--fault-injection`).
+    pub inject_delay_ms: Option<u64>,
+}
+
+/// An explanation flattened for the wire.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExplanationBody {
+    /// Key of the interface that generated it.
+    pub interface: String,
+    /// Content style name.
+    pub style: String,
+    /// Names of the aims the interface declares.
+    pub aims: Vec<String>,
+    /// Plain-text rendering of the explanation document.
+    pub text: String,
+}
+
+/// One recommended item on the wire.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScoredItem {
+    /// Item id.
+    pub item: u32,
+    /// Predicted score on the model's rating scale.
+    pub score: f64,
+    /// Model confidence in `[0, 1]`.
+    pub confidence: f64,
+    /// Present when the request asked for explanations.
+    pub explanation: Option<ExplanationBody>,
+}
+
+/// Ranked items for one requested user.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UserRecommendations {
+    /// The user these are for.
+    pub user: u32,
+    /// Ranked best-first.
+    pub items: Vec<ScoredItem>,
+}
+
+/// Body of a 200 from `POST /v1/recommend`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RecommendResponse {
+    /// Per-user results, in request order.
+    pub results: Vec<UserRecommendations>,
+}
+
+/// Body of a 200 from `POST /v1/explain`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExplainResponse {
+    /// Echoed user id.
+    pub user: u32,
+    /// Echoed item id.
+    pub item: u32,
+    /// Predicted score for the pair.
+    pub score: f64,
+    /// Model confidence in `[0, 1]`.
+    pub confidence: f64,
+    /// The generated explanation.
+    pub explanation: ExplanationBody,
+}
+
+/// Body of `GET /healthz`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HealthResponse {
+    /// `"ok"` while serving, `"draining"` once shutdown has begun.
+    pub status: String,
+    /// Milliseconds since the server started.
+    pub uptime_ms: u64,
+    /// Worker pool size.
+    pub workers: usize,
+    /// Admission queue capacity.
+    pub queue_capacity: usize,
+    /// Admission queue depth at snapshot time.
+    pub queue_depth: usize,
+}
+
+/// Error body for every non-2xx the server originates.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ErrorBody {
+    /// Stable machine-readable class: `bad_request`, `not_found`,
+    /// `unprocessable`, `shed`, `deadline_exceeded`, `panic`,
+    /// `draining`, `method_not_allowed`, `body_too_large`.
+    pub error: String,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl ErrorBody {
+    /// Builds an error body.
+    pub fn new(error: &str, detail: impl Into<String>) -> Self {
+        ErrorBody {
+            error: error.to_owned(),
+            detail: detail.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recommend_request_optional_fields_default_to_none() {
+        let req: RecommendRequest = serde_json::from_str(r#"{"users": [1, 2]}"#).unwrap();
+        assert_eq!(req.users, vec![1, 2]);
+        assert!(req.n.is_none());
+        assert!(req.interface.is_none());
+        assert!(req.explain.is_none());
+        assert!(req.deadline_ms.is_none());
+        assert!(req.inject_panic.is_none());
+    }
+
+    #[test]
+    fn explain_request_round_trips() {
+        let req = ExplainRequest {
+            user: 7,
+            item: 9,
+            interface: Some("clustered_histogram".to_owned()),
+            deadline_ms: Some(250),
+            inject_panic: None,
+            inject_delay_ms: None,
+        };
+        let json = serde_json::to_string(&req).unwrap();
+        let back: ExplainRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.user, 7);
+        assert_eq!(back.item, 9);
+        assert_eq!(back.interface.as_deref(), Some("clustered_histogram"));
+        assert_eq!(back.deadline_ms, Some(250));
+    }
+
+    #[test]
+    fn missing_required_field_is_an_error() {
+        assert!(serde_json::from_str::<ExplainRequest>(r#"{"user": 1}"#).is_err());
+    }
+}

@@ -1,0 +1,205 @@
+//! The bounded MPMC admission queue between acceptor and workers.
+//!
+//! The unbounded channel in `exrec_algo::batch` is right for a batch
+//! whose size is known up front; a network edge needs the opposite: a
+//! *bounded* queue whose full state is the load-shedding signal. The
+//! acceptor calls [`Bounded::try_push`] and turns `Full` into an HTTP
+//! 429; workers block in [`Bounded::pop`]; shutdown closes the queue,
+//! which lets workers drain whatever was admitted and then exit — the
+//! graceful-drain half of the shutdown story.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why [`Bounded::try_push`] rejected an item (the item is returned so
+/// the caller can still respond on the connection it carries).
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue is at capacity — the admission-control signal.
+    Full(T),
+    /// The queue was closed by shutdown; nothing is admitted anymore.
+    Closed(T),
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded, blocking MPMC queue with explicit close semantics.
+pub struct Bounded<T> {
+    state: Mutex<State<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> Bounded<T> {
+    /// A queue admitting at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Bounded {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current depth (racy by nature; for gauges and tests).
+    pub fn len(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .queue
+            .len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Attempts to enqueue without blocking. On success returns the new
+    /// depth; a `Full` error is the signal to shed load.
+    pub fn try_push(&self, item: T) -> Result<usize, PushError<T>> {
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        if state.closed {
+            return Err(PushError::Closed(item));
+        }
+        if state.queue.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        state.queue.push_back(item);
+        let depth = state.queue.len();
+        drop(state);
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Dequeues the next item, blocking while the queue is empty.
+    /// Returns `None` once the queue is closed *and* drained — the
+    /// workers' exit signal.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(item) = state.queue.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Closes the queue: future pushes fail, and blocked poppers wake to
+    /// drain the remainder and observe `None`.
+    pub fn close(&self) {
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        state.closed = true;
+        drop(state);
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn rejects_when_full_and_after_close() {
+        let q = Bounded::new(2);
+        assert_eq!(q.try_push(1).unwrap(), 1);
+        assert_eq!(q.try_push(2).unwrap(), 2);
+        assert!(matches!(q.try_push(3), Err(PushError::Full(3))));
+        q.close();
+        assert!(matches!(q.try_push(4), Err(PushError::Closed(4))));
+    }
+
+    #[test]
+    fn close_drains_then_signals_exit() {
+        let q = Bounded::new(8);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_poppers_wake_on_close() {
+        let q = Arc::new(Bounded::<u32>::new(4));
+        let waiters: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || q.pop())
+            })
+            .collect();
+        // Give the waiters a moment to block, then close.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        for w in waiters {
+            assert_eq!(w.join().unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn mpmc_under_contention_loses_nothing() {
+        let q = Arc::new(Bounded::<u64>::new(16));
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = q.pop() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..250u64 {
+                        let mut item = p * 1_000 + i;
+                        // Bounded queue: spin until admitted.
+                        loop {
+                            match q.try_push(item) {
+                                Ok(_) => break,
+                                Err(PushError::Full(back)) => {
+                                    item = back;
+                                    std::thread::yield_now();
+                                }
+                                Err(PushError::Closed(_)) => panic!("closed early"),
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<u64> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let mut expected: Vec<u64> = (0..4u64)
+            .flat_map(|p| (0..250).map(move |i| p * 1_000 + i))
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(all, expected);
+    }
+}

@@ -1,0 +1,466 @@
+//! The threaded serving edge: acceptor → bounded queue → worker pool.
+//!
+//! ```text
+//!          ┌──────────┐   try_push    ┌─────────────┐   pop   ┌─────────┐
+//!  TCP ───▶│ acceptor │──────────────▶│ Bounded<Conn>│────────▶│ workers │──▶ app
+//!          └──────────┘  Full → 429   └─────────────┘         └─────────┘
+//! ```
+//!
+//! * **Admission control** — the acceptor never blocks on a full queue:
+//!   it answers `429 Too Many Requests` + `Retry-After` on the spot and
+//!   closes the connection (`serve.shed` counter).
+//! * **Deadlines** — each request's budget starts when its connection
+//!   was admitted (so queue wait counts); a spent budget yields `504`
+//!   (`serve.timeout` counter) without doing the work.
+//! * **Panic isolation** — the app call runs under `catch_unwind`; a
+//!   panicking handler costs that request a `500` (`serve.panic`
+//!   counter), never the worker.
+//! * **Keep-alive** — workers serve a connection's requests back to
+//!   back and reap it after `idle_timeout_ms` of silence (socket read
+//!   timeout).
+//! * **Graceful shutdown** — [`ServerHandle::request_shutdown`] flips
+//!   the drain flag; the acceptor stops admitting and exits (closing
+//!   the listener), workers drain the queue and finish in-flight
+//!   requests (answering `Connection: close`), then
+//!   [`ServerHandle::join`] returns.
+
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use exrec_obs::Telemetry;
+
+use crate::app::{AppError, Deadline, ExplainApp};
+use crate::http::{read_request, HttpError, Request, Response};
+use crate::proto::{ErrorBody, HealthResponse};
+use crate::queue::{Bounded, PushError};
+
+/// Tuning knobs of the serving edge.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port `0` picks a free port (tests, loadgen).
+    pub addr: String,
+    /// Worker threads serving admitted connections.
+    pub workers: usize,
+    /// Admission queue capacity; the load-shedding threshold.
+    pub queue_bound: usize,
+    /// Default per-request deadline, milliseconds (requests may lower
+    /// or raise it via `deadline_ms`, capped at `max_deadline_ms`).
+    pub default_deadline_ms: u64,
+    /// Largest client-supplied deadline honoured, milliseconds.
+    pub max_deadline_ms: u64,
+    /// Keep-alive connections idle longer than this are reaped.
+    pub idle_timeout_ms: u64,
+    /// Largest accepted request body, bytes.
+    pub max_body_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:8787".to_owned(),
+            workers: 4,
+            queue_bound: 64,
+            default_deadline_ms: 2_000,
+            max_deadline_ms: 30_000,
+            idle_timeout_ms: 5_000,
+            max_body_bytes: 1 << 20,
+        }
+    }
+}
+
+/// An admitted connection, stamped so queue wait counts against the
+/// first request's deadline.
+struct Conn {
+    stream: TcpStream,
+    admitted_at: Instant,
+}
+
+/// State shared by acceptor, workers and the handle.
+struct Shared {
+    app: ExplainApp,
+    config: ServerConfig,
+    telemetry: Telemetry,
+    queue: Bounded<Conn>,
+    draining: AtomicBool,
+    started_at: Instant,
+}
+
+/// A running server; dropping it without calling
+/// [`ServerHandle::shutdown`] detaches the threads.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Binds the listener and spawns the acceptor and worker threads.
+///
+/// # Errors
+///
+/// Propagates listener bind/configuration failures.
+pub fn start(
+    app: ExplainApp,
+    config: ServerConfig,
+    telemetry: Telemetry,
+) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        queue: Bounded::new(config.queue_bound),
+        app,
+        config,
+        telemetry,
+        draining: AtomicBool::new(false),
+        started_at: Instant::now(),
+    });
+
+    let workers = (0..shared.config.workers.max(1))
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("serve-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn worker")
+        })
+        .collect();
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("serve-acceptor".to_owned())
+            .spawn(move || accept_loop(&listener, &shared))
+            .expect("spawn acceptor")
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        acceptor: Some(acceptor),
+        workers,
+    })
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port `0` binds).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's telemetry handle.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.shared.telemetry
+    }
+
+    /// Begins a graceful drain: stop admitting, let workers finish.
+    /// Idempotent; returns immediately. Call [`ServerHandle::join`] to
+    /// wait for completion, or [`ServerHandle::shutdown`] for both.
+    pub fn request_shutdown(&self) {
+        if self.shared.draining.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the acceptor's blocking accept() with a wake-up
+        // connection; it observes the flag and exits.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Waits for the drain to complete: acceptor gone (listener
+    /// closed), queue drained, in-flight requests answered.
+    pub fn join(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // Acceptor is gone: nothing new can be admitted. Close the
+        // queue so workers drain the remainder and exit.
+        self.shared.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+
+    /// [`ServerHandle::request_shutdown`] + [`ServerHandle::join`].
+    pub fn shutdown(self) {
+        self.request_shutdown();
+        self.join();
+    }
+}
+
+/// Accepts connections, admitting them to the queue or shedding.
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    let metrics = shared.telemetry.metrics();
+    let accepted = metrics.counter("serve.accepted");
+    let shed = metrics.counter("serve.shed");
+    let depth_gauge = metrics.gauge("serve.queue_depth");
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.draining.load(Ordering::SeqCst) {
+            // The wake-up poke (or a straggler); refuse politely.
+            refuse(stream, 503, "draining", "server is shutting down", None);
+            return;
+        }
+        accepted.incr();
+        match shared.queue.try_push(Conn {
+            stream,
+            admitted_at: Instant::now(),
+        }) {
+            Ok(depth) => depth_gauge.set(depth as f64),
+            Err(PushError::Full(conn)) => {
+                shed.incr();
+                refuse(conn.stream, 429, "shed", "admission queue is full", Some(1));
+            }
+            Err(PushError::Closed(conn)) => {
+                refuse(
+                    conn.stream,
+                    503,
+                    "draining",
+                    "server is shutting down",
+                    None,
+                );
+                return;
+            }
+        }
+    }
+}
+
+/// Writes a one-shot refusal on a connection the queue never saw.
+/// Best-effort: a peer that vanished mid-shed is already satisfied.
+fn refuse(stream: TcpStream, status: u16, error: &str, detail: &str, retry_after: Option<u64>) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let mut response = Response::json(status, &ErrorBody::new(error, detail));
+    if let Some(seconds) = retry_after {
+        response = response.with_retry_after(seconds);
+    }
+    let mut stream = stream;
+    let _ = response.write_to(&mut stream, false);
+}
+
+/// One worker: pop admitted connections and serve them to completion.
+fn worker_loop(shared: &Shared) {
+    let depth_gauge = shared.telemetry.metrics().gauge("serve.queue_depth");
+    while let Some(conn) = shared.queue.pop() {
+        depth_gauge.set(shared.queue.len() as f64);
+        serve_connection(shared, conn);
+    }
+}
+
+/// Serves every request on one connection (keep-alive loop).
+fn serve_connection(shared: &Shared, conn: Conn) {
+    let metrics = shared.telemetry.metrics();
+    metrics.counter("serve.connections").incr();
+    let stream = conn.stream;
+    let idle = Duration::from_millis(shared.config.idle_timeout_ms.max(1));
+    if stream.set_read_timeout(Some(idle)).is_err() || stream.set_nodelay(true).is_err() {
+        return;
+    }
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    // The first request's deadline starts at admission: time spent in
+    // the queue is part of the latency the client observes.
+    let mut request_start = Some(conn.admitted_at);
+
+    loop {
+        let request = read_request(&mut reader, shared.config.max_body_bytes);
+        let started = request_start.take().unwrap_or_else(Instant::now);
+        match request {
+            Ok(None) => return, // peer closed cleanly
+            Err(e) if e.is_timeout() => {
+                metrics.counter("serve.idle_reaped").incr();
+                return;
+            }
+            Err(HttpError::Io(_)) => return,
+            Err(HttpError::BodyTooLarge { declared, limit }) => {
+                let body = ErrorBody::new(
+                    "body_too_large",
+                    format!("declared {declared} bytes, limit {limit}"),
+                );
+                let _ = Response::json(413, &body).write_to(&mut writer, false);
+                return;
+            }
+            Err(HttpError::Malformed(detail)) => {
+                let _ = Response::json(400, &ErrorBody::new("bad_request", detail))
+                    .write_to(&mut writer, false);
+                return;
+            }
+            Ok(Some(request)) => {
+                let (response, endpoint) = dispatch(shared, &request, started);
+                let keep_alive =
+                    request.wants_keep_alive() && !shared.draining.load(Ordering::SeqCst);
+                record(metrics, endpoint, response.status, started.elapsed());
+                if response.write_to(&mut writer, keep_alive).is_err() || !keep_alive {
+                    return;
+                }
+                metrics.counter("serve.keepalive_reuse").incr();
+            }
+        }
+    }
+}
+
+/// Records the per-request metrics every endpoint shares.
+fn record(metrics: &exrec_obs::Metrics, endpoint: &'static str, status: u16, took: Duration) {
+    metrics.counter("serve.requests").incr();
+    metrics
+        .histogram(&format!("serve.latency_ns.{endpoint}"))
+        .record(took);
+    metrics
+        .counter(&format!("serve.status.{}xx", status / 100))
+        .incr();
+}
+
+/// Routes one parsed request, isolating handler panics.
+fn dispatch(shared: &Shared, request: &Request, started: Instant) -> (Response, &'static str) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => (health(shared), "healthz"),
+        ("GET", "/metrics") => (Response::json(200, &shared.telemetry.report()), "metrics"),
+        ("POST", "/v1/recommend") => (
+            handle_post(shared, request, started, "recommend"),
+            "recommend",
+        ),
+        ("POST", "/v1/explain") => (handle_post(shared, request, started, "explain"), "explain"),
+        (_, "/healthz" | "/metrics" | "/v1/recommend" | "/v1/explain") => (
+            Response::json(
+                405,
+                &ErrorBody::new(
+                    "method_not_allowed",
+                    format!("{} not allowed", request.method),
+                ),
+            ),
+            "method_not_allowed",
+        ),
+        (_, path) => (
+            Response::json(
+                404,
+                &ErrorBody::new("not_found", format!("no route {path}")),
+            ),
+            "not_found",
+        ),
+    }
+}
+
+fn health(shared: &Shared) -> Response {
+    let status = if shared.draining.load(Ordering::SeqCst) {
+        "draining"
+    } else {
+        "ok"
+    };
+    Response::json(
+        200,
+        &HealthResponse {
+            status: status.to_owned(),
+            uptime_ms: shared.started_at.elapsed().as_millis() as u64,
+            workers: shared.config.workers.max(1),
+            queue_capacity: shared.queue.capacity(),
+            queue_depth: shared.queue.len(),
+        },
+    )
+}
+
+/// Parses, deadline-checks and runs one POST body under `catch_unwind`.
+fn handle_post(
+    shared: &Shared,
+    request: &Request,
+    started: Instant,
+    endpoint: &'static str,
+) -> Response {
+    let body = match std::str::from_utf8(&request.body) {
+        Ok(body) => body,
+        Err(_) => {
+            return Response::json(400, &ErrorBody::new("bad_request", "body is not UTF-8"));
+        }
+    };
+    let metrics = shared.telemetry.metrics();
+
+    // Parse first so the deadline can honour the request's own budget.
+    enum Parsed {
+        Recommend(crate::proto::RecommendRequest),
+        Explain(crate::proto::ExplainRequest),
+    }
+    let (parsed, deadline_ms) = match endpoint {
+        "recommend" => match serde_json::from_str::<crate::proto::RecommendRequest>(body) {
+            Ok(req) => {
+                let ms = req.deadline_ms;
+                (Parsed::Recommend(req), ms)
+            }
+            Err(e) => {
+                return Response::json(
+                    400,
+                    &ErrorBody::new("bad_request", format!("invalid JSON body: {e:?}")),
+                )
+            }
+        },
+        _ => match serde_json::from_str::<crate::proto::ExplainRequest>(body) {
+            Ok(req) => {
+                let ms = req.deadline_ms;
+                (Parsed::Explain(req), ms)
+            }
+            Err(e) => {
+                return Response::json(
+                    400,
+                    &ErrorBody::new("bad_request", format!("invalid JSON body: {e:?}")),
+                )
+            }
+        },
+    };
+    let budget_ms = deadline_ms
+        .unwrap_or(shared.config.default_deadline_ms)
+        .min(shared.config.max_deadline_ms);
+    let deadline = Deadline::from(started, budget_ms);
+    if deadline.exceeded() {
+        metrics.counter("serve.timeout").incr();
+        return Response::json(
+            504,
+            &ErrorBody::new("deadline_exceeded", "deadline elapsed before handling"),
+        );
+    }
+
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| match &parsed {
+        Parsed::Recommend(req) => shared
+            .app
+            .recommend(req, deadline)
+            .map(|resp| Response::json(200, &resp)),
+        Parsed::Explain(req) => shared
+            .app
+            .explain(req, deadline)
+            .map(|resp| Response::json(200, &resp)),
+    }));
+    match outcome {
+        Ok(Ok(response)) => response,
+        Ok(Err(app_error)) => {
+            if matches!(app_error, AppError::DeadlineExceeded) {
+                metrics.counter("serve.timeout").incr();
+            }
+            let (status, class, detail) = match app_error {
+                AppError::BadRequest(d) => (400, "bad_request", d),
+                AppError::NotFound(d) => (404, "not_found", d),
+                AppError::Unprocessable(d) => (422, "unprocessable", d),
+                AppError::DeadlineExceeded => (
+                    504,
+                    "deadline_exceeded",
+                    format!("deadline of {budget_ms}ms elapsed"),
+                ),
+            };
+            Response::json(status, &ErrorBody::new(class, detail))
+        }
+        Err(_) => {
+            metrics.counter("serve.panic").incr();
+            Response::json(
+                500,
+                &ErrorBody::new("panic", "handler panicked; worker recovered"),
+            )
+        }
+    }
+}

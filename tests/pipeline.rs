@@ -40,7 +40,8 @@ fn every_interface_runs_on_some_recommender() {
         exrec::algo::knowledge::Constraint::AtLeast(1990.0),
     )])
     .unwrap();
-    let recommenders: Vec<&(dyn Recommender + Sync)> = vec![&user_knn, &item_knn, &tfidf, &nb, &pop, &maut];
+    let recommenders: Vec<&(dyn Recommender + Sync)> =
+        vec![&user_knn, &item_knn, &tfidf, &nb, &pop, &maut];
 
     for id in InterfaceId::ALL {
         let mut generated = false;
