@@ -127,6 +127,11 @@ pub fn default_threads() -> usize {
 /// that turns out expensive delays only its thief. With `threads <= 1`
 /// (or one item) this degrades to a plain sequential map with no pool.
 ///
+/// If the calling thread has an active trace context it is installed in
+/// every worker, so spans opened inside `f` parent onto the span that
+/// submitted the batch — a request trace stays one tree across the
+/// thread boundary.
+///
 /// `f` receives `(index, &item)`; results are placed by index, so output
 /// order never depends on scheduling.
 pub fn parallel_map<T, U, F>(threads: usize, items: &[T], f: F) -> Vec<U>
@@ -154,13 +159,16 @@ where
     }
     drop(tx);
 
+    let trace_ctx = exrec_obs::trace::current();
     let collected: Mutex<Vec<(usize, U)>> = Mutex::new(Vec::with_capacity(items.len()));
     std::thread::scope(|scope| {
         for _ in 0..threads {
             let rx = rx.clone();
             let collected = &collected;
             let f = &f;
+            let trace_ctx = trace_ctx.clone();
             scope.spawn(move || {
+                let _trace = trace_ctx.map(exrec_obs::trace::install);
                 let mut local: Vec<(usize, U)> = Vec::new();
                 while let Some(range) = rx.recv() {
                     for i in range {
@@ -263,6 +271,15 @@ impl BatchPool {
             return Vec::new();
         }
         let started = Instant::now();
+        // Inside a request trace the batch gets its own span: workers
+        // install the context (see `parallel_map`), so their spans hang
+        // off this one. Untraced batches skip the span and keep the
+        // established batch.* histograms as their only cost.
+        let _span = self.telemetry.as_ref().and_then(|t| {
+            exrec_obs::trace::current()
+                .is_some()
+                .then(|| exrec_obs::span!(t, "batch", label = label, requests = items.len()))
+        });
         let out = parallel_map(self.threads(), items, f);
         if let Some(t) = &self.telemetry {
             let m = t.metrics();
@@ -403,6 +420,51 @@ mod tests {
         let model = Popularity::default();
         assert!(model.recommend_batch(&ctx, &[], 4).is_empty());
         assert!(pool.recommend_batch(&model, &ctx, &[], 4).is_empty());
+    }
+
+    #[test]
+    fn pool_propagates_trace_context_to_workers() {
+        use exrec_obs::{trace, CountingSubscriber, IdSource, Subscriber};
+        use std::sync::Arc;
+
+        let collector = Arc::new(CountingSubscriber::new());
+        let obs = Telemetry::with_subscriber(Arc::clone(&collector) as Arc<dyn Subscriber>);
+        let ids = Arc::new(IdSource::seeded(21));
+        let pool = BatchPool::new(4).with_telemetry(obs.clone());
+        let items: Vec<u64> = (0..64).collect();
+        let expected_trace;
+        {
+            let root = obs.root_span("request", &ids);
+            expected_trace = root.trace_id_hex().unwrap();
+            let obs_ref = &obs;
+            let out = pool.run("recommend", &items, |_, &x| {
+                let _span = obs_ref.span("work_item");
+                x * 2
+            });
+            assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        }
+        assert!(trace::current().is_none());
+        let events = collector.events();
+        let batch = events.iter().find(|e| e.name == "batch").unwrap();
+        assert_eq!(batch.trace_id.as_deref(), Some(expected_trace.as_str()));
+        let work: Vec<_> = events.iter().filter(|e| e.name == "work_item").collect();
+        assert_eq!(work.len(), items.len());
+        for w in &work {
+            assert_eq!(
+                w.trace_id.as_deref(),
+                Some(expected_trace.as_str()),
+                "worker spans join the submitting request's trace"
+            );
+            assert_eq!(
+                w.parent_id, batch.span_id,
+                "worker spans parent onto the batch span across threads"
+            );
+        }
+        // Untraced batches stay span-free (no trace context, no span).
+        let before = collector.events().len();
+        pool.run("recommend", &items, |_, &x| x);
+        let after: Vec<_> = collector.events().split_off(before);
+        assert!(after.iter().all(|e| e.name != "batch"));
     }
 
     #[test]

@@ -22,8 +22,12 @@
 //! ```
 //!
 //! Exit code is non-zero when any response falls outside the expected
-//! classes (2xx, 429 shed, 504 deadline) or any transport error
-//! occurs — CI runs `--quick` as a correctness gate on the edge.
+//! classes (2xx, 422 explanation-withheld, 429 shed, 504 deadline), a
+//! 2xx arrives without its
+//! `x-exrec-trace-id` header, any transport error occurs, or the final
+//! `/metrics` scrape (with `Accept: text/plain`) fails the Prometheus
+//! exposition checks in [`exrec_bench::promcheck`] — CI runs `--quick`
+//! as a correctness gate on the edge.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -101,6 +105,13 @@ enum Outcome {
     Ok2xx(f64),
     Shed429,
     Timeout504,
+    /// A 2xx without the `x-exrec-trace-id` header — fails the run
+    /// (every routed response must carry its trace id).
+    NoTraceHeader,
+    /// 422 from `/v1/explain`: the server withheld an explanation it
+    /// could not justify. Correct behaviour for some user/item pairs
+    /// in the mix, so counted but not a failure.
+    Unprocessable422,
     /// Unexpected status class — fails the run.
     Unexpected(u16),
     /// Socket-level failure — fails the run.
@@ -124,6 +135,7 @@ struct PointReport {
     clients: usize,
     requests: usize,
     status_2xx: usize,
+    unprocessable_422: usize,
     shed_429: usize,
     timeout_504: usize,
     unexpected: usize,
@@ -222,6 +234,7 @@ fn fire(addr: SocketAddr, path: &str, body: &str, scheduled: Instant) -> Outcome
     };
     // Drain headers + body so the latency covers the full response.
     let mut content_length = 0usize;
+    let mut has_trace_id = false;
     loop {
         let mut line = String::new();
         if reader.read_line(&mut line).unwrap_or(0) == 0 {
@@ -235,6 +248,9 @@ fn fire(addr: SocketAddr, path: &str, body: &str, scheduled: Instant) -> Outcome
             if name.trim().eq_ignore_ascii_case("content-length") {
                 content_length = value.trim().parse().unwrap_or(0);
             }
+            if name.trim().eq_ignore_ascii_case("x-exrec-trace-id") {
+                has_trace_id = !value.trim().is_empty();
+            }
         }
     }
     let mut body = vec![0u8; content_length];
@@ -243,11 +259,83 @@ fn fire(addr: SocketAddr, path: &str, body: &str, scheduled: Instant) -> Outcome
     }
     let latency_ms = scheduled.elapsed().as_secs_f64() * 1e3;
     match status {
-        200..=299 => Outcome::Ok2xx(latency_ms),
+        200..=299 if has_trace_id => Outcome::Ok2xx(latency_ms),
+        200..=299 => Outcome::NoTraceHeader,
+        422 => Outcome::Unprocessable422,
         429 => Outcome::Shed429,
         504 => Outcome::Timeout504,
         other => Outcome::Unexpected(other),
     }
+}
+
+/// `GET /metrics` with `Accept: text/plain`, returning the content-type
+/// header and the exposition body.
+fn scrape_metrics(addr: SocketAddr) -> Option<(String, String)> {
+    let stream = TcpStream::connect(addr).ok()?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .ok()?;
+    let mut writer = stream.try_clone().ok()?;
+    writer
+        .write_all(
+            b"GET /metrics HTTP/1.1\r\nhost: loadgen\r\naccept: text/plain\r\n\
+              connection: close\r\ncontent-length: 0\r\n\r\n",
+        )
+        .ok()?;
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).ok()?;
+    if status_line.split_whitespace().nth(1)? != "200" {
+        return None;
+    }
+    let mut content_type = String::new();
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line).ok()? == 0 {
+            return None;
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            match name.trim().to_ascii_lowercase().as_str() {
+                "content-type" => content_type = value.trim().to_owned(),
+                "content-length" => content_length = value.trim().parse().ok()?,
+                _ => {}
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).ok()?;
+    Some((content_type, String::from_utf8(body).ok()?))
+}
+
+/// Scrapes the exposition endpoint and validates it: correct content
+/// type, grammatically valid per [`exrec_bench::promcheck`], and the
+/// `serve_*` families present. Returns the violations (empty = pass).
+fn check_exposition(addr: SocketAddr) -> Vec<String> {
+    let Some((content_type, body)) = scrape_metrics(addr) else {
+        return vec!["metrics scrape failed (transport or non-200)".to_owned()];
+    };
+    let mut errors = Vec::new();
+    if content_type != "text/plain; version=0.0.4" {
+        errors.push(format!(
+            "unexpected exposition content-type {content_type:?}"
+        ));
+    }
+    let mut report = exrec_bench::promcheck::check(&body);
+    errors.append(&mut report.errors);
+    for family in ["serve_requests", "serve_accepted", "serve_connections"] {
+        if !report.has_family(family) {
+            errors.push(format!("missing expected family {family}"));
+        }
+    }
+    if report.families_with_prefix("serve_latency_ns").is_empty() {
+        errors.push("no serve_latency_ns_* histogram family".to_owned());
+    }
+    errors
 }
 
 fn percentile(sorted: &[f64], q: f64) -> f64 {
@@ -298,15 +386,21 @@ fn run_point(addr: SocketAddr, n_users: usize, point: &SweepPoint) -> PointRepor
 
     let outcomes = outcomes.into_inner().unwrap_or_else(|p| p.into_inner());
     let mut ok_latencies: Vec<f64> = Vec::new();
-    let (mut ok, mut shed, mut timeout, mut unexpected, mut transport) = (0, 0, 0, 0, 0);
+    let (mut ok, mut unprocessable, mut shed, mut timeout, mut unexpected, mut transport) =
+        (0, 0, 0, 0, 0, 0);
     for outcome in &outcomes {
         match outcome {
             Outcome::Ok2xx(ms) => {
                 ok += 1;
                 ok_latencies.push(*ms);
             }
+            Outcome::Unprocessable422 => unprocessable += 1,
             Outcome::Shed429 => shed += 1,
             Outcome::Timeout504 => timeout += 1,
+            Outcome::NoTraceHeader => {
+                eprintln!("[loadgen]   2xx without x-exrec-trace-id header");
+                unexpected += 1;
+            }
             Outcome::Unexpected(status) => {
                 eprintln!("[loadgen]   unexpected status {status}");
                 unexpected += 1;
@@ -326,6 +420,7 @@ fn run_point(addr: SocketAddr, n_users: usize, point: &SweepPoint) -> PointRepor
         clients: point.clients,
         requests: point.requests,
         status_2xx: ok,
+        unprocessable_422: unprocessable,
         shed_429: shed,
         timeout_504: timeout,
         unexpected,
@@ -341,8 +436,16 @@ fn run_point(addr: SocketAddr, n_users: usize, point: &SweepPoint) -> PointRepor
         },
     };
     eprintln!(
-        "[loadgen]   2xx {} / shed {} / timeout {} / bad {} / transport {}  p50 {:.1}ms p99 {:.1}ms",
-        ok, shed, timeout, unexpected, transport, report.latency_ms.p50, report.latency_ms.p99
+        "[loadgen]   2xx {} / 422 {} / shed {} / timeout {} / bad {} / transport {}  \
+         p50 {:.1}ms p99 {:.1}ms",
+        ok,
+        unprocessable,
+        shed,
+        timeout,
+        unexpected,
+        transport,
+        report.latency_ms.p50,
+        report.latency_ms.p99
     );
     report
 }
@@ -429,6 +532,11 @@ fn main() {
         },
         points,
     };
+    // Scrape /metrics as a Prometheus client would and validate the
+    // exposition before the server goes away.
+    eprintln!("[loadgen] validating /metrics exposition");
+    let exposition_errors = check_exposition(addr);
+
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     // Parse it back before writing: CI fails on a report that does not
     // round-trip (the "latency-report parse error" gate).
@@ -455,6 +563,16 @@ fn main() {
     }
     if ok == 0 {
         eprintln!("[loadgen] FAIL: no successful responses at all");
+        std::process::exit(1);
+    }
+    if !exposition_errors.is_empty() {
+        for error in &exposition_errors {
+            eprintln!("[loadgen]   exposition: {error}");
+        }
+        eprintln!(
+            "[loadgen] FAIL: /metrics exposition invalid ({} violations)",
+            exposition_errors.len()
+        );
         std::process::exit(1);
     }
     eprintln!("[loadgen] OK");

@@ -12,6 +12,8 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod promcheck;
+
 use exrec_core::influence::loo_influences;
 use exrec_core::render::{PlainRenderer, Render};
 use exrec_data::synth::{movies, news, WorldConfig};

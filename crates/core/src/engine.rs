@@ -73,6 +73,10 @@ impl<'r> Explainer<'r> {
     }
 
     /// Gathers model evidence, timing it when telemetry is attached.
+    /// Inside a request trace it also emits an `explain.evidence` span
+    /// (backdated over the gathering), so evidence cost shows up in the
+    /// request's span tree; the `explain.evidence_ns` histogram is
+    /// recorded either way.
     fn gather_evidence(&self, ctx: &Ctx<'_>, user: UserId, item: ItemId) -> Result<ModelEvidence> {
         let started = Instant::now();
         let evidence = self.recommender.evidence(ctx, user, item);
@@ -80,6 +84,10 @@ impl<'r> Explainer<'r> {
             t.metrics()
                 .histogram("explain.evidence_ns")
                 .record(started.elapsed());
+            if exrec_obs::trace::current().is_some() {
+                let _span = exrec_obs::span!(t, "explain.evidence", user = user.0, item = item.0)
+                    .started_at(started);
+            }
         }
         evidence
     }
@@ -318,5 +326,53 @@ mod tests {
         assert_eq!(report.counters["explain.fired.item_average"], 2);
         assert_eq!(report.counters["explain.abort.missing_evidence"], 1);
         assert_eq!(report.histograms["explain.evidence_ns"].count, 3);
+    }
+
+    #[test]
+    fn evidence_spans_join_an_active_trace() {
+        use exrec_obs::{trace, CountingSubscriber, IdSource, Subscriber};
+
+        let w = world();
+        let ctx = Ctx::new(&w.ratings, &w.catalog);
+        let pop = Popularity::default();
+        let collector = std::sync::Arc::new(CountingSubscriber::new());
+        let obs = Telemetry::with_subscriber(
+            std::sync::Arc::clone(&collector) as std::sync::Arc<dyn Subscriber>
+        );
+        let explainer = Explainer::new(&pop, InterfaceId::MovieAverage).with_telemetry(obs.clone());
+        let user = w.ratings.users().next().unwrap();
+
+        // Untraced call: the histogram records but no evidence span.
+        assert!(!explainer.recommend_explained(&ctx, user, 2).is_empty());
+        assert!(collector
+            .events()
+            .iter()
+            .all(|e| e.name != "explain.evidence"));
+
+        // Traced call: evidence spans appear, parented under the
+        // recommend_explained span, all in the request's trace.
+        let ids = std::sync::Arc::new(IdSource::seeded(3));
+        let expected_trace;
+        {
+            let root = obs.root_span("request", &ids);
+            expected_trace = root.trace_id_hex().unwrap();
+            assert!(!explainer.recommend_explained(&ctx, user, 2).is_empty());
+        }
+        assert!(trace::current().is_none());
+        let events = collector.events();
+        let rec = events
+            .iter()
+            .find(|e| e.name == "recommend_explained" && e.trace_id.is_some())
+            .unwrap();
+        assert_eq!(rec.trace_id.as_deref(), Some(expected_trace.as_str()));
+        let evidence: Vec<_> = events
+            .iter()
+            .filter(|e| e.name == "explain.evidence")
+            .collect();
+        assert!(!evidence.is_empty());
+        for e in &evidence {
+            assert_eq!(e.trace_id.as_deref(), Some(expected_trace.as_str()));
+            assert_eq!(e.parent_id, rec.span_id);
+        }
     }
 }

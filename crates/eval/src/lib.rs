@@ -21,7 +21,7 @@
 //! identical reports in canonical order. The `repro` binary exposes this
 //! as `--parallel [N]`.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 use std::time::Instant;

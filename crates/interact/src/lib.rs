@@ -20,7 +20,7 @@
 //! * [`store`] — a concurrent session store tracking logins and
 //!   interactions (the loyalty measures of Section 3.3).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod critiquing;

@@ -15,9 +15,25 @@
 //!   registered instrument, rendered by `repro` and the `telemetry`
 //!   example.
 //!
-//! The metric taxonomy (`algo.*`, `explain.*`, `eval.*`) and its mapping
-//! onto the survey's seven explanation aims are documented in
-//! `docs/observability.md`.
+//! On top of those, three request-centric layers:
+//!
+//! * **tracing** — [`Telemetry::root_span`] starts a request trace
+//!   ([`trace::TraceContext`]: 128-bit trace id, span id, parent id);
+//!   spans opened beneath it nest into a tree, and
+//!   [`trace::current`]/[`trace::install`] carry the context across
+//!   thread boundaries (the batch pool does this for its workers);
+//! * **tail sampling** — [`trace::TailSamplingSubscriber`] buffers
+//!   in-flight traces in a bounded lock-striped ring and flushes only
+//!   the slow, errored, or head-sampled ones to the inner subscriber;
+//! * **SLOs** — [`slo::SloMonitor`] tracks per-route good/total ratios
+//!   and error-budget burn rate over a rolling window of time buckets,
+//!   advanced on record with no background thread; and
+//!   [`promtext::render`] exposes the whole registry as Prometheus text
+//!   exposition 0.0.4.
+//!
+//! The metric taxonomy (`algo.*`, `explain.*`, `eval.*`, `serve.*`,
+//! `trace.*`, `slo.*`) and its mapping onto the survey's seven
+//! explanation aims are documented in `docs/observability.md`.
 //!
 //! ```
 //! use exrec_obs::{span, Telemetry};
@@ -37,9 +53,16 @@
 #![warn(rust_2018_idioms)]
 
 pub mod metrics;
+pub mod promtext;
+pub mod slo;
 pub mod span;
+pub mod trace;
 
-pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, Metrics, MetricsReport};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramRaw, HistogramSummary, Metrics, MetricsReport,
+};
+pub use slo::{RouteStatus, SloConfig, SloMonitor};
 pub use span::{
     CountingSubscriber, JsonLinesSubscriber, NoopSubscriber, SpanEvent, Subscriber, Telemetry,
 };
+pub use trace::{IdSource, TailConfig, TailSamplingSubscriber, TraceContext};

@@ -98,6 +98,12 @@ fn bucket_bound(i: usize) -> u64 {
     1u64 << i
 }
 
+/// Upper bound (ns) of bucket `i`, for renderers that need the raw
+/// bucket grid (e.g. Prometheus exposition).
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    bucket_bound(i.min(N_BUCKETS - 1))
+}
+
 impl Histogram {
     /// Records one sample, saturating above [`MAX_TRACKED_NS`]. The sum
     /// accumulator saturates at `u64::MAX` rather than wrapping, so the
@@ -181,6 +187,38 @@ impl Histogram {
     }
 }
 
+/// Raw per-bucket snapshot of one histogram, for renderers that need
+/// the full distribution rather than a digest (Prometheus exposition
+/// emits cumulative buckets).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramRaw {
+    /// Per-bucket sample counts; bucket `i` spans `[2^(i-1), 2^i)` ns.
+    pub buckets: Vec<u64>,
+    /// Total samples (sum of `buckets`, cut from the same snapshot).
+    pub count: u64,
+    /// Running sum of recorded nanoseconds.
+    pub sum_ns: u64,
+}
+
+impl Histogram {
+    /// Cuts a raw per-bucket snapshot. `count` is derived from the
+    /// bucket loads so the snapshot is internally consistent under
+    /// concurrent writers.
+    pub fn raw(&self) -> HistogramRaw {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count = buckets.iter().sum();
+        HistogramRaw {
+            buckets,
+            count,
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// Point-in-time digest of one histogram.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HistogramSummary {
@@ -255,6 +293,15 @@ impl Metrics {
                 .entry(name.to_owned())
                 .or_default(),
         )
+    }
+
+    /// Raw per-bucket snapshots of every registered histogram, keyed by
+    /// name — the input to the Prometheus exposition renderer.
+    pub fn histograms_raw(&self) -> BTreeMap<String, HistogramRaw> {
+        lock!(self.histograms.read())
+            .iter()
+            .map(|(k, v)| (k.clone(), v.raw()))
+            .collect()
     }
 
     /// Cuts a serializable snapshot of every registered instrument.
@@ -508,6 +555,58 @@ mod tests {
         let json = serde_json::to_string(&report).unwrap();
         let back: MetricsReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, report);
+    }
+
+    #[test]
+    fn render_ascii_on_empty_report_is_just_the_header() {
+        let report = MetricsReport::default();
+        assert!(report.is_empty());
+        assert_eq!(report.render_ascii(), "== telemetry ==\n");
+    }
+
+    #[test]
+    fn render_ascii_picks_human_units_per_magnitude() {
+        let m = Metrics::new();
+        m.histogram("tiny").record_ns(500); // ns
+        m.histogram("small").record_ns(5_000); // µs
+        m.histogram("medium").record_ns(5_000_000); // ms
+        m.histogram("large").record_ns(5_000_000_000); // s
+        let text = m.report().render_ascii();
+        // Means are exact (single sample each); quantiles round up to
+        // the bucket bound, so assert on the mean renderings.
+        for needle in ["mean=500ns", "mean=5.00µs", "mean=5.00ms", "mean=5.00s"] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn render_ascii_skips_empty_sections() {
+        let m = Metrics::new();
+        m.counter("only.counter").incr();
+        let text = m.report().render_ascii();
+        assert!(text.contains("counters:"));
+        assert!(!text.contains("gauges:"), "no gauges registered");
+        assert!(!text.contains("histograms:"), "no histograms registered");
+    }
+
+    #[test]
+    fn raw_snapshot_matches_recorded_samples() {
+        let h = Histogram::default();
+        h.record_ns(3); // bucket 2
+        h.record_ns(3); // bucket 2
+        h.record_ns(1000); // bucket 10
+        let raw = h.raw();
+        assert_eq!(raw.count, 3);
+        assert_eq!(raw.sum_ns, 1006);
+        assert_eq!(raw.buckets.len(), N_BUCKETS);
+        assert_eq!(raw.buckets[2], 2);
+        assert_eq!(raw.buckets[10], 1);
+        assert_eq!(raw.buckets.iter().sum::<u64>(), raw.count);
+        let m = Metrics::new();
+        m.histogram("lat").record_ns(7);
+        assert_eq!(m.histograms_raw()["lat"].count, 1);
+        assert_eq!(bucket_upper_bound(3), 8);
+        assert_eq!(bucket_upper_bound(usize::MAX), bucket_bound(N_BUCKETS - 1));
     }
 
     #[test]

@@ -1,0 +1,151 @@
+//! Prometheus text exposition (format version 0.0.4).
+//!
+//! [`render`] turns a [`Metrics`] registry into the plain-text format
+//! every Prometheus-compatible scraper understands: a `# TYPE` line per
+//! family, `name value` samples, and histograms as cumulative
+//! `_bucket{le="..."}` series plus `_sum`/`_count`. The serving edge
+//! content-negotiates this against the JSON report on `GET /metrics`
+//! (send `Accept: text/plain`).
+//!
+//! Metric names are sanitized to the Prometheus charset
+//! (`[a-zA-Z_:][a-zA-Z0-9_:]*`): the registry's dotted taxonomy maps
+//! `serve.latency_ns.recommend` → `serve_latency_ns_recommend`.
+//! Histogram `le` bounds are the registry's power-of-two bucket upper
+//! bounds in nanoseconds, with the mandatory trailing `+Inf`.
+
+use crate::metrics::{bucket_upper_bound, Metrics};
+
+/// Sanitizes a registry metric name into the Prometheus charset.
+/// Every character outside `[a-zA-Z0-9_:]` becomes `_`, and a leading
+/// digit is prefixed with `_`.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            if i == 0 && c.is_ascii_digit() {
+                out.push('_');
+            }
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Formats a float the way the exposition grammar expects (`Inf`,
+/// `-Inf` and `NaN` spelled out; everything else via `Display`).
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_owned()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_owned()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders every registered instrument as Prometheus text exposition
+/// 0.0.4. Serve it with content type `text/plain; version=0.0.4`.
+pub fn render(metrics: &Metrics) -> String {
+    let report = metrics.report();
+    let mut out = String::new();
+
+    for (name, value) in &report.counters {
+        let name = sanitize_name(name);
+        out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+    }
+    for (name, value) in &report.gauges {
+        let name = sanitize_name(name);
+        out.push_str(&format!(
+            "# TYPE {name} gauge\n{name} {}\n",
+            fmt_value(*value)
+        ));
+    }
+    for (name, raw) in metrics.histograms_raw() {
+        let name = sanitize_name(&name);
+        out.push_str(&format!("# TYPE {name} histogram\n"));
+        let mut cumulative = 0u64;
+        for (i, count) in raw.buckets.iter().enumerate() {
+            cumulative += count;
+            // Empty interior buckets still render: Prometheus histograms
+            // are cumulative, so each le series must be present to be
+            // monotone. Collapse nothing, trust the fixed 42-bucket grid.
+            out.push_str(&format!(
+                "{name}_bucket{{le=\"{}\"}} {cumulative}\n",
+                bucket_upper_bound(i)
+            ));
+        }
+        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+        out.push_str(&format!("{name}_sum {}\n", raw.sum_ns));
+        out.push_str(&format!("{name}_count {cumulative}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::N_BUCKETS;
+
+    #[test]
+    fn sanitize_maps_taxonomy_to_prometheus_charset() {
+        assert_eq!(
+            sanitize_name("serve.latency_ns.recommend"),
+            "serve_latency_ns_recommend"
+        );
+        assert_eq!(sanitize_name("serve.status.2xx"), "serve_status_2xx");
+        assert_eq!(sanitize_name("2fast"), "_2fast");
+        assert_eq!(sanitize_name(""), "_");
+    }
+
+    #[test]
+    fn renders_counters_and_gauges_with_type_lines() {
+        let m = Metrics::new();
+        m.counter("serve.requests").add(17);
+        m.gauge("serve.queue_depth").set(3.0);
+        let text = render(&m);
+        assert!(text.contains("# TYPE serve_requests counter\n"));
+        assert!(text.contains("serve_requests 17\n"));
+        assert!(text.contains("# TYPE serve_queue_depth gauge\n"));
+        assert!(text.contains("serve_queue_depth 3\n"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_at_inf() {
+        let m = Metrics::new();
+        let h = m.histogram("lat.ns");
+        h.record_ns(3); // bucket 2 (le 4)
+        h.record_ns(3);
+        h.record_ns(100); // bucket 7 (le 128)
+        let text = render(&m);
+        assert!(text.contains("# TYPE lat_ns histogram\n"));
+        assert!(text.contains("lat_ns_bucket{le=\"2\"} 0\n"));
+        assert!(text.contains("lat_ns_bucket{le=\"4\"} 2\n"));
+        assert!(text.contains("lat_ns_bucket{le=\"128\"} 3\n"));
+        assert!(text.contains("lat_ns_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("lat_ns_sum 106\n"));
+        assert!(text.contains("lat_ns_count 3\n"));
+        // One le series per bucket plus +Inf.
+        let bucket_lines = text
+            .lines()
+            .filter(|l| l.starts_with("lat_ns_bucket"))
+            .count();
+        assert_eq!(bucket_lines, N_BUCKETS + 1);
+    }
+
+    #[test]
+    fn gauge_special_values_follow_the_grammar() {
+        let m = Metrics::new();
+        m.gauge("weird.nan").set(f64::NAN);
+        m.gauge("weird.inf").set(f64::INFINITY);
+        m.gauge("weird.ratio").set(0.25);
+        let text = render(&m);
+        assert!(text.contains("weird_nan NaN\n"));
+        assert!(text.contains("weird_inf +Inf\n"));
+        assert!(text.contains("weird_ratio 0.25\n"));
+    }
+}

@@ -1,0 +1,392 @@
+//! Rolling-window SLO monitoring: per-route good/total ratios and burn
+//! rate over a ring of fixed-width time buckets.
+//!
+//! An SLO here is a latency objective ("requests answer within
+//! `objective_ns`") plus a target good ratio over a rolling window
+//! ("99% over the last minute"). The monitor keeps, per route, a ring
+//! of epoch-tagged buckets that is advanced *on record* — there is no
+//! background thread; a bucket whose epoch is stale is reset by the
+//! next writer to land in its slot, and readers simply skip buckets
+//! outside the window. Recording is one mutex lock and two adds.
+//!
+//! **Burn rate** is the classic SRE measure: the rate the error budget
+//! is being spent, `(1 - good_ratio) / (1 - target)`. Burn 1.0 spends
+//! exactly the budget; a sustained burn above ~10 exhausts a 30-day
+//! budget in hours. The monitor computes it over the full window and
+//! over a short *fast-burn* suffix, and flags a route degraded when the
+//! fast window burns hot on enough samples — the signal `/healthz`
+//! surfaces so load balancers back off before the budget is gone.
+//!
+//! Deterministic tests drive [`SloMonitor::record_at`] /
+//! [`SloMonitor::status_at`] with explicit offsets; production code
+//! uses [`SloMonitor::record`] / [`SloMonitor::status`], which read the
+//! process clock ([`crate::trace::process_offset_ns`]).
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, RwLock};
+
+use crate::trace::process_offset_ns;
+
+/// Tuning of an [`SloMonitor`].
+#[derive(Debug, Clone, Copy)]
+pub struct SloConfig {
+    /// Latency objective: a request at or under this is *good* (if it
+    /// also succeeded).
+    pub objective_ns: u64,
+    /// Target good ratio over the window, e.g. `0.99`.
+    pub target: f64,
+    /// Width of one ring bucket in nanoseconds.
+    pub bucket_width_ns: u64,
+    /// Buckets in the rolling window (window = width × buckets).
+    pub buckets: usize,
+    /// Buckets in the fast-burn suffix window.
+    pub fast_burn_buckets: usize,
+    /// Fast-window burn rate at or above which a route is degraded.
+    pub fast_burn_threshold: f64,
+    /// Minimum events in the fast window before it may trip (keeps a
+    /// single slow request on an idle route from flapping `/healthz`).
+    pub min_events: u64,
+}
+
+impl Default for SloConfig {
+    /// 250ms objective, 99% target over a 60×1s window; degraded when
+    /// the last 5s burn at ≥ 6× on at least 10 requests.
+    fn default() -> Self {
+        SloConfig {
+            objective_ns: 250_000_000,
+            target: 0.99,
+            bucket_width_ns: 1_000_000_000,
+            buckets: 60,
+            fast_burn_buckets: 5,
+            fast_burn_threshold: 6.0,
+            min_events: 10,
+        }
+    }
+}
+
+/// One ring slot: counts tagged with the epoch they belong to. Epoch 0
+/// means never written.
+#[derive(Debug, Clone, Copy, Default)]
+struct Bucket {
+    epoch: u64,
+    good: u64,
+    total: u64,
+}
+
+/// Per-route ring of buckets.
+#[derive(Debug)]
+struct RouteWindow {
+    buckets: Vec<Bucket>,
+}
+
+/// A route's SLO standing over the rolling window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouteStatus {
+    /// Good requests in the window.
+    pub good: u64,
+    /// Total requests in the window.
+    pub total: u64,
+    /// `good / total`; `1.0` on an empty window (no news is good news).
+    pub good_ratio: f64,
+    /// Error-budget burn rate over the full window.
+    pub burn_rate: f64,
+    /// Burn rate over the fast-burn suffix window.
+    pub fast_burn_rate: f64,
+    /// Whether the fast window trips the degraded threshold.
+    pub degraded: bool,
+}
+
+/// Tracks per-route SLO windows. `Send + Sync`; share via `Arc`.
+pub struct SloMonitor {
+    config: SloConfig,
+    routes: RwLock<BTreeMap<String, Mutex<RouteWindow>>>,
+}
+
+/// Lock with poison recovery: a panicking recorder must not take SLO
+/// accounting down with it.
+macro_rules! lock {
+    ($m:expr) => {
+        $m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    };
+}
+
+impl SloMonitor {
+    /// A monitor with the given objective and window shape.
+    pub fn new(config: SloConfig) -> Self {
+        SloMonitor {
+            config: SloConfig {
+                buckets: config.buckets.max(1),
+                fast_burn_buckets: config.fast_burn_buckets.clamp(1, config.buckets.max(1)),
+                bucket_width_ns: config.bucket_width_ns.max(1),
+                ..config
+            },
+            routes: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// The monitor's configuration (after clamping).
+    pub fn config(&self) -> &SloConfig {
+        &self.config
+    }
+
+    /// Records one request outcome for `route` at the current process
+    /// offset. `ok` is transport-level success (e.g. status < 500); a
+    /// request is *good* iff it is ok **and** within the objective.
+    pub fn record(&self, route: &str, elapsed_ns: u64, ok: bool) {
+        self.record_at(route, elapsed_ns, ok, process_offset_ns());
+    }
+
+    /// [`SloMonitor::record`] at an explicit offset, for deterministic
+    /// tests.
+    pub fn record_at(&self, route: &str, elapsed_ns: u64, ok: bool, offset_ns: u64) {
+        // Epochs start at 1 so that 0 can mean "slot never written".
+        let epoch = offset_ns / self.config.bucket_width_ns + 1;
+        let slot = (epoch % self.config.buckets as u64) as usize;
+        let good = ok && elapsed_ns <= self.config.objective_ns;
+
+        // Fast path: the route already has a window.
+        {
+            let routes = self
+                .routes
+                .read()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            if let Some(window) = routes.get(route) {
+                let mut w = lock!(window);
+                Self::bump(&mut w.buckets[slot], epoch, good);
+                return;
+            }
+        }
+        let mut routes = self
+            .routes
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let window = routes.entry(route.to_owned()).or_insert_with(|| {
+            Mutex::new(RouteWindow {
+                buckets: vec![Bucket::default(); self.config.buckets],
+            })
+        });
+        let mut w = lock!(window);
+        Self::bump(&mut w.buckets[slot], epoch, good);
+    }
+
+    fn bump(bucket: &mut Bucket, epoch: u64, good: bool) {
+        if bucket.epoch != epoch {
+            // This slot last held an older epoch's counts: the window
+            // advanced past them, start the slot over.
+            *bucket = Bucket {
+                epoch,
+                good: 0,
+                total: 0,
+            };
+        }
+        bucket.total += 1;
+        if good {
+            bucket.good += 1;
+        }
+    }
+
+    /// The rolling-window standing of `route` at the current process
+    /// offset; `None` if the route has never recorded.
+    pub fn status(&self, route: &str) -> Option<RouteStatus> {
+        self.status_at(route, process_offset_ns())
+    }
+
+    /// [`SloMonitor::status`] at an explicit offset.
+    pub fn status_at(&self, route: &str, offset_ns: u64) -> Option<RouteStatus> {
+        let routes = self
+            .routes
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let window = routes.get(route)?;
+        let w = lock!(window);
+        Some(self.summarize(&w.buckets, offset_ns))
+    }
+
+    /// Standing of every route that has ever recorded.
+    pub fn snapshot(&self) -> BTreeMap<String, RouteStatus> {
+        self.snapshot_at(process_offset_ns())
+    }
+
+    /// [`SloMonitor::snapshot`] at an explicit offset.
+    pub fn snapshot_at(&self, offset_ns: u64) -> BTreeMap<String, RouteStatus> {
+        let routes = self
+            .routes
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        routes
+            .iter()
+            .map(|(route, window)| {
+                let w = lock!(window);
+                (route.clone(), self.summarize(&w.buckets, offset_ns))
+            })
+            .collect()
+    }
+
+    /// Whether any route is currently degraded.
+    pub fn degraded(&self) -> bool {
+        self.snapshot().values().any(|s| s.degraded)
+    }
+
+    fn summarize(&self, buckets: &[Bucket], offset_ns: u64) -> RouteStatus {
+        let now_epoch = offset_ns / self.config.bucket_width_ns + 1;
+        let in_window = |b: &Bucket, len: u64| -> bool {
+            b.epoch != 0 && b.epoch <= now_epoch && now_epoch - b.epoch < len
+        };
+        let (mut good, mut total) = (0u64, 0u64);
+        let (mut fast_good, mut fast_total) = (0u64, 0u64);
+        for b in buckets {
+            if in_window(b, self.config.buckets as u64) {
+                good += b.good;
+                total += b.total;
+            }
+            if in_window(b, self.config.fast_burn_buckets as u64) {
+                fast_good += b.good;
+                fast_total += b.total;
+            }
+        }
+        let ratio = |g: u64, t: u64| if t == 0 { 1.0 } else { g as f64 / t as f64 };
+        let budget = (1.0 - self.config.target).max(f64::EPSILON);
+        let burn = |g: u64, t: u64| (1.0 - ratio(g, t)) / budget;
+        let fast_burn_rate = burn(fast_good, fast_total);
+        RouteStatus {
+            good,
+            total,
+            good_ratio: ratio(good, total),
+            burn_rate: burn(good, total),
+            fast_burn_rate,
+            degraded: fast_total >= self.config.min_events
+                && fast_burn_rate >= self.config.fast_burn_threshold,
+        }
+    }
+}
+
+impl std::fmt::Debug for SloMonitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SloMonitor")
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 100µs objective, 90% target, 10 × 1ms buckets, fast window 2,
+    /// degraded at fast burn ≥ 5 on ≥ 4 events.
+    fn cfg() -> SloConfig {
+        SloConfig {
+            objective_ns: 100_000,
+            target: 0.9,
+            bucket_width_ns: 1_000_000,
+            buckets: 10,
+            fast_burn_buckets: 2,
+            fast_burn_threshold: 5.0,
+            min_events: 4,
+        }
+    }
+
+    const MS: u64 = 1_000_000;
+
+    #[test]
+    fn good_requires_ok_and_within_objective() {
+        let slo = SloMonitor::new(cfg());
+        slo.record_at("r", 50_000, true, 0); // fast + ok → good
+        slo.record_at("r", 500_000, true, 0); // slow → bad
+        slo.record_at("r", 50_000, false, 0); // errored → bad
+        let s = slo.status_at("r", 0).unwrap();
+        assert_eq!((s.good, s.total), (1, 3));
+        assert!((s.good_ratio - 1.0 / 3.0).abs() < 1e-9);
+        assert!(slo.status_at("other", 0).is_none());
+    }
+
+    #[test]
+    fn empty_window_reads_as_healthy() {
+        let slo = SloMonitor::new(cfg());
+        slo.record_at("r", 50_000, true, 0);
+        // Far in the future the window is empty: ratio 1, burn 0.
+        let s = slo.status_at("r", 100 * MS).unwrap();
+        assert_eq!(s.total, 0);
+        assert_eq!(s.good_ratio, 1.0);
+        assert_eq!(s.burn_rate, 0.0);
+        assert!(!s.degraded);
+    }
+
+    #[test]
+    fn window_slides_and_slots_recycle() {
+        let slo = SloMonitor::new(cfg());
+        slo.record_at("r", 50_000, true, 0);
+        slo.record_at("r", 50_000, true, 5 * MS);
+        assert_eq!(slo.status_at("r", 5 * MS).unwrap().total, 2);
+        // 12ms later the first record left the 10-bucket window...
+        assert_eq!(slo.status_at("r", 12 * MS).unwrap().total, 1);
+        // ...and a write 10 buckets after the first reuses its slot.
+        slo.record_at("r", 50_000, true, 10 * MS);
+        let s = slo.status_at("r", 10 * MS).unwrap();
+        assert_eq!(s.total, 2, "recycled slot must not resurrect old counts");
+    }
+
+    #[test]
+    fn burn_rate_measures_budget_spend() {
+        let slo = SloMonitor::new(cfg());
+        // 8 good, 2 bad → ratio 0.8 → burn (1-0.8)/(1-0.9) = 2.0.
+        for _ in 0..8 {
+            slo.record_at("r", 50_000, true, 0);
+        }
+        for _ in 0..2 {
+            slo.record_at("r", 500_000, true, 0);
+        }
+        let s = slo.status_at("r", 0).unwrap();
+        assert!((s.burn_rate - 2.0).abs() < 1e-9, "burn {}", s.burn_rate);
+        assert!(!s.degraded, "burn 2 < threshold 5");
+    }
+
+    #[test]
+    fn fast_burn_trips_degraded_and_recovers() {
+        let slo = SloMonitor::new(cfg());
+        // Old good traffic outside the fast window.
+        for _ in 0..50 {
+            slo.record_at("r", 50_000, true, 0);
+        }
+        // A burst of failures in the fast window (epochs 8–9 at t=9ms).
+        for _ in 0..6 {
+            slo.record_at("r", 500_000, true, 9 * MS);
+        }
+        let s = slo.status_at("r", 9 * MS).unwrap();
+        assert!(
+            s.fast_burn_rate >= 5.0,
+            "all-bad fast window burns at 1/budget = 10"
+        );
+        assert!(s.degraded);
+        assert!(slo.snapshot_at(9 * MS)["r"].degraded);
+        // Once the burst ages out of the fast window the route recovers
+        // (full-window burn may still be elevated).
+        let later = slo.status_at("r", 15 * MS).unwrap();
+        assert!(!later.degraded);
+    }
+
+    #[test]
+    fn min_events_guards_idle_routes() {
+        let slo = SloMonitor::new(cfg());
+        // 3 bad requests burn hot but are under min_events=4.
+        for _ in 0..3 {
+            slo.record_at("r", 500_000, true, 0);
+        }
+        assert!(!slo.status_at("r", 0).unwrap().degraded);
+        slo.record_at("r", 500_000, true, 0);
+        assert!(slo.status_at("r", 0).unwrap().degraded);
+    }
+
+    #[test]
+    fn routes_are_independent() {
+        let slo = SloMonitor::new(cfg());
+        for _ in 0..10 {
+            slo.record_at("bad", 500_000, true, 0);
+            slo.record_at("good", 50_000, true, 0);
+        }
+        let snap = slo.snapshot_at(0);
+        assert!(snap["bad"].degraded);
+        assert!(!snap["good"].degraded);
+        assert!(slo.snapshot_at(0).values().any(|s| s.degraded));
+    }
+}

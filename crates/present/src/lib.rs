@@ -18,7 +18,7 @@
 //! * [`diversify`] — Ziegler-style topic diversification (the diversity
 //!   quality the survey's introduction names).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod critiques;

@@ -18,7 +18,7 @@
 //! here is reconstructed from each cited system's stated goals and is
 //! flagged as such in EXPERIMENTS.md.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod live;

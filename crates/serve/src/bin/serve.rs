@@ -12,17 +12,27 @@
 //!       [--interface KEY]     default explanation interface
 //!       [--pool-threads N]    intra-request batch threads (default: cores)
 //!       [--fault-injection]   honour inject_panic/inject_delay_ms (tests)
+//!       [--trace-slow-ms T]   tail-sample traces slower than T ms (default 500)
+//!       [--trace-sample N]    also head-sample 1/N of all traces (default 0 = off)
+//!       [--trace-seed S]      seed the trace id stream (deterministic ids)
+//!       [--slo-ms L]          per-request latency objective (default 250)
+//!       [--slo-target F]      target good ratio over the window (default 0.99)
 //! ```
 //!
-//! Runs until SIGTERM or ctrl-c (SIGINT), then drains gracefully:
-//! stops admitting, finishes queued and in-flight requests, closes the
-//! listener, and prints the final telemetry report to stderr.
+//! Sampled traces are written to stderr as JSON lines (one span per
+//! line, correlated by `trace_id`). Runs until SIGTERM or ctrl-c
+//! (SIGINT), then drains gracefully: stops admitting, finishes queued
+//! and in-flight requests, closes the listener, and prints the final
+//! telemetry report and per-route SLO standing to stderr.
 
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use exrec_core::interfaces::InterfaceId;
-use exrec_obs::Telemetry;
+use exrec_obs::{
+    JsonLinesSubscriber, Metrics, Subscriber, TailConfig, TailSamplingSubscriber, Telemetry,
+};
 use exrec_serve::app::{AppConfig, ExplainApp};
 use exrec_serve::server::{self, ServerConfig};
 
@@ -59,6 +69,8 @@ fn usage() -> ! {
     eprintln!("usage: serve [--port P] [--workers N] [--queue-bound N] [--deadline-ms D]");
     eprintln!("             [--idle-ms I] [--users N] [--items N] [--density F]");
     eprintln!("             [--interface KEY] [--pool-threads N] [--fault-injection]");
+    eprintln!("             [--trace-slow-ms T] [--trace-sample N] [--trace-seed S]");
+    eprintln!("             [--slo-ms L] [--slo-target F]");
     std::process::exit(2);
 }
 
@@ -76,11 +88,25 @@ fn main() {
     let mut port: u16 = 8787;
     let mut app_config = AppConfig::default();
     let mut server_config = ServerConfig::default();
+    let mut tail_config = TailConfig::default();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--port" => port = parse("--port", args.next()),
+            "--trace-slow-ms" => {
+                let ms: u64 = parse("--trace-slow-ms", args.next());
+                tail_config.slow_threshold_ns = ms.saturating_mul(1_000_000);
+            }
+            "--trace-sample" => {
+                tail_config.head_sample_every = parse("--trace-sample", args.next())
+            }
+            "--trace-seed" => server_config.trace_seed = Some(parse("--trace-seed", args.next())),
+            "--slo-ms" => {
+                let ms: u64 = parse("--slo-ms", args.next());
+                server_config.slo.objective_ns = ms.saturating_mul(1_000_000);
+            }
+            "--slo-target" => server_config.slo.target = parse("--slo-target", args.next()),
             "--workers" => server_config.workers = parse("--workers", args.next()),
             "--queue-bound" => server_config.queue_bound = parse("--queue-bound", args.next()),
             "--deadline-ms" => {
@@ -116,7 +142,14 @@ fn main() {
 
     install_signal_handlers();
 
-    let telemetry = Telemetry::default();
+    // Sampled traces stream to stderr as JSON lines; the tail sampler
+    // in front keeps only slow/errored/head-sampled traces and counts
+    // its decisions under trace.*.
+    let metrics = Arc::new(Metrics::new());
+    let sink = Arc::new(JsonLinesSubscriber::new(std::io::stderr()));
+    let tail = TailSamplingSubscriber::new(sink as Arc<dyn Subscriber>, tail_config)
+        .with_metrics(&metrics);
+    let telemetry = Telemetry::new(metrics, Arc::new(tail));
     eprintln!(
         "[serve] generating world: {} users x {} items @ density {}",
         app_config.n_users, app_config.n_items, app_config.density
@@ -146,7 +179,23 @@ fn main() {
         std::thread::sleep(Duration::from_millis(100));
     }
     eprintln!("[serve] signal received; draining");
-    handle.shutdown();
+    handle.request_shutdown();
+    let slo = handle.slo_snapshot();
+    handle.join();
     eprintln!("[serve] drained; final telemetry:");
     eprintln!("{}", telemetry.report().render_ascii());
+    if !slo.is_empty() {
+        eprintln!("== slo (rolling window at drain) ==");
+        for (route, s) in &slo {
+            eprintln!(
+                "  {route:<24} good {}/{} ratio {:.4} burn {:.2} fast-burn {:.2}{}",
+                s.good,
+                s.total,
+                s.good_ratio,
+                s.burn_rate,
+                s.fast_burn_rate,
+                if s.degraded { "  DEGRADED" } else { "" }
+            );
+        }
+    }
 }

@@ -224,6 +224,8 @@ pub struct Response {
     pub content_type: &'static str,
     /// `Retry-After` seconds, sent with load-shedding 429s.
     pub retry_after: Option<u64>,
+    /// Additional headers, written in order (e.g. `x-exrec-trace-id`).
+    pub extra_headers: Vec<(String, String)>,
 }
 
 impl Response {
@@ -236,12 +238,33 @@ impl Response {
             body: body.into_bytes(),
             content_type: "application/json",
             retry_after: None,
+            extra_headers: Vec::new(),
+        }
+    }
+
+    /// A plain-text response with an explicit content type (the
+    /// Prometheus exposition endpoint needs
+    /// `text/plain; version=0.0.4`).
+    pub fn text(status: u16, body: String, content_type: &'static str) -> Response {
+        Response {
+            status,
+            body: body.into_bytes(),
+            content_type,
+            retry_after: None,
+            extra_headers: Vec::new(),
         }
     }
 
     /// Attaches a `Retry-After` header (seconds).
     pub fn with_retry_after(mut self, seconds: u64) -> Response {
         self.retry_after = Some(seconds);
+        self
+    }
+
+    /// Attaches an arbitrary header. Names should be lower-case; values
+    /// must not contain CR/LF (the caller controls both here).
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Response {
+        self.extra_headers.push((name.to_owned(), value.into()));
         self
     }
 
@@ -275,6 +298,9 @@ impl Response {
         );
         if let Some(seconds) = self.retry_after {
             head.push_str(&format!("retry-after: {seconds}\r\n"));
+        }
+        for (name, value) in &self.extra_headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
         }
         head.push_str("\r\n");
         writer.write_all(head.as_bytes())?;
@@ -356,6 +382,23 @@ mod tests {
         assert!(text.contains("content-length: 4"));
         assert!(text.contains("connection: keep-alive"));
         assert!(text.ends_with("\r\n\r\n\"ok\""));
+    }
+
+    #[test]
+    fn extra_headers_and_text_responses_frame_correctly() {
+        let mut out = Vec::new();
+        Response::text(
+            200,
+            "serve_requests 1\n".to_owned(),
+            "text/plain; version=0.0.4",
+        )
+        .with_header("x-exrec-trace-id", "00000000000000000000000000000abc")
+        .write_to(&mut out, false)
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("content-type: text/plain; version=0.0.4\r\n"));
+        assert!(text.contains("x-exrec-trace-id: 00000000000000000000000000000abc\r\n"));
+        assert!(text.ends_with("\r\n\r\nserve_requests 1\n"));
     }
 
     #[test]

@@ -108,7 +108,8 @@ pub struct ExplainResponse {
 /// Body of `GET /healthz`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct HealthResponse {
-    /// `"ok"` while serving, `"draining"` once shutdown has begun.
+    /// `"ok"` while serving, `"degraded"` when an SLO fast-burn window
+    /// has tripped, `"draining"` once shutdown has begun.
     pub status: String,
     /// Milliseconds since the server started.
     pub uptime_ms: u64,
@@ -118,6 +119,34 @@ pub struct HealthResponse {
     pub queue_capacity: usize,
     /// Admission queue depth at snapshot time.
     pub queue_depth: usize,
+    /// `queue_depth / queue_capacity` in `[0, 1]` — how close the edge
+    /// is to shedding; load balancers should back off as this nears 1.
+    pub queue_saturation: f64,
+    /// Workers currently executing a request (not blocked on the
+    /// queue) at snapshot time.
+    pub busy_workers: usize,
+    /// `busy_workers / workers` in `[0, 1]`.
+    pub worker_saturation: f64,
+    /// Rolling-window SLO standing per route (absent routes have not
+    /// served yet).
+    pub slo: std::collections::BTreeMap<String, SloRouteBody>,
+}
+
+/// One route's SLO standing as reported by `/healthz`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SloRouteBody {
+    /// Requests in the window meeting the objective.
+    pub good: u64,
+    /// Total requests in the window.
+    pub total: u64,
+    /// `good / total` (1.0 on an empty window).
+    pub good_ratio: f64,
+    /// Error-budget burn rate over the full window.
+    pub burn_rate: f64,
+    /// Burn rate over the fast-burn suffix window.
+    pub fast_burn_rate: f64,
+    /// Whether this route's fast-burn window has tripped.
+    pub degraded: bool,
 }
 
 /// Error body for every non-2xx the server originates.

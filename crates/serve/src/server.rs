@@ -27,16 +27,17 @@
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use exrec_obs::Telemetry;
+use exrec_obs::slo::RouteStatus;
+use exrec_obs::{promtext, IdSource, SloConfig, SloMonitor, Telemetry};
 
 use crate::app::{AppError, Deadline, ExplainApp};
 use crate::http::{read_request, HttpError, Request, Response};
-use crate::proto::{ErrorBody, HealthResponse};
+use crate::proto::{ErrorBody, HealthResponse, SloRouteBody};
 use crate::queue::{Bounded, PushError};
 
 /// Tuning knobs of the serving edge.
@@ -57,6 +58,12 @@ pub struct ServerConfig {
     pub idle_timeout_ms: u64,
     /// Largest accepted request body, bytes.
     pub max_body_bytes: usize,
+    /// SLO objective and rolling-window shape (`/healthz` standing,
+    /// `slo.*` gauges, degraded detection).
+    pub slo: SloConfig,
+    /// Seed for the trace id stream; `None` seeds from entropy. Fixing
+    /// it makes test traces deterministic.
+    pub trace_seed: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -69,6 +76,8 @@ impl Default for ServerConfig {
             max_deadline_ms: 30_000,
             idle_timeout_ms: 5_000,
             max_body_bytes: 1 << 20,
+            slo: SloConfig::default(),
+            trace_seed: None,
         }
     }
 }
@@ -88,6 +97,12 @@ struct Shared {
     queue: Bounded<Conn>,
     draining: AtomicBool,
     started_at: Instant,
+    /// Source of trace/span ids for request root spans.
+    ids: Arc<IdSource>,
+    /// Rolling-window SLO standing per route.
+    slo: SloMonitor,
+    /// Workers currently executing a request (not blocked on the queue).
+    busy: AtomicUsize,
 }
 
 /// A running server; dropping it without calling
@@ -113,6 +128,12 @@ pub fn start(
     let addr = listener.local_addr()?;
     let shared = Arc::new(Shared {
         queue: Bounded::new(config.queue_bound),
+        ids: Arc::new(match config.trace_seed {
+            Some(seed) => IdSource::seeded(seed),
+            None => IdSource::default(),
+        }),
+        slo: SloMonitor::new(config.slo),
+        busy: AtomicUsize::new(0),
         app,
         config,
         telemetry,
@@ -154,6 +175,12 @@ impl ServerHandle {
     /// The server's telemetry handle.
     pub fn telemetry(&self) -> &Telemetry {
         &self.shared.telemetry
+    }
+
+    /// Current per-route SLO standing (the `serve` binary prints this
+    /// in its shutdown report).
+    pub fn slo_snapshot(&self) -> std::collections::BTreeMap<String, RouteStatus> {
+        self.shared.slo.snapshot()
     }
 
     /// Begins a graceful drain: stop admitting, let workers finish.
@@ -270,8 +297,12 @@ fn serve_connection(shared: &Shared, conn: Conn) {
     let mut reader = BufReader::new(read_half);
     let mut writer = stream;
     // The first request's deadline starts at admission: time spent in
-    // the queue is part of the latency the client observes.
+    // the queue is part of the latency the client observes. The wait
+    // itself (admission → this worker popping the connection) is
+    // captured here and reported as the first request's
+    // `serve.queue_wait` child span.
     let mut request_start = Some(conn.admitted_at);
+    let mut queue_wait = Some(conn.admitted_at.elapsed());
 
     loop {
         let request = read_request(&mut reader, shared.config.max_body_bytes);
@@ -297,10 +328,41 @@ fn serve_connection(shared: &Shared, conn: Conn) {
                 return;
             }
             Ok(Some(request)) => {
+                // Root span of the request's trace, backdated to
+                // admission so queue wait is inside the root (and counts
+                // toward the tail sampler's slow threshold).
+                let root = shared
+                    .telemetry
+                    .root_span("serve.request", &shared.ids)
+                    .started_at(started);
+                let trace_hex = root.trace_id_hex().unwrap_or_default();
+                if let Some(wait) = queue_wait.take() {
+                    // Emitted as a zero-width child covering the queue
+                    // time that already elapsed before this loop.
+                    let _qw = shared
+                        .telemetry
+                        .span("serve.queue_wait")
+                        .started_at(conn.admitted_at)
+                        .with_duration(wait);
+                }
+                let busy = shared.busy.fetch_add(1, Ordering::Relaxed) + 1;
+                metrics.gauge("serve.busy_workers").set(busy as f64);
                 let (response, endpoint) = dispatch(shared, &request, started);
+                shared.busy.fetch_sub(1, Ordering::Relaxed);
+                // Annotate the root so the tail sampler can keep errored
+                // traces, then drop it: the full trace is flushed (or
+                // discarded) before the client sees the response.
+                let mut root = root
+                    .field("endpoint", endpoint)
+                    .field("status", response.status);
+                if response.status >= 500 {
+                    root = root.field("error", format!("http_{}", response.status));
+                }
+                drop(root);
+                let response = response.with_header("x-exrec-trace-id", trace_hex);
                 let keep_alive =
                     request.wants_keep_alive() && !shared.draining.load(Ordering::SeqCst);
-                record(metrics, endpoint, response.status, started.elapsed());
+                record(shared, endpoint, response.status, started.elapsed());
                 if response.write_to(&mut writer, keep_alive).is_err() || !keep_alive {
                     return;
                 }
@@ -310,8 +372,10 @@ fn serve_connection(shared: &Shared, conn: Conn) {
     }
 }
 
-/// Records the per-request metrics every endpoint shares.
-fn record(metrics: &exrec_obs::Metrics, endpoint: &'static str, status: u16, took: Duration) {
+/// Records the per-request metrics every endpoint shares, advances the
+/// route's SLO window and refreshes the `slo.*` gauges.
+fn record(shared: &Shared, endpoint: &'static str, status: u16, took: Duration) {
+    let metrics = shared.telemetry.metrics();
     metrics.counter("serve.requests").incr();
     metrics
         .histogram(&format!("serve.latency_ns.{endpoint}"))
@@ -319,13 +383,32 @@ fn record(metrics: &exrec_obs::Metrics, endpoint: &'static str, status: u16, too
     metrics
         .counter(&format!("serve.status.{}xx", status / 100))
         .incr();
+    // 4xx is the server behaving correctly under a bad request; only
+    // 5xx spends error budget on top of the latency objective.
+    let ok = status < 500;
+    let took_ns = took.as_nanos().min(u128::from(u64::MAX)) as u64;
+    shared.slo.record(endpoint, took_ns, ok);
+    if let Some(st) = shared.slo.status(endpoint) {
+        metrics
+            .gauge(&format!("slo.good_ratio.{endpoint}"))
+            .set(st.good_ratio);
+        metrics
+            .gauge(&format!("slo.burn_rate.{endpoint}"))
+            .set(st.burn_rate);
+        metrics
+            .gauge(&format!("slo.window_good.{endpoint}"))
+            .set(st.good as f64);
+        metrics
+            .gauge(&format!("slo.window_total.{endpoint}"))
+            .set(st.total as f64);
+    }
 }
 
 /// Routes one parsed request, isolating handler panics.
 fn dispatch(shared: &Shared, request: &Request, started: Instant) -> (Response, &'static str) {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => (health(shared), "healthz"),
-        ("GET", "/metrics") => (Response::json(200, &shared.telemetry.report()), "metrics"),
+        ("GET", "/metrics") => (metrics_response(shared, request), "metrics"),
         ("POST", "/v1/recommend") => (
             handle_post(shared, request, started, "recommend"),
             "recommend",
@@ -351,20 +434,65 @@ fn dispatch(shared: &Shared, request: &Request, started: Instant) -> (Response, 
     }
 }
 
+/// `GET /metrics`: Prometheus text exposition when the client sends
+/// `Accept: text/plain`, the JSON report otherwise.
+fn metrics_response(shared: &Shared, request: &Request) -> Response {
+    let wants_text = request
+        .header("accept")
+        .is_some_and(|accept| accept.contains("text/plain"));
+    if wants_text {
+        Response::text(
+            200,
+            promtext::render(shared.telemetry.metrics()),
+            "text/plain; version=0.0.4",
+        )
+    } else {
+        Response::json(200, &shared.telemetry.report())
+    }
+}
+
 fn health(shared: &Shared) -> Response {
+    let slo = shared.slo.snapshot();
     let status = if shared.draining.load(Ordering::SeqCst) {
         "draining"
+    } else if slo.values().any(|s| s.degraded) {
+        "degraded"
     } else {
         "ok"
     };
+    let workers = shared.config.workers.max(1);
+    let queue_depth = shared.queue.len();
+    let queue_capacity = shared.queue.capacity();
+    // This handler runs on a worker, so busy includes the health check
+    // itself — truthful, if humbling.
+    let busy_workers = shared.busy.load(Ordering::Relaxed).min(workers);
     Response::json(
         200,
         &HealthResponse {
             status: status.to_owned(),
             uptime_ms: shared.started_at.elapsed().as_millis() as u64,
-            workers: shared.config.workers.max(1),
-            queue_capacity: shared.queue.capacity(),
-            queue_depth: shared.queue.len(),
+            workers,
+            queue_capacity,
+            queue_depth,
+            queue_saturation: queue_depth as f64 / queue_capacity.max(1) as f64,
+            busy_workers,
+            worker_saturation: busy_workers as f64 / workers as f64,
+            slo: slo
+                .into_iter()
+                .map(|(route, s)| {
+                    (
+                        route,
+                        SloRouteBody {
+                            good: s.good,
+                            total: s.total,
+                            good_ratio: s.good_ratio,
+                            burn_rate: s.burn_rate,
+                            fast_burn_rate: s.fast_burn_rate,
+                            degraded: s.degraded,
+                        },
+                    )
+                })
+                .collect(),
         },
     )
 }
