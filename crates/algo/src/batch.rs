@@ -130,7 +130,9 @@ pub fn default_threads() -> usize {
 /// If the calling thread has an active trace context it is installed in
 /// every worker, so spans opened inside `f` parent onto the span that
 /// submitted the batch — a request trace stays one tree across the
-/// thread boundary.
+/// thread boundary. An active profiling context
+/// ([`exrec_obs::profile::current`]) propagates the same way, so phase
+/// guards opened inside `f` nest under the submitting request's phase.
 ///
 /// `f` receives `(index, &item)`; results are placed by index, so output
 /// order never depends on scheduling.
@@ -160,6 +162,7 @@ where
     drop(tx);
 
     let trace_ctx = exrec_obs::trace::current();
+    let profile_ctx = exrec_obs::profile::current();
     let collected: Mutex<Vec<(usize, U)>> = Mutex::new(Vec::with_capacity(items.len()));
     std::thread::scope(|scope| {
         for _ in 0..threads {
@@ -167,8 +170,10 @@ where
             let collected = &collected;
             let f = &f;
             let trace_ctx = trace_ctx.clone();
+            let profile_ctx = profile_ctx.clone();
             scope.spawn(move || {
                 let _trace = trace_ctx.map(exrec_obs::trace::install);
+                let _profile = profile_ctx.map(exrec_obs::profile::install);
                 let mut local: Vec<(usize, U)> = Vec::new();
                 while let Some(range) = rx.recv() {
                     for i in range {

@@ -314,6 +314,12 @@ impl SimilarityCache {
         self.shards.len()
     }
 
+    /// Total entries the cache can hold
+    /// (`shards × capacity_per_shard`).
+    pub fn capacity(&self) -> usize {
+        self.shards.len() * self.capacity_per_shard
+    }
+
     fn shard_and_key(&self, a: u32, b: u32) -> (&Mutex<Shard>, (u32, u32)) {
         let key = if a <= b { (a, b) } else { (b, a) };
         let shard = (mix(key) as usize) % self.shards.len();

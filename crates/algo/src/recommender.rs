@@ -199,6 +199,11 @@ pub trait Recommender {
     /// no prediction is possible are skipped. Ties break toward lower item
     /// ids so output is deterministic.
     fn recommend(&self, ctx: &Ctx<'_>, user: UserId, n: usize) -> Vec<Scored> {
+        // Phase attribution for the serving profiler: the candidate
+        // scan (predict every unrated item — the brute-force hot spot
+        // the ROADMAP's tiled kernel will replace) and the top-k sort.
+        // No-ops outside an active route (`exrec_obs::profile`).
+        let scan = exrec_obs::profile::phase("scan");
         let mut scored: Vec<Scored> = ctx
             .catalog
             .ids()
@@ -210,6 +215,8 @@ pub trait Recommender {
                 })
             })
             .collect();
+        drop(scan);
+        let _rank = exrec_obs::profile::phase("rank");
         scored.sort_by(|a, b| {
             b.prediction
                 .score

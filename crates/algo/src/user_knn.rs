@@ -95,15 +95,6 @@ impl UserKnn {
         self.cache.as_ref()
     }
 
-    fn similarity(&self, ctx: &Ctx<'_>, a: UserId, b: UserId) -> f64 {
-        match &self.cache {
-            Some(cache) => cache.get_or_compute(a.raw(), b.raw(), ctx.ratings.revision(), || {
-                self.similarity_uncached(ctx, a, b)
-            }),
-            None => self.similarity_uncached(ctx, a, b),
-        }
-    }
-
     fn similarity_uncached(&self, ctx: &Ctx<'_>, a: UserId, b: UserId) -> f64 {
         let co = ctx.ratings.co_rated(a, b);
         if co.len() < self.config.min_overlap {
@@ -137,12 +128,34 @@ impl UserKnn {
         user: UserId,
         item: ItemId,
     ) -> Vec<NeighborContribution> {
+        // Profiler phase per candidate item, not per pair: a guard on
+        // every similarity probe would cost more than a cache hit.
+        // `cache_probe` covers resolving every candidate similarity
+        // through the cache (hits and miss-computes); the uncached
+        // model reports the same work as `similarity`. Probe outcomes
+        // are counted locally and flushed once per call.
+        let _phase = if self.cache.is_some() {
+            exrec_obs::profile::phase("cache_probe")
+        } else {
+            exrec_obs::profile::phase("similarity")
+        };
+        let probes = std::cell::Cell::new(0u64);
+        let computes = std::cell::Cell::new(0u64);
         let raters = ctx.ratings.item_ratings(item);
         let candidates: Vec<NeighborContribution> = raters
             .iter()
             .filter(|&&(v, _)| v != user)
             .filter_map(|&(v, rating)| {
-                let s = self.similarity(ctx, user, v);
+                let s = match &self.cache {
+                    Some(cache) => {
+                        probes.set(probes.get() + 1);
+                        cache.get_or_compute(user.raw(), v.raw(), ctx.ratings.revision(), || {
+                            computes.set(computes.get() + 1);
+                            self.similarity_uncached(ctx, user, v)
+                        })
+                    }
+                    None => self.similarity_uncached(ctx, user, v),
+                };
                 (s > self.config.min_similarity).then_some(NeighborContribution {
                     user: v,
                     similarity: s,
@@ -150,6 +163,7 @@ impl UserKnn {
                 })
             })
             .collect();
+        exrec_obs::profile::cache_events(probes.get() - computes.get(), computes.get());
         top_k_by(candidates, self.config.k, |n| n.similarity)
     }
 

@@ -100,11 +100,13 @@ const QUICK_SWEEP: &[SweepPoint] = &[
     },
 ];
 
-/// Outcome of one request.
+/// Outcome of one request; the expected classes carry their latency
+/// (from scheduled arrival) so the report can digest each class
+/// separately — a fast 429 and a slow 504 are different stories.
 enum Outcome {
     Ok2xx(f64),
-    Shed429,
-    Timeout504,
+    Shed429(f64),
+    Timeout504(f64),
     /// A 2xx without the `x-exrec-trace-id` header — fails the run
     /// (every routed response must carry its trace id).
     NoTraceHeader,
@@ -119,7 +121,7 @@ enum Outcome {
 }
 
 /// Latency digest in milliseconds.
-#[derive(Serialize)]
+#[derive(Clone, Serialize)]
 struct LatencyMs {
     p50: f64,
     p95: f64,
@@ -143,7 +145,12 @@ struct PointReport {
     wall_ms: f64,
     achieved_rps: f64,
     /// Latencies of successful (2xx) requests, from scheduled arrival.
+    /// This is the digest `benchdiff` gates on.
     latency_ms: LatencyMs,
+    /// Per-class latency digests (`"2xx"`, `"429"`, `"504"`), present
+    /// only for classes that occurred. Not gated: shed/timeout latency
+    /// is diagnostic, not an objective.
+    class_latency_ms: std::collections::BTreeMap<String, LatencyMs>,
 }
 
 #[derive(Serialize)]
@@ -159,8 +166,12 @@ struct ServerInfo {
 
 #[derive(Serialize)]
 struct LoadgenReport {
+    /// Report-layout version `benchdiff` checks before comparing.
+    schema_version: u32,
     benchmark: &'static str,
     quick: bool,
+    /// Build/world stamp (`benchdiff` refuses cross-world diffs).
+    meta: exrec_bench::benchdiff::RunMeta,
     server: ServerInfo,
     points: Vec<PointReport>,
 }
@@ -262,8 +273,8 @@ fn fire(addr: SocketAddr, path: &str, body: &str, scheduled: Instant) -> Outcome
         200..=299 if has_trace_id => Outcome::Ok2xx(latency_ms),
         200..=299 => Outcome::NoTraceHeader,
         422 => Outcome::Unprocessable422,
-        429 => Outcome::Shed429,
-        504 => Outcome::Timeout504,
+        429 => Outcome::Shed429(latency_ms),
+        504 => Outcome::Timeout504(latency_ms),
         other => Outcome::Unexpected(other),
     }
 }
@@ -338,12 +349,174 @@ fn check_exposition(addr: SocketAddr) -> Vec<String> {
     errors
 }
 
+/// `GET path` on a fresh connection, returning the parsed JSON body of
+/// a 200. `None` on transport failure, non-200 or unparseable body.
+fn fetch_json(addr: SocketAddr, path: &str) -> Option<serde_json::Value> {
+    let stream = TcpStream::connect(addr).ok()?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .ok()?;
+    let mut writer = stream.try_clone().ok()?;
+    writer
+        .write_all(
+            format!(
+                "GET {path} HTTP/1.1\r\nhost: loadgen\r\nconnection: close\r\n\
+                 content-length: 0\r\n\r\n"
+            )
+            .as_bytes(),
+        )
+        .ok()?;
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).ok()?;
+    if status_line.split_whitespace().nth(1)? != "200" {
+        return None;
+    }
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line).ok()? == 0 {
+            return None;
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok()?;
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).ok()?;
+    serde_json::from_str(std::str::from_utf8(&body).ok()?).ok()
+}
+
+/// Smokes the three `GET /debug/*` endpoints, validating each body's
+/// JSON shape after the sweep has populated profiler and flight
+/// recorder. Returns the violations (empty = pass).
+fn check_debug_endpoints(addr: SocketAddr) -> Vec<String> {
+    use serde_json::Value;
+    let mut errors = Vec::new();
+
+    match fetch_json(addr, "/debug/profile") {
+        None => errors.push("GET /debug/profile failed or non-200".to_owned()),
+        Some(body) => {
+            let routes = body.get("routes").and_then(Value::as_array);
+            match routes {
+                None => errors.push("/debug/profile: missing routes[]".to_owned()),
+                Some(routes) => {
+                    if !routes.iter().any(|r| {
+                        r.get("name").and_then(Value::as_str) == Some("recommend")
+                            && r.get("calls").and_then(Value::as_u64).unwrap_or(0) > 0
+                    }) {
+                        errors.push(
+                            "/debug/profile: no profiled recommend route after the sweep"
+                                .to_owned(),
+                        );
+                    }
+                }
+            }
+            match body.get("collapsed").and_then(Value::as_str) {
+                None => errors.push("/debug/profile: missing collapsed text".to_owned()),
+                Some(text) => {
+                    let malformed = text.lines().any(|line| {
+                        line.rsplit_once(' ')
+                            .and_then(|(stack, n)| {
+                                (!stack.is_empty()).then(|| n.parse::<u64>().ok())?
+                            })
+                            .is_none()
+                    });
+                    if malformed {
+                        errors
+                            .push("/debug/profile: collapsed line not `stack self_ns`".to_owned());
+                    }
+                }
+            }
+        }
+    }
+
+    match fetch_json(addr, "/debug/requests") {
+        None => errors.push("GET /debug/requests failed or non-200".to_owned()),
+        Some(body) => {
+            if body.get("capacity").and_then(Value::as_u64).is_none()
+                || body.get("recorded").and_then(Value::as_u64).is_none()
+            {
+                errors.push("/debug/requests: missing capacity/recorded".to_owned());
+            }
+            match body.get("requests").and_then(Value::as_array) {
+                None => errors.push("/debug/requests: missing requests[]".to_owned()),
+                Some([]) => {
+                    errors.push("/debug/requests: flight ring empty after the sweep".to_owned())
+                }
+                Some(requests) => {
+                    for field in ["trace_id", "route", "outcome"] {
+                        if !requests.iter().all(|r| r.get(field).is_some()) {
+                            errors.push(format!("/debug/requests: record missing {field}"));
+                        }
+                    }
+                    if !requests.iter().any(|r| {
+                        r.get("phases")
+                            .and_then(Value::as_array)
+                            .is_some_and(|p| !p.is_empty())
+                    }) {
+                        errors.push(
+                            "/debug/requests: no record carries a phase breakdown".to_owned(),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    match fetch_json(addr, "/debug/world") {
+        None => errors.push("GET /debug/world failed or non-200".to_owned()),
+        Some(body) => {
+            for field in ["users", "items", "ratings"] {
+                if body.get(field).and_then(Value::as_u64).unwrap_or(0) == 0 {
+                    errors.push(format!("/debug/world: {field} missing or zero"));
+                }
+            }
+            if body.get("model").and_then(Value::as_str).is_none() {
+                errors.push("/debug/world: missing model name".to_owned());
+            }
+            if body
+                .pointer("/cache/hit_ratio")
+                .and_then(Value::as_f64)
+                .is_none()
+            {
+                errors.push("/debug/world: missing cache.hit_ratio".to_owned());
+            }
+        }
+    }
+
+    errors
+}
+
 fn percentile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
     let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
     sorted[rank - 1]
+}
+
+/// Sorts `latencies` in place and digests them (zeros when empty).
+fn digest(latencies: &mut [f64]) -> LatencyMs {
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mean = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies.iter().sum::<f64>() / latencies.len() as f64
+    };
+    LatencyMs {
+        p50: percentile(latencies, 0.50),
+        p95: percentile(latencies, 0.95),
+        p99: percentile(latencies, 0.99),
+        mean,
+        max: latencies.last().copied().unwrap_or(0.0),
+    }
 }
 
 /// Runs one sweep point with a fixed client-thread pool executing the
@@ -386,6 +559,8 @@ fn run_point(addr: SocketAddr, n_users: usize, point: &SweepPoint) -> PointRepor
 
     let outcomes = outcomes.into_inner().unwrap_or_else(|p| p.into_inner());
     let mut ok_latencies: Vec<f64> = Vec::new();
+    let mut shed_latencies: Vec<f64> = Vec::new();
+    let mut timeout_latencies: Vec<f64> = Vec::new();
     let (mut ok, mut unprocessable, mut shed, mut timeout, mut unexpected, mut transport) =
         (0, 0, 0, 0, 0, 0);
     for outcome in &outcomes {
@@ -395,8 +570,14 @@ fn run_point(addr: SocketAddr, n_users: usize, point: &SweepPoint) -> PointRepor
                 ok_latencies.push(*ms);
             }
             Outcome::Unprocessable422 => unprocessable += 1,
-            Outcome::Shed429 => shed += 1,
-            Outcome::Timeout504 => timeout += 1,
+            Outcome::Shed429(ms) => {
+                shed += 1;
+                shed_latencies.push(*ms);
+            }
+            Outcome::Timeout504(ms) => {
+                timeout += 1;
+                timeout_latencies.push(*ms);
+            }
             Outcome::NoTraceHeader => {
                 eprintln!("[loadgen]   2xx without x-exrec-trace-id header");
                 unexpected += 1;
@@ -408,12 +589,17 @@ fn run_point(addr: SocketAddr, n_users: usize, point: &SweepPoint) -> PointRepor
             Outcome::Transport => transport += 1,
         }
     }
-    ok_latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    let mean = if ok_latencies.is_empty() {
-        0.0
-    } else {
-        ok_latencies.iter().sum::<f64>() / ok_latencies.len() as f64
-    };
+    let ok_digest = digest(&mut ok_latencies);
+    let mut class_latency_ms = std::collections::BTreeMap::new();
+    if !ok_latencies.is_empty() {
+        class_latency_ms.insert("2xx".to_owned(), ok_digest.clone());
+    }
+    if !shed_latencies.is_empty() {
+        class_latency_ms.insert("429".to_owned(), digest(&mut shed_latencies));
+    }
+    if !timeout_latencies.is_empty() {
+        class_latency_ms.insert("504".to_owned(), digest(&mut timeout_latencies));
+    }
     let report = PointReport {
         name: point.name,
         offered_rps: point.offered_rps,
@@ -427,26 +613,19 @@ fn run_point(addr: SocketAddr, n_users: usize, point: &SweepPoint) -> PointRepor
         transport_errors: transport,
         wall_ms: wall.as_secs_f64() * 1e3,
         achieved_rps: outcomes.len() as f64 / wall.as_secs_f64(),
-        latency_ms: LatencyMs {
-            p50: percentile(&ok_latencies, 0.50),
-            p95: percentile(&ok_latencies, 0.95),
-            p99: percentile(&ok_latencies, 0.99),
-            mean,
-            max: ok_latencies.last().copied().unwrap_or(0.0),
-        },
+        latency_ms: ok_digest,
+        class_latency_ms,
     };
     eprintln!(
-        "[loadgen]   2xx {} / 422 {} / shed {} / timeout {} / bad {} / transport {}  \
-         p50 {:.1}ms p99 {:.1}ms",
-        ok,
-        unprocessable,
-        shed,
-        timeout,
-        unexpected,
-        transport,
-        report.latency_ms.p50,
-        report.latency_ms.p99
+        "[loadgen]   2xx {} / 422 {} / shed {} / timeout {} / bad {} / transport {}",
+        ok, unprocessable, shed, timeout, unexpected, transport,
     );
+    for (class, digest) in &report.class_latency_ms {
+        eprintln!(
+            "[loadgen]   {class}: p50 {:.1}ms p95 {:.1}ms p99 {:.1}ms mean {:.1}ms max {:.1}ms",
+            digest.p50, digest.p95, digest.p99, digest.mean, digest.max
+        );
+    }
     report
 }
 
@@ -474,6 +653,8 @@ fn main() {
         workers: 4,
         queue_bound: 8,
         default_deadline_ms: 2_000,
+        // The smoke run validates the introspection surface too.
+        debug_endpoints: true,
         ..ServerConfig::default()
     };
     let app_config = AppConfig {
@@ -483,6 +664,10 @@ fn main() {
         ..AppConfig::default()
     };
     let n_users = app_config.n_users;
+    let world_desc = format!(
+        "{}x{}@{}",
+        app_config.n_users, app_config.n_items, app_config.density
+    );
 
     let mut spawned: Option<ServerHandle> = None;
     let addr: SocketAddr = match &external {
@@ -519,8 +704,10 @@ fn main() {
         .collect();
 
     let report = LoadgenReport {
+        schema_version: exrec_bench::benchdiff::SCHEMA_VERSION,
         benchmark: "serve_net",
         quick,
+        meta: exrec_bench::benchdiff::RunMeta::capture(world_desc, server_config.workers),
         server: ServerInfo {
             addr: addr.to_string(),
             in_process: external.is_none(),
@@ -536,6 +723,15 @@ fn main() {
     // exposition before the server goes away.
     eprintln!("[loadgen] validating /metrics exposition");
     let exposition_errors = check_exposition(addr);
+    // The in-process server runs with --debug-endpoints; validate the
+    // introspection surface too. An external server may not have the
+    // flag on, so only the spawned case is gated.
+    let debug_errors = if spawned.is_some() {
+        eprintln!("[loadgen] validating /debug endpoints");
+        check_debug_endpoints(addr)
+    } else {
+        Vec::new()
+    };
 
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     // Parse it back before writing: CI fails on a report that does not
@@ -572,6 +768,16 @@ fn main() {
         eprintln!(
             "[loadgen] FAIL: /metrics exposition invalid ({} violations)",
             exposition_errors.len()
+        );
+        std::process::exit(1);
+    }
+    if !debug_errors.is_empty() {
+        for error in &debug_errors {
+            eprintln!("[loadgen]   debug: {error}");
+        }
+        eprintln!(
+            "[loadgen] FAIL: /debug endpoints invalid ({} violations)",
+            debug_errors.len()
         );
         std::process::exit(1);
     }

@@ -116,9 +116,13 @@ struct WorkloadReport {
 
 #[derive(Serialize)]
 struct BenchReport {
+    /// Report-layout version `benchdiff` checks before comparing.
+    schema_version: u32,
     benchmark: &'static str,
     quick: bool,
     threads: usize,
+    /// Build/world stamp (`benchdiff` refuses cross-world diffs).
+    meta: exrec_bench::benchdiff::RunMeta,
     workloads: Vec<WorkloadReport>,
 }
 
@@ -294,10 +298,17 @@ fn main() {
         }
     }
 
+    let world = workloads
+        .iter()
+        .map(|w| w.name)
+        .collect::<Vec<_>>()
+        .join("+");
     let report = BenchReport {
+        schema_version: exrec_bench::benchdiff::SCHEMA_VERSION,
         benchmark: "serve_bench",
         quick,
         threads,
+        meta: exrec_bench::benchdiff::RunMeta::capture(world, threads),
         workloads,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize bench report");

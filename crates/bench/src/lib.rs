@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod benchdiff;
 pub mod promcheck;
 
 use exrec_core::influence::loo_influences;

@@ -78,6 +78,7 @@ impl<'r> Explainer<'r> {
     /// request's span tree; the `explain.evidence_ns` histogram is
     /// recorded either way.
     fn gather_evidence(&self, ctx: &Ctx<'_>, user: UserId, item: ItemId) -> Result<ModelEvidence> {
+        let _phase = exrec_obs::profile::phase("evidence");
         let started = Instant::now();
         let evidence = self.recommender.evidence(ctx, user, item);
         if let Some(t) = &self.telemetry {
@@ -95,6 +96,7 @@ impl<'r> Explainer<'r> {
     /// Runs the interface on gathered evidence, recording fire/abort
     /// counts when telemetry is attached.
     fn generate(&self, input: &ExplainInput<'_>) -> Result<Explanation> {
+        let _phase = exrec_obs::profile::phase("generate");
         let result = self.interface.generate(input);
         if let Some(t) = &self.telemetry {
             match &result {

@@ -29,7 +29,16 @@
 //!   and error-budget burn rate over a rolling window of time buckets,
 //!   advanced on record with no background thread; and
 //!   [`promtext::render`] exposes the whole registry as Prometheus text
-//!   exposition 0.0.4.
+//!   exposition 0.0.4;
+//! * **phase profiling** — [`profile::Profiler`] is an always-on
+//!   cooperative profiler: scoped RAII [`profile::phase`] guards nest
+//!   into a per-route tree with atomic self-time/call-count
+//!   aggregation, exported as JSON or collapsed-stack text for
+//!   flamegraph tooling;
+//! * **flight recording** — [`flight::FlightRecorder`] is the black
+//!   box: a bounded lock-striped ring of the last N completed request
+//!   records, retained regardless of tail-sampling decisions and
+//!   dumped to stderr on panic or SLO fast-burn degradation.
 //!
 //! The metric taxonomy (`algo.*`, `explain.*`, `eval.*`, `serve.*`,
 //! `trace.*`, `slo.*`) and its mapping onto the survey's seven
@@ -52,15 +61,19 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod flight;
 pub mod metrics;
+pub mod profile;
 pub mod promtext;
 pub mod slo;
 pub mod span;
 pub mod trace;
 
+pub use flight::{FlightConfig, FlightRecorder, RequestRecord};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramRaw, HistogramSummary, Metrics, MetricsReport,
 };
+pub use profile::{PhaseCollector, PhaseSnapshot, ProfileReport, Profiler};
 pub use slo::{RouteStatus, SloConfig, SloMonitor};
 pub use span::{
     CountingSubscriber, JsonLinesSubscriber, NoopSubscriber, SpanEvent, Subscriber, Telemetry,

@@ -164,6 +164,37 @@ impl ExplainApp {
         self.world.catalog.len()
     }
 
+    /// Number of observed ratings in the served world.
+    pub fn n_ratings(&self) -> usize {
+        self.world.ratings.n_ratings()
+    }
+
+    /// Current ratings-matrix revision (bumps on mutation; keys the
+    /// similarity cache's validity).
+    pub fn ratings_revision(&self) -> u64 {
+        self.world.ratings.revision()
+    }
+
+    /// Resolved thread count of the shared intra-request batch pool.
+    pub fn pool_threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Stable name of the serving model (e.g. `"user-knn"`).
+    pub fn model_name(&self) -> &'static str {
+        use exrec_algo::Recommender as _;
+        self.model.name()
+    }
+
+    /// Similarity-cache statistics plus total capacity, for `/healthz`
+    /// occupancy fields and `GET /debug/world`. `None` when the model
+    /// runs uncached.
+    pub fn cache_stats(&self) -> Option<(exrec_algo::cache::CacheStats, usize)> {
+        self.model
+            .cache()
+            .map(|cache| (cache.stats(), cache.capacity()))
+    }
+
     /// Runs the (test-gated) fault hooks shared by both POST endpoints.
     fn fault_hooks(
         &self,
@@ -240,6 +271,9 @@ impl ExplainApp {
 
     /// Flattens an explanation for the wire.
     fn shape_explanation(&self, explanation: &Explanation) -> ExplanationBody {
+        // The presentation-render phase of the request profile: aims
+        // accounting plus the plain-text document rendering.
+        let _phase = exrec_obs::profile::phase("render");
         self.count_aims(explanation);
         ExplanationBody {
             interface: explanation.interface.to_owned(),

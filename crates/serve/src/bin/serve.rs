@@ -17,6 +17,8 @@
 //!       [--trace-seed S]      seed the trace id stream (deterministic ids)
 //!       [--slo-ms L]          per-request latency objective (default 250)
 //!       [--slo-target F]      target good ratio over the window (default 0.99)
+//!       [--debug-endpoints]   serve GET /debug/{profile,requests,world}
+//!       [--flight-capacity N] flight-recorder ring size (default 256)
 //! ```
 //!
 //! Sampled traces are written to stderr as JSON lines (one span per
@@ -71,6 +73,7 @@ fn usage() -> ! {
     eprintln!("             [--interface KEY] [--pool-threads N] [--fault-injection]");
     eprintln!("             [--trace-slow-ms T] [--trace-sample N] [--trace-seed S]");
     eprintln!("             [--slo-ms L] [--slo-target F]");
+    eprintln!("             [--debug-endpoints] [--flight-capacity N]");
     std::process::exit(2);
 }
 
@@ -131,6 +134,10 @@ fn main() {
                 }
             }
             "--fault-injection" => app_config.fault_injection = true,
+            "--debug-endpoints" => server_config.debug_endpoints = true,
+            "--flight-capacity" => {
+                server_config.flight_capacity = parse("--flight-capacity", args.next())
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("[serve] unknown flag {other:?}");
@@ -140,6 +147,9 @@ fn main() {
     }
     server_config.addr = format!("127.0.0.1:{port}");
 
+    // Anchor the trace/flight zero point before any request arrives so
+    // `start_offset_ns` values count from process start.
+    exrec_obs::trace::process_start();
     install_signal_handlers();
 
     // Sampled traces stream to stderr as JSON lines; the tail sampler
@@ -167,6 +177,9 @@ fn main() {
             std::process::exit(1);
         }
     };
+    // Any panic — including ones the edge catches for worker isolation
+    // — dumps the black box to stderr before unwinding continues.
+    exrec_obs::FlightRecorder::install_panic_hook(handle.flight());
     eprintln!(
         "[serve] listening on {} ({} workers, queue bound {}, deadline {}ms)",
         handle.addr(),
@@ -174,6 +187,9 @@ fn main() {
         server_config.queue_bound,
         server_config.default_deadline_ms
     );
+    if server_config.debug_endpoints {
+        eprintln!("[serve] debug endpoints enabled: /debug/profile /debug/requests /debug/world");
+    }
 
     while !SHUTDOWN.load(Ordering::SeqCst) {
         std::thread::sleep(Duration::from_millis(100));

@@ -130,6 +130,81 @@ pub struct HealthResponse {
     /// Rolling-window SLO standing per route (absent routes have not
     /// served yet).
     pub slo: std::collections::BTreeMap<String, SloRouteBody>,
+    /// Similarity-cache occupancy and hit ratio; `None` when the model
+    /// runs uncached (and when deserializing pre-cache payloads).
+    pub cache: Option<CacheStatsBody>,
+}
+
+/// Similarity-cache standing, shared by `GET /healthz` and
+/// `GET /debug/world`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CacheStatsBody {
+    /// Currently resident entries, summed over shards.
+    pub entries: usize,
+    /// Total entry capacity over all shards.
+    pub capacity: usize,
+    /// `entries / capacity` in `[0, 1]`.
+    pub occupancy: f64,
+    /// Lookups answered from the cache since start.
+    pub hits: u64,
+    /// Lookups that had to compute since start.
+    pub misses: u64,
+    /// `hits / (hits + misses)` (0.0 before any probe).
+    pub hit_ratio: f64,
+    /// Entries displaced by capacity pressure.
+    pub evictions: u64,
+    /// Shard clears triggered by a ratings-revision change.
+    pub invalidations: u64,
+}
+
+/// Body of a 200 from `GET /debug/profile` (JSON form; send
+/// `Accept: text/plain` for bare collapsed-stack text instead).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DebugProfileBody {
+    /// One aggregated phase tree per route served so far.
+    pub routes: Vec<exrec_obs::PhaseSnapshot>,
+    /// The same trees as collapsed-stack text (`stack self_ns` lines),
+    /// the input format of flamegraph tooling.
+    pub collapsed: String,
+}
+
+/// Body of a 200 from `GET /debug/requests`: the flight recorder's
+/// resident window.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DebugRequestsBody {
+    /// Ring capacity (last N requests retained).
+    pub capacity: usize,
+    /// Requests recorded since start (monotonic, unbounded).
+    pub recorded: u64,
+    /// Resident records, oldest first.
+    pub requests: Vec<exrec_obs::RequestRecord>,
+}
+
+/// Body of a 200 from `GET /debug/world`: the served world's shape and
+/// the serving configuration actually in effect.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DebugWorldBody {
+    /// Users in the served world.
+    pub users: usize,
+    /// Items in the served catalog.
+    pub items: usize,
+    /// Observed ratings.
+    pub ratings: usize,
+    /// Ratings-matrix revision (bumps on conversational mutation and
+    /// keys similarity-cache validity).
+    pub ratings_revision: u64,
+    /// Serving model name.
+    pub model: String,
+    /// Default explanation interface key.
+    pub default_interface: String,
+    /// Edge worker threads.
+    pub workers: usize,
+    /// Intra-request batch pool threads.
+    pub pool_threads: usize,
+    /// Admission queue capacity.
+    pub queue_capacity: usize,
+    /// Similarity-cache standing; `None` when the model runs uncached.
+    pub cache: Option<CacheStatsBody>,
 }
 
 /// One route's SLO standing as reported by `/healthz`.

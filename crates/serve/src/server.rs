@@ -32,12 +32,19 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use exrec_obs::profile::{self, PhaseCollector, Profiler};
 use exrec_obs::slo::RouteStatus;
-use exrec_obs::{promtext, IdSource, SloConfig, SloMonitor, Telemetry};
+use exrec_obs::{
+    promtext, trace, FlightConfig, FlightRecorder, IdSource, RequestRecord, SloConfig, SloMonitor,
+    Telemetry,
+};
 
 use crate::app::{AppError, Deadline, ExplainApp};
 use crate::http::{read_request, HttpError, Request, Response};
-use crate::proto::{ErrorBody, HealthResponse, SloRouteBody};
+use crate::proto::{
+    CacheStatsBody, DebugProfileBody, DebugRequestsBody, DebugWorldBody, ErrorBody, HealthResponse,
+    SloRouteBody,
+};
 use crate::queue::{Bounded, PushError};
 
 /// Tuning knobs of the serving edge.
@@ -64,6 +71,11 @@ pub struct ServerConfig {
     /// Seed for the trace id stream; `None` seeds from entropy. Fixing
     /// it makes test traces deterministic.
     pub trace_seed: Option<u64>,
+    /// Serve the `GET /debug/*` introspection surface. Off by default:
+    /// the endpoints expose request payloads' shape and timings.
+    pub debug_endpoints: bool,
+    /// Completed requests the flight recorder retains.
+    pub flight_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -78,6 +90,8 @@ impl Default for ServerConfig {
             max_body_bytes: 1 << 20,
             slo: SloConfig::default(),
             trace_seed: None,
+            debug_endpoints: false,
+            flight_capacity: 256,
         }
     }
 }
@@ -103,6 +117,13 @@ struct Shared {
     slo: SloMonitor,
     /// Workers currently executing a request (not blocked on the queue).
     busy: AtomicUsize,
+    /// Always-on phase profiler (`GET /debug/profile`).
+    profiler: Arc<Profiler>,
+    /// Black-box ring of the last N completed requests.
+    flight: Arc<FlightRecorder>,
+    /// Set while an SLO fast-burn degradation is in effect, so the
+    /// flight recorder dumps once per onset instead of per request.
+    degraded_latch: AtomicBool,
 }
 
 /// A running server; dropping it without calling
@@ -134,6 +155,12 @@ pub fn start(
         }),
         slo: SloMonitor::new(config.slo),
         busy: AtomicUsize::new(0),
+        profiler: Arc::new(Profiler::new()),
+        flight: Arc::new(FlightRecorder::new(FlightConfig {
+            capacity: config.flight_capacity,
+            ..FlightConfig::default()
+        })),
+        degraded_latch: AtomicBool::new(false),
         app,
         config,
         telemetry,
@@ -181,6 +208,18 @@ impl ServerHandle {
     /// in its shutdown report).
     pub fn slo_snapshot(&self) -> std::collections::BTreeMap<String, RouteStatus> {
         self.shared.slo.snapshot()
+    }
+
+    /// The always-on phase profiler behind `GET /debug/profile`.
+    pub fn profiler(&self) -> &Arc<Profiler> {
+        &self.shared.profiler
+    }
+
+    /// The request flight recorder behind `GET /debug/requests`. The
+    /// `serve` binary chains it into the process panic hook
+    /// ([`FlightRecorder::install_panic_hook`]).
+    pub fn flight(&self) -> &Arc<FlightRecorder> {
+        &self.shared.flight
     }
 
     /// Begins a graceful drain: stop admitting, let workers finish.
@@ -245,6 +284,20 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
             Ok(depth) => depth_gauge.set(depth as f64),
             Err(PushError::Full(conn)) => {
                 shed.incr();
+                // Shed requests never reach a worker (no trace, no
+                // profile), but the black box still remembers them.
+                shared.flight.record(RequestRecord {
+                    seq: 0,
+                    trace_id: String::new(),
+                    route: "admission".to_owned(),
+                    status: 429,
+                    outcome: RequestRecord::outcome_of(429).to_owned(),
+                    start_offset_ns: trace::offset_ns_of(conn.admitted_at),
+                    duration_ns: duration_ns(conn.admitted_at.elapsed()),
+                    phases: Vec::new(),
+                    cache_hits: 0,
+                    cache_misses: 0,
+                });
                 refuse(conn.stream, 429, "shed", "admission queue is full", Some(1));
             }
             Err(PushError::Closed(conn)) => {
@@ -305,7 +358,9 @@ fn serve_connection(shared: &Shared, conn: Conn) {
     let mut queue_wait = Some(conn.admitted_at.elapsed());
 
     loop {
+        let read_started = Instant::now();
         let request = read_request(&mut reader, shared.config.max_body_bytes);
+        let parse_took = read_started.elapsed();
         let started = request_start.take().unwrap_or_else(Instant::now);
         match request {
             Ok(None) => return, // peer closed cleanly
@@ -336,7 +391,8 @@ fn serve_connection(shared: &Shared, conn: Conn) {
                     .root_span("serve.request", &shared.ids)
                     .started_at(started);
                 let trace_hex = root.trace_id_hex().unwrap_or_default();
-                if let Some(wait) = queue_wait.take() {
+                let wait = queue_wait.take();
+                if let Some(wait) = wait {
                     // Emitted as a zero-width child covering the queue
                     // time that already elapsed before this loop.
                     let _qw = shared
@@ -345,10 +401,26 @@ fn serve_connection(shared: &Shared, conn: Conn) {
                         .started_at(conn.admitted_at)
                         .with_duration(wait);
                 }
+                let collector = Arc::new(PhaseCollector::new());
                 let busy = shared.busy.fetch_add(1, Ordering::Relaxed) + 1;
                 metrics.gauge("serve.busy_workers").set(busy as f64);
-                let (response, endpoint) = dispatch(shared, &request, started);
+                let (response, endpoint) = dispatch(shared, &request, started, &collector);
                 shared.busy.fetch_sub(1, Ordering::Relaxed);
+                // First request on the connection: its wall clock runs
+                // from admission, so the pre-dispatch time (queue wait,
+                // request read + parse) is attributable now that the
+                // route is known. Later keep-alive requests start their
+                // clock after the read, so only `handle` applies.
+                if let Some(wait) = wait {
+                    shared
+                        .profiler
+                        .record_external(endpoint, "queue_wait", wait);
+                    collector.add("queue_wait", wait);
+                    shared
+                        .profiler
+                        .record_external(endpoint, "parse", parse_took);
+                    collector.add("parse", parse_took);
+                }
                 // Annotate the root so the tail sampler can keep errored
                 // traces, then drop it: the full trace is flushed (or
                 // discarded) before the client sees the response.
@@ -359,10 +431,18 @@ fn serve_connection(shared: &Shared, conn: Conn) {
                     root = root.field("error", format!("http_{}", response.status));
                 }
                 drop(root);
-                let response = response.with_header("x-exrec-trace-id", trace_hex);
+                let response = response.with_header("x-exrec-trace-id", trace_hex.clone());
                 let keep_alive =
                     request.wants_keep_alive() && !shared.draining.load(Ordering::SeqCst);
-                record(shared, endpoint, response.status, started.elapsed());
+                record(
+                    shared,
+                    endpoint,
+                    response.status,
+                    started.elapsed(),
+                    &trace_hex,
+                    started,
+                    &collector,
+                );
                 if response.write_to(&mut writer, keep_alive).is_err() || !keep_alive {
                     return;
                 }
@@ -372,9 +452,25 @@ fn serve_connection(shared: &Shared, conn: Conn) {
     }
 }
 
+/// Saturating `Duration` → whole nanoseconds.
+fn duration_ns(d: Duration) -> u64 {
+    d.as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
 /// Records the per-request metrics every endpoint shares, advances the
-/// route's SLO window and refreshes the `slo.*` gauges.
-fn record(shared: &Shared, endpoint: &'static str, status: u16, took: Duration) {
+/// route's SLO window, refreshes the `slo.*` gauges, and writes the
+/// request into the flight recorder. On an SLO fast-burn onset the
+/// flight ring is dumped to stderr once (re-armed when every route is
+/// healthy again).
+fn record(
+    shared: &Shared,
+    endpoint: &'static str,
+    status: u16,
+    took: Duration,
+    trace_hex: &str,
+    started: Instant,
+    collector: &PhaseCollector,
+) {
     let metrics = shared.telemetry.metrics();
     metrics.counter("serve.requests").incr();
     metrics
@@ -383,11 +479,22 @@ fn record(shared: &Shared, endpoint: &'static str, status: u16, took: Duration) 
     metrics
         .counter(&format!("serve.status.{}xx", status / 100))
         .incr();
+    shared.flight.record(RequestRecord {
+        seq: 0,
+        trace_id: trace_hex.to_owned(),
+        route: endpoint.to_owned(),
+        status,
+        outcome: RequestRecord::outcome_of(status).to_owned(),
+        start_offset_ns: trace::offset_ns_of(started),
+        duration_ns: duration_ns(took),
+        phases: collector.phases(),
+        cache_hits: collector.cache_hits(),
+        cache_misses: collector.cache_misses(),
+    });
     // 4xx is the server behaving correctly under a bad request; only
     // 5xx spends error budget on top of the latency objective.
     let ok = status < 500;
-    let took_ns = took.as_nanos().min(u128::from(u64::MAX)) as u64;
-    shared.slo.record(endpoint, took_ns, ok);
+    shared.slo.record(endpoint, duration_ns(took), ok);
     if let Some(st) = shared.slo.status(endpoint) {
         metrics
             .gauge(&format!("slo.good_ratio.{endpoint}"))
@@ -401,37 +508,162 @@ fn record(shared: &Shared, endpoint: &'static str, status: u16, took: Duration) 
         metrics
             .gauge(&format!("slo.window_total.{endpoint}"))
             .set(st.total as f64);
+        if st.degraded {
+            if !shared.degraded_latch.swap(true, Ordering::SeqCst) {
+                shared
+                    .flight
+                    .dump_stderr(&format!("slo fast-burn: {endpoint}"));
+            }
+        } else if shared.degraded_latch.load(Ordering::SeqCst)
+            && !shared.slo.snapshot().values().any(|s| s.degraded)
+        {
+            shared.degraded_latch.store(false, Ordering::SeqCst);
+        }
     }
 }
 
-/// Routes one parsed request, isolating handler panics.
-fn dispatch(shared: &Shared, request: &Request, started: Instant) -> (Response, &'static str) {
-    match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => (health(shared), "healthz"),
-        ("GET", "/metrics") => (metrics_response(shared, request), "metrics"),
-        ("POST", "/v1/recommend") => (
-            handle_post(shared, request, started, "recommend"),
-            "recommend",
-        ),
-        ("POST", "/v1/explain") => (handle_post(shared, request, started, "explain"), "explain"),
-        (_, "/healthz" | "/metrics" | "/v1/recommend" | "/v1/explain") => (
-            Response::json(
-                405,
-                &ErrorBody::new(
-                    "method_not_allowed",
-                    format!("{} not allowed", request.method),
-                ),
+/// Routes one parsed request, isolating handler panics. The endpoint
+/// name resolves first so the entire handler runs under the route's
+/// profiling context ([`Profiler::route`]) inside a `handle` phase —
+/// the inner phases (`admit`, `scan`, `evidence`, …) nest beneath it.
+fn dispatch(
+    shared: &Shared,
+    request: &Request,
+    started: Instant,
+    collector: &Arc<PhaseCollector>,
+) -> (Response, &'static str) {
+    let endpoint: &'static str = match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => "healthz",
+        ("GET", "/metrics") => "metrics",
+        ("GET", "/debug/profile") => "debug_profile",
+        ("GET", "/debug/requests") => "debug_requests",
+        ("GET", "/debug/world") => "debug_world",
+        ("POST", "/v1/recommend") => "recommend",
+        ("POST", "/v1/explain") => "explain",
+        (
+            _,
+            "/healthz" | "/metrics" | "/v1/recommend" | "/v1/explain" | "/debug/profile"
+            | "/debug/requests" | "/debug/world",
+        ) => "method_not_allowed",
+        _ => "not_found",
+    };
+    let _route = shared.profiler.route(endpoint, Arc::clone(collector));
+    let _handle = profile::phase("handle");
+    let response = match endpoint {
+        "healthz" => health(shared),
+        "metrics" => metrics_response(shared, request),
+        "debug_profile" => debug_profile(shared, request),
+        "debug_requests" => debug_requests(shared),
+        "debug_world" => debug_world(shared),
+        "recommend" => handle_post(shared, request, started, "recommend"),
+        "explain" => handle_post(shared, request, started, "explain"),
+        "method_not_allowed" => Response::json(
+            405,
+            &ErrorBody::new(
+                "method_not_allowed",
+                format!("{} not allowed", request.method),
             ),
-            "method_not_allowed",
         ),
-        (_, path) => (
-            Response::json(
-                404,
-                &ErrorBody::new("not_found", format!("no route {path}")),
-            ),
-            "not_found",
+        _ => Response::json(
+            404,
+            &ErrorBody::new("not_found", format!("no route {}", request.path)),
         ),
+    };
+    (response, endpoint)
+}
+
+/// The refusal every `/debug/*` handler answers when the surface is
+/// off (the default): the endpoints expose payload shapes and timings.
+fn debug_disabled() -> Response {
+    Response::json(
+        403,
+        &ErrorBody::new(
+            "debug_disabled",
+            "debug endpoints require --debug-endpoints",
+        ),
+    )
+}
+
+/// `GET /debug/profile`: collapsed-stack text under `Accept:
+/// text/plain` (pipe straight into flamegraph tooling), otherwise JSON
+/// with both the per-route phase trees and the collapsed rendering.
+fn debug_profile(shared: &Shared, request: &Request) -> Response {
+    if !shared.config.debug_endpoints {
+        return debug_disabled();
     }
+    let wants_text = request
+        .header("accept")
+        .is_some_and(|accept| accept.contains("text/plain"));
+    if wants_text {
+        Response::text(
+            200,
+            shared.profiler.collapsed(),
+            "text/plain; charset=utf-8",
+        )
+    } else {
+        Response::json(
+            200,
+            &DebugProfileBody {
+                routes: shared.profiler.snapshot().routes,
+                collapsed: shared.profiler.collapsed(),
+            },
+        )
+    }
+}
+
+/// `GET /debug/requests`: the flight recorder's resident window,
+/// oldest first.
+fn debug_requests(shared: &Shared) -> Response {
+    if !shared.config.debug_endpoints {
+        return debug_disabled();
+    }
+    Response::json(
+        200,
+        &DebugRequestsBody {
+            capacity: shared.flight.capacity(),
+            recorded: shared.flight.recorded(),
+            requests: shared.flight.snapshot(),
+        },
+    )
+}
+
+/// `GET /debug/world`: the served world's shape and effective serving
+/// configuration.
+fn debug_world(shared: &Shared) -> Response {
+    if !shared.config.debug_endpoints {
+        return debug_disabled();
+    }
+    let app = &shared.app;
+    Response::json(
+        200,
+        &DebugWorldBody {
+            users: app.n_users(),
+            items: app.n_items(),
+            ratings: app.n_ratings(),
+            ratings_revision: app.ratings_revision(),
+            model: app.model_name().to_owned(),
+            default_interface: app.config().default_interface.key().to_owned(),
+            workers: shared.config.workers.max(1),
+            pool_threads: app.pool_threads(),
+            queue_capacity: shared.queue.capacity(),
+            cache: cache_body(app),
+        },
+    )
+}
+
+/// The similarity cache's standing as a wire body, shared by
+/// `/healthz` and `/debug/world`. `None` when the model runs uncached.
+fn cache_body(app: &ExplainApp) -> Option<CacheStatsBody> {
+    app.cache_stats().map(|(stats, capacity)| CacheStatsBody {
+        entries: stats.entries,
+        capacity,
+        occupancy: stats.entries as f64 / capacity.max(1) as f64,
+        hits: stats.hits,
+        misses: stats.misses,
+        hit_ratio: stats.hit_rate(),
+        evictions: stats.evictions,
+        invalidations: stats.invalidations,
+    })
 }
 
 /// `GET /metrics`: Prometheus text exposition when the client sends
@@ -493,6 +725,7 @@ fn health(shared: &Shared) -> Response {
                     )
                 })
                 .collect(),
+            cache: cache_body(&shared.app),
         },
     )
 }
@@ -504,6 +737,9 @@ fn handle_post(
     started: Instant,
     endpoint: &'static str,
 ) -> Response {
+    // Admission: body decode, JSON parse, deadline arithmetic — all
+    // before the model runs.
+    let admit = profile::phase("admit");
     let body = match std::str::from_utf8(&request.body) {
         Ok(body) => body,
         Err(_) => {
@@ -555,6 +791,7 @@ fn handle_post(
         );
     }
 
+    drop(admit);
     let outcome = panic::catch_unwind(AssertUnwindSafe(|| match &parsed {
         Parsed::Recommend(req) => shared
             .app

@@ -56,6 +56,73 @@ impl Value {
             Value::Obj(_) => "object",
         }
     }
+
+    /// The number as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, if this is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The fields in insertion order, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Looks up a value by RFC 6901 JSON Pointer (`"/meta/world"`).
+    /// Array tokens must be decimal indices; `~1`/`~0` unescape to
+    /// `/`/`~`. The empty pointer returns `self`; any missing step
+    /// returns `None`.
+    pub fn pointer(&self, pointer: &str) -> Option<&Value> {
+        if pointer.is_empty() {
+            return Some(self);
+        }
+        let rest = pointer.strip_prefix('/')?;
+        rest.split('/').try_fold(self, |v, token| {
+            let token = token.replace("~1", "/").replace("~0", "~");
+            match v {
+                Value::Obj(_) => v.get(&token),
+                Value::Arr(items) => token.parse::<usize>().ok().and_then(|i| items.get(i)),
+                _ => None,
+            }
+        })
+    }
 }
 
 /// Deserialization failure.
