@@ -209,6 +209,23 @@ fn direction_of(path: &[String]) -> Option<Direction> {
     if parent == Some("latency_ms") && matches!(leaf, "p50" | "p95" | "p99" | "mean" | "max") {
         return Some(Direction::LowerBetter);
     }
+    // Offline explanation-quality reports (`repro --offline-metrics` →
+    // `quality_report.json`, benchmark `offline_quality`): per-interface
+    // fidelity/precision/recall/coverage and per-aim scores are
+    // higher-better quality metrics; sample counts, provenance depth
+    // and reading cost stay unclassified (structural, not gated).
+    let top = path.first().map(|s| s.as_str());
+    if top == Some("interfaces")
+        && matches!(
+            leaf,
+            "fidelity" | "evidence_precision" | "evidence_recall" | "evidence_f1" | "coverage"
+        )
+    {
+        return Some(Direction::HigherBetter);
+    }
+    if top == Some("aims") && matches!(leaf, "score" | "static_score") {
+        return Some(Direction::HigherBetter);
+    }
     None
 }
 
@@ -446,6 +463,76 @@ mod tests {
         let cmp = compare(&old, &new, 10.0).unwrap();
         assert!(cmp.regressions().is_empty());
         assert!(cmp.deltas.iter().all(|d| !d.path.ends_with("n_users")));
+    }
+
+    fn quality_report(fidelity: f64, trust_score: f64) -> Value {
+        parse(&format!(
+            r#"{{
+                "schema_version": {SCHEMA_VERSION},
+                "benchmark": "offline_quality",
+                "meta": {{"git_rev": "abc123", "world": "movies+cameras", "threads": 1}},
+                "world": "movies+cameras",
+                "interfaces": [
+                    {{
+                        "name": "histogram",
+                        "samples": 40,
+                        "fidelity": {fidelity:?},
+                        "evidence_precision": 0.6,
+                        "evidence_recall": 0.5,
+                        "evidence_f1": 0.54,
+                        "coverage": 0.8,
+                        "provenance_depth": 1.5,
+                        "reading_cost": 7.0
+                    }}
+                ],
+                "aims": [
+                    {{
+                        "name": "trust",
+                        "best_interface": "histogram",
+                        "score": {trust_score:?},
+                        "static_default": "clustered_histogram",
+                        "static_score": 0.4,
+                        "candidates": 5
+                    }}
+                ]
+            }}"#,
+        ))
+    }
+
+    #[test]
+    fn quality_report_self_comparison_collects_quality_leaves() {
+        let r = quality_report(0.7, 0.55);
+        let cmp = compare(&r, &r, 5.0).unwrap();
+        assert!(cmp.regressions().is_empty());
+        let paths: Vec<&str> = cmp.deltas.iter().map(|d| d.path.as_str()).collect();
+        assert!(
+            paths.contains(&"interfaces.histogram.fidelity"),
+            "{paths:?}"
+        );
+        assert!(paths.contains(&"interfaces.histogram.evidence_f1"));
+        assert!(paths.contains(&"aims.trust.score"));
+        assert!(
+            !paths
+                .iter()
+                .any(|p| p.ends_with("samples") || p.ends_with("candidates")),
+            "counts stay unclassified: {paths:?}"
+        );
+    }
+
+    #[test]
+    fn quality_drop_regresses_as_higher_better() {
+        let old = quality_report(0.7, 0.55);
+        let new = quality_report(0.5, 0.55);
+        let cmp = compare(&old, &new, 10.0).unwrap();
+        let regressions = cmp.regressions();
+        assert_eq!(regressions.len(), 1, "{:?}", cmp.deltas);
+        assert_eq!(regressions[0].path, "interfaces.histogram.fidelity");
+        assert_eq!(regressions[0].direction, Direction::HigherBetter);
+
+        // A per-aim score drop is gated the same way.
+        let cmp = compare(&quality_report(0.7, 0.55), &quality_report(0.7, 0.3), 10.0).unwrap();
+        assert_eq!(cmp.regressions().len(), 1);
+        assert_eq!(cmp.regressions()[0].path, "aims.trust.score");
     }
 
     #[test]

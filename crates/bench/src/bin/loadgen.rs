@@ -346,6 +346,17 @@ fn check_exposition(addr: SocketAddr) -> Vec<String> {
     if report.families_with_prefix("serve_latency_ns").is_empty() {
         errors.push("no serve_latency_ns_* histogram family".to_owned());
     }
+    // The sweep explains 10% of requests and the in-process server
+    // samples every one (`quality_sample_every: 1`), so the quality
+    // estimator must have exported its families by now.
+    for family in ["quality_samples", "quality_fidelity"] {
+        if !report.has_family(family) {
+            errors.push(format!("missing expected family {family}"));
+        }
+    }
+    if report.families_with_prefix("quality_score").is_empty() {
+        errors.push("no quality_score* family".to_owned());
+    }
     errors
 }
 
@@ -393,9 +404,9 @@ fn fetch_json(addr: SocketAddr, path: &str) -> Option<serde_json::Value> {
     serde_json::from_str(std::str::from_utf8(&body).ok()?).ok()
 }
 
-/// Smokes the three `GET /debug/*` endpoints, validating each body's
-/// JSON shape after the sweep has populated profiler and flight
-/// recorder. Returns the violations (empty = pass).
+/// Smokes the four `GET /debug/*` endpoints, validating each body's
+/// JSON shape after the sweep has populated profiler, flight recorder
+/// and quality estimator. Returns the violations (empty = pass).
 fn check_debug_endpoints(addr: SocketAddr) -> Vec<String> {
     use serde_json::Value;
     let mut errors = Vec::new();
@@ -464,6 +475,49 @@ fn check_debug_endpoints(addr: SocketAddr) -> Vec<String> {
                         errors.push(
                             "/debug/requests: no record carries a phase breakdown".to_owned(),
                         );
+                    }
+                }
+            }
+        }
+    }
+
+    match fetch_json(addr, "/debug/quality") {
+        None => errors.push("GET /debug/quality failed or non-200".to_owned()),
+        Some(body) => {
+            match body.get("offline").and_then(Value::as_array) {
+                None => errors.push("/debug/quality: missing offline[]".to_owned()),
+                Some([]) => {
+                    errors.push("/debug/quality: startup scoring left no offline rows".to_owned())
+                }
+                Some(rows) => {
+                    for field in ["name", "fidelity", "evidence_f1", "coverage"] {
+                        if !rows.iter().all(|r| r.get(field).is_some()) {
+                            errors.push(format!("/debug/quality: offline row missing {field}"));
+                        }
+                    }
+                }
+            }
+            if body
+                .pointer("/online/samples")
+                .and_then(Value::as_u64)
+                .unwrap_or(0)
+                == 0
+            {
+                errors.push("/debug/quality: no online quality samples after the sweep".to_owned());
+            }
+            match body.get("selection").and_then(Value::as_array) {
+                None => errors.push("/debug/quality: missing selection[]".to_owned()),
+                Some(rows) => {
+                    if rows.len() != 7 {
+                        errors.push(format!(
+                            "/debug/quality: {} selection rows, want one per aim",
+                            rows.len()
+                        ));
+                    }
+                    for field in ["aim", "selected", "score"] {
+                        if !rows.iter().all(|r| r.get(field).is_some()) {
+                            errors.push(format!("/debug/quality: selection row missing {field}"));
+                        }
                     }
                 }
             }
@@ -661,6 +715,9 @@ fn main() {
         n_users: if quick { 500 } else { 2_000 },
         n_items: 300,
         density: 0.05,
+        // Score every explained request so the smoke run exercises the
+        // live quality estimator deterministically.
+        quality_sample_every: 1,
         ..AppConfig::default()
     };
     let n_users = app_config.n_users;
@@ -744,7 +801,20 @@ fn main() {
     eprintln!("[loadgen] wrote {out}");
 
     if let Some(handle) = spawned {
+        let quality = handle.quality_snapshot();
         handle.shutdown();
+        if quality.samples > 0 {
+            eprintln!(
+                "[loadgen] explanation quality at drain ({} samples, mean score {:.3}):",
+                quality.samples, quality.mean_score
+            );
+            for s in &quality.interfaces {
+                eprintln!(
+                    "[loadgen]   {:<24} {} samples, score {:.3}, fidelity {:.3}",
+                    s.name, s.samples, s.score, s.fidelity
+                );
+            }
+        }
     }
 
     let bad: usize = report

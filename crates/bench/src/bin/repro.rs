@@ -14,6 +14,12 @@
 //! repro --parallel [N]  # fan the full study suite out over N worker
 //!                       # threads (default: available parallelism);
 //!                       # reports are identical to the sequential run
+//! repro --offline-metrics [--quick] [--out PATH]
+//!                       # score every explanation interface x aim with
+//!                       # the offline quality suite and write a
+//!                       # benchdiff-comparable quality_report.json
+//!                       # (--quick shrinks worlds and sample counts
+//!                       #  for CI smoke runs)
 //! ```
 //!
 //! Studies run under an `exrec-obs` telemetry registry; whenever at
@@ -81,14 +87,107 @@ fn print_emulations() {
     }
 }
 
+/// Runs the offline explanation-quality suite and writes a
+/// schema-stamped, benchdiff-comparable report.
+///
+/// The report is a pure function of the config: `meta.threads` is
+/// stamped `1` regardless of the worker count so reports produced at
+/// different parallelism stay comparable (thread-count independence is
+/// covered by the suite's own tests).
+fn run_offline_metrics(quick: bool, out: &str, threads: usize) {
+    use exrec_bench::benchdiff::RunMeta;
+    use exrec_eval::quality::QualityConfig;
+    use serde_json::Value;
+
+    let config = if quick {
+        QualityConfig::quick()
+    } else {
+        QualityConfig::default()
+    };
+    eprintln!(
+        "[repro] scoring {} interfaces x {} aims (quick: {quick})",
+        exrec_core::interfaces::InterfaceId::ALL.len(),
+        exrec_core::aims::Aim::ALL.len(),
+    );
+    let report = exrec_eval::quality::run(&config, threads);
+
+    println!(
+        "-- Offline explanation-quality report ({}) --\n",
+        report.world
+    );
+    println!(
+        "{:<16} {:<22} {:>7}   {:<22} {:>7}",
+        "aim", "best interface", "score", "static default", "score"
+    );
+    for aim in &report.aims {
+        println!(
+            "{:<16} {:<22} {:>7.3}   {:<22} {:>7.3}{}",
+            aim.name,
+            aim.best_interface,
+            aim.score,
+            aim.static_default,
+            aim.static_score,
+            if aim.best_interface != aim.static_default {
+                "  *"
+            } else {
+                ""
+            }
+        );
+    }
+    println!("\n(* measured selection differs from the static default)");
+    let measured = report.interfaces.iter().filter(|q| q.samples > 0).count();
+    println!(
+        "{} of {} interfaces measurable under the suite's model pairings",
+        measured,
+        report.interfaces.len()
+    );
+
+    // Stamp the benchmark name and run meta into the report object so
+    // `benchdiff` accepts it (same shape contract as BENCH_serve.json).
+    let mut value: Value = serde_json::from_str(&report.to_json()).expect("report round-trips");
+    if let Value::Obj(fields) = &mut value {
+        let meta = RunMeta::capture(report.world.clone(), 1);
+        fields.insert(
+            1,
+            (
+                "benchmark".to_owned(),
+                Value::Str("offline_quality".to_owned()),
+            ),
+        );
+        fields.insert(2, ("meta".to_owned(), serde_json::to_value(&meta)));
+    }
+    let json = serde_json::to_string_pretty(&value).expect("serialize report");
+    std::fs::write(out, json).expect("write quality report");
+    eprintln!("wrote {out}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json_dir: Option<String> = None;
     let mut parallel: Option<usize> = None;
+    let mut offline_metrics = false;
+    let mut quick = false;
+    let mut out = "quality_report.json".to_owned();
     let mut actions: Vec<(String, String)> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--offline-metrics" => {
+                offline_metrics = true;
+                i += 1;
+            }
+            "--quick" => {
+                quick = true;
+                i += 1;
+            }
+            "--out" => {
+                if i + 1 >= args.len() {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                }
+                out = args[i + 1].clone();
+                i += 2;
+            }
             "--table" | "--figure" | "--study" => {
                 if i + 1 >= args.len() {
                     eprintln!("{} requires an argument", args[i]);
@@ -129,6 +228,11 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+
+    if offline_metrics {
+        run_offline_metrics(quick, &out, parallel.unwrap_or(0));
+        return;
     }
 
     let telemetry = Telemetry::default();

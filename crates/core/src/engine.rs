@@ -172,6 +172,59 @@ impl<'r> Explainer<'r> {
             .collect()
     }
 
+    /// [`Explainer::explain`], additionally returning the gathered
+    /// [`ModelEvidence`] — the hook the quality probes are built on:
+    /// callers can ablate the cited evidence
+    /// ([`crate::quality::ablation_fidelity`]) or measure how much of it
+    /// the explanation surfaces ([`crate::quality::evidence_coverage`]).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Explainer::explain`].
+    pub fn explain_with_evidence(
+        &self,
+        ctx: &Ctx<'_>,
+        user: UserId,
+        item: ItemId,
+    ) -> Result<(Prediction, Explanation, ModelEvidence)> {
+        let prediction = self.recommender.predict(ctx, user, item)?;
+        let evidence = self.gather_evidence(ctx, user, item)?;
+        let input = ExplainInput {
+            ctx,
+            user,
+            item,
+            prediction,
+            evidence: &evidence,
+        };
+        let explanation = self.generate(&input)?;
+        Ok((prediction, explanation, evidence))
+    }
+
+    /// Explains one pair and measures it with a quality probe: fidelity
+    /// of the cited evidence under ablation, evidence coverage of the
+    /// rendered fragments, and provenance depth. The ablation baseline
+    /// is the user's observed mean rating (the model's no-evidence
+    /// fallback), the normalizer the rating scale's span.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Explainer::explain`].
+    pub fn explain_probed(
+        &self,
+        ctx: &Ctx<'_>,
+        user: UserId,
+        item: ItemId,
+    ) -> Result<(Prediction, Explanation, crate::quality::QualityProbe)> {
+        let (prediction, explanation, evidence) = self.explain_with_evidence(ctx, user, item)?;
+        let baseline = ctx
+            .ratings
+            .user_mean(user)
+            .unwrap_or_else(|| ctx.ratings.global_mean());
+        let span = ctx.ratings.scale().span();
+        let probe = crate::quality::QualityProbe::measure(&explanation, &evidence, baseline, span);
+        Ok((prediction, explanation, probe))
+    }
+
     /// [`Explainer::explain`] for a batch of `(user, item)` requests,
     /// fanned out over `pool`'s workers. Results come back in request
     /// order and each equals what the sequential call would return —

@@ -42,6 +42,7 @@ pub mod interfaces;
 pub mod modality;
 pub mod personality;
 pub mod provenance;
+pub mod quality;
 pub mod render;
 pub mod similexp;
 pub mod style;
@@ -53,5 +54,6 @@ pub use explanation::{Explanation, Fragment, HistBin, Tone};
 pub use interfaces::{InterfaceDescriptor, InterfaceId};
 pub use personality::{Personality, PersonalityLens};
 pub use provenance::{ProfileFact, Source};
+pub use quality::QualityProbe;
 pub use similexp::ExplainableSimilarity;
 pub use style::ExplanationStyle;

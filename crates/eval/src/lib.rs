@@ -29,6 +29,7 @@ use std::time::Instant;
 use exrec_core::aims::Aim;
 use exrec_obs::Telemetry;
 
+pub mod quality;
 pub mod questionnaire;
 pub mod report;
 pub mod simuser;

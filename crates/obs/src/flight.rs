@@ -28,6 +28,11 @@ use std::sync::{Arc, Mutex};
 
 use serde::{Deserialize, Serialize};
 
+/// Version of the [`RequestRecord`] JSON shape. Bumped to 2 when the
+/// sampled `quality` field was added; older dumps (no field) still
+/// parse, the field defaulting to `None`.
+pub const RECORD_SCHEMA: u32 = 2;
+
 /// Shape of a [`FlightRecorder`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FlightConfig {
@@ -74,6 +79,10 @@ pub struct RequestRecord {
     pub cache_hits: u64,
     /// Similarity-cache probes that had to compute.
     pub cache_misses: u64,
+    /// Sampled explanation-quality score in `[0, 1]`; `None` (JSON
+    /// `null`) when the online estimator did not sample this request.
+    /// Added in record schema 2; schema-1 dumps parse with `None`.
+    pub quality: Option<f64>,
 }
 
 impl RequestRecord {
@@ -228,6 +237,7 @@ mod tests {
             phases: vec![("handle".to_owned(), 2)],
             cache_hits: 0,
             cache_misses: 0,
+            quality: None,
         }
     }
 
@@ -336,8 +346,24 @@ mod tests {
     fn record_round_trips_through_json() {
         let rec = record_for("recommend", 200);
         let json = serde_json::to_string(&rec).unwrap();
+        assert!(
+            json.contains("\"quality\":null"),
+            "unsampled records carry a null quality: {json}"
+        );
+        // A schema-1 line (no quality field at all) still parses.
+        let legacy = json.replace(",\"quality\":null", "");
+        let back: RequestRecord = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back.quality, None);
         let back: RequestRecord = serde_json::from_str(&json).unwrap();
         assert_eq!(back.route, "recommend");
         assert_eq!(back.phases, vec![("handle".to_owned(), 2)]);
+        assert_eq!(back.quality, None);
+
+        let mut sampled = record_for("explain", 200);
+        sampled.quality = Some(0.75);
+        let json = serde_json::to_string(&sampled).unwrap();
+        assert!(json.contains("\"quality\":0.75"), "schema-2 field: {json}");
+        let back: RequestRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.quality, Some(0.75));
     }
 }

@@ -65,6 +65,7 @@ pub mod flight;
 pub mod metrics;
 pub mod profile;
 pub mod promtext;
+pub mod quality;
 pub mod slo;
 pub mod span;
 pub mod trace;
@@ -74,6 +75,7 @@ pub use metrics::{
     Counter, Gauge, Histogram, HistogramRaw, HistogramSummary, Metrics, MetricsReport,
 };
 pub use profile::{PhaseCollector, PhaseSnapshot, ProfileReport, Profiler};
+pub use quality::{QualityMonitor, QualitySample, QualitySnapshot};
 pub use slo::{RouteStatus, SloConfig, SloMonitor};
 pub use span::{
     CountingSubscriber, JsonLinesSubscriber, NoopSubscriber, SpanEvent, Subscriber, Telemetry,

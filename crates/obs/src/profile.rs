@@ -126,6 +126,9 @@ pub struct PhaseCollector {
     phases: Mutex<BTreeMap<String, u64>>,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    /// Sampled quality score, stored as `(score * 1e6) + 1` so the
+    /// atomic's zero default means "not sampled".
+    quality_micro: AtomicU64,
 }
 
 impl PhaseCollector {
@@ -166,6 +169,23 @@ impl PhaseCollector {
     /// Cache probes that had to compute during this request.
     pub fn cache_misses(&self) -> u64 {
         self.cache_misses.load(Ordering::Relaxed)
+    }
+
+    /// Attributes a sampled explanation-quality score in `[0, 1]` to
+    /// this request. The last write wins; the serving edge copies it
+    /// into the request's flight record.
+    pub fn set_quality(&self, score: f64) {
+        let micro = (score.clamp(0.0, 1.0) * 1e6) as u64 + 1;
+        self.quality_micro.store(micro, Ordering::Relaxed);
+    }
+
+    /// The sampled quality score, if the estimator sampled this
+    /// request.
+    pub fn quality(&self) -> Option<f64> {
+        match self.quality_micro.load(Ordering::Relaxed) {
+            0 => None,
+            micro => Some((micro - 1) as f64 / 1e6),
+        }
     }
 }
 
@@ -377,6 +397,16 @@ pub fn cache_events(hits: u64, misses: u64) {
     ACTIVE.with(|stack| {
         if let Some(ctx) = stack.borrow().last() {
             ctx.collector.add_cache_events(hits, misses);
+        }
+    });
+}
+
+/// Attributes a sampled quality score to the current request's
+/// collector; a no-op outside an active route.
+pub fn quality_sample(score: f64) {
+    ACTIVE.with(|stack| {
+        if let Some(ctx) = stack.borrow().last() {
+            ctx.collector.set_quality(score);
         }
     });
 }

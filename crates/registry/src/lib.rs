@@ -22,8 +22,10 @@
 #![warn(rust_2018_idioms)]
 
 pub mod live;
+pub mod quality;
 pub mod systems;
 pub mod tables;
 
+pub use quality::QualityBook;
 pub use systems::{SystemDescriptor, SystemKind};
 pub use tables::{table1, table2, table3, table4, TableSpec};

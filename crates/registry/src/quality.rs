@@ -1,0 +1,254 @@
+//! Measured aim-fit interface selection.
+//!
+//! Tables 1–4 answer "which aims does each interface *claim*?"; the
+//! offline quality suite (`exrec_eval::quality`) answers "which aims
+//! does each interface *measurably achieve*, on this world, with this
+//! model?". The [`QualityBook`] stores those measurements and turns
+//! them into selection: given a requested aim, pick the interface with
+//! the highest measured [`aim_score`] instead of the first catalog row
+//! that declares the aim.
+//!
+//! The book is seeded from an offline [`QualityReport`] (or a direct
+//! scoring pass over the served world) and *refreshed* by the live
+//! estimator's rolling means — the serving edge periodically folds the
+//! online fidelity/coverage/depth observations back in, so selection
+//! tracks what the system is actually serving, not what a cold report
+//! said at boot.
+
+use std::collections::BTreeMap;
+use std::sync::RwLock;
+
+use exrec_core::aims::Aim;
+use exrec_core::interfaces::InterfaceId;
+use exrec_eval::quality::{aim_score, InterfaceQuality, QualityReport};
+
+pub use exrec_eval::quality::static_default_for_aim;
+
+/// Measured per-interface quality scores with aim-fit selection.
+///
+/// Thread-safe: the serving edge reads on the request path and the
+/// estimator refreshes concurrently.
+#[derive(Debug, Default)]
+pub struct QualityBook {
+    entries: RwLock<BTreeMap<String, InterfaceQuality>>,
+}
+
+impl QualityBook {
+    /// An empty book: every selection falls back to the static default.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A book seeded from an offline report's interface measurements.
+    pub fn from_report(report: &QualityReport) -> Self {
+        Self::from_interfaces(report.interfaces.clone())
+    }
+
+    /// A book seeded from raw per-interface measurements (e.g. a
+    /// scoring pass over the serving world).
+    pub fn from_interfaces(interfaces: Vec<InterfaceQuality>) -> Self {
+        QualityBook {
+            entries: RwLock::new(
+                interfaces
+                    .into_iter()
+                    .map(|q| (q.name.clone(), q))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Number of interfaces with stored measurements.
+    pub fn len(&self) -> usize {
+        self.entries.read().unwrap_or_else(|p| p.into_inner()).len()
+    }
+
+    /// Whether the book holds no measurements at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The stored measurement for an interface key.
+    pub fn measured(&self, key: &str) -> Option<InterfaceQuality> {
+        self.entries
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(key)
+            .cloned()
+    }
+
+    /// Folds live-estimator rolling means back into the stored
+    /// measurement: fidelity, coverage and provenance depth are what
+    /// the online sampler can observe; evidence precision/recall keep
+    /// their offline values (ground truth is not available live).
+    /// A key without an offline entry is ignored — the estimator can
+    /// only refresh interfaces the offline pass could score.
+    pub fn refresh(&self, key: &str, fidelity: f64, coverage: f64, provenance_depth: f64) {
+        let mut entries = self.entries.write().unwrap_or_else(|p| p.into_inner());
+        if let Some(q) = entries.get_mut(key) {
+            if q.samples == 0 {
+                return;
+            }
+            q.fidelity = fidelity.clamp(0.0, 1.0);
+            q.coverage = coverage.clamp(0.0, 1.0);
+            q.provenance_depth = provenance_depth.max(0.0);
+        }
+    }
+
+    /// The measured score of one interface for one aim; `0.0` when
+    /// unmeasured (an unmeasured interface never wins a selection).
+    pub fn aim_score(&self, id: InterfaceId, aim: Aim) -> f64 {
+        self.measured(id.key())
+            .map(|q| aim_score(&q, aim))
+            .unwrap_or(0.0)
+    }
+
+    /// Aim-fit selection: the measurably best interface for `aim`
+    /// among those declaring it, with catalog order breaking ties.
+    /// Returns the interface and its measured score; `None` when no
+    /// declaring interface has measurements (caller falls back to
+    /// [`static_default_for_aim`]).
+    pub fn select_for_aim(&self, aim: Aim) -> Option<(InterfaceId, f64)> {
+        let entries = self.entries.read().unwrap_or_else(|p| p.into_inner());
+        let mut best: Option<(InterfaceId, f64)> = None;
+        for id in InterfaceId::ALL {
+            if !id.descriptor().aims.contains(aim) {
+                continue;
+            }
+            let Some(q) = entries.get(id.key()) else {
+                continue;
+            };
+            if q.samples == 0 {
+                continue;
+            }
+            let score = aim_score(q, aim);
+            if best.map(|(_, s)| score > s).unwrap_or(true) {
+                best = Some((id, score));
+            }
+        }
+        best
+    }
+
+    /// [`QualityBook::select_for_aim`] with the static fallback folded
+    /// in: always returns an interface as long as *any* catalog
+    /// interface declares the aim.
+    pub fn select_or_default(&self, aim: Aim) -> Option<InterfaceId> {
+        self.select_for_aim(aim)
+            .map(|(id, _)| id)
+            .or_else(|| static_default_for_aim(aim))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exrec_eval::quality::{run, QualityConfig};
+
+    fn measured(name: &str, fidelity: f64, coverage: f64) -> InterfaceQuality {
+        InterfaceQuality {
+            name: name.to_owned(),
+            samples: 10,
+            fidelity,
+            evidence_precision: 0.5,
+            evidence_recall: 0.5,
+            evidence_f1: 0.5,
+            coverage,
+            provenance_depth: 1.0,
+            reading_cost: 6.0,
+        }
+    }
+
+    #[test]
+    fn empty_book_falls_back_to_static_default() {
+        let book = QualityBook::new();
+        assert!(book.is_empty());
+        for aim in Aim::ALL {
+            assert!(book.select_for_aim(aim).is_none());
+            assert_eq!(book.select_or_default(aim), static_default_for_aim(aim));
+        }
+    }
+
+    #[test]
+    fn selection_is_argmax_with_catalog_tie_break() {
+        // Both declare Transparency (histogram variants do); give the
+        // later catalog entry a decisively better measurement.
+        let hist = InterfaceId::Histogram.key();
+        let clustered = InterfaceId::ClusteredHistogram.key();
+        let book = QualityBook::from_interfaces(vec![
+            measured(clustered, 0.1, 0.1),
+            measured(hist, 0.9, 0.9),
+        ]);
+        let aim = Aim::Transparency;
+        assert!(InterfaceId::Histogram.descriptor().aims.contains(aim));
+        assert!(InterfaceId::ClusteredHistogram
+            .descriptor()
+            .aims
+            .contains(aim));
+        let (winner, score) = book.select_for_aim(aim).unwrap();
+        assert_eq!(winner, InterfaceId::Histogram);
+        assert!(score > 0.0);
+
+        // Identical measurements: the earlier catalog row wins (strict
+        // improvement required to displace).
+        let tied = QualityBook::from_interfaces(vec![
+            measured(clustered, 0.5, 0.5),
+            measured(hist, 0.5, 0.5),
+        ]);
+        let (winner, _) = tied.select_for_aim(aim).unwrap();
+        assert_eq!(
+            winner,
+            InterfaceId::ClusteredHistogram,
+            "catalog order tie-break"
+        );
+    }
+
+    #[test]
+    fn unmeasured_interfaces_never_win() {
+        let book = QualityBook::from_interfaces(vec![InterfaceQuality {
+            samples: 0,
+            ..measured(InterfaceId::Histogram.key(), 0.9, 0.9)
+        }]);
+        assert!(book.select_for_aim(Aim::Transparency).is_none());
+        assert_eq!(
+            book.aim_score(InterfaceId::Histogram, Aim::Transparency),
+            0.0
+        );
+    }
+
+    #[test]
+    fn refresh_updates_live_components_only() {
+        let book =
+            QualityBook::from_interfaces(vec![measured(InterfaceId::Histogram.key(), 0.2, 0.2)]);
+        book.refresh(InterfaceId::Histogram.key(), 0.8, 0.9, 2.0);
+        let q = book.measured(InterfaceId::Histogram.key()).unwrap();
+        assert_eq!(q.fidelity, 0.8);
+        assert_eq!(q.coverage, 0.9);
+        assert_eq!(q.provenance_depth, 2.0);
+        assert_eq!(q.evidence_precision, 0.5, "offline P/R untouched");
+        // Refreshing an unknown key is a no-op, not a panic.
+        book.refresh("no_such_interface", 1.0, 1.0, 4.0);
+        assert_eq!(book.len(), 1);
+    }
+
+    #[test]
+    fn offline_report_feeds_selection_that_beats_the_static_default() {
+        let report = run(&QualityConfig::quick(), 1);
+        let book = QualityBook::from_report(&report);
+        assert_eq!(book.len(), InterfaceId::ALL.len());
+        let mut improved = 0usize;
+        for aim in Aim::ALL {
+            let (selected, score) = book
+                .select_for_aim(aim)
+                .expect("every aim has a measured candidate");
+            let fallback = static_default_for_aim(aim).unwrap();
+            let static_score = book.aim_score(fallback, aim);
+            assert!(score >= static_score, "{aim}: selection regressed");
+            if selected != fallback && score > static_score {
+                improved += 1;
+            }
+        }
+        assert!(
+            improved >= 1,
+            "measured selection should beat the static default for at least one aim"
+        );
+    }
+}

@@ -15,13 +15,16 @@ use std::time::{Duration, Instant};
 use exrec_algo::batch::BatchPool;
 use exrec_algo::cache::{CacheConfig, SimilarityCache};
 use exrec_algo::{Ctx, Scored, UserKnn};
+use exrec_core::aims::Aim;
 use exrec_core::engine::Explainer;
 use exrec_core::explanation::Explanation;
 use exrec_core::interfaces::InterfaceId;
 use exrec_core::render::{PlainRenderer, Render};
+use exrec_core::QualityProbe;
 use exrec_data::synth::{movies, WorldConfig};
 use exrec_data::World;
-use exrec_obs::Telemetry;
+use exrec_obs::{QualityMonitor, QualitySample, Telemetry};
+use exrec_registry::QualityBook;
 use exrec_types::{ItemId, UserId};
 
 use crate::proto::{
@@ -93,6 +96,12 @@ pub struct AppConfig {
     /// Honour `inject_panic` / `inject_delay_ms` request fields. Test
     /// harnesses only; off by default.
     pub fault_injection: bool,
+    /// Quality-sample one `/v1/explain` request in this many (`0`
+    /// disables live quality estimation, `1` samples every request).
+    pub quality_sample_every: u64,
+    /// Explanation pairs sampled per interface by the startup scoring
+    /// pass that seeds the aim-fit quality book.
+    pub quality_pairs: usize,
 }
 
 impl Default for AppConfig {
@@ -108,6 +117,8 @@ impl Default for AppConfig {
             max_n: 100,
             pool_threads: 0,
             fault_injection: false,
+            quality_sample_every: 8,
+            quality_pairs: 16,
         }
     }
 }
@@ -120,6 +131,11 @@ pub struct ExplainApp {
     model: UserKnn,
     pool: BatchPool,
     telemetry: Telemetry,
+    /// Measured per-interface quality on the served world, seeded by a
+    /// startup scoring pass and refreshed by the live estimator.
+    book: QualityBook,
+    /// The 1-in-N online quality estimator behind `quality.*` metrics.
+    monitor: QualityMonitor,
 }
 
 impl ExplainApp {
@@ -140,12 +156,32 @@ impl ExplainApp {
         ));
         let model = UserKnn::default().with_cache(cache);
         let pool = BatchPool::new(config.pool_threads).with_telemetry(telemetry.clone());
+        // Seed the aim-fit book by scoring every interface against the
+        // world and model actually served — the same pass the offline
+        // suite runs, sized down by `quality_pairs`.
+        let book = QualityBook::from_interfaces(exrec_eval::quality::score_interfaces(
+            &world,
+            &model,
+            &exrec_eval::quality::QualityConfig {
+                sample_pairs: config.quality_pairs,
+                ..exrec_eval::quality::QualityConfig::default()
+            },
+        ));
+        let monitor = QualityMonitor::new(
+            telemetry.clone(),
+            exrec_obs::quality::QualityConfig {
+                sample_every: config.quality_sample_every,
+                ..exrec_obs::quality::QualityConfig::default()
+            },
+        );
         ExplainApp {
             config,
             world,
             model,
             pool,
             telemetry,
+            book,
+            monitor,
         }
     }
 
@@ -195,6 +231,18 @@ impl ExplainApp {
             .map(|cache| (cache.stats(), cache.capacity()))
     }
 
+    /// The measured per-interface quality book behind aim-fit
+    /// selection and `GET /debug/quality`.
+    pub fn quality_book(&self) -> &QualityBook {
+        &self.book
+    }
+
+    /// The live quality estimator (`quality.*` metrics, sustained-drop
+    /// detection, `GET /debug/quality`'s `online` section).
+    pub fn quality_monitor(&self) -> &QualityMonitor {
+        &self.monitor
+    }
+
     /// Runs the (test-gated) fault hooks shared by both POST endpoints.
     fn fault_hooks(
         &self,
@@ -232,6 +280,19 @@ impl ExplainApp {
             Some(key) => InterfaceId::from_key(key)
                 .ok_or_else(|| AppError::BadRequest(format!("unknown interface {key:?}"))),
         }
+    }
+
+    /// Resolves an optional lowercased aim name against the taxonomy.
+    fn resolve_aim(&self, key: Option<&str>) -> Result<Option<Aim>, AppError> {
+        let Some(key) = key else {
+            return Ok(None);
+        };
+        let lowered = key.to_ascii_lowercase();
+        Aim::ALL
+            .into_iter()
+            .find(|a| a.name().to_ascii_lowercase() == lowered)
+            .map(Some)
+            .ok_or_else(|| AppError::BadRequest(format!("unknown aim {key:?}")))
     }
 
     /// Validates a raw user id against the served world.
@@ -391,7 +452,17 @@ impl ExplainApp {
         deadline: Deadline,
     ) -> Result<ExplainResponse, AppError> {
         self.fault_hooks(req.inject_panic, req.inject_delay_ms, deadline)?;
-        let interface = self.resolve_interface(req.interface.as_deref())?;
+        let aim = self.resolve_aim(req.aim.as_deref())?;
+        // An explicit interface always wins; an aim alone selects the
+        // measurably best-fitting interface from the quality book.
+        let interface = match (req.interface.as_deref(), aim) {
+            (Some(key), _) => self.resolve_interface(Some(key))?,
+            (None, Some(aim)) => self
+                .book
+                .select_or_default(aim)
+                .unwrap_or(self.config.default_interface),
+            (None, None) => self.config.default_interface,
+        };
         let user = self.user(req.user)?;
         let item = self.item(req.item)?;
         if deadline.exceeded() {
@@ -400,17 +471,87 @@ impl ExplainApp {
         let ctx = Ctx::new(&self.world.ratings, &self.world.catalog);
         let explainer =
             Explainer::new(&self.model, interface).with_telemetry(self.telemetry.clone());
-        match explainer.explain(&ctx, user, item) {
-            Ok((prediction, explanation)) => Ok(ExplainResponse {
-                user: req.user,
-                item: req.item,
-                score: prediction.score,
-                confidence: prediction.confidence.value(),
-                explanation: self.shape_explanation(&explanation),
-            }),
-            // MissingEvidence (interface/model mismatch) and NoPrediction
-            // (cold pair) are both "valid ids, no answer": 422.
-            Err(e) => Err(AppError::Unprocessable(e.to_string())),
+        let aim_echo = aim.map(|a| a.name().to_ascii_lowercase());
+        // On sampled requests the evidence-carrying path runs so the
+        // quality probe can measure coverage/fidelity on data already
+        // in hand; unsampled requests keep the lean path.
+        if self.monitor.should_sample() {
+            match explainer.explain_with_evidence(&ctx, user, item) {
+                Ok((prediction, explanation, evidence)) => {
+                    self.record_quality(interface, &explanation, &evidence, user);
+                    Ok(ExplainResponse {
+                        user: req.user,
+                        item: req.item,
+                        score: prediction.score,
+                        confidence: prediction.confidence.value(),
+                        aim: aim_echo,
+                        explanation: self.shape_explanation(&explanation),
+                    })
+                }
+                Err(e) => Err(AppError::Unprocessable(e.to_string())),
+            }
+        } else {
+            match explainer.explain(&ctx, user, item) {
+                Ok((prediction, explanation)) => Ok(ExplainResponse {
+                    user: req.user,
+                    item: req.item,
+                    score: prediction.score,
+                    confidence: prediction.confidence.value(),
+                    aim: aim_echo,
+                    explanation: self.shape_explanation(&explanation),
+                }),
+                // MissingEvidence (interface/model mismatch) and
+                // NoPrediction (cold pair) are both "valid ids, no
+                // answer": 422.
+                Err(e) => Err(AppError::Unprocessable(e.to_string())),
+            }
+        }
+    }
+
+    /// Measures one sampled explanation, feeds the live estimator,
+    /// attributes the score to the request's phase collector, and
+    /// folds the interface's rolling means back into the quality book.
+    fn record_quality(
+        &self,
+        interface: InterfaceId,
+        explanation: &Explanation,
+        evidence: &exrec_algo::ModelEvidence,
+        user: UserId,
+    ) {
+        let _phase = exrec_obs::profile::phase("quality_probe");
+        let baseline = self
+            .world
+            .ratings
+            .user_mean(user)
+            .unwrap_or_else(|| self.world.ratings.global_mean());
+        let span = self.world.ratings.scale().span();
+        let probe = QualityProbe::measure(explanation, evidence, baseline, span);
+        let sample = QualitySample {
+            interface: interface.key(),
+            aims: explanation
+                .aims
+                .iter()
+                .map(|a| a.name().to_ascii_lowercase())
+                .collect(),
+            fidelity: probe.fidelity,
+            coverage: probe.coverage,
+            provenance_depth: probe.provenance_depth,
+            score: probe.score(),
+        };
+        self.monitor.observe(&sample);
+        exrec_obs::profile::quality_sample(sample.score);
+        let snapshot = self.monitor.snapshot();
+        if let Some(stat) = snapshot
+            .interfaces
+            .iter()
+            .find(|s| s.name == sample.interface)
+        {
+            self.book.refresh(
+                &stat.name,
+                stat.fidelity,
+                stat.coverage,
+                stat.provenance_depth,
+            );
         }
     }
 }
@@ -517,6 +658,7 @@ mod tests {
                     user: 0,
                     item: 1,
                     interface: Some("item_average".to_owned()),
+                    aim: None,
                     deadline_ms: None,
                     inject_panic: None,
                     inject_delay_ms: None,

@@ -17,8 +17,10 @@
 //!       [--trace-seed S]      seed the trace id stream (deterministic ids)
 //!       [--slo-ms L]          per-request latency objective (default 250)
 //!       [--slo-target F]      target good ratio over the window (default 0.99)
-//!       [--debug-endpoints]   serve GET /debug/{profile,requests,world}
+//!       [--debug-endpoints]   serve GET /debug/{profile,requests,world,quality}
 //!       [--flight-capacity N] flight-recorder ring size (default 256)
+//!       [--quality-sample N]  quality-sample 1-in-N explain requests (default 8; 0 = off)
+//!       [--quality-pairs N]   startup scoring pairs per interface (default 16)
 //! ```
 //!
 //! Sampled traces are written to stderr as JSON lines (one span per
@@ -74,6 +76,7 @@ fn usage() -> ! {
     eprintln!("             [--trace-slow-ms T] [--trace-sample N] [--trace-seed S]");
     eprintln!("             [--slo-ms L] [--slo-target F]");
     eprintln!("             [--debug-endpoints] [--flight-capacity N]");
+    eprintln!("             [--quality-sample N] [--quality-pairs N]");
     std::process::exit(2);
 }
 
@@ -133,6 +136,10 @@ fn main() {
                     }
                 }
             }
+            "--quality-sample" => {
+                app_config.quality_sample_every = parse("--quality-sample", args.next())
+            }
+            "--quality-pairs" => app_config.quality_pairs = parse("--quality-pairs", args.next()),
             "--fault-injection" => app_config.fault_injection = true,
             "--debug-endpoints" => server_config.debug_endpoints = true,
             "--flight-capacity" => {
@@ -188,7 +195,9 @@ fn main() {
         server_config.default_deadline_ms
     );
     if server_config.debug_endpoints {
-        eprintln!("[serve] debug endpoints enabled: /debug/profile /debug/requests /debug/world");
+        eprintln!(
+            "[serve] debug endpoints enabled: /debug/profile /debug/requests /debug/world /debug/quality"
+        );
     }
 
     while !SHUTDOWN.load(Ordering::SeqCst) {
@@ -197,6 +206,7 @@ fn main() {
     eprintln!("[serve] signal received; draining");
     handle.request_shutdown();
     let slo = handle.slo_snapshot();
+    let quality = handle.quality_snapshot();
     handle.join();
     eprintln!("[serve] drained; final telemetry:");
     eprintln!("{}", telemetry.report().render_ascii());
@@ -211,6 +221,29 @@ fn main() {
                 s.burn_rate,
                 s.fast_burn_rate,
                 if s.degraded { "  DEGRADED" } else { "" }
+            );
+        }
+    }
+    if quality.samples > 0 {
+        eprintln!(
+            "== explanation quality (rolling window at drain, 1-in-{} sampled) ==",
+            quality.sample_every
+        );
+        eprintln!(
+            "  overall: {} samples, score {:.3}, fidelity {:.3}{}",
+            quality.samples,
+            quality.mean_score,
+            quality.mean_fidelity,
+            if quality.sustained_low {
+                "  SUSTAINED LOW"
+            } else {
+                ""
+            }
+        );
+        for s in &quality.interfaces {
+            eprintln!(
+                "  {:<24} {} samples, score {:.3}, fidelity {:.3}, coverage {:.3}",
+                s.name, s.samples, s.score, s.fidelity, s.coverage
             );
         }
     }

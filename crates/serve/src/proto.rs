@@ -40,6 +40,11 @@ pub struct ExplainRequest {
     pub item: u32,
     /// Explanation interface key; server default when omitted.
     pub interface: Option<String>,
+    /// Explanation aim (lowercased name, e.g. `"trust"`). When present
+    /// and `interface` is omitted, the server picks the measurably
+    /// best-fitting interface for the aim (`?aim=` on the URL is an
+    /// equivalent spelling).
+    pub aim: Option<String>,
     /// Per-request deadline override, milliseconds.
     pub deadline_ms: Option<u64>,
     /// Fault injection (test only, requires `--fault-injection`).
@@ -101,6 +106,9 @@ pub struct ExplainResponse {
     pub score: f64,
     /// Model confidence in `[0, 1]`.
     pub confidence: f64,
+    /// The aim that drove interface selection, echoed lowercased;
+    /// `null` when the request named no aim.
+    pub aim: Option<String>,
     /// The generated explanation.
     pub explanation: ExplanationBody,
 }
@@ -133,6 +141,25 @@ pub struct HealthResponse {
     /// Similarity-cache occupancy and hit ratio; `None` when the model
     /// runs uncached (and when deserializing pre-cache payloads).
     pub cache: Option<CacheStatsBody>,
+    /// Live explanation-quality standing; `None` when deserializing
+    /// pre-quality payloads (the server always sends it).
+    pub quality: Option<QualityStandingBody>,
+}
+
+/// Live explanation-quality standing, as `/healthz` reports it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QualityStandingBody {
+    /// Quality measurements sampled since start.
+    pub samples: u64,
+    /// Configured 1-in-N sampling rate (`0` = sampling off).
+    pub sample_every: u64,
+    /// Rolling mean scalar quality score in `[0, 1]`.
+    pub mean_score: f64,
+    /// Current consecutive-low-sample streak.
+    pub low_streak: u64,
+    /// Whether the low-quality streak has reached the sustained
+    /// threshold (contributes to `"degraded"` status).
+    pub sustained_low: bool,
 }
 
 /// Similarity-cache standing, shared by `GET /healthz` and
@@ -207,6 +234,38 @@ pub struct DebugWorldBody {
     pub cache: Option<CacheStatsBody>,
 }
 
+/// Body of a 200 from `GET /debug/quality`: the offline-measured
+/// quality book, the live sampled estimator, and the aim-fit selection
+/// both currently imply.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DebugQualityBody {
+    /// Offline/refreshed per-interface measurements backing selection,
+    /// name-keyed, catalog order, unmeasurable interfaces included
+    /// with `samples: 0`.
+    pub offline: Vec<exrec_eval::quality::InterfaceQuality>,
+    /// The live estimator's rolling snapshot.
+    pub online: exrec_obs::QualitySnapshot,
+    /// What `?aim=` would select right now, one row per aim.
+    pub selection: Vec<AimSelectionBody>,
+}
+
+/// One aim's current selection standing in `GET /debug/quality`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AimSelectionBody {
+    /// Lowercased aim name.
+    pub aim: String,
+    /// Interface key `?aim=` selects (measured argmax, falling back to
+    /// the static default when nothing is measured).
+    pub selected: String,
+    /// The selected interface's measured score for the aim.
+    pub score: f64,
+    /// The static default: the first catalog interface declaring the
+    /// aim, ignoring measurements.
+    pub static_default: Option<String>,
+    /// The static default's measured score for the aim.
+    pub static_score: f64,
+}
+
 /// One route's SLO standing as reported by `/healthz`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SloRouteBody {
@@ -266,6 +325,7 @@ mod tests {
             user: 7,
             item: 9,
             interface: Some("clustered_histogram".to_owned()),
+            aim: Some("trust".to_owned()),
             deadline_ms: Some(250),
             inject_panic: None,
             inject_delay_ms: None,
@@ -275,6 +335,7 @@ mod tests {
         assert_eq!(back.user, 7);
         assert_eq!(back.item, 9);
         assert_eq!(back.interface.as_deref(), Some("clustered_histogram"));
+        assert_eq!(back.aim.as_deref(), Some("trust"));
         assert_eq!(back.deadline_ms, Some(250));
     }
 

@@ -39,11 +39,14 @@ use exrec_obs::{
     Telemetry,
 };
 
+use exrec_core::aims::Aim;
+use exrec_core::interfaces::InterfaceId;
+
 use crate::app::{AppError, Deadline, ExplainApp};
 use crate::http::{read_request, HttpError, Request, Response};
 use crate::proto::{
-    CacheStatsBody, DebugProfileBody, DebugRequestsBody, DebugWorldBody, ErrorBody, HealthResponse,
-    SloRouteBody,
+    AimSelectionBody, CacheStatsBody, DebugProfileBody, DebugQualityBody, DebugRequestsBody,
+    DebugWorldBody, ErrorBody, HealthResponse, QualityStandingBody, SloRouteBody,
 };
 use crate::queue::{Bounded, PushError};
 
@@ -124,6 +127,9 @@ struct Shared {
     /// Set while an SLO fast-burn degradation is in effect, so the
     /// flight recorder dumps once per onset instead of per request.
     degraded_latch: AtomicBool,
+    /// Same once-per-onset discipline for sustained low explanation
+    /// quality (the live estimator's low-sample streak).
+    quality_latch: AtomicBool,
 }
 
 /// A running server; dropping it without calling
@@ -161,6 +167,7 @@ pub fn start(
             ..FlightConfig::default()
         })),
         degraded_latch: AtomicBool::new(false),
+        quality_latch: AtomicBool::new(false),
         app,
         config,
         telemetry,
@@ -213,6 +220,12 @@ impl ServerHandle {
     /// The always-on phase profiler behind `GET /debug/profile`.
     pub fn profiler(&self) -> &Arc<Profiler> {
         &self.shared.profiler
+    }
+
+    /// The live quality estimator's snapshot (the `serve` binary
+    /// prints per-interface quality in its shutdown report).
+    pub fn quality_snapshot(&self) -> exrec_obs::QualitySnapshot {
+        self.shared.app.quality_monitor().snapshot()
     }
 
     /// The request flight recorder behind `GET /debug/requests`. The
@@ -297,6 +310,7 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
                     phases: Vec::new(),
                     cache_hits: 0,
                     cache_misses: 0,
+                    quality: None,
                 });
                 refuse(conn.stream, 429, "shed", "admission queue is full", Some(1));
             }
@@ -490,6 +504,7 @@ fn record(
         phases: collector.phases(),
         cache_hits: collector.cache_hits(),
         cache_misses: collector.cache_misses(),
+        quality: collector.quality(),
     });
     // 4xx is the server behaving correctly under a bad request; only
     // 5xx spends error budget on top of the latency objective.
@@ -520,6 +535,20 @@ fn record(
             shared.degraded_latch.store(false, Ordering::SeqCst);
         }
     }
+    // The quality-drop latch mirrors the SLO fast-burn latch: when the
+    // live estimator's low-sample streak reaches its sustained
+    // threshold, dump the black box once per onset (the sampled
+    // low-quality requests are still resident in the ring, scores
+    // attached), and re-arm once quality recovers.
+    if shared.app.quality_monitor().sustained_low() {
+        if !shared.quality_latch.swap(true, Ordering::SeqCst) {
+            shared
+                .flight
+                .dump_stderr("sustained low explanation quality");
+        }
+    } else {
+        shared.quality_latch.store(false, Ordering::SeqCst);
+    }
 }
 
 /// Routes one parsed request, isolating handler panics. The endpoint
@@ -532,18 +561,25 @@ fn dispatch(
     started: Instant,
     collector: &Arc<PhaseCollector>,
 ) -> (Response, &'static str) {
-    let endpoint: &'static str = match (request.method.as_str(), request.path.as_str()) {
+    // The request target may carry a query string (`?aim=trust`);
+    // routes match on the bare path, handlers see the query.
+    let (path, query) = match request.path.split_once('?') {
+        Some((path, query)) => (path, Some(query)),
+        None => (request.path.as_str(), None),
+    };
+    let endpoint: &'static str = match (request.method.as_str(), path) {
         ("GET", "/healthz") => "healthz",
         ("GET", "/metrics") => "metrics",
         ("GET", "/debug/profile") => "debug_profile",
         ("GET", "/debug/requests") => "debug_requests",
         ("GET", "/debug/world") => "debug_world",
+        ("GET", "/debug/quality") => "debug_quality",
         ("POST", "/v1/recommend") => "recommend",
         ("POST", "/v1/explain") => "explain",
         (
             _,
             "/healthz" | "/metrics" | "/v1/recommend" | "/v1/explain" | "/debug/profile"
-            | "/debug/requests" | "/debug/world",
+            | "/debug/requests" | "/debug/world" | "/debug/quality",
         ) => "method_not_allowed",
         _ => "not_found",
     };
@@ -555,8 +591,9 @@ fn dispatch(
         "debug_profile" => debug_profile(shared, request),
         "debug_requests" => debug_requests(shared),
         "debug_world" => debug_world(shared),
-        "recommend" => handle_post(shared, request, started, "recommend"),
-        "explain" => handle_post(shared, request, started, "explain"),
+        "debug_quality" => debug_quality(shared),
+        "recommend" => handle_post(shared, request, started, "recommend", query),
+        "explain" => handle_post(shared, request, started, "explain", query),
         "method_not_allowed" => Response::json(
             405,
             &ErrorBody::new(
@@ -627,6 +664,51 @@ fn debug_requests(shared: &Shared) -> Response {
     )
 }
 
+/// `GET /debug/quality`: the measured quality book behind aim-fit
+/// selection, the live sampled estimator's snapshot, and the selection
+/// both currently imply per aim.
+fn debug_quality(shared: &Shared) -> Response {
+    if !shared.config.debug_endpoints {
+        return debug_disabled();
+    }
+    let app = &shared.app;
+    let book = app.quality_book();
+    let offline = InterfaceId::ALL
+        .into_iter()
+        .filter_map(|id| book.measured(id.key()))
+        .collect();
+    let selection = Aim::ALL
+        .into_iter()
+        .map(|aim| {
+            let static_default = exrec_registry::quality::static_default_for_aim(aim);
+            let (selected, score) = match book.select_for_aim(aim) {
+                Some((id, score)) => (id, score),
+                None => (
+                    static_default.unwrap_or(app.config().default_interface),
+                    0.0,
+                ),
+            };
+            AimSelectionBody {
+                aim: aim.name().to_ascii_lowercase(),
+                selected: selected.key().to_owned(),
+                score,
+                static_default: static_default.map(|id| id.key().to_owned()),
+                static_score: static_default
+                    .map(|id| book.aim_score(id, aim))
+                    .unwrap_or(0.0),
+            }
+        })
+        .collect();
+    Response::json(
+        200,
+        &DebugQualityBody {
+            offline,
+            online: app.quality_monitor().snapshot(),
+            selection,
+        },
+    )
+}
+
 /// `GET /debug/world`: the served world's shape and effective serving
 /// configuration.
 fn debug_world(shared: &Shared) -> Response {
@@ -685,9 +767,10 @@ fn metrics_response(shared: &Shared, request: &Request) -> Response {
 
 fn health(shared: &Shared) -> Response {
     let slo = shared.slo.snapshot();
+    let quality = shared.app.quality_monitor().snapshot();
     let status = if shared.draining.load(Ordering::SeqCst) {
         "draining"
-    } else if slo.values().any(|s| s.degraded) {
+    } else if slo.values().any(|s| s.degraded) || quality.sustained_low {
         "degraded"
     } else {
         "ok"
@@ -726,8 +809,25 @@ fn health(shared: &Shared) -> Response {
                 })
                 .collect(),
             cache: cache_body(&shared.app),
+            quality: Some(QualityStandingBody {
+                samples: quality.samples,
+                sample_every: quality.sample_every,
+                mean_score: quality.mean_score,
+                low_streak: quality.low_streak,
+                sustained_low: quality.sustained_low,
+            }),
         },
     )
+}
+
+/// Extracts one `key=value` pair from a raw query string. Aim names
+/// and interface keys are plain lowercase words, so no percent
+/// decoding is attempted.
+fn query_param<'a>(query: Option<&'a str>, key: &str) -> Option<&'a str> {
+    query?.split('&').find_map(|kv| {
+        let (k, v) = kv.split_once('=')?;
+        (k == key && !v.is_empty()).then_some(v)
+    })
 }
 
 /// Parses, deadline-checks and runs one POST body under `catch_unwind`.
@@ -736,6 +836,7 @@ fn handle_post(
     request: &Request,
     started: Instant,
     endpoint: &'static str,
+    query: Option<&str>,
 ) -> Response {
     // Admission: body decode, JSON parse, deadline arithmetic — all
     // before the model runs.
@@ -767,7 +868,12 @@ fn handle_post(
             }
         },
         _ => match serde_json::from_str::<crate::proto::ExplainRequest>(body) {
-            Ok(req) => {
+            Ok(mut req) => {
+                // `?aim=` on the URL is an equivalent spelling of the
+                // body field; the body wins when both are present.
+                if req.aim.is_none() {
+                    req.aim = query_param(query, "aim").map(str::to_owned);
+                }
                 let ms = req.deadline_ms;
                 (Parsed::Explain(req), ms)
             }
