@@ -37,6 +37,25 @@
 //!   revision-invalidated LRU memo of pair similarities that
 //!   [`UserKnn::with_cache`] consults instead of re-walking the ratings
 //!   matrix; hit/miss/eviction counters export through `exrec-obs`.
+//!
+//! ## Sub-linear neighbour search
+//!
+//! Two further modules replace the uncached brute-force similarity
+//! scan with a kernel that is fast when exact and sub-linear when
+//! allowed to prune (see `docs/kernels.md`):
+//!
+//! * [`kernel`] — [`kernel::CsrRatings`] (a revision-stamped CSR/CSC
+//!   compaction of the ratings), a cache-blocked tiled similarity scan
+//!   with a startup autotuner, and [`kernel::ScanEngine`], the shared
+//!   revision-keyed holder of the derived state;
+//! * [`index`] — [`index::CandidateIndex`], deterministic coarse
+//!   k-means over rating rows; pruned scans probe the nearest
+//!   centroids and score only their members, with automatic exact
+//!   fallback when the candidate set is too small for `k`.
+//!
+//! Attach with [`UserKnn::with_engine`]: [`kernel::ScanMode::Exact`]
+//! is bit-identical to the brute path, [`kernel::ScanMode::Pruned`]
+//! trades a property-tested recall ≥ 0.99 for sub-linear scans.
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -47,8 +66,10 @@ pub mod batch;
 pub mod cache;
 pub mod content;
 pub mod hybrid;
+pub mod index;
 pub mod instrument;
 pub mod item_knn;
+pub mod kernel;
 pub mod knowledge;
 pub mod metrics;
 pub mod mf;
@@ -59,8 +80,10 @@ pub mod user_knn;
 
 pub use batch::BatchPool;
 pub use cache::SimilarityCache;
+pub use index::{CandidateIndex, IndexConfig};
 pub use instrument::InstrumentedRecommender;
 pub use item_knn::ItemKnn;
+pub use kernel::{CsrRatings, KernelConfig, ScanEngine, ScanMode, ScanStats, TileSize};
 pub use recommender::{Ctx, ModelEvidence, Recommender, Scored};
 pub use similarity::Similarity;
 pub use user_knn::UserKnn;

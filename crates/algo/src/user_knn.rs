@@ -12,8 +12,9 @@
 use std::sync::Arc;
 
 use crate::cache::SimilarityCache;
-use crate::neighbors::top_k_by;
-use crate::recommender::{Ctx, ModelEvidence, NeighborContribution, Recommender};
+use crate::kernel::{scan_similarities, CsrRatings, ScanEngine, ScanMode, SimParams};
+use crate::neighbors::{top_k_by, top_k_stream};
+use crate::recommender::{Ctx, ModelEvidence, NeighborContribution, Recommender, Scored};
 use crate::similarity::{self, Similarity};
 use exrec_types::{Confidence, Error, ItemId, Prediction, Result, UserId};
 
@@ -53,10 +54,28 @@ impl Default for UserKnnConfig {
 /// ratings-matrix revision. Because the cache stores the exact computed
 /// value and self-invalidates when the matrix mutates, cached predictions
 /// stay bit-identical to uncached ones — including after re-rating.
+///
+/// For sub-linear uncached serving, attach a shared
+/// [`ScanEngine`](crate::kernel::ScanEngine) with
+/// [`UserKnn::with_engine`]: similarity scans then run through the
+/// CSR-tiled kernel ([`ScanMode::Exact`], bit-identical to the brute
+/// path) and optionally the cluster-pruned candidate index
+/// ([`ScanMode::Pruned`], recall ≥ 0.99 with automatic exact fallback).
+/// The engine snapshots the matrix per revision, so mid-session
+/// re-rating is still observed on the next call, exactly like the
+/// cache's invalidation contract. See `docs/kernels.md`.
 #[derive(Debug, Clone, Default)]
 pub struct UserKnn {
     config: UserKnnConfig,
     cache: Option<Arc<SimilarityCache>>,
+    scan: Option<ScanHandle>,
+}
+
+/// An attached scan engine plus the mode it should run in.
+#[derive(Debug, Clone)]
+struct ScanHandle {
+    engine: Arc<ScanEngine>,
+    mode: ScanMode,
 }
 
 impl UserKnn {
@@ -75,6 +94,7 @@ impl UserKnn {
         Ok(Self {
             config,
             cache: None,
+            scan: None,
         })
     }
 
@@ -93,6 +113,37 @@ impl UserKnn {
     /// The attached similarity cache, if any.
     pub fn cache(&self) -> Option<&Arc<SimilarityCache>> {
         self.cache.as_ref()
+    }
+
+    /// Attaches a shared scan engine and picks the scan mode. Clones of
+    /// the same `Arc` (e.g. per batch worker) share the CSR snapshot,
+    /// tuned tile size and candidate index.
+    pub fn with_engine(mut self, engine: Arc<ScanEngine>, mode: ScanMode) -> Self {
+        self.scan = Some(ScanHandle { engine, mode });
+        self
+    }
+
+    /// The attached scan engine and mode, if any.
+    pub fn engine(&self) -> Option<(&Arc<ScanEngine>, ScanMode)> {
+        self.scan.as_ref().map(|h| (&h.engine, h.mode))
+    }
+
+    /// Stable name of the scan path this model resolves neighbours
+    /// through: `"brute"` without an engine, else the engine mode.
+    pub fn scan_mode_name(&self) -> &'static str {
+        match &self.scan {
+            None => "brute",
+            Some(h) => h.mode.name(),
+        }
+    }
+
+    /// The kernel-facing slice of the configuration.
+    fn sim_params(&self) -> SimParams {
+        SimParams {
+            similarity: self.config.similarity,
+            min_overlap: self.config.min_overlap,
+            significance: self.config.significance,
+        }
     }
 
     fn similarity_uncached(&self, ctx: &Ctx<'_>, a: UserId, b: UserId) -> f64 {
@@ -122,7 +173,26 @@ impl UserKnn {
     }
 
     /// The top-k neighbours of `user` *who rated `item`*, strongest first.
+    ///
+    /// With a scan engine attached this routes through the tiled kernel
+    /// (restricted to the item's raters — the only users whose
+    /// similarity can matter here), intersected with the pruned
+    /// candidate set in [`ScanMode::Pruned`]; otherwise it runs the
+    /// seed's per-pair path, optionally memoized by the cache. Exact
+    /// mode is bit-identical to the brute path.
     pub fn neighbors(
+        &self,
+        ctx: &Ctx<'_>,
+        user: UserId,
+        item: ItemId,
+    ) -> Vec<NeighborContribution> {
+        match &self.scan {
+            Some(handle) => self.neighbors_scanned(ctx, user, item, handle),
+            None => self.neighbors_brute(ctx, user, item),
+        }
+    }
+
+    fn neighbors_brute(
         &self,
         ctx: &Ctx<'_>,
         user: UserId,
@@ -167,6 +237,261 @@ impl UserKnn {
         top_k_by(candidates, self.config.k, |n| n.similarity)
     }
 
+    /// Kernel-backed single-item neighbourhood: scan only the item's
+    /// raters (exact) or their intersection with the pruned candidate
+    /// set, then rank with the same `> min_similarity` filter and
+    /// stable top-k the brute path applies.
+    fn neighbors_scanned(
+        &self,
+        ctx: &Ctx<'_>,
+        user: UserId,
+        item: ItemId,
+        handle: &ScanHandle,
+    ) -> Vec<NeighborContribution> {
+        let params = self.sim_params();
+        let csr = {
+            let _p = exrec_obs::profile::phase("csr");
+            handle.engine.csr(ctx.ratings, &params)
+        };
+        let raters = csr.col(item.index()).0;
+        if raters.is_empty() {
+            return Vec::new();
+        }
+        let (scan_list, pruned, fell_back) = self.scan_list_for(&csr, user, handle, Some(raters));
+        let mut sims = Vec::new();
+        let outcome = {
+            let _p = exrec_obs::profile::phase("kernel");
+            scan_similarities(
+                &csr,
+                &params,
+                user,
+                Some(&scan_list),
+                handle.engine.tile(),
+                &mut sims,
+            )
+        };
+        handle.engine.record_scan(
+            &outcome,
+            pruned.then_some((scan_list.len(), csr.n_users())),
+            fell_back,
+        );
+        let _p = exrec_obs::profile::phase("gather");
+        self.gather_neighbors(&csr, &sims, user, item)
+    }
+
+    /// The user list one scan should score, per mode: `raters` bounds
+    /// the scan to one item's raters when given (single-item paths),
+    /// the pruned candidate set intersects with it, and a candidate set
+    /// under the fallback floor degrades to the exact list. Returns
+    /// `(list, is_pruned, fell_back)`.
+    fn scan_list_for(
+        &self,
+        csr: &Arc<CsrRatings>,
+        user: UserId,
+        handle: &ScanHandle,
+        raters: Option<&[u32]>,
+    ) -> (Vec<u32>, bool, bool) {
+        let exact_list = || -> Vec<u32> {
+            match raters {
+                Some(r) => r.to_vec(),
+                None => (0..csr.n_users() as u32).collect(),
+            }
+        };
+        match handle.mode {
+            ScanMode::Exact => (exact_list(), false, false),
+            ScanMode::Pruned => {
+                // Two complementary candidate sources (docs/kernels.md
+                // §pruned-probing): cluster probes catch taste
+                // neighbours, the overlap pass catches the
+                // high-co-rating users whose significance weight makes
+                // them dominate neighbourhoods.
+                let candidates = {
+                    let _p = exrec_obs::profile::phase("index");
+                    let index = handle.engine.index(csr);
+                    let clustered = index.candidates(csr, user.raw());
+                    let budget = handle.engine.index_config().resolve_budget(csr.n_users());
+                    let by_overlap = crate::kernel::overlap_candidates(csr, user, budget);
+                    crate::kernel::union_sorted(&clustered, &by_overlap)
+                };
+                if candidates.len() < handle.engine.fallback_floor(self.config.k) {
+                    return (exact_list(), false, true);
+                }
+                match raters {
+                    None => (candidates, true, false),
+                    Some(r) => (intersect_sorted(r, &candidates), true, false),
+                }
+            }
+        }
+    }
+
+    /// Ranks an item's raters from a dense similarity table, mirroring
+    /// the brute path's filter/tie-break exactly: raters in ascending
+    /// user order, keep `s > min_similarity`, stable top-k.
+    fn gather_neighbors(
+        &self,
+        csr: &CsrRatings,
+        sims: &[f64],
+        user: UserId,
+        item: ItemId,
+    ) -> Vec<NeighborContribution> {
+        let (col_users, col_vals) = csr.col(item.index());
+        let contributions = col_users
+            .iter()
+            .zip(col_vals.iter())
+            .filter(|&(&v, _)| UserId(v) != user)
+            .filter_map(|(&v, &rating)| {
+                let s = sims[v as usize];
+                (s > self.config.min_similarity).then_some(NeighborContribution {
+                    user: UserId(v),
+                    similarity: s,
+                    rating,
+                })
+            });
+        top_k_stream(contributions, self.config.k, |n| n.similarity)
+    }
+
+    /// Scores one candidate item from the dense similarity table with
+    /// the same arithmetic as [`UserKnn::predict`] (neighbour means off
+    /// the CSR snapshot are bit-identical to the live matrix's).
+    #[allow(clippy::too_many_arguments)]
+    fn score_item(
+        &self,
+        csr: &CsrRatings,
+        ctx: &Ctx<'_>,
+        sims: &[f64],
+        user: UserId,
+        item: ItemId,
+        user_mean: f64,
+        global_mean: f64,
+    ) -> Option<Scored> {
+        let neighbors = self.gather_neighbors(csr, sims, user, item);
+        if neighbors.is_empty() {
+            return None;
+        }
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for n in &neighbors {
+            let n_mean = csr.user_mean_or(n.user.index(), global_mean);
+            num += n.similarity * (n.rating - n_mean);
+            den += n.similarity.abs();
+        }
+        if den <= 1e-12 {
+            return None;
+        }
+        let score = ctx.ratings.scale().bound(user_mean + num / den);
+        let fill = neighbors.len() as f64 / self.config.k as f64;
+        let mean_rating = neighbors.iter().map(|n| n.rating).sum::<f64>() / neighbors.len() as f64;
+        let var = neighbors
+            .iter()
+            .map(|n| (n.rating - mean_rating).powi(2))
+            .sum::<f64>()
+            / neighbors.len() as f64;
+        let span = ctx.ratings.scale().span();
+        let agreement = 1.0 - (var.sqrt() / (span / 2.0)).min(1.0);
+        let confidence = Confidence::new(fill.min(1.0) * (0.3 + 0.7 * agreement));
+        Some(Scored {
+            item,
+            prediction: Prediction::new(score, confidence),
+        })
+    }
+
+    /// The trait-default ranking (predict every unrated item through
+    /// the per-pair path), duplicated here because overriding
+    /// [`Recommender::recommend`] hides the default body.
+    fn recommend_brute(&self, ctx: &Ctx<'_>, user: UserId, n: usize) -> Vec<Scored> {
+        let scan = exrec_obs::profile::phase("scan");
+        let mut scored: Vec<Scored> = ctx
+            .catalog
+            .ids()
+            .filter(|&i| ctx.ratings.rating(user, i).is_none())
+            .filter_map(|i| {
+                self.predict(ctx, user, i).ok().map(|prediction| Scored {
+                    item: i,
+                    prediction,
+                })
+            })
+            .collect();
+        drop(scan);
+        let _rank = exrec_obs::profile::phase("rank");
+        scored.sort_by(|a, b| {
+            b.prediction
+                .score
+                .partial_cmp(&a.prediction.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.item.cmp(&b.item))
+        });
+        scored.truncate(n);
+        scored
+    }
+
+    /// Kernel-backed ranking: one similarity scan for the whole
+    /// request, then a per-item gather — instead of one scan per
+    /// candidate item. Output matches the trait-default path
+    /// bit-for-bit in exact mode.
+    fn recommend_scanned(
+        &self,
+        ctx: &Ctx<'_>,
+        user: UserId,
+        n: usize,
+        handle: &ScanHandle,
+    ) -> Vec<Scored> {
+        let scan = exrec_obs::profile::phase("scan");
+        // Out-of-range user: every per-item predict would fail its id
+        // check, so the brute path returns nothing. Match it.
+        if user.index() >= ctx.ratings.n_users() {
+            return Vec::new();
+        }
+        let params = self.sim_params();
+        let csr = {
+            let _p = exrec_obs::profile::phase("csr");
+            handle.engine.csr(ctx.ratings, &params)
+        };
+        let (scan_list, pruned, fell_back) = self.scan_list_for(&csr, user, handle, None);
+        let mut sims = Vec::new();
+        let outcome = {
+            let _p = exrec_obs::profile::phase("kernel");
+            scan_similarities(
+                &csr,
+                &params,
+                user,
+                Some(&scan_list),
+                handle.engine.tile(),
+                &mut sims,
+            )
+        };
+        handle.engine.record_scan(
+            &outcome,
+            pruned.then_some((scan_list.len(), csr.n_users())),
+            fell_back,
+        );
+        let user_mean = ctx
+            .ratings
+            .user_mean(user)
+            .unwrap_or_else(|| ctx.ratings.global_mean());
+        let global_mean = ctx.ratings.global_mean();
+        let mut scored: Vec<Scored> = {
+            let _p = exrec_obs::profile::phase("gather");
+            ctx.catalog
+                .ids()
+                .filter(|&i| {
+                    i.index() < ctx.ratings.n_items() && ctx.ratings.rating(user, i).is_none()
+                })
+                .filter_map(|i| self.score_item(&csr, ctx, &sims, user, i, user_mean, global_mean))
+                .collect()
+        };
+        drop(scan);
+        let _rank = exrec_obs::profile::phase("rank");
+        scored.sort_by(|a, b| {
+            b.prediction
+                .score
+                .partial_cmp(&a.prediction.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.item.cmp(&b.item))
+        });
+        scored.truncate(n);
+        scored
+    }
+
     fn check_ids(&self, ctx: &Ctx<'_>, user: UserId, item: ItemId) -> Result<()> {
         if user.index() >= ctx.ratings.n_users() {
             return Err(Error::UnknownUser { user });
@@ -178,9 +503,34 @@ impl UserKnn {
     }
 }
 
+/// Intersection of two sorted, deduplicated id lists, ascending.
+fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
 impl Recommender for UserKnn {
     fn name(&self) -> &'static str {
         "user-knn"
+    }
+
+    fn recommend(&self, ctx: &Ctx<'_>, user: UserId, n: usize) -> Vec<Scored> {
+        match &self.scan {
+            Some(handle) => self.recommend_scanned(ctx, user, n, handle),
+            None => self.recommend_brute(ctx, user, n),
+        }
     }
 
     fn predict(&self, ctx: &Ctx<'_>, user: UserId, item: ItemId) -> Result<Prediction> {

@@ -11,6 +11,8 @@
 //!   higher-better;
 //! * **latency metrics** (`latency_ms.{p50,p95,p99,mean,max}`) are
 //!   lower-better;
+//! * **accuracy metrics** (`recall_at_k`, offline quality leaves) are
+//!   higher-better;
 //! * everything else (counts, configuration echoes) is ignored.
 //!
 //! A comparison **refuses** (instead of reporting a bogus pass or
@@ -203,6 +205,12 @@ fn require_match(old: &Value, new: &Value, pointer: &str) -> Result<(), String> 
 fn direction_of(path: &[String]) -> Option<Direction> {
     let leaf = path.last()?.as_str();
     if leaf == "requests_per_sec" || leaf.starts_with("speedup_") {
+        return Some(Direction::HigherBetter);
+    }
+    // The pruned neighbour scan's accuracy leaf (`serve_bench` →
+    // `workloads.*.scan.recall_at_k`): losing recall is a regression
+    // even when latency improves (docs/kernels.md#the-recallk-guarantee).
+    if leaf == "recall_at_k" {
         return Some(Direction::HigherBetter);
     }
     let parent = path.len().checked_sub(2).map(|i| path[i].as_str());
@@ -533,6 +541,54 @@ mod tests {
         let cmp = compare(&quality_report(0.7, 0.55), &quality_report(0.7, 0.3), 10.0).unwrap();
         assert_eq!(cmp.regressions().len(), 1);
         assert_eq!(cmp.regressions()[0].path, "aims.trust.score");
+    }
+
+    fn scan_report(recall: f64, p50: f64) -> Value {
+        parse(&format!(
+            r#"{{
+                "schema_version": {SCHEMA_VERSION},
+                "benchmark": "serve_bench",
+                "meta": {{"git_rev": "abc123", "world": "synthetic-10k-quick", "threads": 4}},
+                "workloads": [
+                    {{
+                        "name": "synthetic-10k-quick",
+                        "scan": {{
+                            "recall_probes": 64,
+                            "recall_k": 20,
+                            "recall_at_k": {recall:?},
+                            "pruned": {{"latency_ms": {{"p50": {p50:?}}}}}
+                        }}
+                    }}
+                ]
+            }}"#,
+        ))
+    }
+
+    #[test]
+    fn recall_leaf_is_higher_better_and_counts_stay_unclassified() {
+        let old = scan_report(0.999, 8.0);
+        let cmp = compare(&old, &scan_report(0.90, 8.0), 5.0).unwrap();
+        let regressions = cmp.regressions();
+        assert_eq!(regressions.len(), 1, "{:?}", cmp.deltas);
+        assert_eq!(
+            regressions[0].path,
+            "workloads.synthetic-10k-quick.scan.recall_at_k"
+        );
+        assert_eq!(regressions[0].direction, Direction::HigherBetter);
+
+        // A recall improvement is not a regression; probe counts are
+        // configuration echoes and stay out of the gate.
+        let cmp = compare(&old, &scan_report(1.0, 8.0), 5.0).unwrap();
+        assert!(cmp.regressions().is_empty());
+        assert!(cmp
+            .deltas
+            .iter()
+            .all(|d| !d.path.ends_with("recall_probes") && !d.path.ends_with("recall_k")));
+
+        // The pruned latency digest rides the existing latency rule.
+        let cmp = compare(&old, &scan_report(0.999, 16.0), 5.0).unwrap();
+        assert_eq!(cmp.regressions().len(), 1);
+        assert!(cmp.regressions()[0].path.ends_with("latency_ms.p50"));
     }
 
     #[test]

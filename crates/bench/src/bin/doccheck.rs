@@ -1,0 +1,69 @@
+//! `doccheck` — fail on dead links in the repo's markdown docs.
+//!
+//! ```text
+//! doccheck                 # check README.md and docs/*.md
+//! doccheck FILE...         # check the given markdown files
+//! ```
+//!
+//! Resolves every inline `[text](target)` link: relative targets must
+//! exist on disk, and `#fragment` targets must match a heading slug in
+//! the destination file (`exrec_bench::doccheck` documents the exact
+//! rules). External `http(s)`/`mailto` targets are skipped — CI runs
+//! offline. Exits `0` when every link resolves, `1` otherwise, `2` on
+//! usage errors, so CI's `doc-links` job gates on it directly.
+
+use std::path::PathBuf;
+
+use exrec_bench::doccheck;
+
+/// The default file set: `README.md` plus every `docs/*.md`.
+fn default_files() -> Vec<PathBuf> {
+    let mut files = vec![PathBuf::from("README.md")];
+    if let Ok(entries) = std::fs::read_dir("docs") {
+        let mut docs: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|e| e == "md"))
+            .collect();
+        docs.sort();
+        files.extend(docs);
+    }
+    files
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: doccheck [FILE...]   (default: README.md docs/*.md)");
+        std::process::exit(2);
+    }
+    let files = if args.is_empty() {
+        default_files()
+    } else {
+        args.iter().map(PathBuf::from).collect()
+    };
+
+    let mut dead = 0usize;
+    let mut checked = 0usize;
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("[doccheck] {} unreadable: {e}", file.display());
+                std::process::exit(2);
+            }
+        };
+        checked += doccheck::extract_links(&text).len();
+        for link in doccheck::check_file(file, &text) {
+            eprintln!("[doccheck] {link}");
+            dead += 1;
+        }
+    }
+    println!(
+        "doccheck: {} files, {checked} links, {dead} dead",
+        files.len()
+    );
+    if dead > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,8 +1,8 @@
 //! `serve_bench` — the serving-path throughput baseline.
 //!
-//! Measures the same top-k recommendation workload three ways on
-//! synthetic catalogs, and records the repo's first performance
-//! trajectory point (`BENCH_serve.json`, see `docs/benchmarking.md`):
+//! Measures the same top-k recommendation workload five ways on
+//! synthetic catalogs, and records the repo's performance trajectory
+//! point (`BENCH_serve.json`, see `docs/benchmarking.md`):
 //!
 //! 1. **sequential** — one `Recommender::recommend` call per user on one
 //!    thread, similarities recomputed from scratch (the pre-batch
@@ -11,11 +11,20 @@
 //!    [`BatchPool`];
 //! 3. **batch_cached** — the batch path with a sharded
 //!    [`SimilarityCache`] attached, so each user-pair similarity is
-//!    computed once per matrix revision.
+//!    computed once per matrix revision;
+//! 4. **scan.exact** — the tiled CSR kernel in exact mode (one thread,
+//!    no similarity cache): the *uncached* per-request path, timed per
+//!    request;
+//! 5. **scan.pruned** — the kernel behind the cluster-pruned candidate
+//!    index, also uncached and timed per request, plus a neighbour
+//!    recall@k measurement against the exact scan
+//!    (`docs/kernels.md#the-recallk-guarantee`).
 //!
-//! Every mode serves the identical user list and the harness asserts the
-//! per-user results are **bit-identical** across modes before reporting
-//! throughput — a speedup that changes answers is a bug, not a result.
+//! Every mode serves the identical user list. The harness asserts that
+//! batch, batch_cached and scan.exact results are **bit-identical** to
+//! the sequential reference, and that scan.pruned neighbour recall@k
+//! meets the floor (0.99 full, 0.95 quick), before reporting numbers —
+//! a speedup that changes answers is a bug, not a result.
 //!
 //! ```text
 //! serve_bench                  # full run: 10k- and 100k-user workloads
@@ -25,14 +34,20 @@
 //! ```
 //!
 //! Exit code is non-zero if any mode disagrees with the sequential
-//! reference, so CI's smoke run doubles as a determinism check.
+//! reference or pruned recall drops below the floor, so CI's smoke run
+//! doubles as a determinism *and* accuracy check.
 
 use std::sync::Arc;
 use std::time::Instant;
 
 use exrec_algo::batch::BatchPool;
 use exrec_algo::cache::{CacheConfig, SimilarityCache};
-use exrec_algo::{Ctx, Recommender, Scored, UserKnn};
+use exrec_algo::kernel::{overlap_candidates, scan_similarities, union_sorted, SimParams};
+use exrec_algo::neighbors::top_k_stream;
+use exrec_algo::user_knn::UserKnnConfig;
+use exrec_algo::{
+    Ctx, IndexConfig, KernelConfig, Recommender, ScanEngine, ScanMode, Scored, UserKnn,
+};
 use exrec_data::synth::{movies, WorldConfig};
 use exrec_obs::Telemetry;
 use exrec_types::UserId;
@@ -88,6 +103,30 @@ struct CacheReport {
     hit_rate: f64,
 }
 
+/// Whether a mode had a similarity cache, and whether traffic actually
+/// reached it. A configured-but-cold cache used to serialise as a bare
+/// `null`, indistinguishable from "no cache at all"; these two flags
+/// keep the distinction on the wire.
+#[derive(Serialize)]
+struct CacheUsage {
+    /// A cache was attached to the mode's model.
+    configured: bool,
+    /// At least one lookup reached it (hits + misses moved).
+    used: bool,
+    /// Counters; `null` only when no cache was configured.
+    stats: Option<CacheReport>,
+}
+
+impl CacheUsage {
+    fn unconfigured() -> Self {
+        CacheUsage {
+            configured: false,
+            used: false,
+            stats: None,
+        }
+    }
+}
+
 #[derive(Serialize)]
 struct ModeReport {
     requests: usize,
@@ -96,8 +135,78 @@ struct ModeReport {
     requests_per_sec: f64,
     /// Per-user results equal the sequential reference, bit for bit.
     identical_to_sequential: bool,
-    /// Cache counters; `null` for the uncached modes.
-    cache: Option<CacheReport>,
+    /// Cache configuration and counters for this mode.
+    cache: CacheUsage,
+}
+
+/// Per-request latency digest over one scan mode's timed requests.
+#[derive(Serialize)]
+struct LatencyMs {
+    p50: f64,
+    p95: f64,
+    p99: f64,
+    mean: f64,
+    max: f64,
+}
+
+impl LatencyMs {
+    /// Nearest-rank percentiles over the raw per-request samples.
+    fn from_samples(samples: &mut [f64]) -> LatencyMs {
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let pick = |q: f64| -> f64 {
+            if samples.is_empty() {
+                return 0.0;
+            }
+            let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+            samples[rank - 1]
+        };
+        LatencyMs {
+            p50: pick(0.50),
+            p95: pick(0.95),
+            p99: pick(0.99),
+            mean: samples.iter().sum::<f64>() / samples.len().max(1) as f64,
+            max: samples.last().copied().unwrap_or(0.0),
+        }
+    }
+}
+
+/// One kernel-scan mode: single-threaded, uncached, timed per request.
+#[derive(Serialize)]
+struct ScanModeReport {
+    requests: usize,
+    total_ms: f64,
+    requests_per_sec: f64,
+    latency_ms: LatencyMs,
+    /// Per-user results equal the sequential reference, bit for bit
+    /// (required for exact; informational for pruned).
+    identical_to_sequential: bool,
+}
+
+/// The kernel/index section of a workload report
+/// (`docs/kernels.md`): the uncached per-request serving path.
+#[derive(Serialize)]
+struct ScanSection {
+    /// Tile size the startup autotuner chose.
+    tile_users: Option<usize>,
+    /// Candidate-index shape (centroids, probes).
+    index_centroids: usize,
+    index_probes: usize,
+    /// Fraction of the user dimension the last pruned scan skipped.
+    prune_ratio: f64,
+    /// Pruned requests that fell back to the exact scan.
+    exact_fallbacks: u64,
+    /// Probe users behind `recall_at_k`.
+    recall_probes: usize,
+    /// Neighbourhood size behind `recall_at_k`.
+    recall_k: usize,
+    /// Mean neighbour recall@k of the pruned scan vs the exact scan
+    /// (`docs/kernels.md#the-recallk-guarantee`); gated by `benchdiff`
+    /// as higher-better.
+    recall_at_k: f64,
+    exact: ScanModeReport,
+    pruned: ScanModeReport,
+    speedup_exact_vs_sequential: f64,
+    speedup_pruned_vs_sequential: f64,
 }
 
 #[derive(Serialize)]
@@ -110,6 +219,7 @@ struct WorkloadReport {
     sequential: ModeReport,
     batch: ModeReport,
     batch_cached: ModeReport,
+    scan: ScanSection,
     speedup_batch_vs_sequential: f64,
     speedup_batch_cached_vs_sequential: f64,
 }
@@ -143,9 +253,100 @@ fn measure(
         total_ms,
         requests_per_sec: requests as f64 / elapsed.as_secs_f64(),
         identical_to_sequential: reference.map(|r| r == results.as_slice()).unwrap_or(true),
-        cache: None,
+        cache: CacheUsage::unconfigured(),
     };
     (report, results)
+}
+
+/// Times one scan-mode model per request (one thread, no similarity
+/// cache — the steady-state uncached path). The engine is warmed first
+/// so the one-off CSR build / autotune / index build lands outside the
+/// timed loop, as it does at server startup.
+fn measure_scan(
+    model: &UserKnn,
+    ctx: &Ctx<'_>,
+    users: &[UserId],
+    k: usize,
+    reference: &[Vec<Scored>],
+) -> ScanModeReport {
+    let _ = model.recommend(ctx, users[0], k);
+    let mut samples = Vec::with_capacity(users.len());
+    let mut results = Vec::with_capacity(users.len());
+    let started = Instant::now();
+    for &user in users {
+        let at = Instant::now();
+        results.push(model.recommend(ctx, user, k));
+        samples.push(at.elapsed().as_secs_f64() * 1e3);
+    }
+    let elapsed = started.elapsed();
+    ScanModeReport {
+        requests: users.len(),
+        total_ms: elapsed.as_secs_f64() * 1e3,
+        requests_per_sec: users.len() as f64 / elapsed.as_secs_f64(),
+        latency_ms: LatencyMs::from_samples(&mut samples),
+        identical_to_sequential: reference == results.as_slice(),
+    }
+}
+
+/// Mean neighbour recall@k of the pruned candidate set against the
+/// exact scan, over `probes` users spread across the id space — the
+/// measurement behind the report's `recall_at_k` leaf. Probe users
+/// whose candidate set is below the fallback floor count as 1.0: the
+/// serving path answers those exactly.
+fn neighbor_recall(
+    engine: &ScanEngine,
+    ctx: &Ctx<'_>,
+    params: &SimParams,
+    knn: &UserKnnConfig,
+    probes: usize,
+) -> (f64, usize) {
+    let csr = engine.csr(ctx.ratings, params);
+    let index = engine.index(&csr);
+    let tile = engine.tile();
+    let budget = engine.index_config().resolve_budget(csr.n_users());
+    let floor = engine.fallback_floor(knn.k);
+    let probes = probes.min(csr.n_users()).max(1);
+    let stride = (csr.n_users() / probes).max(1);
+
+    let mut exact_sims = Vec::new();
+    let mut pruned_sims = Vec::new();
+    let mut total = 0.0;
+    for p in 0..probes {
+        let user = UserId::new(((p * stride) % csr.n_users()) as u32);
+        let top = |sims: &[f64]| -> Vec<usize> {
+            top_k_stream(
+                (0..csr.n_users()).filter(|&v| v != user.index() && sims[v] > knn.min_similarity),
+                knn.k,
+                |&v| sims[v],
+            )
+        };
+        scan_similarities(&csr, params, user, None, tile, &mut exact_sims);
+        let exact_top = top(&exact_sims);
+        if exact_top.is_empty() {
+            total += 1.0;
+            continue;
+        }
+        let candidates = union_sorted(
+            &index.candidates(&csr, user.raw()),
+            &overlap_candidates(&csr, user, budget),
+        );
+        if candidates.len() < floor {
+            total += 1.0;
+            continue;
+        }
+        scan_similarities(
+            &csr,
+            params,
+            user,
+            Some(&candidates),
+            tile,
+            &mut pruned_sims,
+        );
+        let pruned_top = top(&pruned_sims);
+        let hit = exact_top.iter().filter(|v| pruned_top.contains(v)).count();
+        total += hit as f64 / exact_top.len() as f64;
+    }
+    (total / probes as f64, probes)
 }
 
 fn run_workload(w: &Workload, threads: usize, telemetry: &Telemetry) -> WorkloadReport {
@@ -175,18 +376,18 @@ fn run_workload(w: &Workload, threads: usize, telemetry: &Telemetry) -> Workload
 
     let uncached = UserKnn::default();
 
-    eprintln!("[serve_bench]   mode 1/3: sequential (uncached, 1 thread)");
+    eprintln!("[serve_bench]   mode 1/5: sequential (uncached, 1 thread)");
     let (sequential, reference) = measure(users.len(), 1, None, || {
         uncached.recommend_batch(&ctx, &users, w.k)
     });
 
-    eprintln!("[serve_bench]   mode 2/3: batch ({threads} threads, uncached)");
+    eprintln!("[serve_bench]   mode 2/5: batch ({threads} threads, uncached)");
     let pool = BatchPool::new(threads).with_telemetry(telemetry.clone());
     let (batch, _) = measure(users.len(), threads, Some(&reference), || {
         pool.recommend_batch(&uncached, &ctx, &users, w.k)
     });
 
-    eprintln!("[serve_bench]   mode 3/3: batch + sharded similarity cache");
+    eprintln!("[serve_bench]   mode 3/5: batch + sharded similarity cache");
     let cache = Arc::new(SimilarityCache::instrumented(
         CacheConfig {
             shards: 64,
@@ -200,14 +401,58 @@ fn run_workload(w: &Workload, threads: usize, telemetry: &Telemetry) -> Workload
         pool.recommend_batch(&cached_model, &ctx, &users, w.k)
     });
     let stats = cache.stats();
-    batch_cached.cache = Some(CacheReport {
-        hits: stats.hits,
-        misses: stats.misses,
-        evictions: stats.evictions,
-        invalidations: stats.invalidations,
-        entries: stats.entries,
-        hit_rate: stats.hit_rate(),
-    });
+    batch_cached.cache = CacheUsage {
+        configured: true,
+        used: stats.hits + stats.misses > 0,
+        stats: Some(CacheReport {
+            hits: stats.hits,
+            misses: stats.misses,
+            evictions: stats.evictions,
+            invalidations: stats.invalidations,
+            entries: stats.entries,
+            hit_rate: stats.hit_rate(),
+        }),
+    };
+
+    eprintln!("[serve_bench]   mode 4/5: exact tiled scan (uncached, 1 thread)");
+    let exact_engine = Arc::new(ScanEngine::new(
+        KernelConfig::default(),
+        IndexConfig::default(),
+    ));
+    let exact_model = UserKnn::default().with_engine(Arc::clone(&exact_engine), ScanMode::Exact);
+    let scan_exact = measure_scan(&exact_model, &ctx, &users, w.k, &reference);
+
+    eprintln!("[serve_bench]   mode 5/5: pruned candidate scan (uncached, 1 thread)");
+    let pruned_engine = Arc::new(ScanEngine::new(
+        KernelConfig::default(),
+        IndexConfig::default(),
+    ));
+    let pruned_model = UserKnn::default().with_engine(Arc::clone(&pruned_engine), ScanMode::Pruned);
+    let scan_pruned = measure_scan(&pruned_model, &ctx, &users, w.k, &reference);
+
+    let knn = UserKnnConfig::default();
+    let params = SimParams {
+        similarity: knn.similarity,
+        min_overlap: knn.min_overlap,
+        significance: knn.significance,
+    };
+    let (recall_at_k, recall_probes) = neighbor_recall(&pruned_engine, &ctx, &params, &knn, 64);
+    let stats = pruned_engine.stats();
+    let (index_centroids, index_probes) = stats.index_shape.unwrap_or((0, 0));
+    let scan = ScanSection {
+        tile_users: stats.tile_users,
+        index_centroids,
+        index_probes,
+        prune_ratio: stats.last_prune_ratio,
+        exact_fallbacks: stats.exact_fallbacks,
+        recall_probes,
+        recall_k: knn.k,
+        recall_at_k,
+        speedup_exact_vs_sequential: scan_exact.requests_per_sec / sequential.requests_per_sec,
+        speedup_pruned_vs_sequential: scan_pruned.requests_per_sec / sequential.requests_per_sec,
+        exact: scan_exact,
+        pruned: scan_pruned,
+    };
 
     WorkloadReport {
         name: w.name,
@@ -221,6 +466,7 @@ fn run_workload(w: &Workload, threads: usize, telemetry: &Telemetry) -> Workload
         sequential,
         batch,
         batch_cached,
+        scan,
     }
 }
 
@@ -273,6 +519,10 @@ fn main() {
         .map(|w| run_workload(w, threads, &telemetry))
         .collect();
 
+    // Pruned neighbour recall must hold the documented floor
+    // (`docs/kernels.md#the-recallk-guarantee`); the quick smoke runs a
+    // smaller world with a thinner margin.
+    let recall_floor = if quick { 0.95 } else { 0.99 };
     let mut ok = true;
     for w in &workloads {
         println!(
@@ -285,14 +535,36 @@ fn main() {
             w.speedup_batch_cached_vs_sequential,
             w.batch_cached
                 .cache
+                .stats
                 .as_ref()
                 .map(|c| c.hit_rate * 100.0)
                 .unwrap_or(0.0),
         );
-        if !w.batch.identical_to_sequential || !w.batch_cached.identical_to_sequential {
+        println!(
+            "{:<20} scan exact {:>8.2} req/s p50 {:.2}ms | pruned {:>8.2} req/s p50 {:.2}ms (prune {:.0}%, recall@{} {:.4})",
+            "",
+            w.scan.exact.requests_per_sec,
+            w.scan.exact.latency_ms.p50,
+            w.scan.pruned.requests_per_sec,
+            w.scan.pruned.latency_ms.p50,
+            w.scan.prune_ratio * 100.0,
+            w.scan.recall_k,
+            w.scan.recall_at_k,
+        );
+        if !w.batch.identical_to_sequential
+            || !w.batch_cached.identical_to_sequential
+            || !w.scan.exact.identical_to_sequential
+        {
             eprintln!(
                 "[serve_bench] ERROR: {} results diverged from the sequential reference",
                 w.name
+            );
+            ok = false;
+        }
+        if w.scan.recall_at_k < recall_floor {
+            eprintln!(
+                "[serve_bench] ERROR: {} pruned neighbour recall@{} = {:.4} below the {recall_floor} floor",
+                w.name, w.scan.recall_k, w.scan.recall_at_k
             );
             ok = false;
         }

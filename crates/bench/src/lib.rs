@@ -13,6 +13,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod benchdiff;
+pub mod doccheck;
 pub mod promcheck;
 
 use exrec_core::influence::loo_influences;

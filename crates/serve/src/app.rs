@@ -14,7 +14,9 @@ use std::time::{Duration, Instant};
 
 use exrec_algo::batch::BatchPool;
 use exrec_algo::cache::{CacheConfig, SimilarityCache};
-use exrec_algo::{Ctx, Scored, UserKnn};
+use exrec_algo::{
+    Ctx, IndexConfig, KernelConfig, ScanEngine, ScanMode, ScanStats, Scored, UserKnn,
+};
 use exrec_core::aims::Aim;
 use exrec_core::engine::Explainer;
 use exrec_core::explanation::Explanation;
@@ -102,6 +104,10 @@ pub struct AppConfig {
     /// Explanation pairs sampled per interface by the startup scoring
     /// pass that seeds the aim-fit quality book.
     pub quality_pairs: usize,
+    /// Serve every request through the exact tiled scan instead of the
+    /// pruned candidate index (the `--exact` flag; see
+    /// `docs/kernels.md#pruned-probing`).
+    pub exact: bool,
 }
 
 impl Default for AppConfig {
@@ -119,6 +125,7 @@ impl Default for AppConfig {
             fault_injection: false,
             quality_sample_every: 8,
             quality_pairs: 16,
+            exact: false,
         }
     }
 }
@@ -154,7 +161,23 @@ impl ExplainApp {
             telemetry.metrics(),
             "serve",
         ));
-        let model = UserKnn::default().with_cache(cache);
+        // The scan engine replaces the seed's dense per-request user
+        // sweep: pruned candidate probing by default, the exact tiled
+        // kernel under `--exact` (both revision-keyed like the cache).
+        let engine = Arc::new(ScanEngine::instrumented(
+            KernelConfig::default(),
+            IndexConfig::default(),
+            telemetry.metrics(),
+            "serve",
+        ));
+        let mode = if config.exact {
+            ScanMode::Exact
+        } else {
+            ScanMode::Pruned
+        };
+        let model = UserKnn::default()
+            .with_cache(cache)
+            .with_engine(engine, mode);
         let pool = BatchPool::new(config.pool_threads).with_telemetry(telemetry.clone());
         // Seed the aim-fit book by scoring every interface against the
         // world and model actually served — the same pass the offline
@@ -229,6 +252,18 @@ impl ExplainApp {
         self.model
             .cache()
             .map(|cache| (cache.stats(), cache.capacity()))
+    }
+
+    /// Stable name of the neighbour-scan mode actually serving
+    /// (`"exact"` / `"pruned"`; `"brute"` would mean no engine).
+    pub fn scan_mode(&self) -> &'static str {
+        self.model.scan_mode_name()
+    }
+
+    /// Point-in-time scan-engine statistics for `GET /debug/world`;
+    /// `None` when the model runs the brute per-pair path.
+    pub fn scan_stats(&self) -> Option<ScanStats> {
+        self.model.engine().map(|(engine, _)| engine.stats())
     }
 
     /// The measured per-interface quality book behind aim-fit

@@ -11,6 +11,7 @@
 //!       [--density F]         synthetic rating density (default 0.05)
 //!       [--interface KEY]     default explanation interface
 //!       [--pool-threads N]    intra-request batch threads (default: cores)
+//!       [--exact]             exact tiled scan instead of the pruned index
 //!       [--fault-injection]   honour inject_panic/inject_delay_ms (tests)
 //!       [--trace-slow-ms T]   tail-sample traces slower than T ms (default 500)
 //!       [--trace-sample N]    also head-sample 1/N of all traces (default 0 = off)
@@ -72,7 +73,7 @@ fn install_signal_handlers() {}
 fn usage() -> ! {
     eprintln!("usage: serve [--port P] [--workers N] [--queue-bound N] [--deadline-ms D]");
     eprintln!("             [--idle-ms I] [--users N] [--items N] [--density F]");
-    eprintln!("             [--interface KEY] [--pool-threads N] [--fault-injection]");
+    eprintln!("             [--interface KEY] [--pool-threads N] [--exact] [--fault-injection]");
     eprintln!("             [--trace-slow-ms T] [--trace-sample N] [--trace-seed S]");
     eprintln!("             [--slo-ms L] [--slo-target F]");
     eprintln!("             [--debug-endpoints] [--flight-capacity N]");
@@ -140,6 +141,7 @@ fn main() {
                 app_config.quality_sample_every = parse("--quality-sample", args.next())
             }
             "--quality-pairs" => app_config.quality_pairs = parse("--quality-pairs", args.next()),
+            "--exact" => app_config.exact = true,
             "--fault-injection" => app_config.fault_injection = true,
             "--debug-endpoints" => server_config.debug_endpoints = true,
             "--flight-capacity" => {
@@ -173,8 +175,9 @@ fn main() {
     );
     let app = ExplainApp::new(app_config, telemetry.clone());
     eprintln!(
-        "[serve] world ready; default interface {}",
-        app.config().default_interface.key()
+        "[serve] world ready; default interface {}; neighbour scan {}",
+        app.config().default_interface.key(),
+        app.scan_mode()
     );
 
     let handle = match server::start(app, server_config.clone(), telemetry.clone()) {

@@ -232,6 +232,64 @@ pub struct DebugWorldBody {
     pub queue_capacity: usize,
     /// Similarity-cache standing; `None` when the model runs uncached.
     pub cache: Option<CacheStatsBody>,
+    /// Neighbour-scan engine standing; `None` when the model runs the
+    /// seed's brute per-pair path (and when deserializing pre-kernel
+    /// payloads).
+    pub scan: Option<ScanStatsBody>,
+}
+
+/// Neighbour-scan engine standing in `GET /debug/world` (the kernel
+/// and candidate index of `docs/kernels.md`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScanStatsBody {
+    /// Serving scan mode: `"exact"` or `"pruned"`.
+    pub mode: String,
+    /// Kernel tile size in use; `None` before the first scan tunes it.
+    pub tile_users: Option<usize>,
+    /// The startup autotuner's sweep, when tile selection was
+    /// automatic (empty under a fixed tile).
+    pub sweep: Vec<SweepPointBody>,
+    /// Revision of the resident CSR snapshot, if one has been built.
+    pub csr_revision: Option<u64>,
+    /// CSR snapshot (re)builds since start.
+    pub csr_builds: u64,
+    /// Candidate-index (re)builds since start.
+    pub index_builds: u64,
+    /// Shape of the resident candidate index, if one has been built.
+    pub index: Option<IndexShapeBody>,
+    /// Exact scans served (including pruned fallbacks).
+    pub exact_scans: u64,
+    /// Pruned scans served.
+    pub pruned_scans: u64,
+    /// Pruned requests that fell back to the exact scan because the
+    /// candidate set was too small for the neighbourhood size.
+    pub exact_fallbacks: u64,
+    /// Kernel tiles visited, cumulative.
+    pub tiles_visited: u64,
+    /// Candidate users scored, cumulative.
+    pub candidates_scored: u64,
+    /// Fraction of the user dimension the last pruned scan skipped
+    /// (`0.0` until a pruned scan runs).
+    pub prune_ratio: f64,
+}
+
+/// One autotuner measurement: a candidate tile size and the time the
+/// probe scans took under it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepPointBody {
+    /// Tile size (users per tile).
+    pub tile_users: usize,
+    /// Total probe-scan time under this tile, nanoseconds.
+    pub elapsed_ns: u64,
+}
+
+/// Shape of the resident candidate index.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IndexShapeBody {
+    /// Coarse k-means centroids.
+    pub centroids: usize,
+    /// Centroids probed per query.
+    pub probes: usize,
 }
 
 /// Body of a 200 from `GET /debug/quality`: the offline-measured

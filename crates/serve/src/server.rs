@@ -46,7 +46,8 @@ use crate::app::{AppError, Deadline, ExplainApp};
 use crate::http::{read_request, HttpError, Request, Response};
 use crate::proto::{
     AimSelectionBody, CacheStatsBody, DebugProfileBody, DebugQualityBody, DebugRequestsBody,
-    DebugWorldBody, ErrorBody, HealthResponse, QualityStandingBody, SloRouteBody,
+    DebugWorldBody, ErrorBody, HealthResponse, IndexShapeBody, QualityStandingBody, ScanStatsBody,
+    SloRouteBody, SweepPointBody,
 };
 use crate::queue::{Bounded, PushError};
 
@@ -729,8 +730,38 @@ fn debug_world(shared: &Shared) -> Response {
             pool_threads: app.pool_threads(),
             queue_capacity: shared.queue.capacity(),
             cache: cache_body(app),
+            scan: scan_body(app),
         },
     )
+}
+
+/// The neighbour-scan engine's standing as a wire body for
+/// `/debug/world`. `None` when the model runs the brute per-pair path.
+fn scan_body(app: &ExplainApp) -> Option<ScanStatsBody> {
+    app.scan_stats().map(|stats| ScanStatsBody {
+        mode: app.scan_mode().to_owned(),
+        tile_users: stats.tile_users,
+        sweep: stats
+            .sweep
+            .iter()
+            .map(|&(tile_users, elapsed_ns)| SweepPointBody {
+                tile_users,
+                elapsed_ns,
+            })
+            .collect(),
+        csr_revision: stats.csr_revision,
+        csr_builds: stats.csr_builds,
+        index_builds: stats.index_builds,
+        index: stats
+            .index_shape
+            .map(|(centroids, probes)| IndexShapeBody { centroids, probes }),
+        exact_scans: stats.exact_scans,
+        pruned_scans: stats.pruned_scans,
+        exact_fallbacks: stats.exact_fallbacks,
+        tiles_visited: stats.tiles_visited,
+        candidates_scored: stats.candidates_scored,
+        prune_ratio: stats.last_prune_ratio,
+    })
 }
 
 /// The similarity cache's standing as a wire body, shared by
