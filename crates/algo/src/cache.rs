@@ -382,6 +382,47 @@ impl SimilarityCache {
         v
     }
 
+    /// Surgically evicts every entry involving one of `users`, then
+    /// re-stamps all shards to `revision`. Returns the number of
+    /// entries removed.
+    ///
+    /// This is the delta-invalidation path for live writes: a rating
+    /// write touching user `u` changes only `u`'s row and mean, and
+    /// `sim(a, b)` depends only on the rows and means of `a` and `b` —
+    /// so every pair *not* containing `u` is bit-identical at the new
+    /// revision and can legally survive. Callers must hold the matrix
+    /// write lock while invalidating (see `exrec_data::MutableWorld`):
+    /// re-stamping a shard before a concurrent write's stale entries
+    /// were removed would make them readable again. The coarse
+    /// `sync_revision` full-shard clear stays
+    /// as the fallback for mutations that bypass delta notification
+    /// (bulk loads), because those leave shard revisions behind the
+    /// matrix and the next lookup clears the whole shard.
+    pub fn invalidate_users(&self, users: &[u32], revision: u64) -> u64 {
+        let mut removed = 0u64;
+        for shard in &self.shards {
+            let mut guard = shard.lock();
+            let mut slot = 0usize;
+            while slot < guard.entries.len() {
+                let key = guard.entries[slot].key;
+                if users.contains(&key.0) || users.contains(&key.1) {
+                    guard.index.remove(&key);
+                    guard.entries.swap_remove(slot);
+                    // The former tail now lives in the vacated slot.
+                    if slot < guard.entries.len() {
+                        let moved_key = guard.entries[slot].key;
+                        guard.index.insert(moved_key, slot);
+                    }
+                    removed += 1;
+                } else {
+                    slot += 1;
+                }
+            }
+            guard.revision = revision;
+        }
+        removed
+    }
+
     /// Drops every resident entry (counters are preserved).
     pub fn clear(&self) {
         for shard in &self.shards {
@@ -483,6 +524,42 @@ mod tests {
             f64::NAN
         });
         assert_eq!((v, calls), (0.25, 1), "second lookup must not compute");
+    }
+
+    #[test]
+    fn invalidate_users_is_surgical() {
+        let cache = SimilarityCache::new(CacheConfig {
+            shards: 4,
+            capacity_per_shard: 64,
+        });
+        for a in 0..8u32 {
+            for b in (a + 1)..8 {
+                cache.insert(a, b, 0, f64::from(a * 10 + b));
+            }
+        }
+        let total = cache.len();
+        let removed = cache.invalidate_users(&[3], 1);
+        assert_eq!(removed, 7, "user 3 appears in 7 of the 28 pairs");
+        assert_eq!(cache.len(), total - 7);
+        // Surviving pairs are readable at the *new* revision without a
+        // shard clear — that is the whole point of the surgical path.
+        assert_eq!(cache.get(0, 1, 1), Some(1.0));
+        assert_eq!(cache.get(3, 5, 1), None, "touched pair is gone");
+        assert_eq!(cache.stats().invalidations, 0, "no shard-wide clear");
+    }
+
+    #[test]
+    fn invalidate_users_handles_batches_and_absent_users() {
+        let cache = SimilarityCache::new(CacheConfig {
+            shards: 2,
+            capacity_per_shard: 16,
+        });
+        cache.insert(1, 2, 0, 0.5);
+        cache.insert(2, 3, 0, 0.25);
+        cache.insert(4, 5, 0, 0.75);
+        assert_eq!(cache.invalidate_users(&[1, 3], 5), 2);
+        assert_eq!(cache.invalidate_users(&[99], 6), 0);
+        assert_eq!(cache.get(4, 5, 6), Some(0.75));
     }
 
     #[test]

@@ -108,10 +108,13 @@ pub struct CandidateIndex {
     /// Centroid coordinates in **item-major** layout:
     /// `vals[item * C + c]` is centroid `c`'s weight on `item`. A
     /// query walks its sparse row once and accumulates all `C` scores
-    /// from contiguous per-item blocks.
-    vals: Vec<f64>,
-    /// Per-centroid Euclidean norms (for cosine scoring).
-    norms: Vec<f64>,
+    /// from contiguous per-item blocks. `Arc`-shared so
+    /// [`CandidateIndex::reassign`] clones membership without copying
+    /// megabytes of frozen centroid geometry.
+    vals: std::sync::Arc<Vec<f64>>,
+    /// Per-centroid Euclidean norms (for cosine scoring), shared like
+    /// `vals`.
+    norms: std::sync::Arc<Vec<f64>>,
 }
 
 impl CandidateIndex {
@@ -215,8 +218,59 @@ impl CandidateIndex {
             n_users,
             probes,
             members,
-            vals,
-            norms,
+            vals: std::sync::Arc::new(vals),
+            norms: std::sync::Arc::new(norms),
+        }
+    }
+
+    /// Re-routes `users` to their nearest centroid against the *frozen*
+    /// geometry, returning an index stamped with `csr`'s revision. This
+    /// is the incremental write path: a rating write moves one user's
+    /// row, so only that user's cluster membership can change — the
+    /// centroids themselves stay put (they are `Arc`-shared, not
+    /// copied) and drift is bounded by the engine's rebuild threshold.
+    ///
+    /// Assignment uses the exact scoring as [`CandidateIndex::build`]'s
+    /// final pass (cosine, ties toward the lowest centroid id; empty
+    /// rows round-robin by id), so a user whose row did not meaningfully
+    /// move stays in the same cluster.
+    pub fn reassign(&self, csr: &CsrRatings, users: &[u32]) -> CandidateIndex {
+        let c = self.n_centroids();
+        let mut members = self.members.clone();
+        let mut scores = vec![0.0f64; c];
+        for &u in users {
+            if (u as usize) >= self.n_users || c == 0 {
+                continue;
+            }
+            let target = if csr.row_len(u as usize) == 0 {
+                (u as usize) % c
+            } else {
+                assign(csr, u as usize, &self.vals, &self.norms, c, &mut scores)
+            };
+            let current = members
+                .iter()
+                .position(|list| list.binary_search(&u).is_ok());
+            match current {
+                Some(ci) if ci == target => {}
+                Some(ci) => {
+                    let at = members[ci].binary_search(&u).expect("found above");
+                    members[ci].remove(at);
+                    let at = members[target].binary_search(&u).unwrap_err();
+                    members[target].insert(at, u);
+                }
+                None => {
+                    let at = members[target].binary_search(&u).unwrap_err();
+                    members[target].insert(at, u);
+                }
+            }
+        }
+        CandidateIndex {
+            revision: csr.revision(),
+            n_users: self.n_users,
+            probes: self.probes,
+            members,
+            vals: std::sync::Arc::clone(&self.vals),
+            norms: std::sync::Arc::clone(&self.norms),
         }
     }
 
@@ -260,7 +314,7 @@ impl CandidateIndex {
         let mut scores = vec![0.0f64; c];
         let mean = csr.user_mean_or(user as usize, 0.0);
         score_row(items, row_vals, mean, &self.vals, c, &mut scores);
-        for (score, &norm) in scores.iter_mut().zip(&self.norms) {
+        for (score, &norm) in scores.iter_mut().zip(self.norms.iter()) {
             if norm > 0.0 {
                 *score /= norm;
             }
@@ -449,6 +503,54 @@ mod tests {
         let b = CandidateIndex::build(&csr, &cfg(4, 2));
         assert_eq!(a.members, b.members);
         assert_eq!(a.candidates(&csr, 7), b.candidates(&csr, 7));
+    }
+
+    #[test]
+    fn reassign_moves_only_touched_users() {
+        let mut m = blocky_matrix();
+        let csr = CsrRatings::from_matrix(&m);
+        let index = CandidateIndex::build(&csr, &cfg(2, 1));
+        let cluster_of = |index: &CandidateIndex, u: u32| {
+            index
+                .members
+                .iter()
+                .position(|list| list.binary_search(&u).is_ok())
+                .unwrap()
+        };
+        let before_0 = cluster_of(&index, 0);
+        let before_15 = cluster_of(&index, 15);
+        assert_ne!(before_0, before_15, "blocks start separated");
+
+        // User 0 defects to the mirror taste block.
+        for i in 0..10u32 {
+            let loved = i >= 5;
+            m.rate(UserId(0), ItemId(i), if loved { 5.0 } else { 1.0 })
+                .unwrap();
+        }
+        let csr2 = CsrRatings::from_matrix(&m);
+        let patched = index.reassign(&csr2, &[0]);
+        assert_eq!(patched.revision(), csr2.revision());
+        assert_eq!(
+            cluster_of(&patched, 0),
+            before_15,
+            "touched user re-routes to the block it now matches"
+        );
+        // Untouched users keep their clusters; membership still
+        // partitions the id space, sorted.
+        for u in 1..20u32 {
+            assert_eq!(cluster_of(&patched, u), cluster_of(&index, u));
+        }
+        let mut all: Vec<u32> = patched.members.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..20u32).collect::<Vec<_>>());
+        assert!(patched
+            .members
+            .iter()
+            .all(|list| list.windows(2).all(|w| w[0] < w[1])));
+
+        // A user whose row did not move stays put even when listed.
+        let stable = index.reassign(&csr, &[7]);
+        assert_eq!(stable.members, index.members);
     }
 
     #[test]

@@ -30,7 +30,7 @@
 //!   so the tuner optimizes purely over a correctness-invariant axis.
 //! * [`ScanEngine`] — the shared, revision-keyed holder of the CSR
 //!   snapshot, the tuned tile size and the cluster-pruned
-//!   [`CandidateIndex`](crate::index::CandidateIndex): stale snapshots
+//!   [`CandidateIndex`]: stale snapshots
 //!   are rebuilt when the matrix revision moves, mirroring the
 //!   [`SimilarityCache`](crate::cache::SimilarityCache) invalidation
 //!   story, and scan counters export through `exrec-obs` under
@@ -44,7 +44,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use exrec_data::RatingsMatrix;
+use exrec_data::{RatingDelta, RatingsMatrix};
 use exrec_obs::{Counter, Gauge, Metrics};
 use exrec_types::UserId;
 use parking_lot::RwLock;
@@ -203,6 +203,143 @@ impl CsrRatings {
             default
         } else {
             self.user_mean[user]
+        }
+    }
+
+    /// Builds the snapshot for the matrix state *after* `deltas`, by
+    /// splicing the touched rows/columns and copying everything else
+    /// wholesale — `O(nnz)` memcpy instead of re-walking the matrix,
+    /// and crucially without re-running the autotune sweep.
+    ///
+    /// The result is **bit-identical** to [`CsrRatings::from_matrix`]
+    /// on the mutated matrix: touched rows are merged in ascending id
+    /// order exactly as the matrix stores them, and touched users'
+    /// means are recomputed with the same left-to-right fold (asserted
+    /// by `patched_csr_is_bit_identical_to_fresh` in the tests).
+    ///
+    /// `deltas` must describe consecutive revisions starting at
+    /// `self.revision() + 1`; the engine's chain check enforces this
+    /// before calling.
+    pub fn apply_deltas(&self, deltas: &[RatingDelta]) -> CsrRatings {
+        use std::collections::BTreeMap;
+        // Last write wins per cell; BTreeMaps keep the changed ids in
+        // the ascending order the splice needs.
+        let mut row_changes: BTreeMap<u32, BTreeMap<u32, Option<f64>>> = BTreeMap::new();
+        let mut col_changes: BTreeMap<u32, BTreeMap<u32, Option<f64>>> = BTreeMap::new();
+        for d in deltas {
+            row_changes
+                .entry(d.user.raw())
+                .or_default()
+                .insert(d.item.raw(), d.value);
+            col_changes
+                .entry(d.item.raw())
+                .or_default()
+                .insert(d.user.raw(), d.value);
+        }
+
+        /// Merges one sorted id/value row with its sorted change set.
+        fn splice(
+            ids: &[u32],
+            vals: &[f64],
+            changes: &BTreeMap<u32, Option<f64>>,
+            out_ids: &mut Vec<u32>,
+            out_vals: &mut Vec<f64>,
+        ) {
+            let mut pending = changes.iter().peekable();
+            for (idx, &id) in ids.iter().enumerate() {
+                while let Some(&(&cid, value)) = pending.peek() {
+                    if cid >= id {
+                        break;
+                    }
+                    if let Some(v) = value {
+                        out_ids.push(cid);
+                        out_vals.push(*v);
+                    }
+                    pending.next();
+                }
+                match pending.peek() {
+                    Some(&(&cid, value)) if cid == id => {
+                        if let Some(v) = value {
+                            out_ids.push(id);
+                            out_vals.push(*v);
+                        }
+                        pending.next();
+                    }
+                    _ => {
+                        out_ids.push(id);
+                        out_vals.push(vals[idx]);
+                    }
+                }
+            }
+            for (&cid, value) in pending {
+                if let Some(v) = value {
+                    out_ids.push(cid);
+                    out_vals.push(*v);
+                }
+            }
+        }
+
+        let grow = deltas.len();
+        let mut row_ptr = Vec::with_capacity(self.n_users + 1);
+        let mut row_items = Vec::with_capacity(self.row_items.len() + grow);
+        let mut row_vals = Vec::with_capacity(self.row_vals.len() + grow);
+        let mut user_mean = Vec::with_capacity(self.n_users);
+        row_ptr.push(0);
+        for u in 0..self.n_users {
+            let start = row_items.len();
+            match row_changes.get(&(u as u32)) {
+                None => {
+                    let (ids, vals) = self.row(u);
+                    row_items.extend_from_slice(ids);
+                    row_vals.extend_from_slice(vals);
+                    user_mean.push(self.user_mean[u]);
+                }
+                Some(changes) => {
+                    let (ids, vals) = self.row(u);
+                    splice(ids, vals, changes, &mut row_items, &mut row_vals);
+                    let row = &row_vals[start..];
+                    // Same fold as RatingsMatrix::user_mean.
+                    let mean = if row.is_empty() {
+                        0.0
+                    } else {
+                        row.iter().sum::<f64>() / row.len() as f64
+                    };
+                    user_mean.push(mean);
+                }
+            }
+            row_ptr.push(row_items.len());
+        }
+
+        let mut col_ptr = Vec::with_capacity(self.n_items + 1);
+        let mut col_users = Vec::with_capacity(self.col_users.len() + grow);
+        let mut col_vals = Vec::with_capacity(self.col_vals.len() + grow);
+        col_ptr.push(0);
+        for i in 0..self.n_items {
+            match col_changes.get(&(i as u32)) {
+                None => {
+                    let (ids, vals) = self.col(i);
+                    col_users.extend_from_slice(ids);
+                    col_vals.extend_from_slice(vals);
+                }
+                Some(changes) => {
+                    let (ids, vals) = self.col(i);
+                    splice(ids, vals, changes, &mut col_users, &mut col_vals);
+                }
+            }
+            col_ptr.push(col_users.len());
+        }
+
+        CsrRatings {
+            revision: deltas.last().map(|d| d.revision).unwrap_or(self.revision),
+            n_users: self.n_users,
+            n_items: self.n_items,
+            row_ptr,
+            row_items,
+            row_vals,
+            col_ptr,
+            col_users,
+            col_vals,
+            user_mean,
         }
     }
 }
@@ -558,11 +695,31 @@ pub enum TileSize {
     Fixed(usize),
 }
 
+/// Deltas applied incrementally since the last full build before the
+/// engine forces a fresh rebuild (autotune + k-means). Cluster
+/// reassignment moves users between *frozen* centroids, so geometry
+/// drifts as writes accumulate; this bounds how far.
+pub const DRIFT_REBUILD_THRESHOLD: usize = 4096;
+
 /// Kernel configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct KernelConfig {
     /// Candidate-dimension tile size.
     pub tile: TileSize,
+    /// Deltas absorbed by incremental patching before the next read
+    /// forces a full CSR + index rebuild (see
+    /// [`DRIFT_REBUILD_THRESHOLD`]). `0` disables patching entirely:
+    /// every revision change rebuilds from scratch.
+    pub drift_threshold: usize,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig {
+            tile: TileSize::default(),
+            drift_threshold: DRIFT_REBUILD_THRESHOLD,
+        }
+    }
 }
 
 /// One autotuner measurement: `(tile size, total nanoseconds)` over the
@@ -631,7 +788,7 @@ pub enum ScanMode {
     #[default]
     Exact,
     /// Cluster-pruned candidate scan: probe the nearest centroids of
-    /// the [`CandidateIndex`](crate::index::CandidateIndex) and score
+    /// the [`CandidateIndex`] and score
     /// only their members, falling back to [`ScanMode::Exact`] when the
     /// candidate set is too small for the neighbourhood size (see
     /// `docs/kernels.md#exact-fallback`).
@@ -649,12 +806,22 @@ impl ScanMode {
 }
 
 /// Revision-keyed derived state: the CSR snapshot, the tuned tile and
-/// the candidate index, rebuilt lazily when the matrix moves.
+/// the candidate index, rebuilt lazily when the matrix moves — or
+/// *patched* in place when the pending delta chain covers the gap.
 #[derive(Default)]
 struct EngineState {
     csr: Option<Arc<CsrRatings>>,
     tune: Option<AutotuneReport>,
     index: Option<Arc<CandidateIndex>>,
+    /// Deltas applied to the matrix since the resident snapshot was
+    /// taken, in revision order; drained by the next read.
+    pending: Vec<RatingDelta>,
+    /// Set when pending deltas were dropped (too many to buffer): the
+    /// next read must rebuild from scratch.
+    pending_overflow: bool,
+    /// Deltas absorbed by patching since the last *full* build; the
+    /// drift threshold compares against this.
+    patched_since_build: u64,
 }
 
 /// Point-in-time scan statistics for `/debug/world` and logs.
@@ -666,10 +833,19 @@ pub struct ScanStats {
     pub sweep: Vec<SweepPoint>,
     /// Revision of the resident CSR snapshot, if any.
     pub csr_revision: Option<u64>,
-    /// CSR snapshot (re)builds.
+    /// CSR snapshot (re)builds from scratch.
     pub csr_builds: u64,
-    /// Candidate-index (re)builds.
+    /// Candidate-index (re)builds from scratch.
     pub index_builds: u64,
+    /// CSR snapshots produced by incremental delta patching.
+    pub csr_patches: u64,
+    /// Candidate indexes produced by cluster reassignment.
+    pub index_patches: u64,
+    /// Deltas waiting to be absorbed by the next read.
+    pub pending_deltas: usize,
+    /// Deltas absorbed by patching since the last full build (drives
+    /// the drift-threshold rebuild decision).
+    pub patched_since_build: u64,
     /// Centroids / probes of the resident index, if any.
     pub index_shape: Option<(usize, usize)>,
     /// Exact scans served (including fallbacks).
@@ -701,6 +877,8 @@ pub struct ScanEngine {
     state: RwLock<EngineState>,
     csr_builds: Counter,
     index_builds: Counter,
+    csr_patches: Counter,
+    index_patches: Counter,
     exact_scans: Counter,
     pruned_scans: Counter,
     exact_fallbacks: Counter,
@@ -728,6 +906,8 @@ impl ScanEngine {
             state: RwLock::new(EngineState::default()),
             csr_builds: Counter::default(),
             index_builds: Counter::default(),
+            csr_patches: Counter::default(),
+            index_patches: Counter::default(),
             exact_scans: Counter::default(),
             pruned_scans: Counter::default(),
             exact_fallbacks: Counter::default(),
@@ -738,9 +918,9 @@ impl ScanEngine {
     }
 
     /// Builds an engine whose counters live in `metrics` under
-    /// `scan.<name>.{csr_builds,index_builds,exact_scans,pruned_scans,
-    /// exact_fallbacks,tiles_visited,candidates_scored}` plus the
-    /// `scan.<name>.prune_ratio` gauge.
+    /// `scan.<name>.{csr_builds,index_builds,csr_patches,index_patches,
+    /// exact_scans,pruned_scans,exact_fallbacks,tiles_visited,
+    /// candidates_scored}` plus the `scan.<name>.prune_ratio` gauge.
     pub fn instrumented(
         kernel: KernelConfig,
         index_cfg: IndexConfig,
@@ -750,6 +930,8 @@ impl ScanEngine {
         let mut engine = Self::new(kernel, index_cfg);
         engine.csr_builds = metrics.counter(&format!("scan.{name}.csr_builds"));
         engine.index_builds = metrics.counter(&format!("scan.{name}.index_builds"));
+        engine.csr_patches = metrics.counter(&format!("scan.{name}.csr_patches"));
+        engine.index_patches = metrics.counter(&format!("scan.{name}.index_patches"));
         engine.exact_scans = metrics.counter(&format!("scan.{name}.exact_scans"));
         engine.pruned_scans = metrics.counter(&format!("scan.{name}.pruned_scans"));
         engine.exact_fallbacks = metrics.counter(&format!("scan.{name}.exact_fallbacks"));
@@ -769,9 +951,41 @@ impl ScanEngine {
         &self.index_cfg
     }
 
-    /// The CSR snapshot for `ratings`, rebuilding when the matrix
-    /// revision moved (counted under `csr_builds`). The tile sweep is
-    /// re-run alongside a rebuild so the tuned size tracks the data.
+    /// Records deltas the matrix absorbed since the resident snapshot,
+    /// so the next read can *patch* instead of rebuild. Called by the
+    /// write path (under its matrix write lock) with the deltas one
+    /// applied record emitted; cheap — an append, never a build.
+    ///
+    /// Buffering is bounded by the drift threshold: once the pending
+    /// backlog (plus deltas already absorbed since the last full
+    /// build) crosses it, the backlog is dropped and the next read
+    /// rebuilds from scratch anyway.
+    pub fn notify_deltas(&self, deltas: &[RatingDelta]) {
+        if deltas.is_empty() {
+            return;
+        }
+        let mut state = self.state.write();
+        if state.csr.is_none() || state.pending_overflow {
+            return; // nothing resident to patch, or already overflowed
+        }
+        let backlog = state.patched_since_build as usize + state.pending.len() + deltas.len();
+        if backlog > self.kernel.drift_threshold {
+            state.pending.clear();
+            state.pending_overflow = true;
+        } else {
+            state.pending.extend_from_slice(deltas);
+        }
+    }
+
+    /// The CSR snapshot for `ratings`. When the matrix revision moved
+    /// and the pending delta chain (see [`ScanEngine::notify_deltas`])
+    /// covers the gap exactly, the resident snapshot is *patched* —
+    /// `O(nnz)` splice, tuned tile kept, index clusters reassigned —
+    /// counted under `csr_patches`/`index_patches`. Otherwise (bulk
+    /// loads, overflow past the drift threshold, or mutations that
+    /// bypassed delta notification) it rebuilds from scratch, re-runs
+    /// the tile sweep, and drops the index (counted under
+    /// `csr_builds`).
     pub fn csr(&self, ratings: &RatingsMatrix, params: &SimParams) -> Arc<CsrRatings> {
         {
             let state = self.state.read();
@@ -789,6 +1003,46 @@ impl ScanEngine {
                 return Arc::clone(csr);
             }
         }
+
+        // Patch path: the pending deltas must chain one-per-revision
+        // from the resident snapshot to the live matrix — every
+        // successful mutation bumps the revision by exactly one, so a
+        // gap means something wrote without notifying and the patch
+        // would silently diverge.
+        let can_patch = !state.pending_overflow
+            && self.kernel.drift_threshold > 0
+            && state.csr.as_ref().is_some_and(|csr| {
+                let base = csr.revision();
+                !state.pending.is_empty()
+                    && state.pending.last().map(|d| d.revision) == Some(ratings.revision())
+                    && state
+                        .pending
+                        .iter()
+                        .enumerate()
+                        .all(|(n, d)| d.revision == base + 1 + n as u64)
+            });
+        if can_patch {
+            let pending = std::mem::take(&mut state.pending);
+            let csr = Arc::new(
+                state
+                    .csr
+                    .as_ref()
+                    .expect("checked above")
+                    .apply_deltas(&pending),
+            );
+            if let Some(index) = &state.index {
+                let mut touched: Vec<u32> = pending.iter().map(|d| d.user.raw()).collect();
+                touched.sort_unstable();
+                touched.dedup();
+                state.index = Some(Arc::new(index.reassign(&csr, &touched)));
+                self.index_patches.incr();
+            }
+            state.patched_since_build += pending.len() as u64;
+            state.csr = Some(Arc::clone(&csr));
+            self.csr_patches.incr();
+            return csr;
+        }
+
         let csr = Arc::new(CsrRatings::from_matrix(ratings));
         state.tune = Some(match self.kernel.tile {
             TileSize::Fixed(tile) => AutotuneReport {
@@ -799,6 +1053,9 @@ impl ScanEngine {
         });
         state.index = None; // stale with the old revision; rebuilt on demand
         state.csr = Some(Arc::clone(&csr));
+        state.pending.clear();
+        state.pending_overflow = false;
+        state.patched_since_build = 0;
         self.csr_builds.incr();
         csr
     }
@@ -881,6 +1138,10 @@ impl ScanEngine {
             csr_revision: state.csr.as_ref().map(|c| c.revision()),
             csr_builds: self.csr_builds.get(),
             index_builds: self.index_builds.get(),
+            csr_patches: self.csr_patches.get(),
+            index_patches: self.index_patches.get(),
+            pending_deltas: state.pending.len(),
+            patched_since_build: state.patched_since_build,
             index_shape: state.index.as_ref().map(|i| (i.n_centroids(), i.probes())),
             exact_scans: self.exact_scans.get(),
             pruned_scans: self.pruned_scans.get(),
@@ -1066,6 +1327,134 @@ mod tests {
         assert_eq!(c3.revision(), m.revision());
         assert_eq!(engine.stats().csr_builds, 2);
         assert_eq!(c3.col(0).0.len(), 4, "rebuilt snapshot sees the new rating");
+    }
+
+    /// Applies one `rate` to the live matrix and returns the delta the
+    /// write path would emit for it.
+    fn rate_delta(m: &mut RatingsMatrix, u: u32, i: u32, v: f64) -> RatingDelta {
+        let prev = m.rate(UserId(u), ItemId(i), v).unwrap();
+        RatingDelta {
+            user: UserId(u),
+            item: ItemId(i),
+            prev,
+            value: Some(v),
+            revision: m.revision(),
+        }
+    }
+
+    fn unrate_delta(m: &mut RatingsMatrix, u: u32, i: u32) -> RatingDelta {
+        let prev = m.unrate(UserId(u), ItemId(i)).unwrap();
+        assert!(prev.is_some(), "test deltas must change the matrix");
+        RatingDelta {
+            user: UserId(u),
+            item: ItemId(i),
+            prev,
+            value: None,
+            revision: m.revision(),
+        }
+    }
+
+    #[test]
+    fn patched_csr_is_bit_identical_to_fresh() {
+        let mut m = toy_matrix();
+        let base = CsrRatings::from_matrix(&m);
+        let deltas = vec![
+            rate_delta(&mut m, 4, 2, 3.0), // empty row gains a rating
+            rate_delta(&mut m, 0, 2, 1.0), // insert mid-row
+            rate_delta(&mut m, 0, 0, 2.0), // replace
+            unrate_delta(&mut m, 1, 1),    // remove
+            rate_delta(&mut m, 0, 2, 4.0), // re-rate the same cell
+            unrate_delta(&mut m, 2, 2),    // row becomes empty
+        ];
+        let patched = base.apply_deltas(&deltas);
+        let fresh = CsrRatings::from_matrix(&m);
+        assert_eq!(patched.revision(), fresh.revision());
+        assert_eq!(patched.row_ptr, fresh.row_ptr);
+        assert_eq!(patched.row_items, fresh.row_items);
+        assert_eq!(patched.col_ptr, fresh.col_ptr);
+        assert_eq!(patched.col_users, fresh.col_users);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&patched.row_vals), bits(&fresh.row_vals));
+        assert_eq!(bits(&patched.col_vals), bits(&fresh.col_vals));
+        assert_eq!(bits(&patched.user_mean), bits(&fresh.user_mean));
+    }
+
+    #[test]
+    fn engine_patches_when_delta_chain_covers_the_gap() {
+        let mut m = toy_matrix();
+        let engine = ScanEngine::default();
+        let params = SimParams {
+            similarity: Similarity::Pearson,
+            min_overlap: 1,
+            significance: 0,
+        };
+        engine.csr(&m, &params);
+        let deltas = vec![rate_delta(&mut m, 2, 0, 4.0), rate_delta(&mut m, 2, 1, 5.0)];
+        engine.notify_deltas(&deltas);
+        assert_eq!(engine.stats().pending_deltas, 2);
+        let patched = engine.csr(&m, &params);
+        let stats = engine.stats();
+        assert_eq!(stats.csr_builds, 1, "no second full build");
+        assert_eq!(stats.csr_patches, 1);
+        assert_eq!(stats.pending_deltas, 0);
+        assert_eq!(stats.patched_since_build, 2);
+        assert_eq!(patched.revision(), m.revision());
+        // Patched scan results equal a from-scratch engine's.
+        let fresh_engine = ScanEngine::default();
+        let fresh = fresh_engine.csr(&m, &params);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        scan_similarities(&patched, &params, UserId(0), None, 64, &mut a);
+        scan_similarities(&fresh, &params, UserId(0), None, 64, &mut b);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a), bits(&b));
+    }
+
+    #[test]
+    fn unnotified_mutation_falls_back_to_full_rebuild() {
+        let mut m = toy_matrix();
+        let engine = ScanEngine::default();
+        let params = SimParams {
+            similarity: Similarity::Cosine,
+            min_overlap: 1,
+            significance: 0,
+        };
+        engine.csr(&m, &params);
+        let _gap = rate_delta(&mut m, 3, 1, 2.0); // never notified
+        let notified = vec![rate_delta(&mut m, 2, 0, 4.0)];
+        engine.notify_deltas(&notified);
+        let rebuilt = engine.csr(&m, &params);
+        let stats = engine.stats();
+        assert_eq!(stats.csr_patches, 0, "broken chain must not patch");
+        assert_eq!(stats.csr_builds, 2);
+        assert_eq!(rebuilt.revision(), m.revision());
+        assert_eq!(stats.pending_deltas, 0, "stale backlog discarded");
+    }
+
+    #[test]
+    fn drift_threshold_forces_full_rebuild() {
+        let mut m = toy_matrix();
+        let engine = ScanEngine::new(
+            KernelConfig {
+                tile: TileSize::Fixed(64),
+                drift_threshold: 2,
+            },
+            IndexConfig::default(),
+        );
+        let params = SimParams {
+            similarity: Similarity::Pearson,
+            min_overlap: 1,
+            significance: 0,
+        };
+        engine.csr(&m, &params);
+        for round in 0..3u32 {
+            let deltas = vec![rate_delta(&mut m, 2, 0, f64::from(round % 5) + 1.0)];
+            engine.notify_deltas(&deltas);
+            engine.csr(&m, &params);
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.csr_patches, 2, "threshold admits two deltas");
+        assert_eq!(stats.csr_builds, 2, "third write crossed the threshold");
+        assert_eq!(stats.patched_since_build, 0, "rebuild resets drift");
     }
 
     #[test]

@@ -56,7 +56,7 @@ impl Default for UserKnnConfig {
 /// stay bit-identical to uncached ones — including after re-rating.
 ///
 /// For sub-linear uncached serving, attach a shared
-/// [`ScanEngine`](crate::kernel::ScanEngine) with
+/// [`ScanEngine`] with
 /// [`UserKnn::with_engine`]: similarity scans then run through the
 /// CSR-tiled kernel ([`ScanMode::Exact`], bit-identical to the brute
 /// path) and optionally the cluster-pruned candidate index

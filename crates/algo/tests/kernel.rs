@@ -42,7 +42,13 @@ fn world(n_users: usize, n_items: usize, seed: u64) -> World {
 }
 
 fn engine_with(tile: TileSize, index: IndexConfig) -> Arc<ScanEngine> {
-    Arc::new(ScanEngine::new(KernelConfig { tile }, index))
+    Arc::new(ScanEngine::new(
+        KernelConfig {
+            tile,
+            ..KernelConfig::default()
+        },
+        index,
+    ))
 }
 
 fn assert_bit_identical(a: &[Scored], b: &[Scored], label: &str) {

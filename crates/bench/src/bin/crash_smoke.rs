@@ -1,0 +1,258 @@
+//! `crash_smoke` — kill -9 the serving edge and prove nothing is lost.
+//!
+//! Drives the real `serve` binary (located next to this executable)
+//! through the crash-recovery contract of the write-ahead log:
+//!
+//! 1. **Live:** start `serve --wal-path`, apply a deterministic set of
+//!    journaled writes over HTTP (`/v1/rate`, `/v1/rate/batch`, a
+//!    retract), capture recommendation bodies, then SIGKILL the
+//!    process — no drain, no compaction, the WAL tail is all there is.
+//! 2. **Replay:** restart over the same journal. The world must come
+//!    back through WAL tail replay (`/debug/ingest` shows `replayed >
+//!    0`, no snapshot) and serve byte-identical recommendation bodies.
+//!    Then shut down *cleanly* (SIGTERM), which drains and compacts.
+//! 3. **Control:** restart once more. This time the world loads from
+//!    the compaction snapshot (`snapshot_loaded`, `replayed == 0`) —
+//!    the clean-shutdown control — and must again serve byte-identical
+//!    bodies.
+//!
+//! Crash-replay ≡ live ≡ clean-shutdown restart, checked on raw bytes.
+//! Exit code 0 only if every step holds. CI runs this as the
+//! crash-recovery gate (see `.github/workflows/ci.yml`).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// The deterministic world every `serve` child regenerates; small
+/// enough that three startups stay fast in CI.
+const WORLD: &[&str] = &["--users", "300", "--items", "120", "--density", "0.2"];
+
+/// Recommendation probe compared byte-for-byte across lives.
+const PROBE: &str = r#"{"users": [0, 1, 2, 3, 5, 8], "n": 10}"#;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("[crash_smoke] FAIL: {msg}");
+    std::process::exit(1);
+}
+
+/// A `serve` child plus the address parsed from its stderr banner.
+struct Server {
+    child: Child,
+    addr: SocketAddr,
+}
+
+/// Spawns `serve` against `wal` and waits for its listening banner.
+/// A thread keeps draining stderr afterwards so the child never blocks
+/// on a full pipe (sampled traces stream there).
+fn spawn_serve(wal: &std::path::Path) -> Server {
+    let serve = std::env::current_exe()
+        .expect("own path")
+        .with_file_name("serve");
+    let mut child = Command::new(&serve)
+        .args(["--port", "0", "--workers", "2", "--debug-endpoints"])
+        .args(WORLD)
+        .arg("--wal-path")
+        .arg(wal)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap_or_else(|e| fail(&format!("spawn {}: {e}", serve.display())));
+    let stderr = child.stderr.take().expect("piped stderr");
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let mut reader = BufReader::new(stderr);
+        let mut line = String::new();
+        while reader.read_line(&mut line).unwrap_or(0) > 0 {
+            if let Some(rest) = line.trim_end().strip_prefix("[serve] listening on ") {
+                if let Some(addr) = rest.split_whitespace().next() {
+                    let _ = tx.send(addr.to_owned());
+                }
+            }
+            line.clear();
+        }
+    });
+    let addr = rx
+        .recv_timeout(Duration::from_secs(120))
+        .unwrap_or_else(|_| fail("serve never printed its listening banner"));
+    let addr = addr
+        .parse()
+        .unwrap_or_else(|_| fail(&format!("unparseable listen address {addr:?}")));
+    Server { child, addr }
+}
+
+/// One request on a fresh connection; returns `(status, body)`.
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let stream = TcpStream::connect(addr).unwrap_or_else(|e| fail(&format!("connect: {e}")));
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("read timeout");
+    let mut writer = stream.try_clone().expect("clone stream");
+    writer
+        .write_all(
+            format!(
+                "{method} {path} HTTP/1.1\r\nhost: crash-smoke\r\nconnection: close\r\n\
+                 content-length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .unwrap_or_else(|e| fail(&format!("send: {e}")));
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader
+        .read_line(&mut status_line)
+        .unwrap_or_else(|e| fail(&format!("status line: {e}")));
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| fail(&format!("bad status line {status_line:?}")));
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line).unwrap_or(0) == 0 {
+            fail("connection closed mid-headers");
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .unwrap_or_else(|e| fail(&format!("body: {e}")));
+    (status, String::from_utf8(body).expect("utf-8 body"))
+}
+
+fn post_ok(addr: SocketAddr, path: &str, body: &str) -> String {
+    let (status, response) = request(addr, "POST", path, body);
+    if status != 200 {
+        fail(&format!("POST {path} -> {status}: {response}"));
+    }
+    response
+}
+
+/// `/debug/ingest` as a JSON value.
+fn debug_ingest(addr: SocketAddr) -> serde_json::Value {
+    let (status, body) = request(addr, "GET", "/debug/ingest", "");
+    if status != 200 {
+        fail(&format!("GET /debug/ingest -> {status}"));
+    }
+    serde_json::from_str(&body).unwrap_or_else(|e| fail(&format!("/debug/ingest parse: {e}")))
+}
+
+/// SIGTERM the child and wait for a clean exit (the drain compacts).
+fn terminate(mut server: Server) {
+    let pid = server.child.id().to_string();
+    let status = Command::new("kill")
+        .arg(&pid)
+        .status()
+        .unwrap_or_else(|e| fail(&format!("kill {pid}: {e}")));
+    if !status.success() {
+        fail(&format!("kill {pid} exited {status}"));
+    }
+    let exit = server
+        .child
+        .wait()
+        .unwrap_or_else(|e| fail(&format!("wait: {e}")));
+    if !exit.success() {
+        fail(&format!("serve exited {exit} after SIGTERM"));
+    }
+}
+
+fn main() {
+    let started = Instant::now();
+    let dir = std::env::temp_dir().join(format!("exrec-crash-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let wal = dir.join("serve.wal");
+
+    // Life 1: journaled writes, then SIGKILL — the tail is everything.
+    eprintln!("[crash_smoke] life 1: starting serve, applying writes");
+    let mut server = spawn_serve(&wal);
+    for k in 0u32..32 {
+        let body = format!(
+            r#"{{"user": {}, "item": {}, "value": {:.1}}}"#,
+            (k * 7) % 300,
+            (k * 11) % 120,
+            1.0 + (k % 5) as f64,
+        );
+        post_ok(server.addr, "/v1/rate", &body);
+    }
+    post_ok(
+        server.addr,
+        "/v1/rate/batch",
+        r#"{"ops": [
+            {"user": 5, "item": 9, "value": 5.0},
+            {"user": 8, "item": 4, "value": 2.0},
+            {"user": 13, "item": 21, "value": 3.0}
+        ]}"#,
+    );
+    // Retract one of the writes above, so replay must also reproduce a
+    // removal, not just upserts.
+    post_ok(server.addr, "/v1/rate", r#"{"user": 5, "item": 9}"#);
+    let live = post_ok(server.addr, "/v1/recommend", PROBE);
+    eprintln!("[crash_smoke] life 1: SIGKILL (no drain, no compaction)");
+    server.child.kill().expect("SIGKILL serve");
+    let _ = server.child.wait();
+    if exrec_data::wal::snapshot_path(&wal).exists() {
+        fail("a SIGKILLed server must not have compacted");
+    }
+
+    // Life 2: recover from the WAL tail alone; then shut down cleanly.
+    eprintln!("[crash_smoke] life 2: restarting over the WAL tail");
+    let server = spawn_serve(&wal);
+    let ingest = debug_ingest(server.addr);
+    if ingest.get("snapshot_loaded").and_then(|v| v.as_bool()) != Some(false) {
+        fail("life 2 found a snapshot that should not exist");
+    }
+    let replayed = ingest
+        .pointer("/wal/replayed")
+        .and_then(|v| v.as_u64())
+        .unwrap_or(0);
+    if replayed != 34 {
+        fail(&format!("life 2 replayed {replayed} records, wanted 34"));
+    }
+    let recovered = post_ok(server.addr, "/v1/recommend", PROBE);
+    if recovered != live {
+        fail("crash-replay served different recommendations than the live world");
+    }
+    eprintln!("[crash_smoke] life 2: identical after replaying {replayed} records; SIGTERM");
+    terminate(server);
+    if !exrec_data::wal::snapshot_path(&wal).exists() {
+        fail("a clean shutdown must compact the journal");
+    }
+
+    // Life 3: the clean-shutdown control — snapshot, empty tail.
+    eprintln!("[crash_smoke] life 3: restarting from the compaction snapshot");
+    let server = spawn_serve(&wal);
+    let ingest = debug_ingest(server.addr);
+    if ingest.get("snapshot_loaded").and_then(|v| v.as_bool()) != Some(true) {
+        fail("life 3 must warm-start from the compaction snapshot");
+    }
+    if ingest.pointer("/wal/replayed").and_then(|v| v.as_u64()) != Some(0) {
+        fail("life 3 must find an empty tail after compaction");
+    }
+    let control = post_ok(server.addr, "/v1/recommend", PROBE);
+    if control != live {
+        fail("clean-shutdown restart served different recommendations than the live world");
+    }
+    terminate(server);
+
+    let _ = std::fs::remove_dir_all(&dir);
+    eprintln!(
+        "[crash_smoke] OK: crash-replay == live == clean-shutdown control ({} bytes probed, {:.1}s)",
+        live.len(),
+        started.elapsed().as_secs_f64()
+    );
+}

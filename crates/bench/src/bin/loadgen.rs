@@ -17,9 +17,20 @@
 //! ```text
 //! loadgen                      # full sweep, spawns a server in-process
 //! loadgen --quick              # CI smoke: small world, short sweep
+//! loadgen --ingest             # mixed 90/10 read/write benchmark on the
+//!                              # 100k world → BENCH_serve_ingest.json,
+//!                              # plus a restart-recovery identity check
 //! loadgen --addr HOST:PORT     # target an already-running server
 //! loadgen --out PATH           # report path (default BENCH_serve_net.json)
 //! ```
+//!
+//! The request mix includes journaled writes (`POST /v1/rate`), so the
+//! in-process server runs with a temp `--wal-path`; the final metrics
+//! scrape requires the `ingest_*`/`wal_*` families alongside `serve_*`.
+//! `--ingest` additionally proves recovery: after the sweep drains (and
+//! compacts), the world is reopened from the snapshot — and again from
+//! snapshot + a freshly written WAL tail — asserting bit-identical
+//! recommendations each time.
 //!
 //! Exit code is non-zero when any response falls outside the expected
 //! classes (2xx, 422 explanation-withheld, 429 shed, 504 deadline), a
@@ -83,6 +94,36 @@ const FULL_SWEEP: &[SweepPoint] = &[
     },
 ];
 
+/// The `--ingest` sweep: a 90/10 read/write mix against the same
+/// 100k-user world `BENCH_serve.json` scans, offered well inside
+/// capacity — the point is the latency of reads *while writes flow*
+/// (plus CSR re-patch cost landing on the next read), not overload.
+/// Rates are sized for the 1-core bench machine (~35 ms/scan).
+const INGEST_SWEEP: &[SweepPoint] = &[
+    SweepPoint {
+        name: "mixed-light",
+        offered_rps: 6.0,
+        requests: 180,
+        clients: 8,
+        deadline_ms: None,
+    },
+    SweepPoint {
+        name: "mixed-moderate",
+        offered_rps: 12.0,
+        requests: 360,
+        clients: 12,
+        deadline_ms: None,
+    },
+];
+
+const INGEST_QUICK_SWEEP: &[SweepPoint] = &[SweepPoint {
+    name: "mixed-quick",
+    offered_rps: 50.0,
+    requests: 200,
+    clients: 8,
+    deadline_ms: None,
+}];
+
 const QUICK_SWEEP: &[SweepPoint] = &[
     SweepPoint {
         name: "light-quick",
@@ -144,12 +185,18 @@ struct PointReport {
     transport_errors: usize,
     wall_ms: f64,
     achieved_rps: f64,
-    /// Latencies of successful (2xx) requests, from scheduled arrival.
-    /// This is the digest `benchdiff` gates on.
+    /// Successful writes (`/v1/rate*` 2xx), a subset of `status_2xx`.
+    write_2xx: usize,
+    /// Latencies of successful **read** (2xx) requests, from scheduled
+    /// arrival. This is the digest `benchdiff` gates on; keeping writes
+    /// out preserves comparability with pre-ingest baselines.
     latency_ms: LatencyMs,
-    /// Per-class latency digests (`"2xx"`, `"429"`, `"504"`), present
-    /// only for classes that occurred. Not gated: shed/timeout latency
-    /// is diagnostic, not an objective.
+    /// Latencies of successful **write** (2xx) requests; absent when no
+    /// write succeeded (e.g. everything shed under overload).
+    write_latency_ms: Option<LatencyMs>,
+    /// Per-class latency digests (`"2xx"`, `"write_2xx"`, `"429"`,
+    /// `"504"`), present only for classes that occurred. Not gated:
+    /// shed/timeout latency is diagnostic, not an objective.
     class_latency_ms: std::collections::BTreeMap<String, LatencyMs>,
 }
 
@@ -164,6 +211,21 @@ struct ServerInfo {
     world_items: usize,
 }
 
+/// Outcome of the `--ingest` restart-recovery identity check: the
+/// served world, reopened from its compaction snapshot and then from
+/// snapshot + a fresh WAL tail, must recommend bit-identically.
+#[derive(Serialize)]
+struct RecoveryReport {
+    /// Restart after a clean drain loaded the compaction snapshot and
+    /// served recommendations identical to the live server's.
+    snapshot_restart_identical: bool,
+    /// Records in the WAL tail written (uncompacted) after the snapshot.
+    tail_records_replayed: u64,
+    /// Restart over snapshot + tail replay reproduced the post-write
+    /// recommendations exactly.
+    replay_restart_identical: bool,
+}
+
 #[derive(Serialize)]
 struct LoadgenReport {
     /// Report-layout version `benchdiff` checks before comparing.
@@ -174,11 +236,24 @@ struct LoadgenReport {
     meta: exrec_bench::benchdiff::RunMeta,
     server: ServerInfo,
     points: Vec<PointReport>,
+    /// Present only for `--ingest` runs against the in-process server.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    recovery: Option<RecoveryReport>,
 }
 
-/// The deterministic request mix: mostly plain ranking, some explained
-/// ranking, some single-pair explanations.
-fn request_body(i: usize, n_users: usize, deadline_ms: Option<u64>) -> (&'static str, String) {
+/// The deterministic 90/10 read/write mix: mostly plain ranking, some
+/// explained ranking, some single-pair explanations, and one journaled
+/// write per ten requests (every fifth write a 3-op batch).
+///
+/// With `single_read` the plain-ranking case ranks ONE user (the shape
+/// `BENCH_serve.json` digests per scan), so the `--ingest` read p50 is
+/// directly comparable against the read-only serve bench.
+fn request_body(
+    i: usize,
+    n_users: usize,
+    deadline_ms: Option<u64>,
+    single_read: bool,
+) -> (&'static str, String) {
     let user = (i * 17) % n_users;
     let deadline = deadline_ms
         .map(|ms| format!(", \"deadline_ms\": {ms}"))
@@ -197,7 +272,35 @@ fn request_body(i: usize, n_users: usize, deadline_ms: Option<u64>) -> (&'static
             "/v1/recommend",
             format!("{{\"users\": [{user}], \"n\": 5, \"explain\": true{deadline}}}"),
         ),
-        // 70%: plain top-k for a couple of users.
+        // 10%: a journaled write — whole-star upserts on catalog items.
+        3 if i % 50 == 23 => (
+            "/v1/rate/batch",
+            format!(
+                "{{\"ops\": [\
+                 {{\"user\": {user}, \"item\": {}, \"value\": {:.1}}}, \
+                 {{\"user\": {}, \"item\": {}, \"value\": {:.1}}}, \
+                 {{\"user\": {user}, \"item\": {}}}]{deadline}}}",
+                (i * 7) % 100,
+                1.0 + ((i / 10) % 5) as f64,
+                (user + 1) % n_users,
+                (i * 13) % 100,
+                1.0 + ((i / 7) % 5) as f64,
+                (i * 3) % 100,
+            ),
+        ),
+        3 => (
+            "/v1/rate",
+            format!(
+                "{{\"user\": {user}, \"item\": {}, \"value\": {:.1}{deadline}}}",
+                (i * 7) % 100,
+                1.0 + ((i / 10) % 5) as f64,
+            ),
+        ),
+        // 60%: plain top-k.
+        _ if single_read => (
+            "/v1/recommend",
+            format!("{{\"users\": [{user}], \"n\": 10{deadline}}}"),
+        ),
         _ => (
             "/v1/recommend",
             format!(
@@ -325,8 +428,9 @@ fn scrape_metrics(addr: SocketAddr) -> Option<(String, String)> {
 
 /// Scrapes the exposition endpoint and validates it: correct content
 /// type, grammatically valid per [`exrec_bench::promcheck`], and the
-/// `serve_*` families present. Returns the violations (empty = pass).
-fn check_exposition(addr: SocketAddr) -> Vec<String> {
+/// `serve_*` + `ingest_*` families present (`wal_*` too when the
+/// server is known to journal). Returns the violations (empty = pass).
+fn check_exposition(addr: SocketAddr, expect_wal: bool) -> Vec<String> {
     let Some((content_type, body)) = scrape_metrics(addr) else {
         return vec!["metrics scrape failed (transport or non-200)".to_owned()];
     };
@@ -357,6 +461,30 @@ fn check_exposition(addr: SocketAddr) -> Vec<String> {
     if report.families_with_prefix("quality_score").is_empty() {
         errors.push("no quality_score* family".to_owned());
     }
+    // The mix writes 10% of requests, so the ingestion families must be
+    // exported; the journal gauges additionally require a WAL-backed
+    // server (always true for the in-process one).
+    for family in ["ingest_requests", "ingest_ops_applied"] {
+        if !report.has_family(family) {
+            errors.push(format!("missing expected family {family}"));
+        }
+    }
+    if report.families_with_prefix("ingest_apply_ns").is_empty() {
+        errors.push("no ingest_apply_ns* histogram family".to_owned());
+    }
+    if expect_wal {
+        for family in ["wal_size_bytes", "wal_records", "wal_replayed"] {
+            if !report.has_family(family) {
+                errors.push(format!("missing expected family {family}"));
+            }
+        }
+        if report
+            .families_with_prefix("ingest_wal_append_ns")
+            .is_empty()
+        {
+            errors.push("no ingest_wal_append_ns* histogram family".to_owned());
+        }
+    }
     errors
 }
 
@@ -373,6 +501,51 @@ fn fetch_json(addr: SocketAddr, path: &str) -> Option<serde_json::Value> {
             format!(
                 "GET {path} HTTP/1.1\r\nhost: loadgen\r\nconnection: close\r\n\
                  content-length: 0\r\n\r\n"
+            )
+            .as_bytes(),
+        )
+        .ok()?;
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).ok()?;
+    if status_line.split_whitespace().nth(1)? != "200" {
+        return None;
+    }
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line).ok()? == 0 {
+            return None;
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok()?;
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).ok()?;
+    serde_json::from_str(std::str::from_utf8(&body).ok()?).ok()
+}
+
+/// `POST path` with a JSON body on a fresh connection, returning the
+/// parsed JSON of a 200. `None` on transport failure or non-200.
+fn post_json(addr: SocketAddr, path: &str, body: &str) -> Option<serde_json::Value> {
+    let stream = TcpStream::connect(addr).ok()?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(600)))
+        .ok()?;
+    let mut writer = stream.try_clone().ok()?;
+    writer
+        .write_all(
+            format!(
+                "POST {path} HTTP/1.1\r\nhost: loadgen\r\nconnection: close\r\n\
+                 content-length: {}\r\n\r\n{body}",
+                body.len()
             )
             .as_bytes(),
         )
@@ -542,6 +715,39 @@ fn check_debug_endpoints(addr: SocketAddr) -> Vec<String> {
             {
                 errors.push("/debug/world: missing cache.hit_ratio".to_owned());
             }
+            // Satellite of the ingest subsystem: the scan block must
+            // surface CSR-vs-matrix divergence and patch counters.
+            for field in ["scan/csr_patches", "scan/index_patches"] {
+                if body.pointer(&format!("/{field}")).is_none() {
+                    errors.push(format!("/debug/world: missing {field}"));
+                }
+            }
+        }
+    }
+
+    match fetch_json(addr, "/debug/ingest") {
+        None => errors.push("GET /debug/ingest failed or non-200".to_owned()),
+        Some(body) => {
+            if body.get("requests").and_then(Value::as_u64).unwrap_or(0) == 0 {
+                errors.push("/debug/ingest: no write requests counted after the sweep".to_owned());
+            }
+            if body.get("applied").and_then(Value::as_u64).unwrap_or(0) == 0 {
+                errors.push("/debug/ingest: no ops applied after the sweep".to_owned());
+            }
+            if body.get("revision").and_then(Value::as_u64).unwrap_or(0) == 0 {
+                errors.push("/debug/ingest: ratings revision never advanced".to_owned());
+            }
+            match body.get("wal") {
+                None | Some(Value::Null) => {
+                    errors.push("/debug/ingest: journaled server reports no wal block".to_owned())
+                }
+                Some(wal) => {
+                    if wal.get("size_bytes").and_then(Value::as_u64).unwrap_or(0) == 0 {
+                        errors
+                            .push("/debug/ingest: wal.size_bytes is zero after writes".to_owned());
+                    }
+                }
+            }
         }
     }
 
@@ -575,13 +781,18 @@ fn digest(latencies: &mut [f64]) -> LatencyMs {
 
 /// Runs one sweep point with a fixed client-thread pool executing the
 /// open-loop schedule.
-fn run_point(addr: SocketAddr, n_users: usize, point: &SweepPoint) -> PointReport {
+fn run_point(
+    addr: SocketAddr,
+    n_users: usize,
+    point: &SweepPoint,
+    single_read: bool,
+) -> PointReport {
     eprintln!(
         "[loadgen] point {:<14} offered {:>6.0} rps, {} requests, {} clients",
         point.name, point.offered_rps, point.requests, point.clients
     );
     let next = AtomicUsize::new(0);
-    let outcomes: Mutex<Vec<Outcome>> = Mutex::new(Vec::with_capacity(point.requests));
+    let outcomes: Mutex<Vec<(bool, Outcome)>> = Mutex::new(Vec::with_capacity(point.requests));
     let interval = Duration::from_secs_f64(1.0 / point.offered_rps);
     let started = Instant::now();
 
@@ -599,8 +810,9 @@ fn run_point(addr: SocketAddr, n_users: usize, point: &SweepPoint) -> PointRepor
                     if scheduled > now {
                         std::thread::sleep(scheduled - now);
                     }
-                    let (path, body) = request_body(i, n_users, point.deadline_ms);
-                    local.push(fire(addr, path, &body, scheduled));
+                    let (path, body) = request_body(i, n_users, point.deadline_ms, single_read);
+                    let is_write = path.starts_with("/v1/rate");
+                    local.push((is_write, fire(addr, path, &body, scheduled)));
                 }
                 outcomes
                     .lock()
@@ -612,16 +824,22 @@ fn run_point(addr: SocketAddr, n_users: usize, point: &SweepPoint) -> PointRepor
     let wall = started.elapsed();
 
     let outcomes = outcomes.into_inner().unwrap_or_else(|p| p.into_inner());
-    let mut ok_latencies: Vec<f64> = Vec::new();
+    let mut read_latencies: Vec<f64> = Vec::new();
+    let mut write_latencies: Vec<f64> = Vec::new();
     let mut shed_latencies: Vec<f64> = Vec::new();
     let mut timeout_latencies: Vec<f64> = Vec::new();
-    let (mut ok, mut unprocessable, mut shed, mut timeout, mut unexpected, mut transport) =
-        (0, 0, 0, 0, 0, 0);
-    for outcome in &outcomes {
+    let (mut ok, mut write_ok, mut unprocessable, mut shed, mut timeout) = (0, 0, 0, 0, 0);
+    let (mut unexpected, mut transport) = (0, 0);
+    for (is_write, outcome) in &outcomes {
         match outcome {
             Outcome::Ok2xx(ms) => {
                 ok += 1;
-                ok_latencies.push(*ms);
+                if *is_write {
+                    write_ok += 1;
+                    write_latencies.push(*ms);
+                } else {
+                    read_latencies.push(*ms);
+                }
             }
             Outcome::Unprocessable422 => unprocessable += 1,
             Outcome::Shed429(ms) => {
@@ -643,10 +861,14 @@ fn run_point(addr: SocketAddr, n_users: usize, point: &SweepPoint) -> PointRepor
             Outcome::Transport => transport += 1,
         }
     }
-    let ok_digest = digest(&mut ok_latencies);
+    let read_digest = digest(&mut read_latencies);
+    let write_digest = (!write_latencies.is_empty()).then(|| digest(&mut write_latencies));
     let mut class_latency_ms = std::collections::BTreeMap::new();
-    if !ok_latencies.is_empty() {
-        class_latency_ms.insert("2xx".to_owned(), ok_digest.clone());
+    if !read_latencies.is_empty() {
+        class_latency_ms.insert("2xx".to_owned(), read_digest.clone());
+    }
+    if let Some(w) = &write_digest {
+        class_latency_ms.insert("write_2xx".to_owned(), w.clone());
     }
     if !shed_latencies.is_empty() {
         class_latency_ms.insert("429".to_owned(), digest(&mut shed_latencies));
@@ -667,12 +889,14 @@ fn run_point(addr: SocketAddr, n_users: usize, point: &SweepPoint) -> PointRepor
         transport_errors: transport,
         wall_ms: wall.as_secs_f64() * 1e3,
         achieved_rps: outcomes.len() as f64 / wall.as_secs_f64(),
-        latency_ms: ok_digest,
+        write_2xx: write_ok,
+        latency_ms: read_digest,
+        write_latency_ms: write_digest,
         class_latency_ms,
     };
     eprintln!(
-        "[loadgen]   2xx {} / 422 {} / shed {} / timeout {} / bad {} / transport {}",
-        ok, unprocessable, shed, timeout, unexpected, transport,
+        "[loadgen]   2xx {} (writes {}) / 422 {} / shed {} / timeout {} / bad {} / transport {}",
+        ok, write_ok, unprocessable, shed, timeout, unexpected, transport,
     );
     for (class, digest) in &report.class_latency_ms {
         eprintln!(
@@ -683,44 +907,90 @@ fn run_point(addr: SocketAddr, n_users: usize, point: &SweepPoint) -> PointRepor
     report
 }
 
+/// Read-p50 ceiling for the full `--ingest` run: 2x the read-only
+/// baseline (`BENCH_serve.json` synthetic-100k pruned scan p50,
+/// 34.59 ms) — "reads hold their SLO while writes flow".
+const INGEST_READ_P50_BUDGET_MS: f64 = 69.2;
+/// Write-p50 ceiling for the full `--ingest` run.
+const INGEST_WRITE_P50_BUDGET_MS: f64 = 5.0;
+
 fn main() {
     let mut quick = false;
-    let mut out = "BENCH_serve_net.json".to_owned();
+    let mut ingest = false;
+    let mut out: Option<String> = None;
     let mut external: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
-            "--out" => out = args.next().unwrap_or(out),
+            "--ingest" => ingest = true,
+            "--out" => out = args.next().or(out),
             "--addr" => external = args.next(),
             other => {
-                eprintln!("usage: loadgen [--quick] [--addr HOST:PORT] [--out PATH] ({other:?}?)");
+                eprintln!(
+                    "usage: loadgen [--quick] [--ingest] [--addr HOST:PORT] [--out PATH] ({other:?}?)"
+                );
                 std::process::exit(2);
             }
         }
     }
+    if ingest && external.is_some() {
+        eprintln!("[loadgen] --ingest needs the in-process server (it restarts the world)");
+        std::process::exit(2);
+    }
+    let out = out.unwrap_or_else(|| {
+        if ingest {
+            "BENCH_serve_ingest.json".to_owned()
+        } else {
+            "BENCH_serve_net.json".to_owned()
+        }
+    });
 
     // Edge tuning chosen so the overload point genuinely overruns the
-    // queue: small admission bound, few workers.
+    // queue: small admission bound, few workers. The ingest run is an
+    // in-capacity latency measurement instead, so it gets a deeper
+    // queue — shedding there would just hide the read-latency story.
     let server_config = ServerConfig {
         addr: "127.0.0.1:0".to_owned(),
         workers: 4,
-        queue_bound: 8,
+        queue_bound: if ingest { 32 } else { 8 },
         default_deadline_ms: 2_000,
         // The smoke run validates the introspection surface too.
         debug_endpoints: true,
         ..ServerConfig::default()
     };
-    let app_config = AppConfig {
-        n_users: if quick { 500 } else { 2_000 },
-        n_items: 300,
-        density: 0.05,
-        // Score every explained request so the smoke run exercises the
-        // live quality estimator deterministically.
-        quality_sample_every: 1,
-        ..AppConfig::default()
+    // Every in-process run journals to a temp WAL so the write mix and
+    // the wal_* metric families are exercised end to end.
+    let wal_dir = std::env::temp_dir().join(format!("exrec-loadgen-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    std::fs::create_dir_all(&wal_dir).expect("create temp WAL dir");
+    let app_config = if ingest && !quick {
+        AppConfig {
+            // The BENCH_serve.json synthetic-100k world.
+            n_users: 100_000,
+            n_items: 500,
+            density: 0.1,
+            // Sampled scoring and a light startup book: quality is not
+            // what this run measures, but the families must export.
+            quality_sample_every: 8,
+            quality_pairs: 2,
+            wal_path: Some(wal_dir.join("serve.wal")),
+            ..AppConfig::default()
+        }
+    } else {
+        AppConfig {
+            n_users: if quick { 500 } else { 2_000 },
+            n_items: 300,
+            density: 0.05,
+            // Score every explained request so the smoke run exercises
+            // the live quality estimator deterministically.
+            quality_sample_every: 1,
+            wal_path: external.is_none().then(|| wal_dir.join("serve.wal")),
+            ..AppConfig::default()
+        }
     };
     let n_users = app_config.n_users;
+    let n_items = app_config.n_items;
     let world_desc = format!(
         "{}x{}@{}",
         app_config.n_users, app_config.n_items, app_config.density
@@ -738,7 +1008,7 @@ fn main() {
                 n_users, server_config.workers, server_config.queue_bound
             );
             let telemetry = Telemetry::default();
-            let app = ExplainApp::new(app_config, telemetry.clone());
+            let app = ExplainApp::new(app_config.clone(), telemetry.clone());
             let handle = server::start(app, server_config.clone(), telemetry)
                 .expect("spawn loopback server");
             let addr = handle.addr();
@@ -750,19 +1020,52 @@ fn main() {
     // Warm the similarity cache so the sweep measures steady state.
     eprintln!("[loadgen] warmup");
     for i in 0..24 {
-        let (path, body) = request_body(i, n_users, None);
+        let (path, body) = request_body(i, n_users, None, ingest);
         let _ = fire(addr, path, &body, Instant::now());
     }
 
-    let sweep = if quick { QUICK_SWEEP } else { FULL_SWEEP };
+    let sweep = match (ingest, quick) {
+        (true, false) => INGEST_SWEEP,
+        (true, true) => INGEST_QUICK_SWEEP,
+        (false, true) => QUICK_SWEEP,
+        (false, false) => FULL_SWEEP,
+    };
     let points: Vec<PointReport> = sweep
         .iter()
-        .map(|point| run_point(addr, n_users, point))
+        .map(|point| run_point(addr, n_users, point, ingest))
         .collect();
+
+    // Scrape /metrics as a Prometheus client would and validate the
+    // exposition before the server goes away.
+    eprintln!("[loadgen] validating /metrics exposition");
+    let exposition_errors = check_exposition(addr, spawned.is_some());
+    // The in-process server runs with --debug-endpoints; validate the
+    // introspection surface too. An external server may not have the
+    // flag on, so only the spawned case is gated.
+    let debug_errors = if spawned.is_some() {
+        eprintln!("[loadgen] validating /debug endpoints");
+        check_debug_endpoints(addr)
+    } else {
+        Vec::new()
+    };
+
+    // Drain the server. Ingest runs additionally prove recovery on the
+    // way out: restart from the compaction snapshot, then from snapshot
+    // + a fresh WAL tail, asserting bit-identical recommendations.
+    let mut quality_at_drain = None;
+    let mut recovery = None;
+    if let Some(handle) = spawned.take() {
+        quality_at_drain = Some(handle.quality_snapshot());
+        if ingest {
+            recovery = Some(run_recovery_check(handle, addr, &app_config));
+        } else {
+            handle.shutdown();
+        }
+    }
 
     let report = LoadgenReport {
         schema_version: exrec_bench::benchdiff::SCHEMA_VERSION,
-        benchmark: "serve_net",
+        benchmark: if ingest { "serve_ingest" } else { "serve_net" },
         quick,
         meta: exrec_bench::benchdiff::RunMeta::capture(world_desc, server_config.workers),
         server: ServerInfo {
@@ -772,22 +1075,10 @@ fn main() {
             queue_bound: server_config.queue_bound,
             default_deadline_ms: server_config.default_deadline_ms,
             world_users: n_users,
-            world_items: 300,
+            world_items: n_items,
         },
         points,
-    };
-    // Scrape /metrics as a Prometheus client would and validate the
-    // exposition before the server goes away.
-    eprintln!("[loadgen] validating /metrics exposition");
-    let exposition_errors = check_exposition(addr);
-    // The in-process server runs with --debug-endpoints; validate the
-    // introspection surface too. An external server may not have the
-    // flag on, so only the spawned case is gated.
-    let debug_errors = if spawned.is_some() {
-        eprintln!("[loadgen] validating /debug endpoints");
-        check_debug_endpoints(addr)
-    } else {
-        Vec::new()
+        recovery,
     };
 
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
@@ -800,9 +1091,7 @@ fn main() {
     std::fs::write(&out, &json).expect("write report");
     eprintln!("[loadgen] wrote {out}");
 
-    if let Some(handle) = spawned {
-        let quality = handle.quality_snapshot();
-        handle.shutdown();
+    if let Some(quality) = quality_at_drain {
         if quality.samples > 0 {
             eprintln!(
                 "[loadgen] explanation quality at drain ({} samples, mean score {:.3}):",
@@ -816,6 +1105,7 @@ fn main() {
             }
         }
     }
+    let _ = std::fs::remove_dir_all(&wal_dir);
 
     let bad: usize = report
         .points
@@ -851,5 +1141,135 @@ fn main() {
         );
         std::process::exit(1);
     }
+    if let Some(recovery) = &report.recovery {
+        eprintln!(
+            "[loadgen] recovery: snapshot restart identical {}, tail replayed {} records, replay restart identical {}",
+            recovery.snapshot_restart_identical,
+            recovery.tail_records_replayed,
+            recovery.replay_restart_identical,
+        );
+        if !recovery.snapshot_restart_identical || !recovery.replay_restart_identical {
+            eprintln!("[loadgen] FAIL: a restart did not reproduce the served world exactly");
+            std::process::exit(1);
+        }
+        if recovery.tail_records_replayed == 0 {
+            eprintln!("[loadgen] FAIL: the replay restart never exercised the WAL tail");
+            std::process::exit(1);
+        }
+    }
+    if ingest && !quick {
+        let mut slo_failures = 0;
+        for p in &report.points {
+            if p.latency_ms.p50 > INGEST_READ_P50_BUDGET_MS {
+                eprintln!(
+                    "[loadgen] FAIL: {} read p50 {:.2}ms exceeds the {:.1}ms budget (2x read-only baseline)",
+                    p.name, p.latency_ms.p50, INGEST_READ_P50_BUDGET_MS
+                );
+                slo_failures += 1;
+            }
+            match &p.write_latency_ms {
+                Some(w) if w.p50 < INGEST_WRITE_P50_BUDGET_MS => {}
+                Some(w) => {
+                    eprintln!(
+                        "[loadgen] FAIL: {} write p50 {:.2}ms exceeds the {:.1}ms budget",
+                        p.name, w.p50, INGEST_WRITE_P50_BUDGET_MS
+                    );
+                    slo_failures += 1;
+                }
+                None => {
+                    eprintln!("[loadgen] FAIL: {} measured no successful writes", p.name);
+                    slo_failures += 1;
+                }
+            }
+        }
+        if slo_failures > 0 {
+            std::process::exit(1);
+        }
+    }
     eprintln!("[loadgen] OK");
+}
+
+/// Drains the server (which compacts its journal on the way out), then
+/// proves warm restart twice over: (1) reopen from the compaction
+/// snapshot and serve recommendations bit-identical to the live
+/// server's final answers; (2) journal fresh writes, drop the world
+/// *without* compacting — a crash after the last append — reopen over
+/// snapshot + WAL tail, and serve bit-identical to the pre-drop world.
+/// The second leg also pits the incremental CSR patch (live world)
+/// against a from-scratch rebuild (replayed world): identity requires
+/// them to agree.
+fn run_recovery_check(
+    handle: ServerHandle,
+    addr: SocketAddr,
+    app_config: &AppConfig,
+) -> RecoveryReport {
+    use exrec_serve::app::Deadline;
+    use exrec_serve::proto::{RateRequest, RecommendRequest};
+
+    let probe = RecommendRequest {
+        users: vec![0, 1, 2, 3, 17, 42],
+        n: Some(10),
+        interface: None,
+        explain: None,
+        deadline_ms: None,
+        inject_panic: None,
+        inject_delay_ms: None,
+    };
+    let probe_body = serde_json::to_string(&probe).expect("serialize probe");
+    eprintln!("[loadgen] recovery: capturing live recommendations");
+    let live = post_json(addr, "/v1/recommend", &probe_body).expect("live recommend probe");
+    eprintln!("[loadgen] recovery: draining (compacts the journal)");
+    handle.shutdown();
+    let deadline = || Deadline::after_ms(600_000);
+
+    eprintln!("[loadgen] recovery: restarting from the compaction snapshot");
+    let app =
+        ExplainApp::try_new(app_config.clone(), Telemetry::default()).expect("snapshot restart");
+    assert!(
+        app.snapshot_loaded(),
+        "restart must load the compaction snapshot"
+    );
+    assert_eq!(
+        app.wal_stats().expect("journal open").replayed,
+        0,
+        "a clean drain leaves no WAL tail"
+    );
+    let after_snapshot = app
+        .recommend(&probe, deadline())
+        .expect("recommend on the restarted world");
+    let after_snapshot = serde_json::to_value(&after_snapshot);
+    let snapshot_restart_identical = after_snapshot == live;
+
+    // Journal a deterministic tail of whole-star upserts, read the
+    // world it produced, then drop without compacting.
+    for k in 0..16u32 {
+        let req = RateRequest {
+            user: (k * 977) % app_config.n_users as u32,
+            item: (k * 31) % app_config.n_items as u32,
+            value: Some(1.0 + (k % 5) as f64),
+            deadline_ms: None,
+        };
+        app.rate(&req, deadline()).expect("journaled tail write");
+    }
+    let with_tail = app
+        .recommend(&probe, deadline())
+        .expect("recommend after tail writes");
+    let with_tail = serde_json::to_value(&with_tail);
+    drop(app);
+
+    eprintln!("[loadgen] recovery: restarting over snapshot + WAL tail");
+    let app =
+        ExplainApp::try_new(app_config.clone(), Telemetry::default()).expect("replay restart");
+    assert!(app.snapshot_loaded(), "snapshot still precedes the tail");
+    let tail_records_replayed = app.wal_stats().expect("journal open").replayed;
+    let replayed = app
+        .recommend(&probe, deadline())
+        .expect("recommend on the replayed world");
+    let replayed = serde_json::to_value(&replayed);
+
+    RecoveryReport {
+        snapshot_restart_identical,
+        tail_records_replayed,
+        replay_restart_identical: replayed == with_tail,
+    }
 }

@@ -25,12 +25,16 @@
 
 pub mod catalog;
 pub mod csv;
+pub mod live;
 pub mod matrix;
 pub mod snapshot;
 pub mod split;
 pub mod synth;
 pub mod text;
+pub mod wal;
 
 pub use catalog::Catalog;
+pub use live::{ApplyOutcome, MutableWorld, RatingDelta};
 pub use matrix::RatingsMatrix;
 pub use synth::{LatentModel, World, WorldConfig};
+pub use wal::{FsyncPolicy, Wal, WalOp, WalRecord};

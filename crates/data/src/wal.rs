@@ -1,0 +1,696 @@
+//! Write-ahead log for live rating writes.
+//!
+//! Serving worlds were frozen at startup until the ingestion path
+//! arrived; the WAL is what makes mutation durable. Every accepted
+//! write is appended here *before* it is applied to the in-memory
+//! [`RatingsMatrix`], so a crash loses at most the writes the fsync
+//! policy allows, and a restart replays the tail on top of the last
+//! snapshot to recover the exact pre-crash world.
+//!
+//! # On-disk format
+//!
+//! ```text
+//! header  magic b"EXWL" (4 bytes) + version u8 (currently 1)
+//! frame   len u32 LE  | checksum u64 LE | payload (len bytes)
+//!         …repeated until end of file
+//! ```
+//!
+//! The checksum is FNV-1a 64 over the payload. Payloads are tagged:
+//!
+//! ```text
+//! tag 1  Rate    user u32 LE, item u32 LE, value f64 LE
+//! tag 2  Unrate  user u32 LE, item u32 LE
+//! tag 3  Batch   count u32 LE, then count × (op tag u8 + op fields)
+//! ```
+//!
+//! Replay-on-open stops cleanly at the first torn or corrupt frame —
+//! a short length prefix, a truncated payload, a checksum mismatch, or
+//! an undecodable payload all mark the end of the valid log — and the
+//! file is truncated back to the last valid frame so subsequent
+//! appends never write after garbage.
+//!
+//! Compaction composes with the [`crate::snapshot`] codec: write the
+//! current matrix as a snapshot beside the log ([`snapshot_path`]),
+//! then [`Wal::reset`] the log to just its header. Warm restart is the
+//! inverse: decode the snapshot if present, then replay the WAL tail.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+
+use crate::matrix::RatingsMatrix;
+use exrec_types::{Error, ItemId, Result, UserId};
+
+const MAGIC: &[u8; 4] = b"EXWL";
+const VERSION: u8 = 1;
+/// Header length in bytes: magic + version.
+pub const HEADER_LEN: u64 = 5;
+/// Frame overhead in bytes: length prefix + checksum.
+const FRAME_OVERHEAD: usize = 4 + 8;
+
+const TAG_RATE: u8 = 1;
+const TAG_UNRATE: u8 = 2;
+const TAG_BATCH: u8 = 3;
+
+/// When appended records reach the disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fsync` after every append — survives OS crash, slowest.
+    Always,
+    /// Leave flushing to the page cache — survives process crash only.
+    Never,
+}
+
+/// A single rating mutation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WalOp {
+    /// Insert or replace a rating.
+    Rate {
+        /// User issuing the rating.
+        user: UserId,
+        /// Item being rated.
+        item: ItemId,
+        /// Rating value (validated against the matrix scale on apply).
+        value: f64,
+    },
+    /// Remove a rating if present.
+    Unrate {
+        /// User whose rating is removed.
+        user: UserId,
+        /// Item the rating was for.
+        item: ItemId,
+    },
+}
+
+impl WalOp {
+    /// The user this op touches.
+    pub fn user(&self) -> UserId {
+        match *self {
+            WalOp::Rate { user, .. } | WalOp::Unrate { user, .. } => user,
+        }
+    }
+
+    /// Applies the op to a matrix, returning the previous value if any.
+    pub fn apply(&self, matrix: &mut RatingsMatrix) -> Result<Option<f64>> {
+        match *self {
+            WalOp::Rate { user, item, value } => matrix.rate(user, item, value),
+            WalOp::Unrate { user, item } => matrix.unrate(user, item),
+        }
+    }
+}
+
+/// One appended log record: a single op or an atomic batch of ops.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A single rating insert/replace.
+    Rate {
+        /// User issuing the rating.
+        user: UserId,
+        /// Item being rated.
+        item: ItemId,
+        /// Rating value.
+        value: f64,
+    },
+    /// A single rating removal.
+    Unrate {
+        /// User whose rating is removed.
+        user: UserId,
+        /// Item the rating was for.
+        item: ItemId,
+    },
+    /// An ordered batch applied as one record.
+    Batch(Vec<WalOp>),
+}
+
+impl WalRecord {
+    /// The ops this record carries, in application order.
+    pub fn ops(&self) -> Vec<WalOp> {
+        match self {
+            WalRecord::Rate { user, item, value } => vec![WalOp::Rate {
+                user: *user,
+                item: *item,
+                value: *value,
+            }],
+            WalRecord::Unrate { user, item } => vec![WalOp::Unrate {
+                user: *user,
+                item: *item,
+            }],
+            WalRecord::Batch(ops) => ops.clone(),
+        }
+    }
+
+    /// Number of ops in the record.
+    pub fn len(&self) -> usize {
+        match self {
+            WalRecord::Rate { .. } | WalRecord::Unrate { .. } => 1,
+            WalRecord::Batch(ops) => ops.len(),
+        }
+    }
+
+    /// Whether the record carries no ops (only possible for an empty batch).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Applies every op in order to `matrix`.
+    pub fn apply(&self, matrix: &mut RatingsMatrix) -> Result<()> {
+        for op in self.ops() {
+            op.apply(matrix)?;
+        }
+        Ok(())
+    }
+}
+
+/// FNV-1a 64-bit over `data` — dependency-free frame checksum.
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in data {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn put_op(buf: &mut Vec<u8>, op: &WalOp) {
+    match *op {
+        WalOp::Rate { user, item, value } => {
+            buf.push(TAG_RATE);
+            buf.extend_from_slice(&user.raw().to_le_bytes());
+            buf.extend_from_slice(&item.raw().to_le_bytes());
+            buf.extend_from_slice(&value.to_le_bytes());
+        }
+        WalOp::Unrate { user, item } => {
+            buf.push(TAG_UNRATE);
+            buf.extend_from_slice(&user.raw().to_le_bytes());
+            buf.extend_from_slice(&item.raw().to_le_bytes());
+        }
+    }
+}
+
+fn encode_payload(record: &WalRecord) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(32);
+    match record {
+        WalRecord::Rate { user, item, value } => put_op(
+            &mut buf,
+            &WalOp::Rate {
+                user: *user,
+                item: *item,
+                value: *value,
+            },
+        ),
+        WalRecord::Unrate { user, item } => put_op(
+            &mut buf,
+            &WalOp::Unrate {
+                user: *user,
+                item: *item,
+            },
+        ),
+        WalRecord::Batch(ops) => {
+            buf.push(TAG_BATCH);
+            buf.extend_from_slice(&(ops.len() as u32).to_le_bytes());
+            for op in ops {
+                put_op(&mut buf, op);
+            }
+        }
+    }
+    buf
+}
+
+/// Encodes a record as a complete frame (length prefix + checksum + payload).
+pub fn encode_frame(record: &WalRecord) -> Vec<u8> {
+    let payload = encode_payload(record);
+    let mut frame = Vec::with_capacity(FRAME_OVERHEAD + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+fn take_u32(data: &[u8], at: &mut usize) -> Option<u32> {
+    let bytes = data.get(*at..*at + 4)?;
+    *at += 4;
+    Some(u32::from_le_bytes(bytes.try_into().unwrap()))
+}
+
+fn take_f64(data: &[u8], at: &mut usize) -> Option<f64> {
+    let bytes = data.get(*at..*at + 8)?;
+    *at += 8;
+    Some(f64::from_le_bytes(bytes.try_into().unwrap()))
+}
+
+fn take_op(data: &[u8], at: &mut usize) -> Option<WalOp> {
+    let tag = *data.get(*at)?;
+    *at += 1;
+    match tag {
+        TAG_RATE => {
+            let user = UserId::new(take_u32(data, at)?);
+            let item = ItemId::new(take_u32(data, at)?);
+            let value = take_f64(data, at)?;
+            Some(WalOp::Rate { user, item, value })
+        }
+        TAG_UNRATE => {
+            let user = UserId::new(take_u32(data, at)?);
+            let item = ItemId::new(take_u32(data, at)?);
+            Some(WalOp::Unrate { user, item })
+        }
+        _ => None,
+    }
+}
+
+/// Decodes one payload; `None` marks a corrupt record.
+fn decode_payload(payload: &[u8]) -> Option<WalRecord> {
+    let mut at = 0usize;
+    let record = match *payload.first()? {
+        TAG_BATCH => {
+            at += 1;
+            let count = take_u32(payload, &mut at)? as usize;
+            let mut ops = Vec::with_capacity(count.min(payload.len()));
+            for _ in 0..count {
+                ops.push(take_op(payload, &mut at)?);
+            }
+            WalRecord::Batch(ops)
+        }
+        _ => match take_op(payload, &mut at)? {
+            WalOp::Rate { user, item, value } => WalRecord::Rate { user, item, value },
+            WalOp::Unrate { user, item } => WalRecord::Unrate { user, item },
+        },
+    };
+    // Trailing bytes mean the frame length disagrees with the payload —
+    // treat the whole frame as corrupt rather than silently dropping data.
+    (at == payload.len()).then_some(record)
+}
+
+/// Decodes consecutive frames from `data`, stopping cleanly at the first
+/// torn or corrupt frame. Returns the decoded records and the number of
+/// bytes consumed by *valid* frames (the safe truncation point).
+pub fn decode_frames(data: &[u8]) -> (Vec<WalRecord>, usize) {
+    let mut records = Vec::new();
+    let mut at = 0usize;
+    while let Some(len_bytes) = data.get(at..at + 4) {
+        let len = u32::from_le_bytes(len_bytes.try_into().unwrap()) as usize;
+        let Some(checksum_bytes) = data.get(at + 4..at + 12) else {
+            break;
+        };
+        let checksum = u64::from_le_bytes(checksum_bytes.try_into().unwrap());
+        let Some(payload) = data.get(at + 12..at + 12 + len) else {
+            break;
+        };
+        if fnv1a(payload) != checksum {
+            break;
+        }
+        let Some(record) = decode_payload(payload) else {
+            break;
+        };
+        records.push(record);
+        at += FRAME_OVERHEAD + len;
+    }
+    (records, at)
+}
+
+/// Default snapshot location for a WAL file: `<wal-path>.snap`.
+pub fn snapshot_path(wal_path: &Path) -> PathBuf {
+    let mut name = wal_path.as_os_str().to_owned();
+    name.push(".snap");
+    PathBuf::from(name)
+}
+
+fn io_err(op: &str, path: &Path, e: std::io::Error) -> Error {
+    Error::Io {
+        detail: format!("{op} {}: {e}", path.display()),
+    }
+}
+
+/// Point-in-time view of a log's size and recovery history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WalStats {
+    /// Bytes in the log file, header included.
+    pub size_bytes: u64,
+    /// Records currently in the log (replayed on open + appended since).
+    pub records: u64,
+    /// Records recovered by the last [`Wal::open`].
+    pub replayed: u64,
+    /// Torn-tail bytes discarded by the last [`Wal::open`].
+    pub truncated_bytes: u64,
+}
+
+/// An open write-ahead log.
+///
+/// Created by [`Wal::open`], which replays any existing records and
+/// truncates a torn tail. Appends go through [`Wal::append`]; after a
+/// snapshot is written, [`Wal::reset`] empties the log.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    policy: FsyncPolicy,
+    size_bytes: u64,
+    records: u64,
+    replayed: u64,
+    truncated_bytes: u64,
+}
+
+impl Wal {
+    /// Opens (creating if absent) the log at `path` and replays it.
+    ///
+    /// Returns the log handle plus every valid record in append order.
+    /// A torn or corrupt tail is truncated away; a bad header is an
+    /// error (the file is not a WAL — refusing beats clobbering it).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] on filesystem failures; [`Error::CorruptSnapshot`]
+    /// if the file exists but does not start with a WAL header.
+    pub fn open(path: &Path, policy: FsyncPolicy) -> Result<(Self, Vec<WalRecord>)> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(|e| io_err("open", path, e))?;
+        let mut data = Vec::new();
+        file.read_to_end(&mut data)
+            .map_err(|e| io_err("read", path, e))?;
+
+        let (records, valid_len) = if data.is_empty() {
+            let mut header = Vec::with_capacity(HEADER_LEN as usize);
+            header.extend_from_slice(MAGIC);
+            header.push(VERSION);
+            file.write_all(&header)
+                .map_err(|e| io_err("write header", path, e))?;
+            file.sync_data().map_err(|e| io_err("fsync", path, e))?;
+            (Vec::new(), HEADER_LEN)
+        } else {
+            if data.len() < HEADER_LEN as usize || &data[..4] != MAGIC {
+                return Err(Error::CorruptSnapshot {
+                    detail: format!("{} is not a WAL (bad magic)", path.display()),
+                });
+            }
+            if data[4] != VERSION {
+                return Err(Error::CorruptSnapshot {
+                    detail: format!("unsupported WAL version {}", data[4]),
+                });
+            }
+            let (records, consumed) = decode_frames(&data[HEADER_LEN as usize..]);
+            (records, HEADER_LEN + consumed as u64)
+        };
+
+        let truncated_bytes = data.len() as u64 - valid_len.min(data.len() as u64);
+        if truncated_bytes > 0 {
+            file.set_len(valid_len)
+                .map_err(|e| io_err("truncate", path, e))?;
+        }
+        file.seek(SeekFrom::End(0))
+            .map_err(|e| io_err("seek", path, e))?;
+
+        let replayed = records.len() as u64;
+        Ok((
+            Self {
+                file,
+                path: path.to_owned(),
+                policy,
+                size_bytes: valid_len,
+                records: replayed,
+                replayed,
+                truncated_bytes,
+            },
+            records,
+        ))
+    }
+
+    /// Appends one record, honouring the fsync policy.
+    ///
+    /// Returns the frame size in bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] if the write or fsync fails.
+    pub fn append(&mut self, record: &WalRecord) -> Result<u64> {
+        let frame = encode_frame(record);
+        self.file
+            .write_all(&frame)
+            .map_err(|e| io_err("append", &self.path, e))?;
+        if self.policy == FsyncPolicy::Always {
+            self.file
+                .sync_data()
+                .map_err(|e| io_err("fsync", &self.path, e))?;
+        }
+        self.size_bytes += frame.len() as u64;
+        self.records += 1;
+        Ok(frame.len() as u64)
+    }
+
+    /// Empties the log back to its header (after compaction).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] if truncation fails.
+    pub fn reset(&mut self) -> Result<()> {
+        self.file
+            .set_len(HEADER_LEN)
+            .map_err(|e| io_err("truncate", &self.path, e))?;
+        self.file
+            .seek(SeekFrom::End(0))
+            .map_err(|e| io_err("seek", &self.path, e))?;
+        self.file
+            .sync_data()
+            .map_err(|e| io_err("fsync", &self.path, e))?;
+        self.size_bytes = HEADER_LEN;
+        self.records = 0;
+        Ok(())
+    }
+
+    /// Compacts the log: writes `matrix` as a snapshot at
+    /// [`snapshot_path`] (tmp file + rename, so a crash mid-compaction
+    /// leaves the old snapshot intact), then resets the log. After this,
+    /// snapshot + (empty) WAL reproduce `matrix` exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] on filesystem failures.
+    pub fn compact(&mut self, matrix: &RatingsMatrix) -> Result<PathBuf> {
+        let snap = snapshot_path(&self.path);
+        let tmp = {
+            let mut name = snap.as_os_str().to_owned();
+            name.push(".tmp");
+            PathBuf::from(name)
+        };
+        let bytes = crate::snapshot::encode(matrix);
+        let mut file = File::create(&tmp).map_err(|e| io_err("create", &tmp, e))?;
+        file.write_all(&bytes)
+            .map_err(|e| io_err("write", &tmp, e))?;
+        file.sync_data().map_err(|e| io_err("fsync", &tmp, e))?;
+        drop(file);
+        std::fs::rename(&tmp, &snap).map_err(|e| io_err("rename", &tmp, e))?;
+        self.reset()?;
+        Ok(snap)
+    }
+
+    /// Current size and recovery stats.
+    pub fn stats(&self) -> WalStats {
+        WalStats {
+            size_bytes: self.size_bytes,
+            records: self.records,
+            replayed: self.replayed,
+            truncated_bytes: self.truncated_bytes,
+        }
+    }
+
+    /// Path of the log file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The configured fsync policy.
+    pub fn policy(&self) -> FsyncPolicy {
+        self.policy
+    }
+}
+
+/// Loads the compaction snapshot beside a WAL, if one exists.
+///
+/// # Errors
+///
+/// Propagates decode errors for an existing-but-corrupt snapshot;
+/// a missing snapshot is `Ok(None)`.
+pub fn load_snapshot(wal_path: &Path) -> Result<Option<RatingsMatrix>> {
+    let snap = snapshot_path(wal_path);
+    match std::fs::read(&snap) {
+        Ok(bytes) => crate::snapshot::decode(&bytes).map(Some),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(io_err("read", &snap, e)),
+    }
+}
+
+/// Replays `records` onto `matrix` in order, returning the op count.
+///
+/// # Errors
+///
+/// Propagates apply errors (out-of-range ids, off-scale values) — the
+/// ops were validated before they were logged, so a failure here means
+/// the log and the base matrix disagree.
+pub fn replay_into(matrix: &mut RatingsMatrix, records: &[WalRecord]) -> Result<u64> {
+    let mut applied = 0u64;
+    for record in records {
+        applied += record.len() as u64;
+        record.apply(matrix)?;
+    }
+    Ok(applied)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exrec_types::RatingScale;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("exrec-wal-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("log.wal")
+    }
+
+    fn cleanup(path: &Path) {
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::Rate {
+                user: UserId(0),
+                item: ItemId(1),
+                value: 4.0,
+            },
+            WalRecord::Batch(vec![
+                WalOp::Rate {
+                    user: UserId(1),
+                    item: ItemId(0),
+                    value: 2.5,
+                },
+                WalOp::Unrate {
+                    user: UserId(0),
+                    item: ItemId(1),
+                },
+                WalOp::Rate {
+                    user: UserId(0),
+                    item: ItemId(2),
+                    value: 5.0,
+                },
+            ]),
+            WalRecord::Unrate {
+                user: UserId(1),
+                item: ItemId(0),
+            },
+        ]
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        for record in sample_records() {
+            let frame = encode_frame(&record);
+            let (decoded, consumed) = decode_frames(&frame);
+            assert_eq!(consumed, frame.len());
+            assert_eq!(decoded, vec![record]);
+        }
+    }
+
+    #[test]
+    fn append_and_replay() {
+        let path = temp_path("append-replay");
+        {
+            let (mut wal, replayed) = Wal::open(&path, FsyncPolicy::Always).unwrap();
+            assert!(replayed.is_empty());
+            for record in sample_records() {
+                wal.append(&record).unwrap();
+            }
+            assert_eq!(wal.stats().records, 3);
+        }
+        let (wal, replayed) = Wal::open(&path, FsyncPolicy::Never).unwrap();
+        assert_eq!(replayed, sample_records());
+        assert_eq!(wal.stats().replayed, 3);
+        assert_eq!(wal.stats().truncated_bytes, 0);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated() {
+        let path = temp_path("torn-tail");
+        {
+            let (mut wal, _) = Wal::open(&path, FsyncPolicy::Never).unwrap();
+            for record in sample_records() {
+                wal.append(&record).unwrap();
+            }
+        }
+        // Tear the last frame by chopping bytes off the end.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 3]).unwrap();
+        let (wal, replayed) = Wal::open(&path, FsyncPolicy::Never).unwrap();
+        assert_eq!(replayed, sample_records()[..2].to_vec());
+        assert!(wal.stats().truncated_bytes > 0);
+        // The torn bytes are gone: reopening replays the same prefix
+        // and reports nothing further truncated.
+        drop(wal);
+        let (wal, replayed) = Wal::open(&path, FsyncPolicy::Never).unwrap();
+        assert_eq!(replayed.len(), 2);
+        assert_eq!(wal.stats().truncated_bytes, 0);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn corrupt_checksum_stops_replay() {
+        let path = temp_path("corrupt");
+        {
+            let (mut wal, _) = Wal::open(&path, FsyncPolicy::Never).unwrap();
+            for record in sample_records() {
+                wal.append(&record).unwrap();
+            }
+        }
+        // Flip a payload byte in the second frame.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let first_frame = encode_frame(&sample_records()[0]).len();
+        let target = HEADER_LEN as usize + first_frame + FRAME_OVERHEAD + 1;
+        bytes[target] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, replayed) = Wal::open(&path, FsyncPolicy::Never).unwrap();
+        assert_eq!(replayed, sample_records()[..1].to_vec());
+        cleanup(&path);
+    }
+
+    #[test]
+    fn rejects_non_wal_file() {
+        let path = temp_path("not-a-wal");
+        std::fs::write(&path, b"definitely not a wal").unwrap();
+        assert!(Wal::open(&path, FsyncPolicy::Never).is_err());
+        cleanup(&path);
+    }
+
+    #[test]
+    fn compact_round_trip() {
+        let path = temp_path("compact");
+        let mut matrix = RatingsMatrix::new(4, 4, RatingScale::HALF_STAR);
+        let (mut wal, _) = Wal::open(&path, FsyncPolicy::Never).unwrap();
+        for record in sample_records() {
+            record.apply(&mut matrix).unwrap();
+            wal.append(&record).unwrap();
+        }
+        wal.compact(&matrix).unwrap();
+        assert_eq!(wal.stats().records, 0);
+        assert_eq!(wal.stats().size_bytes, HEADER_LEN);
+
+        // Post-compaction writes land in the (now empty) log.
+        let tail = WalRecord::Rate {
+            user: UserId(3),
+            item: ItemId(3),
+            value: 1.0,
+        };
+        tail.apply(&mut matrix).unwrap();
+        wal.append(&tail).unwrap();
+        drop(wal);
+
+        // Warm restart: snapshot base + WAL tail == live matrix.
+        let mut restored = load_snapshot(&path).unwrap().expect("snapshot exists");
+        let (_, records) = Wal::open(&path, FsyncPolicy::Never).unwrap();
+        replay_into(&mut restored, &records).unwrap();
+        assert_eq!(restored, matrix);
+        cleanup(&path);
+    }
+}

@@ -1,0 +1,195 @@
+//! Property tests for the write-ahead log.
+//!
+//! The unit tests in `wal.rs` pin individual failure modes; these
+//! properties sweep the invariants the ingestion path relies on across
+//! randomly shaped logs: frames round-trip, a torn or truncated tail
+//! never yields garbage (replay stops cleanly at the first invalid
+//! frame), replay is idempotent at the content level, and compaction at
+//! any cut point reproduces the fully replayed matrix — ordering
+//! included.
+
+use exrec_data::wal::{decode_frames, encode_frame, replay_into, FsyncPolicy, Wal};
+use exrec_data::{RatingsMatrix, WalOp, WalRecord};
+use exrec_types::{ItemId, RatingScale, UserId};
+use proptest::prelude::*;
+
+const N_USERS: u32 = 24;
+const N_ITEMS: u32 = 24;
+
+/// Folds a raw tuple into an in-range, on-scale op.
+fn op((u, i, v, rate): (u32, u32, f64, bool)) -> WalOp {
+    let user = UserId::new(u % N_USERS);
+    let item = ItemId::new(i % N_ITEMS);
+    if rate {
+        WalOp::Rate {
+            user,
+            item,
+            value: RatingScale::HALF_STAR.clamp(v),
+        }
+    } else {
+        WalOp::Unrate { user, item }
+    }
+}
+
+/// Builds records from grouped raw ops: singleton groups become plain
+/// `Rate`/`Unrate` records, larger groups become `Batch` records.
+fn records(groups: &[Vec<(u32, u32, f64, bool)>]) -> Vec<WalRecord> {
+    groups
+        .iter()
+        .map(|group| {
+            let ops: Vec<WalOp> = group.iter().copied().map(op).collect();
+            match ops.as_slice() {
+                [WalOp::Rate { user, item, value }] => WalRecord::Rate {
+                    user: *user,
+                    item: *item,
+                    value: *value,
+                },
+                [WalOp::Unrate { user, item }] => WalRecord::Unrate {
+                    user: *user,
+                    item: *item,
+                },
+                _ => WalRecord::Batch(ops),
+            }
+        })
+        .collect()
+}
+
+fn fresh_matrix() -> RatingsMatrix {
+    RatingsMatrix::new(N_USERS as usize, N_ITEMS as usize, RatingScale::HALF_STAR)
+}
+
+fn groups_strategy() -> impl Strategy<Value = Vec<Vec<(u32, u32, f64, bool)>>> {
+    prop::collection::vec(
+        prop::collection::vec(
+            (any::<u32>(), any::<u32>(), -2.0f64..8.0, any::<bool>()),
+            1..6,
+        ),
+        0..40,
+    )
+}
+
+fn temp_wal(tag: &str, case: u64) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("exrec-walprop-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{case}.wal"))
+}
+
+proptest! {
+    #[test]
+    fn frames_round_trip(groups in groups_strategy()) {
+        let records = records(&groups);
+        let mut stream = Vec::new();
+        for record in &records {
+            stream.extend_from_slice(&encode_frame(record));
+        }
+        let (decoded, consumed) = decode_frames(&stream);
+        prop_assert_eq!(consumed, stream.len());
+        prop_assert_eq!(decoded, records);
+    }
+
+    #[test]
+    fn truncation_yields_a_clean_prefix(
+        groups in groups_strategy(),
+        frac in 0.0f64..1.0,
+    ) {
+        let records = records(&groups);
+        let mut stream = Vec::new();
+        let mut ends = Vec::new();
+        for record in &records {
+            stream.extend_from_slice(&encode_frame(record));
+            ends.push(stream.len());
+        }
+        let cut = ((stream.len() as f64) * frac) as usize;
+        let (decoded, consumed) = decode_frames(&stream[..cut]);
+        // Replay stops exactly at the last frame that fully fits.
+        let intact = ends.iter().filter(|&&e| e <= cut).count();
+        prop_assert_eq!(decoded.len(), intact);
+        prop_assert_eq!(&decoded[..], &records[..intact]);
+        prop_assert_eq!(consumed, if intact == 0 { 0 } else { ends[intact - 1] });
+    }
+
+    #[test]
+    fn corruption_never_yields_garbage(
+        groups in groups_strategy(),
+        byte in any::<usize>(),
+        flip in 1u8..=255,
+    ) {
+        let records = records(&groups);
+        let mut stream = Vec::new();
+        for record in &records {
+            stream.extend_from_slice(&encode_frame(record));
+        }
+        if !stream.is_empty() {
+            let at = byte % stream.len();
+            stream[at] ^= flip;
+            let (decoded, consumed) = decode_frames(&stream);
+            // Whatever survives is an exact prefix of the original log —
+            // a flipped bit can only shorten the replay, never alter it.
+            prop_assert!(decoded.len() <= records.len());
+            prop_assert_eq!(&decoded[..], &records[..decoded.len()]);
+            prop_assert!(consumed <= stream.len());
+        }
+    }
+
+    #[test]
+    fn replay_is_idempotent(groups in groups_strategy()) {
+        let records = records(&groups);
+        let mut once = fresh_matrix();
+        replay_into(&mut once, &records).unwrap();
+        let mut twice = fresh_matrix();
+        replay_into(&mut twice, &records).unwrap();
+        replay_into(&mut twice, &records).unwrap();
+        // Content-equal (revision is excluded from equality by design).
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn compaction_at_any_cut_reproduces_the_full_replay(
+        groups in groups_strategy(),
+        cut in any::<usize>(),
+        case in any::<u64>(),
+    ) {
+        let records = records(&groups);
+        let k = if records.is_empty() { 0 } else { cut % (records.len() + 1) };
+
+        // Ground truth: every record replayed in order onto a fresh matrix.
+        let mut full = fresh_matrix();
+        replay_into(&mut full, &records).unwrap();
+
+        // Journal run: apply+append all records, compacting after the
+        // first k, so the snapshot holds records[..k] and the log holds
+        // records[k..].
+        let path = temp_wal("compact", case);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(exrec_data::wal::snapshot_path(&path));
+        {
+            let (mut wal, replayed) = Wal::open(&path, FsyncPolicy::Never).unwrap();
+            prop_assert!(replayed.is_empty());
+            let mut live = fresh_matrix();
+            for (n, record) in records.iter().enumerate() {
+                record.apply(&mut live).unwrap();
+                wal.append(record).unwrap();
+                if n + 1 == k {
+                    wal.compact(&live).unwrap();
+                }
+            }
+            if k == 0 && records.is_empty() {
+                wal.compact(&live).unwrap();
+            }
+        }
+
+        // Warm restart: snapshot base + WAL tail == full replay,
+        // ordering and all.
+        let mut restored = match exrec_data::wal::load_snapshot(&path).unwrap() {
+            Some(base) => base,
+            None => fresh_matrix(),
+        };
+        let (_, tail) = Wal::open(&path, FsyncPolicy::Never).unwrap();
+        prop_assert_eq!(&tail[..], &records[k..]);
+        replay_into(&mut restored, &tail).unwrap();
+        prop_assert_eq!(restored, full);
+
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(exrec_data::wal::snapshot_path(&path));
+    }
+}

@@ -29,9 +29,10 @@ use std::sync::{Arc, Mutex};
 use serde::{Deserialize, Serialize};
 
 /// Version of the [`RequestRecord`] JSON shape. Bumped to 2 when the
-/// sampled `quality` field was added; older dumps (no field) still
-/// parse, the field defaulting to `None`.
-pub const RECORD_SCHEMA: u32 = 2;
+/// sampled `quality` field was added, and to 3 for the write-path
+/// `ingest` block; older dumps (missing fields) still parse, the
+/// fields defaulting to `None`.
+pub const RECORD_SCHEMA: u32 = 3;
 
 /// Shape of a [`FlightRecorder`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,6 +84,21 @@ pub struct RequestRecord {
     /// `null`) when the online estimator did not sample this request.
     /// Added in record schema 2; schema-1 dumps parse with `None`.
     pub quality: Option<f64>,
+    /// Write-path detail for ingestion routes (`/v1/rate`,
+    /// `/v1/rate/batch`); `None` on read routes. Added in record
+    /// schema 3; older dumps parse with `None`.
+    #[serde(default)]
+    pub ingest: Option<IngestRecord>,
+}
+
+/// What a write-route request did, as the black box remembers it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IngestRecord {
+    /// Rating ops that changed the matrix.
+    pub applied: u64,
+    /// Nanoseconds spent appending the record to the WAL (0 when the
+    /// server runs without a journal).
+    pub wal_append_ns: u64,
 }
 
 impl RequestRecord {
@@ -238,6 +254,7 @@ mod tests {
             cache_hits: 0,
             cache_misses: 0,
             quality: None,
+            ingest: None,
         }
     }
 
@@ -365,5 +382,29 @@ mod tests {
         assert!(json.contains("\"quality\":0.75"), "schema-2 field: {json}");
         let back: RequestRecord = serde_json::from_str(&json).unwrap();
         assert_eq!(back.quality, Some(0.75));
+    }
+
+    #[test]
+    fn ingest_field_round_trips_and_legacy_lines_parse() {
+        let mut rec = record_for("rate", 200);
+        rec.ingest = Some(IngestRecord {
+            applied: 3,
+            wal_append_ns: 1200,
+        });
+        let json = serde_json::to_string(&rec).unwrap();
+        assert!(
+            json.contains("\"ingest\":{\"applied\":3,\"wal_append_ns\":1200}"),
+            "schema-3 block: {json}"
+        );
+        let back: RequestRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.ingest, rec.ingest);
+
+        // A schema-2 line (no ingest field at all) still parses.
+        let read_route = record_for("recommend", 200);
+        let json = serde_json::to_string(&read_route).unwrap();
+        let legacy = json.replace(",\"ingest\":null", "");
+        assert!(!legacy.contains("ingest"));
+        let back: RequestRecord = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back.ingest, None);
     }
 }

@@ -70,7 +70,7 @@ pub mod slo;
 pub mod span;
 pub mod trace;
 
-pub use flight::{FlightConfig, FlightRecorder, RequestRecord};
+pub use flight::{FlightConfig, FlightRecorder, IngestRecord, RequestRecord};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramRaw, HistogramSummary, Metrics, MetricsReport,
 };

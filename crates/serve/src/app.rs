@@ -9,6 +9,8 @@
 //! request validation, deadline checks between work units, per-aim edge
 //! telemetry, and (test-gated) fault injection.
 
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -24,14 +26,15 @@ use exrec_core::interfaces::InterfaceId;
 use exrec_core::render::{PlainRenderer, Render};
 use exrec_core::QualityProbe;
 use exrec_data::synth::{movies, WorldConfig};
-use exrec_data::World;
+use exrec_data::wal::{self, WalStats};
+use exrec_data::{FsyncPolicy, MutableWorld, RatingsMatrix, Wal, WalOp, WalRecord, World};
 use exrec_obs::{QualityMonitor, QualitySample, Telemetry};
 use exrec_registry::QualityBook;
-use exrec_types::{ItemId, UserId};
+use exrec_types::{Error, ItemId, UserId};
 
 use crate::proto::{
-    ExplainRequest, ExplainResponse, ExplanationBody, RecommendRequest, RecommendResponse,
-    ScoredItem, UserRecommendations,
+    ExplainRequest, ExplainResponse, ExplanationBody, RateBatchRequest, RateRequest, RateResponse,
+    RecommendRequest, RecommendResponse, ScoredItem, UserRecommendations,
 };
 
 /// A per-request time budget, measured from admission.
@@ -72,6 +75,8 @@ pub enum AppError {
     Unprocessable(String),
     /// The per-request deadline elapsed before completion → 504.
     DeadlineExceeded,
+    /// The server itself failed (journal I/O, snapshot write) → 500.
+    Internal(String),
 }
 
 /// Configuration of the serving application.
@@ -108,6 +113,15 @@ pub struct AppConfig {
     /// pruned candidate index (the `--exact` flag; see
     /// `docs/kernels.md#pruned-probing`).
     pub exact: bool,
+    /// Write-ahead-log path (the `--wal-path` flag). When set, writes
+    /// are journaled before they apply, and startup warm-restarts from
+    /// `<path>.snap` plus the WAL tail. `None` keeps writes volatile.
+    pub wal_path: Option<PathBuf>,
+    /// Fsync the WAL on every append (the `--fsync` flag). Durable
+    /// against power loss, at a per-write latency cost.
+    pub fsync: bool,
+    /// Most ops accepted in one `POST /v1/rate/batch` body.
+    pub max_batch_ops: usize,
 }
 
 impl Default for AppConfig {
@@ -126,6 +140,9 @@ impl Default for AppConfig {
             quality_sample_every: 8,
             quality_pairs: 16,
             exact: false,
+            wal_path: None,
+            fsync: false,
+            max_batch_ops: 1_024,
         }
     }
 }
@@ -134,7 +151,7 @@ impl Default for AppConfig {
 /// worker threads share.
 pub struct ExplainApp {
     config: AppConfig,
-    world: World,
+    world: MutableWorld,
     model: UserKnn,
     pool: BatchPool,
     telemetry: Telemetry,
@@ -143,19 +160,60 @@ pub struct ExplainApp {
     book: QualityBook,
     /// The 1-in-N online quality estimator behind `quality.*` metrics.
     monitor: QualityMonitor,
+    /// Whether startup found (and loaded) a compaction snapshot.
+    snapshot_loaded: bool,
+    /// Write requests admitted (`POST /v1/rate` + `/v1/rate/batch`).
+    ingest_requests: AtomicU64,
+    /// Rating deltas actually applied to the matrix.
+    ingest_applied: AtomicU64,
+    /// Write requests rejected by validation.
+    ingest_rejected: AtomicU64,
 }
 
 impl ExplainApp {
     /// Generates the world and builds the cached model. Expensive
-    /// (world generation); call once at startup.
+    /// (world generation); call once at startup. Panics on journal
+    /// I/O failures — use [`ExplainApp::try_new`] to handle them.
     pub fn new(config: AppConfig, telemetry: Telemetry) -> Self {
-        let world = movies::generate(&WorldConfig {
+        Self::try_new(config, telemetry).expect("app startup")
+    }
+
+    /// [`ExplainApp::new`], surfacing WAL open/replay failures.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] when the journal (or its snapshot) cannot be
+    /// opened, and [`Error::CorruptSnapshot`] when either is damaged
+    /// beyond the tolerated torn tail.
+    pub fn try_new(config: AppConfig, telemetry: Telemetry) -> Result<Self, Error> {
+        let mut world = movies::generate(&WorldConfig {
             n_users: config.n_users,
             n_items: config.n_items,
             density: config.density,
             seed: config.seed,
             ..WorldConfig::default()
         });
+        // Warm restart: a compaction snapshot (if present) replaces the
+        // generated matrix wholesale, then the WAL tail replays on top.
+        // Together they reproduce the exact pre-shutdown ratings.
+        let mut snapshot_loaded = false;
+        let wal_handle = match &config.wal_path {
+            Some(path) => {
+                if let Some(matrix) = wal::load_snapshot(path)? {
+                    world.ratings = matrix;
+                    snapshot_loaded = true;
+                }
+                let policy = if config.fsync {
+                    FsyncPolicy::Always
+                } else {
+                    FsyncPolicy::Never
+                };
+                let (wal_handle, tail) = Wal::open(path, policy)?;
+                wal::replay_into(&mut world.ratings, &tail)?;
+                Some(wal_handle)
+            }
+            None => None,
+        };
         let cache = Arc::new(SimilarityCache::instrumented(
             CacheConfig::default(),
             telemetry.metrics(),
@@ -197,15 +255,21 @@ impl ExplainApp {
                 ..exrec_obs::quality::QualityConfig::default()
             },
         );
-        ExplainApp {
+        let app = ExplainApp {
             config,
-            world,
+            world: MutableWorld::with_wal(world, wal_handle),
             model,
             pool,
             telemetry,
             book,
             monitor,
-        }
+            snapshot_loaded,
+            ingest_requests: AtomicU64::new(0),
+            ingest_applied: AtomicU64::new(0),
+            ingest_rejected: AtomicU64::new(0),
+        };
+        app.refresh_wal_gauges();
+        Ok(app)
     }
 
     /// The app's configuration.
@@ -215,23 +279,23 @@ impl ExplainApp {
 
     /// Number of users in the served world (valid ids are `0..n`).
     pub fn n_users(&self) -> usize {
-        self.world.ratings.n_users()
+        self.world.read().ratings.n_users()
     }
 
     /// Number of items in the served catalog (valid ids are `0..n`).
     pub fn n_items(&self) -> usize {
-        self.world.catalog.len()
+        self.world.read().catalog.len()
     }
 
     /// Number of observed ratings in the served world.
     pub fn n_ratings(&self) -> usize {
-        self.world.ratings.n_ratings()
+        self.world.read().ratings.n_ratings()
     }
 
     /// Current ratings-matrix revision (bumps on mutation; keys the
     /// similarity cache's validity).
     pub fn ratings_revision(&self) -> u64 {
-        self.world.ratings.revision()
+        self.world.read().ratings.revision()
     }
 
     /// Resolved thread count of the shared intra-request batch pool.
@@ -330,27 +394,25 @@ impl ExplainApp {
             .ok_or_else(|| AppError::BadRequest(format!("unknown aim {key:?}")))
     }
 
-    /// Validates a raw user id against the served world.
-    fn user(&self, raw: u32) -> Result<UserId, AppError> {
-        if (raw as usize) < self.n_users() {
+    /// Validates a raw user id against the served world. Takes the
+    /// world by reference so callers holding the read guard don't
+    /// re-lock (nested read acquisition can deadlock behind a writer).
+    fn user(world: &World, raw: u32) -> Result<UserId, AppError> {
+        let n = world.ratings.n_users();
+        if (raw as usize) < n {
             Ok(UserId::new(raw))
         } else {
-            Err(AppError::NotFound(format!(
-                "user {raw} outside 0..{}",
-                self.n_users()
-            )))
+            Err(AppError::NotFound(format!("user {raw} outside 0..{n}")))
         }
     }
 
     /// Validates a raw item id against the served catalog.
-    fn item(&self, raw: u32) -> Result<ItemId, AppError> {
-        if (raw as usize) < self.n_items() {
+    fn item(world: &World, raw: u32) -> Result<ItemId, AppError> {
+        let n = world.catalog.len();
+        if (raw as usize) < n {
             Ok(ItemId::new(raw))
         } else {
-            Err(AppError::NotFound(format!(
-                "item {raw} outside 0..{}",
-                self.n_items()
-            )))
+            Err(AppError::NotFound(format!("item {raw} outside 0..{n}")))
         }
     }
 
@@ -424,13 +486,16 @@ impl ExplainApp {
             )));
         }
         let interface = self.resolve_interface(req.interface.as_deref())?;
+        // One read guard for the whole request: writes queue behind it
+        // and land between requests, never inside one.
+        let world = self.world.read();
         let users: Vec<UserId> = req
             .users
             .iter()
-            .map(|&raw| self.user(raw))
+            .map(|&raw| Self::user(&world, raw))
             .collect::<Result<_, _>>()?;
         let explain = req.explain.unwrap_or(false);
-        let ctx = Ctx::new(&self.world.ratings, &self.world.catalog);
+        let ctx = Ctx::new(&world.ratings, &world.catalog);
 
         // Deadlines are checked between pool-sized chunks: a worker can
         // not abandon a user mid-score, but an overrunning batch stops
@@ -498,12 +563,13 @@ impl ExplainApp {
                 .unwrap_or(self.config.default_interface),
             (None, None) => self.config.default_interface,
         };
-        let user = self.user(req.user)?;
-        let item = self.item(req.item)?;
+        let world = self.world.read();
+        let user = Self::user(&world, req.user)?;
+        let item = Self::item(&world, req.item)?;
         if deadline.exceeded() {
             return Err(AppError::DeadlineExceeded);
         }
-        let ctx = Ctx::new(&self.world.ratings, &self.world.catalog);
+        let ctx = Ctx::new(&world.ratings, &world.catalog);
         let explainer =
             Explainer::new(&self.model, interface).with_telemetry(self.telemetry.clone());
         let aim_echo = aim.map(|a| a.name().to_ascii_lowercase());
@@ -513,7 +579,7 @@ impl ExplainApp {
         if self.monitor.should_sample() {
             match explainer.explain_with_evidence(&ctx, user, item) {
                 Ok((prediction, explanation, evidence)) => {
-                    self.record_quality(interface, &explanation, &evidence, user);
+                    self.record_quality(&world.ratings, interface, &explanation, &evidence, user);
                     Ok(ExplainResponse {
                         user: req.user,
                         item: req.item,
@@ -543,23 +609,209 @@ impl ExplainApp {
         }
     }
 
+    /// Handles `POST /v1/rate`: one journaled rating write (or retract,
+    /// when `value` is omitted).
+    ///
+    /// # Errors
+    ///
+    /// [`AppError::NotFound`] for out-of-world ids,
+    /// [`AppError::Unprocessable`] for off-scale values,
+    /// [`AppError::DeadlineExceeded`] when the budget is already spent,
+    /// [`AppError::Internal`] on journal I/O failure.
+    pub fn rate(&self, req: &RateRequest, deadline: Deadline) -> Result<RateResponse, AppError> {
+        if deadline.exceeded() {
+            return Err(AppError::DeadlineExceeded);
+        }
+        let user = UserId::new(req.user);
+        let item = ItemId::new(req.item);
+        let record = match req.value {
+            Some(value) => WalRecord::Rate { user, item, value },
+            None => WalRecord::Unrate { user, item },
+        };
+        self.apply_record(&record)
+    }
+
+    /// Handles `POST /v1/rate/batch`: many writes in one journaled,
+    /// atomically-validated record.
+    ///
+    /// # Errors
+    ///
+    /// [`AppError::BadRequest`] on empty or oversized batches; any op
+    /// failing validation rejects the whole batch with that op's error
+    /// (see [`ExplainApp::rate`]) and nothing is applied.
+    pub fn rate_batch(
+        &self,
+        req: &RateBatchRequest,
+        deadline: Deadline,
+    ) -> Result<RateResponse, AppError> {
+        if req.ops.is_empty() {
+            return Err(AppError::BadRequest("ops must be non-empty".to_owned()));
+        }
+        if req.ops.len() > self.config.max_batch_ops {
+            return Err(AppError::BadRequest(format!(
+                "{} ops exceeds the per-request cap of {}",
+                req.ops.len(),
+                self.config.max_batch_ops
+            )));
+        }
+        if deadline.exceeded() {
+            return Err(AppError::DeadlineExceeded);
+        }
+        let ops = req
+            .ops
+            .iter()
+            .map(|op| {
+                let user = UserId::new(op.user);
+                let item = ItemId::new(op.item);
+                match op.value {
+                    Some(value) => WalOp::Rate { user, item, value },
+                    None => WalOp::Unrate { user, item },
+                }
+            })
+            .collect();
+        self.apply_record(&WalRecord::Batch(ops))
+    }
+
+    /// The shared write path: journal + apply the record under the
+    /// write lock, and — still under the lock, so readers never observe
+    /// the new revision with stale derived state — surgically maintain
+    /// the similarity cache and the scan engine from the deltas.
+    fn apply_record(&self, record: &WalRecord) -> Result<RateResponse, AppError> {
+        let _phase = exrec_obs::profile::phase("ingest_apply");
+        let metrics = self.telemetry.metrics();
+        self.ingest_requests.fetch_add(1, Ordering::Relaxed);
+        metrics.counter("ingest.requests").incr();
+        let started = Instant::now();
+        let outcome = self
+            .world
+            .apply(record, |world, deltas| {
+                if deltas.is_empty() {
+                    return;
+                }
+                let revision = world.ratings.revision();
+                let mut touched: Vec<u32> = deltas.iter().map(|d| d.user.raw()).collect();
+                touched.sort_unstable();
+                touched.dedup();
+                // Similarity is local to its two users: only pairs
+                // involving a touched user can change, so the cache
+                // survives the write minus exactly those entries.
+                if let Some(cache) = self.model.cache() {
+                    cache.invalidate_users(&touched, revision);
+                }
+                // The engine buffers the deltas and patches its CSR
+                // snapshot / candidate index incrementally on the next
+                // scan (full rebuild only past the drift threshold).
+                if let Some((engine, _)) = self.model.engine() {
+                    engine.notify_deltas(deltas);
+                }
+            })
+            .map_err(|e| {
+                self.ingest_rejected.fetch_add(1, Ordering::Relaxed);
+                metrics.counter("ingest.rejected").incr();
+                Self::map_write_error(&e)
+            })?;
+        self.ingest_applied
+            .fetch_add(outcome.applied, Ordering::Relaxed);
+        metrics.counter("ingest.ops_applied").add(outcome.applied);
+        metrics
+            .histogram("ingest.apply_ns")
+            .record(started.elapsed());
+        let journaled = self.config.wal_path.is_some();
+        if journaled {
+            metrics
+                .histogram("ingest.wal_append_ns")
+                .record_ns(outcome.wal_append_ns);
+            self.refresh_wal_gauges();
+        }
+        Ok(RateResponse {
+            applied: outcome.applied,
+            ops: outcome.ops,
+            revision: outcome.revision,
+            wal_append_ns: outcome.wal_append_ns,
+            wal_size_bytes: journaled.then_some(outcome.wal_size_bytes),
+        })
+    }
+
+    /// Maps a data-layer write failure onto the HTTP-facing error.
+    fn map_write_error(e: &Error) -> AppError {
+        match e {
+            Error::InvalidRating { .. } => AppError::Unprocessable(e.to_string()),
+            Error::UnknownUser { .. } | Error::UnknownItem { .. } => {
+                AppError::NotFound(e.to_string())
+            }
+            other => AppError::Internal(other.to_string()),
+        }
+    }
+
+    /// Publishes the journal's current shape as `wal.*` gauges.
+    fn refresh_wal_gauges(&self) {
+        if let Some(stats) = self.world.wal_stats() {
+            let metrics = self.telemetry.metrics();
+            metrics.gauge("wal.size_bytes").set(stats.size_bytes as f64);
+            metrics.gauge("wal.records").set(stats.records as f64);
+            metrics.gauge("wal.replayed").set(stats.replayed as f64);
+            metrics
+                .gauge("wal.truncated_bytes")
+                .set(stats.truncated_bytes as f64);
+        }
+    }
+
+    /// Compacts the journal (snapshot beside the WAL, then empty the
+    /// log); the `serve` binary runs this after a clean drain. `None`
+    /// without a journal.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] on snapshot or truncation failure.
+    pub fn compact(&self) -> Result<Option<PathBuf>, Error> {
+        let compacted = self.world.compact()?;
+        if compacted.is_some() {
+            self.telemetry.metrics().counter("wal.compactions").incr();
+            self.refresh_wal_gauges();
+        }
+        Ok(compacted)
+    }
+
+    /// Journal stats for `/debug/ingest`; `None` without `--wal-path`.
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.world.wal_stats()
+    }
+
+    /// The journal path in effect, if any.
+    pub fn wal_path(&self) -> Option<&Path> {
+        self.config.wal_path.as_deref()
+    }
+
+    /// Whether startup warm-restarted from a compaction snapshot.
+    pub fn snapshot_loaded(&self) -> bool {
+        self.snapshot_loaded
+    }
+
+    /// Lifetime ingest counts: `(requests, deltas applied, rejected)`.
+    pub fn ingest_counts(&self) -> (u64, u64, u64) {
+        (
+            self.ingest_requests.load(Ordering::Relaxed),
+            self.ingest_applied.load(Ordering::Relaxed),
+            self.ingest_rejected.load(Ordering::Relaxed),
+        )
+    }
+
     /// Measures one sampled explanation, feeds the live estimator,
     /// attributes the score to the request's phase collector, and
     /// folds the interface's rolling means back into the quality book.
     fn record_quality(
         &self,
+        ratings: &RatingsMatrix,
         interface: InterfaceId,
         explanation: &Explanation,
         evidence: &exrec_algo::ModelEvidence,
         user: UserId,
     ) {
         let _phase = exrec_obs::profile::phase("quality_probe");
-        let baseline = self
-            .world
-            .ratings
+        let baseline = ratings
             .user_mean(user)
-            .unwrap_or_else(|| self.world.ratings.global_mean());
-        let span = self.world.ratings.scale().span();
+            .unwrap_or_else(|| ratings.global_mean());
+        let span = ratings.scale().span();
         let probe = QualityProbe::measure(explanation, evidence, baseline, span);
         let sample = QualitySample {
             interface: interface.key(),
@@ -713,6 +965,75 @@ mod tests {
             .map(|(_, v)| v)
             .sum();
         assert!(aim_counts > 0, "edge aim counters recorded");
+    }
+
+    #[test]
+    fn wal_tail_replay_restores_the_world_without_a_snapshot() {
+        use crate::proto::RateOpBody;
+        let dir = std::env::temp_dir().join(format!("exrec-serve-app-wal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let config = AppConfig {
+            n_users: 60,
+            n_items: 40,
+            density: 0.3,
+            wal_path: Some(dir.join("app.wal")),
+            ..AppConfig::default()
+        };
+        let far = Deadline::after_ms(60_000);
+        let recommend = recommend_req(vec![0, 1, 5]);
+
+        let first = ExplainApp::new(config.clone(), Telemetry::default());
+        let rated = first
+            .rate(
+                &RateRequest {
+                    user: 5,
+                    item: 9,
+                    value: Some(5.0),
+                    deadline_ms: None,
+                },
+                far,
+            )
+            .unwrap();
+        assert_eq!(rated.applied, 1);
+        assert!(rated.wal_size_bytes.unwrap() > 0);
+        first
+            .rate_batch(
+                &RateBatchRequest {
+                    ops: vec![
+                        RateOpBody {
+                            user: 1,
+                            item: 2,
+                            value: Some(4.0),
+                        },
+                        RateOpBody {
+                            user: 5,
+                            item: 9,
+                            value: None,
+                        },
+                    ],
+                    deadline_ms: None,
+                },
+                far,
+            )
+            .unwrap();
+        let n_ratings = first.n_ratings();
+        let served = first.recommend(&recommend, far).unwrap();
+        // Dropped without compaction: the crash case. Recovery must
+        // come from the WAL tail alone.
+        drop(first);
+
+        let second = ExplainApp::new(config, Telemetry::default());
+        assert!(!second.snapshot_loaded(), "no compaction ran");
+        assert_eq!(second.wal_stats().unwrap().replayed, 2);
+        assert_eq!(second.n_ratings(), n_ratings);
+        let recovered = second.recommend(&recommend, far).unwrap();
+        assert_eq!(
+            serde_json::to_string(&recovered).unwrap(),
+            serde_json::to_string(&served).unwrap(),
+            "replayed world must serve bit-identical recommendations"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -22,6 +22,9 @@
 //!       [--flight-capacity N] flight-recorder ring size (default 256)
 //!       [--quality-sample N]  quality-sample 1-in-N explain requests (default 8; 0 = off)
 //!       [--quality-pairs N]   startup scoring pairs per interface (default 16)
+//!       [--wal-path PATH]     journal writes to PATH; warm-restart from
+//!                             PATH.snap + WAL tail on startup
+//!       [--fsync]             fsync the WAL on every append
 //! ```
 //!
 //! Sampled traces are written to stderr as JSON lines (one span per
@@ -78,6 +81,7 @@ fn usage() -> ! {
     eprintln!("             [--slo-ms L] [--slo-target F]");
     eprintln!("             [--debug-endpoints] [--flight-capacity N]");
     eprintln!("             [--quality-sample N] [--quality-pairs N]");
+    eprintln!("             [--wal-path PATH] [--fsync]");
     std::process::exit(2);
 }
 
@@ -141,6 +145,11 @@ fn main() {
                 app_config.quality_sample_every = parse("--quality-sample", args.next())
             }
             "--quality-pairs" => app_config.quality_pairs = parse("--quality-pairs", args.next()),
+            "--wal-path" => {
+                let path: String = parse("--wal-path", args.next());
+                app_config.wal_path = Some(std::path::PathBuf::from(path));
+            }
+            "--fsync" => app_config.fsync = true,
             "--exact" => app_config.exact = true,
             "--fault-injection" => app_config.fault_injection = true,
             "--debug-endpoints" => server_config.debug_endpoints = true,
@@ -173,12 +182,38 @@ fn main() {
         "[serve] generating world: {} users x {} items @ density {}",
         app_config.n_users, app_config.n_items, app_config.density
     );
-    let app = ExplainApp::new(app_config, telemetry.clone());
+    let app = match ExplainApp::try_new(app_config, telemetry.clone()) {
+        Ok(app) => app,
+        Err(e) => {
+            eprintln!("[serve] startup failed: {e}");
+            std::process::exit(1);
+        }
+    };
     eprintln!(
         "[serve] world ready; default interface {}; neighbour scan {}",
         app.config().default_interface.key(),
         app.scan_mode()
     );
+    if let Some(stats) = app.wal_stats() {
+        eprintln!(
+            "[serve] journal open: {} ({} bytes, {} records replayed{}{})",
+            app.wal_path()
+                .map(|p| p.display().to_string())
+                .unwrap_or_default(),
+            stats.size_bytes,
+            stats.replayed,
+            if app.snapshot_loaded() {
+                ", warm-started from snapshot"
+            } else {
+                ""
+            },
+            if stats.truncated_bytes > 0 {
+                ", torn tail truncated"
+            } else {
+                ""
+            },
+        );
+    }
 
     let handle = match server::start(app, server_config.clone(), telemetry.clone()) {
         Ok(handle) => handle,
@@ -199,7 +234,7 @@ fn main() {
     );
     if server_config.debug_endpoints {
         eprintln!(
-            "[serve] debug endpoints enabled: /debug/profile /debug/requests /debug/world /debug/quality"
+            "[serve] debug endpoints enabled: /debug/profile /debug/requests /debug/world /debug/quality /debug/ingest"
         );
     }
 
@@ -210,7 +245,15 @@ fn main() {
     handle.request_shutdown();
     let slo = handle.slo_snapshot();
     let quality = handle.quality_snapshot();
-    handle.join();
+    match handle.join() {
+        Some(Ok(snapshot)) => {
+            eprintln!("[serve] journal compacted to {}", snapshot.display());
+        }
+        Some(Err(e)) => {
+            eprintln!("[serve] journal compaction failed (WAL left intact): {e}");
+        }
+        None => {}
+    }
     eprintln!("[serve] drained; final telemetry:");
     eprintln!("{}", telemetry.report().render_ascii());
     if !slo.is_empty() {

@@ -53,6 +53,58 @@ pub struct ExplainRequest {
     pub inject_delay_ms: Option<u64>,
 }
 
+/// Body of `POST /v1/rate`: one rating write.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RateRequest {
+    /// The rating user (raw id).
+    pub user: u32,
+    /// The rated item (raw id).
+    pub item: u32,
+    /// The rating on the world's scale; omit (or send `null`) to
+    /// retract the user's existing rating of the item.
+    pub value: Option<f64>,
+    /// Per-request deadline override, milliseconds.
+    pub deadline_ms: Option<u64>,
+}
+
+/// One write inside `POST /v1/rate/batch`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RateOpBody {
+    /// The rating user (raw id).
+    pub user: u32,
+    /// The rated item (raw id).
+    pub item: u32,
+    /// The rating; omit to retract.
+    pub value: Option<f64>,
+}
+
+/// Body of `POST /v1/rate/batch`: many writes journaled and applied as
+/// one atomically-validated record (any invalid op rejects them all).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RateBatchRequest {
+    /// The writes, applied in order. Must be non-empty.
+    pub ops: Vec<RateOpBody>,
+    /// Per-request deadline override, milliseconds.
+    pub deadline_ms: Option<u64>,
+}
+
+/// Body of a 200 from `POST /v1/rate` and `POST /v1/rate/batch`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RateResponse {
+    /// Rating deltas actually applied (a retract of an absent rating
+    /// applies nothing and is not an error).
+    pub applied: u64,
+    /// Ops in the accepted record.
+    pub ops: u64,
+    /// Ratings-matrix revision after the write.
+    pub revision: u64,
+    /// Time the journal append took, nanoseconds (`0` when the server
+    /// runs without `--wal-path`).
+    pub wal_append_ns: u64,
+    /// Journal size after the append; `null` without `--wal-path`.
+    pub wal_size_bytes: Option<u64>,
+}
+
 /// An explanation flattened for the wire.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ExplanationBody {
@@ -271,6 +323,26 @@ pub struct ScanStatsBody {
     /// Fraction of the user dimension the last pruned scan skipped
     /// (`0.0` until a pruned scan runs).
     pub prune_ratio: f64,
+    /// Ratings-matrix revisions the resident CSR snapshot is behind
+    /// (`0` = in sync; `None` until a CSR is built). Non-zero here
+    /// means writes have landed that the next scan will absorb —
+    /// incrementally if the delta chain is intact and under the drift
+    /// threshold, otherwise by full rebuild.
+    #[serde(default)]
+    pub revision_lag: Option<u64>,
+    /// Incremental CSR patches applied instead of full rebuilds.
+    #[serde(default)]
+    pub csr_patches: u64,
+    /// Incremental candidate-index reassignments (vs. full rebuilds).
+    #[serde(default)]
+    pub index_patches: u64,
+    /// Write deltas buffered for the next scan to absorb.
+    #[serde(default)]
+    pub pending_deltas: usize,
+    /// Deltas absorbed into the resident CSR since its last full
+    /// build (drives the drift-threshold rebuild decision).
+    #[serde(default)]
+    pub patched_since_build: u64,
 }
 
 /// One autotuner measurement: a candidate tile size and the time the
@@ -290,6 +362,42 @@ pub struct IndexShapeBody {
     pub centroids: usize,
     /// Centroids probed per query.
     pub probes: usize,
+}
+
+/// Body of a 200 from `GET /debug/ingest`: the write path's standing —
+/// lifetime ingest counts, the ratings revision they produced, and the
+/// journal's shape when one is attached.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DebugIngestBody {
+    /// Write requests admitted (`/v1/rate` + `/v1/rate/batch`).
+    pub requests: u64,
+    /// Rating deltas actually applied to the matrix.
+    pub applied: u64,
+    /// Write requests rejected by validation.
+    pub rejected: u64,
+    /// Current ratings-matrix revision.
+    pub revision: u64,
+    /// Whether startup warm-restarted from a compaction snapshot.
+    pub snapshot_loaded: bool,
+    /// The journal, when the server runs with `--wal-path`.
+    pub wal: Option<WalBody>,
+}
+
+/// The write-ahead log's shape inside `GET /debug/ingest`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WalBody {
+    /// Journal file path.
+    pub path: String,
+    /// Whether every append is fsynced (`--fsync`).
+    pub fsync: bool,
+    /// Journal size, bytes (header included).
+    pub size_bytes: u64,
+    /// Records appended since open.
+    pub records: u64,
+    /// Records replayed from the tail at open.
+    pub replayed: u64,
+    /// Torn-tail bytes truncated at open (`0` = clean).
+    pub truncated_bytes: u64,
 }
 
 /// Body of a 200 from `GET /debug/quality`: the offline-measured

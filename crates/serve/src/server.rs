@@ -35,8 +35,8 @@ use std::time::{Duration, Instant};
 use exrec_obs::profile::{self, PhaseCollector, Profiler};
 use exrec_obs::slo::RouteStatus;
 use exrec_obs::{
-    promtext, trace, FlightConfig, FlightRecorder, IdSource, RequestRecord, SloConfig, SloMonitor,
-    Telemetry,
+    promtext, trace, FlightConfig, FlightRecorder, IdSource, IngestRecord, RequestRecord,
+    SloConfig, SloMonitor, Telemetry,
 };
 
 use exrec_core::aims::Aim;
@@ -45,9 +45,9 @@ use exrec_core::interfaces::InterfaceId;
 use crate::app::{AppError, Deadline, ExplainApp};
 use crate::http::{read_request, HttpError, Request, Response};
 use crate::proto::{
-    AimSelectionBody, CacheStatsBody, DebugProfileBody, DebugQualityBody, DebugRequestsBody,
-    DebugWorldBody, ErrorBody, HealthResponse, IndexShapeBody, QualityStandingBody, ScanStatsBody,
-    SloRouteBody, SweepPointBody,
+    AimSelectionBody, CacheStatsBody, DebugIngestBody, DebugProfileBody, DebugQualityBody,
+    DebugRequestsBody, DebugWorldBody, ErrorBody, HealthResponse, IndexShapeBody,
+    QualityStandingBody, ScanStatsBody, SloRouteBody, SweepPointBody, WalBody,
 };
 use crate::queue::{Bounded, PushError};
 
@@ -249,8 +249,13 @@ impl ServerHandle {
     }
 
     /// Waits for the drain to complete: acceptor gone (listener
-    /// closed), queue drained, in-flight requests answered.
-    pub fn join(mut self) {
+    /// closed), queue drained, in-flight requests answered. With a
+    /// journal attached, the drained world is then compacted (snapshot
+    /// beside the WAL, log emptied) so the next start warm-restarts
+    /// from the snapshot alone; the result is returned (`None` without
+    /// `--wal-path`) and safe to ignore — a failed compaction leaves
+    /// the journal intact, costing the next start a replay, not data.
+    pub fn join(mut self) -> Option<Result<std::path::PathBuf, exrec_types::Error>> {
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
@@ -260,12 +265,14 @@ impl ServerHandle {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        // Every write is drained: the snapshot captures them all.
+        self.shared.app.compact().transpose()
     }
 
     /// [`ServerHandle::request_shutdown`] + [`ServerHandle::join`].
     pub fn shutdown(self) {
         self.request_shutdown();
-        self.join();
+        let _ = self.join();
     }
 }
 
@@ -312,6 +319,7 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
                     cache_hits: 0,
                     cache_misses: 0,
                     quality: None,
+                    ingest: None,
                 });
                 refuse(conn.stream, 429, "shed", "admission queue is full", Some(1));
             }
@@ -419,7 +427,7 @@ fn serve_connection(shared: &Shared, conn: Conn) {
                 let collector = Arc::new(PhaseCollector::new());
                 let busy = shared.busy.fetch_add(1, Ordering::Relaxed) + 1;
                 metrics.gauge("serve.busy_workers").set(busy as f64);
-                let (response, endpoint) = dispatch(shared, &request, started, &collector);
+                let (response, endpoint, ingest) = dispatch(shared, &request, started, &collector);
                 shared.busy.fetch_sub(1, Ordering::Relaxed);
                 // First request on the connection: its wall clock runs
                 // from admission, so the pre-dispatch time (queue wait,
@@ -457,6 +465,7 @@ fn serve_connection(shared: &Shared, conn: Conn) {
                     &trace_hex,
                     started,
                     &collector,
+                    ingest,
                 );
                 if response.write_to(&mut writer, keep_alive).is_err() || !keep_alive {
                     return;
@@ -477,6 +486,7 @@ fn duration_ns(d: Duration) -> u64 {
 /// request into the flight recorder. On an SLO fast-burn onset the
 /// flight ring is dumped to stderr once (re-armed when every route is
 /// healthy again).
+#[allow(clippy::too_many_arguments)]
 fn record(
     shared: &Shared,
     endpoint: &'static str,
@@ -485,6 +495,7 @@ fn record(
     trace_hex: &str,
     started: Instant,
     collector: &PhaseCollector,
+    ingest: Option<IngestRecord>,
 ) {
     let metrics = shared.telemetry.metrics();
     metrics.counter("serve.requests").incr();
@@ -506,6 +517,7 @@ fn record(
         cache_hits: collector.cache_hits(),
         cache_misses: collector.cache_misses(),
         quality: collector.quality(),
+        ingest,
     });
     // 4xx is the server behaving correctly under a bad request; only
     // 5xx spends error budget on top of the latency objective.
@@ -561,7 +573,7 @@ fn dispatch(
     request: &Request,
     started: Instant,
     collector: &Arc<PhaseCollector>,
-) -> (Response, &'static str) {
+) -> (Response, &'static str, Option<IngestRecord>) {
     // The request target may carry a query string (`?aim=trust`);
     // routes match on the bare path, handlers see the query.
     let (path, query) = match request.path.split_once('?') {
@@ -575,17 +587,22 @@ fn dispatch(
         ("GET", "/debug/requests") => "debug_requests",
         ("GET", "/debug/world") => "debug_world",
         ("GET", "/debug/quality") => "debug_quality",
+        ("GET", "/debug/ingest") => "debug_ingest",
         ("POST", "/v1/recommend") => "recommend",
         ("POST", "/v1/explain") => "explain",
+        ("POST", "/v1/rate") => "rate",
+        ("POST", "/v1/rate/batch") => "rate_batch",
         (
             _,
-            "/healthz" | "/metrics" | "/v1/recommend" | "/v1/explain" | "/debug/profile"
-            | "/debug/requests" | "/debug/world" | "/debug/quality",
+            "/healthz" | "/metrics" | "/v1/recommend" | "/v1/explain" | "/v1/rate"
+            | "/v1/rate/batch" | "/debug/profile" | "/debug/requests" | "/debug/world"
+            | "/debug/quality" | "/debug/ingest",
         ) => "method_not_allowed",
         _ => "not_found",
     };
     let _route = shared.profiler.route(endpoint, Arc::clone(collector));
     let _handle = profile::phase("handle");
+    let mut ingest = None;
     let response = match endpoint {
         "healthz" => health(shared),
         "metrics" => metrics_response(shared, request),
@@ -593,8 +610,12 @@ fn dispatch(
         "debug_requests" => debug_requests(shared),
         "debug_world" => debug_world(shared),
         "debug_quality" => debug_quality(shared),
-        "recommend" => handle_post(shared, request, started, "recommend", query),
-        "explain" => handle_post(shared, request, started, "explain", query),
+        "debug_ingest" => debug_ingest(shared),
+        "recommend" | "explain" | "rate" | "rate_batch" => {
+            let (response, ingested) = handle_post(shared, request, started, endpoint, query);
+            ingest = ingested;
+            response
+        }
         "method_not_allowed" => Response::json(
             405,
             &ErrorBody::new(
@@ -607,7 +628,7 @@ fn dispatch(
             &ErrorBody::new("not_found", format!("no route {}", request.path)),
         ),
     };
-    (response, endpoint)
+    (response, endpoint, ingest)
 }
 
 /// The refusal every `/debug/*` handler answers when the surface is
@@ -710,6 +731,37 @@ fn debug_quality(shared: &Shared) -> Response {
     )
 }
 
+/// `GET /debug/ingest`: the write path's standing — lifetime counts,
+/// the revision they produced, and the journal's shape.
+fn debug_ingest(shared: &Shared) -> Response {
+    if !shared.config.debug_endpoints {
+        return debug_disabled();
+    }
+    let app = &shared.app;
+    let (requests, applied, rejected) = app.ingest_counts();
+    Response::json(
+        200,
+        &DebugIngestBody {
+            requests,
+            applied,
+            rejected,
+            revision: app.ratings_revision(),
+            snapshot_loaded: app.snapshot_loaded(),
+            wal: app.wal_stats().map(|stats| WalBody {
+                path: app
+                    .wal_path()
+                    .map(|p| p.display().to_string())
+                    .unwrap_or_default(),
+                fsync: app.config().fsync,
+                size_bytes: stats.size_bytes,
+                records: stats.records,
+                replayed: stats.replayed,
+                truncated_bytes: stats.truncated_bytes,
+            }),
+        },
+    )
+}
+
 /// `GET /debug/world`: the served world's shape and effective serving
 /// configuration.
 fn debug_world(shared: &Shared) -> Response {
@@ -738,6 +790,7 @@ fn debug_world(shared: &Shared) -> Response {
 /// The neighbour-scan engine's standing as a wire body for
 /// `/debug/world`. `None` when the model runs the brute per-pair path.
 fn scan_body(app: &ExplainApp) -> Option<ScanStatsBody> {
+    let matrix_revision = app.ratings_revision();
     app.scan_stats().map(|stats| ScanStatsBody {
         mode: app.scan_mode().to_owned(),
         tile_users: stats.tile_users,
@@ -761,6 +814,15 @@ fn scan_body(app: &ExplainApp) -> Option<ScanStatsBody> {
         tiles_visited: stats.tiles_visited,
         candidates_scored: stats.candidates_scored,
         prune_ratio: stats.last_prune_ratio,
+        // The divergence the old block silently hid: how far the
+        // resident CSR trails the live matrix right now.
+        revision_lag: stats
+            .csr_revision
+            .map(|csr| matrix_revision.saturating_sub(csr)),
+        csr_patches: stats.csr_patches,
+        index_patches: stats.index_patches,
+        pending_deltas: stats.pending_deltas,
+        patched_since_build: stats.patched_since_build,
     })
 }
 
@@ -862,20 +924,24 @@ fn query_param<'a>(query: Option<&'a str>, key: &str) -> Option<&'a str> {
 }
 
 /// Parses, deadline-checks and runs one POST body under `catch_unwind`.
+/// Write routes also return the flight recorder's ingest detail.
 fn handle_post(
     shared: &Shared,
     request: &Request,
     started: Instant,
     endpoint: &'static str,
     query: Option<&str>,
-) -> Response {
+) -> (Response, Option<IngestRecord>) {
     // Admission: body decode, JSON parse, deadline arithmetic — all
     // before the model runs.
     let admit = profile::phase("admit");
     let body = match std::str::from_utf8(&request.body) {
         Ok(body) => body,
         Err(_) => {
-            return Response::json(400, &ErrorBody::new("bad_request", "body is not UTF-8"));
+            return (
+                Response::json(400, &ErrorBody::new("bad_request", "body is not UTF-8")),
+                None,
+            );
         }
     };
     let metrics = shared.telemetry.metrics();
@@ -884,6 +950,17 @@ fn handle_post(
     enum Parsed {
         Recommend(crate::proto::RecommendRequest),
         Explain(crate::proto::ExplainRequest),
+        Rate(crate::proto::RateRequest),
+        RateBatch(crate::proto::RateBatchRequest),
+    }
+    fn bad_json(e: &serde_json::Error) -> (Response, Option<IngestRecord>) {
+        (
+            Response::json(
+                400,
+                &ErrorBody::new("bad_request", format!("invalid JSON body: {e:?}")),
+            ),
+            None,
+        )
     }
     let (parsed, deadline_ms) = match endpoint {
         "recommend" => match serde_json::from_str::<crate::proto::RecommendRequest>(body) {
@@ -891,12 +968,21 @@ fn handle_post(
                 let ms = req.deadline_ms;
                 (Parsed::Recommend(req), ms)
             }
-            Err(e) => {
-                return Response::json(
-                    400,
-                    &ErrorBody::new("bad_request", format!("invalid JSON body: {e:?}")),
-                )
+            Err(e) => return bad_json(&e),
+        },
+        "rate" => match serde_json::from_str::<crate::proto::RateRequest>(body) {
+            Ok(req) => {
+                let ms = req.deadline_ms;
+                (Parsed::Rate(req), ms)
             }
+            Err(e) => return bad_json(&e),
+        },
+        "rate_batch" => match serde_json::from_str::<crate::proto::RateBatchRequest>(body) {
+            Ok(req) => {
+                let ms = req.deadline_ms;
+                (Parsed::RateBatch(req), ms)
+            }
+            Err(e) => return bad_json(&e),
         },
         _ => match serde_json::from_str::<crate::proto::ExplainRequest>(body) {
             Ok(mut req) => {
@@ -908,12 +994,7 @@ fn handle_post(
                 let ms = req.deadline_ms;
                 (Parsed::Explain(req), ms)
             }
-            Err(e) => {
-                return Response::json(
-                    400,
-                    &ErrorBody::new("bad_request", format!("invalid JSON body: {e:?}")),
-                )
-            }
+            Err(e) => return bad_json(&e),
         },
     };
     let budget_ms = deadline_ms
@@ -922,9 +1003,12 @@ fn handle_post(
     let deadline = Deadline::from(started, budget_ms);
     if deadline.exceeded() {
         metrics.counter("serve.timeout").incr();
-        return Response::json(
-            504,
-            &ErrorBody::new("deadline_exceeded", "deadline elapsed before handling"),
+        return (
+            Response::json(
+                504,
+                &ErrorBody::new("deadline_exceeded", "deadline elapsed before handling"),
+            ),
+            None,
         );
     }
 
@@ -933,14 +1017,28 @@ fn handle_post(
         Parsed::Recommend(req) => shared
             .app
             .recommend(req, deadline)
-            .map(|resp| Response::json(200, &resp)),
+            .map(|resp| (Response::json(200, &resp), None)),
         Parsed::Explain(req) => shared
             .app
             .explain(req, deadline)
-            .map(|resp| Response::json(200, &resp)),
+            .map(|resp| (Response::json(200, &resp), None)),
+        Parsed::Rate(req) => shared.app.rate(req, deadline).map(|resp| {
+            let ingest = IngestRecord {
+                applied: resp.applied,
+                wal_append_ns: resp.wal_append_ns,
+            };
+            (Response::json(200, &resp), Some(ingest))
+        }),
+        Parsed::RateBatch(req) => shared.app.rate_batch(req, deadline).map(|resp| {
+            let ingest = IngestRecord {
+                applied: resp.applied,
+                wal_append_ns: resp.wal_append_ns,
+            };
+            (Response::json(200, &resp), Some(ingest))
+        }),
     }));
     match outcome {
-        Ok(Ok(response)) => response,
+        Ok(Ok((response, ingest))) => (response, ingest),
         Ok(Err(app_error)) => {
             if matches!(app_error, AppError::DeadlineExceeded) {
                 metrics.counter("serve.timeout").incr();
@@ -954,14 +1052,18 @@ fn handle_post(
                     "deadline_exceeded",
                     format!("deadline of {budget_ms}ms elapsed"),
                 ),
+                AppError::Internal(d) => (500, "internal", d),
             };
-            Response::json(status, &ErrorBody::new(class, detail))
+            (Response::json(status, &ErrorBody::new(class, detail)), None)
         }
         Err(_) => {
             metrics.counter("serve.panic").incr();
-            Response::json(
-                500,
-                &ErrorBody::new("panic", "handler panicked; worker recovered"),
+            (
+                Response::json(
+                    500,
+                    &ErrorBody::new("panic", "handler panicked; worker recovered"),
+                ),
+                None,
             )
         }
     }

@@ -102,6 +102,11 @@ pub enum Error {
         /// What went wrong.
         detail: String,
     },
+    /// An I/O operation (WAL append, snapshot write, …) failed.
+    Io {
+        /// What went wrong, including the underlying OS error.
+        detail: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -150,6 +155,7 @@ impl fmt::Display for Error {
                 )
             }
             Error::CorruptSnapshot { detail } => write!(f, "corrupt snapshot: {detail}"),
+            Error::Io { detail } => write!(f, "i/o error: {detail}"),
         }
     }
 }
