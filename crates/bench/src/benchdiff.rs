@@ -25,52 +25,16 @@
 //! the threshold, `1` on any regression, and `2` on usage errors or
 //! incompatible reports, so CI can gate merges on it directly.
 
-use serde::{Deserialize, Serialize};
 use serde_json::Value;
 use std::collections::BTreeMap;
+
+/// Build/world metadata stamped into every benchmark report; shared
+/// with the serving edge's `/healthz` build block via `exrec_obs`.
+pub use exrec_obs::meta::RunMeta;
 
 /// Version of the report layout `compare` understands. Bump when a
 /// report's metric paths or meta block change incompatibly.
 pub const SCHEMA_VERSION: u32 = 1;
-
-/// Build/world metadata stamped into every benchmark report, so a diff
-/// can refuse to compare numbers measured under different conditions.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct RunMeta {
-    /// Short git revision of the tree that produced the report
-    /// (`"unknown"` outside a git checkout).
-    pub git_rev: String,
-    /// Compact world-shape description (workload names or
-    /// `users x items @ density`); must match for a comparison.
-    pub world: String,
-    /// Worker/pool threads the run used; must match for a comparison.
-    pub threads: usize,
-}
-
-impl RunMeta {
-    /// Captures the current git revision alongside the given world
-    /// shape and thread count.
-    pub fn capture(world: impl Into<String>, threads: usize) -> RunMeta {
-        RunMeta {
-            git_rev: git_rev(),
-            world: world.into(),
-            threads,
-        }
-    }
-}
-
-/// `git rev-parse --short=12 HEAD`, or `"unknown"`.
-fn git_rev() -> String {
-    std::process::Command::new("git")
-        .args(["rev-parse", "--short=12", "HEAD"])
-        .output()
-        .ok()
-        .filter(|o| o.status.success())
-        .and_then(|o| String::from_utf8(o.stdout).ok())
-        .map(|s| s.trim().to_owned())
-        .filter(|s| !s.is_empty())
-        .unwrap_or_else(|| "unknown".to_owned())
-}
 
 /// Which way a metric improves.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -22,6 +22,8 @@
 //!                              # plus a restart-recovery identity check
 //! loadgen --addr HOST:PORT     # target an already-running server
 //! loadgen --out PATH           # report path (default BENCH_serve_net.json)
+//! loadgen --incident           # watchdog smoke: induce an error burst,
+//!                              # assert exactly one latched incident
 //! ```
 //!
 //! The request mix includes journaled writes (`POST /v1/rate`), so the
@@ -428,8 +430,10 @@ fn scrape_metrics(addr: SocketAddr) -> Option<(String, String)> {
 
 /// Scrapes the exposition endpoint and validates it: correct content
 /// type, grammatically valid per [`exrec_bench::promcheck`], and the
-/// `serve_*` + `ingest_*` families present (`wal_*` too when the
-/// server is known to journal). Returns the violations (empty = pass).
+/// `serve_*` + `ingest_*` families present (`wal_*` and the
+/// `ts_*`/`watch_*` telemetry families too when the server is the
+/// in-process one, whose fast sampler tick and registered watchdog are
+/// known). Returns the violations (empty = pass).
 fn check_exposition(addr: SocketAddr, expect_wal: bool) -> Vec<String> {
     let Some((content_type, body)) = scrape_metrics(addr) else {
         return vec!["metrics scrape failed (transport or non-200)".to_owned()];
@@ -483,6 +487,20 @@ fn check_exposition(addr: SocketAddr, expect_wal: bool) -> Vec<String> {
             .is_empty()
         {
             errors.push("no ingest_wal_append_ns* histogram family".to_owned());
+        }
+        // The in-process server runs a fast sampler tick and a
+        // registered watchdog, so the continuous-telemetry families
+        // must have exported by sweep end.
+        for family in [
+            "ts_ticks",
+            "ts_series",
+            "watch_incidents",
+            "watch_active",
+            "watch_flight_dumps",
+        ] {
+            if !report.has_family(family) {
+                errors.push(format!("missing expected family {family}"));
+            }
         }
     }
     errors
@@ -751,6 +769,83 @@ fn check_debug_endpoints(addr: SocketAddr) -> Vec<String> {
         }
     }
 
+    match fetch_json(addr, "/debug/timeseries") {
+        None => errors.push("GET /debug/timeseries failed or non-200".to_owned()),
+        Some(body) => {
+            for field in ["schema", "interval_ns", "retention"] {
+                if body.get(field).and_then(Value::as_u64).unwrap_or(0) == 0 {
+                    errors.push(format!("/debug/timeseries: {field} missing or zero"));
+                }
+            }
+            if body.get("ticks").and_then(Value::as_u64).unwrap_or(0) == 0 {
+                errors.push("/debug/timeseries: no sampler ticks after the sweep".to_owned());
+            }
+            match body
+                .pointer("/counters/serve.accepted")
+                .and_then(Value::as_array)
+            {
+                None | Some([]) => {
+                    errors.push("/debug/timeseries: no serve.accepted rate series".to_owned())
+                }
+                Some(points) => {
+                    for field in ["epoch", "delta", "rate_per_sec"] {
+                        if !points.iter().all(|p| p.get(field).is_some()) {
+                            errors.push(format!("/debug/timeseries: rate point missing {field}"));
+                        }
+                    }
+                }
+            }
+            let windowed = body
+                .get("histograms")
+                .and_then(Value::as_object)
+                .into_iter()
+                .flat_map(|histograms| histograms.iter().map(|(_name, series)| series))
+                .flat_map(|series| series.as_array().into_iter().flatten());
+            let mut any_hist_point = false;
+            for point in windowed {
+                any_hist_point = true;
+                let p50 = point.get("p50_ns").and_then(Value::as_u64);
+                let p99 = point.get("p99_ns").and_then(Value::as_u64);
+                match (p50, p99) {
+                    (Some(p50), Some(p99)) if p50 <= p99 => {}
+                    _ => {
+                        errors.push(format!(
+                            "/debug/timeseries: bad windowed digest point {point:?}"
+                        ));
+                        break;
+                    }
+                }
+            }
+            if !any_hist_point {
+                errors.push("/debug/timeseries: no windowed histogram points".to_owned());
+            }
+        }
+    }
+
+    match fetch_json(addr, "/debug/incidents") {
+        None => errors.push("GET /debug/incidents failed or non-200".to_owned()),
+        Some(body) => {
+            if body.get("capacity").and_then(Value::as_u64).unwrap_or(0) == 0 {
+                errors.push("/debug/incidents: capacity missing or zero".to_owned());
+            }
+            for field in ["schema", "opened", "active", "flight_dumps"] {
+                if body.get(field).and_then(Value::as_u64).is_none() {
+                    errors.push(format!("/debug/incidents: missing {field}"));
+                }
+            }
+            match body.get("incidents").and_then(Value::as_array) {
+                None => errors.push("/debug/incidents: missing incidents[]".to_owned()),
+                Some(incidents) => {
+                    for field in ["seq", "rule", "kind", "opened_offset_ns"] {
+                        if !incidents.iter().all(|i| i.get(field).is_some()) {
+                            errors.push(format!("/debug/incidents: incident missing {field}"));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     errors
 }
 
@@ -914,9 +1009,179 @@ const INGEST_READ_P50_BUDGET_MS: f64 = 69.2;
 /// Write-p50 ceiling for the full `--ingest` run.
 const INGEST_WRITE_P50_BUDGET_MS: f64 = 5.0;
 
+/// Neuters every tick-evaluated watchdog rule, so sweeps whose whole
+/// point is to overload the edge (shed bursts, deadline storms) do not
+/// spam incidents and flight dumps into the smoke logs. The
+/// `--incident` mode re-arms exactly the rule it regresses.
+fn disarm_watchdog(config: &mut ServerConfig) {
+    config.watch.latency_zscore = 1e12;
+    config.watch.error_rate_max = f64::INFINITY;
+    config.watch.shed_rate_max = f64::INFINITY;
+    config.watch.quality_min = -1.0;
+    config.watch.hit_ratio_min = -1.0;
+    config.watch.revision_lag_max = f64::INFINITY;
+    config.watch.prune_ratio_min = -1.0;
+}
+
+/// The incident smoke: spawn a faulty-injectable server with a fast
+/// sampler tick and only the 5xx-rate rule armed, induce a panic burst
+/// spanning several tick windows, and assert the full incident story —
+/// exactly one latched incident, one flight dump, `/healthz` degraded,
+/// and the `ts_*`/`watch_*` families valid under promcheck. Exits the
+/// process with the verdict.
+fn run_incident_smoke() -> ! {
+    use serde_json::Value;
+    eprintln!("[loadgen] incident smoke: inducing a 5xx burst");
+    let mut server_config = ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 2,
+        queue_bound: 32,
+        default_deadline_ms: 10_000,
+        debug_endpoints: true,
+        ..ServerConfig::default()
+    };
+    server_config.ts.interval_ns = 25_000_000;
+    disarm_watchdog(&mut server_config);
+    // Exactly one armed detector, and an effectively-infinite clear
+    // threshold so the latch provably holds through recovery traffic.
+    server_config.watch.error_rate_max = 0.5;
+    server_config.watch.trip_after = 2;
+    server_config.watch.clear_after = 1_000_000;
+    server_config.slo.target = 0.0; // keep the SLO external trigger quiet
+    let app_config = AppConfig {
+        n_users: 200,
+        n_items: 100,
+        density: 0.1,
+        fault_injection: true,
+        quality_sample_every: 0,
+        ..AppConfig::default()
+    };
+    let telemetry = Telemetry::default();
+    let app = ExplainApp::new(app_config, telemetry.clone());
+    let handle = server::start(app, server_config, telemetry).expect("spawn loopback server");
+    let addr = handle.addr();
+    let mut failures: Vec<String> = Vec::new();
+
+    let clean = r#"{"users": [1], "n": 2}"#;
+    let faulty = r#"{"users": [1], "inject_panic": true}"#;
+    // Clean warmup across several tick windows.
+    for _ in 0..20 {
+        let _ = fire(addr, "/v1/recommend", clean, Instant::now());
+        std::thread::sleep(Duration::from_millis(3));
+    }
+    // The regression: ~300ms of panicking requests (≈12 tick windows).
+    let burst_deadline = Instant::now() + Duration::from_millis(300);
+    while Instant::now() < burst_deadline {
+        let _ = fire(addr, "/v1/recommend", faulty, Instant::now());
+        std::thread::sleep(Duration::from_millis(3));
+    }
+    // Recovery traffic: the latch must hold and nothing new may open.
+    for _ in 0..30 {
+        let _ = fire(addr, "/v1/recommend", clean, Instant::now());
+        std::thread::sleep(Duration::from_millis(3));
+    }
+
+    match fetch_json(addr, "/debug/incidents") {
+        None => failures.push("GET /debug/incidents failed or non-200".to_owned()),
+        Some(body) => {
+            for (field, want) in [("opened", 1), ("active", 1), ("flight_dumps", 1)] {
+                let got = body.get(field).and_then(Value::as_u64);
+                if got != Some(want) {
+                    failures.push(format!("/debug/incidents: {field} = {got:?}, want {want}"));
+                }
+            }
+            match body.get("incidents").and_then(Value::as_array) {
+                Some([incident]) => {
+                    if incident.get("rule").and_then(Value::as_str) != Some("error_rate") {
+                        failures.push(format!("incident is not the error_rate rule: {incident:?}"));
+                    }
+                    if !incident
+                        .get("closed_epoch")
+                        .is_some_and(|epoch| matches!(epoch, Value::Null))
+                    {
+                        failures.push("incident closed: the latch did not hold".to_owned());
+                    }
+                }
+                other => failures.push(format!("want exactly one incident, got {other:?}")),
+            }
+        }
+    }
+    match fetch_json(addr, "/healthz") {
+        None => failures.push("GET /healthz failed or non-200".to_owned()),
+        Some(body) => {
+            if body.get("status").and_then(Value::as_str) != Some("degraded") {
+                failures.push(format!(
+                    "healthz status {:?}, want \"degraded\" while an incident stands",
+                    body.get("status")
+                ));
+            }
+            if body.pointer("/incidents/active").and_then(Value::as_u64) != Some(1) {
+                failures.push("healthz incident standing does not show 1 active".to_owned());
+            }
+        }
+    }
+    match fetch_json(addr, "/metrics") {
+        None => failures.push("GET /metrics failed or non-200".to_owned()),
+        Some(body) => {
+            for (path, want) in [
+                ("/counters/watch.incidents", 1),
+                ("/counters/watch.flight_dumps", 1),
+            ] {
+                if body.pointer(path).and_then(Value::as_u64) != Some(want) {
+                    failures.push(format!("metrics {path} != {want}"));
+                }
+            }
+            if body
+                .pointer("/counters/serve.panic")
+                .and_then(Value::as_u64)
+                .unwrap_or(0)
+                == 0
+            {
+                failures.push("metrics serve.panic never incremented — no burst?".to_owned());
+            }
+            if body.pointer("/gauges/watch.active").and_then(Value::as_f64) != Some(1.0) {
+                failures.push("metrics gauge watch.active != 1".to_owned());
+            }
+        }
+    }
+    // The telemetry families must also be grammatical Prometheus text.
+    match scrape_metrics(addr) {
+        None => failures.push("text /metrics scrape failed".to_owned()),
+        Some((_content_type, text)) => {
+            let mut report = exrec_bench::promcheck::check(&text);
+            failures.append(&mut report.errors);
+            for family in [
+                "ts_ticks",
+                "watch_incidents",
+                "watch_active",
+                "watch_flight_dumps",
+            ] {
+                if !report.has_family(family) {
+                    failures.push(format!("missing expected family {family}"));
+                }
+            }
+        }
+    }
+
+    handle.shutdown();
+    if failures.is_empty() {
+        eprintln!("[loadgen] incident smoke OK");
+        std::process::exit(0);
+    }
+    for failure in &failures {
+        eprintln!("[loadgen]   incident: {failure}");
+    }
+    eprintln!(
+        "[loadgen] FAIL: incident smoke ({} violations)",
+        failures.len()
+    );
+    std::process::exit(1);
+}
+
 fn main() {
     let mut quick = false;
     let mut ingest = false;
+    let mut incident = false;
     let mut out: Option<String> = None;
     let mut external: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -924,15 +1189,19 @@ fn main() {
         match arg.as_str() {
             "--quick" => quick = true,
             "--ingest" => ingest = true,
+            "--incident" => incident = true,
             "--out" => out = args.next().or(out),
             "--addr" => external = args.next(),
             other => {
                 eprintln!(
-                    "usage: loadgen [--quick] [--ingest] [--addr HOST:PORT] [--out PATH] ({other:?}?)"
+                    "usage: loadgen [--quick] [--ingest] [--incident] [--addr HOST:PORT] [--out PATH] ({other:?}?)"
                 );
                 std::process::exit(2);
             }
         }
+    }
+    if incident {
+        run_incident_smoke();
     }
     if ingest && external.is_some() {
         eprintln!("[loadgen] --ingest needs the in-process server (it restarts the world)");
@@ -950,7 +1219,7 @@ fn main() {
     // queue: small admission bound, few workers. The ingest run is an
     // in-capacity latency measurement instead, so it gets a deeper
     // queue — shedding there would just hide the read-latency story.
-    let server_config = ServerConfig {
+    let mut server_config = ServerConfig {
         addr: "127.0.0.1:0".to_owned(),
         workers: 4,
         queue_bound: if ingest { 32 } else { 8 },
@@ -959,6 +1228,12 @@ fn main() {
         debug_endpoints: true,
         ..ServerConfig::default()
     };
+    // A fast sampler tick so the ts_* families and /debug/timeseries
+    // fill during the sweep; the overload points overrun the edge *by
+    // design*, so the anomaly rules are disarmed here (the dedicated
+    // `--incident` smoke arms and asserts them).
+    server_config.ts.interval_ns = 200_000_000;
+    disarm_watchdog(&mut server_config);
     // Every in-process run journals to a temp WAL so the write mix and
     // the wal_* metric families are exercised end to end.
     let wal_dir = std::env::temp_dir().join(format!("exrec-loadgen-{}", std::process::id()));

@@ -38,11 +38,24 @@
 //! * **flight recording** — [`flight::FlightRecorder`] is the black
 //!   box: a bounded lock-striped ring of the last N completed request
 //!   records, retained regardless of tail-sampling decisions and
-//!   dumped to stderr on panic or SLO fast-burn degradation.
+//!   dumped to stderr on panic or SLO fast-burn degradation;
+//! * **time series** — [`timeseries::TimeSeries`] periodically
+//!   snapshots the whole registry into bounded per-series rings:
+//!   counters become per-interval rates, histograms become
+//!   windowed-delta percentiles (bucket subtraction between
+//!   consecutive snapshots), driven cooperatively with no sampler
+//!   thread;
+//! * **watchdog** — [`watch::Watchdog`] runs EWMA/z-score and
+//!   absolute-threshold detectors over selected series with hysteresis
+//!   latches, appending structured [`watch::Incident`] entries to a
+//!   bounded incident log and firing the flight dump once per incident
+//!   — the unified trigger path for panics, SLO fast-burn and
+//!   sustained-low quality.
 //!
 //! The metric taxonomy (`algo.*`, `explain.*`, `eval.*`, `serve.*`,
-//! `trace.*`, `slo.*`) and its mapping onto the survey's seven
-//! explanation aims are documented in `docs/observability.md`.
+//! `trace.*`, `slo.*`, `ts.*`, `watch.*`) and its mapping onto the
+//! survey's seven explanation aims are documented in
+//! `docs/observability.md`.
 //!
 //! ```
 //! use exrec_obs::{span, Telemetry};
@@ -62,15 +75,19 @@
 #![warn(rust_2018_idioms)]
 
 pub mod flight;
+pub mod meta;
 pub mod metrics;
 pub mod profile;
 pub mod promtext;
 pub mod quality;
 pub mod slo;
 pub mod span;
+pub mod timeseries;
 pub mod trace;
+pub mod watch;
 
 pub use flight::{FlightConfig, FlightRecorder, IngestRecord, RequestRecord};
+pub use meta::RunMeta;
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramRaw, HistogramSummary, Metrics, MetricsReport,
 };
@@ -80,4 +97,6 @@ pub use slo::{RouteStatus, SloConfig, SloMonitor};
 pub use span::{
     CountingSubscriber, JsonLinesSubscriber, NoopSubscriber, SpanEvent, Subscriber, Telemetry,
 };
+pub use timeseries::{Stat, Tick, TimeSeries, TsConfig, TsSnapshot};
 pub use trace::{IdSource, TailConfig, TailSamplingSubscriber, TraceContext};
+pub use watch::{Detector, Incident, IncidentLog, Rule, WatchConfig, Watchdog};

@@ -1,0 +1,78 @@
+//! Build/run identity: the metadata stamp shared by benchmark reports
+//! and live processes.
+//!
+//! [`RunMeta`] began life in `exrec-bench`'s report stamp; it lives
+//! here so the serving edge can expose the same block through
+//! `/healthz` and `/debug/world` without a circular dependency (bench
+//! depends on serve). A bench report and a live process stamped with
+//! the same `git_rev`/`world`/`threads` are measuring the same thing —
+//! that correlation is what makes "does production match the bench?"
+//! answerable.
+
+use serde::{Deserialize, Serialize};
+
+/// Build/world metadata stamped into every benchmark report and served
+/// from `/healthz`, so a diff can refuse to compare numbers measured
+/// under different conditions — and an operator can tie a live process
+/// back to the report that qualified it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunMeta {
+    /// Short git revision of the tree that produced the report
+    /// (`"unknown"` outside a git checkout).
+    pub git_rev: String,
+    /// Compact world-shape description (workload names or
+    /// `users x items @ density`); must match for a comparison.
+    pub world: String,
+    /// Worker/pool threads the run used; must match for a comparison.
+    pub threads: usize,
+}
+
+impl RunMeta {
+    /// Captures the current git revision alongside the given world
+    /// shape and thread count.
+    pub fn capture(world: impl Into<String>, threads: usize) -> RunMeta {
+        RunMeta {
+            git_rev: git_rev(),
+            world: world.into(),
+            threads,
+        }
+    }
+}
+
+/// `git rev-parse --short=12 HEAD`, or `"unknown"`. Shells out once;
+/// callers cache the result (the serving edge captures at startup).
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_fills_every_field() {
+        let meta = RunMeta::capture("2000x300@0.05", 4);
+        assert_eq!(meta.world, "2000x300@0.05");
+        assert_eq!(meta.threads, 4);
+        assert!(!meta.git_rev.is_empty());
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let meta = RunMeta {
+            git_rev: "abc123".to_owned(),
+            world: "w".to_owned(),
+            threads: 2,
+        };
+        let json = serde_json::to_string(&meta).unwrap();
+        assert_eq!(serde_json::from_str::<RunMeta>(&json).unwrap(), meta);
+    }
+}

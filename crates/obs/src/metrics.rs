@@ -58,6 +58,22 @@ impl Gauge {
         self.0.store(value.to_bits(), Ordering::Relaxed);
     }
 
+    /// Adds `delta` atomically (CAS loop over the f64 bit pattern), so
+    /// occupancy-style gauges can track +1/-1 transitions from many
+    /// threads without recomputing the absolute value under a lock.
+    pub fn add(&self, delta: f64) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                Some((f64::from_bits(bits) + delta).to_bits())
+            });
+    }
+
+    /// Subtracts `delta` atomically; see [`Gauge::add`].
+    pub fn sub(&self, delta: f64) {
+        self.add(-delta);
+    }
+
     /// Current value.
     pub fn get(&self) -> f64 {
         f64::from_bits(self.0.load(Ordering::Relaxed))
@@ -215,6 +231,52 @@ impl Histogram {
             buckets,
             count,
             sum_ns: self.sum_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl HistogramRaw {
+    /// Summarizes the *window* between an earlier cumulative snapshot of
+    /// the same histogram and this one, by per-bucket subtraction. The
+    /// result is exactly what [`Histogram::summarize`] would report for
+    /// a histogram that recorded only the samples landing between the
+    /// two snapshots — the primitive behind windowed time-series
+    /// percentiles. Subtraction saturates, so a reset (or mismatched)
+    /// predecessor degrades to treating this snapshot as the window.
+    pub fn since(&self, prev: &HistogramRaw) -> HistogramSummary {
+        let n = self.buckets.len();
+        let delta: Vec<u64> = (0..n)
+            .map(|i| {
+                let before = prev.buckets.get(i).copied().unwrap_or(0);
+                self.buckets[i].saturating_sub(before)
+            })
+            .collect();
+        let total: u64 = delta.iter().sum();
+        let sum_ns = self.sum_ns.saturating_sub(prev.sum_ns);
+        let quantile = |q: f64| -> u64 {
+            if total == 0 {
+                return 0;
+            }
+            let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+            let mut seen = 0;
+            for (i, &c) in delta.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    return bucket_bound(i);
+                }
+            }
+            bucket_bound(N_BUCKETS - 1)
+        };
+        HistogramSummary {
+            count: total,
+            mean_ns: if total == 0 {
+                0.0
+            } else {
+                sum_ns as f64 / total as f64
+            },
+            p50_ns: quantile(0.50),
+            p95_ns: quantile(0.95),
+            p99_ns: quantile(0.99),
         }
     }
 }
@@ -409,6 +471,51 @@ mod tests {
         g.set(12.5);
         g.set(-3.25);
         assert_eq!(g.get(), -3.25);
+    }
+
+    #[test]
+    fn gauge_add_sub_is_atomic_across_threads() {
+        let m = Arc::new(Metrics::new());
+        m.gauge("occupancy").set(0.0);
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                thread::spawn(move || {
+                    let g = m.gauge("occupancy");
+                    for _ in 0..2_000 {
+                        g.add(1.0);
+                        g.sub(1.0);
+                    }
+                    g.add(3.5);
+                })
+            })
+            .collect();
+        for j in handles {
+            j.join().unwrap();
+        }
+        assert_eq!(m.gauge("occupancy").get(), 8.0 * 3.5);
+    }
+
+    #[test]
+    fn raw_delta_summary_equals_direct_recording() {
+        // Record a prefix, snapshot, record a suffix, snapshot: the
+        // windowed summary of the two cumulative snapshots must match a
+        // histogram that recorded only the suffix.
+        let cumulative = Histogram::default();
+        let direct = Histogram::default();
+        for ns in [100u64, 9_000, 250_000] {
+            cumulative.record_ns(ns);
+        }
+        let before = cumulative.raw();
+        for ns in [700u64, 700, 1_000_000, 42] {
+            cumulative.record_ns(ns);
+            direct.record_ns(ns);
+        }
+        assert_eq!(cumulative.raw().since(&before), direct.summarize());
+        // Empty window: zeros, not NaNs.
+        let after = cumulative.raw();
+        let idle = after.since(&after);
+        assert_eq!((idle.count, idle.mean_ns, idle.p99_ns), (0, 0.0, 0));
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! Property tests for the time-series engine and the windowed-delta
+//! histogram math.
+//!
+//! The unit tests in `timeseries.rs` pin individual behaviours; these
+//! properties sweep the two invariants the whole design rests on:
+//!
+//! 1. **Windowed delta ≡ direct recording** — summarizing the bucket
+//!    delta between two cumulative [`HistogramRaw`] snapshots must be
+//!    *identical* (count, mean, every quantile) to summarizing a
+//!    histogram that recorded only the window's samples. If this drifts
+//!    the "p99 this interval" numbers on every dashboard are fiction.
+//! 2. **Ring wraparound** — however many ticks fire, each series
+//!    retains exactly `min(ticks, retention)` points, they are the
+//!    *newest* ticks, epochs are strictly increasing, and counter
+//!    deltas over the retained window never exceed the counter total.
+
+use exrec_obs::timeseries::{TimeSeries, TsConfig};
+use exrec_obs::{Histogram, Metrics};
+use proptest::prelude::*;
+
+proptest! {
+    /// Delta of cumulative snapshots ≡ direct recording of the suffix.
+    #[test]
+    fn windowed_delta_equals_direct_recording(
+        prefix in prop::collection::vec(0u64..=1 << 45, 0..200),
+        suffix in prop::collection::vec(0u64..=1 << 45, 0..200),
+    ) {
+        let cumulative = Histogram::default();
+        let direct = Histogram::default();
+        for &ns in &prefix {
+            cumulative.record_ns(ns);
+        }
+        let before = cumulative.raw();
+        for &ns in &suffix {
+            cumulative.record_ns(ns);
+            direct.record_ns(ns);
+        }
+        let windowed = cumulative.raw().since(&before);
+        let expected = direct.summarize();
+        prop_assert_eq!(windowed, expected);
+    }
+
+    /// A window against a fresh (all-zero) snapshot is the histogram's
+    /// own summary: first-tick behaviour.
+    #[test]
+    fn window_from_zero_is_cumulative_summary(
+        samples in prop::collection::vec(0u64..=1 << 45, 0..200),
+    ) {
+        let h = Histogram::default();
+        let zero = Histogram::default().raw();
+        for &ns in &samples {
+            h.record_ns(ns);
+        }
+        prop_assert_eq!(h.raw().since(&zero), h.summarize());
+    }
+
+    /// Ring wraparound: newest-K retention, strictly increasing epochs,
+    /// and delta conservation across the retained window.
+    #[test]
+    fn ring_retains_newest_points_in_order(
+        retention in 1usize..12,
+        increments in prop::collection::vec(0u64..50, 1..40),
+    ) {
+        let m = Metrics::new();
+        let c = m.counter("events");
+        let ts = TimeSeries::new(TsConfig {
+            interval_ns: 1_000_000_000,
+            retention,
+        });
+        let mut total = 0u64;
+        for (i, &n) in increments.iter().enumerate() {
+            c.add(n);
+            total += n;
+            ts.sample_at(&m, (i as u64 + 1) * 1_000_000_000);
+        }
+        let snap = ts.snapshot();
+        let series = &snap.counters["events"];
+        let ticks = increments.len();
+        prop_assert_eq!(series.len(), ticks.min(retention));
+        // The retained points are exactly the newest ticks, in order.
+        let first_kept = ticks - series.len();
+        for (j, point) in series.iter().enumerate() {
+            prop_assert_eq!(point.epoch, (first_kept + j) as u64 + 1);
+            prop_assert_eq!(point.delta, increments[first_kept + j]);
+        }
+        // Conservation: retained deltas never exceed the counter total.
+        let retained: u64 = series.iter().map(|p| p.delta).sum();
+        prop_assert!(retained <= total);
+        prop_assert_eq!(snap.ticks, ticks as u64);
+    }
+
+    /// The due/claim protocol admits exactly one sample per interval no
+    /// matter how the clock lands inside it.
+    #[test]
+    fn at_most_one_tick_per_epoch(
+        offsets in prop::collection::vec(1u64..30_000, 1..100),
+    ) {
+        let m = Metrics::new();
+        m.counter("x").incr();
+        let ts = TimeSeries::new(TsConfig {
+            interval_ns: 1_000,
+            retention: 256,
+        });
+        let mut clock = 0u64;
+        let mut sampled_epochs = Vec::new();
+        for &step in &offsets {
+            clock += step;
+            if ts.maybe_sample_at(&m, clock).is_some() {
+                sampled_epochs.push(clock / 1_000);
+            }
+        }
+        // Epochs strictly increase: no epoch ever sampled twice.
+        for pair in sampled_epochs.windows(2) {
+            prop_assert!(pair[0] < pair[1], "epoch {} sampled twice", pair[1]);
+        }
+        prop_assert_eq!(ts.snapshot().ticks, sampled_epochs.len() as u64);
+    }
+}

@@ -20,6 +20,16 @@
 //!       [--slo-target F]      target good ratio over the window (default 0.99)
 //!       [--debug-endpoints]   serve GET /debug/{profile,requests,world,quality}
 //!       [--flight-capacity N] flight-recorder ring size (default 256)
+//!       [--ts-interval DUR]   time-series sampling interval (default 5s;
+//!                             accepts e.g. 250ms, 1s, 2m)
+//!       [--ts-retention N]    points retained per series (default 120)
+//!       [--watch-trip N]      anomalous ticks before an incident opens (default 2)
+//!       [--watch-clear N]     normal ticks before an incident closes (default 3)
+//!       [--watch-latency-zscore F]  p99 drift sensitivity (default 6.0)
+//!       [--watch-error-rate F]      5xx-per-second ceiling (default 1.0)
+//!       [--watch-shed-rate F]       sheds-per-second ceiling (default 100.0)
+//!       [--watch-quality-min F]     live fidelity floor (default 0.15)
+//!       [--watch-incidents N]       incident-log capacity (default 64)
 //!       [--quality-sample N]  quality-sample 1-in-N explain requests (default 8; 0 = off)
 //!       [--quality-pairs N]   startup scoring pairs per interface (default 16)
 //!       [--wal-path PATH]     journal writes to PATH; warm-restart from
@@ -82,6 +92,10 @@ fn usage() -> ! {
     eprintln!("             [--debug-endpoints] [--flight-capacity N]");
     eprintln!("             [--quality-sample N] [--quality-pairs N]");
     eprintln!("             [--wal-path PATH] [--fsync]");
+    eprintln!("             [--ts-interval DUR] [--ts-retention N]");
+    eprintln!("             [--watch-trip N] [--watch-clear N] [--watch-latency-zscore F]");
+    eprintln!("             [--watch-error-rate F] [--watch-shed-rate F]");
+    eprintln!("             [--watch-quality-min F] [--watch-incidents N]");
     std::process::exit(2);
 }
 
@@ -90,6 +104,38 @@ fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
         Some(v) => v,
         None => {
             eprintln!("[serve] {flag} needs a valid value");
+            usage();
+        }
+    }
+}
+
+/// Parses a human duration (`250ms`, `1s`, `2m`; bare digits = seconds)
+/// into nanoseconds.
+fn parse_duration_ns(flag: &str, value: Option<String>) -> u64 {
+    let raw = match value {
+        Some(v) => v,
+        None => {
+            eprintln!("[serve] {flag} needs a duration (e.g. 250ms, 1s, 2m)");
+            usage();
+        }
+    };
+    let (digits, unit_ns) = if let Some(d) = raw.strip_suffix("ns") {
+        (d, 1u64)
+    } else if let Some(d) = raw.strip_suffix("us") {
+        (d, 1_000)
+    } else if let Some(d) = raw.strip_suffix("ms") {
+        (d, 1_000_000)
+    } else if let Some(d) = raw.strip_suffix('s') {
+        (d, 1_000_000_000)
+    } else if let Some(d) = raw.strip_suffix('m') {
+        (d, 60_000_000_000)
+    } else {
+        (raw.as_str(), 1_000_000_000)
+    };
+    match digits.parse::<u64>() {
+        Ok(n) if n > 0 => n.saturating_mul(unit_ns),
+        _ => {
+            eprintln!("[serve] {flag}: {raw:?} is not a positive duration");
             usage();
         }
     }
@@ -155,6 +201,29 @@ fn main() {
             "--debug-endpoints" => server_config.debug_endpoints = true,
             "--flight-capacity" => {
                 server_config.flight_capacity = parse("--flight-capacity", args.next())
+            }
+            "--ts-interval" => {
+                server_config.ts.interval_ns = parse_duration_ns("--ts-interval", args.next())
+            }
+            "--ts-retention" => server_config.ts.retention = parse("--ts-retention", args.next()),
+            "--watch-trip" => server_config.watch.trip_after = parse("--watch-trip", args.next()),
+            "--watch-clear" => {
+                server_config.watch.clear_after = parse("--watch-clear", args.next())
+            }
+            "--watch-latency-zscore" => {
+                server_config.watch.latency_zscore = parse("--watch-latency-zscore", args.next())
+            }
+            "--watch-error-rate" => {
+                server_config.watch.error_rate_max = parse("--watch-error-rate", args.next())
+            }
+            "--watch-shed-rate" => {
+                server_config.watch.shed_rate_max = parse("--watch-shed-rate", args.next())
+            }
+            "--watch-quality-min" => {
+                server_config.watch.quality_min = parse("--watch-quality-min", args.next())
+            }
+            "--watch-incidents" => {
+                server_config.watch.incident_capacity = parse("--watch-incidents", args.next())
             }
             "--help" | "-h" => usage(),
             other => {
@@ -223,8 +292,9 @@ fn main() {
         }
     };
     // Any panic — including ones the edge catches for worker isolation
-    // — dumps the black box to stderr before unwinding continues.
-    exrec_obs::FlightRecorder::install_panic_hook(handle.flight());
+    // — records an incident and dumps the black box to stderr before
+    // unwinding continues.
+    exrec_obs::Watchdog::install_panic_hook(handle.watchdog());
     eprintln!(
         "[serve] listening on {} ({} workers, queue bound {}, deadline {}ms)",
         handle.addr(),
@@ -234,7 +304,7 @@ fn main() {
     );
     if server_config.debug_endpoints {
         eprintln!(
-            "[serve] debug endpoints enabled: /debug/profile /debug/requests /debug/world /debug/quality /debug/ingest"
+            "[serve] debug endpoints enabled: /debug/profile /debug/requests /debug/world /debug/quality /debug/ingest /debug/timeseries /debug/incidents"
         );
     }
 

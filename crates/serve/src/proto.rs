@@ -196,6 +196,67 @@ pub struct HealthResponse {
     /// Live explanation-quality standing; `None` when deserializing
     /// pre-quality payloads (the server always sends it).
     pub quality: Option<QualityStandingBody>,
+    /// Watchdog incident standing; any active incident contributes to
+    /// `"degraded"`. `None` only when deserializing pre-watchdog
+    /// payloads (the server always sends it).
+    #[serde(default)]
+    pub incidents: Option<IncidentStandingBody>,
+    /// Build/run identity, correlatable with benchmark-report `meta`
+    /// stamps. `None` only when deserializing pre-build payloads.
+    #[serde(default)]
+    pub build: Option<BuildInfoBody>,
+}
+
+/// Watchdog standing in `GET /healthz`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IncidentStandingBody {
+    /// Incidents currently open (latched rules + active externals).
+    pub active: u64,
+    /// Incidents opened since start (monotonic, unbounded).
+    pub opened: u64,
+    /// Flight-recorder dumps fired through the unified trigger path.
+    pub flight_dumps: u64,
+    /// Rule name of the most recently opened incident still retained.
+    pub last_rule: Option<String>,
+}
+
+/// Build/run identity served from `/healthz` and `/debug/world`: the
+/// same `git_rev`/`world`/`threads` stamp benchmark reports carry
+/// (`exrec_obs::RunMeta`), plus the wire-schema versions this build
+/// speaks.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BuildInfoBody {
+    /// Short git revision of the running build (`"unknown"` outside a
+    /// git checkout).
+    pub git_rev: String,
+    /// Compact served-world shape, `users x items @ density`.
+    pub world: String,
+    /// Edge worker threads.
+    pub threads: usize,
+    /// Flight-recorder record schema version.
+    pub flight_schema: u32,
+    /// Time-series snapshot schema version.
+    pub ts_schema: u32,
+    /// Incident-log schema version.
+    pub watch_schema: u32,
+}
+
+/// Body of a 200 from `GET /debug/incidents`: the watchdog's bounded
+/// incident log plus standing counters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DebugIncidentsBody {
+    /// Incident-log schema version.
+    pub schema: u32,
+    /// Bounded log capacity (oldest incidents evicted past this).
+    pub capacity: usize,
+    /// Incidents opened since start (monotonic, unbounded).
+    pub opened: u64,
+    /// Incidents currently open.
+    pub active: u64,
+    /// Flight dumps fired through the unified trigger path.
+    pub flight_dumps: u64,
+    /// Retained incidents, oldest first.
+    pub incidents: Vec<exrec_obs::Incident>,
 }
 
 /// Live explanation-quality standing, as `/healthz` reports it.
@@ -288,6 +349,10 @@ pub struct DebugWorldBody {
     /// seed's brute per-pair path (and when deserializing pre-kernel
     /// payloads).
     pub scan: Option<ScanStatsBody>,
+    /// Build/run identity (same stamp as `/healthz`). `None` only when
+    /// deserializing pre-build payloads.
+    #[serde(default)]
+    pub build: Option<BuildInfoBody>,
 }
 
 /// Neighbour-scan engine standing in `GET /debug/world` (the kernel

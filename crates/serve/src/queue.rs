@@ -10,6 +10,7 @@
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Why [`Bounded::try_push`] rejected an item (the item is returned so
 /// the caller can still respond on the connection it carries).
@@ -19,6 +20,20 @@ pub enum PushError<T> {
     Full(T),
     /// The queue was closed by shutdown; nothing is admitted anymore.
     Closed(T),
+}
+
+/// Outcome of [`Bounded::pop_timeout`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum Popped<T> {
+    /// An item was dequeued.
+    Item(T),
+    /// The wait elapsed with the queue still open and empty — the
+    /// caller's chance to do periodic work (the cooperative sampler
+    /// tick) before waiting again.
+    TimedOut,
+    /// Closed *and* drained: the worker's exit signal, identical to
+    /// [`Bounded::pop`] returning `None`.
+    Closed,
 }
 
 struct State<T> {
@@ -98,6 +113,34 @@ impl<T> Bounded<T> {
         }
     }
 
+    /// Like [`Bounded::pop`], but waits at most `timeout` for an item.
+    /// Drain semantics are identical: while the queue holds items it
+    /// returns them even after close, and [`Popped::Closed`] only fires
+    /// once closed *and* empty. [`Popped::TimedOut`] is what lets an
+    /// idle worker pool still drive periodic work (time-series ticks)
+    /// with no free-running thread.
+    pub fn pop_timeout(&self, timeout: Duration) -> Popped<T> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(item) = state.queue.pop_front() {
+                return Popped::Item(item);
+            }
+            if state.closed {
+                return Popped::Closed;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Popped::TimedOut;
+            }
+            let (guard, _result) = self
+                .ready
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(|p| p.into_inner());
+            state = guard;
+        }
+    }
+
     /// Closes the queue: future pushes fail, and blocked poppers wake to
     /// drain the remainder and observe `None`.
     pub fn close(&self) {
@@ -149,6 +192,39 @@ mod tests {
         for w in waiters {
             assert_eq!(w.join().unwrap(), None);
         }
+    }
+
+    #[test]
+    fn pop_timeout_times_out_drains_and_signals_close() {
+        let q = Bounded::new(4);
+        // Empty + open: times out (quickly).
+        assert_eq!(
+            q.pop_timeout(std::time::Duration::from_millis(5)),
+            Popped::<u32>::TimedOut
+        );
+        // Items drain first, even after close.
+        q.try_push(7).unwrap();
+        q.close();
+        assert_eq!(
+            q.pop_timeout(std::time::Duration::from_millis(5)),
+            Popped::Item(7)
+        );
+        assert_eq!(
+            q.pop_timeout(std::time::Duration::from_millis(5)),
+            Popped::Closed
+        );
+    }
+
+    #[test]
+    fn pop_timeout_wakes_on_push() {
+        let q = Arc::new(Bounded::<u32>::new(4));
+        let waiter = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop_timeout(std::time::Duration::from_secs(10)))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.try_push(42).unwrap();
+        assert_eq!(waiter.join().unwrap(), Popped::Item(42));
     }
 
     #[test]

@@ -34,9 +34,11 @@ use std::time::{Duration, Instant};
 
 use exrec_obs::profile::{self, PhaseCollector, Profiler};
 use exrec_obs::slo::RouteStatus;
+use exrec_obs::timeseries::Stat;
+use exrec_obs::watch::{Detector, Rule, WatchConfig, Watchdog};
 use exrec_obs::{
-    promtext, trace, FlightConfig, FlightRecorder, IdSource, IngestRecord, RequestRecord,
-    SloConfig, SloMonitor, Telemetry,
+    promtext, trace, FlightConfig, FlightRecorder, IdSource, IngestRecord, RequestRecord, RunMeta,
+    SloConfig, SloMonitor, Telemetry, TimeSeries, TsConfig,
 };
 
 use exrec_core::aims::Aim;
@@ -45,11 +47,12 @@ use exrec_core::interfaces::InterfaceId;
 use crate::app::{AppError, Deadline, ExplainApp};
 use crate::http::{read_request, HttpError, Request, Response};
 use crate::proto::{
-    AimSelectionBody, CacheStatsBody, DebugIngestBody, DebugProfileBody, DebugQualityBody,
-    DebugRequestsBody, DebugWorldBody, ErrorBody, HealthResponse, IndexShapeBody,
-    QualityStandingBody, ScanStatsBody, SloRouteBody, SweepPointBody, WalBody,
+    AimSelectionBody, BuildInfoBody, CacheStatsBody, DebugIncidentsBody, DebugIngestBody,
+    DebugProfileBody, DebugQualityBody, DebugRequestsBody, DebugWorldBody, ErrorBody,
+    HealthResponse, IncidentStandingBody, IndexShapeBody, QualityStandingBody, ScanStatsBody,
+    SloRouteBody, SweepPointBody, WalBody,
 };
-use crate::queue::{Bounded, PushError};
+use crate::queue::{Bounded, Popped, PushError};
 
 /// Tuning knobs of the serving edge.
 #[derive(Debug, Clone)]
@@ -80,6 +83,135 @@ pub struct ServerConfig {
     pub debug_endpoints: bool,
     /// Completed requests the flight recorder retains.
     pub flight_capacity: usize,
+    /// Time-series sampling interval and per-series retention. The
+    /// sampler is always on (it costs two atomic reads per request when
+    /// no tick is due); tune the interval with `--ts-interval`.
+    pub ts: TsConfig,
+    /// Anomaly-watchdog thresholds over the sampled series.
+    pub watch: WatchTuning,
+}
+
+/// Thresholds for the watchdog's default rule set. Every rule reads a
+/// series the edge already publishes; crossing a threshold for
+/// `trip_after` consecutive ticks opens one latched incident (and one
+/// flight dump), cleared after `clear_after` normal ticks.
+#[derive(Debug, Clone)]
+pub struct WatchTuning {
+    /// Consecutive anomalous ticks before an incident opens.
+    pub trip_after: u32,
+    /// Consecutive normal ticks before a latched incident closes.
+    pub clear_after: u32,
+    /// z-score factor for p99 latency drift on read routes.
+    pub latency_zscore: f64,
+    /// Ticks of EWMA warmup before drift detection arms.
+    pub zscore_warmup: u64,
+    /// Ceiling on `serve.status.5xx` per second.
+    pub error_rate_max: f64,
+    /// Ceiling on `serve.shed` per second.
+    pub shed_rate_max: f64,
+    /// Floor under the live `quality.fidelity` gauge.
+    pub quality_min: f64,
+    /// Floor under the similarity-cache hit ratio.
+    pub hit_ratio_min: f64,
+    /// Ceiling on the scan engine's `revision_lag` (matrix revisions
+    /// the resident CSR trails the live world by).
+    pub revision_lag_max: f64,
+    /// Floor under the pruned scan's `prune_ratio`.
+    pub prune_ratio_min: f64,
+    /// Ticks of warmup before floor (`Below`) rules arm — ratios sit at
+    /// zero before traffic exists.
+    pub warmup_ticks: u64,
+    /// Incidents retained in the bounded log.
+    pub incident_capacity: usize,
+}
+
+impl Default for WatchTuning {
+    fn default() -> Self {
+        WatchTuning {
+            trip_after: 2,
+            clear_after: 3,
+            latency_zscore: 6.0,
+            zscore_warmup: 12,
+            error_rate_max: 1.0,
+            shed_rate_max: 100.0,
+            quality_min: 0.15,
+            hit_ratio_min: 0.02,
+            revision_lag_max: 512.0,
+            prune_ratio_min: 0.02,
+            warmup_ticks: 10,
+            incident_capacity: 64,
+        }
+    }
+}
+
+impl WatchTuning {
+    /// The default rule set over the edge's sampled series.
+    fn rules(&self) -> Vec<Rule> {
+        let mut rules = Vec::new();
+        for route in ["recommend", "explain"] {
+            rules.push(Rule {
+                name: format!("latency_drift.{route}"),
+                metric: format!("serve.latency_ns.{route}"),
+                stat: Stat::P99,
+                detector: Detector::ZScore {
+                    factor: self.latency_zscore,
+                    min_samples: self.zscore_warmup,
+                },
+            });
+        }
+        rules.push(Rule {
+            name: "error_rate".to_owned(),
+            metric: "serve.status.5xx".to_owned(),
+            stat: Stat::Rate,
+            detector: Detector::Above {
+                max: self.error_rate_max,
+            },
+        });
+        rules.push(Rule {
+            name: "shed_rate".to_owned(),
+            metric: "serve.shed".to_owned(),
+            stat: Stat::Rate,
+            detector: Detector::Above {
+                max: self.shed_rate_max,
+            },
+        });
+        rules.push(Rule {
+            name: "quality_fidelity_drop".to_owned(),
+            metric: "quality.fidelity".to_owned(),
+            stat: Stat::Value,
+            detector: Detector::Below {
+                min: self.quality_min,
+                min_samples: self.warmup_ticks,
+            },
+        });
+        rules.push(Rule {
+            name: "cache_hit_ratio_collapse".to_owned(),
+            metric: "serve.cache.hit_ratio".to_owned(),
+            stat: Stat::Value,
+            detector: Detector::Below {
+                min: self.hit_ratio_min,
+                min_samples: self.warmup_ticks,
+            },
+        });
+        rules.push(Rule {
+            name: "ingest_revision_lag".to_owned(),
+            metric: "serve.ingest.revision_lag".to_owned(),
+            stat: Stat::Value,
+            detector: Detector::Above {
+                max: self.revision_lag_max,
+            },
+        });
+        rules.push(Rule {
+            name: "scan_prune_ratio_collapse".to_owned(),
+            metric: "scan.serve.prune_ratio".to_owned(),
+            stat: Stat::Value,
+            detector: Detector::Below {
+                min: self.prune_ratio_min,
+                min_samples: self.warmup_ticks,
+            },
+        });
+        rules
+    }
 }
 
 impl Default for ServerConfig {
@@ -96,6 +228,8 @@ impl Default for ServerConfig {
             trace_seed: None,
             debug_endpoints: false,
             flight_capacity: 256,
+            ts: TsConfig::default(),
+            watch: WatchTuning::default(),
         }
     }
 }
@@ -125,12 +259,15 @@ struct Shared {
     profiler: Arc<Profiler>,
     /// Black-box ring of the last N completed requests.
     flight: Arc<FlightRecorder>,
-    /// Set while an SLO fast-burn degradation is in effect, so the
-    /// flight recorder dumps once per onset instead of per request.
-    degraded_latch: AtomicBool,
-    /// Same once-per-onset discipline for sustained low explanation
-    /// quality (the live estimator's low-sample streak).
-    quality_latch: AtomicBool,
+    /// Bounded-ring time-series sampler, ticked cooperatively by the
+    /// worker pool (`GET /debug/timeseries`).
+    ts: TimeSeries,
+    /// Anomaly watchdog + incident log — the unified flight-dump
+    /// trigger path (rules over ticks, SLO fast-burn and sustained-low
+    /// quality as external standings, panics as events).
+    watch: Arc<Watchdog>,
+    /// Build/run identity served from `/healthz` and `/debug/world`.
+    meta: RunMeta,
 }
 
 /// A running server; dropping it without calling
@@ -154,6 +291,32 @@ pub fn start(
 ) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
+    let flight = Arc::new(FlightRecorder::new(FlightConfig {
+        capacity: config.flight_capacity,
+        ..FlightConfig::default()
+    }));
+    let watch = Arc::new(
+        Watchdog::new(
+            WatchConfig {
+                trip_after: config.watch.trip_after,
+                clear_after: config.watch.clear_after,
+                log_capacity: config.watch.incident_capacity,
+                ..WatchConfig::default()
+            },
+            config.watch.rules(),
+        )
+        .with_flight(Arc::clone(&flight))
+        .with_metrics(telemetry.metrics()),
+    );
+    let meta = RunMeta::capture(
+        format!(
+            "{}x{}@{}",
+            app.n_users(),
+            app.n_items(),
+            app.config().density
+        ),
+        config.workers.max(1),
+    );
     let shared = Arc::new(Shared {
         queue: Bounded::new(config.queue_bound),
         ids: Arc::new(match config.trace_seed {
@@ -163,12 +326,10 @@ pub fn start(
         slo: SloMonitor::new(config.slo),
         busy: AtomicUsize::new(0),
         profiler: Arc::new(Profiler::new()),
-        flight: Arc::new(FlightRecorder::new(FlightConfig {
-            capacity: config.flight_capacity,
-            ..FlightConfig::default()
-        })),
-        degraded_latch: AtomicBool::new(false),
-        quality_latch: AtomicBool::new(false),
+        flight,
+        ts: TimeSeries::new(config.ts.clone()),
+        watch,
+        meta,
         app,
         config,
         telemetry,
@@ -234,6 +395,19 @@ impl ServerHandle {
     /// ([`FlightRecorder::install_panic_hook`]).
     pub fn flight(&self) -> &Arc<FlightRecorder> {
         &self.shared.flight
+    }
+
+    /// The anomaly watchdog behind `GET /debug/incidents`. The `serve`
+    /// binary chains it into the process panic hook
+    /// ([`Watchdog::install_panic_hook`]) so panics enter the same
+    /// incident log as every other trigger.
+    pub fn watchdog(&self) -> &Arc<Watchdog> {
+        &self.shared.watch
+    }
+
+    /// The time-series sampler behind `GET /debug/timeseries`.
+    pub fn timeseries(&self) -> &TimeSeries {
+        &self.shared.ts
     }
 
     /// Begins a graceful drain: stop admitting, let workers finish.
@@ -350,11 +524,58 @@ fn refuse(stream: TcpStream, status: u16, error: &str, detail: &str, retry_after
 }
 
 /// One worker: pop admitted connections and serve them to completion.
+/// The pop wait is bounded so an otherwise-idle pool still drives the
+/// cooperative sampler tick; both arms call [`maybe_tick`], and the
+/// loop exits with the queue closed and drained — the tick dies with
+/// the pool, which is exactly the clean-SIGTERM story.
 fn worker_loop(shared: &Shared) {
     let depth_gauge = shared.telemetry.metrics().gauge("serve.queue_depth");
-    while let Some(conn) = shared.queue.pop() {
-        depth_gauge.set(shared.queue.len() as f64);
-        serve_connection(shared, conn);
+    let wait = Duration::from_nanos(shared.config.ts.interval_ns.clamp(1_000_000, 250_000_000));
+    loop {
+        match shared.queue.pop_timeout(wait) {
+            Popped::Item(conn) => {
+                // The acceptor resynced the gauge at push; one pop is a
+                // −1 transition, no queue lock needed.
+                depth_gauge.sub(1.0);
+                serve_connection(shared, conn);
+                maybe_tick(shared);
+            }
+            Popped::TimedOut => maybe_tick(shared),
+            Popped::Closed => return,
+        }
+    }
+}
+
+/// Drives one cooperative sampler tick if due: refreshes the derived
+/// gauges the detectors read, cuts the time-series sample (CAS-claimed,
+/// so exactly one caller wins), and runs the watchdog over it. The
+/// not-due path is two atomic loads.
+fn maybe_tick(shared: &Shared) {
+    if !shared.ts.due() {
+        return;
+    }
+    refresh_derived_gauges(shared);
+    if let Some(tick) = shared.ts.maybe_sample(shared.telemetry.metrics()) {
+        shared.watch.observe(&tick);
+    }
+}
+
+/// Publishes point-in-time gauges that only exist as method calls on
+/// the app (cache hit ratio, CSR revision lag), so the sampler and the
+/// watchdog see them as ordinary series. Runs only on due ticks.
+fn refresh_derived_gauges(shared: &Shared) {
+    let metrics = shared.telemetry.metrics();
+    if let Some((stats, capacity)) = shared.app.cache_stats() {
+        metrics.gauge("serve.cache.hit_ratio").set(stats.hit_rate());
+        metrics
+            .gauge("serve.cache.occupancy")
+            .set(stats.entries as f64 / capacity.max(1) as f64);
+    }
+    if let Some(stats) = shared.app.scan_stats() {
+        if let Some(csr) = stats.csr_revision {
+            let lag = shared.app.ratings_revision().saturating_sub(csr);
+            metrics.gauge("serve.ingest.revision_lag").set(lag as f64);
+        }
     }
 }
 
@@ -425,10 +646,12 @@ fn serve_connection(shared: &Shared, conn: Conn) {
                         .with_duration(wait);
                 }
                 let collector = Arc::new(PhaseCollector::new());
-                let busy = shared.busy.fetch_add(1, Ordering::Relaxed) + 1;
-                metrics.gauge("serve.busy_workers").set(busy as f64);
+                let busy_gauge = metrics.gauge("serve.busy_workers");
+                shared.busy.fetch_add(1, Ordering::Relaxed);
+                busy_gauge.add(1.0);
                 let (response, endpoint, ingest) = dispatch(shared, &request, started, &collector);
                 shared.busy.fetch_sub(1, Ordering::Relaxed);
+                busy_gauge.sub(1.0);
                 // First request on the connection: its wall clock runs
                 // from admission, so the pre-dispatch time (queue wait,
                 // request read + parse) is attributable now that the
@@ -483,9 +706,11 @@ fn duration_ns(d: Duration) -> u64 {
 
 /// Records the per-request metrics every endpoint shares, advances the
 /// route's SLO window, refreshes the `slo.*` gauges, and writes the
-/// request into the flight recorder. On an SLO fast-burn onset the
-/// flight ring is dumped to stderr once (re-armed when every route is
-/// healthy again).
+/// request into the flight recorder. SLO fast-burn and sustained-low
+/// quality standings feed the watchdog as external signals: the rising
+/// edge opens one latched incident (and one flight dump), the falling
+/// edge closes it — the same once-per-onset discipline the two old
+/// ad-hoc `AtomicBool` latches implemented separately.
 #[allow(clippy::too_many_arguments)]
 fn record(
     shared: &Shared,
@@ -537,31 +762,31 @@ fn record(
             .gauge(&format!("slo.window_total.{endpoint}"))
             .set(st.total as f64);
         if st.degraded {
-            if !shared.degraded_latch.swap(true, Ordering::SeqCst) {
-                shared
-                    .flight
-                    .dump_stderr(&format!("slo fast-burn: {endpoint}"));
-            }
-        } else if shared.degraded_latch.load(Ordering::SeqCst)
+            shared.watch.external(
+                "slo_fast_burn",
+                true,
+                &format!("slo fast-burn onset on {endpoint}"),
+            );
+        } else if shared.watch.external_active("slo_fast_burn")
             && !shared.slo.snapshot().values().any(|s| s.degraded)
         {
-            shared.degraded_latch.store(false, Ordering::SeqCst);
+            shared.watch.external("slo_fast_burn", false, "");
         }
     }
-    // The quality-drop latch mirrors the SLO fast-burn latch: when the
-    // live estimator's low-sample streak reaches its sustained
-    // threshold, dump the black box once per onset (the sampled
-    // low-quality requests are still resident in the ring, scores
-    // attached), and re-arm once quality recovers.
-    if shared.app.quality_monitor().sustained_low() {
-        if !shared.quality_latch.swap(true, Ordering::SeqCst) {
-            shared
-                .flight
-                .dump_stderr("sustained low explanation quality");
-        }
-    } else {
-        shared.quality_latch.store(false, Ordering::SeqCst);
+    // Sustained low explanation quality enters the same unified path:
+    // the sampled low-quality requests are still resident in the flight
+    // ring, scores attached, when the dump fires.
+    let sustained_low = shared.app.quality_monitor().sustained_low();
+    if sustained_low || shared.watch.external_active("quality_sustained_low") {
+        shared.watch.external(
+            "quality_sustained_low",
+            sustained_low,
+            "sustained low explanation quality",
+        );
     }
+    // Busy traffic drives the sampler from the request path too, so
+    // tick cadence never depends on a worker going idle.
+    maybe_tick(shared);
 }
 
 /// Routes one parsed request, isolating handler panics. The endpoint
@@ -588,6 +813,8 @@ fn dispatch(
         ("GET", "/debug/world") => "debug_world",
         ("GET", "/debug/quality") => "debug_quality",
         ("GET", "/debug/ingest") => "debug_ingest",
+        ("GET", "/debug/timeseries") => "debug_timeseries",
+        ("GET", "/debug/incidents") => "debug_incidents",
         ("POST", "/v1/recommend") => "recommend",
         ("POST", "/v1/explain") => "explain",
         ("POST", "/v1/rate") => "rate",
@@ -596,7 +823,7 @@ fn dispatch(
             _,
             "/healthz" | "/metrics" | "/v1/recommend" | "/v1/explain" | "/v1/rate"
             | "/v1/rate/batch" | "/debug/profile" | "/debug/requests" | "/debug/world"
-            | "/debug/quality" | "/debug/ingest",
+            | "/debug/quality" | "/debug/ingest" | "/debug/timeseries" | "/debug/incidents",
         ) => "method_not_allowed",
         _ => "not_found",
     };
@@ -611,6 +838,8 @@ fn dispatch(
         "debug_world" => debug_world(shared),
         "debug_quality" => debug_quality(shared),
         "debug_ingest" => debug_ingest(shared),
+        "debug_timeseries" => debug_timeseries(shared),
+        "debug_incidents" => debug_incidents(shared),
         "recommend" | "explain" | "rate" | "rate_batch" => {
             let (response, ingested) = handle_post(shared, request, started, endpoint, query);
             ingest = ingested;
@@ -762,6 +991,47 @@ fn debug_ingest(shared: &Shared) -> Response {
     )
 }
 
+/// `GET /debug/timeseries`: every retained series — counter rates,
+/// gauge samples, windowed histogram percentiles — straight from the
+/// sampler's rings.
+fn debug_timeseries(shared: &Shared) -> Response {
+    if !shared.config.debug_endpoints {
+        return debug_disabled();
+    }
+    Response::json(200, &shared.ts.snapshot())
+}
+
+/// `GET /debug/incidents`: the watchdog's bounded incident log plus
+/// its standing counters.
+fn debug_incidents(shared: &Shared) -> Response {
+    if !shared.config.debug_endpoints {
+        return debug_disabled();
+    }
+    Response::json(
+        200,
+        &DebugIncidentsBody {
+            schema: exrec_obs::watch::WATCH_SCHEMA,
+            capacity: shared.watch.log_capacity(),
+            opened: shared.watch.opened(),
+            active: shared.watch.active(),
+            flight_dumps: shared.watch.flight_dumps(),
+            incidents: shared.watch.incidents(),
+        },
+    )
+}
+
+/// The build/version stamp shared by `/healthz` and `/debug/world`.
+fn build_body(shared: &Shared) -> BuildInfoBody {
+    BuildInfoBody {
+        git_rev: shared.meta.git_rev.clone(),
+        world: shared.meta.world.clone(),
+        threads: shared.meta.threads,
+        flight_schema: exrec_obs::flight::RECORD_SCHEMA,
+        ts_schema: exrec_obs::timeseries::TS_SCHEMA,
+        watch_schema: exrec_obs::watch::WATCH_SCHEMA,
+    }
+}
+
 /// `GET /debug/world`: the served world's shape and effective serving
 /// configuration.
 fn debug_world(shared: &Shared) -> Response {
@@ -783,6 +1053,7 @@ fn debug_world(shared: &Shared) -> Response {
             queue_capacity: shared.queue.capacity(),
             cache: cache_body(app),
             scan: scan_body(app),
+            build: Some(build_body(shared)),
         },
     )
 }
@@ -861,9 +1132,14 @@ fn metrics_response(shared: &Shared, request: &Request) -> Response {
 fn health(shared: &Shared) -> Response {
     let slo = shared.slo.snapshot();
     let quality = shared.app.quality_monitor().snapshot();
+    // Any standing incident — a latched watchdog rule or an active
+    // external — degrades health; the SLO/quality checks below are
+    // technically redundant with their external standings but kept so
+    // /healthz never lags the signal by one request.
+    let active_incidents = shared.watch.active();
     let status = if shared.draining.load(Ordering::SeqCst) {
         "draining"
-    } else if slo.values().any(|s| s.degraded) || quality.sustained_low {
+    } else if slo.values().any(|s| s.degraded) || quality.sustained_low || active_incidents > 0 {
         "degraded"
     } else {
         "ok"
@@ -909,6 +1185,13 @@ fn health(shared: &Shared) -> Response {
                 low_streak: quality.low_streak,
                 sustained_low: quality.sustained_low,
             }),
+            incidents: Some(IncidentStandingBody {
+                active: active_incidents,
+                opened: shared.watch.opened(),
+                flight_dumps: shared.watch.flight_dumps(),
+                last_rule: shared.watch.incidents().last().map(|i| i.rule.clone()),
+            }),
+            build: Some(build_body(shared)),
         },
     )
 }
